@@ -1,0 +1,85 @@
+//! Microbenchmarks for the linguistic substrate: tokenization, string
+//! metrics, and full label comparison (the inner loop of the linguistic and
+//! hybrid matchers — Figure 4's dominant cost at protein scale).
+//!
+//! `cargo bench -p qmatch-bench --bench lexicon`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qmatch_lexicon::metrics::{bigram_dice, jaro_winkler, levenshtein};
+use qmatch_lexicon::{tokenize, NameMatcher};
+use std::hint::black_box;
+
+const LABEL_PAIRS: &[(&str, &str)] = &[
+    ("OrderNo", "OrderNo"),
+    ("Quantity", "Qty"),
+    ("UnitOfMeasure", "UOM"),
+    ("PurchaseOrderNumber", "PONumber"),
+    ("BillingAddress", "BillTo"),
+    ("classification151", "clss151"),
+    ("Library", "human"),
+];
+
+fn metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lexicon/metrics");
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in LABEL_PAIRS {
+                black_box(levenshtein(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in LABEL_PAIRS {
+                black_box(jaro_winkler(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("bigram_dice", |b| {
+        b.iter(|| {
+            for (x, y) in LABEL_PAIRS {
+                black_box(bigram_dice(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn tokenization(c: &mut Criterion) {
+    c.bench_function("lexicon/tokenize", |b| {
+        b.iter(|| {
+            for (x, y) in LABEL_PAIRS {
+                black_box(tokenize(black_box(x)));
+                black_box(tokenize(black_box(y)));
+            }
+        })
+    });
+}
+
+fn name_compare(c: &mut Criterion) {
+    let matcher = NameMatcher::with_default_thesaurus();
+    c.bench_function("lexicon/compare", |b| {
+        b.iter(|| {
+            for (x, y) in LABEL_PAIRS {
+                black_box(matcher.compare(black_box(x), black_box(y)));
+            }
+        })
+    });
+    let tokenized: Vec<_> = LABEL_PAIRS
+        .iter()
+        .map(|(x, y)| (tokenize(x), tokenize(y)))
+        .collect();
+    c.bench_function("lexicon/compare_tokens(pretokenized)", |b| {
+        b.iter(|| {
+            for (tx, ty) in &tokenized {
+                black_box(matcher.compare_tokens(black_box(tx), black_box(ty)));
+            }
+        })
+    });
+    c.bench_function("lexicon/thesaurus_build", |b| {
+        b.iter(|| black_box(NameMatcher::with_default_thesaurus()))
+    });
+}
+
+criterion_group!(benches, metrics, tokenization, name_compare);
+criterion_main!(benches);

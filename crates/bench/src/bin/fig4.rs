@@ -1,0 +1,54 @@
+//! Figure 4 — overall runtime of the match algorithms.
+//!
+//! The paper plots running time (ms) of the linguistic, structural, and
+//! hybrid algorithms against the total number of elements in both input
+//! schemas: 19 (PO1+PO2), 24 (Article+Book), 91 (DCMDItem+DCMDOrd), and
+//! 3984 (PIR+PDB). Absolute times differ from the 2005 Java/P4 testbed; the
+//! *shape* to check is that the hybrid is the slowest at every size and that
+//! all three grow with n·m.
+//!
+//! Run with `--release` for representative numbers. Criterion-grade
+//! statistics live in `benches/matchers.rs`; this binary prints the figure's
+//! series directly.
+
+use qmatch_bench::{book_pair, dcmd_pair, po_pair, protein_pair, Algorithm, Pair};
+use qmatch_core::model::MatchConfig;
+use qmatch_core::report::{ms, Table};
+use std::time::{Duration, Instant};
+
+/// Median-of-`runs` wall time for one algorithm on one pair.
+fn time_algorithm(algo: Algorithm, pair: &Pair, config: &MatchConfig, runs: usize) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let out = algo.run(&pair.source, &pair.target, config);
+            std::hint::black_box(out.total_qom);
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let config = MatchConfig::default();
+    let pairs = [po_pair(), book_pair(), dcmd_pair(), protein_pair()];
+    println!("Figure 4. Overall performance of match algorithms (running time, ms).\n");
+    let mut table = Table::new(["total elements", "Linguistic", "Structural", "Hybrid"]);
+    for pair in &pairs {
+        // Small pairs get more repetitions for a stable median.
+        let runs = if pair.total_elements() > 1000 { 3 } else { 15 };
+        let row: Vec<String> = Algorithm::PAPER
+            .iter()
+            .map(|&algo| ms(time_algorithm(algo, pair, &config, runs)))
+            .collect();
+        table.row([
+            pair.total_elements().to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nexpected shape: Hybrid slowest per row; all columns grow with schema size");
+}

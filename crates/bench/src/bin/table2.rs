@@ -1,0 +1,83 @@
+//! Table 2 — determining the weights of the different axes (§5.1).
+//!
+//! Sweeps unit-sum weight vectors on a 0.05 grid over schema pairs from
+//! three domains, scores each vector by the mean Overall quality of the
+//! mapping it produces, and reports (a) the best vectors, (b) the per-axis
+//! ranges the top vectors span (the paper reports label 0.25–0.4,
+//! properties/level 0.1–0.2, children 0.3–0.5), and (c) the chosen vector —
+//! the paper's Table 2: label 0.3, properties 0.2, level 0.1, children 0.4.
+
+use qmatch_bench::{book_pair, dcmd_pair, po_pair};
+use qmatch_core::model::Weights;
+use qmatch_core::report::{f3, Table};
+use qmatch_core::tuning::{best_ranges, score_weights, sweep, TuningTask};
+
+fn main() {
+    let pairs = [po_pair(), book_pair(), dcmd_pair()];
+    let tasks: Vec<TuningTask<'_>> = pairs
+        .iter()
+        .map(|p| TuningTask {
+            name: p.name,
+            source: &p.source,
+            target: &p.target,
+            gold: &p.gold,
+        })
+        .collect();
+
+    println!(
+        "Table 2 experiment. Weight sweep (0.05 grid) over {} schema pairs.\n",
+        tasks.len()
+    );
+    let points = sweep(&tasks, 0.05, 0.5);
+
+    let mut top = Table::new(["rank", "WL", "WP", "WH", "WC", "mean Overall"]);
+    for (i, p) in points.iter().take(10).enumerate() {
+        top.row([
+            (i + 1).to_string(),
+            f3(p.weights.label),
+            f3(p.weights.properties),
+            f3(p.weights.level),
+            f3(p.weights.children),
+            f3(p.mean_overall),
+        ]);
+    }
+    println!("Top 10 weight vectors:\n{}", top.render());
+
+    let ranges = best_ranges(&points, 15);
+    let mut rt = Table::new(["axis", "ideal range (repro)", "ideal range (paper)"]);
+    let fmt = |r: (f64, f64)| format!("{:.2} - {:.2}", r.0, r.1);
+    rt.row([
+        "Label".to_owned(),
+        fmt(ranges.label),
+        "0.25 - 0.4".to_owned(),
+    ]);
+    rt.row([
+        "Properties".to_owned(),
+        fmt(ranges.properties),
+        "0.1 - 0.2".to_owned(),
+    ]);
+    rt.row([
+        "Level".to_owned(),
+        fmt(ranges.level),
+        "0.1 - 0.2".to_owned(),
+    ]);
+    rt.row([
+        "Children".to_owned(),
+        fmt(ranges.children),
+        "0.3 - 0.5".to_owned(),
+    ]);
+    println!("Per-axis ranges among the top 15 vectors:\n{}", rt.render());
+
+    let paper = score_weights(Weights::PAPER, &tasks, 0.5);
+    let best = points.first().expect("sweep is non-empty");
+    println!("Table 2. Weight for the Different Axes (chosen vector):");
+    let mut chosen = Table::new(["Label", "Properties", "Level", "Children", "mean Overall"]);
+    chosen.row([f3(0.3), f3(0.2), f3(0.1), f3(0.4), f3(paper)]);
+    print!("{}", chosen.render());
+    println!(
+        "\npaper vector scores {} vs sweep best {} (gap {:.3})",
+        f3(paper),
+        f3(best.mean_overall),
+        best.mean_overall - paper
+    );
+}

@@ -1,0 +1,563 @@
+//! Hand-rolled argument parsing (no external dependencies): subcommands,
+//! `--flag value` and `--flag=value` options, and typed validation.
+
+use qmatch_core::model::{LexiconMode, MatchConfig, Weights};
+use std::fmt;
+
+/// The usage text shown on parse errors and by `qmatch help`.
+pub const USAGE: &str = "\
+qmatch — hybrid XML schema matching (QMatch, ICDE 2005)
+
+USAGE:
+    qmatch match <SOURCE.xsd> <TARGET.xsd> [options]
+    qmatch inspect <SCHEMA.xsd> [--root NAME]
+    qmatch evaluate <SOURCE.xsd> <TARGET.xsd> --gold <GOLD.tsv> [options]
+    qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
+    qmatch generate <SCHEMA.xsd> [--seed N] [--root NAME]
+    qmatch help
+
+MATCH / EVALUATE OPTIONS:
+    --algorithm <hybrid|linguistic|structural|tree-edit>   (default: hybrid)
+    --weights <WL,WP,WH,WC>      axis weights, must sum to 1
+                                 (default: 0.3,0.2,0.1,0.4 — the paper's Table 2)
+    --child-threshold <0..1>     Figure 3's child-match threshold (default: 0.5)
+    --threshold <0..1>           mapping acceptance threshold
+                                 (default: adapted to the weights)
+    --lexicon <full|fuzzy|exact> linguistic resources (default: full)
+    --thesaurus <FILE>           extend the built-in thesaurus from a file
+                                 (directives: syn/hyp/acr/abbr — see README)
+    --source-root <NAME>         global element to compile in SOURCE
+    --target-root <NAME>         global element to compile in TARGET
+    --total-only                 print only the total QoM
+    --emit-gold                  print the mapping in gold-file format
+                                 (bootstrap a gold standard by correcting it)
+    --explain <SOURCE/PATH>      explain the QoM of this source node's best
+                                 candidates (hybrid only)
+    --matrix-csv <FILE>          also write the full similarity matrix as CSV
+
+INSPECT / GENERATE OPTIONS:
+    --root <NAME>                global element to compile
+    --seed <N>                   generation seed (generate only; default 7)
+
+GOLD FILE FORMAT (evaluate):
+    one real match per line:  <source/label/path> TAB <target/label/path>
+    '#' starts a comment; blank lines are ignored.
+";
+
+/// Which match algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// QMatch (the default).
+    Hybrid,
+    /// Label-only matcher.
+    Linguistic,
+    /// Structure-only matcher.
+    Structural,
+    /// Tree-edit-distance baseline.
+    TreeEdit,
+}
+
+impl AlgorithmChoice {
+    /// The name as accepted on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmChoice::Hybrid => "hybrid",
+            AlgorithmChoice::Linguistic => "linguistic",
+            AlgorithmChoice::Structural => "structural",
+            AlgorithmChoice::TreeEdit => "tree-edit",
+        }
+    }
+}
+
+/// Options shared by `match` and `evaluate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOptions {
+    /// The algorithm to run.
+    pub algorithm: AlgorithmChoice,
+    /// Algorithm configuration (weights, child threshold, lexicon).
+    pub config: MatchConfig,
+    /// Mapping acceptance threshold; `None` = adapt to the algorithm.
+    pub threshold: Option<f64>,
+    /// Root element override for the source schema.
+    pub source_root: Option<String>,
+    /// Root element override for the target schema.
+    pub target_root: Option<String>,
+    /// Print only the total QoM (match command).
+    pub total_only: bool,
+    /// Print the mapping in gold-file format (match command).
+    pub emit_gold: bool,
+    /// Explain this source node's candidates (match command, hybrid only).
+    pub explain: Option<String>,
+    /// Path of a thesaurus-extension file.
+    pub thesaurus: Option<String>,
+    /// Write the similarity matrix as CSV to this path (match command).
+    pub matrix_csv: Option<String>,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            algorithm: AlgorithmChoice::Hybrid,
+            config: MatchConfig::default(),
+            threshold: None,
+            source_root: None,
+            target_root: None,
+            total_only: false,
+            emit_gold: false,
+            explain: None,
+            thesaurus: None,
+            matrix_csv: None,
+        }
+    }
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `qmatch match`.
+    Match {
+        /// Source schema path.
+        source: String,
+        /// Target schema path.
+        target: String,
+        /// Options.
+        options: MatchOptions,
+    },
+    /// `qmatch inspect`.
+    Inspect {
+        /// Schema path.
+        schema: String,
+        /// Root element override.
+        root: Option<String>,
+    },
+    /// `qmatch evaluate`.
+    Evaluate {
+        /// Source schema path.
+        source: String,
+        /// Target schema path.
+        target: String,
+        /// Gold-standard file path.
+        gold: String,
+        /// Options.
+        options: MatchOptions,
+    },
+    /// `qmatch generate`.
+    Generate {
+        /// Schema path.
+        schema: String,
+        /// Root element override.
+        root: Option<String>,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `qmatch validate`.
+    Validate {
+        /// Schema path.
+        schema: String,
+        /// Instance document path.
+        instance: String,
+    },
+    /// `qmatch help`.
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(message: impl Into<String>) -> ArgError {
+    ArgError(message.into())
+}
+
+/// Parses a command line (without the program name).
+pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, ArgError> {
+    let mut args = argv.into_iter().peekable();
+    let sub = args.next().ok_or_else(|| err("missing subcommand"))?;
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "match" => {
+            let (positional, options) = parse_common(args)?;
+            let [source, target] = two_positional(positional, "match")?;
+            Ok(Command::Match {
+                source,
+                target,
+                options: options.build()?,
+            })
+        }
+        "inspect" => {
+            let (positional, options) = parse_common(args)?;
+            options.reject_match_options("inspect")?;
+            let [schema] = one_positional(positional, "inspect")?;
+            Ok(Command::Inspect {
+                schema,
+                root: options.root,
+            })
+        }
+        "generate" => {
+            let (positional, options) = parse_common(args)?;
+            options.reject_match_options("generate")?;
+            let [schema] = one_positional(positional, "generate")?;
+            let seed = match &options.seed {
+                None => 7,
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("--seed {s:?} is not an unsigned integer")))?,
+            };
+            Ok(Command::Generate {
+                schema,
+                root: options.root,
+                seed,
+            })
+        }
+        "validate" => {
+            let (positional, options) = parse_common(args)?;
+            options.reject_match_options("validate")?;
+            let [schema, instance] = two_positional(positional, "validate")?;
+            Ok(Command::Validate { schema, instance })
+        }
+        "evaluate" => {
+            let (positional, options) = parse_common(args)?;
+            let [source, target] = two_positional(positional, "evaluate")?;
+            let gold = options
+                .gold
+                .clone()
+                .ok_or_else(|| err("evaluate requires --gold <FILE>"))?;
+            Ok(Command::Evaluate {
+                source,
+                target,
+                gold,
+                options: options.build()?,
+            })
+        }
+        other => Err(err(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Raw option values before validation.
+#[derive(Debug, Default, Clone)]
+struct RawOptions {
+    algorithm: Option<String>,
+    weights: Option<String>,
+    child_threshold: Option<String>,
+    threshold: Option<String>,
+    lexicon: Option<String>,
+    source_root: Option<String>,
+    target_root: Option<String>,
+    root: Option<String>,
+    seed: Option<String>,
+    gold: Option<String>,
+    total_only: bool,
+    emit_gold: bool,
+    explain: Option<String>,
+    thesaurus: Option<String>,
+    matrix_csv: Option<String>,
+}
+
+impl RawOptions {
+    fn build(&self) -> Result<MatchOptions, ArgError> {
+        let mut options = MatchOptions::default();
+        if let Some(a) = &self.algorithm {
+            options.algorithm = match a.as_str() {
+                "hybrid" => AlgorithmChoice::Hybrid,
+                "linguistic" => AlgorithmChoice::Linguistic,
+                "structural" => AlgorithmChoice::Structural,
+                "tree-edit" | "treeedit" => AlgorithmChoice::TreeEdit,
+                other => return Err(err(format!("unknown algorithm {other:?}"))),
+            };
+        }
+        if let Some(w) = &self.weights {
+            let parts: Vec<f64> = w
+                .split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| err(format!("--weights {w:?} is not four numbers")))?;
+            let [l, p, h, c]: [f64; 4] = parts
+                .try_into()
+                .map_err(|_| err("--weights needs exactly four comma-separated numbers"))?;
+            options.config.weights =
+                Weights::new(l, p, h, c).map_err(|e| err(format!("--weights: {e}")))?;
+        }
+        if let Some(t) = &self.child_threshold {
+            options.config.threshold = parse_unit(t, "--child-threshold")?;
+        }
+        if let Some(t) = &self.threshold {
+            options.threshold = Some(parse_unit(t, "--threshold")?);
+        }
+        if let Some(mode) = &self.lexicon {
+            options.config.lexicon = match mode.as_str() {
+                "full" => LexiconMode::Full,
+                "fuzzy" => LexiconMode::FuzzyOnly,
+                "exact" => LexiconMode::ExactOnly,
+                other => return Err(err(format!("unknown lexicon mode {other:?}"))),
+            };
+        }
+        options.source_root = self.source_root.clone();
+        options.target_root = self.target_root.clone();
+        options.total_only = self.total_only;
+        options.emit_gold = self.emit_gold;
+        options.explain = self.explain.clone();
+        options.thesaurus = self.thesaurus.clone();
+        options.matrix_csv = self.matrix_csv.clone();
+        Ok(options)
+    }
+
+    fn reject_match_options(&self, sub: &str) -> Result<(), ArgError> {
+        if self.algorithm.is_some()
+            || self.weights.is_some()
+            || self.threshold.is_some()
+            || self.child_threshold.is_some()
+            || self.lexicon.is_some()
+            || self.total_only
+            || self.emit_gold
+            || self.explain.is_some()
+            || self.thesaurus.is_some()
+            || self.matrix_csv.is_some()
+        {
+            return Err(err(format!("{sub} does not accept match options")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_unit(value: &str, flag: &str) -> Result<f64, ArgError> {
+    let parsed: f64 = value
+        .parse()
+        .map_err(|_| err(format!("{flag} {value:?} is not a number")))?;
+    if !(0.0..=1.0).contains(&parsed) {
+        return Err(err(format!("{flag} must lie in [0, 1], got {parsed}")));
+    }
+    Ok(parsed)
+}
+
+fn parse_common<'a>(
+    args: impl Iterator<Item = &'a str>,
+) -> Result<(Vec<String>, RawOptions), ArgError> {
+    let mut positional = Vec::new();
+    let mut options = RawOptions::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            // Support both `--flag value` and `--flag=value`.
+            let (name, inline_value) = match flag.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_owned())),
+                None => (flag, None),
+            };
+            let take = |args: &mut dyn Iterator<Item = &'a str>| -> Result<String, ArgError> {
+                if let Some(v) = &inline_value {
+                    Ok(v.clone())
+                } else {
+                    args.next()
+                        .map(str::to_owned)
+                        .ok_or_else(|| err(format!("--{name} needs a value")))
+                }
+            };
+            match name {
+                "algorithm" => options.algorithm = Some(take(&mut args)?),
+                "weights" => options.weights = Some(take(&mut args)?),
+                "child-threshold" => options.child_threshold = Some(take(&mut args)?),
+                "threshold" => options.threshold = Some(take(&mut args)?),
+                "lexicon" => options.lexicon = Some(take(&mut args)?),
+                "source-root" => options.source_root = Some(take(&mut args)?),
+                "target-root" => options.target_root = Some(take(&mut args)?),
+                "root" => options.root = Some(take(&mut args)?),
+                "seed" => options.seed = Some(take(&mut args)?),
+                "gold" => options.gold = Some(take(&mut args)?),
+                "total-only" => options.total_only = true,
+                "emit-gold" => options.emit_gold = true,
+                "explain" => options.explain = Some(take(&mut args)?),
+                "thesaurus" => options.thesaurus = Some(take(&mut args)?),
+                "matrix-csv" => options.matrix_csv = Some(take(&mut args)?),
+                other => return Err(err(format!("unknown option --{other}"))),
+            }
+        } else {
+            positional.push(arg.to_owned());
+        }
+    }
+    Ok((positional, options))
+}
+
+fn one_positional(mut positional: Vec<String>, sub: &str) -> Result<[String; 1], ArgError> {
+    if positional.len() != 1 {
+        return Err(err(format!(
+            "{sub} needs exactly one schema file, got {}",
+            positional.len()
+        )));
+    }
+    Ok([positional.remove(0)])
+}
+
+fn two_positional(positional: Vec<String>, sub: &str) -> Result<[String; 2], ArgError> {
+    let [a, b]: [String; 2] = positional
+        .try_into()
+        .map_err(|v: Vec<String>| err(format!("{sub} needs SOURCE and TARGET, got {}", v.len())))?;
+    Ok([a, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_match_with_defaults() {
+        let cmd = parse(["match", "a.xsd", "b.xsd"]).unwrap();
+        let Command::Match {
+            source,
+            target,
+            options,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(source, "a.xsd");
+        assert_eq!(target, "b.xsd");
+        assert_eq!(options.algorithm, AlgorithmChoice::Hybrid);
+        assert_eq!(options.config, MatchConfig::default());
+        assert_eq!(options.threshold, None);
+    }
+
+    #[test]
+    fn parses_all_match_options() {
+        let cmd = parse([
+            "match",
+            "a.xsd",
+            "b.xsd",
+            "--algorithm",
+            "linguistic",
+            "--weights",
+            "0.25,0.25,0.25,0.25",
+            "--child-threshold",
+            "0.6",
+            "--threshold=0.7",
+            "--lexicon",
+            "fuzzy",
+            "--source-root",
+            "PO",
+            "--target-root=Order",
+            "--total-only",
+        ])
+        .unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.algorithm, AlgorithmChoice::Linguistic);
+        assert_eq!(
+            options.config.weights,
+            Weights::new(0.25, 0.25, 0.25, 0.25).unwrap()
+        );
+        assert_eq!(options.config.threshold, 0.6);
+        assert_eq!(options.threshold, Some(0.7));
+        assert_eq!(options.config.lexicon, LexiconMode::FuzzyOnly);
+        assert_eq!(options.source_root.as_deref(), Some("PO"));
+        assert_eq!(options.target_root.as_deref(), Some("Order"));
+        assert!(options.total_only);
+    }
+
+    #[test]
+    fn parses_inspect_and_evaluate() {
+        assert_eq!(
+            parse(["inspect", "a.xsd", "--root", "PO"]).unwrap(),
+            Command::Inspect {
+                schema: "a.xsd".into(),
+                root: Some("PO".into())
+            }
+        );
+        let cmd = parse(["evaluate", "a.xsd", "b.xsd", "--gold", "g.tsv"]).unwrap();
+        let Command::Evaluate { gold, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(gold, "g.tsv");
+    }
+
+    #[test]
+    fn parses_generate() {
+        assert_eq!(
+            parse(["generate", "s.xsd"]).unwrap(),
+            Command::Generate {
+                schema: "s.xsd".into(),
+                root: None,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            parse(["generate", "s.xsd", "--seed", "42", "--root", "PO"]).unwrap(),
+            Command::Generate {
+                schema: "s.xsd".into(),
+                root: Some("PO".into()),
+                seed: 42
+            }
+        );
+        assert!(parse(["generate", "s.xsd", "--seed", "minus-one"]).is_err());
+    }
+
+    #[test]
+    fn parses_validate() {
+        assert_eq!(
+            parse(["validate", "s.xsd", "i.xml"]).unwrap(),
+            Command::Validate {
+                schema: "s.xsd".into(),
+                instance: "i.xml".into()
+            }
+        );
+        assert!(parse(["validate", "s.xsd"]).is_err());
+        assert!(parse(["validate", "s.xsd", "i.xml", "--algorithm", "hybrid"]).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse([h]).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse([] as [&str; 0]).is_err());
+        assert!(parse(["frobnicate"]).is_err());
+        assert!(parse(["match", "only-one.xsd"]).is_err());
+        assert!(parse(["match", "a", "b", "c"]).is_err());
+        assert!(parse(["inspect"]).is_err());
+        assert!(parse(["evaluate", "a", "b"]).is_err(), "--gold is required");
+        assert!(parse(["match", "a", "b", "--algorithm", "quantum"]).is_err());
+        assert!(parse(["match", "a", "b", "--weights", "1,2"]).is_err());
+        assert!(parse(["match", "a", "b", "--weights", "0.5,0.5,0.5,0.5"]).is_err());
+        assert!(parse(["match", "a", "b", "--threshold", "1.5"]).is_err());
+        assert!(parse(["match", "a", "b", "--threshold"]).is_err());
+        assert!(parse(["match", "a", "b", "--lexicon", "psychic"]).is_err());
+        assert!(parse(["match", "a", "b", "--no-such-flag"]).is_err());
+        assert!(parse(["inspect", "a", "--algorithm", "hybrid"]).is_err());
+    }
+
+    #[test]
+    fn weights_accept_unit_sum_variants() {
+        let cmd = parse(["match", "a", "b", "--weights", "0.4, 0.1, 0.2, 0.3"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert!((options.config.weights.label - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for (choice, name) in [
+            (AlgorithmChoice::Hybrid, "hybrid"),
+            (AlgorithmChoice::Linguistic, "linguistic"),
+            (AlgorithmChoice::Structural, "structural"),
+            (AlgorithmChoice::TreeEdit, "tree-edit"),
+        ] {
+            assert_eq!(choice.name(), name);
+            let cmd = parse(["match", "a", "b", "--algorithm", name]).unwrap();
+            let Command::Match { options, .. } = cmd else {
+                panic!()
+            };
+            assert_eq!(options.algorithm, choice);
+        }
+    }
+}

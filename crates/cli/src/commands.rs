@@ -1,0 +1,317 @@
+//! Command implementations: load schemas, run algorithms, print reports.
+
+use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
+use crate::gold_file;
+use qmatch_core::algorithms::{
+    hybrid_match, hybrid_match_with, linguistic_match, linguistic_match_with, structural_match,
+    tree_edit_match, MatchOutcome,
+};
+use qmatch_core::eval::evaluate;
+use qmatch_core::mapping::{extract_mapping, path_of};
+use qmatch_core::report::{f3, Table};
+use qmatch_xsd::{parse_schema, NodeKind, SchemaTree};
+use std::fmt;
+
+/// A command failure with context (file, phase).
+#[derive(Debug)]
+pub struct CommandError(String);
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+fn fail(message: impl Into<String>) -> CommandError {
+    CommandError(message.into())
+}
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), CommandError> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Inspect { schema, root } => inspect(&schema, root.as_deref()),
+        Command::Validate { schema, instance } => validate_instance(&schema, &instance),
+        Command::Generate { schema, root, seed } => generate(&schema, root.as_deref(), seed),
+        Command::Match {
+            source,
+            target,
+            options,
+        } => {
+            let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
+            let (outcome, threshold) = execute(&source_tree, &target_tree, &options)?;
+            if let Some(csv_path) = &options.matrix_csv {
+                let csv = outcome.matrix.to_csv(&source_tree, &target_tree);
+                std::fs::write(csv_path, csv)
+                    .map_err(|e| fail(format!("cannot write {csv_path}: {e}")))?;
+            }
+            if options.total_only {
+                println!("{}", f3(outcome.total_qom));
+                return Ok(());
+            }
+            if let Some(path) = &options.explain {
+                return explain(&source_tree, &target_tree, &options, path);
+            }
+            if options.emit_gold {
+                let mapping = extract_mapping(&outcome.matrix, threshold);
+                let mut gold = qmatch_core::eval::GoldStandard::new();
+                for (s, t) in mapping.to_path_pairs(&source_tree, &target_tree) {
+                    gold.add(&s, &t);
+                }
+                print!("{}", gold_file::render_gold(&gold));
+                return Ok(());
+            }
+            println!(
+                "{} ({} nodes) vs {} ({} nodes) — {} algorithm",
+                source_tree.name(),
+                source_tree.len(),
+                target_tree.name(),
+                target_tree.len(),
+                options.algorithm.name()
+            );
+            println!("total QoM: {}\n", f3(outcome.total_qom));
+            let mapping = extract_mapping(&outcome.matrix, threshold);
+            println!("correspondences (threshold {}):", f3(threshold));
+            print!("{}", mapping.display(&source_tree, &target_tree));
+            if mapping.is_empty() {
+                println!("(none)");
+            }
+            Ok(())
+        }
+        Command::Evaluate {
+            source,
+            target,
+            gold,
+            options,
+        } => {
+            let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
+            let gold_text = std::fs::read_to_string(&gold)
+                .map_err(|e| fail(format!("cannot read {gold}: {e}")))?;
+            let gold_set = gold_file::parse_gold(&gold_text).map_err(|e| fail(e.to_string()))?;
+            let (outcome, threshold) = execute(&source_tree, &target_tree, &options)?;
+            let mapping = extract_mapping(&outcome.matrix, threshold);
+            let quality = evaluate(&mapping, &source_tree, &target_tree, &gold_set);
+
+            let mut table = Table::new(["measure", "value"]);
+            table.row(["algorithm".to_owned(), options.algorithm.name().to_owned()]);
+            table.row(["real matches |R|".to_owned(), gold_set.len().to_string()]);
+            table.row(["predicted |P|".to_owned(), mapping.len().to_string()]);
+            table.row([
+                "true positives |I|".to_owned(),
+                quality.true_positives.to_string(),
+            ]);
+            table.row([
+                "false positives |F|".to_owned(),
+                quality.false_positives.to_string(),
+            ]);
+            table.row(["missed |M|".to_owned(), quality.false_negatives.to_string()]);
+            table.row(["precision".to_owned(), f3(quality.precision)]);
+            table.row(["recall".to_owned(), f3(quality.recall)]);
+            table.row(["overall".to_owned(), f3(quality.overall)]);
+            print!("{}", table.render());
+
+            // List errors for post-match repair, like a matcher UI would.
+            let predicted = mapping.to_path_pairs(&source_tree, &target_tree);
+            let mut shown_header = false;
+            for c in &mapping.pairs {
+                let key = (
+                    path_of(&source_tree, c.source),
+                    path_of(&target_tree, c.target),
+                );
+                if !gold_set.contains(&key.0, &key.1) {
+                    if !shown_header {
+                        println!("\nfalse positives:");
+                        shown_header = true;
+                    }
+                    println!("  {} -> {}", key.0, key.1);
+                }
+            }
+            let mut shown_header = false;
+            for (s, t) in gold_set.iter() {
+                if !predicted.iter().any(|(a, b)| a == s && b == t) {
+                    if !shown_header {
+                        println!("\nmissed matches:");
+                        shown_header = true;
+                    }
+                    println!("  {s} -> {t}");
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `match --explain`: show the QoM decomposition of the named source node
+/// against its best target candidates.
+fn explain(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    options: &MatchOptions,
+    source_path: &str,
+) -> Result<(), CommandError> {
+    let Some(sid) = source.find_by_path(source_path) else {
+        return Err(fail(format!(
+            "source node {source_path:?} not found (paths look like {:?})",
+            path_of(source, source.root_id())
+        )));
+    };
+    let outcome = hybrid_match(source, target, &options.config);
+    let mut candidates: Vec<(qmatch_xsd::NodeId, f64)> = target
+        .iter()
+        .map(|(tid, _)| (tid, outcome.matrix.get(sid, tid)))
+        .collect();
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top candidates for {source_path}:\n");
+    for (tid, _) in candidates.into_iter().take(3) {
+        let explanation = qmatch_core::explain::explain_with_matrix(
+            source,
+            target,
+            sid,
+            tid,
+            &options.config,
+            &outcome.matrix,
+        );
+        println!("{explanation}");
+    }
+    Ok(())
+}
+
+fn generate(schema_path: &str, root: Option<&str>, seed: u64) -> Result<(), CommandError> {
+    let text = std::fs::read_to_string(schema_path)
+        .map_err(|e| fail(format!("cannot read {schema_path}: {e}")))?;
+    let schema = parse_schema(&text).map_err(|e| fail(format!("{schema_path}: {e}")))?;
+    let options = qmatch_datasets::instances::InstanceOptions {
+        seed,
+        ..qmatch_datasets::instances::InstanceOptions::default()
+    };
+    let instance = match root {
+        Some(name) => qmatch_datasets::instances::generate_instance_of(&schema, name, &options),
+        None => qmatch_datasets::instances::generate_instance(&schema, &options),
+    }
+    .ok_or_else(|| fail("schema has no matching global element to generate"))?;
+    println!("<?xml version=\"1.0\"?>");
+    print!("{instance}");
+    Ok(())
+}
+
+fn validate_instance(schema_path: &str, instance_path: &str) -> Result<(), CommandError> {
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| fail(format!("cannot read {schema_path}: {e}")))?;
+    let schema = parse_schema(&schema_text).map_err(|e| fail(format!("{schema_path}: {e}")))?;
+    let instance_text = std::fs::read_to_string(instance_path)
+        .map_err(|e| fail(format!("cannot read {instance_path}: {e}")))?;
+    let document = qmatch_xsd::validate::parse_document(&instance_text)
+        .map_err(|e| fail(format!("{instance_path}: {e}")))?;
+    let report = qmatch_xsd::validate(&document, &schema)
+        .map_err(|e| fail(format!("{instance_path}: {e}")))?;
+    if report.is_valid() {
+        println!("{instance_path} is valid against {schema_path}");
+        Ok(())
+    } else {
+        for error in &report.errors {
+            println!("{error}");
+        }
+        Err(fail(format!("{} validation error(s)", report.errors.len())))
+    }
+}
+
+fn load_tree(path: &str, root: Option<&str>) -> Result<SchemaTree, CommandError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let schema = parse_schema(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    match root {
+        Some(name) => {
+            SchemaTree::compile_element(&schema, name).map_err(|e| fail(format!("{path}: {e}")))
+        }
+        None => SchemaTree::compile(&schema).map_err(|e| fail(format!("{path}: {e}"))),
+    }
+}
+
+fn load_pair(
+    source: &str,
+    target: &str,
+    options: &MatchOptions,
+) -> Result<(SchemaTree, SchemaTree), CommandError> {
+    Ok((
+        load_tree(source, options.source_root.as_deref())?,
+        load_tree(target, options.target_root.as_deref())?,
+    ))
+}
+
+/// Loads the (optionally extended) name matcher for the lexicon-driven
+/// algorithms.
+fn load_matcher(
+    options: &MatchOptions,
+) -> Result<Option<qmatch_lexicon::NameMatcher>, CommandError> {
+    let Some(path) = &options.thesaurus else {
+        return Ok(None);
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let mut thesaurus = qmatch_lexicon::builtin::default_thesaurus();
+    qmatch_lexicon::extend_from_text(&mut thesaurus, &text)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
+    Ok(Some(qmatch_lexicon::NameMatcher::new(thesaurus)))
+}
+
+/// Runs the selected algorithm and returns the outcome plus the effective
+/// acceptance threshold.
+fn execute(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    options: &MatchOptions,
+) -> Result<(MatchOutcome, f64), CommandError> {
+    let config = &options.config;
+    let matcher = load_matcher(options)?;
+    let (outcome, default_threshold) = match options.algorithm {
+        AlgorithmChoice::Hybrid => {
+            let outcome = match &matcher {
+                Some(m) => hybrid_match_with(source, target, config, m),
+                None => hybrid_match(source, target, config),
+            };
+            (outcome, config.weights.acceptance_threshold())
+        }
+        AlgorithmChoice::Linguistic => {
+            let outcome = match &matcher {
+                Some(m) => linguistic_match_with(source, target, config, m),
+                None => linguistic_match(source, target, config),
+            };
+            (outcome, 0.5)
+        }
+        AlgorithmChoice::Structural => (structural_match(source, target, config), 0.95),
+        AlgorithmChoice::TreeEdit => (tree_edit_match(source, target, config), 0.5),
+    };
+    Ok((outcome, options.threshold.unwrap_or(default_threshold)))
+}
+
+fn inspect(path: &str, root: Option<&str>) -> Result<(), CommandError> {
+    let tree = load_tree(path, root)?;
+    println!("{}: {}\n", tree.name(), qmatch_xsd::TreeProfile::of(&tree));
+    for (id, node) in tree.iter() {
+        let indent = "  ".repeat(node.level as usize);
+        let marker = match node.kind {
+            NodeKind::Element => "",
+            NodeKind::Attribute => "@",
+        };
+        let occurs = format!(
+            "[{}..{}]",
+            node.properties.min_occurs, node.properties.max_occurs
+        );
+        println!(
+            "{indent}{marker}{}  : {}  {}  (order {}, level {}{})",
+            node.label,
+            node.properties.data_type,
+            occurs,
+            node.properties.order,
+            node.level,
+            if node.is_leaf() { ", leaf" } else { "" }
+        );
+        let _ = id;
+    }
+    Ok(())
+}

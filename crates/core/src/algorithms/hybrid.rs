@@ -1,0 +1,353 @@
+//! QMatch — the hybrid match algorithm (paper Figure 3).
+//!
+//! A recursive depth-first TreeMatch that combines the linguistic label
+//! comparison, the property model, the level check, and the recursively
+//! computed children QoM with the axis weights of Equation 1. The recursion
+//! of Figure 3 is evaluated here as a memoized bottom-up dynamic program
+//! over all (source, target) node pairs, which makes every pair's QoM
+//! available in one pass — the O(n·m) behaviour the paper reports.
+//!
+//! Two deliberate refinements of the pseudo-code (documented in DESIGN.md):
+//!
+//! 1. Figure 3 sums *every* child pair whose QoM clears the threshold, which
+//!    can push `Rw` above 1 when one source child matches several target
+//!    children. This implementation takes the *best* matching target child
+//!    per source child (the standard reading), keeping QoM within `[0, 1]`.
+//! 2. Leaf pairs use Equation 2 directly (children and level exact by
+//!    default), matching §2.2's "the nesting level for a leaf element is
+//!    always set to 0".
+
+use super::{postorder, LabelOracle, MatchOutcome};
+use crate::matrix::SimMatrix;
+use crate::model::{children_qom, MatchConfig};
+use crate::props::compare_properties;
+use crate::taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
+use qmatch_lexicon::name_match::LabelGrade;
+use qmatch_xsd::SchemaTree;
+
+/// Runs the QMatch hybrid algorithm. `total_qom` is the QoM of the two
+/// roots — "the total match value for the entire source schema tree with
+/// respect to the target schema tree" that Figure 3 presents to the user.
+pub fn hybrid_match(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    let oracle = LabelOracle::new(source, target, config.lexicon);
+    hybrid_match_impl(source, target, config, oracle)
+}
+
+/// Like [`hybrid_match`], but with a caller-supplied [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g.
+/// one whose thesaurus was extended for the schemas' domain).
+pub fn hybrid_match_with(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    matcher: &qmatch_lexicon::NameMatcher,
+) -> MatchOutcome {
+    let oracle = LabelOracle::with_matcher(source, target, config.lexicon, matcher.clone());
+    hybrid_match_impl(source, target, config, oracle)
+}
+
+fn hybrid_match_impl(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    mut oracle: LabelOracle,
+) -> MatchOutcome {
+    let mut matrix = SimMatrix::zeros(source.len(), target.len());
+    let weights = config.weights;
+    for &s in &postorder(source) {
+        let sn = source.node(s);
+        for &t in &postorder(target) {
+            let tn = target.node(t);
+            let label = oracle.compare(s, t).score;
+            let props = compare_properties(&sn.properties, &tn.properties).score;
+            let qom = if sn.is_leaf() && tn.is_leaf() {
+                // Equation 2: leaves are exact by default on C and H.
+                weights.leaf_qom(label, props)
+            } else {
+                let (qom_sum, matched) = best_child_matches(&matrix, sn, tn, config);
+                let qomc = if sn.is_leaf() != tn.is_leaf() {
+                    // Leaf against subtree: no coverage (footnote 1 allows
+                    // comparing them; the children axis simply contributes 0).
+                    0.0
+                } else {
+                    children_qom(qom_sum, matched, sn.children.len())
+                };
+                let qomh = if sn.level == tn.level { 1.0 } else { 0.0 };
+                weights.qom(label, props, qomh, qomc)
+            };
+            matrix.set(s, t, qom);
+        }
+    }
+    let total_qom = matrix.get(source.root_id(), target.root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// For each source child, the best QoM among the target children; children
+/// clear the Figure 3 threshold or contribute nothing. Returns the kept sum
+/// and the matched count (`|Ncs|`).
+fn best_child_matches(
+    matrix: &SimMatrix,
+    sn: &qmatch_xsd::SchemaNode,
+    tn: &qmatch_xsd::SchemaNode,
+    config: &MatchConfig,
+) -> (f64, usize) {
+    let mut qom_sum = 0.0;
+    let mut matched = 0usize;
+    for &cs in &sn.children {
+        let best = tn
+            .children
+            .iter()
+            .map(|&ct| matrix.get(cs, ct))
+            .fold(0.0f64, f64::max);
+        if best >= config.threshold {
+            qom_sum += best;
+            matched += 1;
+        }
+    }
+    (qom_sum, matched)
+}
+
+/// Classifies the match between the two roots on the paper's qualitative
+/// taxonomy (§2.2), using the same per-axis evidence the quantitative run
+/// uses.
+pub fn hybrid_root_category(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchCategory {
+    let outcome = hybrid_match(source, target, config);
+    let mut oracle = LabelOracle::new(source, target, config.lexicon);
+    let (s, t) = (source.root_id(), target.root_id());
+    let (sn, tn) = (source.node(s), target.node(t));
+
+    let label = match oracle.compare(s, t).grade {
+        LabelGrade::Exact => AxisGrade::Exact,
+        LabelGrade::Relaxed => AxisGrade::Relaxed,
+        LabelGrade::None => AxisGrade::None,
+    };
+    let props = compare_properties(&sn.properties, &tn.properties).grade;
+    let level = if sn.level == tn.level {
+        AxisGrade::Exact
+    } else {
+        AxisGrade::Relaxed
+    };
+
+    // §2.2 matches a child subtree "with all sub-trees in the [target]
+    // schema" (PurchaseInfo finds its counterpart in the Purchase Order
+    // *root*), so qualitative coverage considers every target node, not
+    // only the root's children as the quantitative recursion does.
+    let mut matched = 0usize;
+    let mut any_relaxed = false;
+    for &cs in &sn.children {
+        let best = target
+            .iter()
+            .map(|(t_id, _)| outcome.matrix.get(cs, t_id))
+            .fold(0.0f64, f64::max);
+        if best >= config.threshold {
+            matched += 1;
+            if best < 0.999 {
+                any_relaxed = true;
+            }
+        }
+    }
+    let coverage = CoverageGrade::classify(sn.children.len(), matched, any_relaxed);
+    MatchCategory::combine(label, props, level, coverage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Weights;
+    use qmatch_xsd::{parse_schema, SchemaTree};
+
+    fn library() -> SchemaTree {
+        SchemaTree::from_labels(
+            "Library",
+            &[
+                ("Library", None),
+                ("Title", Some(0)),
+                ("Book", Some(0)),
+                ("number", Some(2)),
+                ("character", Some(2)),
+                ("Writer", Some(2)),
+            ],
+        )
+    }
+
+    fn human() -> SchemaTree {
+        SchemaTree::from_labels(
+            "human",
+            &[
+                ("human", None),
+                ("head", Some(0)),
+                ("body", Some(0)),
+                ("hands", Some(2)),
+                ("man", Some(2)),
+                ("legs", Some(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn self_match_is_total_exact_scoring_one() {
+        let t = library();
+        let out = hybrid_match(&t, &t, &MatchConfig::default());
+        assert!((out.total_qom - 1.0).abs() < 1e-9, "{}", out.total_qom);
+        assert_eq!(
+            hybrid_root_category(&t, &t, &MatchConfig::default()),
+            MatchCategory::TotalExact
+        );
+        out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn figure9_hybrid_sits_between_the_two_extremes() {
+        use crate::algorithms::{linguistic_match, structural_match};
+        let (lib, hum) = (library(), human());
+        let config = MatchConfig::default();
+        let l = linguistic_match(&lib, &hum, &config).total_qom;
+        let s = structural_match(&lib, &hum, &config).total_qom;
+        let h = hybrid_match(&lib, &hum, &config).total_qom;
+        assert!(l < 0.4, "linguistic low: {l}");
+        assert!(s > 0.9, "structural high: {s}");
+        assert!(h > l && h < s, "hybrid {h} must sit between {l} and {s}");
+        // §5.1: the hybrid gravitates toward the higher individual value.
+        assert!(
+            h > (l + s) / 2.0 - 0.15,
+            "hybrid {h} should not collapse to the low end"
+        );
+    }
+
+    #[test]
+    fn leaf_pairs_use_equation_two() {
+        let a = SchemaTree::from_labels("x", &[("x", None), ("OrderNo", Some(0))]);
+        let b = SchemaTree::from_labels("y", &[("y", None), ("OrderNo", Some(0))]);
+        let out = hybrid_match(&a, &b, &MatchConfig::default());
+        let sa = a.find_by_label("OrderNo").unwrap();
+        let tb = b.find_by_label("OrderNo").unwrap();
+        // Identical leaf (label 1.0, props 1.0): Eq. 2 gives exactly 1.0.
+        assert!((out.matrix.get(sa, tb) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_gates_children_contributions() {
+        let a = SchemaTree::from_labels("r", &[("r", None), ("alpha", Some(0))]);
+        let b = SchemaTree::from_labels("r", &[("r", None), ("omega", Some(0))]);
+        let strict = MatchConfig {
+            threshold: 0.99,
+            ..MatchConfig::default()
+        };
+        let lax = MatchConfig {
+            threshold: 0.0,
+            ..MatchConfig::default()
+        };
+        let out_strict = hybrid_match(&a, &b, &strict);
+        let out_lax = hybrid_match(&a, &b, &lax);
+        assert!(out_lax.total_qom > out_strict.total_qom);
+    }
+
+    #[test]
+    fn weights_shift_the_balance() {
+        let (lib, hum) = (library(), human());
+        // All weight on the label axis: disparate labels sink the score.
+        let label_heavy = MatchConfig::with_weights(Weights::new(1.0, 0.0, 0.0, 0.0).unwrap());
+        // All weight on the children axis: identical structure lifts it.
+        let children_heavy = MatchConfig::with_weights(Weights::new(0.0, 0.0, 0.0, 1.0).unwrap());
+        let low = hybrid_match(&lib, &hum, &label_heavy).total_qom;
+        let high = hybrid_match(&lib, &hum, &children_heavy).total_qom;
+        assert!(low < 0.3, "{low}");
+        assert!(high > 0.6, "{high}");
+    }
+
+    #[test]
+    fn paper_po_worked_example_produces_relaxed_match() {
+        // A miniature of Figures 1/2: the roots match total relaxed (§2.2).
+        let po = SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("Lines", Some(0)),
+                ("Item", Some(2)),
+                ("Quantity", Some(2)),
+                ("UnitOfMeasure", Some(2)),
+            ],
+        );
+        let purchase_order = SchemaTree::from_labels(
+            "PurchaseOrder",
+            &[
+                ("PurchaseOrder", None),
+                ("OrderNo", Some(0)),
+                ("Items", Some(0)),
+                ("Item#", Some(2)),
+                ("Qty", Some(2)),
+                ("UOM", Some(2)),
+            ],
+        );
+        let config = MatchConfig::default();
+        let out = hybrid_match(&po, &purchase_order, &config);
+        assert!(
+            out.total_qom > 0.6,
+            "closely related schemas: {}",
+            out.total_qom
+        );
+        assert!(out.total_qom < 1.0, "but not exact: {}", out.total_qom);
+        let cat = hybrid_root_category(&po, &purchase_order, &config);
+        assert_eq!(cat, MatchCategory::TotalRelaxed);
+    }
+
+    #[test]
+    fn leaf_vs_subtree_gets_no_children_credit() {
+        let leaf = SchemaTree::from_labels("r", &[("r", None), ("x", Some(0))]);
+        let deep = SchemaTree::from_labels("r", &[("r", None), ("x", Some(0)), ("y", Some(1))]);
+        let out = hybrid_match(&leaf, &deep, &MatchConfig::default());
+        let s_x = leaf.find_by_label("x").unwrap();
+        let t_x = deep.find_by_label("x").unwrap();
+        // Label exact + level exact + whatever the property axis yields
+        // (the leaf is a string, the subtree complex), children axis 0.
+        let props =
+            compare_properties(&leaf.node(s_x).properties, &deep.node(t_x).properties).score;
+        let expected = 0.3 + 0.2 * props + 0.1;
+        assert!((out.matrix.get(s_x, t_x) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_on_compiled_xsd_schemas() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="PO"><xs:complexType><xs:sequence>
+            <xs:element name="OrderNo" type="xs:integer"/>
+            <xs:element name="PurchaseDate" type="xs:date"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let tgt = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="PurchaseOrder"><xs:complexType><xs:sequence>
+            <xs:element name="OrderNo" type="xs:integer"/>
+            <xs:element name="Date" type="xs:date"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let s = SchemaTree::compile(&parse_schema(src).unwrap()).unwrap();
+        let t = SchemaTree::compile(&parse_schema(tgt).unwrap()).unwrap();
+        let out = hybrid_match(&s, &t, &MatchConfig::default());
+        assert!(out.total_qom > 0.75, "{}", out.total_qom);
+        let s_date = s.find_by_label("PurchaseDate").unwrap();
+        let t_date = t.find_by_label("Date").unwrap();
+        assert!(out.matrix.get(s_date, t_date) > 0.6, "relaxed leaf pair");
+    }
+
+    #[test]
+    fn asymmetric_directions_can_differ_on_partial_coverage() {
+        // Source ⊂ target: all source children covered; reverse is partial.
+        let small = SchemaTree::from_labels("r", &[("r", None), ("a", Some(0))]);
+        let big = SchemaTree::from_labels(
+            "r",
+            &[("r", None), ("a", Some(0)), ("b", Some(0)), ("c", Some(0))],
+        );
+        let config = MatchConfig::default();
+        let fwd = hybrid_match(&small, &big, &config).total_qom;
+        let rev = hybrid_match(&big, &small, &config).total_qom;
+        assert!(fwd > rev, "total coverage {fwd} must beat partial {rev}");
+    }
+}

@@ -1,0 +1,163 @@
+//! The standalone linguistic matcher (CUPID-style name matching).
+//!
+//! Every source/target node pair is scored purely on its labels via the
+//! lexicon ([`qmatch_lexicon::NameMatcher`]); structure is ignored entirely.
+//! This is one of the two baselines the paper compares QMatch against, and
+//! also the component QMatch uses internally for its label axis.
+
+use super::{LabelOracle, MatchOutcome};
+use crate::matrix::SimMatrix;
+use crate::model::MatchConfig;
+use qmatch_xsd::SchemaTree;
+
+/// Runs the linguistic matcher. The outcome's `total_qom` is the mean best
+/// label similarity per source node (a flat matcher has no root recursion to
+/// summarize with).
+pub fn linguistic_match(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    let oracle = LabelOracle::new(source, target, config.lexicon);
+    linguistic_match_impl(source, target, oracle)
+}
+
+/// Like [`linguistic_match`], but with a caller-supplied
+/// [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g. one whose thesaurus was extended for the schemas' domain).
+pub fn linguistic_match_with(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    matcher: &qmatch_lexicon::NameMatcher,
+) -> MatchOutcome {
+    let oracle = LabelOracle::with_matcher(source, target, config.lexicon, matcher.clone());
+    linguistic_match_impl(source, target, oracle)
+}
+
+fn linguistic_match_impl(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    mut oracle: LabelOracle,
+) -> MatchOutcome {
+    let mut matrix = SimMatrix::zeros(source.len(), target.len());
+    for (s, _) in source.iter() {
+        for (t, _) in target.iter() {
+            matrix.set(s, t, oracle.compare(s, t).score);
+        }
+    }
+    let total_qom = matrix.mean_best_per_source();
+    MatchOutcome { matrix, total_qom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::SchemaTree;
+
+    fn po_like() -> (SchemaTree, SchemaTree) {
+        let s = SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("Quantity", Some(0)),
+                ("UnitOfMeasure", Some(0)),
+            ],
+        );
+        let t = SchemaTree::from_labels(
+            "PurchaseOrder",
+            &[
+                ("PurchaseOrder", None),
+                ("OrderNo", Some(0)),
+                ("Qty", Some(0)),
+                ("UOM", Some(0)),
+            ],
+        );
+        (s, t)
+    }
+
+    #[test]
+    fn identical_labels_score_one() {
+        let (s, t) = po_like();
+        let out = linguistic_match(&s, &t, &MatchConfig::default());
+        let s_orderno = s.find_by_label("OrderNo").unwrap();
+        let t_orderno = t.find_by_label("OrderNo").unwrap();
+        assert!((out.matrix.get(s_orderno, t_orderno) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_relaxed_pairs_score_high_but_below_exact() {
+        let (s, t) = po_like();
+        let out = linguistic_match(&s, &t, &MatchConfig::default());
+        let qty = out.matrix.get(
+            s.find_by_label("Quantity").unwrap(),
+            t.find_by_label("Qty").unwrap(),
+        );
+        let uom = out.matrix.get(
+            s.find_by_label("UnitOfMeasure").unwrap(),
+            t.find_by_label("UOM").unwrap(),
+        );
+        assert!(qty > 0.7 && qty < 1.0, "Quantity/Qty = {qty}");
+        assert!(uom > 0.7 && uom < 1.0, "UnitOfMeasure/UOM = {uom}");
+    }
+
+    #[test]
+    fn total_is_mean_best_per_source() {
+        let (s, t) = po_like();
+        let out = linguistic_match(&s, &t, &MatchConfig::default());
+        assert!((out.total_qom - out.matrix.mean_best_per_source()).abs() < 1e-12);
+        assert!(
+            out.total_qom > 0.7,
+            "PO schemas are linguistically close: {}",
+            out.total_qom
+        );
+    }
+
+    #[test]
+    fn disparate_schemas_score_low() {
+        let library = SchemaTree::from_labels(
+            "Library",
+            &[
+                ("Library", None),
+                ("Title", Some(0)),
+                ("Book", Some(0)),
+                ("number", Some(2)),
+                ("character", Some(2)),
+                ("Writer", Some(2)),
+            ],
+        );
+        let human = SchemaTree::from_labels(
+            "human",
+            &[
+                ("human", None),
+                ("head", Some(0)),
+                ("body", Some(0)),
+                ("hands", Some(2)),
+                ("man", Some(2)),
+                ("legs", Some(2)),
+            ],
+        );
+        let out = linguistic_match(&library, &human, &MatchConfig::default());
+        assert!(
+            out.total_qom < 0.4,
+            "Fig. 9's linguistic score must be low: {}",
+            out.total_qom
+        );
+    }
+
+    #[test]
+    fn self_match_totals_one() {
+        let (s, _) = po_like();
+        let out = linguistic_match(&s, &s, &MatchConfig::default());
+        assert!((out.total_qom - 1.0).abs() < 1e-9);
+        out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn matrix_dimensions_match_trees() {
+        let (s, t) = po_like();
+        let out = linguistic_match(&s, &t, &MatchConfig::default());
+        assert_eq!(out.matrix.rows(), s.len());
+        assert_eq!(out.matrix.cols(), t.len());
+    }
+}

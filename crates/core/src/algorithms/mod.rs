@@ -1,0 +1,260 @@
+//! The match algorithms: linguistic, structural, hybrid (QMatch, Figure 3),
+//! and a tree-edit-distance baseline.
+//!
+//! All algorithms share the same signature — two [`SchemaTree`]s and a
+//! [`crate::model::MatchConfig`] — and return a [`MatchOutcome`] holding the full node-pair
+//! similarity matrix plus the whole-schema QoM, so mapping extraction and
+//! evaluation treat them uniformly.
+
+mod composite;
+mod hybrid;
+mod linguistic;
+mod structural;
+mod tree_edit;
+
+pub use composite::{composite_match, Aggregation, Component, CompositeError};
+pub use hybrid::{hybrid_match, hybrid_match_with, hybrid_root_category};
+pub use linguistic::{linguistic_match, linguistic_match_with};
+pub use structural::structural_match;
+pub use tree_edit::tree_edit_match;
+
+use crate::matrix::SimMatrix;
+use crate::model::LexiconMode;
+use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
+use qmatch_lexicon::thesaurus::Thesaurus;
+use qmatch_lexicon::tokenize::{tokenize, Token};
+use qmatch_xsd::{NodeId, SchemaTree};
+use std::collections::HashMap;
+
+/// The result of running a match algorithm.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// Similarity for every (source node, target node) pair.
+    pub matrix: SimMatrix,
+    /// The whole-schema match value. For the recursive algorithms this is
+    /// the QoM of the two roots (what Figure 3 "presents to the user"); for
+    /// the flat linguistic matcher it is the mean best label similarity per
+    /// source node.
+    pub total_qom: f64,
+}
+
+/// Label comparison oracle shared by the algorithms: interns each distinct
+/// label, tokenizes it once, and caches one [`NameMatch`] per distinct label
+/// pair. On the corpora this collapses the `n·m` node-pair label comparisons
+/// to the (much smaller) number of distinct label pairs.
+pub(crate) struct LabelOracle {
+    mode: LexiconMode,
+    matcher: NameMatcher,
+    source_ids: Vec<u32>,
+    target_ids: Vec<u32>,
+    source_tokens: Vec<Vec<Token>>,
+    target_tokens: Vec<Vec<Token>>,
+    source_labels: Vec<String>,
+    target_labels: Vec<String>,
+    cache: HashMap<(u32, u32), NameMatch>,
+}
+
+impl LabelOracle {
+    pub(crate) fn new(source: &SchemaTree, target: &SchemaTree, mode: LexiconMode) -> LabelOracle {
+        let matcher = match mode {
+            LexiconMode::Full => NameMatcher::with_default_thesaurus(),
+            LexiconMode::FuzzyOnly | LexiconMode::ExactOnly => NameMatcher::new(Thesaurus::new()),
+        };
+        Self::with_matcher(source, target, mode, matcher)
+    }
+
+    /// An oracle over a caller-supplied matcher (custom thesaurus).
+    pub(crate) fn with_matcher(
+        source: &SchemaTree,
+        target: &SchemaTree,
+        mode: LexiconMode,
+        matcher: NameMatcher,
+    ) -> LabelOracle {
+        let intern = |tree: &SchemaTree| {
+            let mut table: HashMap<String, u32> = HashMap::new();
+            let mut ids = Vec::with_capacity(tree.len());
+            let mut tokens: Vec<Vec<Token>> = Vec::new();
+            let mut labels: Vec<String> = Vec::new();
+            for (_, node) in tree.iter() {
+                let next = table.len() as u32;
+                let id = *table.entry(node.label.clone()).or_insert(next);
+                if id == next {
+                    tokens.push(tokenize(&node.label));
+                    labels.push(node.label.to_lowercase());
+                }
+                ids.push(id);
+            }
+            (ids, tokens, labels)
+        };
+        let (source_ids, source_tokens, source_labels) = intern(source);
+        let (target_ids, target_tokens, target_labels) = intern(target);
+        LabelOracle {
+            mode,
+            matcher,
+            source_ids,
+            target_ids,
+            source_tokens,
+            target_tokens,
+            source_labels,
+            target_labels,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Compares the labels of a source and a target node.
+    pub(crate) fn compare(&mut self, s: NodeId, t: NodeId) -> NameMatch {
+        let key = (self.source_ids[s.index()], self.target_ids[t.index()]);
+        if let Some(hit) = self.cache.get(&key) {
+            return *hit;
+        }
+        let result = match self.mode {
+            LexiconMode::ExactOnly => {
+                if self.source_labels[key.0 as usize] == self.target_labels[key.1 as usize] {
+                    NameMatch {
+                        grade: LabelGrade::Exact,
+                        score: 1.0,
+                    }
+                } else {
+                    NameMatch {
+                        grade: LabelGrade::None,
+                        score: 0.0,
+                    }
+                }
+            }
+            LexiconMode::Full | LexiconMode::FuzzyOnly => self.matcher.compare_tokens(
+                &self.source_tokens[key.0 as usize],
+                &self.target_tokens[key.1 as usize],
+            ),
+        };
+        self.cache.insert(key, result);
+        result
+    }
+}
+
+/// Post-order traversal of a tree's node ids (children before parents).
+pub(crate) fn postorder(tree: &SchemaTree) -> Vec<NodeId> {
+    // The arena is built pre-order, so reversing index order yields a valid
+    // bottom-up order (every child has a higher index than its parent).
+    (0..tree.len() as u32).rev().map(NodeId).collect()
+}
+
+/// Greedy 1:1 assignment over the cross product of two id slices: pairs are
+/// taken in descending score order, skipping already-used nodes. Returns the
+/// chosen pairs `(source_child_index, target_child_index, score)`.
+pub(crate) fn greedy_assignment(
+    scores: &[Vec<f64>], // scores[i][j] for source child i vs target child j
+) -> Vec<(usize, usize, f64)> {
+    let rows = scores.len();
+    let cols = scores.first().map_or(0, Vec::len);
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(rows * cols);
+    for (i, row) in scores.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v > 0.0 {
+                pairs.push((i, j, v));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut used_i = vec![false; rows];
+    let mut used_j = vec![false; cols];
+    let mut out = Vec::new();
+    for (i, j, v) in pairs {
+        if !used_i[i] && !used_j[j] {
+            used_i[i] = true;
+            used_j[j] = true;
+            out.push((i, j, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::SchemaTree;
+
+    fn tiny() -> SchemaTree {
+        SchemaTree::from_labels(
+            "r",
+            &[("r", None), ("a", Some(0)), ("b", Some(0)), ("c", Some(1))],
+        )
+    }
+
+    #[test]
+    fn postorder_puts_children_before_parents() {
+        let t = tiny();
+        let order = postorder(&t);
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        for (id, node) in t.iter() {
+            for &child in &node.children {
+                assert!(
+                    pos(child) < pos(id),
+                    "child {child:?} must precede parent {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_caches_by_label_not_node() {
+        let s = SchemaTree::from_labels("x", &[("x", None), ("dup", Some(0)), ("dup", Some(0))]);
+        let t = tiny();
+        let mut o = LabelOracle::new(&s, &t, LexiconMode::Full);
+        let m1 = o.compare(NodeId(1), NodeId(0));
+        let m2 = o.compare(NodeId(2), NodeId(0));
+        assert_eq!(m1, m2);
+        assert_eq!(o.cache.len(), 1, "both node pairs share one label pair");
+    }
+
+    #[test]
+    fn oracle_exact_only_mode_is_string_equality() {
+        let s = SchemaTree::from_labels("x", &[("Writer", None)]);
+        let t = SchemaTree::from_labels("y", &[("Author", None)]);
+        let mut full = LabelOracle::new(&s, &t, LexiconMode::Full);
+        assert_eq!(full.compare(NodeId(0), NodeId(0)).grade, LabelGrade::Exact);
+        let mut exact = LabelOracle::new(&s, &t, LexiconMode::ExactOnly);
+        assert_eq!(exact.compare(NodeId(0), NodeId(0)).grade, LabelGrade::None);
+        let s2 = SchemaTree::from_labels("x", &[("writer", None)]);
+        let t2 = SchemaTree::from_labels("y", &[("WRITER", None)]);
+        let mut exact2 = LabelOracle::new(&s2, &t2, LexiconMode::ExactOnly);
+        assert_eq!(
+            exact2.compare(NodeId(0), NodeId(0)).grade,
+            LabelGrade::Exact
+        );
+    }
+
+    #[test]
+    fn oracle_fuzzy_only_mode_loses_synonyms_keeps_fuzzy() {
+        let s = SchemaTree::from_labels("x", &[("Writer", None), ("Quantety", Some(0))]);
+        let t = SchemaTree::from_labels("y", &[("Author", None), ("Quantity", Some(0))]);
+        let mut fuzzy = LabelOracle::new(&s, &t, LexiconMode::FuzzyOnly);
+        assert_eq!(fuzzy.compare(NodeId(0), NodeId(0)).grade, LabelGrade::None);
+        assert_eq!(
+            fuzzy.compare(NodeId(1), NodeId(1)).grade,
+            LabelGrade::Relaxed
+        );
+    }
+
+    #[test]
+    fn greedy_assignment_takes_best_disjoint_pairs() {
+        let scores = vec![vec![0.9, 0.8], vec![0.85, 0.1]];
+        let picks = greedy_assignment(&scores);
+        // (0,0,0.9) first; then (1,0) blocked, (1,1,0.1) taken.
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0], (0, 0, 0.9));
+        assert_eq!(picks[1], (1, 1, 0.1));
+    }
+
+    #[test]
+    fn greedy_assignment_skips_zero_scores() {
+        let scores = vec![vec![0.0, 0.0], vec![0.0, 0.7]];
+        let picks = greedy_assignment(&scores);
+        assert_eq!(picks, vec![(1, 1, 0.7)]);
+    }
+
+    #[test]
+    fn greedy_assignment_empty_inputs() {
+        assert!(greedy_assignment(&[]).is_empty());
+        assert!(greedy_assignment(&[vec![], vec![]]).is_empty());
+    }
+}

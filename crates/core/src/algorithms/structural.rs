@@ -1,0 +1,268 @@
+//! The standalone structural matcher.
+//!
+//! Labels are ignored entirely; two nodes are similar when their *shapes*
+//! agree — children (recursively), arity, properties (type/occurrence), and
+//! nesting level. This is the paper's second baseline and the component that
+//! lets QMatch match the structurally-identical but linguistically-disparate
+//! schemas of Figures 7/8 (the Figure 9 experiment).
+//!
+//! The recursion mirrors CUPID's structural phase: similarity flows up from
+//! the leaves through a greedy best-pair alignment of child sets, computed
+//! bottom-up over all node pairs (the same memoized O(n·m) discipline as the
+//! hybrid).
+
+use super::{greedy_assignment, postorder, MatchOutcome};
+use crate::matrix::SimMatrix;
+use crate::model::MatchConfig;
+use crate::props::compare_properties;
+#[cfg(test)]
+use qmatch_xsd::NodeId;
+use qmatch_xsd::SchemaTree;
+
+/// Component weights of the structural similarity. Children dominate, as in
+/// the hybrid's weight model; the remainder splits between arity, the
+/// property shape, and the level.
+const W_CHILDREN: f64 = 0.45;
+const W_ARITY: f64 = 0.15;
+const W_PROPS: f64 = 0.25;
+const W_LEVEL: f64 = 0.15;
+
+/// Runs the structural matcher. `total_qom` is the similarity of the roots.
+pub fn structural_match(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    let mut matrix = SimMatrix::zeros(source.len(), target.len());
+    let s_order = postorder(source);
+    let t_order = postorder(target);
+    for &s in &s_order {
+        let sn = source.node(s);
+        for &t in &t_order {
+            let tn = target.node(t);
+            let sim = match (sn.is_leaf(), tn.is_leaf()) {
+                // CUPID-style leaf similarity: the data type dominates (it
+                // is the only structural evidence a leaf carries), with the
+                // remaining properties and the nesting level refining it.
+                (true, true) => {
+                    let type_score = crate::props::type_similarity(
+                        &sn.properties.data_type,
+                        &tn.properties.data_type,
+                    );
+                    let props_score = compare_properties(&sn.properties, &tn.properties).score;
+                    let level_score = if sn.level == tn.level { 1.0 } else { 0.0 };
+                    0.6 * type_score + 0.2 * props_score + 0.2 * level_score
+                }
+                // A leaf carries no internal structure to align with a
+                // subtree.
+                (true, false) | (false, true) => 0.0,
+                (false, false) => {
+                    let scores: Vec<Vec<f64>> = sn
+                        .children
+                        .iter()
+                        .map(|&cs| tn.children.iter().map(|&ct| matrix.get(cs, ct)).collect())
+                        .collect();
+                    let chosen = greedy_assignment(&scores);
+                    let kept: f64 = chosen
+                        .iter()
+                        .filter(|(_, _, v)| *v >= config.threshold)
+                        .map(|(_, _, v)| v)
+                        .sum();
+                    // Directional, like the paper's Rs (Eq. 4): the source's
+                    // children must be covered; extra target children are
+                    // not a penalty (the target schema may simply be richer).
+                    let children_score = kept / sn.children.len() as f64;
+                    let arity_score = arity_similarity(sn.children.len(), tn.children.len());
+                    let props_score = compare_properties(&sn.properties, &tn.properties).score;
+                    let level_score = if sn.level == tn.level { 1.0 } else { 0.0 };
+                    W_CHILDREN * children_score
+                        + W_ARITY * arity_score
+                        + W_PROPS * props_score
+                        + W_LEVEL * level_score
+                }
+            };
+            matrix.set(s, t, sim);
+        }
+    }
+    // Top-down context pass: a pair is only as believable as its parents.
+    // Without labels, two same-typed leaves at the same level and order are
+    // indistinguishable; blending in the (already contextualized) parent
+    // pair's similarity disambiguates them the way CUPID's structural phase
+    // propagates context. Arena ids are pre-order, so ascending iteration
+    // visits parents before children.
+    let mut contextual = SimMatrix::zeros(source.len(), target.len());
+    for (s, sn) in source.iter() {
+        for (t, tn) in target.iter() {
+            let raw = matrix.get(s, t);
+            let blended = match (sn.parent, tn.parent) {
+                (None, None) => raw,
+                (Some(ps), Some(pt)) => (1.0 - CONTEXT) * raw + CONTEXT * contextual.get(ps, pt),
+                // A root never matches a non-root's context.
+                _ => (1.0 - CONTEXT) * raw,
+            };
+            contextual.set(s, t, blended);
+        }
+    }
+    let matrix = contextual;
+    let total_qom = matrix.get(source.root_id(), target.root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// Weight of the parent-pair context in the top-down pass.
+const CONTEXT: f64 = 0.25;
+
+/// Directional arity fit: 1.0 when the target offers at least as many
+/// children as the source needs, shrinking as the target falls short.
+fn arity_similarity(source: usize, target: usize) -> f64 {
+    match (source, target) {
+        (0, 0) => 1.0,
+        (0, _) | (_, 0) => 0.0,
+        _ if target >= source => 1.0,
+        _ => target as f64 / source as f64,
+    }
+}
+
+/// Structural similarity of two specific nodes (exposed for diagnostics and
+/// tests): equivalent to running the matcher and reading one cell.
+#[cfg(test)]
+pub(crate) fn pair_similarity(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    s: NodeId,
+    t: NodeId,
+    config: &MatchConfig,
+) -> f64 {
+    structural_match(source, target, config).matrix.get(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::SchemaTree;
+
+    fn library() -> SchemaTree {
+        SchemaTree::from_labels(
+            "Library",
+            &[
+                ("Library", None),
+                ("Title", Some(0)),
+                ("Book", Some(0)),
+                ("number", Some(2)),
+                ("character", Some(2)),
+                ("Writer", Some(2)),
+            ],
+        )
+    }
+
+    fn human() -> SchemaTree {
+        SchemaTree::from_labels(
+            "human",
+            &[
+                ("human", None),
+                ("head", Some(0)),
+                ("body", Some(0)),
+                ("hands", Some(2)),
+                ("man", Some(2)),
+                ("legs", Some(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_shapes_score_one() {
+        // Figures 7/8: structurally identical, linguistically different.
+        let out = structural_match(&library(), &human(), &MatchConfig::default());
+        assert!(
+            (out.total_qom - 1.0).abs() < 1e-9,
+            "identical shapes must be structurally perfect: {}",
+            out.total_qom
+        );
+    }
+
+    #[test]
+    fn self_match_is_one_everywhere_on_diagonal_structure() {
+        let t = library();
+        let out = structural_match(&t, &t, &MatchConfig::default());
+        assert!((out.total_qom - 1.0).abs() < 1e-9);
+        out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn different_shapes_score_lower() {
+        let deep = SchemaTree::from_labels(
+            "a",
+            &[("a", None), ("b", Some(0)), ("c", Some(1)), ("d", Some(2))],
+        );
+        let wide = SchemaTree::from_labels(
+            "a",
+            &[("a", None), ("b", Some(0)), ("c", Some(0)), ("d", Some(0))],
+        );
+        let out = structural_match(&deep, &wide, &MatchConfig::default());
+        assert!(out.total_qom < 0.8, "chain vs star: {}", out.total_qom);
+    }
+
+    #[test]
+    fn leaf_vs_internal_gets_no_children_credit() {
+        let leafy = SchemaTree::from_labels("x", &[("x", None)]);
+        let nested = SchemaTree::from_labels("x", &[("x", None), ("y", Some(0))]);
+        let out = structural_match(&leafy, &nested, &MatchConfig::default());
+        // Children component 0, arity 0; props + level still match.
+        assert!(out.total_qom < 0.5, "{}", out.total_qom);
+    }
+
+    #[test]
+    fn arity_similarity_cases() {
+        assert_eq!(arity_similarity(0, 0), 1.0);
+        assert_eq!(arity_similarity(0, 3), 0.0);
+        assert_eq!(arity_similarity(3, 0), 0.0);
+        // Directional: a richer target fully covers the source's needs...
+        assert_eq!(arity_similarity(2, 4), 1.0);
+        // ...but a poorer target cannot.
+        assert_eq!(arity_similarity(4, 2), 0.5);
+        assert_eq!(arity_similarity(4, 4), 1.0);
+    }
+
+    #[test]
+    fn level_mismatch_costs_the_level_component() {
+        // Same subtree shape mounted at different depths.
+        let shallow = SchemaTree::from_labels("r", &[("r", None), ("x", Some(0))]);
+        let deep = SchemaTree::from_labels("r", &[("r", None), ("m", Some(0)), ("x", Some(1))]);
+        let out = structural_match(&shallow, &deep, &MatchConfig::default());
+        let s_x = shallow.find_by_label("x").unwrap();
+        let d_x = deep.find_by_label("x").unwrap();
+        let sim = out.matrix.get(s_x, d_x);
+        assert!(
+            sim < 1.0 && sim > 0.5,
+            "leaf pair at different levels: {sim}"
+        );
+    }
+
+    #[test]
+    fn pair_similarity_matches_matrix_cell() {
+        let (s, t) = (library(), human());
+        let config = MatchConfig::default();
+        let out = structural_match(&s, &t, &config);
+        let a = s.find_by_label("Book").unwrap();
+        let b = t.find_by_label("body").unwrap();
+        assert_eq!(out.matrix.get(a, b), pair_similarity(&s, &t, a, b, &config));
+    }
+
+    #[test]
+    fn labels_are_completely_ignored() {
+        let named = library();
+        let renamed = SchemaTree::from_labels(
+            "zzz",
+            &[
+                ("zzz", None),
+                ("q1", Some(0)),
+                ("q2", Some(0)),
+                ("q3", Some(2)),
+                ("q4", Some(2)),
+                ("q5", Some(2)),
+            ],
+        );
+        let a = structural_match(&named, &renamed, &MatchConfig::default());
+        let b = structural_match(&named, &named, &MatchConfig::default());
+        assert!((a.total_qom - b.total_qom).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,310 @@
+//! Match-quality evaluation (paper §5, "Algorithm Quality").
+//!
+//! Given the real matches `R` (manually determined) and the predicted
+//! matches `P`, with true positives `I = P ∩ R`, false positives
+//! `F = P \ I`, and missed matches `M = R \ I`:
+//!
+//! ```text
+//! Precision = |I| / |P|
+//! Recall    = |I| / |R|
+//! Overall   = 1 − (|F| + |M|) / |R|  =  Recall · (2 − 1/Precision)
+//! ```
+//!
+//! Overall can be negative when more than half the predictions are wrong —
+//! the paper keeps it that way (post-match repair effort exceeds doing the
+//! match by hand), and so do we.
+
+use crate::mapping::{path_of, Mapping};
+use qmatch_xsd::SchemaTree;
+use std::collections::HashSet;
+
+/// The manually determined real matches for a schema pair, stored as
+/// `(source label path, target label path)` pairs (stable across tree
+/// recompilation, unlike node ids).
+#[derive(Debug, Clone, Default)]
+pub struct GoldStandard {
+    pairs: HashSet<(String, String)>,
+}
+
+impl GoldStandard {
+    /// An empty gold standard.
+    pub fn new() -> GoldStandard {
+        GoldStandard::default()
+    }
+
+    /// Builds from `(source_path, target_path)` pairs.
+    pub fn from_pairs<I, A, B>(pairs: I) -> GoldStandard
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<String>,
+        B: Into<String>,
+    {
+        GoldStandard {
+            pairs: pairs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        }
+    }
+
+    /// Adds one real match.
+    pub fn add(&mut self, source_path: &str, target_path: &str) {
+        self.pairs
+            .insert((source_path.to_owned(), target_path.to_owned()));
+    }
+
+    /// Number of real matches (the paper's `|R|`).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no real match is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership check.
+    pub fn contains(&self, source_path: &str, target_path: &str) -> bool {
+        // Owned-key lookup kept simple; gold standards are tiny.
+        self.pairs
+            .contains(&(source_path.to_owned(), target_path.to_owned()))
+    }
+
+    /// Iterates the real pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, String)> {
+        self.pairs.iter()
+    }
+}
+
+/// Precision / Recall / Overall plus the raw counts they derive from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// `|I|` — correctly identified matches.
+    pub true_positives: usize,
+    /// `|F|` — predicted matches not in the real set.
+    pub false_positives: usize,
+    /// `|M|` — real matches the algorithm missed.
+    pub false_negatives: usize,
+    /// `|I| / |P|` (1.0 when nothing was predicted and nothing was real).
+    pub precision: f64,
+    /// `|I| / |R|`.
+    pub recall: f64,
+    /// `Recall · (2 − 1/Precision)`; may be negative.
+    pub overall: f64,
+}
+
+impl MatchQuality {
+    /// `|P|` — total predictions.
+    pub fn predicted(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// `|R|` — total real matches.
+    pub fn real(&self) -> usize {
+        self.true_positives + self.false_negatives
+    }
+
+    /// F1 — not used by the paper, provided for completeness.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Scores a predicted mapping against the gold standard.
+pub fn evaluate(
+    mapping: &Mapping,
+    source: &SchemaTree,
+    target: &SchemaTree,
+    gold: &GoldStandard,
+) -> MatchQuality {
+    let mut true_positives = 0usize;
+    let mut false_positives = 0usize;
+    for c in &mapping.pairs {
+        let key = (path_of(source, c.source), path_of(target, c.target));
+        if gold.pairs.contains(&key) {
+            true_positives += 1;
+        } else {
+            false_positives += 1;
+        }
+    }
+    let false_negatives = gold.len() - true_positives;
+    from_counts(true_positives, false_positives, false_negatives)
+}
+
+/// Builds the quality measures from raw counts.
+pub fn from_counts(
+    true_positives: usize,
+    false_positives: usize,
+    false_negatives: usize,
+) -> MatchQuality {
+    let predicted = true_positives + false_positives;
+    let real = true_positives + false_negatives;
+    let precision = if predicted == 0 {
+        if real == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        true_positives as f64 / predicted as f64
+    };
+    let recall = if real == 0 {
+        1.0
+    } else {
+        true_positives as f64 / real as f64
+    };
+    let overall = if real == 0 {
+        if predicted == 0 {
+            1.0
+        } else {
+            // All predictions are spurious repair work.
+            -(false_positives as f64)
+        }
+    } else {
+        1.0 - (false_positives + false_negatives) as f64 / real as f64
+    };
+    MatchQuality {
+        true_positives,
+        false_positives,
+        false_negatives,
+        precision,
+        recall,
+        overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::extract_mapping;
+    use crate::matrix::SimMatrix;
+    use qmatch_xsd::NodeId;
+
+    fn trees() -> (SchemaTree, SchemaTree) {
+        let s = SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("Qty", Some(0)),
+                ("Extra", Some(0)),
+            ],
+        );
+        let t = SchemaTree::from_labels(
+            "Order",
+            &[
+                ("Order", None),
+                ("OrderNo", Some(0)),
+                ("Quantity", Some(0)),
+                ("Other", Some(0)),
+            ],
+        );
+        (s, t)
+    }
+
+    fn mapping_from(cells: &[(u32, u32, f64)]) -> Mapping {
+        let mut m = SimMatrix::zeros(4, 4);
+        for &(i, j, v) in cells {
+            m.set(NodeId(i), NodeId(j), v);
+        }
+        extract_mapping(&m, 0.5)
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one_everywhere() {
+        let (s, t) = trees();
+        let gold = GoldStandard::from_pairs([
+            ("PO", "Order"),
+            ("PO/OrderNo", "Order/OrderNo"),
+            ("PO/Qty", "Order/Quantity"),
+        ]);
+        let mapping = mapping_from(&[(0, 0, 0.9), (1, 1, 0.9), (2, 2, 0.9)]);
+        let q = evaluate(&mapping, &s, &t, &gold);
+        assert_eq!(q.true_positives, 3);
+        assert_eq!(q.false_positives, 0);
+        assert_eq!(q.false_negatives, 0);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.overall, 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn paper_overall_identity_holds() {
+        // Overall = Recall·(2 − 1/Precision) must equal 1 − (|F|+|M|)/|R|.
+        for (tp, fp, fnn) in [(3, 1, 2), (5, 0, 5), (2, 2, 0), (1, 3, 4)] {
+            let q = from_counts(tp, fp, fnn);
+            let by_formula = q.recall * (2.0 - 1.0 / q.precision);
+            assert!(
+                (q.overall - by_formula).abs() < 1e-12,
+                "tp={tp} fp={fp} fn={fnn}: {} vs {by_formula}",
+                q.overall
+            );
+        }
+    }
+
+    #[test]
+    fn overall_goes_negative_when_half_the_predictions_are_junk() {
+        let q = from_counts(1, 4, 3);
+        assert!(q.overall < 0.0, "{}", q.overall);
+    }
+
+    #[test]
+    fn false_positive_and_negative_counting() {
+        let (s, t) = trees();
+        let gold = GoldStandard::from_pairs([
+            ("PO/OrderNo", "Order/OrderNo"),
+            ("PO/Qty", "Order/Quantity"),
+        ]);
+        // One right, one wrong (Extra->Other not in gold), one missed (Qty).
+        let mapping = mapping_from(&[(1, 1, 0.9), (3, 3, 0.8)]);
+        let q = evaluate(&mapping, &s, &t, &gold);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 1);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert!((q.overall - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        // Nothing predicted, nothing real: vacuously perfect.
+        let q = from_counts(0, 0, 0);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.overall, 1.0);
+        // Nothing predicted, some real.
+        let q2 = from_counts(0, 0, 5);
+        assert_eq!(q2.precision, 0.0);
+        assert_eq!(q2.recall, 0.0);
+        assert_eq!(q2.overall, 0.0);
+        assert_eq!(q2.f1(), 0.0);
+        // Some predicted, nothing real.
+        let q3 = from_counts(0, 3, 0);
+        assert!(q3.overall < 0.0);
+    }
+
+    #[test]
+    fn gold_standard_api() {
+        let mut g = GoldStandard::new();
+        assert!(g.is_empty());
+        g.add("a/b", "x/y");
+        g.add("a/b", "x/y"); // duplicate ignored
+        assert_eq!(g.len(), 1);
+        assert!(g.contains("a/b", "x/y"));
+        assert!(!g.contains("a/b", "x/z"));
+        assert_eq!(g.iter().count(), 1);
+    }
+
+    #[test]
+    fn accessors_reconstruct_set_sizes() {
+        let q = from_counts(4, 2, 3);
+        assert_eq!(q.predicted(), 6);
+        assert_eq!(q.real(), 7);
+    }
+}

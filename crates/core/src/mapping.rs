@@ -1,0 +1,403 @@
+//! Extraction of 1:1 correspondences from a similarity matrix.
+//!
+//! The evaluation (§5) compares the *set of matches* an algorithm returns
+//! against a manually determined real set. This module turns a
+//! [`SimMatrix`] into that set: pairs are taken greedily in descending score
+//! order, each node used at most once, stopping below the acceptance
+//! threshold.
+
+use crate::matrix::SimMatrix;
+use qmatch_xsd::{NodeId, SchemaTree};
+use std::fmt;
+
+/// One proposed correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correspondence {
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// The matrix score that produced the pair.
+    pub score: f64,
+}
+
+/// A set of 1:1 correspondences between two schema trees.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    /// Pairs in descending score order.
+    pub pairs: Vec<Correspondence>,
+}
+
+impl Mapping {
+    /// Number of proposed matches (the paper's `|P|`).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pair was proposed.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The target matched to `source`, if any.
+    pub fn target_of(&self, source: NodeId) -> Option<NodeId> {
+        self.pairs
+            .iter()
+            .find(|c| c.source == source)
+            .map(|c| c.target)
+    }
+
+    /// Renders the mapping with label paths for human inspection.
+    pub fn display<'m>(
+        &'m self,
+        source: &'m SchemaTree,
+        target: &'m SchemaTree,
+    ) -> MappingDisplay<'m> {
+        MappingDisplay {
+            mapping: self,
+            source,
+            target,
+        }
+    }
+
+    /// Converts node pairs to `(source_path, target_path)` label-path pairs
+    /// (the representation gold standards use).
+    pub fn to_path_pairs(&self, source: &SchemaTree, target: &SchemaTree) -> Vec<(String, String)> {
+        self.pairs
+            .iter()
+            .map(|c| (path_of(source, c.source), path_of(target, c.target)))
+            .collect()
+    }
+}
+
+/// The slash-joined label path of a node (e.g. `PO/Lines/Item`), the stable
+/// key used by gold standards.
+pub fn path_of(tree: &SchemaTree, id: NodeId) -> String {
+    tree.path_labels(id).join("/")
+}
+
+/// Extracts a 1:1 mapping: all cells at or above `threshold`, taken greedily
+/// by descending score with each source and target node used at most once.
+pub fn extract_mapping(matrix: &SimMatrix, threshold: f64) -> Mapping {
+    let mut cells: Vec<Correspondence> = matrix
+        .iter()
+        .filter(|&(_, _, score)| score >= threshold)
+        .map(|(source, target, score)| Correspondence {
+            source,
+            target,
+            score,
+        })
+        .collect();
+    cells.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.source.cmp(&b.source))
+            .then_with(|| a.target.cmp(&b.target))
+    });
+    let mut used_source = vec![false; matrix.rows()];
+    let mut used_target = vec![false; matrix.cols()];
+    let mut pairs = Vec::new();
+    for cell in cells {
+        if !used_source[cell.source.index()] && !used_target[cell.target.index()] {
+            used_source[cell.source.index()] = true;
+            used_target[cell.target.index()] = true;
+            pairs.push(cell);
+        }
+    }
+    Mapping { pairs }
+}
+
+/// COMA-style candidate selection strategies: how a similarity matrix is
+/// reduced to a proposed match set. [`extract_mapping`] is the `OneToOne`
+/// strategy; schema-matching UIs often prefer the more generous variants and
+/// let the user prune.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// Greedy stable 1:1 assignment (the default used in the experiments).
+    OneToOne {
+        /// Minimum accepted score.
+        threshold: f64,
+    },
+    /// The best target per source node (an n:1 mapping — several source
+    /// nodes may share a target).
+    BestPerSource {
+        /// Minimum accepted score.
+        threshold: f64,
+    },
+    /// Every target within `delta` of the source's best candidate — the
+    /// COMA `MaxDelta` strategy; produces an n:m candidate set.
+    MaxDelta {
+        /// Minimum accepted score.
+        threshold: f64,
+        /// Allowed gap below the row maximum.
+        delta: f64,
+    },
+}
+
+/// Reduces a matrix to a match set using the given strategy. Pairs are
+/// ordered by descending score (ties broken by ids, deterministically).
+pub fn select(matrix: &SimMatrix, selection: Selection) -> Mapping {
+    match selection {
+        Selection::OneToOne { threshold } => extract_mapping(matrix, threshold),
+        Selection::BestPerSource { threshold } => {
+            let mut pairs = Vec::new();
+            for r in 0..matrix.rows() {
+                let source = NodeId(r as u32);
+                if let Some((target, score)) = matrix.best_for_source(source) {
+                    if score >= threshold {
+                        pairs.push(Correspondence {
+                            source,
+                            target,
+                            score,
+                        });
+                    }
+                }
+            }
+            sort_pairs(&mut pairs);
+            Mapping { pairs }
+        }
+        Selection::MaxDelta { threshold, delta } => {
+            let mut pairs = Vec::new();
+            for r in 0..matrix.rows() {
+                let source = NodeId(r as u32);
+                let Some((_, best)) = matrix.best_for_source(source) else {
+                    continue;
+                };
+                if best < threshold {
+                    continue;
+                }
+                for c in 0..matrix.cols() {
+                    let target = NodeId(c as u32);
+                    let score = matrix.get(source, target);
+                    if score >= threshold && score + delta >= best {
+                        pairs.push(Correspondence {
+                            source,
+                            target,
+                            score,
+                        });
+                    }
+                }
+            }
+            sort_pairs(&mut pairs);
+            Mapping { pairs }
+        }
+    }
+}
+
+fn sort_pairs(pairs: &mut [Correspondence]) {
+    pairs.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.source.cmp(&b.source))
+            .then_with(|| a.target.cmp(&b.target))
+    });
+}
+
+/// Human-readable mapping rendering (one `source -> target (score)` line per
+/// pair).
+pub struct MappingDisplay<'m> {
+    mapping: &'m Mapping,
+    source: &'m SchemaTree,
+    target: &'m SchemaTree,
+}
+
+impl fmt::Display for MappingDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.mapping.pairs {
+            writeln!(
+                f,
+                "{} -> {}  ({:.3})",
+                path_of(self.source, c.source),
+                path_of(self.target, c.target),
+                c.score
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_3x3(values: [[f64; 3]; 3]) -> SimMatrix {
+        let mut m = SimMatrix::zeros(3, 3);
+        for (i, row) in values.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(NodeId(i as u32), NodeId(j as u32), v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn extracts_best_disjoint_pairs_above_threshold() {
+        let m = matrix_3x3([[0.9, 0.2, 0.0], [0.8, 0.7, 0.0], [0.0, 0.0, 0.4]]);
+        let mapping = extract_mapping(&m, 0.5);
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(mapping.pairs[0].source, NodeId(0));
+        assert_eq!(mapping.pairs[0].target, NodeId(0));
+        // Source 1 lost target 0 to source 0; falls back to target 1 at 0.7.
+        assert_eq!(mapping.target_of(NodeId(1)), Some(NodeId(1)));
+        // 0.4 is below the threshold.
+        assert_eq!(mapping.target_of(NodeId(2)), None);
+    }
+
+    #[test]
+    fn threshold_zero_matches_everything_possible() {
+        let m = matrix_3x3([[0.1, 0.0, 0.0], [0.0, 0.2, 0.0], [0.0, 0.0, 0.3]]);
+        let mapping = extract_mapping(&m, 0.0);
+        // With threshold 0 every cell qualifies; a full 1:1 assignment exists.
+        assert_eq!(mapping.len(), 3);
+    }
+
+    #[test]
+    fn one_to_one_constraint_holds() {
+        let m = matrix_3x3([[0.9, 0.9, 0.9], [0.9, 0.9, 0.9], [0.9, 0.9, 0.9]]);
+        let mapping = extract_mapping(&m, 0.5);
+        assert_eq!(mapping.len(), 3);
+        let mut sources: Vec<_> = mapping.pairs.iter().map(|c| c.source).collect();
+        let mut targets: Vec<_> = mapping.pairs.iter().map(|c| c.target).collect();
+        sources.dedup();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(sources.len(), 3);
+        assert_eq!(targets.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let m = matrix_3x3([[0.9, 0.9, 0.0], [0.9, 0.9, 0.0], [0.0, 0.0, 0.0]]);
+        let a = extract_mapping(&m, 0.5);
+        let b = extract_mapping(&m, 0.5);
+        assert_eq!(a.pairs, b.pairs);
+        // Lowest source id wins the tie for target 0.
+        assert_eq!(a.target_of(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(a.target_of(NodeId(1)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_mapping() {
+        let mapping = extract_mapping(&SimMatrix::zeros(0, 0), 0.5);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn path_pairs_and_display_use_label_paths() {
+        let s =
+            SchemaTree::from_labels("PO", &[("PO", None), ("Lines", Some(0)), ("Item", Some(1))]);
+        let t = SchemaTree::from_labels(
+            "Order",
+            &[("Order", None), ("Items", Some(0)), ("Item#", Some(1))],
+        );
+        let mut m = SimMatrix::zeros(3, 3);
+        m.set(NodeId(2), NodeId(2), 0.8);
+        let mapping = extract_mapping(&m, 0.5);
+        let pairs = mapping.to_path_pairs(&s, &t);
+        assert_eq!(
+            pairs,
+            vec![("PO/Lines/Item".to_owned(), "Order/Items/Item#".to_owned())]
+        );
+        let shown = mapping.display(&s, &t).to_string();
+        assert!(
+            shown.contains("PO/Lines/Item -> Order/Items/Item#"),
+            "{shown}"
+        );
+        assert!(shown.contains("0.800"));
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+
+    fn matrix() -> SimMatrix {
+        // rows: 2 sources; cols: 3 targets
+        let mut m = SimMatrix::zeros(2, 3);
+        m.set(NodeId(0), NodeId(0), 0.9);
+        m.set(NodeId(0), NodeId(1), 0.85);
+        m.set(NodeId(0), NodeId(2), 0.3);
+        m.set(NodeId(1), NodeId(0), 0.8);
+        m.set(NodeId(1), NodeId(1), 0.6);
+        m
+    }
+
+    #[test]
+    fn one_to_one_matches_extract_mapping() {
+        let m = matrix();
+        let a = select(&m, Selection::OneToOne { threshold: 0.5 });
+        let b = extract_mapping(&m, 0.5);
+        assert_eq!(a.pairs, b.pairs);
+        // Source 1 loses target 0 to source 0 and has no other candidate.
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.target_of(NodeId(1)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn best_per_source_allows_shared_targets() {
+        let m = matrix();
+        let mapping = select(&m, Selection::BestPerSource { threshold: 0.5 });
+        assert_eq!(mapping.len(), 2);
+        // Both sources pick target 0 — n:1 is allowed here.
+        assert_eq!(mapping.target_of(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(mapping.target_of(NodeId(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn max_delta_keeps_near_best_candidates() {
+        let m = matrix();
+        let mapping = select(
+            &m,
+            Selection::MaxDelta {
+                threshold: 0.5,
+                delta: 0.1,
+            },
+        );
+        // Source 0: best 0.9, delta keeps 0.85 too; 0.3 is out.
+        let source0: Vec<_> = mapping
+            .pairs
+            .iter()
+            .filter(|c| c.source == NodeId(0))
+            .collect();
+        assert_eq!(source0.len(), 2);
+        // Source 1: only 0.8 survives the threshold.
+        let source1: Vec<_> = mapping
+            .pairs
+            .iter()
+            .filter(|c| c.source == NodeId(1))
+            .collect();
+        assert_eq!(source1.len(), 1);
+    }
+
+    #[test]
+    fn thresholds_gate_every_strategy() {
+        let m = matrix();
+        for strategy in [
+            Selection::OneToOne { threshold: 0.95 },
+            Selection::BestPerSource { threshold: 0.95 },
+            Selection::MaxDelta {
+                threshold: 0.95,
+                delta: 0.5,
+            },
+        ] {
+            assert!(select(&m, strategy).is_empty(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_score() {
+        let m = matrix();
+        for strategy in [
+            Selection::BestPerSource { threshold: 0.0 },
+            Selection::MaxDelta {
+                threshold: 0.0,
+                delta: 1.0,
+            },
+        ] {
+            let mapping = select(&m, strategy);
+            for w in mapping.pairs.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+}

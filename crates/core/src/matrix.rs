@@ -1,0 +1,231 @@
+//! Dense node-pair similarity matrix.
+//!
+//! Every match algorithm emits a [`SimMatrix`] with one row per source node
+//! and one column per target node, values in `[0, 1]`. Mapping extraction
+//! and evaluation work uniformly on this representation.
+
+use qmatch_xsd::NodeId;
+
+/// A dense `rows × cols` matrix of similarity scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// A zero-filled matrix for `rows` source nodes and `cols` target nodes.
+    pub fn zeros(rows: usize, cols: usize) -> SimMatrix {
+        SimMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of source nodes (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of target nodes (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn idx(&self, source: NodeId, target: NodeId) -> usize {
+        let (r, c) = (source.index(), target.index());
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        r * self.cols + c
+    }
+
+    /// The score for a node pair.
+    #[inline]
+    pub fn get(&self, source: NodeId, target: NodeId) -> f64 {
+        self.data[self.idx(source, target)]
+    }
+
+    /// Sets the score for a node pair.
+    #[inline]
+    pub fn set(&mut self, source: NodeId, target: NodeId, value: f64) {
+        let i = self.idx(source, target);
+        self.data[i] = value;
+    }
+
+    /// The best-scoring target for a source row, with its score. `None` for
+    /// an empty matrix.
+    pub fn best_for_source(&self, source: NodeId) -> Option<(NodeId, f64)> {
+        let r = source.index();
+        let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        let (best_col, best) = row
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        Some((NodeId(best_col as u32), best))
+    }
+
+    /// Mean over rows of the best score in each row — a whole-matrix summary
+    /// used by the flat (non-recursive) matchers.
+    pub fn mean_best_per_source(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let total: f64 = (0..self.rows)
+            .map(|r| {
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .copied()
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        total / self.rows as f64
+    }
+
+    /// Iterates `(source, target, score)` over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (0..self.cols).map(move |c| {
+                (
+                    NodeId(r as u32),
+                    NodeId(c as u32),
+                    self.data[r * self.cols + c],
+                )
+            })
+        })
+    }
+
+    /// Renders the matrix as CSV with label-path headers (for spreadsheet
+    /// inspection or downstream analysis). Paths containing commas or quotes
+    /// are quoted per RFC 4180.
+    pub fn to_csv(
+        &self,
+        source: &qmatch_xsd::SchemaTree,
+        target: &qmatch_xsd::SchemaTree,
+    ) -> String {
+        assert_eq!(self.rows, source.len(), "matrix rows must match source");
+        assert_eq!(self.cols, target.len(), "matrix cols must match target");
+        let quote = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str("source\\target");
+        for (tid, _) in target.iter() {
+            out.push(',');
+            out.push_str(&quote(&target.path_labels(tid).join("/")));
+        }
+        out.push('\n');
+        for (sid, _) in source.iter() {
+            out.push_str(&quote(&source.path_labels(sid).join("/")));
+            for (tid, _) in target.iter() {
+                out.push(',');
+                out.push_str(&format!("{:.4}", self.get(sid, tid)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Asserts every value lies in `[0, 1]` (debug tool for tests).
+    pub fn assert_normalized(&self) {
+        for (i, &v) in self.data.iter().enumerate() {
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&v),
+                "cell {i} = {v} is outside [0,1]"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut m = SimMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(NodeId(1), NodeId(2)), 0.0);
+        m.set(NodeId(1), NodeId(2), 0.75);
+        assert_eq!(m.get(NodeId(1), NodeId(2)), 0.75);
+        assert_eq!(m.get(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn best_for_source_picks_max() {
+        let mut m = SimMatrix::zeros(1, 4);
+        m.set(NodeId(0), NodeId(1), 0.4);
+        m.set(NodeId(0), NodeId(3), 0.9);
+        assert_eq!(m.best_for_source(NodeId(0)), Some((NodeId(3), 0.9)));
+    }
+
+    #[test]
+    fn best_for_source_on_empty_cols() {
+        let m = SimMatrix::zeros(1, 0);
+        assert_eq!(m.best_for_source(NodeId(0)), None);
+    }
+
+    #[test]
+    fn mean_best_per_source() {
+        let mut m = SimMatrix::zeros(2, 2);
+        m.set(NodeId(0), NodeId(0), 1.0);
+        m.set(NodeId(1), NodeId(0), 0.2);
+        m.set(NodeId(1), NodeId(1), 0.6);
+        assert!((m.mean_best_per_source() - 0.8).abs() < 1e-12);
+        assert_eq!(SimMatrix::zeros(0, 5).mean_best_per_source(), 0.0);
+    }
+
+    #[test]
+    fn iter_visits_all_cells() {
+        let mut m = SimMatrix::zeros(2, 2);
+        m.set(NodeId(0), NodeId(1), 0.5);
+        let cells: Vec<_> = m.iter().collect();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.contains(&(NodeId(0), NodeId(1), 0.5)));
+    }
+
+    #[test]
+    fn csv_export_has_headers_and_values() {
+        use qmatch_xsd::SchemaTree;
+        let s = SchemaTree::from_labels("a", &[("a", None), ("x,odd", Some(0))]);
+        let t = SchemaTree::from_labels("b", &[("b", None), ("y", Some(0))]);
+        let mut m = SimMatrix::zeros(2, 2);
+        m.set(NodeId(1), NodeId(1), 0.75);
+        let csv = m.to_csv(&s, &t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("source\\target,b,b/y"), "{csv}");
+        assert!(
+            lines[2].starts_with("\"a/x,odd\","),
+            "comma paths are quoted: {csv}"
+        );
+        assert!(lines[2].ends_with("0.7500"), "{csv}");
+    }
+
+    #[test]
+    fn assert_normalized_accepts_unit_range() {
+        let mut m = SimMatrix::zeros(1, 2);
+        m.set(NodeId(0), NodeId(0), 1.0);
+        m.assert_normalized();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn assert_normalized_rejects_out_of_range() {
+        let mut m = SimMatrix::zeros(1, 1);
+        m.set(NodeId(0), NodeId(0), 1.5);
+        m.assert_normalized();
+    }
+}

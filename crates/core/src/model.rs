@@ -1,0 +1,287 @@
+//! The quantitative match model (paper §3) and algorithm configuration.
+//!
+//! The central quantity is the node QoM (Equations 1/6):
+//!
+//! ```text
+//! QoM(n1,n2) = WL·QoML + WP·QoMP + WH·QoMH + WC·QoMC
+//! ```
+//!
+//! with the children axis computed from the subtree weight `Rw` (Eq. 3) and
+//! the cardinality ratio `Rs` (Eq. 4) as `QoMC = (Rw + Rs)/2` (Eq. 5), and
+//! leaves using Eq. 2 with constant `C = WH + WC` (leaves match exactly by
+//! default on the children and level axes, so a perfect leaf scores 1.0).
+
+/// The per-axis weights of Equation 1. They must sum to 1 so that a total
+/// exact match always scores exactly 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Label-axis weight `WL`.
+    pub label: f64,
+    /// Properties-axis weight `WP`.
+    pub properties: f64,
+    /// Level-axis weight `WH`.
+    pub level: f64,
+    /// Children-axis weight `WC`.
+    pub children: f64,
+}
+
+impl Weights {
+    /// The paper's chosen weights (Table 2): `WL=0.3, WP=0.2, WH=0.1,
+    /// WC=0.4`.
+    pub const PAPER: Weights = Weights {
+        label: 0.3,
+        properties: 0.2,
+        level: 0.1,
+        children: 0.4,
+    };
+
+    /// Creates a weight vector, checking the unit-sum invariant.
+    pub fn new(
+        label: f64,
+        properties: f64,
+        level: f64,
+        children: f64,
+    ) -> Result<Weights, WeightError> {
+        let w = Weights {
+            label,
+            properties,
+            level,
+            children,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Checks non-negativity and unit sum (within 1e-9).
+    pub fn validate(&self) -> Result<(), WeightError> {
+        let parts = [self.label, self.properties, self.level, self.children];
+        if parts.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+            return Err(WeightError::Negative);
+        }
+        let sum: f64 = parts.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(WeightError::NotUnitSum { sum });
+        }
+        Ok(())
+    }
+
+    /// The leaf constant `C` of Equation 2: leaves match exactly by default
+    /// on the children and level axes.
+    pub fn leaf_constant(&self) -> f64 {
+        self.level + self.children
+    }
+
+    /// Node QoM, Equation 1/6.
+    pub fn qom(&self, label: f64, properties: f64, level: f64, children: f64) -> f64 {
+        self.label * label
+            + self.properties * properties
+            + self.level * level
+            + self.children * children
+    }
+
+    /// Leaf QoM, Equation 2: `WL·QoML + WP·QoMP + C`.
+    pub fn leaf_qom(&self, label: f64, properties: f64) -> f64 {
+        self.label * label + self.properties * properties + self.leaf_constant()
+    }
+
+    /// The acceptance threshold for extracting correspondences from hybrid
+    /// QoM scores under these weights.
+    ///
+    /// Equation 2 gives *every* leaf pair the constant `C = WH + WC` for
+    /// free, and an unrelated-but-typed leaf pair typically adds `≈0.7·WP`
+    /// on the properties axis. Accepting a pair therefore requires it to
+    /// clear that structural floor with real label evidence: the cut is
+    /// placed at `C + 0.8·WP + 0.4·WL`, i.e. a pair must earn at least a
+    /// moderate label match (0.4) on top of near-exact properties. For the
+    /// paper's Table 2 weights this evaluates to 0.78.
+    pub fn acceptance_threshold(&self) -> f64 {
+        self.leaf_constant() + 0.8 * self.properties + 0.4 * self.label
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::PAPER
+    }
+}
+
+/// Why a weight vector was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightError {
+    /// A component was negative or non-finite.
+    Negative,
+    /// The components do not sum to 1.
+    NotUnitSum {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Negative => f.write_str("weights must be finite and non-negative"),
+            WeightError::NotUnitSum { sum } => {
+                write!(f, "weights must sum to 1 (got {sum})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// The children-axis score of Equation 5 from the subtree weight (Eq. 3)
+/// and the cardinality ratio (Eq. 4).
+///
+/// `qom_sum` is the sum of the QoMs of the source children that found a
+/// partner above the threshold, `matched` is how many did, and
+/// `source_children` is `|Ns|`. A node with no children scores exact (1.0)
+/// by the leaf-default convention.
+pub fn children_qom(qom_sum: f64, matched: usize, source_children: usize) -> f64 {
+    if source_children == 0 {
+        return 1.0;
+    }
+    let n = source_children as f64;
+    let rw = qom_sum / n; // Eq. 3
+    let rs = matched as f64 / n; // Eq. 4
+    (rw + rs) / 2.0 // Eq. 5
+}
+
+/// Which linguistic resources the matchers may use (for the linguistic
+/// ablation experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LexiconMode {
+    /// Thesaurus plus fuzzy string metrics (the paper's configuration).
+    #[default]
+    Full,
+    /// Fuzzy string metrics only (empty thesaurus).
+    FuzzyOnly,
+    /// Exact (case-normalized) string equality only.
+    ExactOnly,
+}
+
+/// Configuration shared by all match algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchConfig {
+    /// The axis weights (Eq. 1); defaults to the paper's Table 2 values.
+    pub weights: Weights,
+    /// The child-match threshold of Figure 3: a child pair contributes to
+    /// `Rw`/`Rs` only when its QoM reaches this value.
+    pub threshold: f64,
+    /// Linguistic resources to use.
+    pub lexicon: LexiconMode,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            weights: Weights::PAPER,
+            threshold: 0.5,
+            lexicon: LexiconMode::Full,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// A config with custom weights, keeping the other defaults.
+    pub fn with_weights(weights: Weights) -> MatchConfig {
+        MatchConfig {
+            weights,
+            ..MatchConfig::default()
+        }
+    }
+
+    /// A config with a custom child-match threshold.
+    pub fn with_threshold(threshold: f64) -> MatchConfig {
+        MatchConfig {
+            threshold,
+            ..MatchConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights_are_valid_and_default() {
+        assert!(Weights::PAPER.validate().is_ok());
+        assert_eq!(Weights::default(), Weights::PAPER);
+        assert!((Weights::PAPER.leaf_constant() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_must_sum_to_one() {
+        assert!(Weights::new(0.25, 0.25, 0.25, 0.25).is_ok());
+        assert!(matches!(
+            Weights::new(0.3, 0.3, 0.3, 0.3),
+            Err(WeightError::NotUnitSum { .. })
+        ));
+        assert!(matches!(
+            Weights::new(-0.1, 0.5, 0.3, 0.3),
+            Err(WeightError::Negative)
+        ));
+        assert!(matches!(
+            Weights::new(f64::NAN, 0.5, 0.3, 0.2),
+            Err(WeightError::Negative)
+        ));
+    }
+
+    #[test]
+    fn total_exact_match_scores_one() {
+        // §3: "The highest match classification, total exact, will always
+        // result in QoM = 1."
+        let w = Weights::PAPER;
+        assert!((w.qom(1.0, 1.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((w.leaf_qom(1.0, 1.0) - 1.0).abs() < 1e-12);
+        let w2 = Weights::new(0.4, 0.1, 0.2, 0.3).unwrap();
+        assert!((w2.qom(1.0, 1.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((w2.leaf_qom(1.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_equation_matches_node_equation_with_default_axes() {
+        // Eq. 2 is Eq. 1 with QoMH = QoMC = 1.
+        let w = Weights::PAPER;
+        for (l, p) in [(0.0, 0.0), (0.5, 1.0), (1.0, 0.3)] {
+            assert!((w.leaf_qom(l, p) - w.qom(l, p, 1.0, 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn children_qom_equations() {
+        // Worked example: 3 children, all matched, child QoMs 1.0, 0.8, 0.9.
+        let qomc = children_qom(2.7, 3, 3);
+        assert!((qomc - (0.9 + 1.0) / 2.0).abs() < 1e-12);
+        // Partial: 1 of 2 matched with QoM 0.8: Rw=0.4, Rs=0.5.
+        assert!((children_qom(0.8, 1, 2) - 0.45).abs() < 1e-12);
+        // No children: exact by default.
+        assert!((children_qom(0.0, 0, 0) - 1.0).abs() < 1e-12);
+        // Nothing matched.
+        assert!((children_qom(0.0, 0, 4) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_children_make_qomc_one() {
+        assert!((children_qom(5.0, 5, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = MatchConfig::default();
+        assert_eq!(c.threshold, 0.5);
+        assert_eq!(c.lexicon, LexiconMode::Full);
+        let w = Weights::new(0.25, 0.25, 0.25, 0.25).unwrap();
+        assert_eq!(MatchConfig::with_weights(w).weights, w);
+        assert_eq!(MatchConfig::with_threshold(0.7).threshold, 0.7);
+    }
+
+    #[test]
+    fn weight_error_messages() {
+        assert!(WeightError::Negative.to_string().contains("non-negative"));
+        assert!(WeightError::NotUnitSum { sum: 1.2 }
+            .to_string()
+            .contains("1.2"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Property-axis comparison (the paper's **P** axis).
+//!
+//! §2.1: a property match is *exact* when the two values are identical and
+//! *relaxed* when one value is a generalization or a specialization of the
+//! other — `minOccurs="0"` generalizes `minOccurs="1"`, a base type
+//! generalizes its restrictions, `maxOccurs="unbounded"` generalizes any
+//! bound, and so on. The order property is special: the paper defines its
+//! relaxed match simply as "values not equal".
+
+use crate::taxonomy::AxisGrade;
+use qmatch_xsd::{DataType, MaxOccurs, Properties};
+
+/// Canonical component scores.
+const EXACT: f64 = 1.0;
+const RELAXED: f64 = 0.5;
+
+/// Relative importance of the property components within the axis. The type
+/// dominates (it is the only component CUPID-style matchers use at all);
+/// order, occurrence, and the value constraints share the rest.
+const W_TYPE: f64 = 0.4;
+const W_ORDER: f64 = 0.2;
+const W_OCCURS: f64 = 0.2;
+const W_MISC: f64 = 0.2;
+
+/// The outcome of comparing two property sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropsMatch {
+    /// Qualitative grade: exact iff every component is exact; none iff no
+    /// component matches at all.
+    pub grade: AxisGrade,
+    /// Weighted component score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Compares two property sets.
+pub fn compare_properties(a: &Properties, b: &Properties) -> PropsMatch {
+    let type_score = type_similarity(&a.data_type, &b.data_type);
+    let order_score = if a.order == b.order { EXACT } else { RELAXED };
+    let occurs_score =
+        (occurs_min(a.min_occurs, b.min_occurs) + occurs_max(a.max_occurs, b.max_occurs)) / 2.0;
+    let misc_score = (flag_score(a.nillable, b.nillable)
+        + option_score(&a.default, &b.default)
+        + option_score(&a.fixed, &b.fixed))
+        / 3.0;
+
+    let score =
+        W_TYPE * type_score + W_ORDER * order_score + W_OCCURS * occurs_score + W_MISC * misc_score;
+    let all_exact = [type_score, order_score, occurs_score, misc_score]
+        .iter()
+        .all(|&s| (s - EXACT).abs() < 1e-12);
+    let grade = if all_exact {
+        AxisGrade::Exact
+    } else if score > 0.0 {
+        AxisGrade::Relaxed
+    } else {
+        AxisGrade::None
+    };
+    PropsMatch { grade, score }
+}
+
+/// Type component: identical types are exact; lattice-related built-ins and
+/// name-differing complex types are relaxed; a complex/simple mismatch does
+/// not match.
+pub fn type_similarity(a: &DataType, b: &DataType) -> f64 {
+    match (a, b) {
+        (DataType::Builtin(x), DataType::Builtin(y)) => {
+            if x == y {
+                EXACT
+            } else if x.related(*y) {
+                RELAXED
+            } else {
+                0.0
+            }
+        }
+        (DataType::Complex(x), DataType::Complex(y)) => {
+            if x == y && x.is_some() {
+                EXACT
+            } else if x == y {
+                // Both anonymous: structurally the children axis decides;
+                // treat the type names as trivially identical.
+                EXACT
+            } else {
+                RELAXED
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+/// `minOccurs` component: a smaller lower bound is a generalization.
+fn occurs_min(a: u32, b: u32) -> f64 {
+    if a == b {
+        EXACT
+    } else {
+        RELAXED
+    }
+}
+
+/// `maxOccurs` component: a larger (or unbounded) upper bound is a
+/// generalization.
+fn occurs_max(a: MaxOccurs, b: MaxOccurs) -> f64 {
+    if a == b {
+        EXACT
+    } else {
+        RELAXED
+    }
+}
+
+fn flag_score(a: bool, b: bool) -> f64 {
+    if a == b {
+        EXACT
+    } else {
+        RELAXED
+    }
+}
+
+fn option_score(a: &Option<String>, b: &Option<String>) -> f64 {
+    match (a, b) {
+        (None, None) => EXACT,
+        (Some(x), Some(y)) if x == y => EXACT,
+        _ => RELAXED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::BuiltinType;
+
+    fn props(data_type: DataType, order: u32, min: u32, max: MaxOccurs) -> Properties {
+        Properties {
+            data_type,
+            order,
+            min_occurs: min,
+            max_occurs: max,
+            ..Properties::default()
+        }
+    }
+
+    fn int_props() -> Properties {
+        props(
+            DataType::Builtin(BuiltinType::Integer),
+            1,
+            1,
+            MaxOccurs::Bounded(1),
+        )
+    }
+
+    #[test]
+    fn identical_properties_are_exact_with_score_one() {
+        let a = int_props();
+        let m = compare_properties(&a, &a.clone());
+        assert_eq!(m.grade, AxisGrade::Exact);
+        assert!((m.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_orderno_example_is_exact() {
+        // §2.1: both OrderNo elements have type=integer, order=1,
+        // minOccurs=1 ⇒ exact along the properties axis.
+        let a = int_props();
+        let b = int_props();
+        assert_eq!(compare_properties(&a, &b).grade, AxisGrade::Exact);
+    }
+
+    #[test]
+    fn min_occurs_generalization_is_relaxed() {
+        // §2.1: minOccurs=0 is a generalization of minOccurs=1.
+        let a = props(
+            DataType::Builtin(BuiltinType::Integer),
+            1,
+            0,
+            MaxOccurs::Bounded(1),
+        );
+        let b = int_props();
+        let m = compare_properties(&a, &b);
+        assert_eq!(m.grade, AxisGrade::Relaxed);
+        assert!(m.score < 1.0 && m.score > 0.5);
+    }
+
+    #[test]
+    fn related_types_are_relaxed() {
+        // integer restricts decimal: specialization ⇒ relaxed.
+        let a = int_props();
+        let b = props(
+            DataType::Builtin(BuiltinType::Decimal),
+            1,
+            1,
+            MaxOccurs::Bounded(1),
+        );
+        let m = compare_properties(&a, &b);
+        assert_eq!(m.grade, AxisGrade::Relaxed);
+    }
+
+    #[test]
+    fn unrelated_builtin_types_score_zero_on_type() {
+        assert_eq!(
+            type_similarity(
+                &DataType::Builtin(BuiltinType::String),
+                &DataType::Builtin(BuiltinType::Boolean)
+            ),
+            0.0
+        );
+        assert_eq!(
+            type_similarity(
+                &DataType::Builtin(BuiltinType::Integer),
+                &DataType::Complex(None)
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn complex_type_names() {
+        assert_eq!(
+            type_similarity(
+                &DataType::Complex(Some("POType".into())),
+                &DataType::Complex(Some("POType".into()))
+            ),
+            EXACT
+        );
+        assert_eq!(
+            type_similarity(&DataType::Complex(None), &DataType::Complex(None)),
+            EXACT
+        );
+        assert_eq!(
+            type_similarity(
+                &DataType::Complex(Some("A".into())),
+                &DataType::Complex(Some("B".into()))
+            ),
+            RELAXED
+        );
+        assert_eq!(
+            type_similarity(
+                &DataType::Complex(Some("A".into())),
+                &DataType::Complex(None)
+            ),
+            RELAXED
+        );
+    }
+
+    #[test]
+    fn order_mismatch_is_relaxed_not_none() {
+        // §2.1: "a relaxed match for the order property implies the order
+        // values ... are not equal."
+        let a = int_props();
+        let mut b = int_props();
+        b.order = 3;
+        let m = compare_properties(&a, &b);
+        assert_eq!(m.grade, AxisGrade::Relaxed);
+        assert!(
+            m.score >= 0.8,
+            "only the order component degrades: {}",
+            m.score
+        );
+    }
+
+    #[test]
+    fn unbounded_max_occurs_is_relaxed_generalization() {
+        let a = props(
+            DataType::Builtin(BuiltinType::Integer),
+            1,
+            1,
+            MaxOccurs::Unbounded,
+        );
+        let b = int_props();
+        assert_eq!(compare_properties(&a, &b).grade, AxisGrade::Relaxed);
+    }
+
+    #[test]
+    fn default_and_fixed_values() {
+        let a = int_props();
+        let mut b = int_props();
+        b.default = Some("0".into());
+        let m = compare_properties(&a, &b);
+        assert_eq!(m.grade, AxisGrade::Relaxed);
+        let mut c = int_props();
+        c.default = Some("0".into());
+        let m2 = compare_properties(&b, &c);
+        assert_eq!(m2.grade, AxisGrade::Exact);
+    }
+
+    #[test]
+    fn nillable_mismatch_is_relaxed() {
+        let a = int_props();
+        let mut b = int_props();
+        b.nillable = true;
+        assert_eq!(compare_properties(&a, &b).grade, AxisGrade::Relaxed);
+    }
+
+    #[test]
+    fn totally_incompatible_types_still_leave_partial_score() {
+        // Even with a type mismatch the order/occurs components can match,
+        // so the axis stays relaxed — the paper's properties axis has no
+        // hard "none" unless literally nothing lines up.
+        let a = int_props();
+        let b = props(
+            DataType::Builtin(BuiltinType::Boolean),
+            1,
+            1,
+            MaxOccurs::Bounded(1),
+        );
+        let m = compare_properties(&a, &b);
+        assert_eq!(m.grade, AxisGrade::Relaxed);
+        assert!(m.score > 0.0 && m.score < 0.7);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = props(
+            DataType::Builtin(BuiltinType::Int),
+            2,
+            0,
+            MaxOccurs::Unbounded,
+        );
+        let b = props(
+            DataType::Builtin(BuiltinType::Long),
+            1,
+            1,
+            MaxOccurs::Bounded(3),
+        );
+        let ab = compare_properties(&a, &b);
+        let ba = compare_properties(&b, &a);
+        assert!((ab.score - ba.score).abs() < 1e-12);
+        assert_eq!(ab.grade, ba.grade);
+    }
+}

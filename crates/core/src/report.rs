@@ -1,0 +1,254 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The harness binaries print the paper's tables and figure series as
+//! fixed-width text so the output can be diffed against EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trailing spaces make diffs noisy; trim them.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar chart — the paper's figures are bar charts, so the
+/// experiment binaries can render the same visual shape in a terminal.
+/// Handles negative values (Overall can dip below zero) by anchoring all
+/// bars at a shared zero column.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    width: usize,
+    rows: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// A chart whose longest bar spans `width` characters.
+    pub fn new(width: usize) -> BarChart {
+        BarChart {
+            width: width.max(8),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one labeled bar. Insert a row with an empty label to visually
+    /// separate groups.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut BarChart {
+        self.rows.push((label.into(), value));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let numeric: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|(_, v)| *v)
+            .filter(|v| v.is_finite())
+            .collect();
+        let lo = numeric.iter().copied().fold(0.0f64, f64::min);
+        let hi = numeric.iter().copied().fold(0.0f64, f64::max);
+        let span = (hi - lo).max(1e-9);
+        let label_width = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let zero_col = ((0.0 - lo) / span * self.width as f64).round() as usize;
+        let mut out = String::new();
+        for (label, value) in &self.rows {
+            if label.is_empty() {
+                out.push('\n');
+                continue;
+            }
+            let col = ((value - lo) / span * self.width as f64).round() as usize;
+            let (start, end) = if col >= zero_col {
+                (zero_col, col)
+            } else {
+                (col, zero_col)
+            };
+            let mut line = vec![b' '; self.width + 1];
+            for cell in line.iter_mut().take(end).skip(start) {
+                *cell = b'#';
+            }
+            // Zero marker, drawn only where no bar covers it.
+            if zero_col <= self.width && line[zero_col] == b' ' {
+                line[zero_col] = b'|';
+            }
+            let bar = String::from_utf8(line).expect("ascii");
+            let _ = writeln!(out, "{label:<label_width$}  {bar} {value:.3}");
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals (the precision the figures use).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["much-longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The value column starts at the same offset in both data rows.
+        let offset = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), offset);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn no_trailing_whitespace() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["x", "y"]);
+        for line in t.render().lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.5), "0.500");
+        assert_eq!(f3(1.0), "1.000");
+        assert_eq!(ms(std::time::Duration::from_micros(1500)), "1.500");
+    }
+}
+
+#[cfg(test)]
+mod bar_chart_tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let mut c = BarChart::new(20);
+        c.bar("full", 1.0).bar("half", 0.5).bar("none", 0.0);
+        let out = c.render();
+        let lines: Vec<&str> = out.lines().collect();
+        let count_hashes = |l: &str| l.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(count_hashes(lines[0]), 20);
+        assert_eq!(count_hashes(lines[1]), 10);
+        assert_eq!(count_hashes(lines[2]), 0);
+        assert!(lines[0].ends_with("1.000"));
+    }
+
+    #[test]
+    fn negative_values_extend_left_of_zero() {
+        let mut c = BarChart::new(20);
+        c.bar("up", 0.5).bar("down", -0.5).bar("zero", 0.0);
+        let out = c.render();
+        let lines: Vec<&str> = out.lines().collect();
+        // The zero row carries no bar, so its marker locates the zero column.
+        let zero_col = lines[2].find('|').unwrap();
+        let first_hash_down = lines[1].find('#').unwrap();
+        assert!(first_hash_down < zero_col, "{out}");
+        let first_hash_up = lines[0].find('#').unwrap();
+        assert!(first_hash_up >= zero_col, "{out}");
+    }
+
+    #[test]
+    fn empty_labels_separate_groups() {
+        let mut c = BarChart::new(10);
+        c.bar("a", 1.0).bar("", 0.0).bar("b", 0.5);
+        assert_eq!(c.render().lines().count(), 3);
+        assert_eq!(c.render().lines().nth(1).unwrap(), "");
+    }
+
+    #[test]
+    fn labels_are_aligned() {
+        let mut c = BarChart::new(10);
+        c.bar("x", 1.0).bar("longer-label", 1.0);
+        let out = c.render();
+        let lines: Vec<&str> = out.lines().collect();
+        // Bars cover the zero marker; alignment shows in the hash columns.
+        assert_eq!(lines[0].find('#'), lines[1].find('#'));
+    }
+}

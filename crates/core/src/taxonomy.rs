@@ -1,0 +1,301 @@
+//! The XML match taxonomy (paper §2): qualitative grades per axis and their
+//! combination into the four sub-tree match categories.
+
+use std::fmt;
+
+/// The grade of a match along an atomic-valued axis (label, properties,
+/// level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AxisGrade {
+    /// Identical values (label: exact string/synonym/ontology match).
+    Exact,
+    /// Some degree of match, not exact (label: hypernym/acronym; properties:
+    /// generalization/specialization). For the level axis relaxed is
+    /// synonymous with no match.
+    Relaxed,
+    /// No match.
+    None,
+}
+
+impl AxisGrade {
+    /// Derives the grade from a numeric axis score on the canonical scale
+    /// (1.0 = exact).
+    pub fn from_score(score: f64) -> AxisGrade {
+        if score >= 0.999 {
+            AxisGrade::Exact
+        } else if score > 0.0 {
+            AxisGrade::Relaxed
+        } else {
+            AxisGrade::None
+        }
+    }
+
+    /// The weaker (worse) of two grades.
+    pub fn worst(self, other: AxisGrade) -> AxisGrade {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for AxisGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AxisGrade::Exact => "exact",
+            AxisGrade::Relaxed => "relaxed",
+            AxisGrade::None => "none",
+        })
+    }
+}
+
+/// The grade of the set-valued children axis (paper §2.1, "Coverage Match"
+/// crossed with child quality in §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoverageGrade {
+    /// All source children match, all of those matches exact.
+    TotalExact,
+    /// All source children match, at least one relaxed.
+    TotalRelaxed,
+    /// Some (not all) children match, all of those matches exact.
+    PartialExact,
+    /// Some (not all) children match, at least one relaxed.
+    PartialRelaxed,
+    /// No child matches.
+    None,
+}
+
+impl CoverageGrade {
+    /// Classifies coverage from match counts: `matched` of `total` source
+    /// children found a partner, and `any_relaxed` reports whether any of
+    /// those partnered matches was itself non-exact.
+    pub fn classify(total: usize, matched: usize, any_relaxed: bool) -> CoverageGrade {
+        debug_assert!(matched <= total);
+        if total == 0 {
+            // A leaf has exact coverage by default (paper Eq. 2's constant).
+            return CoverageGrade::TotalExact;
+        }
+        match (matched == total, matched == 0, any_relaxed) {
+            (_, true, _) => CoverageGrade::None,
+            (true, _, false) => CoverageGrade::TotalExact,
+            (true, _, true) => CoverageGrade::TotalRelaxed,
+            (false, _, false) => CoverageGrade::PartialExact,
+            (false, _, true) => CoverageGrade::PartialRelaxed,
+        }
+    }
+
+    /// True for the two total grades.
+    pub fn is_total(self) -> bool {
+        matches!(
+            self,
+            CoverageGrade::TotalExact | CoverageGrade::TotalRelaxed
+        )
+    }
+
+    /// True for the two exact grades.
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            CoverageGrade::TotalExact | CoverageGrade::PartialExact
+        )
+    }
+}
+
+impl fmt::Display for CoverageGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CoverageGrade::TotalExact => "total exact",
+            CoverageGrade::TotalRelaxed => "total relaxed",
+            CoverageGrade::PartialExact => "partial exact",
+            CoverageGrade::PartialRelaxed => "partial relaxed",
+            CoverageGrade::None => "none",
+        })
+    }
+}
+
+/// The combined category of a node match (paper §2.2): the children-axis
+/// coverage refined by the atomic axes. A match is *total exact* only when
+/// every axis is exact; one relaxed atomic axis (or relaxed coverage)
+/// demotes it to *total relaxed*, and partial coverage yields the partial
+/// categories analogously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatchCategory {
+    /// Exact along label, properties, level; total exact children.
+    TotalExact,
+    /// Total children coverage with at least one relaxed axis or child.
+    TotalRelaxed,
+    /// Exact atomic axes, partial exact children.
+    PartialExact,
+    /// Partial children coverage with at least one relaxed axis or child.
+    PartialRelaxed,
+    /// Nothing matches.
+    None,
+}
+
+impl MatchCategory {
+    /// Combines the atomic-axis grades with the children coverage grade
+    /// (paper §2.2, "Subtree Match").
+    pub fn combine(
+        label: AxisGrade,
+        properties: AxisGrade,
+        level: AxisGrade,
+        children: CoverageGrade,
+    ) -> MatchCategory {
+        if children == CoverageGrade::None
+            && label == AxisGrade::None
+            && properties == AxisGrade::None
+        {
+            return MatchCategory::None;
+        }
+        // The level axis has no "none": relaxed IS no-match (paper §2.1), so
+        // it can demote exact→relaxed but never match→none.
+        let atomic_worst = label.worst(properties).worst(level);
+        let atomic_exact = atomic_worst == AxisGrade::Exact;
+        match (children.is_total(), children.is_exact() && atomic_exact) {
+            (true, true) => MatchCategory::TotalExact,
+            (true, false) => MatchCategory::TotalRelaxed,
+            (false, true) => MatchCategory::PartialExact,
+            (false, false) => MatchCategory::PartialRelaxed,
+        }
+    }
+
+    /// The "goodness" rank: total exact outranks total relaxed and partial
+    /// exact, which outrank partial relaxed, which outranks none. (§3 notes
+    /// the total-relaxed vs partial-exact distinction needs the quantitative
+    /// model; the qualitative order here follows the enum declaration.)
+    pub fn rank(self) -> u8 {
+        match self {
+            MatchCategory::TotalExact => 4,
+            MatchCategory::TotalRelaxed => 3,
+            MatchCategory::PartialExact => 2,
+            MatchCategory::PartialRelaxed => 1,
+            MatchCategory::None => 0,
+        }
+    }
+}
+
+impl fmt::Display for MatchCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchCategory::TotalExact => "total exact",
+            MatchCategory::TotalRelaxed => "total relaxed",
+            MatchCategory::PartialExact => "partial exact",
+            MatchCategory::PartialRelaxed => "partial relaxed",
+            MatchCategory::None => "none",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_grade_from_score() {
+        assert_eq!(AxisGrade::from_score(1.0), AxisGrade::Exact);
+        assert_eq!(AxisGrade::from_score(0.9991), AxisGrade::Exact);
+        assert_eq!(AxisGrade::from_score(0.85), AxisGrade::Relaxed);
+        assert_eq!(AxisGrade::from_score(0.001), AxisGrade::Relaxed);
+        assert_eq!(AxisGrade::from_score(0.0), AxisGrade::None);
+    }
+
+    #[test]
+    fn axis_worst_takes_the_weaker() {
+        assert_eq!(
+            AxisGrade::Exact.worst(AxisGrade::Relaxed),
+            AxisGrade::Relaxed
+        );
+        assert_eq!(AxisGrade::Relaxed.worst(AxisGrade::None), AxisGrade::None);
+        assert_eq!(AxisGrade::Exact.worst(AxisGrade::Exact), AxisGrade::Exact);
+    }
+
+    #[test]
+    fn coverage_classification() {
+        use CoverageGrade::*;
+        assert_eq!(CoverageGrade::classify(3, 3, false), TotalExact);
+        assert_eq!(CoverageGrade::classify(3, 3, true), TotalRelaxed);
+        assert_eq!(CoverageGrade::classify(3, 2, false), PartialExact);
+        assert_eq!(CoverageGrade::classify(3, 1, true), PartialRelaxed);
+        assert_eq!(CoverageGrade::classify(3, 0, false), None);
+        // Leaves: exact by default.
+        assert_eq!(CoverageGrade::classify(0, 0, false), TotalExact);
+    }
+
+    #[test]
+    fn coverage_predicates() {
+        assert!(CoverageGrade::TotalExact.is_total());
+        assert!(CoverageGrade::TotalRelaxed.is_total());
+        assert!(!CoverageGrade::PartialExact.is_total());
+        assert!(CoverageGrade::PartialExact.is_exact());
+        assert!(!CoverageGrade::TotalRelaxed.is_exact());
+        assert!(!CoverageGrade::None.is_total());
+    }
+
+    #[test]
+    fn category_combination_paper_cases() {
+        use AxisGrade::*;
+        // All exact ⇒ total exact (§2.2).
+        assert_eq!(
+            MatchCategory::combine(Exact, Exact, Exact, CoverageGrade::TotalExact),
+            MatchCategory::TotalExact
+        );
+        // One relaxed atomic axis ⇒ total relaxed.
+        assert_eq!(
+            MatchCategory::combine(Relaxed, Exact, Exact, CoverageGrade::TotalExact),
+            MatchCategory::TotalRelaxed
+        );
+        // Total relaxed children ⇒ total relaxed.
+        assert_eq!(
+            MatchCategory::combine(Exact, Exact, Exact, CoverageGrade::TotalRelaxed),
+            MatchCategory::TotalRelaxed
+        );
+        // Exact atomics + partial exact children ⇒ partial exact.
+        assert_eq!(
+            MatchCategory::combine(Exact, Exact, Exact, CoverageGrade::PartialExact),
+            MatchCategory::PartialExact
+        );
+        // Relaxed anywhere + partial ⇒ partial relaxed.
+        assert_eq!(
+            MatchCategory::combine(Exact, Relaxed, Exact, CoverageGrade::PartialRelaxed),
+            MatchCategory::PartialRelaxed
+        );
+    }
+
+    #[test]
+    fn lines_vs_items_worked_example() {
+        // §2.2: Lines vs Items — relaxed label, exact properties, relaxed
+        // (no) level match, total relaxed children ⇒ total relaxed.
+        let cat = MatchCategory::combine(
+            AxisGrade::Relaxed,
+            AxisGrade::Exact,
+            AxisGrade::Relaxed,
+            CoverageGrade::TotalRelaxed,
+        );
+        assert_eq!(cat, MatchCategory::TotalRelaxed);
+    }
+
+    #[test]
+    fn nothing_matching_is_none() {
+        assert_eq!(
+            MatchCategory::combine(
+                AxisGrade::None,
+                AxisGrade::None,
+                AxisGrade::Relaxed,
+                CoverageGrade::None
+            ),
+            MatchCategory::None
+        );
+    }
+
+    #[test]
+    fn rank_orders_goodness() {
+        assert!(MatchCategory::TotalExact.rank() > MatchCategory::TotalRelaxed.rank());
+        assert!(MatchCategory::TotalRelaxed.rank() > MatchCategory::PartialExact.rank());
+        assert!(MatchCategory::PartialExact.rank() > MatchCategory::PartialRelaxed.rank());
+        assert!(MatchCategory::PartialRelaxed.rank() > MatchCategory::None.rank());
+    }
+
+    #[test]
+    fn displays_match_paper_vocabulary() {
+        assert_eq!(AxisGrade::Relaxed.to_string(), "relaxed");
+        assert_eq!(CoverageGrade::TotalRelaxed.to_string(), "total relaxed");
+        assert_eq!(MatchCategory::PartialExact.to_string(), "partial exact");
+    }
+}

@@ -1,0 +1,462 @@
+//! Hand-written corpus schemas (PO, Books, DCMD domains).
+//!
+//! Each schema is an embedded XSD source plus a lazily-compiled
+//! [`SchemaTree`]. Element counts and maximum depths are pinned to the
+//! paper's Table 1 by unit tests; PO1 is exactly the paper's Figure 1.
+
+use qmatch_xsd::{parse_schema, SchemaTree};
+use std::sync::OnceLock;
+
+/// Parses and compiles an embedded schema; panics on corpus bugs (the tests
+/// parse every schema, so a panic here means the crate itself is broken).
+fn compile(src: &str) -> SchemaTree {
+    let schema = parse_schema(src).expect("embedded corpus schema must parse");
+    SchemaTree::compile(&schema).expect("embedded corpus schema must compile")
+}
+
+macro_rules! corpus_schema {
+    ($(#[$doc:meta])* $name:ident, $xsd_name:ident, $src:expr) => {
+        $(#[$doc])*
+        pub fn $name() -> SchemaTree {
+            static CACHE: OnceLock<SchemaTree> = OnceLock::new();
+            CACHE.get_or_init(|| compile($src)).clone()
+        }
+
+        /// The XSD source text for the same schema.
+        pub fn $xsd_name() -> &'static str {
+            $src
+        }
+    };
+}
+
+corpus_schema!(
+    /// PO1 — the paper's Figure 1 (PO schema): 10 elements, max depth 3.
+    po1,
+    po1_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:integer"/>
+        <xs:element name="PurchaseInfo">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="BillingAddr" type="xs:string"/>
+              <xs:element name="ShippingAddr" type="xs:string"/>
+              <xs:element name="Lines">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="Item" type="xs:string"/>
+                    <xs:element name="Quantity" type="xs:positiveInteger"/>
+                    <xs:element name="UnitOfMeasure" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="PurchaseDate" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+corpus_schema!(
+    /// PO2 — the second purchase-order test schema: 9 elements, max depth 3.
+    po2,
+    po2_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:integer"/>
+        <xs:element name="Date" type="xs:date"/>
+        <xs:element name="BillTo" type="xs:string"/>
+        <xs:element name="ShipTo" type="xs:string"/>
+        <xs:element name="Items">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Item" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="Qty" type="xs:positiveInteger"/>
+                    <xs:element name="UOM" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+corpus_schema!(
+    /// Article — bibliographic article schema: 18 elements, max depth 3.
+    article,
+    article_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Article">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Title" type="xs:string"/>
+        <xs:element name="Authors">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Author" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="FirstName" type="xs:string"/>
+                    <xs:element name="LastName" type="xs:string"/>
+                    <xs:element name="Affiliation" type="xs:string" minOccurs="0"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Journal">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Name" type="xs:string"/>
+              <xs:element name="Volume" type="xs:positiveInteger"/>
+              <xs:element name="Year" type="xs:gYear"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Abstract" type="xs:string" minOccurs="0"/>
+        <xs:element name="Keywords">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Keyword" type="xs:string" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Pages">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="From" type="xs:positiveInteger"/>
+              <xs:element name="To" type="xs:positiveInteger"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="DOI" type="xs:anyURI" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+corpus_schema!(
+    /// Book — compact book schema: 6 elements, max depth 2.
+    book,
+    book_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Book">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Title" type="xs:string"/>
+        <xs:element name="Author">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Name" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Publisher" type="xs:string"/>
+        <xs:element name="Year" type="xs:gYear"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+corpus_schema!(
+    /// DCMDItem — XBench DC/MD catalog-item schema: 38 elements, max depth 2.
+    dcmd_item,
+    dcmd_item_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Item">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="ItemID" type="xs:ID"/>
+        <xs:element name="Title" type="xs:string"/>
+        <xs:element name="Description" type="xs:string" minOccurs="0"/>
+        <xs:element name="Category" type="xs:string"/>
+        <xs:element name="Brand" type="xs:string" minOccurs="0"/>
+        <xs:element name="SKU" type="xs:token"/>
+        <xs:element name="Pricing">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="ListPrice" type="xs:decimal"/>
+              <xs:element name="DiscountPrice" type="xs:decimal" minOccurs="0"/>
+              <xs:element name="Currency" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Supplier">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="SupplierID" type="xs:ID"/>
+              <xs:element name="SupplierName" type="xs:string"/>
+              <xs:element name="SupplierPhone" type="xs:string" minOccurs="0"/>
+              <xs:element name="SupplierEmail" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Dimensions">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Width" type="xs:decimal"/>
+              <xs:element name="Height" type="xs:decimal"/>
+              <xs:element name="Depth" type="xs:decimal"/>
+              <xs:element name="Weight" type="xs:decimal"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Stock">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Quantity" type="xs:nonNegativeInteger"/>
+              <xs:element name="Warehouse" type="xs:string"/>
+              <xs:element name="ReorderLevel" type="xs:nonNegativeInteger"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Shipping">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="ShipMethod" type="xs:string"/>
+              <xs:element name="ShipCost" type="xs:decimal"/>
+              <xs:element name="ShipDays" type="xs:positiveInteger"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Dates">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="ReleaseDate" type="xs:date"/>
+              <xs:element name="DiscontinuedDate" type="xs:date" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Reviews">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Rating" type="xs:decimal"/>
+              <xs:element name="ReviewCount" type="xs:nonNegativeInteger"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Attributes">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Color" type="xs:string" minOccurs="0"/>
+              <xs:element name="Size" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+corpus_schema!(
+    /// DCMDOrd — XBench DC/MD order schema: 53 elements, max depth 3. Each
+    /// order line embeds the catalog item's descriptive fields, as the
+    /// XBench document classes do, which is what gives this pair the
+    /// largest manual match set of the small domains.
+    dcmd_ord,
+    dcmd_ord_xsd,
+    r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderID" type="xs:ID"/>
+        <xs:element name="OrderDate" type="xs:date"/>
+        <xs:element name="Status" type="xs:string"/>
+        <xs:element name="Currency" type="xs:string"/>
+        <xs:element name="Channel" type="xs:string" minOccurs="0"/>
+        <xs:element name="Gift" type="xs:boolean" minOccurs="0"/>
+        <xs:element name="Priority" type="xs:string" minOccurs="0"/>
+        <xs:element name="Notes" type="xs:string" minOccurs="0"/>
+        <xs:element name="Customer">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="CustomerID" type="xs:ID"/>
+              <xs:element name="CustomerName" type="xs:string"/>
+              <xs:element name="Email" type="xs:string"/>
+              <xs:element name="Phone" type="xs:string" minOccurs="0"/>
+              <xs:element name="Address">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="Street" type="xs:string"/>
+                    <xs:element name="City" type="xs:string"/>
+                    <xs:element name="State" type="xs:string"/>
+                    <xs:element name="Zip" type="xs:string"/>
+                    <xs:element name="Country" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Payment">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Method" type="xs:string"/>
+              <xs:element name="CardNumber" type="xs:string" minOccurs="0"/>
+              <xs:element name="ExpiryDate" type="xs:gYearMonth" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="ShipInfo">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="ShipMethod" type="xs:string"/>
+              <xs:element name="ShipCost" type="xs:decimal"/>
+              <xs:element name="ShipDays" type="xs:positiveInteger"/>
+              <xs:element name="DeliveryDate" type="xs:date" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Lines">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Line" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="ItemID" type="xs:IDREF"/>
+                    <xs:element name="Title" type="xs:string"/>
+                    <xs:element name="Description" type="xs:string" minOccurs="0"/>
+                    <xs:element name="Category" type="xs:string"/>
+                    <xs:element name="Brand" type="xs:string" minOccurs="0"/>
+                    <xs:element name="SKU" type="xs:token"/>
+                    <xs:element name="UnitPrice" type="xs:decimal"/>
+                    <xs:element name="Discount" type="xs:decimal" minOccurs="0"/>
+                    <xs:element name="Quantity" type="xs:positiveInteger"/>
+                    <xs:element name="Weight" type="xs:decimal" minOccurs="0"/>
+                    <xs:element name="Color" type="xs:string" minOccurs="0"/>
+                    <xs:element name="Size" type="xs:string" minOccurs="0"/>
+                    <xs:element name="LineTotal" type="xs:decimal"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Totals">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Subtotal" type="xs:decimal"/>
+              <xs:element name="Tax" type="xs:decimal"/>
+              <xs:element name="ShippingTotal" type="xs:decimal"/>
+              <xs:element name="GrandTotal" type="xs:decimal"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Invoice">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="InvoiceNo" type="xs:token"/>
+              <xs:element name="InvoiceDate" type="xs:date"/>
+              <xs:element name="DueDate" type="xs:date"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn po1_matches_table1_and_figure1() {
+        let t = po1();
+        assert_eq!(t.element_count(), 10);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.root().label, "PO");
+        // Figure 1 structure spot checks.
+        let lines = t.node(t.find_by_label("Lines").unwrap());
+        assert_eq!(lines.level, 2);
+        assert_eq!(lines.children.len(), 3);
+    }
+
+    #[test]
+    fn po2_matches_table1() {
+        let t = po2();
+        assert_eq!(t.element_count(), 9);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.root().label, "PurchaseOrder");
+    }
+
+    #[test]
+    fn article_matches_table1() {
+        let t = article();
+        assert_eq!(t.element_count(), 18);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn book_matches_table1() {
+        let t = book();
+        assert_eq!(t.element_count(), 6);
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn dcmd_item_matches_table1() {
+        let t = dcmd_item();
+        assert_eq!(t.element_count(), 38);
+        assert_eq!(t.max_depth(), 2);
+    }
+
+    #[test]
+    fn dcmd_ord_matches_table1() {
+        let t = dcmd_ord();
+        assert_eq!(t.element_count(), 53);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn cached_trees_are_stable() {
+        assert_eq!(po1(), po1());
+        assert_eq!(dcmd_ord().len(), dcmd_ord().len());
+    }
+
+    #[test]
+    fn xsd_sources_parse_standalone() {
+        for src in [
+            po1_xsd(),
+            po2_xsd(),
+            article_xsd(),
+            book_xsd(),
+            dcmd_item_xsd(),
+            dcmd_ord_xsd(),
+        ] {
+            assert!(qmatch_xsd::parse_schema(src).is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_fig4_element_totals_hold_for_small_pairs() {
+        // Figure 4's x axis: 19, 24, 91 (and 3984 from the protein pair).
+        assert_eq!(po1().element_count() + po2().element_count(), 19);
+        assert_eq!(article().element_count() + book().element_count(), 24);
+        assert_eq!(dcmd_item().element_count() + dcmd_ord().element_count(), 91);
+    }
+}

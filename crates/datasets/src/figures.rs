@@ -1,0 +1,97 @@
+//! The paper's illustration schemas: Figures 1/2 (the worked PO example of
+//! §2.2) and Figures 7/8 (the structurally-identical, linguistically-
+//! disparate pair behind Figure 9).
+
+use qmatch_xsd::SchemaTree;
+
+/// Figure 1 — the `PO` schema. Identical to [`crate::corpus::po1`]; kept as
+/// an alias so experiment code can reference figures by number.
+pub fn po_fig1() -> SchemaTree {
+    crate::corpus::po1()
+}
+
+/// Figure 2 — the `Purchase Order` schema as drawn: `Items` holds `Item#`,
+/// `Qty`, `UOM` directly (one level shallower than PO1's `Lines` subtree,
+/// which is what makes the §2.2 worked example's level axis relaxed).
+pub fn purchase_order_fig2() -> SchemaTree {
+    use qmatch_xsd::{BuiltinType, DataType};
+    let b = |t: BuiltinType| DataType::Builtin(t);
+    SchemaTree::from_labels_typed(
+        "PurchaseOrder",
+        &[
+            ("PurchaseOrder", None, DataType::Complex(None)),
+            // §2.1 assumes OrderNo carries type=integer in both schemas.
+            ("OrderNo", Some(0), b(BuiltinType::Integer)),
+            ("BillTo", Some(0), b(BuiltinType::String)),
+            ("ShipTo", Some(0), b(BuiltinType::String)),
+            ("Items", Some(0), DataType::Complex(None)),
+            ("Item#", Some(4), b(BuiltinType::String)),
+            ("Qty", Some(4), b(BuiltinType::PositiveInteger)),
+            ("UOM", Some(4), b(BuiltinType::String)),
+            ("Date", Some(0), b(BuiltinType::Date)),
+        ],
+    )
+}
+
+/// Figure 7 — the `Library` schema.
+pub fn library_fig7() -> SchemaTree {
+    SchemaTree::from_labels(
+        "Library",
+        &[
+            ("Library", None),
+            ("Title", Some(0)),
+            ("Book", Some(0)),
+            ("number", Some(2)),
+            ("character", Some(2)),
+            ("Writer", Some(2)),
+        ],
+    )
+}
+
+/// Figure 8 — the `human` schema: same shape as Figure 7, unrelated labels.
+pub fn human_fig8() -> SchemaTree {
+    SchemaTree::from_labels(
+        "human",
+        &[
+            ("human", None),
+            ("head", Some(0)),
+            ("body", Some(0)),
+            ("hands", Some(2)),
+            ("man", Some(2)),
+            ("legs", Some(2)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let t = purchase_order_fig2();
+        assert_eq!(t.element_count(), 9);
+        assert_eq!(t.max_depth(), 2);
+        let items = t.node(t.find_by_label("Items").unwrap());
+        assert_eq!(items.children.len(), 3);
+        assert_eq!(items.level, 1);
+    }
+
+    #[test]
+    fn figures_7_and_8_are_isomorphic() {
+        let lib = library_fig7();
+        let hum = human_fig8();
+        assert_eq!(lib.len(), hum.len());
+        assert_eq!(lib.max_depth(), hum.max_depth());
+        for ((_, a), (_, b)) in lib.iter().zip(hum.iter()) {
+            assert_eq!(a.level, b.level);
+            assert_eq!(a.children.len(), b.children.len());
+            assert_eq!(a.properties.order, b.properties.order);
+        }
+    }
+
+    #[test]
+    fn figure1_is_po1() {
+        assert_eq!(po_fig1(), crate::corpus::po1());
+    }
+}

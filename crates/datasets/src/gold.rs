@@ -1,0 +1,146 @@
+//! Manually determined real matches (`R`) for every evaluated schema pair.
+//!
+//! Paths are slash-joined label paths from the root (the representation
+//! [`qmatch_core::eval::GoldStandard`] uses). For the hand-written corpus
+//! these were curated alongside the reconstruction; for the protein pair the
+//! gold standard falls out of the generator (see [`crate::synth`]).
+
+use qmatch_core::eval::GoldStandard;
+
+/// Real matches between PO1 and PO2 (9 pairs — every PO1 element except the
+/// `PurchaseInfo` wrapper, which has no PO2 counterpart).
+pub fn po_gold() -> GoldStandard {
+    GoldStandard::from_pairs([
+        ("PO", "PurchaseOrder"),
+        ("PO/OrderNo", "PurchaseOrder/OrderNo"),
+        ("PO/PurchaseDate", "PurchaseOrder/Date"),
+        ("PO/PurchaseInfo/BillingAddr", "PurchaseOrder/BillTo"),
+        ("PO/PurchaseInfo/ShippingAddr", "PurchaseOrder/ShipTo"),
+        ("PO/PurchaseInfo/Lines", "PurchaseOrder/Items"),
+        ("PO/PurchaseInfo/Lines/Item", "PurchaseOrder/Items/Item"),
+        (
+            "PO/PurchaseInfo/Lines/Quantity",
+            "PurchaseOrder/Items/Item/Qty",
+        ),
+        (
+            "PO/PurchaseInfo/Lines/UnitOfMeasure",
+            "PurchaseOrder/Items/Item/UOM",
+        ),
+    ])
+}
+
+/// Real matches between Article and Book (6 pairs).
+pub fn book_gold() -> GoldStandard {
+    GoldStandard::from_pairs([
+        ("Article", "Book"),
+        ("Article/Title", "Book/Title"),
+        ("Article/Authors/Author", "Book/Author"),
+        ("Article/Authors/Author/LastName", "Book/Author/Name"),
+        ("Article/Journal/Year", "Book/Year"),
+        ("Article/Journal/Name", "Book/Publisher"),
+    ])
+}
+
+/// Real matches between DCMDItem and DCMDOrd (17 pairs — each order line
+/// embeds the catalog item's descriptive fields, and the shipping blocks
+/// correspond wholesale; this is the largest manual match set among the
+/// small domains, as in the paper's Figure 6).
+pub fn dcmd_gold() -> GoldStandard {
+    GoldStandard::from_pairs([
+        ("Item/ItemID", "Order/Lines/Line/ItemID"),
+        ("Item/Title", "Order/Lines/Line/Title"),
+        ("Item/Description", "Order/Lines/Line/Description"),
+        ("Item/Category", "Order/Lines/Line/Category"),
+        ("Item/Brand", "Order/Lines/Line/Brand"),
+        ("Item/SKU", "Order/Lines/Line/SKU"),
+        ("Item/Pricing/ListPrice", "Order/Lines/Line/UnitPrice"),
+        ("Item/Pricing/DiscountPrice", "Order/Lines/Line/Discount"),
+        ("Item/Pricing/Currency", "Order/Currency"),
+        ("Item/Stock/Quantity", "Order/Lines/Line/Quantity"),
+        ("Item/Dimensions/Weight", "Order/Lines/Line/Weight"),
+        ("Item/Attributes/Color", "Order/Lines/Line/Color"),
+        ("Item/Attributes/Size", "Order/Lines/Line/Size"),
+        ("Item/Shipping", "Order/ShipInfo"),
+        ("Item/Shipping/ShipMethod", "Order/ShipInfo/ShipMethod"),
+        ("Item/Shipping/ShipCost", "Order/ShipInfo/ShipCost"),
+        ("Item/Shipping/ShipDays", "Order/ShipInfo/ShipDays"),
+    ])
+}
+
+/// Real matches between the Library (Fig. 7) and human (Fig. 8) schemas:
+/// there are none — the schemas are semantically unrelated; only their
+/// shapes coincide.
+pub fn library_human_gold() -> GoldStandard {
+    GoldStandard::new()
+}
+
+/// Real matches between PIR and PDB (delegates to the generator's
+/// by-construction record).
+pub fn protein_gold() -> &'static GoldStandard {
+    crate::synth::protein_gold()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use std::collections::HashSet;
+
+    /// Every path in a gold standard must exist in its schema tree —
+    /// otherwise recall is structurally unreachable.
+    fn assert_paths_resolve(
+        gold: &GoldStandard,
+        source: &qmatch_xsd::SchemaTree,
+        target: &qmatch_xsd::SchemaTree,
+    ) {
+        let paths = |t: &qmatch_xsd::SchemaTree| -> HashSet<String> {
+            t.iter()
+                .map(|(id, _)| t.path_labels(id).join("/"))
+                .collect()
+        };
+        let sp = paths(source);
+        let tp = paths(target);
+        for (s, t) in gold.iter() {
+            assert!(sp.contains(s), "source path {s:?} not in {}", source.name());
+            assert!(tp.contains(t), "target path {t:?} not in {}", target.name());
+        }
+    }
+
+    #[test]
+    fn po_gold_paths_resolve() {
+        let gold = po_gold();
+        assert_eq!(gold.len(), 9);
+        assert_paths_resolve(&gold, &corpus::po1(), &corpus::po2());
+    }
+
+    #[test]
+    fn book_gold_paths_resolve() {
+        let gold = book_gold();
+        assert_eq!(gold.len(), 6);
+        assert_paths_resolve(&gold, &corpus::article(), &corpus::book());
+    }
+
+    #[test]
+    fn dcmd_gold_paths_resolve() {
+        let gold = dcmd_gold();
+        assert_eq!(gold.len(), 17);
+        assert_paths_resolve(&gold, &corpus::dcmd_item(), &corpus::dcmd_ord());
+    }
+
+    #[test]
+    fn library_human_gold_is_empty() {
+        assert!(library_human_gold().is_empty());
+    }
+
+    #[test]
+    fn gold_mappings_are_one_to_one() {
+        for gold in [po_gold(), book_gold(), dcmd_gold()] {
+            let mut sources = HashSet::new();
+            let mut targets = HashSet::new();
+            for (s, t) in gold.iter() {
+                assert!(sources.insert(s.clone()), "source {s} matched twice");
+                assert!(targets.insert(t.clone()), "target {t} matched twice");
+            }
+        }
+    }
+}

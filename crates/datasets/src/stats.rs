@@ -1,0 +1,80 @@
+//! Table 1 — characteristics of the test schemas.
+
+use qmatch_xsd::SchemaTree;
+
+/// One row of Table 1: the published numbers next to the reconstruction's
+/// actual numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Schema name as printed in the paper.
+    pub name: &'static str,
+    /// Published element count.
+    pub paper_elements: usize,
+    /// Published max depth.
+    pub paper_depth: u32,
+    /// Element count of the reconstruction.
+    pub actual_elements: usize,
+    /// Max depth of the reconstruction.
+    pub actual_depth: u32,
+}
+
+impl Table1Row {
+    fn of(name: &'static str, paper: (usize, u32), tree: &SchemaTree) -> Table1Row {
+        Table1Row {
+            name,
+            paper_elements: paper.0,
+            paper_depth: paper.1,
+            actual_elements: tree.element_count(),
+            actual_depth: tree.max_depth(),
+        }
+    }
+
+    /// True when the reconstruction matches the published numbers exactly.
+    pub fn matches_paper(&self) -> bool {
+        self.paper_elements == self.actual_elements && self.paper_depth == self.actual_depth
+    }
+}
+
+/// Builds all eight Table 1 rows from the reconstructed corpus.
+pub fn table1_rows() -> Vec<Table1Row> {
+    use crate::{corpus, synth};
+    vec![
+        Table1Row::of("PO1", (10, 3), &corpus::po1()),
+        Table1Row::of("PO2", (9, 3), &corpus::po2()),
+        Table1Row::of("Article", (18, 3), &corpus::article()),
+        Table1Row::of("Book", (6, 2), &corpus::book()),
+        Table1Row::of("DCMDItem", (38, 2), &corpus::dcmd_item()),
+        Table1Row::of("DCMDOrd", (53, 3), &corpus::dcmd_ord()),
+        Table1Row::of("PIR", (231, 6), synth::pir()),
+        Table1Row::of("PDB", (3753, 7), synth::pdb()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_matches_the_paper() {
+        for row in table1_rows() {
+            assert!(
+                row.matches_paper(),
+                "{}: paper ({}, {}) vs actual ({}, {})",
+                row.name,
+                row.paper_elements,
+                row.paper_depth,
+                row.actual_elements,
+                row.actual_depth
+            );
+        }
+    }
+
+    #[test]
+    fn rows_cover_all_eight_schemas_in_paper_order() {
+        let names: Vec<_> = table1_rows().iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            ["PO1", "PO2", "Article", "Book", "DCMDItem", "DCMDOrd", "PIR", "PDB"]
+        );
+    }
+}

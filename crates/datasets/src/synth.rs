@@ -1,0 +1,614 @@
+//! Synthetic protein schemas — the PIR / PDB substitution.
+//!
+//! The paper's protein experiments use the PIR (231 elements, depth 6) and
+//! PDB (3753 elements, depth 7) schemas, which are not retrievable. This
+//! module generates stand-ins at exactly the published scale, *with a known
+//! ground truth*: PDB is built by copying PIR with controlled label
+//! transformations (kept / abbreviated / synonym-replaced / renamed away)
+//! plus thousands of padding elements from a disjoint crystallography
+//! vocabulary. Every kept/abbreviated/synonym node is recorded as a real
+//! match, giving the gold standard `R` that §5's protein evaluation needs
+//! ("it is nearly impossible to accurately determine the matches manually" —
+//! by construction, we don't have to).
+//!
+//! Generation is deterministic (fixed seed), so the schemas, counts, and
+//! gold standard are reproducible across runs and platforms.
+
+use qmatch_core::eval::GoldStandard;
+use qmatch_xsd::{parse_schema, SchemaTree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Published size of the PIR schema (Table 1).
+pub const PIR_ELEMENTS: usize = 231;
+/// Published depth of the PIR schema (Table 1).
+pub const PIR_DEPTH: u32 = 6;
+/// Published size of the PDB schema (Table 1).
+pub const PDB_ELEMENTS: usize = 3753;
+/// Published depth of the PDB schema (Table 1).
+pub const PDB_DEPTH: u32 = 7;
+
+/// The fixed generation seed. Changing it changes the corpus; tests pin the
+/// derived statistics.
+pub const SEED: u64 = 0x51AC_2005;
+
+/// Bio/protein vocabulary used for PIR elements.
+///
+/// Curated so that no two entries (and no entry and a spine label) are
+/// synonyms of each other in the built-in thesaurus — otherwise the
+/// generator would create real matches it does not record in the gold
+/// standard. The `vocab_has_no_internal_synonyms` test enforces this.
+const PIR_VOCAB: &[&str] = &[
+    "protein",
+    "organism",
+    "genus",
+    "gene",
+    "reference",
+    "author",
+    "title",
+    "journal",
+    "year",
+    "keyword",
+    "domain",
+    "motif",
+    "length",
+    "weight",
+    "classification",
+    "superfamily",
+    "family",
+    "function",
+    "pathway",
+    "enzyme",
+    "cofactor",
+    "residue",
+    "modification",
+    "variant",
+    "isoform",
+    "accession",
+    "created",
+    "revised",
+    "summary",
+    "comment",
+    "database",
+    "name",
+    "synonym",
+    "taxonomy",
+    "lineage",
+    "host",
+    "tissue",
+    "localization",
+    "expression",
+    "structure",
+    "helix",
+    "strand",
+    "turn",
+    "bond",
+    "signal",
+    "transit",
+    "peptide",
+    "codon",
+    "exon",
+];
+
+/// Crystallography vocabulary used only for PDB padding — disjoint from
+/// `PIR_VOCAB` so padding never accidentally matches across schemas.
+const PDB_VOCAB: &[&str] = &[
+    "cell",
+    "lattice",
+    "diffraction",
+    "resolution",
+    "rfactor",
+    "spacegroup",
+    "symmetry",
+    "matrix",
+    "vector",
+    "model",
+    "refinement",
+    "wavelength",
+    "detector",
+    "beamline",
+    "temperature",
+    "crystal",
+    "solvent",
+    "ligand",
+    "heterogen",
+    "anisotropy",
+    "occupancy",
+    "bfactor",
+    "twinning",
+    "header",
+    "compound",
+    "experiment",
+    "software",
+    "scale",
+    "origin",
+    "axis",
+    "angle",
+    "fraction",
+    "mosaicity",
+    "completeness",
+    "redundancy",
+    "sigma",
+];
+
+/// Synonym substitutions used when transforming PIR labels into PDB labels.
+/// Every pair is backed by the built-in thesaurus so a linguistic matcher
+/// (and a human) recognizes them; the replacement words do not otherwise
+/// appear in `PIR_VOCAB`.
+const SYNONYM_MAP: &[(&str, &str)] = &[
+    ("entry", "record"),
+    ("gene", "locus"),
+    ("structure", "conformation"),
+    ("function", "role"),
+    ("protein", "polypeptide"),
+    ("residue", "monomer"),
+    ("database", "databank"),
+    ("keyword", "term"),
+    ("motif", "pattern"),
+    ("comment", "note"),
+];
+
+const LEAF_TYPES: &[&str] = &[
+    "xs:string",
+    "xs:integer",
+    "xs:decimal",
+    "xs:date",
+    "xs:token",
+];
+
+/// A generated element tree prior to XSD rendering.
+struct GenTree {
+    labels: Vec<String>,
+    parents: Vec<Option<usize>>,
+    levels: Vec<u32>,
+    children: Vec<Vec<usize>>,
+    leaf_type: Vec<&'static str>,
+    used: HashSet<String>,
+}
+
+impl GenTree {
+    fn new(root_label: &str) -> GenTree {
+        let mut t = GenTree {
+            labels: vec![root_label.to_owned()],
+            parents: vec![None],
+            levels: vec![0],
+            children: vec![Vec::new()],
+            leaf_type: vec![LEAF_TYPES[0]],
+            used: HashSet::new(),
+        };
+        t.used.insert(root_label.to_owned());
+        t
+    }
+
+    fn add(&mut self, parent: usize, label: String, leaf_type: &'static str) -> usize {
+        debug_assert!(!self.used.contains(&label), "duplicate label {label}");
+        let id = self.labels.len();
+        self.used.insert(label.clone());
+        self.labels.push(label);
+        self.parents.push(Some(parent));
+        self.levels.push(self.levels[parent] + 1);
+        self.children.push(Vec::new());
+        self.leaf_type.push(leaf_type);
+        self.children[parent].push(id);
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn path(&self, mut i: usize) -> String {
+        let mut parts = vec![self.labels[i].as_str()];
+        while let Some(p) = self.parents[i] {
+            parts.push(self.labels[p].as_str());
+            i = p;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Renders the tree as an XSD document with nested inline complex types.
+    fn to_xsd(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 96);
+        out.push_str(
+            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        );
+        self.render(0, &mut out, 1);
+        out.push_str("</xs:schema>\n");
+        out
+    }
+
+    fn render(&self, i: usize, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        if self.children[i].is_empty() {
+            let _ = writeln!(
+                out,
+                "{pad}<xs:element name=\"{}\" type=\"{}\"/>",
+                self.labels[i], self.leaf_type[i]
+            );
+        } else {
+            let _ = writeln!(out, "{pad}<xs:element name=\"{}\">", self.labels[i]);
+            let _ = writeln!(out, "{pad}  <xs:complexType><xs:sequence>");
+            for &c in &self.children[i] {
+                self.render(c, out, indent + 2);
+            }
+            let _ = writeln!(out, "{pad}  </xs:sequence></xs:complexType>");
+            let _ = writeln!(out, "{pad}</xs:element>");
+        }
+    }
+}
+
+/// Picks a fresh (globally unused) label based on `word`.
+fn fresh_label(word: &str, used: &HashSet<String>, counter: &mut u32) -> String {
+    if !used.contains(word) {
+        return word.to_owned();
+    }
+    loop {
+        *counter += 1;
+        let candidate = format!("{word}{counter}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+    }
+}
+
+/// Consonant-skeleton abbreviation: first char plus the non-vowels of the
+/// remainder, capped at 4 chars — recognizable by the lexicon's
+/// `looks_like_abbreviation` heuristic. Numeric suffixes are preserved.
+fn abbreviate(label: &str) -> String {
+    let word_end = label
+        .find(|c: char| c.is_ascii_digit())
+        .unwrap_or(label.len());
+    let (word, suffix) = label.split_at(word_end);
+    let mut out = String::new();
+    let mut chars = word.chars();
+    if let Some(first) = chars.next() {
+        out.push(first);
+    }
+    for c in chars {
+        if !"aeiou".contains(c) && out.len() < 4 {
+            out.push(c);
+        }
+    }
+    format!("{out}{suffix}")
+}
+
+/// Applies the synonym map to a label's word part, preserving any numeric
+/// suffix. Returns `None` when the word has no registered synonym.
+fn synonymize(label: &str) -> Option<String> {
+    let word_end = label
+        .find(|c: char| c.is_ascii_digit())
+        .unwrap_or(label.len());
+    let (word, suffix) = label.split_at(word_end);
+    SYNONYM_MAP
+        .iter()
+        .find(|(from, _)| *from == word)
+        .map(|(_, to)| format!("{to}{suffix}"))
+}
+
+/// Grows `tree` to exactly `target` nodes, never exceeding `max_depth`.
+/// Parents are chosen with a shallow bias (pick two candidates, keep the
+/// shallower) so the trees get the bushy, wide shape of real data schemas.
+/// Nodes whose index is in `frozen_leaves` never receive children — used so
+/// PDB padding cannot turn a copied PIR leaf into an internal node (which
+/// would silently invalidate the recorded gold pair's leaf/leaf character).
+fn grow(
+    tree: &mut GenTree,
+    target: usize,
+    max_depth: u32,
+    vocab: &[&str],
+    frozen_leaves: &HashSet<usize>,
+    rng: &mut SmallRng,
+) {
+    let mut counter = 0u32;
+    while tree.len() < target {
+        let a = rng.gen_range(0..tree.len());
+        let b = rng.gen_range(0..tree.len());
+        let parent = if tree.levels[a] <= tree.levels[b] {
+            a
+        } else {
+            b
+        };
+        if tree.levels[parent] >= max_depth || frozen_leaves.contains(&parent) {
+            continue;
+        }
+        let word = vocab[rng.gen_range(0..vocab.len())];
+        let label = fresh_label(word, &tree.used, &mut counter);
+        let leaf_type = LEAF_TYPES[rng.gen_range(0..LEAF_TYPES.len())];
+        tree.add(parent, label, leaf_type);
+    }
+}
+
+/// The generated corpus: both schemas (source text and compiled trees) plus
+/// the by-construction gold standard.
+pub struct ProteinCorpus {
+    /// PIR XSD source.
+    pub pir_xsd: String,
+    /// PDB XSD source.
+    pub pdb_xsd: String,
+    /// Compiled PIR schema tree.
+    pub pir: SchemaTree,
+    /// Compiled PDB schema tree.
+    pub pdb: SchemaTree,
+    /// Real matches (PIR path, PDB path) recorded during generation.
+    pub gold: GoldStandard,
+}
+
+fn generate() -> ProteinCorpus {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+
+    // ---- PIR ----
+    let mut pir = GenTree::new("ProteinEntry");
+    // Spine guarantees the published depth exactly.
+    let spine = [
+        "Sequence", "Feature", "Fragment", "Site", "Position", "Offset",
+    ];
+    let mut parent = 0usize;
+    for label in spine {
+        parent = pir.add(parent, label.to_owned(), "xs:string");
+    }
+    grow(
+        &mut pir,
+        PIR_ELEMENTS,
+        PIR_DEPTH,
+        PIR_VOCAB,
+        &HashSet::new(),
+        &mut rng,
+    );
+
+    // ---- PDB: transformed copy of PIR ----
+    // Roots of real schema pairs rarely share names; PDB gets its own root.
+    let mut pdb = GenTree::new("PDBRecord");
+    let mut gold = GoldStandard::new();
+    // pir node id -> pdb node id for the copied part.
+    let mut copied: Vec<usize> = vec![0; pir.len()];
+    gold.add(&pir.path(0), "PDBRecord"); // the roots do correspond
+    for i in 1..pir.len() {
+        let pdb_parent = copied[pir.parents[i].expect("non-root has a parent")];
+        let original = pir.labels[i].clone();
+        let roll: f64 = rng.gen();
+        // 45% kept, 20% abbreviated, 15% synonym, 20% renamed away.
+        let (label, is_match) = if roll < 0.45 {
+            (original.clone(), true)
+        } else if roll < 0.65 {
+            (abbreviate(&original), true)
+        } else if roll < 0.80 {
+            match synonymize(&original) {
+                Some(s) => (s, true),
+                None => (original.clone(), true), // no synonym: keep
+            }
+        } else {
+            let word = PDB_VOCAB[rng.gen_range(0..PDB_VOCAB.len())];
+            let mut c = 1000 + i as u32;
+            (fresh_label(word, &pdb.used, &mut c), false)
+        };
+        // Collisions (e.g. two words sharing a consonant skeleton) fall back
+        // to the original label, which is unique by PIR construction.
+        let label = if pdb.used.contains(&label) {
+            original
+        } else {
+            label
+        };
+        let id = pdb.add(pdb_parent, label, pir.leaf_type[i]);
+        copied[i] = id;
+        if is_match {
+            gold.add(&pir.path(i), &pdb.path(id));
+        }
+    }
+    // Copied PIR leaves must stay leaves, or their gold pairs would turn
+    // into leaf-vs-subtree comparisons the hybrid (rightly) scores low.
+    let frozen: HashSet<usize> = (1..pir.len())
+        .filter(|&i| pir.children[i].is_empty())
+        .map(|i| copied[i])
+        .collect();
+    // Extend one deepest *padding-eligible* path to the published PDB depth.
+    let deepest = (0..pdb.len())
+        .filter(|i| !frozen.contains(i))
+        .max_by_key(|&i| pdb.levels[i])
+        .expect("pdb is non-empty");
+    pdb.add(deepest, "Coordinate".to_owned(), "xs:decimal");
+    // Pad with crystallography-only elements up to the published size.
+    grow(
+        &mut pdb,
+        PDB_ELEMENTS,
+        PDB_DEPTH,
+        PDB_VOCAB,
+        &frozen,
+        &mut rng,
+    );
+
+    let pir_xsd = pir.to_xsd();
+    let pdb_xsd = pdb.to_xsd();
+    let pir_tree = SchemaTree::compile(&parse_schema(&pir_xsd).expect("generated PIR parses"))
+        .expect("generated PIR compiles");
+    let pdb_tree = SchemaTree::compile(&parse_schema(&pdb_xsd).expect("generated PDB parses"))
+        .expect("generated PDB compiles");
+    ProteinCorpus {
+        pir_xsd,
+        pdb_xsd,
+        pir: pir_tree,
+        pdb: pdb_tree,
+        gold,
+    }
+}
+
+/// The generated corpus (built once, cached for the process lifetime).
+pub fn protein_corpus() -> &'static ProteinCorpus {
+    static CACHE: OnceLock<ProteinCorpus> = OnceLock::new();
+    CACHE.get_or_init(generate)
+}
+
+/// The PIR stand-in schema tree (231 elements, depth 6).
+pub fn pir() -> &'static SchemaTree {
+    &protein_corpus().pir
+}
+
+/// The PDB stand-in schema tree (3753 elements, depth 7).
+pub fn pdb() -> &'static SchemaTree {
+    &protein_corpus().pdb
+}
+
+/// The by-construction real matches between PIR and PDB.
+pub fn protein_gold() -> &'static GoldStandard {
+    &protein_corpus().gold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pir_matches_table1_exactly() {
+        let t = pir();
+        assert_eq!(t.element_count(), PIR_ELEMENTS);
+        assert_eq!(t.max_depth(), PIR_DEPTH);
+    }
+
+    #[test]
+    fn pdb_matches_table1_exactly() {
+        let t = pdb();
+        assert_eq!(t.element_count(), PDB_ELEMENTS);
+        assert_eq!(t.max_depth(), PDB_DEPTH);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        // Two independent generations must agree (the cache hides this, so
+        // generate directly).
+        let a = generate();
+        let b = generate();
+        assert_eq!(a.pir_xsd, b.pir_xsd);
+        assert_eq!(a.pdb_xsd, b.pdb_xsd);
+        assert_eq!(a.gold.len(), b.gold.len());
+    }
+
+    #[test]
+    fn gold_is_substantial_and_well_formed() {
+        let corpus = protein_corpus();
+        // ~80% of 231 nodes correspond; allow generator slack.
+        assert!(
+            corpus.gold.len() > 150,
+            "gold has {} pairs",
+            corpus.gold.len()
+        );
+        assert!(corpus.gold.len() <= PIR_ELEMENTS);
+        // Every gold path must resolve to a node in the respective tree.
+        let pir_paths: std::collections::HashSet<String> = corpus
+            .pir
+            .iter()
+            .map(|(id, _)| corpus.pir.path_labels(id).join("/"))
+            .collect();
+        let pdb_paths: std::collections::HashSet<String> = corpus
+            .pdb
+            .iter()
+            .map(|(id, _)| corpus.pdb.path_labels(id).join("/"))
+            .collect();
+        for (s, t) in corpus.gold.iter() {
+            assert!(pir_paths.contains(s), "gold source path {s} missing");
+            assert!(pdb_paths.contains(t), "gold target path {t} missing");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_within_each_schema() {
+        for tree in [pir(), pdb()] {
+            let mut seen = std::collections::HashSet::new();
+            for (_, node) in tree.iter() {
+                assert!(
+                    seen.insert(node.label.clone()),
+                    "duplicate label {}",
+                    node.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviate_is_lexicon_compatible() {
+        use qmatch_lexicon::name_match::looks_like_abbreviation;
+        for word in ["sequence", "classification", "reference", "modification"] {
+            let short = abbreviate(word);
+            assert!(
+                looks_like_abbreviation(&short, word),
+                "{short} should abbreviate {word}"
+            );
+        }
+        // Suffixes survive.
+        assert_eq!(
+            abbreviate("sequence12"),
+            format!("{}12", abbreviate("sequence"))
+        );
+    }
+
+    #[test]
+    fn synonymize_preserves_suffix_and_uses_map() {
+        assert_eq!(synonymize("gene7"), Some("locus7".to_owned()));
+        assert_eq!(synonymize("protein"), Some("polypeptide".to_owned()));
+        assert_eq!(synonymize("helix"), None);
+    }
+
+    #[test]
+    fn synonym_map_is_backed_by_the_thesaurus() {
+        use qmatch_lexicon::builtin::default_thesaurus;
+        use qmatch_lexicon::thesaurus::Relation;
+        let t = default_thesaurus();
+        for (a, b) in SYNONYM_MAP {
+            let rel = t.relation(a, b);
+            assert!(
+                rel != Relation::Unrelated,
+                "({a}, {b}) must be related in the builtin thesaurus, got {rel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vocabularies_are_disjoint() {
+        let pir: std::collections::HashSet<_> = PIR_VOCAB.iter().collect();
+        for w in PDB_VOCAB {
+            assert!(!pir.contains(w), "{w} appears in both vocabularies");
+        }
+    }
+
+    #[test]
+    fn vocab_has_no_internal_synonyms() {
+        // If two vocabulary words were thesaurus synonyms, the generator
+        // would create real matches missing from the gold standard.
+        use qmatch_lexicon::builtin::default_thesaurus;
+        let t = default_thesaurus();
+        let spine = [
+            "sequence", "feature", "fragment", "site", "position", "offset",
+        ];
+        let all: Vec<&str> = PIR_VOCAB.iter().copied().chain(spine).collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert!(
+                    !t.are_synonyms(a, b),
+                    "PIR vocabulary words {a:?} and {b:?} are synonyms"
+                );
+            }
+        }
+        // And PDB padding words must not be synonyms of PIR words either.
+        for a in &all {
+            for b in PDB_VOCAB {
+                assert!(
+                    !t.are_synonyms(a, b),
+                    "cross-vocabulary synonyms {a:?} / {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_xsd_exercises_the_real_pipeline() {
+        let corpus = protein_corpus();
+        assert!(corpus.pir_xsd.contains("xs:schema"));
+        assert!(corpus.pdb_xsd.len() > corpus.pir_xsd.len() * 8);
+        // Both already compiled through parse_schema + SchemaTree::compile
+        // in generate(); spot check roots.
+        assert_eq!(corpus.pir.root().label, "ProteinEntry");
+        assert_eq!(corpus.pdb.root().label, "PDBRecord");
+    }
+}

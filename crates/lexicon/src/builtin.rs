@@ -1,0 +1,334 @@
+//! The built-in domain thesaurus.
+//!
+//! This is the substitution for WordNet (see DESIGN.md §4): a curated
+//! vocabulary covering the paper's evaluation domains — purchase orders and
+//! inventory, books and publications, proteins, the library example of
+//! Fig. 7, the human-anatomy example of Fig. 8 — plus generic data-modeling
+//! terms. The data is intentionally conservative: polysemous pairs that
+//! would create false matches across domains (e.g. `article` the publication
+//! vs `article` the line item) are left out.
+
+use crate::thesaurus::Thesaurus;
+
+/// Synonym sets.
+pub const SYNONYMS: &[&[&str]] = &[
+    // Commerce / purchase orders
+    &["purchase", "buy", "procurement"],
+    &["order", "requisition"],
+    &["item", "product", "good", "merchandise", "sku"],
+    &["quantity", "amount", "count"],
+    &["price", "cost", "rate"],
+    &["total", "sum"],
+    &["bill", "invoice", "billing", "invoicing"],
+    &["ship", "deliver", "dispatch", "send"],
+    &["customer", "client", "buyer", "purchaser"],
+    &["vendor", "supplier", "seller", "merchant"],
+    &["address", "location"],
+    &["line", "row", "entry"],
+    &["date", "day"],
+    &["number", "num", "no"],
+    &["measure", "measurement", "metric"],
+    &["unit", "uom"],
+    &["warehouse", "depot", "store"],
+    &["inventory", "stock"],
+    &["currency", "denomination"],
+    &["discount", "rebate", "reduction"],
+    &["tax", "duty", "levy"],
+    &["payment", "remittance"],
+    &["status", "state", "condition"],
+    &["comment", "note", "remark", "annotation"],
+    // Books / publications
+    &["book", "volume", "tome"],
+    &["writer", "author", "creator"],
+    &["publisher", "press"],
+    &["title", "heading", "caption"],
+    &["chapter", "section"],
+    &["page", "folio"],
+    &["edition", "version", "release"],
+    &["abstract", "summary", "synopsis"],
+    &["journal", "periodical", "magazine"],
+    &["keyword", "term", "tag"],
+    &["language", "tongue"],
+    &["genre", "category", "kind", "type"],
+    &["subject", "topic", "theme"],
+    &["year", "annum"],
+    // Proteins / bioinformatics
+    &["protein", "polypeptide"],
+    &["sequence", "chain"],
+    &["residue", "monomer"],
+    &["organism", "species"],
+    &["gene", "locus"],
+    &["structure", "conformation"],
+    &["function", "role", "activity"],
+    &["source", "origin"],
+    &["reference", "citation"],
+    &["database", "databank", "repository"],
+    &["entry", "record"],
+    &["atom", "particle"],
+    &["domain", "region", "segment"],
+    &["motif", "pattern"],
+    &["accession", "identifier"],
+    // Library / people / anatomy (Figs. 7 & 8)
+    &["library", "archive"],
+    &["human", "person", "individual"],
+    &["body", "torso", "trunk"],
+    &["man", "male"],
+    &["woman", "female"],
+    &["hand", "palm"],
+    &["head", "skull"],
+    &["leg", "limb"],
+    &["character", "figure", "personage"],
+    // Generic data modeling
+    &["name", "label", "designation"],
+    &["id", "identifier", "key"],
+    &["description", "detail", "info", "information"],
+    &["value", "content"],
+    &["group", "set", "collection", "list"],
+    &["parent", "owner"],
+    &["child", "member"],
+    &["start", "begin", "commence"],
+    &["end", "finish", "stop"],
+    &["first", "initial"],
+    &["last", "final"],
+    &["phone", "telephone"],
+    &["mail", "post"],
+    &["street", "road", "avenue"],
+    &["city", "town"],
+    &["country", "nation"],
+    &["company", "firm", "corporation", "organization"],
+    &["employee", "worker", "staff"],
+    &["contact", "correspondent"],
+];
+
+/// `(child, parent)` hypernym edges: the child concept IS-A parent concept.
+pub const HYPERNYMS: &[(&str, &str)] = &[
+    // Commerce
+    ("invoice", "document"),
+    ("order", "document"),
+    ("receipt", "document"),
+    ("po", "order"),
+    ("quantity", "number"),
+    ("price", "value"),
+    // An order's items are its entries/lines (the paper's §2.2 grades the
+    // Lines/Items label pair as a relaxed match).
+    ("item", "entry"),
+    ("date", "time"),
+    ("zip", "code"),
+    ("zipcode", "code"),
+    ("apartment", "address"),
+    ("street", "address"),
+    ("city", "address"),
+    ("fax", "phone"),
+    ("mobile", "phone"),
+    // Books
+    ("book", "publication"),
+    ("article", "publication"),
+    ("journal", "publication"),
+    ("paper", "publication"),
+    ("thesis", "publication"),
+    ("novel", "book"),
+    ("textbook", "book"),
+    ("isbn", "identifier"),
+    ("issn", "identifier"),
+    ("author", "person"),
+    ("editor", "person"),
+    ("publisher", "organization"),
+    // Proteins
+    ("protein", "molecule"),
+    ("enzyme", "protein"),
+    ("peptide", "molecule"),
+    ("helix", "structure"),
+    ("sheet", "structure"),
+    ("strand", "structure"),
+    ("dna", "sequence"),
+    ("rna", "sequence"),
+    ("organism", "source"),
+    ("bacteria", "organism"),
+    ("virus", "organism"),
+    // Anatomy / people
+    ("man", "human"),
+    ("woman", "human"),
+    ("child", "human"),
+    ("hand", "body"),
+    ("head", "body"),
+    ("leg", "body"),
+    ("arm", "body"),
+    ("finger", "hand"),
+    ("toe", "foot"),
+    ("writer", "person"),
+    ("character", "person"),
+    // Generic
+    ("employee", "person"),
+    ("customer", "person"),
+    ("company", "organization"),
+    ("department", "organization"),
+];
+
+/// Acronyms with multi-word (or single-word) expansions.
+pub const ACRONYMS: &[(&str, &[&str])] = &[
+    ("po", &["purchase", "order"]),
+    ("uom", &["unit", "of", "measure"]),
+    ("qoh", &["quantity", "on", "hand"]),
+    ("sku", &["stock", "keeping", "unit"]),
+    ("eta", &["estimated", "time", "of", "arrival"]),
+    ("cod", &["cash", "on", "delivery"]),
+    ("vat", &["value", "added", "tax"]),
+    ("isbn", &["international", "standard", "book", "number"]),
+    ("issn", &["international", "standard", "serial", "number"]),
+    ("doi", &["digital", "object", "identifier"]),
+    ("pir", &["protein", "information", "resource"]),
+    ("pdb", &["protein", "data", "bank"]),
+    ("id", &["identifier"]),
+    ("ref", &["reference"]),
+    ("dob", &["date", "of", "birth"]),
+    ("ssn", &["social", "security", "number"]),
+    ("dcmd", &["document", "centric", "multiple", "document"]),
+];
+
+/// `(short, full)` abbreviation pairs.
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("qty", "quantity"),
+    ("qnty", "quantity"),
+    ("no", "number"),
+    ("num", "number"),
+    ("nbr", "number"),
+    ("nr", "number"),
+    ("amt", "amount"),
+    ("addr", "address"),
+    ("desc", "description"),
+    ("descr", "description"),
+    ("info", "information"),
+    ("tel", "telephone"),
+    ("ph", "phone"),
+    ("st", "street"),
+    ("ave", "avenue"),
+    ("org", "organization"),
+    ("dept", "department"),
+    ("acct", "account"),
+    ("seq", "sequence"),
+    ("max", "maximum"),
+    ("min", "minimum"),
+    ("avg", "average"),
+    ("mfr", "manufacturer"),
+    ("cust", "customer"),
+    ("prod", "product"),
+    ("cat", "category"),
+    ("meas", "measure"),
+    ("msr", "measure"),
+    ("ord", "order"),
+    ("purch", "purchase"),
+    ("pub", "publisher"),
+    ("auth", "author"),
+    ("lang", "language"),
+    ("vol", "volume"),
+    ("ed", "edition"),
+    ("pg", "page"),
+    ("chap", "chapter"),
+    ("abbr", "abbreviation"),
+    ("cfg", "configuration"),
+    ("cfgs", "configurations"),
+    ("len", "length"),
+    ("pos", "position"),
+    ("val", "value"),
+    ("del", "delivery"),
+    ("inv", "invoice"),
+    ("wt", "weight"),
+    ("ht", "height"),
+];
+
+/// Builds the default thesaurus from the tables above.
+pub fn default_thesaurus() -> Thesaurus {
+    let mut t = Thesaurus::new();
+    for set in SYNONYMS {
+        t.add_synonyms(set.iter().copied());
+    }
+    for (child, parent) in HYPERNYMS {
+        t.add_hypernym(child, parent);
+    }
+    for (acronym, expansion) in ACRONYMS {
+        t.add_acronym(acronym, expansion.iter().copied());
+    }
+    for (short, full) in ABBREVIATIONS {
+        t.add_abbreviation(short, full);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thesaurus::Relation;
+
+    #[test]
+    fn builds_without_panicking_and_is_nonempty() {
+        let t = default_thesaurus();
+        assert!(t.synonym_token_count() > 150);
+    }
+
+    #[test]
+    fn paper_examples_have_the_right_relations() {
+        let t = default_thesaurus();
+        // §2.1: Quantity / Qty — abbreviation (relaxed).
+        assert_eq!(t.relation("quantity", "qty"), Relation::Abbreviation);
+        // §2.1: acronym UOM expands to unit of measure (checked at phrase
+        // level by the name matcher; the expansion must be registered).
+        assert_eq!(t.acronym_expansions("uom")[0], ["unit", "of", "measure"]);
+        // PO expands to purchase order.
+        assert!(t
+            .acronym_expansions("po")
+            .iter()
+            .any(|e| e == &["purchase", "order"][..]));
+    }
+
+    #[test]
+    fn cross_domain_terms_stay_unrelated() {
+        let t = default_thesaurus();
+        // Library (Fig. 7) vs human anatomy (Fig. 8) must be linguistically
+        // disparate for the Figure 9 experiment to behave like the paper.
+        assert_eq!(t.relation("library", "human"), Relation::Unrelated);
+        assert_eq!(t.relation("title", "body"), Relation::Unrelated);
+        assert_eq!(t.relation("book", "man"), Relation::Unrelated);
+        assert_eq!(t.relation("number", "hands"), Relation::Unrelated);
+        assert_eq!(t.relation("writer", "legs"), Relation::Unrelated);
+    }
+
+    #[test]
+    fn writer_and_character_relate_to_person_not_each_other_directly() {
+        let t = default_thesaurus();
+        assert_eq!(t.relation("writer", "person"), Relation::Hypernym);
+        assert_eq!(t.relation("character", "person"), Relation::Hypernym);
+    }
+
+    #[test]
+    fn synonym_tables_have_no_singletons() {
+        for set in SYNONYMS {
+            assert!(set.len() >= 2, "synonym set {set:?} is useless");
+        }
+    }
+
+    #[test]
+    fn abbreviation_shorts_are_shorter_than_fulls() {
+        for (short, full) in ABBREVIATIONS {
+            assert!(short.len() < full.len(), "({short}, {full})");
+        }
+    }
+
+    #[test]
+    fn tables_are_lowercase() {
+        for set in SYNONYMS {
+            for w in *set {
+                assert_eq!(*w, w.to_lowercase());
+            }
+        }
+        for (a, b) in HYPERNYMS {
+            assert_eq!(*a, a.to_lowercase());
+            assert_eq!(*b, b.to_lowercase());
+        }
+        for (a, e) in ACRONYMS {
+            assert_eq!(*a, a.to_lowercase());
+            for w in *e {
+                assert_eq!(*w, w.to_lowercase());
+            }
+        }
+    }
+}

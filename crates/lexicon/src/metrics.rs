@@ -1,0 +1,297 @@
+//! String similarity metrics.
+//!
+//! All metrics return a similarity in `[0, 1]` where `1.0` means identical.
+//! They operate on `char`s (not bytes), so multi-byte labels behave
+//! correctly. These are the fuzzy fallback beneath the thesaurus-driven
+//! grades: when two tokens share no lexical relation, the matchers use
+//! [`combined_similarity`].
+
+/// Levenshtein edit distance (insertions, deletions, substitutions).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max_len`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut matches_b_idx: Vec<usize> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push(ca);
+                matches_b_idx.push(j);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched characters in order of b.
+    let mut sorted_idx = matches_b_idx.clone();
+    sorted_idx.sort_unstable();
+    let matched_b: Vec<char> = sorted_idx.iter().map(|&j| b[j]).collect();
+    let t = matches_a
+        .iter()
+        .zip(&matched_b)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard 0.1 prefix scale (max 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Dice coefficient over character bigrams.
+pub fn bigram_dice(a: &str, b: &str) -> f64 {
+    ngram_dice(a, b, 2)
+}
+
+/// Dice coefficient over character trigrams.
+pub fn trigram_dice(a: &str, b: &str) -> f64 {
+    ngram_dice(a, b, 3)
+}
+
+/// Dice coefficient over character n-grams; identical strings score 1.0 even
+/// when shorter than `n`.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    debug_assert!(n > 0);
+    if a == b {
+        return 1.0;
+    }
+    let grams = |s: &str| -> Vec<Vec<char>> {
+        let cs: Vec<char> = s.chars().collect();
+        if cs.len() < n {
+            return Vec::new();
+        }
+        cs.windows(n).map(|w| w.to_vec()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut gb_used = vec![false; gb.len()];
+    let mut common = 0usize;
+    for g in &ga {
+        if let Some(pos) = gb
+            .iter()
+            .enumerate()
+            .position(|(j, h)| !gb_used[j] && h == g)
+        {
+            gb_used[pos] = true;
+            common += 1;
+        }
+    }
+    2.0 * common as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Length of the longest common subsequence.
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                cur[j].max(prev[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// LCS similarity: `lcs / max_len`.
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    lcs_len(a, b) as f64 / max_len as f64
+}
+
+/// Shared-prefix ratio: `common_prefix / max_len`.
+pub fn prefix_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let common = a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count();
+    common as f64 / max_len as f64
+}
+
+/// The fuzzy similarity the matchers use for unrelated tokens: the maximum
+/// of Jaro–Winkler and bigram Dice, which behaves well on both short
+/// (`qty`/`qnty`) and long (`shipping`/`shippingaddress`) identifiers.
+pub fn combined_similarity(a: &str, b: &str) -> f64 {
+    jaro_winkler(a, b).max(bigram_dice(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_normalizes() {
+        assert_close(levenshtein_similarity("", ""), 1.0);
+        assert_close(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_close(levenshtein_similarity("abcd", "abXd"), 0.75);
+        assert_close(levenshtein_similarity("a", "z"), 0.0);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic reference pairs.
+        assert_close(jaro("MARTHA", "MARHTA"), 0.9444444444444445);
+        assert_close(jaro("DIXON", "DICKSONX"), 0.7666666666666666);
+        assert_close(jaro("", ""), 1.0);
+        assert_close(jaro("a", ""), 0.0);
+        assert_close(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert_close(jaro_winkler("MARTHA", "MARHTA"), 0.9611111111111111);
+        assert_close(jaro_winkler("DIXON", "DICKSONX"), 0.8133333333333332);
+        assert_close(jaro_winkler("identical", "identical"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_is_symmetric_and_bounded() {
+        let pairs = [
+            ("quantity", "qty"),
+            ("order", "ordre"),
+            ("x", "xyzzy"),
+            ("", "a"),
+        ];
+        for (a, b) in pairs {
+            let ab = jaro_winkler(a, b);
+            let ba = jaro_winkler(b, a);
+            assert_close(ab, ba);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+
+    #[test]
+    fn dice_coefficients() {
+        assert_close(bigram_dice("night", "nacht"), 0.25);
+        assert_close(bigram_dice("same", "same"), 1.0);
+        assert_close(bigram_dice("a", "a"), 1.0); // shorter than the n-gram
+        assert_close(bigram_dice("a", "b"), 0.0);
+        assert_close(trigram_dice("abcde", "abcde"), 1.0);
+        assert!(trigram_dice("abcdef", "abcxef") < 1.0);
+    }
+
+    #[test]
+    fn dice_handles_repeated_ngrams() {
+        // "aaaa" has bigrams {aa, aa, aa}; "aa" has {aa}. Multiset matching
+        // must count the shared bigram once.
+        assert_close(ngram_dice("aaaa", "aa", 2), 2.0 * 1.0 / 4.0);
+    }
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len("abcde", "ace"), 3);
+        assert_eq!(lcs_len("", "abc"), 0);
+        assert_eq!(lcs_len("abc", "abc"), 3);
+        assert_eq!(lcs_len("qty", "quantity"), 3);
+        assert_close(lcs_similarity("qty", "quantity"), 3.0 / 8.0);
+        assert_close(lcs_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn prefix_similarity_basics() {
+        assert_close(prefix_similarity("order", "orders"), 5.0 / 6.0);
+        assert_close(prefix_similarity("abc", "xbc"), 0.0);
+        assert_close(prefix_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn combined_similarity_reasonable_on_schema_tokens() {
+        assert!(combined_similarity("quantity", "quantity") == 1.0);
+        assert!(combined_similarity("quantity", "qnty") > 0.7);
+        assert!(combined_similarity("orderno", "ordernumber") > 0.7);
+        assert!(combined_similarity("head", "legs") <= 0.5);
+    }
+
+    #[test]
+    fn all_metrics_handle_unicode() {
+        assert!(levenshtein_similarity("véhicule", "vehicule") > 0.8);
+        assert!(jaro_winkler("élan", "élan") == 1.0);
+        assert!(bigram_dice("日本語", "日本") > 0.0);
+    }
+}

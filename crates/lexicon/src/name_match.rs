@@ -1,0 +1,488 @@
+//! Label comparison: combines tokenization, the thesaurus, and the fuzzy
+//! metrics into the label-axis grades the paper defines.
+//!
+//! Paper §2.1:
+//! - *exact* label match — exact string match, synonym match, or ontology
+//!   match;
+//! - *relaxed* label match — hypernym match or acronym match (this
+//!   implementation also counts registered abbreviations and high-confidence
+//!   fuzzy matches, which is how CUPID-style matchers treat `Qty`/`Quantity`).
+
+use crate::metrics::combined_similarity;
+use crate::thesaurus::{Relation, Thesaurus};
+use crate::tokenize::{tokenize, Token};
+
+/// The qualitative label-axis grade (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelGrade {
+    /// Exact string / synonym / ontology match.
+    Exact,
+    /// Hypernym, acronym, abbreviation, or strong fuzzy match.
+    Relaxed,
+    /// No meaningful match.
+    None,
+}
+
+/// The result of comparing two labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NameMatch {
+    /// Qualitative grade.
+    pub grade: LabelGrade,
+    /// Quantitative similarity in `[0, 1]`; `Exact` implies `1.0` on the
+    /// canonical scale used by the QoM model.
+    pub score: f64,
+}
+
+impl NameMatch {
+    const NONE: NameMatch = NameMatch {
+        grade: LabelGrade::None,
+        score: 0.0,
+    };
+}
+
+/// Canonical per-relation scores. `Exact`-grade relations score 1.0; the
+/// relaxed relations are ordered by reliability.
+mod scores {
+    pub const EXACT: f64 = 1.0;
+    pub const ABBREVIATION: f64 = 0.85;
+    pub const ACRONYM: f64 = 0.85;
+    pub const HYPERNYM: f64 = 0.70;
+    pub const COORDINATE: f64 = 0.60;
+    /// Fuzzy similarity must clear this to count as a token match at all.
+    pub const FUZZY_FLOOR: f64 = 0.80;
+    /// A fuzzy token match is discounted by this factor (it has no lexical
+    /// evidence behind it).
+    pub const FUZZY_DISCOUNT: f64 = 0.9;
+}
+
+/// Aggregate score below which the whole-label grade is `None`. Set to 0.5
+/// so that a one-of-two-token exact overlap (the paper's `PurchaseDate` vs
+/// `Date` example) still counts as a relaxed match.
+const RELAXED_FLOOR: f64 = 0.5;
+
+/// Compares schema labels using a [`Thesaurus`].
+#[derive(Debug, Clone)]
+pub struct NameMatcher {
+    thesaurus: Thesaurus,
+}
+
+/// Stopwords ignored during token alignment (but kept for acronym initials).
+const STOPWORDS: &[&str] = &["of", "the", "a", "an", "to", "for", "in", "on"];
+
+impl NameMatcher {
+    /// A matcher over the given thesaurus.
+    pub fn new(thesaurus: Thesaurus) -> Self {
+        NameMatcher { thesaurus }
+    }
+
+    /// A matcher over the built-in domain thesaurus.
+    pub fn with_default_thesaurus() -> Self {
+        NameMatcher::new(crate::builtin::default_thesaurus())
+    }
+
+    /// Borrow the underlying thesaurus.
+    pub fn thesaurus(&self) -> &Thesaurus {
+        &self.thesaurus
+    }
+
+    /// Compares two raw labels.
+    pub fn compare(&self, a: &str, b: &str) -> NameMatch {
+        self.compare_tokens(&tokenize(a), &tokenize(b))
+    }
+
+    /// Compares two pre-tokenized labels (callers that compare every node
+    /// pair tokenize each label once and use this).
+    pub fn compare_tokens(&self, a: &[Token], b: &[Token]) -> NameMatch {
+        if a.is_empty() || b.is_empty() {
+            return if a.is_empty() && b.is_empty() {
+                NameMatch {
+                    grade: LabelGrade::Exact,
+                    score: scores::EXACT,
+                }
+            } else {
+                NameMatch::NONE
+            };
+        }
+        // Identical token sequences are exact without any alignment work —
+        // the dominant case when matching a schema against itself or near
+        // copies.
+        if a == b {
+            return NameMatch {
+                grade: LabelGrade::Exact,
+                score: scores::EXACT,
+            };
+        }
+        // Whole-phrase acronym match is checked before token alignment:
+        // "UOM" vs "Unit Of Measure" aligns no tokens but is a relaxed match.
+        if self.phrase_acronym(a, b) || self.phrase_acronym(b, a) {
+            return NameMatch {
+                grade: LabelGrade::Relaxed,
+                score: scores::ACRONYM,
+            };
+        }
+        let (score, all_exact) = self.align(a, b);
+        if all_exact && score >= 0.999 {
+            NameMatch {
+                grade: LabelGrade::Exact,
+                score: scores::EXACT,
+            }
+        } else if score >= RELAXED_FLOOR {
+            NameMatch {
+                grade: LabelGrade::Relaxed,
+                score,
+            }
+        } else {
+            NameMatch {
+                grade: LabelGrade::None,
+                score,
+            }
+        }
+    }
+
+    /// True if `short` is a single token whose letters are the initials of
+    /// `long`'s tokens (with or without stopwords), or a registered acronym
+    /// whose expansion matches `long` token-for-token.
+    fn phrase_acronym(&self, short: &[Token], long: &[Token]) -> bool {
+        if short.len() != 1 || long.len() < 2 {
+            return false;
+        }
+        let s = short[0].as_str();
+        // Registered expansion, matched token-wise through synonyms.
+        for expansion in self.thesaurus.acronym_expansions(s) {
+            if expansion.len() == long.len()
+                && expansion
+                    .iter()
+                    .zip(long)
+                    .all(|(e, l)| e == l.as_str() || self.thesaurus.are_synonyms(e, l.as_str()))
+            {
+                return true;
+            }
+        }
+        // Generic initials check.
+        if s.len() >= 2 {
+            let initials: String = long
+                .iter()
+                .filter_map(|t| t.as_str().chars().next())
+                .collect();
+            if initials == s {
+                return true;
+            }
+            let content_initials: String = long
+                .iter()
+                .filter(|t| !STOPWORDS.contains(&t.as_str()))
+                .filter_map(|t| t.as_str().chars().next())
+                .collect();
+            if content_initials.len() >= 2 && content_initials == s {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Greedy best-pair token alignment. Returns the normalized aggregate
+    /// score and whether every token on both sides found an exact-grade
+    /// partner.
+    fn align(&self, a: &[Token], b: &[Token]) -> (f64, bool) {
+        let content = |ts: &[Token]| -> Vec<Token> {
+            let kept: Vec<Token> = ts
+                .iter()
+                .filter(|t| !STOPWORDS.contains(&t.as_str()))
+                .cloned()
+                .collect();
+            if kept.is_empty() {
+                ts.to_vec()
+            } else {
+                kept
+            }
+        };
+        let a = content(a);
+        let b = content(b);
+        // Fast path: single-token labels (most schema element names) need no
+        // bipartite machinery.
+        if let ([ta], [tb]) = (a.as_slice(), b.as_slice()) {
+            let (score, exact) = self.token_score(ta.as_str(), tb.as_str());
+            return (score, exact && score >= 0.999);
+        }
+        let mut pairs: Vec<(usize, usize, f64, bool)> = Vec::with_capacity(a.len() * b.len());
+        for (i, ta) in a.iter().enumerate() {
+            for (j, tb) in b.iter().enumerate() {
+                let (score, exact) = self.token_score(ta.as_str(), tb.as_str());
+                if score > 0.0 {
+                    pairs.push((i, j, score, exact));
+                }
+            }
+        }
+        pairs.sort_by(|x, y| y.2.total_cmp(&x.2));
+        let mut used_a = vec![false; a.len()];
+        let mut used_b = vec![false; b.len()];
+        let mut total = 0.0;
+        let mut matched = 0usize;
+        let mut all_exact = true;
+        for (i, j, score, exact) in pairs {
+            if used_a[i] || used_b[j] {
+                continue;
+            }
+            used_a[i] = true;
+            used_b[j] = true;
+            total += score;
+            matched += 1;
+            all_exact &= exact;
+        }
+        let denom = a.len().max(b.len());
+        all_exact &= matched == denom && matched == a.len().min(b.len());
+        // Unequal token counts can never be fully exact.
+        all_exact &= a.len() == b.len();
+        (total / denom as f64, all_exact)
+    }
+
+    /// Scores one token pair; the bool reports an exact-grade relation.
+    fn token_score(&self, a: &str, b: &str) -> (f64, bool) {
+        if a == b {
+            return (scores::EXACT, true);
+        }
+        let sa = stem(a);
+        let sb = stem(b);
+        if sa == sb {
+            return (scores::EXACT, true);
+        }
+        match self.thesaurus.relation(&sa, &sb) {
+            Relation::Same | Relation::Synonym => (scores::EXACT, true),
+            Relation::Abbreviation => (scores::ABBREVIATION, false),
+            Relation::Acronym => (scores::ACRONYM, false),
+            Relation::Hypernym => (scores::HYPERNYM, false),
+            Relation::Coordinate => (scores::COORDINATE, false),
+            Relation::Unrelated => {
+                if looks_like_abbreviation(&sa, &sb) || looks_like_abbreviation(&sb, &sa) {
+                    return (scores::ABBREVIATION, false);
+                }
+                let fuzzy = combined_similarity(a, b);
+                if fuzzy >= scores::FUZZY_FLOOR {
+                    (fuzzy * scores::FUZZY_DISCOUNT, false)
+                } else {
+                    (0.0, false)
+                }
+            }
+        }
+    }
+}
+
+/// Light plural stemming — enough to make `Hands`/`hand` or
+/// `Categories`/`category` compare equal without a full stemmer.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    if t.len() > 4 && t.ends_with("ies") {
+        return format!("{}y", &t[..t.len() - 3]);
+    }
+    for suffix in ["ses", "xes", "zes", "ches", "shes"] {
+        if t.len() > suffix.len() + 1 && t.ends_with(suffix) {
+            return t[..t.len() - 2].to_owned();
+        }
+    }
+    if t.len() > 3 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") {
+        return t[..t.len() - 1].to_owned();
+    }
+    t.to_owned()
+}
+
+/// Heuristic abbreviation detection for pairs missing from the thesaurus:
+/// `short` must start `long`, be a subsequence of it, and be substantially
+/// shorter (`Qty` / `Quantity`, `Dscr` / `Description`).
+pub fn looks_like_abbreviation(short: &str, long: &str) -> bool {
+    if short.len() < 2 || short.len() * 3 > long.len() * 2 {
+        return false;
+    }
+    let mut long_chars = long.chars();
+    let mut first = true;
+    for sc in short.chars() {
+        let found = if first {
+            first = false;
+            long_chars.next() == Some(sc)
+        } else {
+            long_chars.any(|lc| lc == sc)
+        };
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matcher() -> NameMatcher {
+        NameMatcher::with_default_thesaurus()
+    }
+
+    #[test]
+    fn identical_labels_are_exact() {
+        let m = matcher();
+        assert_eq!(
+            m.compare("OrderNo", "OrderNo"),
+            NameMatch {
+                grade: LabelGrade::Exact,
+                score: 1.0
+            }
+        );
+        assert_eq!(m.compare("orderNo", "ORDER_NO").grade, LabelGrade::Exact);
+    }
+
+    #[test]
+    fn synonyms_are_exact_per_the_paper() {
+        let m = matcher();
+        assert_eq!(m.compare("Writer", "Author").grade, LabelGrade::Exact);
+        assert_eq!(m.compare("Vendor", "Supplier").grade, LabelGrade::Exact);
+        assert_eq!(
+            m.compare("BillingAddress", "InvoiceAddress").grade,
+            LabelGrade::Exact
+        );
+    }
+
+    #[test]
+    fn paper_uom_acronym_is_relaxed() {
+        let m = matcher();
+        let r = m.compare("Unit Of Measure", "UOM");
+        assert_eq!(r.grade, LabelGrade::Relaxed);
+        assert!(r.score > 0.8);
+    }
+
+    #[test]
+    fn paper_qty_abbreviation_is_relaxed() {
+        let m = matcher();
+        let r = m.compare("Quantity", "Qty");
+        assert_eq!(r.grade, LabelGrade::Relaxed);
+        assert!(r.score >= 0.8);
+    }
+
+    #[test]
+    fn purchase_order_vs_po_is_relaxed() {
+        let m = matcher();
+        assert_eq!(m.compare("PurchaseOrder", "PO").grade, LabelGrade::Relaxed);
+        assert_eq!(m.compare("Purchase Order", "PO").grade, LabelGrade::Relaxed);
+    }
+
+    #[test]
+    fn generic_initials_acronym_detected() {
+        let m = matcher();
+        // "sta" is not registered, but matches the initials.
+        assert_eq!(m.compare("ShipToAddress", "STA").grade, LabelGrade::Relaxed);
+    }
+
+    #[test]
+    fn hypernyms_are_relaxed() {
+        let m = matcher();
+        let r = m.compare("Book", "Publication");
+        assert_eq!(r.grade, LabelGrade::Relaxed);
+        assert!((r.score - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_labels_are_none() {
+        let m = matcher();
+        assert_eq!(m.compare("Library", "human").grade, LabelGrade::None);
+        assert_eq!(m.compare("Title", "legs").grade, LabelGrade::None);
+        assert_eq!(m.compare("Writer", "hands").grade, LabelGrade::None);
+    }
+
+    #[test]
+    fn partial_token_overlap_is_relaxed() {
+        let m = matcher();
+        // "PurchaseDate" vs "Date": one of two tokens matches exactly.
+        let r = m.compare("PurchaseDate", "Date");
+        assert_eq!(r.grade, LabelGrade::Relaxed);
+        assert!((r.score - 0.5).abs() < 1e-9, "{}", r.score);
+    }
+
+    #[test]
+    fn item_number_matches_item_hash() {
+        let m = matcher();
+        // Paper: Item (in Lines) has an exact match with Item# (in Items).
+        let r = m.compare("Item", "Item#");
+        // Item# tokenizes to [item, number]; one exact token of two.
+        assert!(r.grade <= LabelGrade::Relaxed);
+        assert!(r.score >= 0.5);
+    }
+
+    #[test]
+    fn plural_forms_are_exact() {
+        let m = matcher();
+        assert_eq!(m.compare("Lines", "Line").grade, LabelGrade::Exact);
+        assert_eq!(m.compare("Categories", "Category").grade, LabelGrade::Exact);
+        assert_eq!(m.compare("Boxes", "Box").grade, LabelGrade::Exact);
+    }
+
+    #[test]
+    fn fuzzy_typo_is_relaxed_but_discounted() {
+        let m = matcher();
+        let r = m.compare("Quantety", "Quantity");
+        assert_eq!(r.grade, LabelGrade::Relaxed);
+        assert!(r.score < 1.0 && r.score > 0.6);
+    }
+
+    #[test]
+    fn empty_labels() {
+        let m = matcher();
+        assert_eq!(m.compare("", "").grade, LabelGrade::Exact);
+        assert_eq!(m.compare("x", "").grade, LabelGrade::None);
+        assert_eq!(m.compare("", "x").grade, LabelGrade::None);
+    }
+
+    #[test]
+    fn stopwords_do_not_dilute_scores() {
+        let m = matcher();
+        let with = m.compare("DateOfBirth", "BirthDate");
+        assert_eq!(with.grade, LabelGrade::Exact, "score {}", with.score);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let m = matcher();
+        for (a, b) in [
+            ("PurchaseOrder", "PO"),
+            ("Quantity", "Qty"),
+            ("OrderNo", "OrderNumber"),
+            ("BillTo", "BillingAddr"),
+            ("Library", "human"),
+        ] {
+            let ab = m.compare(a, b);
+            let ba = m.compare(b, a);
+            assert!((ab.score - ba.score).abs() < 1e-9, "{a} vs {b}");
+            assert_eq!(ab.grade, ba.grade, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stem_rules() {
+        assert_eq!(stem("hands"), "hand");
+        assert_eq!(stem("categories"), "category");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("addresses"), "address"); // "ses" rule strips "es"
+        assert_eq!(stem("class"), "class"); // "ss" protected
+        assert_eq!(stem("status"), "status"); // "us" protected
+        assert_eq!(stem("bus"), "bus"); // too short
+        assert_eq!(stem("item"), "item");
+    }
+
+    #[test]
+    fn abbreviation_heuristic() {
+        assert!(looks_like_abbreviation("qty", "quantity"));
+        assert!(looks_like_abbreviation("dscr", "description"));
+        assert!(!looks_like_abbreviation("tyq", "quantity"), "order matters");
+        assert!(!looks_like_abbreviation("q", "quantity"), "too short");
+        assert!(
+            !looks_like_abbreviation("quantit", "quantity"),
+            "not much shorter"
+        );
+        assert!(!looks_like_abbreviation("xyz", "quantity"));
+    }
+
+    #[test]
+    fn orderno_vs_ordernumber_is_exact_via_abbreviation_synonyms() {
+        let m = matcher();
+        // no/number are synonyms in the builtin thesaurus, so this is an
+        // exact (synonym) match per the paper's classification.
+        let r = m.compare("OrderNo", "OrderNumber");
+        assert_eq!(r.grade, LabelGrade::Exact);
+    }
+}

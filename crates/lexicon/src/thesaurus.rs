@@ -1,0 +1,356 @@
+//! The thesaurus: synonym sets, hypernym edges, acronyms, and abbreviations.
+//!
+//! All entries are stored as lowercase tokens. Lookups are symmetric where
+//! the relation is symmetric (synonymy) and directional where it is not
+//! (hypernymy); [`Thesaurus::relation`] reports the relation found between
+//! two tokens regardless of argument order.
+
+use std::collections::HashMap;
+
+/// The lexical relation between two tokens, ordered from strongest to
+/// weakest. The paper maps `Same`/`Synonym` to an **exact** label match and
+/// `Acronym`/`Abbreviation`/`Hypernym` to a **relaxed** one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relation {
+    /// Identical tokens.
+    Same,
+    /// Members of the same synonym set.
+    Synonym,
+    /// One token abbreviates the other (`qty` / `quantity`).
+    Abbreviation,
+    /// One token is an acronym of a multi-word phrase; detected at the
+    /// phrase level by the name matcher (`uom` / `unit of measure`).
+    Acronym,
+    /// One token's concept subsumes the other's (`publication` / `book`).
+    Hypernym,
+    /// Co-hyponyms: the tokens share a registered ancestor concept
+    /// (`article` / `book`, both IS-A `publication`).
+    Coordinate,
+    /// No known relation.
+    Unrelated,
+}
+
+/// A mutable thesaurus. Build one with [`Thesaurus::new`] and the `add_*`
+/// methods, or start from [`crate::builtin::default_thesaurus`].
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    /// token -> synset id.
+    synset_of: HashMap<String, u32>,
+    synset_count: u32,
+    /// child token -> parent tokens (hypernyms).
+    hypernyms: HashMap<String, Vec<String>>,
+    /// acronym token -> expansion token sequences (an acronym may have
+    /// several domain expansions).
+    acronyms: HashMap<String, Vec<Vec<String>>>,
+    /// short form -> full words.
+    abbreviations: HashMap<String, Vec<String>>,
+}
+
+impl Thesaurus {
+    /// An empty thesaurus.
+    pub fn new() -> Self {
+        Thesaurus::default()
+    }
+
+    /// Adds a synonym set. Tokens already in a set are merged into it, so
+    /// `add_synonyms(["a","b"]); add_synonyms(["b","c"])` leaves all three
+    /// mutually synonymous.
+    pub fn add_synonyms<I, S>(&mut self, words: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let words: Vec<String> = words
+            .into_iter()
+            .map(|w| w.as_ref().to_lowercase())
+            .collect();
+        // Reuse an existing set id if any member already belongs to one.
+        let existing = words.iter().find_map(|w| self.synset_of.get(w).copied());
+        let id = match existing {
+            Some(id) => id,
+            None => {
+                let id = self.synset_count;
+                self.synset_count += 1;
+                id
+            }
+        };
+        // Merge: remap every set reachable through these words onto `id`.
+        let mut merge_ids: Vec<u32> = words
+            .iter()
+            .filter_map(|w| self.synset_of.get(w).copied())
+            .collect();
+        merge_ids.retain(|&m| m != id);
+        if !merge_ids.is_empty() {
+            for v in self.synset_of.values_mut() {
+                if merge_ids.contains(v) {
+                    *v = id;
+                }
+            }
+        }
+        for w in words {
+            self.synset_of.insert(w, id);
+        }
+    }
+
+    /// Declares `child` to be a kind of `parent` (e.g. `book` IS-A
+    /// `publication`).
+    pub fn add_hypernym(&mut self, child: &str, parent: &str) {
+        self.hypernyms
+            .entry(child.to_lowercase())
+            .or_default()
+            .push(parent.to_lowercase());
+    }
+
+    /// Declares `acronym` to expand to the given word sequence.
+    pub fn add_acronym<I, S>(&mut self, acronym: &str, expansion: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let words: Vec<String> = expansion
+            .into_iter()
+            .map(|w| w.as_ref().to_lowercase())
+            .collect();
+        self.acronyms
+            .entry(acronym.to_lowercase())
+            .or_default()
+            .push(words);
+    }
+
+    /// Declares `short` to be an abbreviation of `full`.
+    pub fn add_abbreviation(&mut self, short: &str, full: &str) {
+        self.abbreviations
+            .entry(short.to_lowercase())
+            .or_default()
+            .push(full.to_lowercase());
+    }
+
+    /// True if the two tokens share a synonym set.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        match (self.synset_of.get(a), self.synset_of.get(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// True if `a` is a registered hypernym (ancestor, transitively) of `b`.
+    pub fn is_hypernym_of(&self, a: &str, b: &str) -> bool {
+        let mut frontier = vec![b.to_owned()];
+        let mut hops = 0;
+        while let Some(cur) = frontier.pop() {
+            if let Some(parents) = self.hypernyms.get(&cur) {
+                for p in parents {
+                    if p == a || self.are_synonyms(p, a) {
+                        return true;
+                    }
+                    frontier.push(p.clone());
+                }
+            }
+            hops += 1;
+            if hops > 64 {
+                break; // defensive: malformed cyclic data
+            }
+        }
+        false
+    }
+
+    /// The registered expansions of `acronym`, if any.
+    pub fn acronym_expansions(&self, acronym: &str) -> &[Vec<String>] {
+        self.acronyms.get(acronym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `short` is a registered abbreviation of `full` (or `full`'s
+    /// synonyms).
+    pub fn is_abbreviation_of(&self, short: &str, full: &str) -> bool {
+        self.abbreviations.get(short).is_some_and(|fulls| {
+            fulls
+                .iter()
+                .any(|f| f == full || self.are_synonyms(f, full))
+        })
+    }
+
+    /// The strongest relation between `a` and `b` (symmetric: both argument
+    /// orders are tried for directional relations). Token-level only —
+    /// phrase-level acronyms are handled by the name matcher.
+    pub fn relation(&self, a: &str, b: &str) -> Relation {
+        if a == b {
+            return Relation::Same;
+        }
+        if self.are_synonyms(a, b) {
+            return Relation::Synonym;
+        }
+        if self.is_abbreviation_of(a, b) || self.is_abbreviation_of(b, a) {
+            return Relation::Abbreviation;
+        }
+        // A single-word acronym expansion behaves like an abbreviation.
+        let single_expansion = |x: &str, y: &str| {
+            self.acronym_expansions(x)
+                .iter()
+                .any(|e| e.len() == 1 && (e[0] == y || self.are_synonyms(&e[0], y)))
+        };
+        if single_expansion(a, b) || single_expansion(b, a) {
+            return Relation::Acronym;
+        }
+        if self.is_hypernym_of(a, b) || self.is_hypernym_of(b, a) {
+            return Relation::Hypernym;
+        }
+        if self.share_ancestor(a, b) {
+            return Relation::Coordinate;
+        }
+        Relation::Unrelated
+    }
+
+    /// All registered ancestors of `token` (transitive hypernym closure,
+    /// bounded for safety against malformed cyclic data).
+    fn ancestors(&self, token: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut frontier = vec![token.to_owned()];
+        while let Some(cur) = frontier.pop() {
+            if let Some(parents) = self.hypernyms.get(&cur) {
+                for p in parents {
+                    if !out.contains(p) {
+                        out.push(p.clone());
+                        frontier.push(p.clone());
+                    }
+                    if out.len() > 64 {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the two tokens share a registered ancestor concept (and are
+    /// therefore co-hyponyms / coordinate terms).
+    pub fn share_ancestor(&self, a: &str, b: &str) -> bool {
+        let aa = self.ancestors(a);
+        if aa.is_empty() {
+            return false;
+        }
+        let ba = self.ancestors(b);
+        aa.iter()
+            .any(|x| ba.iter().any(|y| x == y || self.are_synonyms(x, y)))
+    }
+
+    /// Number of synonym entries (distinct tokens appearing in sets).
+    pub fn synonym_token_count(&self) -> usize {
+        self.synset_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Thesaurus {
+        let mut t = Thesaurus::new();
+        t.add_synonyms(["writer", "author", "creator"]);
+        t.add_synonyms(["book", "volume"]);
+        t.add_hypernym("book", "publication");
+        t.add_hypernym("publication", "work");
+        t.add_acronym("uom", ["unit", "of", "measure"]);
+        t.add_acronym("id", ["identifier"]);
+        t.add_abbreviation("qty", "quantity");
+        t.add_abbreviation("no", "number");
+        t
+    }
+
+    #[test]
+    fn synonyms_are_symmetric_and_case_insensitive_storage() {
+        let t = sample();
+        assert!(t.are_synonyms("writer", "author"));
+        assert!(t.are_synonyms("creator", "writer"));
+        assert!(!t.are_synonyms("writer", "book"));
+        assert!(!t.are_synonyms("writer", "missing"));
+    }
+
+    #[test]
+    fn synonym_sets_merge_transitively() {
+        let mut t = Thesaurus::new();
+        t.add_synonyms(["a", "b"]);
+        t.add_synonyms(["c", "d"]);
+        assert!(!t.are_synonyms("a", "c"));
+        t.add_synonyms(["b", "c"]);
+        assert!(t.are_synonyms("a", "d"), "merging must connect all four");
+    }
+
+    #[test]
+    fn hypernyms_are_directional_and_transitive() {
+        let t = sample();
+        assert!(t.is_hypernym_of("publication", "book"));
+        assert!(t.is_hypernym_of("work", "book"), "transitive closure");
+        assert!(
+            !t.is_hypernym_of("book", "publication"),
+            "direction matters"
+        );
+        assert_eq!(t.relation("book", "publication"), Relation::Hypernym);
+        assert_eq!(t.relation("publication", "book"), Relation::Hypernym);
+    }
+
+    #[test]
+    fn hypernyms_respect_synonym_sets() {
+        let t = sample();
+        // volume is a synonym of book; book IS-A publication, but the edge
+        // was declared on "book" — hypernymy is looked up through the target
+        // token itself, while parents match through synonyms.
+        let mut t2 = t.clone();
+        t2.add_hypernym("volume", "publication");
+        assert!(t2.is_hypernym_of("publication", "volume"));
+    }
+
+    #[test]
+    fn abbreviations_and_relation_grade() {
+        let t = sample();
+        assert!(t.is_abbreviation_of("qty", "quantity"));
+        assert!(
+            !t.is_abbreviation_of("quantity", "qty"),
+            "lookup is by short form"
+        );
+        assert_eq!(t.relation("qty", "quantity"), Relation::Abbreviation);
+        assert_eq!(t.relation("quantity", "qty"), Relation::Abbreviation);
+        assert_eq!(t.relation("no", "number"), Relation::Abbreviation);
+    }
+
+    #[test]
+    fn single_word_acronym_expansion_matches() {
+        let t = sample();
+        assert_eq!(t.relation("id", "identifier"), Relation::Acronym);
+        // Multi-word expansions are not token-level relations.
+        assert_eq!(t.relation("uom", "unit"), Relation::Unrelated);
+        assert_eq!(t.acronym_expansions("uom").len(), 1);
+        assert!(t.acronym_expansions("zzz").is_empty());
+    }
+
+    #[test]
+    fn relation_priority_same_beats_everything() {
+        let t = sample();
+        assert_eq!(t.relation("book", "book"), Relation::Same);
+        assert_eq!(t.relation("writer", "author"), Relation::Synonym);
+        assert_eq!(t.relation("head", "legs"), Relation::Unrelated);
+    }
+
+    #[test]
+    fn relation_ordering_matches_strength() {
+        assert!(Relation::Same < Relation::Synonym);
+        assert!(Relation::Synonym < Relation::Abbreviation);
+        assert!(Relation::Abbreviation < Relation::Acronym);
+        assert!(Relation::Acronym < Relation::Hypernym);
+        assert!(Relation::Hypernym < Relation::Unrelated);
+    }
+
+    #[test]
+    fn cyclic_hypernym_data_terminates() {
+        let mut t = Thesaurus::new();
+        t.add_hypernym("a", "b");
+        t.add_hypernym("b", "a");
+        assert!(t.is_hypernym_of("b", "a"));
+        assert!(!t.is_hypernym_of("c", "a"));
+    }
+
+    #[test]
+    fn synonym_token_count_reflects_entries() {
+        let t = sample();
+        assert_eq!(t.synonym_token_count(), 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! A plain-text format for thesaurus extensions, so domain vocabulary can be
+//! supplied without recompiling (the paper: the linguistic component "can be
+//! easily replaced").
+//!
+//! ```text
+//! # aviation domain
+//! syn: aerodrome, airport, airfield
+//! hyp: runway < aerodrome
+//! acr: atc = air traffic control
+//! abbr: dep = departure
+//! ```
+//!
+//! One directive per line; `#` starts a comment. Directives:
+//!
+//! | directive | meaning |
+//! |---|---|
+//! | `syn: w1, w2, ...`  | the words form a synonym set |
+//! | `hyp: child < parent` | `child` IS-A `parent` |
+//! | `acr: short = w1 w2 ...` | `short` is an acronym for the phrase |
+//! | `abbr: short = full` | `short` abbreviates `full` |
+
+use crate::thesaurus::Thesaurus;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThesaurusParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ThesaurusParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thesaurus line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ThesaurusParseError {}
+
+/// Parses thesaurus-extension text into (and on top of) `base`.
+pub fn extend_from_text(base: &mut Thesaurus, text: &str) -> Result<usize, ThesaurusParseError> {
+    let mut directives = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if content.is_empty() {
+            continue;
+        }
+        let err = |message: String| ThesaurusParseError { line, message };
+        let Some((directive, body)) = content.split_once(':') else {
+            return Err(err(format!("expected 'directive: ...', got {content:?}")));
+        };
+        let body = body.trim();
+        match directive.trim() {
+            "syn" => {
+                let words: Vec<&str> = body
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|w| !w.is_empty())
+                    .collect();
+                if words.len() < 2 {
+                    return Err(err("syn needs at least two comma-separated words".into()));
+                }
+                base.add_synonyms(words);
+            }
+            "hyp" => {
+                let Some((child, parent)) = body.split_once('<') else {
+                    return Err(err("hyp needs 'child < parent'".into()));
+                };
+                let (child, parent) = (child.trim(), parent.trim());
+                if child.is_empty() || parent.is_empty() {
+                    return Err(err("hyp needs 'child < parent'".into()));
+                }
+                base.add_hypernym(child, parent);
+            }
+            "acr" => {
+                let Some((short, expansion)) = body.split_once('=') else {
+                    return Err(err("acr needs 'short = word word ...'".into()));
+                };
+                let short = short.trim();
+                let words: Vec<&str> = expansion.split_whitespace().collect();
+                if short.is_empty() || words.is_empty() {
+                    return Err(err("acr needs 'short = word word ...'".into()));
+                }
+                base.add_acronym(short, words);
+            }
+            "abbr" => {
+                let Some((short, full)) = body.split_once('=') else {
+                    return Err(err("abbr needs 'short = full'".into()));
+                };
+                let (short, full) = (short.trim(), full.trim());
+                if short.is_empty() || full.is_empty() || full.contains(char::is_whitespace) {
+                    return Err(err("abbr needs 'short = full' (one word each)".into()));
+                }
+                base.add_abbreviation(short, full);
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+        directives += 1;
+    }
+    Ok(directives)
+}
+
+/// Parses thesaurus-extension text into a fresh thesaurus.
+pub fn parse_thesaurus(text: &str) -> Result<Thesaurus, ThesaurusParseError> {
+    let mut t = Thesaurus::new();
+    extend_from_text(&mut t, text)?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thesaurus::Relation;
+
+    const SAMPLE: &str = "\
+# aviation domain
+syn: aerodrome, airport, airfield
+hyp: runway < aerodrome
+acr: atc = air traffic control   # tower
+abbr: dep = departure
+";
+
+    #[test]
+    fn parses_all_directives() {
+        let t = parse_thesaurus(SAMPLE).unwrap();
+        assert!(t.are_synonyms("airport", "airfield"));
+        assert!(t.is_hypernym_of("aerodrome", "runway"));
+        assert_eq!(
+            t.acronym_expansions("atc")[0],
+            ["air", "traffic", "control"]
+        );
+        assert!(t.is_abbreviation_of("dep", "departure"));
+    }
+
+    #[test]
+    fn extends_an_existing_thesaurus() {
+        let mut t = crate::builtin::default_thesaurus();
+        let n = extend_from_text(&mut t, SAMPLE).unwrap();
+        assert_eq!(n, 4);
+        // New vocabulary works...
+        assert_eq!(t.relation("aerodrome", "airport"), Relation::Synonym);
+        // ...and the builtin entries survive.
+        assert_eq!(t.relation("writer", "author"), Relation::Synonym);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let t = parse_thesaurus("\n# only comments\n   \n").unwrap();
+        assert_eq!(t.synonym_token_count(), 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_thesaurus("syn: a, b\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        for bad in [
+            "syn: onlyone",
+            "hyp: no-separator",
+            "hyp: < parent",
+            "acr: =",
+            "acr: x =",
+            "abbr: q = two words",
+            "abbr: =full",
+            "zzz: what",
+        ] {
+            assert!(parse_thesaurus(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn case_is_normalized_like_the_api() {
+        let t = parse_thesaurus("syn: Alpha, BETA\n").unwrap();
+        assert!(t.are_synonyms("alpha", "beta"));
+    }
+}

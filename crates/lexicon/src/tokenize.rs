@@ -1,0 +1,173 @@
+//! Identifier tokenization.
+//!
+//! Schema labels come in many shapes — `OrderNo`, `purchase_order`,
+//! `Unit Of Measure`, `ship-to`, `Item#`, `PO2` — and every linguistic
+//! comparison starts by splitting them into normalized lowercase word
+//! tokens. Splits happen at case boundaries (camelCase and ALLCAPSRun
+//! boundaries), at non-alphanumeric separators, and between letters and
+//! digits. A few symbol tokens with conventional readings (`#` → "number",
+//! `%` → "percent", `&` → "and") are translated rather than dropped.
+
+/// A normalized (lowercase) word or number token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub String);
+
+impl Token {
+    /// The token text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if the token is entirely digits.
+    pub fn is_numeric(&self) -> bool {
+        !self.0.is_empty() && self.0.bytes().all(|b| b.is_ascii_digit())
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Token {
+    fn from(s: &str) -> Self {
+        Token(s.to_lowercase())
+    }
+}
+
+/// Splits an identifier into normalized tokens.
+///
+/// ```
+/// use qmatch_lexicon::tokenize;
+/// let toks: Vec<String> = tokenize("PurchaseOrderNo2").into_iter().map(|t| t.0).collect();
+/// assert_eq!(toks, ["purchase", "order", "no", "2"]);
+/// ```
+pub fn tokenize(label: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    let chars: Vec<char> = label.chars().collect();
+    let flush = |word: &mut String, tokens: &mut Vec<Token>| {
+        if !word.is_empty() {
+            tokens.push(Token(word.to_lowercase()));
+            word.clear();
+        }
+    };
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_alphanumeric() {
+            let boundary = if let Some(last) = word.chars().last() {
+                let digit_boundary = last.is_ascii_digit() != c.is_ascii_digit();
+                // camelCase boundary: lower→Upper.
+                let camel = last.is_lowercase() && c.is_uppercase();
+                // ALLCAPSRun boundary: "XMLSchema" splits before "Schema" —
+                // an uppercase letter followed by a lowercase one ends the run.
+                let caps_run = last.is_uppercase()
+                    && c.is_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_lowercase());
+                digit_boundary || camel || caps_run
+            } else {
+                false
+            };
+            if boundary {
+                flush(&mut word, &mut tokens);
+            }
+            word.push(c);
+        } else {
+            flush(&mut word, &mut tokens);
+            match c {
+                '#' => tokens.push(Token("number".into())),
+                '%' => tokens.push(Token("percent".into())),
+                '&' => tokens.push(Token("and".into())),
+                _ => {} // separator
+            }
+        }
+    }
+    flush(&mut word, &mut tokens);
+    tokens
+}
+
+/// Joins tokens back into a canonical single string (used as a cache key and
+/// for whole-label comparisons).
+pub fn canonical(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(t.as_str());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(toks("PurchaseOrder"), ["purchase", "order"]);
+        assert_eq!(toks("orderNo"), ["order", "no"]);
+        assert_eq!(toks("shipToAddress"), ["ship", "to", "address"]);
+    }
+
+    #[test]
+    fn splits_snake_kebab_and_spaces() {
+        assert_eq!(toks("purchase_order"), ["purchase", "order"]);
+        assert_eq!(toks("ship-to"), ["ship", "to"]);
+        assert_eq!(toks("Unit Of Measure"), ["unit", "of", "measure"]);
+        assert_eq!(toks("a.b/c"), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn splits_letter_digit_boundaries() {
+        assert_eq!(toks("PO1"), ["po", "1"]);
+        assert_eq!(toks("2ndLine"), ["2", "nd", "line"]);
+        assert_eq!(toks("ISO8601Date"), ["iso", "8601", "date"]);
+    }
+
+    #[test]
+    fn handles_allcaps_runs() {
+        assert_eq!(toks("XMLSchema"), ["xml", "schema"]);
+        assert_eq!(toks("UOM"), ["uom"]);
+        assert_eq!(toks("PDBEntry"), ["pdb", "entry"]);
+        assert_eq!(toks("HTTPSPort"), ["https", "port"]);
+    }
+
+    #[test]
+    fn translates_symbol_tokens() {
+        assert_eq!(toks("Item#"), ["item", "number"]);
+        assert_eq!(toks("discount%"), ["discount", "percent"]);
+        assert_eq!(toks("B&B"), ["b", "and", "b"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only_labels() {
+        assert!(toks("").is_empty());
+        assert!(toks("___--  ..").is_empty());
+    }
+
+    #[test]
+    fn token_helpers() {
+        let t = Token::from("Qty");
+        assert_eq!(t.as_str(), "qty");
+        assert!(!t.is_numeric());
+        assert!(Token::from("42").is_numeric());
+        assert!(!Token::from("").is_numeric());
+        assert_eq!(Token::from("X").to_string(), "x");
+    }
+
+    #[test]
+    fn canonical_joins_with_spaces() {
+        assert_eq!(canonical(&tokenize("PurchaseOrderNo")), "purchase order no");
+        assert_eq!(canonical(&[]), "");
+    }
+
+    #[test]
+    fn unicode_labels_tokenize() {
+        assert_eq!(toks("libroVéhicule"), ["libro", "véhicule"]);
+    }
+}

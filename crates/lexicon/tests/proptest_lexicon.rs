@@ -1,0 +1,112 @@
+//! Property tests for the linguistic substrate: metric axioms, tokenizer
+//! invariants, and name-matcher consistency over arbitrary identifiers.
+
+use proptest::prelude::*;
+use qmatch_lexicon::metrics::{
+    bigram_dice, combined_similarity, jaro, jaro_winkler, lcs_len, levenshtein,
+    levenshtein_similarity,
+};
+use qmatch_lexicon::name_match::stem;
+use qmatch_lexicon::{tokenize, LabelGrade, NameMatcher};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_ -]{0,20}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in ident(), b in ident(), c in ident()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Length bounds.
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(levenshtein(&a, &b) >= la.abs_diff(lb));
+        prop_assert!(levenshtein(&a, &b) <= la.max(lb));
+    }
+
+    #[test]
+    fn similarity_metrics_are_bounded_and_symmetric(a in ident(), b in ident()) {
+        for (name, v, w) in [
+            ("lev", levenshtein_similarity(&a, &b), levenshtein_similarity(&b, &a)),
+            ("jaro", jaro(&a, &b), jaro(&b, &a)),
+            ("jw", jaro_winkler(&a, &b), jaro_winkler(&b, &a)),
+            ("dice", bigram_dice(&a, &b), bigram_dice(&b, &a)),
+            ("combined", combined_similarity(&a, &b), combined_similarity(&b, &a)),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{name}: {v}");
+            prop_assert!((v - w).abs() < 1e-12, "{name} asymmetric: {v} vs {w}");
+        }
+        // Self-similarity is maximal.
+        prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        prop_assert_eq!(bigram_dice(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in ident(), b in ident()) {
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+    }
+
+    #[test]
+    fn lcs_is_bounded_by_both_lengths(a in ident(), b in ident()) {
+        let l = lcs_len(&a, &b);
+        prop_assert!(l <= a.chars().count());
+        prop_assert!(l <= b.chars().count());
+        prop_assert_eq!(lcs_len(&a, &a), a.chars().count());
+    }
+
+    #[test]
+    fn tokenizer_output_is_normalized(label in "\\PC{0,32}") {
+        for token in tokenize(&label) {
+            prop_assert!(!token.as_str().is_empty());
+            prop_assert_eq!(token.as_str(), token.as_str().to_lowercase());
+            prop_assert!(token.as_str().chars().all(char::is_alphanumeric));
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_own_output(label in ident()) {
+        let once = tokenize(&label);
+        let rejoined: String =
+            once.iter().map(|t| t.as_str()).collect::<Vec<_>>().join(" ");
+        let twice = tokenize(&rejoined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn stem_never_grows_and_is_idempotent(word in "[a-z]{1,16}") {
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}"); // +1 for ies->y
+        prop_assert_eq!(stem(&s), s.clone(), "stem must be idempotent: {} -> {}", word, s);
+    }
+
+    #[test]
+    fn name_matcher_is_symmetric_and_bounded(a in ident(), b in ident()) {
+        let matcher = NameMatcher::with_default_thesaurus();
+        let ab = matcher.compare(&a, &b);
+        let ba = matcher.compare(&b, &a);
+        prop_assert!((ab.score - ba.score).abs() < 1e-12, "{a:?} vs {b:?}");
+        prop_assert_eq!(ab.grade, ba.grade);
+        prop_assert!((0.0..=1.0).contains(&ab.score));
+        // Grade/score coherence.
+        match ab.grade {
+            LabelGrade::Exact => prop_assert!((ab.score - 1.0).abs() < 1e-12),
+            LabelGrade::Relaxed => prop_assert!(ab.score >= 0.5 - 1e-12),
+            LabelGrade::None => prop_assert!(ab.score < 1.0),
+        }
+    }
+
+    #[test]
+    fn self_comparison_is_exact(a in ident()) {
+        prop_assume!(!tokenize(&a).is_empty());
+        let matcher = NameMatcher::with_default_thesaurus();
+        let m = matcher.compare(&a, &a);
+        prop_assert_eq!(m.grade, LabelGrade::Exact, "{} scored {}", a, m.score);
+    }
+}

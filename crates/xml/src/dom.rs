@@ -1,0 +1,420 @@
+//! A lightweight owned document tree built on the pull [`crate::reader::Reader`].
+//!
+//! The DOM keeps elements, attributes, and merged character data. Comments
+//! and processing instructions are dropped — schema processing never needs
+//! them. Whitespace-only text between elements is also dropped, which is the
+//! standard "element content" treatment for schema documents.
+
+use crate::error::{Position, XmlResult};
+use crate::escape::{escape_attr, escape_text};
+use crate::name::QName;
+use crate::reader::{Attribute, Event, Reader};
+use std::fmt;
+
+/// An element node: name, attributes, children, and merged text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: QName,
+    attributes: Vec<Attribute>,
+    children: Vec<Node>,
+    position: Position,
+}
+
+/// A child of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A run of character data (entity-decoded; CDATA merged in).
+    Text(String),
+}
+
+/// A parsed document holding the root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    root: Element,
+}
+
+impl Document {
+    /// Parses a complete XML document.
+    pub fn parse(src: &str) -> XmlResult<Document> {
+        let mut reader = Reader::new(src);
+        loop {
+            match reader.next_event()? {
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                    position,
+                } => {
+                    let root =
+                        build_element(&mut reader, name, attributes, self_closing, position)?;
+                    // Drain trailing misc (comments/PIs/whitespace); the reader
+                    // enforces that nothing substantive follows the root.
+                    loop {
+                        match reader.next_event()? {
+                            Event::Eof => return Ok(Document { root }),
+                            _ => continue,
+                        }
+                    }
+                }
+                Event::Declaration(_)
+                | Event::Comment(_)
+                | Event::ProcessingInstruction { .. }
+                | Event::Text(_) => continue,
+                other => {
+                    // The reader guarantees we cannot see EndElement/CData here
+                    // before a root element; Eof without a root is an error the
+                    // reader already raised.
+                    unreachable!("unexpected pre-root event: {other:?}");
+                }
+            }
+        }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Consumes the document, returning the root element.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+}
+
+fn build_element(
+    reader: &mut Reader<'_>,
+    name: QName,
+    attributes: Vec<Attribute>,
+    self_closing: bool,
+    position: Position,
+) -> XmlResult<Element> {
+    let mut element = Element {
+        name,
+        attributes,
+        children: Vec::new(),
+        position,
+    };
+    if self_closing {
+        // Consume the synthesized end event.
+        let ev = reader.next_event()?;
+        debug_assert!(matches!(ev, Event::EndElement { .. }));
+        return Ok(element);
+    }
+    loop {
+        match reader.next_event()? {
+            Event::StartElement {
+                name,
+                attributes,
+                self_closing,
+                position,
+            } => {
+                let child = build_element(reader, name, attributes, self_closing, position)?;
+                element.children.push(Node::Element(child));
+            }
+            Event::EndElement { .. } => return Ok(element),
+            Event::Text(t) => {
+                if !t.trim().is_empty() {
+                    element.push_text(&t);
+                }
+            }
+            Event::CData(t) => element.push_text(&t),
+            Event::Comment(_) | Event::ProcessingInstruction { .. } | Event::Declaration(_) => {}
+            Event::Eof => unreachable!("reader reports EOF inside an element as an error"),
+        }
+    }
+}
+
+impl Element {
+    /// Creates an element programmatically (used by tests and generators).
+    pub fn new(name: &str) -> Element {
+        let name = QName::parse(name).expect("Element::new requires a valid XML name");
+        Element {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+            position: Position::START,
+        }
+    }
+
+    /// Adds or replaces an attribute (builder style).
+    pub fn with_attr(mut self, name: &str, value: &str) -> Element {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn with_text(mut self, text: &str) -> Element {
+        self.push_text(text);
+        self
+    }
+
+    /// Adds or replaces an attribute.
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        let qname = QName::parse(name).expect("set_attr requires a valid XML name");
+        if let Some(existing) = self.attributes.iter_mut().find(|a| a.name == qname) {
+            existing.value = value.to_owned();
+        } else {
+            self.attributes.push(Attribute {
+                name: qname,
+                value: value.to_owned(),
+                position: Position::START,
+            });
+        }
+    }
+
+    /// Appends a child element.
+    pub fn add_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    fn push_text(&mut self, text: &str) {
+        if let Some(Node::Text(existing)) = self.children.last_mut() {
+            existing.push_str(text);
+        } else {
+            self.children.push(Node::Text(text.to_owned()));
+        }
+    }
+
+    /// The element name.
+    pub fn name(&self) -> &QName {
+        &self.name
+    }
+
+    /// Source position of the start tag.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute value by raw name (e.g. `minOccurs`).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name.raw() == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Looks up an attribute value by local name, ignoring any prefix.
+    pub fn attr_local(&self, local: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|a| a.name.local() == local)
+            .map(|a| a.value.as_str())
+    }
+
+    /// All child nodes (elements and text).
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Iterator over child elements only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given *local* name.
+    pub fn child_by_local(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name.local() == local)
+    }
+
+    /// All child elements with the given *local* name.
+    pub fn children_by_local<'e>(&'e self, local: &'e str) -> impl Iterator<Item = &'e Element> {
+        self.child_elements()
+            .filter(move |e| e.name.local() == local)
+    }
+
+    /// Concatenated text content of this element (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Number of elements in the subtree rooted here (including this one).
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// Maximum depth of the subtree; a leaf element has depth 0.
+    pub fn subtree_depth(&self) -> usize {
+        self.child_elements()
+            .map(|c| 1 + c.subtree_depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        write!(f, "{pad}<{}", self.name)?;
+        for attr in &self.attributes {
+            write!(f, " {}=\"{}\"", attr.name, escape_attr(&attr.value))?;
+        }
+        if self.children.is_empty() {
+            return writeln!(f, "/>");
+        }
+        // Text-only elements are rendered inline; mixed/element content nested.
+        if self.children.iter().all(|n| matches!(n, Node::Text(_))) {
+            return writeln!(f, ">{}</{}>", escape_text(&self.text()), self.name);
+        }
+        writeln!(f, ">")?;
+        for node in &self.children {
+            match node {
+                Node::Element(e) => e.write_indented(f, indent + 1)?,
+                Node::Text(t) => writeln!(f, "{pad}  {}", escape_text(t))?,
+            }
+        }
+        writeln!(f, "{pad}</{}>", self.name)
+    }
+}
+
+impl fmt::Display for Element {
+    /// Pretty-prints the element as indented XML; round-trips through
+    /// [`Document::parse`] for element-content documents.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PO: &str = r#"<?xml version="1.0"?>
+<!-- purchase order -->
+<po id="42">
+  <line qty="2">bolt</line>
+  <line qty="9">nut</line>
+  <note><![CDATA[a < b]]></note>
+</po>"#;
+
+    #[test]
+    fn builds_tree_with_attributes_and_text() {
+        let doc = Document::parse(PO).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name().raw(), "po");
+        assert_eq!(root.attr("id"), Some("42"));
+        assert_eq!(root.child_elements().count(), 3);
+        let lines: Vec<_> = root.children_by_local("line").collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].attr("qty"), Some("2"));
+        assert_eq!(lines[0].text(), "bolt");
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let doc = Document::parse(PO).unwrap();
+        let note = doc.root().child_by_local("note").unwrap();
+        assert_eq!(note.text(), "a < b");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = Document::parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let doc = Document::parse("<a>one <![CDATA[two]]> three</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+        assert_eq!(doc.root().text(), "one two three");
+    }
+
+    #[test]
+    fn subtree_size_and_depth() {
+        let doc = Document::parse("<a><b><c/><d/></b><e/></a>").unwrap();
+        assert_eq!(doc.root().subtree_size(), 5);
+        assert_eq!(doc.root().subtree_depth(), 2);
+        let b = doc.root().child_by_local("b").unwrap();
+        assert_eq!(b.subtree_depth(), 1);
+        let e = doc.root().child_by_local("e").unwrap();
+        assert_eq!(e.subtree_depth(), 0);
+    }
+
+    #[test]
+    fn attr_local_ignores_prefix() {
+        let doc = Document::parse(
+            r#"<a xsi:type="T" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"/>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root().attr_local("type"), Some("T"));
+        assert_eq!(doc.root().attr("xsi:type"), Some("T"));
+        assert_eq!(doc.root().attr("type"), None);
+    }
+
+    #[test]
+    fn builder_api_constructs_equivalent_trees() {
+        let built = Element::new("po")
+            .with_attr("id", "42")
+            .with_child(Element::new("line").with_attr("qty", "2").with_text("bolt"));
+        assert_eq!(built.attr("id"), Some("42"));
+        assert_eq!(built.subtree_size(), 2);
+        let reparsed = Document::parse(&built.to_string()).unwrap();
+        assert_eq!(reparsed.root().attr("id"), Some("42"));
+        assert_eq!(
+            reparsed.root().child_by_local("line").unwrap().text(),
+            "bolt"
+        );
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let mut e = Element::new("x");
+        e.set_attr("k", "1");
+        e.set_attr("k", "2");
+        assert_eq!(e.attributes().len(), 1);
+        assert_eq!(e.attr("k"), Some("2"));
+    }
+
+    #[test]
+    fn display_round_trips_special_characters() {
+        let e = Element::new("t")
+            .with_attr("a", "x < \"y\" & z")
+            .with_text("1 < 2 & 3");
+        let printed = e.to_string();
+        let doc = Document::parse(&printed).unwrap();
+        assert_eq!(doc.root().attr("a"), Some("x < \"y\" & z"));
+        assert_eq!(doc.root().text(), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn into_root_returns_owned_tree() {
+        let doc = Document::parse("<a><b/></a>").unwrap();
+        let root = doc.into_root();
+        assert_eq!(root.name().raw(), "a");
+    }
+
+    #[test]
+    fn parse_error_surfaces_from_document() {
+        assert!(Document::parse("<a><b></a>").is_err());
+        assert!(Document::parse("").is_err());
+    }
+}

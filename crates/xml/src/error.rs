@@ -1,0 +1,258 @@
+//! Positioned error type for the XML parser.
+
+use std::fmt;
+
+/// A source position: 1-based line and column, plus byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line).
+    pub column: u32,
+    /// 0-based byte offset from the start of the input.
+    pub offset: usize,
+}
+
+impl Position {
+    /// The start-of-input position.
+    pub const START: Position = Position {
+        line: 1,
+        column: 1,
+        offset: 0,
+    };
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::START
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A byte that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// A name (element, attribute, PI target) was malformed.
+    InvalidName {
+        /// The malformed name text.
+        name: String,
+    },
+    /// An entity or character reference was malformed or unknown.
+    InvalidReference {
+        /// The reference text, without `&` and `;`.
+        reference: String,
+    },
+    /// A close tag did not match the open tag.
+    MismatchedTag {
+        /// Name of the currently open element.
+        expected: String,
+        /// Name found in the close tag.
+        found: String,
+    },
+    /// A close tag appeared with no element open.
+    UnexpectedCloseTag {
+        /// Name found in the close tag.
+        found: String,
+    },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// The document has no root element, or content after the root.
+    BadDocumentStructure {
+        /// Human-readable description.
+        detail: &'static str,
+    },
+    /// `--` inside a comment, `]]>` in character data, and similar.
+    IllegalConstruct {
+        /// Human-readable description.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            XmlErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            XmlErrorKind::InvalidName { name } => write!(f, "invalid XML name {name:?}"),
+            XmlErrorKind::InvalidReference { reference } => {
+                write!(f, "invalid entity or character reference &{reference};")
+            }
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched close tag </{found}>, expected </{expected}>")
+            }
+            XmlErrorKind::UnexpectedCloseTag { found } => {
+                write!(f, "close tag </{found}> with no element open")
+            }
+            XmlErrorKind::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::BadDocumentStructure { detail } => write!(f, "{detail}"),
+            XmlErrorKind::IllegalConstruct { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+/// An XML parse error with the position at which it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    position: Position,
+}
+
+impl XmlError {
+    /// Creates an error at `position`.
+    pub fn new(kind: XmlErrorKind, position: Position) -> Self {
+        XmlError { kind, position }
+    }
+
+    /// The category of the error.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Where the error occurred.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.position, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_and_column() {
+        let p = Position {
+            line: 3,
+            column: 17,
+            offset: 40,
+        };
+        assert_eq!(p.to_string(), "3:17");
+    }
+
+    #[test]
+    fn default_position_is_start() {
+        assert_eq!(Position::default(), Position::START);
+        assert_eq!(Position::START.line, 1);
+        assert_eq!(Position::START.column, 1);
+        assert_eq!(Position::START.offset, 0);
+    }
+
+    #[test]
+    fn error_display_includes_position_and_kind() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            Position {
+                line: 2,
+                column: 5,
+                offset: 12,
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("2:5"), "{s}");
+        assert!(s.contains("</b>"), "{s}");
+        assert!(s.contains("</a>"), "{s}");
+    }
+
+    #[test]
+    fn kind_messages_are_informative() {
+        let cases: Vec<(XmlErrorKind, &str)> = vec![
+            (
+                XmlErrorKind::UnexpectedEof {
+                    context: "a comment",
+                },
+                "a comment",
+            ),
+            (
+                XmlErrorKind::UnexpectedChar {
+                    found: '<',
+                    expected: "attribute value",
+                },
+                "attribute value",
+            ),
+            (
+                XmlErrorKind::InvalidName {
+                    name: "1abc".into(),
+                },
+                "1abc",
+            ),
+            (
+                XmlErrorKind::InvalidReference {
+                    reference: "nbsp".into(),
+                },
+                "nbsp",
+            ),
+            (
+                XmlErrorKind::UnexpectedCloseTag { found: "x".into() },
+                "</x>",
+            ),
+            (XmlErrorKind::DuplicateAttribute { name: "id".into() }, "id"),
+            (
+                XmlErrorKind::BadDocumentStructure {
+                    detail: "no root element",
+                },
+                "no root",
+            ),
+            (
+                XmlErrorKind::IllegalConstruct {
+                    detail: "'--' inside comment",
+                },
+                "--",
+            ),
+        ];
+        for (kind, needle) in cases {
+            let msg = kind.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_accessors_round_trip() {
+        let pos = Position {
+            line: 9,
+            column: 1,
+            offset: 100,
+        };
+        let e = XmlError::new(XmlErrorKind::InvalidName { name: "x y".into() }, pos);
+        assert_eq!(e.position(), pos);
+        assert_eq!(e.kind(), &XmlErrorKind::InvalidName { name: "x y".into() });
+    }
+}

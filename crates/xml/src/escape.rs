@@ -1,0 +1,219 @@
+//! Entity and character-reference handling.
+//!
+//! XML defines five predefined entities (`&lt;`, `&gt;`, `&amp;`, `&apos;`,
+//! `&quot;`) plus decimal (`&#123;`) and hexadecimal (`&#x7B;`) character
+//! references. This module decodes them when parsing and encodes reserved
+//! characters when serializing.
+
+use std::borrow::Cow;
+
+/// Resolves a single reference body (the text between `&` and `;`).
+///
+/// Returns `None` for unknown entities or out-of-range / non-character code
+/// points.
+pub fn resolve_reference(body: &str) -> Option<char> {
+    match body {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
+            let c = char::from_u32(code)?;
+            is_xml_char(c).then_some(c)
+        }
+    }
+}
+
+/// True if `c` is a character permitted in XML 1.0 content.
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Decodes all entity and character references in `raw`.
+///
+/// Returns `Cow::Borrowed` when no reference is present (the common case for
+/// schema documents), and the byte offset of the first bad reference on error.
+pub fn unescape(raw: &str) -> Result<Cow<'_, str>, BadReference> {
+    let Some(first_amp) = raw.find('&') else {
+        return Ok(Cow::Borrowed(raw));
+    };
+    let mut out = String::with_capacity(raw.len());
+    out.push_str(&raw[..first_amp]);
+    let mut rest = &raw[first_amp..];
+    let mut base = first_amp;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(BadReference {
+                offset: base + amp,
+                body: after.chars().take(16).collect(),
+            });
+        };
+        let body = &after[..semi];
+        match resolve_reference(body) {
+            Some(c) => out.push(c),
+            None => {
+                return Err(BadReference {
+                    offset: base + amp,
+                    body: body.to_owned(),
+                })
+            }
+        }
+        rest = &after[semi + 1..];
+        base += amp + 1 + semi + 1;
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+/// Error describing a malformed reference found by [`unescape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadReference {
+    /// Byte offset of the `&` within the input passed to [`unescape`].
+    pub offset: usize,
+    /// The reference body (possibly truncated) for diagnostics.
+    pub body: String,
+}
+
+/// Escapes `<`, `>`, and `&` for use in element content.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| matches!(c, '<' | '>' | '&'))
+}
+
+/// Escapes `<`, `>`, `&`, and `"` for use in a double-quoted attribute
+/// value. Literal whitespace (tab/newline/CR) is emitted as character
+/// references so that attribute-value normalization on re-parse preserves
+/// the original characters.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, |c| {
+        matches!(c, '<' | '>' | '&' | '"' | '\t' | '\n' | '\r')
+    })
+}
+
+fn escape_with(text: &str, needs: impl Fn(char) -> bool) -> Cow<'_, str> {
+    if !text.chars().any(&needs) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        if needs(c) {
+            match c {
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '&' => out.push_str("&amp;"),
+                '"' => out.push_str("&quot;"),
+                '\'' => out.push_str("&apos;"),
+                '\t' => out.push_str("&#9;"),
+                '\n' => out.push_str("&#10;"),
+                '\r' => out.push_str("&#13;"),
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_predefined_entities() {
+        assert_eq!(resolve_reference("lt"), Some('<'));
+        assert_eq!(resolve_reference("gt"), Some('>'));
+        assert_eq!(resolve_reference("amp"), Some('&'));
+        assert_eq!(resolve_reference("apos"), Some('\''));
+        assert_eq!(resolve_reference("quot"), Some('"'));
+    }
+
+    #[test]
+    fn resolves_numeric_references() {
+        assert_eq!(resolve_reference("#65"), Some('A'));
+        assert_eq!(resolve_reference("#x41"), Some('A'));
+        assert_eq!(resolve_reference("#X41"), Some('A'));
+        assert_eq!(resolve_reference("#x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid_references() {
+        assert_eq!(resolve_reference("nbsp"), None);
+        assert_eq!(resolve_reference(""), None);
+        assert_eq!(resolve_reference("#"), None);
+        assert_eq!(resolve_reference("#x"), None);
+        assert_eq!(resolve_reference("#xG1"), None);
+        assert_eq!(resolve_reference("#1114112"), None); // beyond U+10FFFF
+        assert_eq!(resolve_reference("#0"), None); // NUL not an XML char
+        assert_eq!(resolve_reference("#xD800"), None); // surrogate
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        let out = unescape("plain text").unwrap();
+        assert!(matches!(out, Cow::Borrowed(_)));
+        assert_eq!(out, "plain text");
+    }
+
+    #[test]
+    fn unescape_decodes_mixed_references() {
+        let out = unescape("a &lt; b &amp;&amp; c &#62; d").unwrap();
+        assert_eq!(out, "a < b && c > d");
+    }
+
+    #[test]
+    fn unescape_reports_offset_of_bad_reference() {
+        let err = unescape("ok &amp; bad &oops; end").unwrap_err();
+        assert_eq!(err.offset, 13);
+        assert_eq!(err.body, "oops");
+    }
+
+    #[test]
+    fn unescape_reports_unterminated_reference() {
+        let err = unescape("text &amp no-semicolon").unwrap_err();
+        assert_eq!(err.offset, 5);
+    }
+
+    #[test]
+    fn escape_text_round_trips() {
+        let original = "if a < b && b > c \"quote\"";
+        let escaped = escape_text(original);
+        assert_eq!(escaped, "if a &lt; b &amp;&amp; b &gt; c \"quote\"");
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_attr_also_escapes_quotes() {
+        assert_eq!(
+            escape_attr(r#"say "hi" & go"#),
+            "say &quot;hi&quot; &amp; go"
+        );
+    }
+
+    #[test]
+    fn escape_attr_protects_whitespace_from_normalization() {
+        assert_eq!(escape_attr("a\tb\nc\rd"), "a&#9;b&#10;c&#13;d");
+        // Text content does not need the protection.
+        assert_eq!(escape_text("a\tb"), "a\tb");
+    }
+
+    #[test]
+    fn escape_borrows_when_nothing_to_do() {
+        assert!(matches!(escape_text("clean"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("clean"), Cow::Borrowed(_)));
+    }
+}

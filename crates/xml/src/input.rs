@@ -1,0 +1,241 @@
+//! Byte cursor over the input string with line/column tracking.
+
+use crate::error::{Position, XmlError, XmlErrorKind, XmlResult};
+
+/// A forward-only cursor over UTF-8 input that tracks line and column.
+///
+/// Lines are counted at `\n`; columns are byte-based within the line, which
+/// matches what most editors report for ASCII-heavy schema documents.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Current position for error reporting.
+    pub(crate) fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+            offset: self.pos,
+        }
+    }
+
+    pub(crate) fn is_eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Peeks the next byte without consuming it.
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consumes and returns the next byte.
+    pub(crate) fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    /// Consumes the next byte, requiring it to be `expected`.
+    pub(crate) fn expect(&mut self, expected: u8, what: &'static str) -> XmlResult<()> {
+        match self.peek() {
+            Some(b) if b == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.error_at(XmlErrorKind::UnexpectedChar {
+                found: b as char,
+                expected: what,
+            })),
+            None => Err(self.error_at(XmlErrorKind::UnexpectedEof { context: what })),
+        }
+    }
+
+    /// True (and consumes) if the input continues with `s`.
+    pub(crate) fn eat_str(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the input continues with `s` (no consumption).
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    /// Skips XML whitespace (space, tab, CR, LF); returns how many bytes were skipped.
+    pub(crate) fn skip_whitespace(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.pos - start
+    }
+
+    /// Consumes bytes while `pred` holds and returns the matched slice.
+    pub(crate) fn take_while(&mut self, mut pred: impl FnMut(u8) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+
+    /// Consumes up to (not including) the first occurrence of `needle`,
+    /// returning the consumed slice. Errors with `context` on EOF.
+    pub(crate) fn take_until(&mut self, needle: &str, context: &'static str) -> XmlResult<&'a str> {
+        let rest = &self.src[self.pos..];
+        match rest.find(needle) {
+            Some(idx) => {
+                let start = self.pos;
+                for _ in 0..idx {
+                    self.bump();
+                }
+                Ok(&self.src[start..start + idx])
+            }
+            None => Err(self.error_at(XmlErrorKind::UnexpectedEof { context })),
+        }
+    }
+
+    /// Builds an error at the current position.
+    pub(crate) fn error_at(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.position())
+    }
+
+    /// Builds an error at an explicit position.
+    pub(crate) fn error(&self, kind: XmlErrorKind, at: Position) -> XmlError {
+        XmlError::new(kind, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(
+            c.position(),
+            Position {
+                line: 1,
+                column: 1,
+                offset: 0
+            }
+        );
+        c.bump();
+        c.bump();
+        assert_eq!(
+            c.position(),
+            Position {
+                line: 1,
+                column: 3,
+                offset: 2
+            }
+        );
+        c.bump(); // newline
+        assert_eq!(
+            c.position(),
+            Position {
+                line: 2,
+                column: 1,
+                offset: 3
+            }
+        );
+        c.bump();
+        assert_eq!(
+            c.position(),
+            Position {
+                line: 2,
+                column: 2,
+                offset: 4
+            }
+        );
+    }
+
+    #[test]
+    fn eat_str_consumes_only_on_match() {
+        let mut c = Cursor::new("<?xml rest");
+        assert!(!c.eat_str("<!--"));
+        assert_eq!(c.position().offset, 0);
+        assert!(c.eat_str("<?xml"));
+        assert_eq!(c.position().offset, 5);
+    }
+
+    #[test]
+    fn take_until_returns_slice_and_stops_before_needle() {
+        let mut c = Cursor::new("hello-->tail");
+        let s = c.take_until("-->", "a comment").unwrap();
+        assert_eq!(s, "hello");
+        assert!(c.starts_with("-->"));
+    }
+
+    #[test]
+    fn take_until_errors_at_eof() {
+        let mut c = Cursor::new("no terminator");
+        let err = c.take_until("]]>", "a CDATA section").unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::UnexpectedEof { context } if *context == "a CDATA section")
+        );
+    }
+
+    #[test]
+    fn skip_whitespace_counts_bytes() {
+        let mut c = Cursor::new("  \t\n x");
+        assert_eq!(c.skip_whitespace(), 5);
+        assert_eq!(c.peek(), Some(b'x'));
+        assert_eq!(c.skip_whitespace(), 0);
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("abc123");
+        let s = c.take_while(|b| b.is_ascii_alphabetic());
+        assert_eq!(s, "abc");
+        assert_eq!(c.peek(), Some(b'1'));
+    }
+
+    #[test]
+    fn expect_reports_found_character() {
+        let mut c = Cursor::new("x");
+        let err = c.expect(b'=', "'=' after attribute name").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            XmlErrorKind::UnexpectedChar { found: 'x', .. }
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Qualified names (`prefix:local`) and XML name-character rules.
+
+use std::fmt;
+
+/// A qualified XML name split into an optional prefix and a local part.
+///
+/// This crate performs *syntactic* namespace handling only: names are split
+/// at the first `:` but prefixes are not resolved to URIs. That is all the
+/// XSD layer needs — it compares the local part and treats the prefix of the
+/// XML Schema namespace as opaque.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    raw: String,
+    colon: Option<usize>,
+}
+
+impl QName {
+    /// Parses a raw name into a `QName`. Returns `None` if the name is not a
+    /// valid XML name (or has an empty prefix/local part).
+    pub fn parse(raw: &str) -> Option<QName> {
+        if !is_valid_name(raw) {
+            return None;
+        }
+        let colon = raw.find(':');
+        if let Some(idx) = colon {
+            // Empty prefix/local, or a second colon, make the name invalid.
+            if idx == 0 || idx + 1 == raw.len() || raw[idx + 1..].contains(':') {
+                return None;
+            }
+        }
+        Some(QName {
+            raw: raw.to_owned(),
+            colon,
+        })
+    }
+
+    /// The full name as written, e.g. `xs:element`.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The prefix, if any, e.g. `xs`.
+    pub fn prefix(&self) -> Option<&str> {
+        self.colon.map(|idx| &self.raw[..idx])
+    }
+
+    /// The local part, e.g. `element`.
+    pub fn local(&self) -> &str {
+        match self.colon {
+            Some(idx) => &self.raw[idx + 1..],
+            None => &self.raw,
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// True if `c` may start an XML name.
+///
+/// This follows the XML 1.0 `NameStartChar` production restricted to the
+/// Basic Multilingual Plane ranges that occur in practice.
+pub fn is_name_start_char(c: char) -> bool {
+    matches!(c,
+        ':' | '_' | 'A'..='Z' | 'a'..='z'
+        | '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+        | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+        | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}')
+}
+
+/// True if `c` may continue an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c)
+        || matches!(c, '-' | '.' | '0'..='9' | '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// True if `s` is a non-empty valid XML name.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start_char(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_prefix_and_local() {
+        let q = QName::parse("xs:element").unwrap();
+        assert_eq!(q.prefix(), Some("xs"));
+        assert_eq!(q.local(), "element");
+        assert_eq!(q.raw(), "xs:element");
+        assert_eq!(q.to_string(), "xs:element");
+    }
+
+    #[test]
+    fn unprefixed_name_has_no_prefix() {
+        let q = QName::parse("element").unwrap();
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), "element");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_names() {
+        for bad in [
+            "", "1abc", "-a", ".x", "a b", ":x", "x:", "a:b:c", "<", "a<b",
+        ] {
+            assert!(QName::parse(bad).is_none(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn accepts_names_with_digits_dots_and_dashes_after_start() {
+        for good in [
+            "a1",
+            "a-b",
+            "a.b",
+            "_x",
+            "A",
+            "PurchaseOrder",
+            "xs:complexType",
+        ] {
+            assert!(QName::parse(good).is_some(), "{good:?} should be accepted");
+        }
+    }
+
+    #[test]
+    fn name_char_tables_are_consistent() {
+        // Every start char is also a name char.
+        for c in ['a', 'Z', '_', '\u{C0}', '\u{2C00}'] {
+            assert!(is_name_start_char(c));
+            assert!(is_name_char(c));
+        }
+        // Continuation-only characters.
+        for c in ['-', '.', '5', '\u{B7}'] {
+            assert!(!is_name_start_char(c));
+            assert!(is_name_char(c));
+        }
+    }
+
+    #[test]
+    fn unicode_letters_allowed() {
+        assert!(is_valid_name("élément"));
+        assert!(QName::parse("élément").is_some());
+    }
+}

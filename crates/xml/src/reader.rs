@@ -1,0 +1,751 @@
+//! Pull-based XML event reader.
+//!
+//! [`Reader`] tokenizes an in-memory document and yields [`Event`]s while
+//! enforcing the well-formedness rules that matter for schema documents:
+//! matching open/close tags, unique attributes, a single root element, no
+//! content outside the root, legal entity references, and no `--` inside
+//! comments or `]]>` in character data.
+
+use crate::error::{Position, XmlErrorKind, XmlResult};
+use crate::escape::unescape;
+use crate::input::Cursor;
+use crate::name::{is_name_char, QName};
+
+/// One attribute on a start tag, with its decoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The attribute name as written (possibly prefixed).
+    pub name: QName,
+    /// The attribute value with entity references decoded.
+    pub value: String,
+    /// Position of the attribute name in the source.
+    pub position: Position,
+}
+
+/// A parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The `<?xml ...?>` declaration, with its raw body (e.g. `version="1.0"`).
+    Declaration(String),
+    /// `<name attr="v">` or the opening half of `<name/>`.
+    StartElement {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// True when the tag was self-closing (`<name/>`); an `EndElement`
+        /// event is still produced immediately after.
+        self_closing: bool,
+        /// Position of the `<`.
+        position: Position,
+    },
+    /// `</name>` (also synthesized after a self-closing start tag).
+    EndElement {
+        /// Element name.
+        name: QName,
+        /// Position of the `<` (for synthesized ends, of the start tag).
+        position: Position,
+    },
+    /// Character data with entity references decoded. Whitespace-only runs
+    /// between markup are reported too; the DOM layer decides what to keep.
+    Text(String),
+    /// A `<![CDATA[...]]>` section (verbatim content).
+    CData(String),
+    /// A `<!--...-->` comment (verbatim content).
+    Comment(String),
+    /// A `<?target body?>` processing instruction.
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// The PI body (may be empty).
+        body: String,
+    },
+    /// End of the document; returned exactly once, then again forever.
+    Eof,
+}
+
+/// Maximum element nesting depth. Recursive DOM construction and schema
+/// compilation are bounded by this, so a hostile document cannot overflow
+/// the stack.
+pub const MAX_DEPTH: usize = 512;
+
+/// The state machine for pull parsing.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    cursor: Cursor<'a>,
+    /// Names of currently open elements.
+    stack: Vec<QName>,
+    /// Pending synthesized end element from a self-closing tag.
+    pending_end: Option<(QName, Position)>,
+    /// Whether the single root element has been seen and closed.
+    root_closed: bool,
+    /// Whether any root element has been seen at all.
+    seen_root: bool,
+    /// Whether EOF has been returned.
+    done: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Reader {
+            cursor: Cursor::new(src),
+            stack: Vec::new(),
+            pending_end: None,
+            root_closed: false,
+            seen_root: false,
+            done: false,
+        }
+    }
+
+    /// Current source position (start of the next unread construct).
+    pub fn position(&self) -> Position {
+        self.cursor.position()
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pulls the next event.
+    pub fn next_event(&mut self) -> XmlResult<Event> {
+        if let Some((name, position)) = self.pending_end.take() {
+            self.leave_element();
+            return Ok(Event::EndElement { name, position });
+        }
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if self.cursor.is_eof() {
+            return self.finish();
+        }
+        if self.cursor.peek() == Some(b'<') {
+            self.read_markup()
+        } else {
+            self.read_text()
+        }
+    }
+
+    fn finish(&mut self) -> XmlResult<Event> {
+        if let Some(open) = self.stack.last() {
+            return Err(self.cursor.error_at(XmlErrorKind::UnexpectedEof {
+                context: leak_context(format!("element <{open}>")),
+            }));
+        }
+        if !self.seen_root {
+            return Err(self.cursor.error_at(XmlErrorKind::BadDocumentStructure {
+                detail: "document has no root element",
+            }));
+        }
+        self.done = true;
+        Ok(Event::Eof)
+    }
+
+    fn read_markup(&mut self) -> XmlResult<Event> {
+        let position = self.cursor.position();
+        if self.cursor.eat_str("<!--") {
+            return self.read_comment();
+        }
+        if self.cursor.eat_str("<![CDATA[") {
+            return self.read_cdata(position);
+        }
+        if self.cursor.starts_with("<!DOCTYPE") {
+            self.skip_doctype()?;
+            return self.next_event();
+        }
+        if self.cursor.eat_str("<?") {
+            return self.read_pi(position);
+        }
+        if self.cursor.eat_str("</") {
+            return self.read_end_tag(position);
+        }
+        self.cursor.expect(b'<', "'<' starting markup")?;
+        self.read_start_tag(position)
+    }
+
+    fn read_comment(&mut self) -> XmlResult<Event> {
+        let body = self.cursor.take_until("--", "a comment")?.to_owned();
+        // XML forbids `--` inside comments, so the first `--` must be `-->`.
+        self.cursor.eat_str("--");
+        if !self.cursor.eat_str(">") {
+            return Err(self.cursor.error_at(XmlErrorKind::IllegalConstruct {
+                detail: "'--' is not allowed inside a comment",
+            }));
+        }
+        Ok(Event::Comment(body))
+    }
+
+    fn read_cdata(&mut self, position: Position) -> XmlResult<Event> {
+        if self.stack.is_empty() {
+            return Err(self.cursor.error(
+                XmlErrorKind::BadDocumentStructure {
+                    detail: "CDATA section outside the root element",
+                },
+                position,
+            ));
+        }
+        let body = self.cursor.take_until("]]>", "a CDATA section")?.to_owned();
+        self.cursor.eat_str("]]>");
+        Ok(Event::CData(body))
+    }
+
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        // Consume "<!DOCTYPE ... >" allowing one level of [...] internal subset.
+        self.cursor.eat_str("<!DOCTYPE");
+        let mut in_subset = false;
+        loop {
+            match self.cursor.bump() {
+                Some(b'[') => in_subset = true,
+                Some(b']') => in_subset = false,
+                Some(b'>') if !in_subset => return Ok(()),
+                Some(_) => {}
+                None => {
+                    return Err(self.cursor.error_at(XmlErrorKind::UnexpectedEof {
+                        context: "a DOCTYPE declaration",
+                    }))
+                }
+            }
+        }
+    }
+
+    fn read_pi(&mut self, position: Position) -> XmlResult<Event> {
+        let target = self.read_name()?;
+        self.cursor.skip_whitespace();
+        let body = self
+            .cursor
+            .take_until("?>", "a processing instruction")?
+            .to_owned();
+        self.cursor.eat_str("?>");
+        if target.raw().eq_ignore_ascii_case("xml") {
+            if position.offset != 0 {
+                return Err(self.cursor.error(
+                    XmlErrorKind::IllegalConstruct {
+                        detail: "XML declaration is only allowed at the start of the document",
+                    },
+                    position,
+                ));
+            }
+            return Ok(Event::Declaration(body));
+        }
+        Ok(Event::ProcessingInstruction {
+            target: target.raw().to_owned(),
+            body,
+        })
+    }
+
+    fn read_start_tag(&mut self, position: Position) -> XmlResult<Event> {
+        if self.root_closed {
+            return Err(self.cursor.error(
+                XmlErrorKind::BadDocumentStructure {
+                    detail: "content after the root element",
+                },
+                position,
+            ));
+        }
+        let name = self.read_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let had_space = self.cursor.skip_whitespace() > 0;
+            match self.cursor.peek() {
+                Some(b'>') => {
+                    self.cursor.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.cursor.bump();
+                    self.cursor
+                        .expect(b'>', "'>' after '/' in a self-closing tag")?;
+                    self.seen_root = true;
+                    self.pending_end = Some((name.clone(), position));
+                    self.stack.push(name.clone());
+                    return Ok(Event::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                        position,
+                    });
+                }
+                Some(_) => {
+                    if !had_space {
+                        let found = self.cursor.peek().unwrap_or(b'?') as char;
+                        return Err(self.cursor.error_at(XmlErrorKind::UnexpectedChar {
+                            found,
+                            expected: "whitespace before an attribute",
+                        }));
+                    }
+                    let attr = self.read_attribute()?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(self.cursor.error(
+                            XmlErrorKind::DuplicateAttribute {
+                                name: attr.name.raw().to_owned(),
+                            },
+                            attr.position,
+                        ));
+                    }
+                    attributes.push(attr);
+                }
+                None => {
+                    return Err(self.cursor.error_at(XmlErrorKind::UnexpectedEof {
+                        context: "a start tag",
+                    }))
+                }
+            }
+        }
+        self.seen_root = true;
+        self.stack.push(name.clone());
+        if self.stack.len() > MAX_DEPTH {
+            return Err(self.cursor.error(
+                XmlErrorKind::IllegalConstruct {
+                    detail: "element nesting exceeds the supported depth",
+                },
+                position,
+            ));
+        }
+        Ok(Event::StartElement {
+            name,
+            attributes,
+            self_closing: false,
+            position,
+        })
+    }
+
+    fn read_end_tag(&mut self, position: Position) -> XmlResult<Event> {
+        let name = self.read_name()?;
+        self.cursor.skip_whitespace();
+        self.cursor.expect(b'>', "'>' closing an end tag")?;
+        match self.stack.last() {
+            Some(open) if *open == name => {
+                self.leave_element();
+                Ok(Event::EndElement { name, position })
+            }
+            Some(open) => Err(self.cursor.error(
+                XmlErrorKind::MismatchedTag {
+                    expected: open.raw().to_owned(),
+                    found: name.raw().to_owned(),
+                },
+                position,
+            )),
+            None => Err(self.cursor.error(
+                XmlErrorKind::UnexpectedCloseTag {
+                    found: name.raw().to_owned(),
+                },
+                position,
+            )),
+        }
+    }
+
+    fn leave_element(&mut self) {
+        self.stack.pop();
+        if self.stack.is_empty() {
+            self.root_closed = true;
+        }
+    }
+
+    fn read_name(&mut self) -> XmlResult<QName> {
+        let start = self.cursor.position();
+        let raw = self.cursor.take_while(|b| {
+            // Fast path: names in schema documents are ASCII. Multi-byte
+            // UTF-8 continuation bytes are accepted here and validated by
+            // `QName::parse` below.
+            b >= 0x80 || is_name_char(b as char)
+        });
+        if raw.is_empty() {
+            let found = self.cursor.peek().map(|b| b as char).unwrap_or('\u{0}');
+            return Err(self.cursor.error(
+                XmlErrorKind::UnexpectedChar {
+                    found,
+                    expected: "an XML name",
+                },
+                start,
+            ));
+        }
+        QName::parse(raw).ok_or_else(|| {
+            self.cursor.error(
+                XmlErrorKind::InvalidName {
+                    name: raw.to_owned(),
+                },
+                start,
+            )
+        })
+    }
+
+    fn read_attribute(&mut self) -> XmlResult<Attribute> {
+        let position = self.cursor.position();
+        let name = self.read_name()?;
+        self.cursor.skip_whitespace();
+        self.cursor.expect(b'=', "'=' after an attribute name")?;
+        self.cursor.skip_whitespace();
+        let quote = match self.cursor.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.cursor.bump();
+                q
+            }
+            Some(other) => {
+                return Err(self.cursor.error_at(XmlErrorKind::UnexpectedChar {
+                    found: other as char,
+                    expected: "a quoted attribute value",
+                }))
+            }
+            None => {
+                return Err(self.cursor.error_at(XmlErrorKind::UnexpectedEof {
+                    context: "an attribute value",
+                }))
+            }
+        };
+        let value_start = self.cursor.position();
+        let raw = self.cursor.take_while(|b| b != quote && b != b'<');
+        if self.cursor.peek() == Some(b'<') {
+            return Err(self.cursor.error_at(XmlErrorKind::UnexpectedChar {
+                found: '<',
+                expected: "no '<' inside an attribute value",
+            }));
+        }
+        self.cursor.expect(quote, "the closing attribute quote")?;
+        // XML 1.0 §3.3.3 attribute-value normalization: literal whitespace
+        // characters become spaces. (Character references like &#10; are
+        // exempt, which unescaping after replacement preserves.)
+        let raw = if raw.bytes().any(|b| matches!(b, b'\t' | b'\n' | b'\r')) {
+            std::borrow::Cow::Owned(raw.replace(['\t', '\n', '\r'], " "))
+        } else {
+            std::borrow::Cow::Borrowed(raw)
+        };
+        let value = match unescape(&raw) {
+            Ok(v) => v.into_owned(),
+            Err(bad) => {
+                return Err(self.cursor.error(
+                    XmlErrorKind::InvalidReference {
+                        reference: bad.body,
+                    },
+                    Position {
+                        line: value_start.line,
+                        column: value_start.column + bad.offset as u32,
+                        offset: value_start.offset + bad.offset,
+                    },
+                ))
+            }
+        };
+        Ok(Attribute {
+            name,
+            value,
+            position,
+        })
+    }
+
+    fn read_text(&mut self) -> XmlResult<Event> {
+        let start = self.cursor.position();
+        let raw = self.cursor.take_while(|b| b != b'<');
+        if raw.contains("]]>") {
+            return Err(self.cursor.error(
+                XmlErrorKind::IllegalConstruct {
+                    detail: "']]>' is not allowed in character data",
+                },
+                start,
+            ));
+        }
+        let text = match unescape(raw) {
+            Ok(t) => t.into_owned(),
+            Err(bad) => {
+                return Err(self.cursor.error(
+                    XmlErrorKind::InvalidReference {
+                        reference: bad.body,
+                    },
+                    Position {
+                        line: start.line,
+                        column: start.column + bad.offset as u32,
+                        offset: start.offset + bad.offset,
+                    },
+                ))
+            }
+        };
+        if self.stack.is_empty() && !text.trim().is_empty() {
+            return Err(self.cursor.error(
+                XmlErrorKind::BadDocumentStructure {
+                    detail: "character data outside the root element",
+                },
+                start,
+            ));
+        }
+        Ok(Event::Text(text))
+    }
+}
+
+/// Error contexts are `&'static str`; element names in EOF errors are rare
+/// (only on truncated documents) so leaking them is acceptable and keeps the
+/// error type allocation-free on the hot path.
+fn leak_context(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+impl<'a> Iterator for Reader<'a> {
+    type Item = XmlResult<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Event::Eof) => None,
+            other => Some(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        Reader::new(src).collect::<XmlResult<Vec<_>>>().unwrap()
+    }
+
+    fn err_kind(src: &str) -> XmlErrorKind {
+        let r: XmlResult<Vec<_>> = Reader::new(src).collect();
+        r.unwrap_err().kind().clone()
+    }
+
+    #[test]
+    fn parses_minimal_document() {
+        let evs = events("<a/>");
+        assert_eq!(evs.len(), 2);
+        assert!(
+            matches!(&evs[0], Event::StartElement { name, self_closing: true, .. } if name.raw() == "a")
+        );
+        assert!(matches!(&evs[1], Event::EndElement { name, .. } if name.raw() == "a"));
+    }
+
+    #[test]
+    fn parses_nested_elements_with_text() {
+        let evs = events("<a><b>hi</b></a>");
+        let kinds: Vec<&str> = evs
+            .iter()
+            .map(|e| match e {
+                Event::StartElement { .. } => "start",
+                Event::EndElement { .. } => "end",
+                Event::Text(_) => "text",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, ["start", "start", "text", "end", "end"]);
+    }
+
+    #[test]
+    fn decodes_attributes_and_entities() {
+        let evs = events(r#"<a x="1 &lt; 2" y='"q"'/>"#);
+        let Event::StartElement { attributes, .. } = &evs[0] else {
+            panic!()
+        };
+        assert_eq!(attributes[0].name.raw(), "x");
+        assert_eq!(attributes[0].value, "1 < 2");
+        assert_eq!(attributes[1].value, "\"q\"");
+    }
+
+    #[test]
+    fn reports_duplicate_attributes() {
+        assert!(matches!(
+            err_kind(r#"<a x="1" x="2"/>"#),
+            XmlErrorKind::DuplicateAttribute { name } if name == "x"
+        ));
+    }
+
+    #[test]
+    fn requires_whitespace_between_attributes() {
+        assert!(matches!(
+            err_kind(r#"<a x="1"y="2"/>"#),
+            XmlErrorKind::UnexpectedChar { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags_with_position() {
+        let r: XmlResult<Vec<_>> = Reader::new("<a>\n  <b></c></a>").collect();
+        let err = r.unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::MismatchedTag { expected, found }
+            if expected == "b" && found == "c")
+        );
+        assert_eq!(err.position().line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_close_tag() {
+        assert!(matches!(
+            err_kind("<a></a></b>"),
+            XmlErrorKind::BadDocumentStructure { .. } | XmlErrorKind::UnexpectedCloseTag { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unclosed_document() {
+        assert!(matches!(
+            err_kind("<a><b></b>"),
+            XmlErrorKind::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_document_and_whitespace_only() {
+        assert!(matches!(
+            err_kind(""),
+            XmlErrorKind::BadDocumentStructure { .. }
+        ));
+        assert!(matches!(
+            err_kind("   \n  "),
+            XmlErrorKind::BadDocumentStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_second_root_element() {
+        assert!(matches!(
+            err_kind("<a/><b/>"),
+            XmlErrorKind::BadDocumentStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_text_outside_root() {
+        assert!(matches!(
+            err_kind("hello <a/>"),
+            XmlErrorKind::BadDocumentStructure { .. }
+        ));
+        assert!(matches!(
+            err_kind("<a/> trailing"),
+            XmlErrorKind::BadDocumentStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn whitespace_around_root_is_fine() {
+        let evs = events("\n  <a/>\n  ");
+        assert!(evs.iter().any(|e| matches!(e, Event::StartElement { .. })));
+    }
+
+    #[test]
+    fn parses_declaration_comment_pi_cdata() {
+        let src = "<?xml version=\"1.0\"?><!-- note --><a><?php echo ?><![CDATA[<raw>&]]></a>";
+        let evs = events(src);
+        assert!(matches!(&evs[0], Event::Declaration(b) if b.contains("version")));
+        assert!(matches!(&evs[1], Event::Comment(c) if c.trim() == "note"));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::ProcessingInstruction { target, .. } if target == "php")));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::CData(c) if c == "<raw>&")));
+    }
+
+    #[test]
+    fn declaration_must_be_first() {
+        assert!(matches!(
+            err_kind("<!-- c --><?xml version=\"1.0\"?><a/>"),
+            XmlErrorKind::IllegalConstruct { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_double_dash_in_comment() {
+        assert!(matches!(
+            err_kind("<!-- a -- b --><r/>"),
+            XmlErrorKind::IllegalConstruct { .. }
+        ));
+    }
+
+    #[test]
+    fn skips_doctype() {
+        let evs = events("<!DOCTYPE note [<!ENTITY x \"y\">]><note/>");
+        assert!(matches!(&evs[0], Event::StartElement { name, .. } if name.raw() == "note"));
+    }
+
+    #[test]
+    fn rejects_unknown_entity_in_text_with_offset() {
+        let r: XmlResult<Vec<_>> = Reader::new("<a>xy&bogus;</a>").collect();
+        let err = r.unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::InvalidReference { reference } if reference == "bogus")
+        );
+    }
+
+    #[test]
+    fn rejects_cdata_end_in_text() {
+        assert!(matches!(
+            err_kind("<a>oops ]]> here</a>"),
+            XmlErrorKind::IllegalConstruct { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_lt_in_attribute_value() {
+        assert!(matches!(
+            err_kind(r#"<a x="1 < 2"/>"#),
+            XmlErrorKind::UnexpectedChar { found: '<', .. }
+        ));
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut r = Reader::new("<a><b/></a>");
+        assert_eq!(r.depth(), 0);
+        r.next_event().unwrap(); // <a>
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // <b/> start
+        assert_eq!(r.depth(), 2);
+        r.next_event().unwrap(); // synthesized </b>
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // </a>
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+        assert_eq!(r.next_event().unwrap(), Event::Eof); // idempotent
+    }
+
+    #[test]
+    fn prefixed_names_are_split() {
+        let evs = events(r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#);
+        let Event::StartElement {
+            name, attributes, ..
+        } = &evs[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name.prefix(), Some("xs"));
+        assert_eq!(name.local(), "schema");
+        assert_eq!(attributes[0].name.raw(), "xmlns:xs");
+    }
+
+    #[test]
+    fn end_tag_allows_trailing_whitespace() {
+        let evs = events("<a></a  >");
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn attribute_values_normalize_literal_whitespace() {
+        // XML 1.0 §3.3.3: literal tab/newline become spaces; character
+        // references for them survive.
+        let evs = events("<a x=\"one\ttwo\nthree\" y=\"a&#10;b\"/>");
+        let Event::StartElement { attributes, .. } = &evs[0] else {
+            panic!()
+        };
+        assert_eq!(attributes[0].value, "one two three");
+        assert_eq!(attributes[1].value, "a\nb");
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // A pathologically deep document errors instead of overflowing the
+        // recursive DOM builder's stack.
+        let deep = "<a>".repeat(MAX_DEPTH + 8) + &"</a>".repeat(MAX_DEPTH + 8);
+        let r: XmlResult<Vec<_>> = Reader::new(&deep).collect();
+        assert!(matches!(
+            r.unwrap_err().kind(),
+            XmlErrorKind::IllegalConstruct { .. }
+        ));
+        // Just inside the limit is fine.
+        let ok = "<a>".repeat(MAX_DEPTH) + &"</a>".repeat(MAX_DEPTH);
+        let r: XmlResult<Vec<_>> = Reader::new(&ok).collect();
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn numeric_references_in_text() {
+        let evs = events("<a>&#65;&#x42;</a>");
+        assert!(evs.iter().any(|e| matches!(e, Event::Text(t) if t == "AB")));
+    }
+}

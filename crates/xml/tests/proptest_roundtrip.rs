@@ -1,0 +1,107 @@
+//! Property tests: generated element trees must survive a
+//! print → parse → print round trip, and the escaping helpers must be
+//! inverse to unescaping for arbitrary strings.
+
+use proptest::prelude::*;
+use qmatch_xml::dom::{Document, Element};
+use qmatch_xml::escape::{escape_attr, escape_text, unescape};
+
+/// Strategy for valid, simple XML names.
+fn xml_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}"
+}
+
+/// Strategy for text content free of control characters.
+fn xml_text() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}".prop_map(|s| s.replace("]]>", "]] >"))
+}
+
+/// Strategy for a small element tree.
+fn element_tree() -> impl Strategy<Value = Element> {
+    let leaf = (
+        xml_name(),
+        proptest::option::of(xml_text()),
+        proptest::option::of((xml_name(), xml_text())),
+    )
+        .prop_map(|(name, text, attr)| {
+            let mut e = Element::new(&name);
+            if let Some((an, av)) = attr {
+                e.set_attr(&an, &av);
+            }
+            if let Some(t) = text {
+                // Leading/trailing whitespace is normalized away by the DOM's
+                // whitespace handling, so trim here for a clean round trip.
+                let t = t.trim();
+                if !t.is_empty() {
+                    e = e.with_text(t);
+                }
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            xml_name(),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of((xml_name(), xml_text())),
+        )
+            .prop_map(|(name, children, attr)| {
+                let mut e = Element::new(&name);
+                if let Some((an, av)) = attr {
+                    e.set_attr(&an, &av);
+                }
+                for c in children {
+                    e.add_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_print_is_stable(tree in element_tree()) {
+        let once = tree.to_string();
+        let doc = Document::parse(&once).expect("printed tree must parse");
+        let twice = doc.root().to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parsed_tree_preserves_structure(tree in element_tree()) {
+        let printed = tree.to_string();
+        let doc = Document::parse(&printed).unwrap();
+        prop_assert_eq!(doc.root().name().raw(), tree.name().raw());
+        prop_assert_eq!(doc.root().subtree_size(), tree.subtree_size());
+        prop_assert_eq!(doc.root().subtree_depth(), tree.subtree_depth());
+    }
+
+    #[test]
+    fn escape_text_unescape_identity(s in "\\PC{0,64}") {
+        let escaped = escape_text(&s);
+        prop_assert_eq!(unescape(&escaped).unwrap().into_owned(), s);
+    }
+
+    #[test]
+    fn escape_attr_unescape_identity(s in "\\PC{0,64}") {
+        let escaped = escape_attr(&s);
+        prop_assert_eq!(unescape(&escaped).unwrap().into_owned(), s);
+    }
+
+    #[test]
+    fn escaped_text_has_no_raw_specials(s in "\\PC{0,64}") {
+        let escaped = escape_attr(&s).into_owned();
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('"'));
+        // `&` may only appear as the start of an entity.
+        for (i, c) in escaped.char_indices() {
+            if c == '&' {
+                prop_assert!(escaped[i..].contains(';'));
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,128}") {
+        let _ = Document::parse(&s);
+    }
+}

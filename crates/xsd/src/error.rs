@@ -1,0 +1,164 @@
+//! Error type for XSD parsing, resolution, and tree compilation.
+
+use qmatch_xml::error::Position;
+use qmatch_xml::XmlError;
+use std::fmt;
+
+/// An error produced while reading or compiling an XML Schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsdError {
+    /// The underlying document was not well-formed XML.
+    Xml(XmlError),
+    /// The document root is not `xs:schema`.
+    NotASchema {
+        /// The root element's name as written.
+        found: String,
+    },
+    /// A schema construct was malformed (bad attribute value, missing
+    /// required attribute, unexpected child, ...).
+    Invalid {
+        /// Human-readable description.
+        message: String,
+        /// Position of the offending element, if known.
+        position: Option<Position>,
+    },
+    /// A `type="..."` reference names a type that is not declared and is not
+    /// a built-in.
+    UnresolvedType {
+        /// The referenced type name (local part).
+        name: String,
+    },
+    /// An element/attribute `ref="..."` names a missing global declaration.
+    UnresolvedRef {
+        /// The referenced declaration name.
+        name: String,
+    },
+    /// The same global name was declared twice in one symbol space.
+    DuplicateGlobal {
+        /// Which symbol space (`element`, `attribute`, `type`).
+        space: &'static str,
+        /// The repeated name.
+        name: String,
+    },
+    /// The schema has no global element declaration to use as a tree root.
+    NoRootElement,
+}
+
+impl XsdError {
+    /// Convenience constructor for [`XsdError::Invalid`].
+    pub fn invalid(message: impl Into<String>, position: Option<Position>) -> Self {
+        XsdError::Invalid {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for XsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsdError::Xml(e) => write!(f, "{e}"),
+            XsdError::NotASchema { found } => {
+                write!(
+                    f,
+                    "document root is <{found}>, expected an xs:schema element"
+                )
+            }
+            XsdError::Invalid {
+                message,
+                position: Some(p),
+            } => {
+                write!(f, "invalid schema at {p}: {message}")
+            }
+            XsdError::Invalid {
+                message,
+                position: None,
+            } => write!(f, "invalid schema: {message}"),
+            XsdError::UnresolvedType { name } => write!(f, "unresolved type reference {name:?}"),
+            XsdError::UnresolvedRef { name } => {
+                write!(f, "unresolved element/attribute reference {name:?}")
+            }
+            XsdError::DuplicateGlobal { space, name } => {
+                write!(f, "duplicate global {space} declaration {name:?}")
+            }
+            XsdError::NoRootElement => write!(f, "schema declares no global element"),
+        }
+    }
+}
+
+impl std::error::Error for XsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XsdError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for XsdError {
+    fn from(e: XmlError) -> Self {
+        XsdError::Xml(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type XsdResult<T> = Result<T, XsdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(XsdError::NotASchema {
+            found: "html".into()
+        }
+        .to_string()
+        .contains("html"));
+        assert!(XsdError::UnresolvedType {
+            name: "POType".into()
+        }
+        .to_string()
+        .contains("POType"));
+        assert!(XsdError::UnresolvedRef {
+            name: "item".into()
+        }
+        .to_string()
+        .contains("item"));
+        assert!(XsdError::DuplicateGlobal {
+            space: "element",
+            name: "PO".into()
+        }
+        .to_string()
+        .contains("element"));
+        assert!(XsdError::NoRootElement
+            .to_string()
+            .contains("global element"));
+    }
+
+    #[test]
+    fn invalid_with_position_shows_location() {
+        let e = XsdError::invalid(
+            "minOccurs is not a number",
+            Some(Position {
+                line: 4,
+                column: 2,
+                offset: 77,
+            }),
+        );
+        assert!(e.to_string().contains("4:2"));
+    }
+
+    #[test]
+    fn xml_errors_convert_and_chain() {
+        use qmatch_xml::error::{Position, XmlErrorKind};
+        let xml = XmlError::new(
+            XmlErrorKind::BadDocumentStructure { detail: "no root" },
+            Position::START,
+        );
+        let xsd: XsdError = xml.clone().into();
+        assert_eq!(xsd.to_string(), xml.to_string());
+        use std::error::Error;
+        assert!(xsd.source().is_some());
+    }
+}

@@ -1,0 +1,420 @@
+//! The XSD object model: declarations, types, particles, and facets.
+//!
+//! The model mirrors the source schema closely (references are kept by name
+//! until [`resolve`](crate::resolve) checks them; [`tree`](crate::tree)
+//! flattens everything into the schema tree).
+
+use crate::types::BuiltinType;
+use std::fmt;
+
+/// A parsed schema document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The `targetNamespace` attribute, if present.
+    pub target_namespace: Option<String>,
+    /// Global element declarations, in document order.
+    pub elements: Vec<ElementDecl>,
+    /// Global attribute declarations, in document order.
+    pub attributes: Vec<AttributeDecl>,
+    /// Named type definitions (complex and simple), in document order.
+    pub types: Vec<(String, TypeDef)>,
+    /// Named model groups (`xs:group`), in document order.
+    pub groups: Vec<(String, Particle)>,
+    /// Named attribute groups (`xs:attributeGroup`), in document order.
+    pub attribute_groups: Vec<(String, Vec<AttributeDecl>)>,
+}
+
+impl Schema {
+    /// Looks up a named type definition.
+    pub fn type_by_name(&self, name: &str) -> Option<&TypeDef> {
+        self.types.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Looks up a global element declaration.
+    pub fn element_by_name(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a global attribute declaration.
+    pub fn attribute_by_name(&self, name: &str) -> Option<&AttributeDecl> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a named model group.
+    pub fn group_by_name(&self, name: &str) -> Option<&Particle> {
+        self.groups.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+    }
+
+    /// Looks up a named attribute group.
+    pub fn attribute_group_by_name(&self, name: &str) -> Option<&[AttributeDecl]> {
+        self.attribute_groups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| a.as_slice())
+    }
+}
+
+/// How an element or attribute refers to its type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeRef {
+    /// A built-in simple type, e.g. `xs:string`.
+    Builtin(BuiltinType),
+    /// A reference to a named type declared in this schema.
+    Named(String),
+    /// An anonymous type defined inline.
+    Inline(Box<TypeDef>),
+    /// No type given: XSD defaults to `anyType`.
+    Unspecified,
+}
+
+/// A named or anonymous type definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDef {
+    /// A complex type (may nest elements and carry attributes).
+    Complex(ComplexType),
+    /// A simple type (restriction/list/union of simple content).
+    Simple(SimpleType),
+}
+
+/// A complex type definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ComplexType {
+    /// The content particle (`sequence` / `choice` / `all`), if any.
+    pub content: Option<Particle>,
+    /// Attribute declarations on this type.
+    pub attributes: Vec<AttributeDecl>,
+    /// Referenced named attribute groups (`<xs:attributeGroup ref="..."/>`),
+    /// expanded at tree compilation.
+    pub attribute_group_refs: Vec<String>,
+    /// The `mixed` attribute.
+    pub mixed: bool,
+    /// For `simpleContent` extensions: the base simple type.
+    pub simple_base: Option<TypeRef>,
+    /// For `complexContent` *extensions*: the named base complex type whose
+    /// content and attributes this type inherits (spliced in ahead of the
+    /// local declarations when the tree is compiled). `None` for plain
+    /// types and for `complexContent` restrictions (which redeclare their
+    /// content in full).
+    pub complex_base: Option<String>,
+}
+
+/// A simple type definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimpleType {
+    /// `<xs:restriction base="...">` with facets.
+    Restriction {
+        /// The restricted base type.
+        base: TypeRef,
+        /// Constraining facets in document order.
+        facets: Vec<Facet>,
+    },
+    /// `<xs:list itemType="..."/>`.
+    List {
+        /// The list item type.
+        item: TypeRef,
+    },
+    /// `<xs:union memberTypes="..."/>`.
+    Union {
+        /// The union member types.
+        members: Vec<TypeRef>,
+    },
+}
+
+/// A constraining facet on a simple-type restriction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Facet {
+    /// `xs:enumeration`
+    Enumeration(String),
+    /// `xs:pattern`
+    Pattern(String),
+    /// `xs:minInclusive`
+    MinInclusive(String),
+    /// `xs:maxInclusive`
+    MaxInclusive(String),
+    /// `xs:minExclusive`
+    MinExclusive(String),
+    /// `xs:maxExclusive`
+    MaxExclusive(String),
+    /// `xs:length`
+    Length(u32),
+    /// `xs:minLength`
+    MinLength(u32),
+    /// `xs:maxLength`
+    MaxLength(u32),
+    /// `xs:totalDigits`
+    TotalDigits(u32),
+    /// `xs:fractionDigits`
+    FractionDigits(u32),
+    /// `xs:whiteSpace`
+    WhiteSpace(String),
+}
+
+/// The `maxOccurs` attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxOccurs {
+    /// A finite bound.
+    Bounded(u32),
+    /// `maxOccurs="unbounded"`.
+    Unbounded,
+}
+
+impl MaxOccurs {
+    /// True if at least `n` occurrences are allowed.
+    pub fn allows(self, n: u32) -> bool {
+        match self {
+            MaxOccurs::Bounded(b) => n <= b,
+            MaxOccurs::Unbounded => true,
+        }
+    }
+}
+
+impl Default for MaxOccurs {
+    fn default() -> Self {
+        MaxOccurs::Bounded(1)
+    }
+}
+
+impl fmt::Display for MaxOccurs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxOccurs::Bounded(n) => write!(f, "{n}"),
+            MaxOccurs::Unbounded => f.write_str("unbounded"),
+        }
+    }
+}
+
+/// A content-model particle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Particle {
+    /// `<xs:sequence>`: ordered children.
+    Sequence {
+        /// Nested particles in order.
+        items: Vec<Particle>,
+        /// `minOccurs` on the compositor.
+        min_occurs: u32,
+        /// `maxOccurs` on the compositor.
+        max_occurs: MaxOccurs,
+    },
+    /// `<xs:choice>`: one of the children.
+    Choice {
+        /// Alternative particles.
+        items: Vec<Particle>,
+        /// `minOccurs` on the compositor.
+        min_occurs: u32,
+        /// `maxOccurs` on the compositor.
+        max_occurs: MaxOccurs,
+    },
+    /// `<xs:all>`: unordered children.
+    All {
+        /// Member particles.
+        items: Vec<Particle>,
+        /// `minOccurs` on the compositor.
+        min_occurs: u32,
+    },
+    /// A local element declaration or element reference.
+    Element(ElementDecl),
+    /// `<xs:group ref="..."/>`: a reference to a named model group whose
+    /// particle is spliced in at this position during tree compilation.
+    GroupRef {
+        /// The referenced group's name (local part).
+        name: String,
+        /// `minOccurs` on the reference.
+        min_occurs: u32,
+        /// `maxOccurs` on the reference.
+        max_occurs: MaxOccurs,
+    },
+}
+
+impl Particle {
+    /// Iterates over every element declaration in this particle, depth-first,
+    /// in document order (the order the paper's `order` property records).
+    /// Group references are *not* expanded here (that needs the schema's
+    /// group table — see the tree compiler); they contribute no declarations.
+    pub fn element_decls(&self) -> Vec<&ElementDecl> {
+        let mut out = Vec::new();
+        self.collect_elements(&mut out);
+        out
+    }
+
+    fn collect_elements<'p>(&'p self, out: &mut Vec<&'p ElementDecl>) {
+        match self {
+            Particle::Sequence { items, .. }
+            | Particle::Choice { items, .. }
+            | Particle::All { items, .. } => {
+                for item in items {
+                    item.collect_elements(out);
+                }
+            }
+            Particle::Element(decl) => out.push(decl),
+            Particle::GroupRef { .. } => {}
+        }
+    }
+}
+
+/// An element declaration (global or local).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// The element name; empty for pure `ref=` declarations until resolution.
+    pub name: String,
+    /// A `ref="..."` target, if this is a reference to a global element.
+    pub reference: Option<String>,
+    /// The declared type.
+    pub type_ref: TypeRef,
+    /// `minOccurs` (default 1).
+    pub min_occurs: u32,
+    /// `maxOccurs` (default 1).
+    pub max_occurs: MaxOccurs,
+    /// `nillable` (default false).
+    pub nillable: bool,
+    /// `default="..."`.
+    pub default: Option<String>,
+    /// `fixed="..."`.
+    pub fixed: Option<String>,
+}
+
+impl ElementDecl {
+    /// A minimal named element of unspecified type (builder-style helpers
+    /// below fill in the rest).
+    pub fn new(name: impl Into<String>) -> Self {
+        ElementDecl {
+            name: name.into(),
+            reference: None,
+            type_ref: TypeRef::Unspecified,
+            min_occurs: 1,
+            max_occurs: MaxOccurs::default(),
+            nillable: false,
+            default: None,
+            fixed: None,
+        }
+    }
+
+    /// Sets the type to a built-in (builder style).
+    pub fn with_builtin(mut self, t: BuiltinType) -> Self {
+        self.type_ref = TypeRef::Builtin(t);
+        self
+    }
+
+    /// Sets occurrence bounds (builder style).
+    pub fn with_occurs(mut self, min: u32, max: MaxOccurs) -> Self {
+        self.min_occurs = min;
+        self.max_occurs = max;
+        self
+    }
+}
+
+/// The `use` attribute of an attribute declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttributeUse {
+    /// `use="optional"` (the default).
+    #[default]
+    Optional,
+    /// `use="required"`.
+    Required,
+    /// `use="prohibited"`.
+    Prohibited,
+}
+
+/// An attribute declaration (global or local).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDecl {
+    /// The attribute name; empty for pure `ref=` declarations until resolution.
+    pub name: String,
+    /// A `ref="..."` target, if this is a reference to a global attribute.
+    pub reference: Option<String>,
+    /// The declared type.
+    pub type_ref: TypeRef,
+    /// The `use` attribute.
+    pub required: AttributeUse,
+    /// `default="..."`.
+    pub default: Option<String>,
+    /// `fixed="..."`.
+    pub fixed: Option<String>,
+}
+
+impl AttributeDecl {
+    /// A minimal named attribute of unspecified type.
+    pub fn new(name: impl Into<String>) -> Self {
+        AttributeDecl {
+            name: name.into(),
+            reference: None,
+            type_ref: TypeRef::Unspecified,
+            required: AttributeUse::default(),
+            default: None,
+            fixed: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_occurs_allows() {
+        assert!(MaxOccurs::Bounded(3).allows(3));
+        assert!(!MaxOccurs::Bounded(3).allows(4));
+        assert!(MaxOccurs::Unbounded.allows(u32::MAX));
+        assert_eq!(MaxOccurs::default(), MaxOccurs::Bounded(1));
+    }
+
+    #[test]
+    fn max_occurs_display() {
+        assert_eq!(MaxOccurs::Bounded(2).to_string(), "2");
+        assert_eq!(MaxOccurs::Unbounded.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn particle_collects_elements_in_document_order() {
+        let p = Particle::Sequence {
+            items: vec![
+                Particle::Element(ElementDecl::new("a")),
+                Particle::Choice {
+                    items: vec![
+                        Particle::Element(ElementDecl::new("b")),
+                        Particle::Element(ElementDecl::new("c")),
+                    ],
+                    min_occurs: 1,
+                    max_occurs: MaxOccurs::Bounded(1),
+                },
+                Particle::Element(ElementDecl::new("d")),
+            ],
+            min_occurs: 1,
+            max_occurs: MaxOccurs::Bounded(1),
+        };
+        let names: Vec<_> = p.element_decls().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn schema_lookup_by_name() {
+        let mut s = Schema::default();
+        s.elements.push(ElementDecl::new("PO"));
+        s.attributes.push(AttributeDecl::new("id"));
+        s.types
+            .push(("POType".into(), TypeDef::Complex(ComplexType::default())));
+        assert!(s.element_by_name("PO").is_some());
+        assert!(s.element_by_name("XX").is_none());
+        assert!(s.attribute_by_name("id").is_some());
+        assert!(s.type_by_name("POType").is_some());
+        assert!(s.type_by_name("Other").is_none());
+    }
+
+    #[test]
+    fn element_builder_sets_fields() {
+        let e = ElementDecl::new("Qty")
+            .with_builtin(BuiltinType::Integer)
+            .with_occurs(0, MaxOccurs::Unbounded);
+        assert_eq!(e.name, "Qty");
+        assert_eq!(e.type_ref, TypeRef::Builtin(BuiltinType::Integer));
+        assert_eq!(e.min_occurs, 0);
+        assert_eq!(e.max_occurs, MaxOccurs::Unbounded);
+        assert!(!e.nillable);
+    }
+
+    #[test]
+    fn attribute_defaults_are_optional_untyped() {
+        let a = AttributeDecl::new("unit");
+        assert_eq!(a.required, AttributeUse::Optional);
+        assert_eq!(a.type_ref, TypeRef::Unspecified);
+    }
+}

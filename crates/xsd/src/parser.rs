@@ -1,0 +1,767 @@
+//! Parses an XSD document (via the `qmatch-xml` DOM) into the [`Schema`] model.
+//!
+//! Names are matched on their *local* part, so any prefix convention
+//! (`xs:`, `xsd:`, none) works. Type references are resolved to built-ins by
+//! local name first, falling back to named-type references — this matches
+//! how matching corpora use the schema language in practice.
+
+use crate::error::{XsdError, XsdResult};
+use crate::model::{
+    AttributeDecl, AttributeUse, ComplexType, ElementDecl, Facet, MaxOccurs, Particle, Schema,
+    SimpleType, TypeDef, TypeRef,
+};
+use crate::resolve;
+use crate::types::BuiltinType;
+use qmatch_xml::dom::{Document, Element};
+
+/// Parses and resolves a complete schema document.
+///
+/// This is the main entry point: it parses the XML, builds the model, and
+/// runs reference [resolution](crate::resolve) so the returned schema is
+/// internally consistent.
+pub fn parse_schema(src: &str) -> XsdResult<Schema> {
+    let doc = Document::parse(src)?;
+    let schema = schema_from_dom(doc.root())?;
+    resolve::check(&schema)?;
+    Ok(schema)
+}
+
+/// Builds the schema model from a parsed DOM without running resolution.
+/// Exposed for tests and tooling that want to inspect partially-valid input.
+pub fn schema_from_dom(root: &Element) -> XsdResult<Schema> {
+    if root.name().local() != "schema" {
+        return Err(XsdError::NotASchema {
+            found: root.name().raw().to_owned(),
+        });
+    }
+    let mut schema = Schema {
+        target_namespace: root.attr("targetNamespace").map(str::to_owned),
+        ..Schema::default()
+    };
+    for child in root.child_elements() {
+        match child.name().local() {
+            "element" => schema.elements.push(parse_element(child)?),
+            "attribute" => schema.attributes.push(parse_attribute(child)?),
+            "complexType" => {
+                let name = require_attr(child, "name")?;
+                schema
+                    .types
+                    .push((name, TypeDef::Complex(parse_complex_type(child)?)));
+            }
+            "simpleType" => {
+                let name = require_attr(child, "name")?;
+                schema
+                    .types
+                    .push((name, TypeDef::Simple(parse_simple_type(child)?)));
+            }
+            "group" => {
+                let name = require_attr(child, "name")?;
+                schema.groups.push((name, parse_group_body(child)?));
+            }
+            "attributeGroup" => {
+                let name = require_attr(child, "name")?;
+                schema
+                    .attribute_groups
+                    .push((name, parse_attribute_group_body(child)?));
+            }
+            "annotation" | "import" | "include" | "notation" => {
+                // Annotations are documentation; import/include are external
+                // (single-document corpora don't use them). Skipped.
+            }
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported top-level schema construct <{other}>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(schema)
+}
+
+fn require_attr(el: &Element, name: &str) -> XsdResult<String> {
+    el.attr(name).map(str::to_owned).ok_or_else(|| {
+        XsdError::invalid(
+            format!("<{}> is missing the required {name:?} attribute", el.name()),
+            Some(el.position()),
+        )
+    })
+}
+
+fn parse_occurs_attrs(el: &Element) -> XsdResult<(u32, MaxOccurs)> {
+    let min = match el.attr("minOccurs") {
+        None => 1,
+        Some(v) => v.parse::<u32>().map_err(|_| {
+            XsdError::invalid(
+                format!("minOccurs={v:?} is not a non-negative integer"),
+                Some(el.position()),
+            )
+        })?,
+    };
+    let max = match el.attr("maxOccurs") {
+        None => MaxOccurs::Bounded(1),
+        Some("unbounded") => MaxOccurs::Unbounded,
+        Some(v) => MaxOccurs::Bounded(v.parse::<u32>().map_err(|_| {
+            XsdError::invalid(
+                format!("maxOccurs={v:?} is not a non-negative integer or \"unbounded\""),
+                Some(el.position()),
+            )
+        })?),
+    };
+    if let MaxOccurs::Bounded(b) = max {
+        if b < min {
+            return Err(XsdError::invalid(
+                format!("maxOccurs ({b}) is less than minOccurs ({min})"),
+                Some(el.position()),
+            ));
+        }
+    }
+    Ok((min, max))
+}
+
+/// Interprets a `type="..."` attribute value: built-in by local name first,
+/// otherwise a named-type reference (also by local name).
+pub fn parse_type_name(raw: &str) -> TypeRef {
+    let local = raw.rsplit(':').next().unwrap_or(raw);
+    match local.parse::<BuiltinType>() {
+        Ok(builtin) => TypeRef::Builtin(builtin),
+        Err(_) => TypeRef::Named(local.to_owned()),
+    }
+}
+
+fn parse_element(el: &Element) -> XsdResult<ElementDecl> {
+    let (min_occurs, max_occurs) = parse_occurs_attrs(el)?;
+    let reference = el
+        .attr("ref")
+        .map(|r| r.rsplit(':').next().unwrap_or(r).to_owned());
+    let name = match (el.attr("name"), &reference) {
+        (Some(n), _) => n.to_owned(),
+        (None, Some(r)) => r.clone(),
+        (None, None) => {
+            return Err(XsdError::invalid(
+                "<element> needs a name or a ref attribute",
+                Some(el.position()),
+            ))
+        }
+    };
+    let mut type_ref = match el.attr("type") {
+        Some(t) => parse_type_name(t),
+        None => TypeRef::Unspecified,
+    };
+    for child in el.child_elements() {
+        match child.name().local() {
+            "complexType" => {
+                ensure_no_type_attr(el, &type_ref)?;
+                type_ref = TypeRef::Inline(Box::new(TypeDef::Complex(parse_complex_type(child)?)));
+            }
+            "simpleType" => {
+                ensure_no_type_attr(el, &type_ref)?;
+                type_ref = TypeRef::Inline(Box::new(TypeDef::Simple(parse_simple_type(child)?)));
+            }
+            "annotation" | "key" | "keyref" | "unique" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <element>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(ElementDecl {
+        name,
+        reference,
+        type_ref,
+        min_occurs,
+        max_occurs,
+        nillable: el.attr("nillable") == Some("true"),
+        default: el.attr("default").map(str::to_owned),
+        fixed: el.attr("fixed").map(str::to_owned),
+    })
+}
+
+fn ensure_no_type_attr(el: &Element, current: &TypeRef) -> XsdResult<()> {
+    if matches!(current, TypeRef::Unspecified) {
+        Ok(())
+    } else {
+        Err(XsdError::invalid(
+            "element has both a type attribute and an inline type definition",
+            Some(el.position()),
+        ))
+    }
+}
+
+fn parse_attribute(el: &Element) -> XsdResult<AttributeDecl> {
+    let reference = el
+        .attr("ref")
+        .map(|r| r.rsplit(':').next().unwrap_or(r).to_owned());
+    let name = match (el.attr("name"), &reference) {
+        (Some(n), _) => n.to_owned(),
+        (None, Some(r)) => r.clone(),
+        (None, None) => {
+            return Err(XsdError::invalid(
+                "<attribute> needs a name or a ref attribute",
+                Some(el.position()),
+            ))
+        }
+    };
+    let mut type_ref = match el.attr("type") {
+        Some(t) => parse_type_name(t),
+        None => TypeRef::Unspecified,
+    };
+    for child in el.child_elements() {
+        match child.name().local() {
+            "simpleType" => {
+                type_ref = TypeRef::Inline(Box::new(TypeDef::Simple(parse_simple_type(child)?)));
+            }
+            "annotation" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <attribute>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    let required = match el.attr("use") {
+        None | Some("optional") => AttributeUse::Optional,
+        Some("required") => AttributeUse::Required,
+        Some("prohibited") => AttributeUse::Prohibited,
+        Some(other) => {
+            return Err(XsdError::invalid(
+                format!("unknown use={other:?}"),
+                Some(el.position()),
+            ))
+        }
+    };
+    Ok(AttributeDecl {
+        name,
+        reference,
+        type_ref,
+        required,
+        default: el.attr("default").map(str::to_owned),
+        fixed: el.attr("fixed").map(str::to_owned),
+    })
+}
+
+fn parse_complex_type(el: &Element) -> XsdResult<ComplexType> {
+    let mut ct = ComplexType {
+        mixed: el.attr("mixed") == Some("true"),
+        ..ComplexType::default()
+    };
+    for child in el.child_elements() {
+        match child.name().local() {
+            "sequence" | "choice" | "all" => {
+                if ct.content.is_some() {
+                    return Err(XsdError::invalid(
+                        "complexType has more than one content compositor",
+                        Some(child.position()),
+                    ));
+                }
+                ct.content = Some(parse_particle(child)?);
+            }
+            "attribute" => ct.attributes.push(parse_attribute(child)?),
+            "attributeGroup" => {
+                let target = require_attr(child, "ref")?;
+                ct.attribute_group_refs
+                    .push(target.rsplit(':').next().unwrap_or(&target).to_owned());
+            }
+            "simpleContent" => parse_simple_content(child, &mut ct)?,
+            "complexContent" => parse_complex_content(child, &mut ct)?,
+            "annotation" | "anyAttribute" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <complexType>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(ct)
+}
+
+fn parse_simple_content(el: &Element, ct: &mut ComplexType) -> XsdResult<()> {
+    for child in el.child_elements() {
+        match child.name().local() {
+            "extension" | "restriction" => {
+                let base = require_attr(child, "base")?;
+                ct.simple_base = Some(parse_type_name(&base));
+                for grand in child.child_elements() {
+                    match grand.name().local() {
+                        "attribute" => ct.attributes.push(parse_attribute(grand)?),
+                        "annotation" => {}
+                        _ => {} // facets on simpleContent restrictions are legal; ignored here
+                    }
+                }
+            }
+            "annotation" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <simpleContent>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_complex_content(el: &Element, ct: &mut ComplexType) -> XsdResult<()> {
+    for child in el.child_elements() {
+        match child.name().local() {
+            "extension" | "restriction" => {
+                if child.name().local() == "extension" {
+                    // An extension inherits the base's content model and
+                    // attributes; record the base for tree compilation. A
+                    // restriction redeclares its content in full, so only
+                    // the local declarations matter.
+                    let base = require_attr(child, "base")?;
+                    ct.complex_base = Some(base.rsplit(':').next().unwrap_or(&base).to_owned());
+                }
+                for grand in child.child_elements() {
+                    match grand.name().local() {
+                        "sequence" | "choice" | "all" => ct.content = Some(parse_particle(grand)?),
+                        "attribute" => ct.attributes.push(parse_attribute(grand)?),
+                        "annotation" => {}
+                        other => {
+                            return Err(XsdError::invalid(
+                                format!("unsupported child <{other}> of content derivation"),
+                                Some(grand.position()),
+                            ))
+                        }
+                    }
+                }
+            }
+            "annotation" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <complexContent>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_particle(el: &Element) -> XsdResult<Particle> {
+    let (min_occurs, max_occurs) = parse_occurs_attrs(el)?;
+    let mut items = Vec::new();
+    for child in el.child_elements() {
+        match child.name().local() {
+            "element" => items.push(Particle::Element(parse_element(child)?)),
+            "sequence" | "choice" | "all" => items.push(parse_particle(child)?),
+            "group" => {
+                let target = require_attr(child, "ref")?;
+                let name = target.rsplit(':').next().unwrap_or(&target).to_owned();
+                let (min_occurs, max_occurs) = parse_occurs_attrs(child)?;
+                items.push(Particle::GroupRef {
+                    name,
+                    min_occurs,
+                    max_occurs,
+                });
+            }
+            "annotation" | "any" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <{}>", el.name().local()),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(match el.name().local() {
+        "sequence" => Particle::Sequence {
+            items,
+            min_occurs,
+            max_occurs,
+        },
+        "choice" => Particle::Choice {
+            items,
+            min_occurs,
+            max_occurs,
+        },
+        "all" => Particle::All { items, min_occurs },
+        other => unreachable!("parse_particle called on <{other}>"),
+    })
+}
+
+fn parse_simple_type(el: &Element) -> XsdResult<SimpleType> {
+    for child in el.child_elements() {
+        match child.name().local() {
+            "restriction" => {
+                let base = require_attr(child, "base")?;
+                let mut facets = Vec::new();
+                for facet_el in child.child_elements() {
+                    if let Some(f) = parse_facet(facet_el)? {
+                        facets.push(f);
+                    }
+                }
+                return Ok(SimpleType::Restriction {
+                    base: parse_type_name(&base),
+                    facets,
+                });
+            }
+            "list" => {
+                let item = require_attr(child, "itemType")?;
+                return Ok(SimpleType::List {
+                    item: parse_type_name(&item),
+                });
+            }
+            "union" => {
+                let members = child
+                    .attr("memberTypes")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .map(parse_type_name)
+                    .collect();
+                return Ok(SimpleType::Union { members });
+            }
+            "annotation" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <simpleType>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Err(XsdError::invalid(
+        "<simpleType> needs a restriction, list, or union child",
+        Some(el.position()),
+    ))
+}
+
+fn parse_facet(el: &Element) -> XsdResult<Option<Facet>> {
+    let value = || require_attr(el, "value");
+    let numeric = |v: String| -> XsdResult<u32> {
+        v.parse::<u32>().map_err(|_| {
+            XsdError::invalid(
+                format!("facet value {v:?} is not a non-negative integer"),
+                Some(el.position()),
+            )
+        })
+    };
+    Ok(Some(match el.name().local() {
+        "enumeration" => Facet::Enumeration(value()?),
+        "pattern" => Facet::Pattern(value()?),
+        "minInclusive" => Facet::MinInclusive(value()?),
+        "maxInclusive" => Facet::MaxInclusive(value()?),
+        "minExclusive" => Facet::MinExclusive(value()?),
+        "maxExclusive" => Facet::MaxExclusive(value()?),
+        "length" => Facet::Length(numeric(value()?)?),
+        "minLength" => Facet::MinLength(numeric(value()?)?),
+        "maxLength" => Facet::MaxLength(numeric(value()?)?),
+        "totalDigits" => Facet::TotalDigits(numeric(value()?)?),
+        "fractionDigits" => Facet::FractionDigits(numeric(value()?)?),
+        "whiteSpace" => Facet::WhiteSpace(value()?),
+        "annotation" => return Ok(None),
+        other => {
+            return Err(XsdError::invalid(
+                format!("unsupported facet <{other}>"),
+                Some(el.position()),
+            ))
+        }
+    }))
+}
+
+/// Parses the body of a named `<xs:group>`: exactly one compositor.
+fn parse_group_body(el: &Element) -> XsdResult<Particle> {
+    for child in el.child_elements() {
+        match child.name().local() {
+            "sequence" | "choice" | "all" => return parse_particle(child),
+            "annotation" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <group>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Err(XsdError::invalid(
+        "<group> needs a sequence, choice, or all child",
+        Some(el.position()),
+    ))
+}
+
+/// Parses the body of a named `<xs:attributeGroup>`: attribute declarations
+/// (nested attribute-group refs are not supported in this subset).
+fn parse_attribute_group_body(el: &Element) -> XsdResult<Vec<AttributeDecl>> {
+    let mut out = Vec::new();
+    for child in el.child_elements() {
+        match child.name().local() {
+            "attribute" => out.push(parse_attribute(child)?),
+            "annotation" | "anyAttribute" => {}
+            other => {
+                return Err(XsdError::invalid(
+                    format!("unsupported child <{other}> of <attributeGroup>"),
+                    Some(child.position()),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PO: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:po">
+  <xs:element name="PO" type="POType"/>
+  <xs:complexType name="POType">
+    <xs:sequence>
+      <xs:element name="OrderNo" type="xs:integer"/>
+      <xs:element name="Lines" minOccurs="0" maxOccurs="unbounded">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="Item" type="xs:string"/>
+            <xs:element name="Quantity" type="QtyType"/>
+          </xs:sequence>
+          <xs:attribute name="lineNo" type="xs:positiveInteger" use="required"/>
+        </xs:complexType>
+      </xs:element>
+    </xs:sequence>
+    <xs:attribute name="currency" type="xs:string" default="USD"/>
+  </xs:complexType>
+  <xs:simpleType name="QtyType">
+    <xs:restriction base="xs:integer">
+      <xs:minInclusive value="1"/>
+      <xs:maxInclusive value="999"/>
+    </xs:restriction>
+  </xs:simpleType>
+</xs:schema>"#;
+
+    #[test]
+    fn parses_full_purchase_order_schema() {
+        let s = parse_schema(PO).unwrap();
+        assert_eq!(s.target_namespace.as_deref(), Some("urn:po"));
+        assert_eq!(s.elements.len(), 1);
+        assert_eq!(s.types.len(), 2);
+        let po = &s.elements[0];
+        assert_eq!(po.name, "PO");
+        assert_eq!(po.type_ref, TypeRef::Named("POType".into()));
+    }
+
+    #[test]
+    fn complex_type_content_and_attributes() {
+        let s = parse_schema(PO).unwrap();
+        let TypeDef::Complex(ct) = s.type_by_name("POType").unwrap() else {
+            panic!()
+        };
+        assert_eq!(ct.attributes.len(), 1);
+        assert_eq!(ct.attributes[0].name, "currency");
+        assert_eq!(ct.attributes[0].default.as_deref(), Some("USD"));
+        let decls = ct.content.as_ref().unwrap().element_decls();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].name, "OrderNo");
+        assert_eq!(decls[0].type_ref, TypeRef::Builtin(BuiltinType::Integer));
+        assert_eq!(decls[1].name, "Lines");
+        assert_eq!(decls[1].min_occurs, 0);
+        assert_eq!(decls[1].max_occurs, MaxOccurs::Unbounded);
+    }
+
+    #[test]
+    fn inline_complex_type_with_required_attribute() {
+        let s = parse_schema(PO).unwrap();
+        let TypeDef::Complex(ct) = s.type_by_name("POType").unwrap() else {
+            panic!()
+        };
+        let lines = ct.content.as_ref().unwrap().element_decls()[1];
+        let TypeRef::Inline(inner) = &lines.type_ref else {
+            panic!("expected inline type")
+        };
+        let TypeDef::Complex(inner_ct) = inner.as_ref() else {
+            panic!()
+        };
+        assert_eq!(inner_ct.attributes[0].name, "lineNo");
+        assert_eq!(inner_ct.attributes[0].required, AttributeUse::Required);
+    }
+
+    #[test]
+    fn simple_type_restriction_facets() {
+        let s = parse_schema(PO).unwrap();
+        let TypeDef::Simple(SimpleType::Restriction { base, facets }) =
+            s.type_by_name("QtyType").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(*base, TypeRef::Builtin(BuiltinType::Integer));
+        assert_eq!(
+            facets,
+            &vec![
+                Facet::MinInclusive("1".into()),
+                Facet::MaxInclusive("999".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn type_name_parsing_strips_prefix_and_detects_builtins() {
+        assert_eq!(
+            parse_type_name("xs:string"),
+            TypeRef::Builtin(BuiltinType::String)
+        );
+        assert_eq!(
+            parse_type_name("xsd:dateTime"),
+            TypeRef::Builtin(BuiltinType::DateTime)
+        );
+        assert_eq!(
+            parse_type_name("string"),
+            TypeRef::Builtin(BuiltinType::String)
+        );
+        assert_eq!(
+            parse_type_name("tns:POType"),
+            TypeRef::Named("POType".into())
+        );
+        assert_eq!(parse_type_name("POType"), TypeRef::Named("POType".into()));
+    }
+
+    #[test]
+    fn rejects_non_schema_root() {
+        let err = parse_schema("<html/>").unwrap_err();
+        assert!(matches!(err, XsdError::NotASchema { found } if found == "html"));
+    }
+
+    #[test]
+    fn rejects_bad_occurs() {
+        let src = r#"<xs:schema xmlns:xs="x"><xs:element name="a" minOccurs="two"/></xs:schema>"#;
+        assert!(matches!(parse_schema(src), Err(XsdError::Invalid { .. })));
+        let src2 = r#"<xs:schema xmlns:xs="x"><xs:element name="a" minOccurs="3" maxOccurs="2"/></xs:schema>"#;
+        assert!(matches!(parse_schema(src2), Err(XsdError::Invalid { .. })));
+    }
+
+    #[test]
+    fn rejects_element_without_name_or_ref() {
+        let src = r#"<xs:schema xmlns:xs="x"><xs:element type="xs:string"/></xs:schema>"#;
+        assert!(matches!(parse_schema(src), Err(XsdError::Invalid { .. })));
+    }
+
+    #[test]
+    fn rejects_type_attr_plus_inline_type() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="a" type="xs:string"><xs:complexType/></xs:element>
+        </xs:schema>"#;
+        assert!(matches!(parse_schema(src), Err(XsdError::Invalid { .. })));
+    }
+
+    #[test]
+    fn element_ref_uses_target_name() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="item" type="xs:string"/>
+          <xs:element name="list">
+            <xs:complexType><xs:sequence>
+              <xs:element ref="item" maxOccurs="unbounded"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = parse_schema(src).unwrap();
+        let list = s.element_by_name("list").unwrap();
+        let TypeRef::Inline(t) = &list.type_ref else {
+            panic!()
+        };
+        let TypeDef::Complex(ct) = t.as_ref() else {
+            panic!()
+        };
+        let decls = ct.content.as_ref().unwrap().element_decls();
+        assert_eq!(decls[0].name, "item");
+        assert_eq!(decls[0].reference.as_deref(), Some("item"));
+    }
+
+    #[test]
+    fn choice_and_all_compositors() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="r">
+            <xs:complexType>
+              <xs:choice minOccurs="0" maxOccurs="2">
+                <xs:element name="a" type="xs:string"/>
+                <xs:all><xs:element name="b" type="xs:int"/></xs:all>
+              </xs:choice>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = parse_schema(src).unwrap();
+        let TypeRef::Inline(t) = &s.elements[0].type_ref else {
+            panic!()
+        };
+        let TypeDef::Complex(ct) = t.as_ref() else {
+            panic!()
+        };
+        let Some(Particle::Choice {
+            items,
+            min_occurs,
+            max_occurs,
+        }) = &ct.content
+        else {
+            panic!()
+        };
+        assert_eq!(*min_occurs, 0);
+        assert_eq!(*max_occurs, MaxOccurs::Bounded(2));
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[1], Particle::All { .. }));
+    }
+
+    #[test]
+    fn simple_content_extension_collects_attributes() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:complexType name="Price">
+            <xs:simpleContent>
+              <xs:extension base="xs:decimal">
+                <xs:attribute name="currency" type="xs:string"/>
+              </xs:extension>
+            </xs:simpleContent>
+          </xs:complexType>
+        </xs:schema>"#;
+        let s = parse_schema(src).unwrap();
+        let TypeDef::Complex(ct) = s.type_by_name("Price").unwrap() else {
+            panic!()
+        };
+        assert_eq!(ct.simple_base, Some(TypeRef::Builtin(BuiltinType::Decimal)));
+        assert_eq!(ct.attributes[0].name, "currency");
+    }
+
+    #[test]
+    fn list_and_union_simple_types() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:simpleType name="Ints"><xs:list itemType="xs:int"/></xs:simpleType>
+          <xs:simpleType name="NumOrStr"><xs:union memberTypes="xs:int xs:string"/></xs:simpleType>
+          <xs:element name="root" type="Ints"/>
+        </xs:schema>"#;
+        let s = parse_schema(src).unwrap();
+        assert!(matches!(
+            s.type_by_name("Ints"),
+            Some(TypeDef::Simple(SimpleType::List { .. }))
+        ));
+        let Some(TypeDef::Simple(SimpleType::Union { members })) = s.type_by_name("NumOrStr")
+        else {
+            panic!()
+        };
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn annotations_are_ignored_everywhere() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:annotation><xs:documentation>doc</xs:documentation></xs:annotation>
+          <xs:element name="a">
+            <xs:annotation><xs:documentation>doc</xs:documentation></xs:annotation>
+            <xs:complexType>
+              <xs:annotation><xs:documentation>doc</xs:documentation></xs:annotation>
+              <xs:sequence>
+                <xs:annotation><xs:documentation>doc</xs:documentation></xs:annotation>
+                <xs:element name="b" type="xs:string"/>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let s = parse_schema(src).unwrap();
+        assert_eq!(s.elements.len(), 1);
+    }
+
+    #[test]
+    fn reports_xml_errors_with_positions() {
+        let err = parse_schema("<xs:schema xmlns:xs=\"x\">\n<oops></xs:schema>").unwrap_err();
+        assert!(matches!(err, XsdError::Xml(_)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Structural profile of a schema tree: the summary statistics Table 1
+//! reports (element count, max depth) plus the shape measures that explain
+//! matcher behaviour (fan-out, leaf ratio, type distribution).
+
+use crate::tree::{DataType, NodeKind, SchemaTree};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics for one schema tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeProfile {
+    /// Total nodes (elements + attributes).
+    pub nodes: usize,
+    /// Element nodes (what Table 1 counts).
+    pub elements: usize,
+    /// Attribute nodes.
+    pub attributes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Maximum depth (edges from the root).
+    pub max_depth: u32,
+    /// Mean children per internal node.
+    pub mean_fanout: f64,
+    /// Maximum children on any node.
+    pub max_fanout: usize,
+    /// Node count per resolved data type (display name), sorted by name.
+    pub type_histogram: BTreeMap<String, usize>,
+}
+
+impl TreeProfile {
+    /// Computes the profile of `tree`.
+    pub fn of(tree: &SchemaTree) -> TreeProfile {
+        let mut elements = 0usize;
+        let mut attributes = 0usize;
+        let mut leaves = 0usize;
+        let mut internal = 0usize;
+        let mut child_total = 0usize;
+        let mut max_fanout = 0usize;
+        let mut type_histogram: BTreeMap<String, usize> = BTreeMap::new();
+        for (_, node) in tree.iter() {
+            match node.kind {
+                NodeKind::Element => elements += 1,
+                NodeKind::Attribute => attributes += 1,
+            }
+            if node.is_leaf() {
+                leaves += 1;
+            } else {
+                internal += 1;
+                child_total += node.children.len();
+                max_fanout = max_fanout.max(node.children.len());
+            }
+            let type_name = match &node.properties.data_type {
+                DataType::Builtin(b) => b.to_string(),
+                DataType::Complex(_) => "complex".to_owned(),
+            };
+            *type_histogram.entry(type_name).or_insert(0) += 1;
+        }
+        TreeProfile {
+            nodes: tree.len(),
+            elements,
+            attributes,
+            leaves,
+            max_depth: tree.max_depth(),
+            mean_fanout: if internal == 0 {
+                0.0
+            } else {
+                child_total as f64 / internal as f64
+            },
+            max_fanout,
+            type_histogram,
+        }
+    }
+
+    /// Fraction of nodes that are leaves.
+    pub fn leaf_ratio(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.leaves as f64 / self.nodes as f64
+        }
+    }
+}
+
+impl fmt::Display for TreeProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} nodes ({} elements, {} attributes), {} leaves ({:.0}%), depth {}",
+            self.nodes,
+            self.elements,
+            self.attributes,
+            self.leaves,
+            self.leaf_ratio() * 100.0,
+            self.max_depth
+        )?;
+        writeln!(
+            f,
+            "fan-out: mean {:.1}, max {}",
+            self.mean_fanout, self.max_fanout
+        )?;
+        write!(f, "types:")?;
+        for (name, count) in &self.type_histogram {
+            write!(f, " {name}×{count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    const SRC: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="a" type="xs:string"/>
+            <xs:element name="b" type="xs:string"/>
+            <xs:element name="c">
+              <xs:complexType><xs:sequence>
+                <xs:element name="d" type="xs:integer"/>
+              </xs:sequence></xs:complexType>
+            </xs:element>
+          </xs:sequence>
+          <xs:attribute name="id" type="xs:ID" use="required"/>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>"#;
+
+    #[test]
+    fn counts_are_consistent() {
+        let tree = SchemaTree::compile(&parse_schema(SRC).unwrap()).unwrap();
+        let p = TreeProfile::of(&tree);
+        assert_eq!(p.nodes, 6);
+        assert_eq!(p.elements, 5);
+        assert_eq!(p.attributes, 1);
+        assert_eq!(p.leaves, 4); // a, b, d, @id
+        assert_eq!(p.max_depth, 2);
+        assert_eq!(p.max_fanout, 4); // r: a, b, c, @id
+        assert!((p.mean_fanout - 2.5).abs() < 1e-12); // (4 + 1) / 2 internals
+        assert!((p.leaf_ratio() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type_histogram_tracks_resolved_types() {
+        let tree = SchemaTree::compile(&parse_schema(SRC).unwrap()).unwrap();
+        let p = TreeProfile::of(&tree);
+        assert_eq!(p.type_histogram.get("string"), Some(&2));
+        assert_eq!(p.type_histogram.get("integer"), Some(&1));
+        assert_eq!(p.type_histogram.get("ID"), Some(&1));
+        assert_eq!(p.type_histogram.get("complex"), Some(&2)); // r, c
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let tree = SchemaTree::compile(&parse_schema(SRC).unwrap()).unwrap();
+        let text = TreeProfile::of(&tree).to_string();
+        assert!(text.contains("6 nodes"), "{text}");
+        assert!(text.contains("depth 2"), "{text}");
+        assert!(text.contains("string×2"), "{text}");
+    }
+
+    #[test]
+    fn single_leaf_tree_profile() {
+        let tree = SchemaTree::from_labels("x", &[("x", None)]);
+        let p = TreeProfile::of(&tree);
+        assert_eq!(p.nodes, 1);
+        assert_eq!(p.leaves, 1);
+        assert_eq!(p.mean_fanout, 0.0);
+        assert_eq!(p.max_fanout, 0);
+        assert_eq!(p.leaf_ratio(), 1.0);
+    }
+}

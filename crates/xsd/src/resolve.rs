@@ -1,0 +1,360 @@
+//! Reference resolution: checks that every named type, element `ref`, and
+//! attribute `ref` points at a declaration that exists, and that global
+//! symbol spaces contain no duplicates.
+
+use crate::error::{XsdError, XsdResult};
+use crate::model::{
+    AttributeDecl, ComplexType, ElementDecl, Particle, Schema, SimpleType, TypeDef, TypeRef,
+};
+use std::collections::HashSet;
+
+/// Validates all intra-schema references. Called by
+/// [`parse_schema`](crate::parser::parse_schema); callable directly on
+/// programmatically-built schemas.
+pub fn check(schema: &Schema) -> XsdResult<()> {
+    check_duplicates(schema)?;
+    for element in &schema.elements {
+        check_element(schema, element)?;
+    }
+    for attribute in &schema.attributes {
+        check_attribute(schema, attribute)?;
+    }
+    for (_, def) in &schema.types {
+        check_typedef(schema, def)?;
+    }
+    for (_, particle) in &schema.groups {
+        check_particle(schema, particle)?;
+    }
+    for (_, attributes) in &schema.attribute_groups {
+        for attribute in attributes {
+            check_attribute(schema, attribute)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_duplicates(schema: &Schema) -> XsdResult<()> {
+    let mut seen = HashSet::new();
+    for e in &schema.elements {
+        if e.reference.is_none() && !seen.insert(e.name.as_str()) {
+            return Err(XsdError::DuplicateGlobal {
+                space: "element",
+                name: e.name.clone(),
+            });
+        }
+    }
+    seen.clear();
+    for a in &schema.attributes {
+        if a.reference.is_none() && !seen.insert(a.name.as_str()) {
+            return Err(XsdError::DuplicateGlobal {
+                space: "attribute",
+                name: a.name.clone(),
+            });
+        }
+    }
+    seen.clear();
+    for (name, _) in &schema.types {
+        if !seen.insert(name.as_str()) {
+            return Err(XsdError::DuplicateGlobal {
+                space: "type",
+                name: name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_type_ref(schema: &Schema, type_ref: &TypeRef) -> XsdResult<()> {
+    match type_ref {
+        TypeRef::Builtin(_) | TypeRef::Unspecified => Ok(()),
+        TypeRef::Named(name) => {
+            if schema.type_by_name(name).is_some() {
+                Ok(())
+            } else {
+                Err(XsdError::UnresolvedType { name: name.clone() })
+            }
+        }
+        TypeRef::Inline(def) => check_typedef(schema, def),
+    }
+}
+
+fn check_typedef(schema: &Schema, def: &TypeDef) -> XsdResult<()> {
+    match def {
+        TypeDef::Complex(ct) => check_complex(schema, ct),
+        TypeDef::Simple(st) => check_simple(schema, st),
+    }
+}
+
+fn check_complex(schema: &Schema, ct: &ComplexType) -> XsdResult<()> {
+    if let Some(base) = &ct.simple_base {
+        check_type_ref(schema, base)?;
+    }
+    if let Some(base) = &ct.complex_base {
+        match schema.type_by_name(base) {
+            Some(TypeDef::Complex(_)) => {}
+            Some(TypeDef::Simple(_)) => {
+                return Err(XsdError::invalid(
+                    format!("complexContent base {base:?} is a simple type"),
+                    None,
+                ))
+            }
+            None => return Err(XsdError::UnresolvedType { name: base.clone() }),
+        }
+        // The base chain must terminate.
+        effective_complex(schema, ct)?;
+    }
+    if let Some(content) = &ct.content {
+        check_particle(schema, content)?;
+    }
+    for attribute in &ct.attributes {
+        check_attribute(schema, attribute)?;
+    }
+    for group in &ct.attribute_group_refs {
+        if schema.attribute_group_by_name(group).is_none() {
+            return Err(XsdError::UnresolvedRef {
+                name: group.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_simple(schema: &Schema, st: &SimpleType) -> XsdResult<()> {
+    match st {
+        SimpleType::Restriction { base, .. } => check_type_ref(schema, base),
+        SimpleType::List { item } => check_type_ref(schema, item),
+        SimpleType::Union { members } => members.iter().try_for_each(|m| check_type_ref(schema, m)),
+    }
+}
+
+/// Resolves the *effective* members of a complex type under
+/// `complexContent` extension: content particles (outermost base first,
+/// derived type last, per the XSD effective-content-model rules) and the
+/// attribute declarations / attribute-group references accumulated along the
+/// derivation chain. Errors on unresolved or cyclic base chains.
+#[allow(clippy::type_complexity)]
+pub fn effective_complex<'s>(
+    schema: &'s Schema,
+    ct: &'s ComplexType,
+) -> XsdResult<(Vec<&'s Particle>, Vec<&'s AttributeDecl>, Vec<&'s str>)> {
+    let mut chain: Vec<&'s ComplexType> = Vec::new();
+    let mut names_on_path: Vec<&'s str> = Vec::new();
+    let mut current = ct;
+    loop {
+        chain.push(current);
+        let Some(base_name) = &current.complex_base else {
+            break;
+        };
+        if names_on_path.iter().any(|n| n == base_name) {
+            return Err(XsdError::invalid(
+                format!("complexContent base chain through {base_name:?} is cyclic"),
+                None,
+            ));
+        }
+        match schema.type_by_name(base_name) {
+            Some(TypeDef::Complex(base)) => {
+                names_on_path.push(base_name);
+                current = base;
+            }
+            Some(TypeDef::Simple(_)) => {
+                return Err(XsdError::invalid(
+                    format!("complexContent base {base_name:?} is a simple type"),
+                    None,
+                ))
+            }
+            None => {
+                return Err(XsdError::UnresolvedType {
+                    name: base_name.clone(),
+                })
+            }
+        }
+    }
+    // Outermost base first.
+    chain.reverse();
+    let mut particles = Vec::new();
+    let mut attributes = Vec::new();
+    let mut groups = Vec::new();
+    for member in chain {
+        if let Some(content) = &member.content {
+            particles.push(content);
+        }
+        attributes.extend(member.attributes.iter());
+        groups.extend(member.attribute_group_refs.iter().map(String::as_str));
+    }
+    Ok((particles, attributes, groups))
+}
+
+fn check_particle(schema: &Schema, particle: &Particle) -> XsdResult<()> {
+    match particle {
+        Particle::Sequence { items, .. }
+        | Particle::Choice { items, .. }
+        | Particle::All { items, .. } => items.iter().try_for_each(|p| check_particle(schema, p)),
+        Particle::Element(decl) => check_element(schema, decl),
+        Particle::GroupRef { name, .. } => {
+            if schema.group_by_name(name).is_some() {
+                Ok(())
+            } else {
+                Err(XsdError::UnresolvedRef { name: name.clone() })
+            }
+        }
+    }
+}
+
+fn check_element(schema: &Schema, decl: &ElementDecl) -> XsdResult<()> {
+    if let Some(target) = &decl.reference {
+        if schema.element_by_name(target).is_none() {
+            return Err(XsdError::UnresolvedRef {
+                name: target.clone(),
+            });
+        }
+    }
+    check_type_ref(schema, &decl.type_ref)
+}
+
+fn check_attribute(schema: &Schema, decl: &AttributeDecl) -> XsdResult<()> {
+    if let Some(target) = &decl.reference {
+        if schema.attribute_by_name(target).is_none() {
+            return Err(XsdError::UnresolvedRef {
+                name: target.clone(),
+            });
+        }
+    }
+    check_type_ref(schema, &decl.type_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    #[test]
+    fn detects_unresolved_type() {
+        let src = r#"<xs:schema xmlns:xs="x"><xs:element name="a" type="Missing"/></xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedType { name }) if name == "Missing"
+        ));
+    }
+
+    #[test]
+    fn detects_unresolved_type_deep_in_particles() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="r"><xs:complexType><xs:sequence><xs:choice>
+            <xs:element name="x" type="Nope"/>
+          </xs:choice></xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedType { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unresolved_element_ref() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="r"><xs:complexType><xs:sequence>
+            <xs:element ref="ghost"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedRef { name }) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn detects_unresolved_attribute_ref() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="r"><xs:complexType>
+            <xs:attribute ref="ghost"/>
+          </xs:complexType></xs:element>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedRef { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_globals() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="a" type="xs:string"/>
+          <xs:element name="a" type="xs:int"/>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::DuplicateGlobal {
+                space: "element",
+                ..
+            })
+        ));
+        let src2 = r#"<xs:schema xmlns:xs="x">
+          <xs:simpleType name="T"><xs:restriction base="xs:string"/></xs:simpleType>
+          <xs:complexType name="T"/>
+          <xs:element name="a" type="xs:string"/>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src2),
+            Err(XsdError::DuplicateGlobal { space: "type", .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unresolved_in_named_types() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:simpleType name="Bad"><xs:restriction base="NoSuch"/></xs:simpleType>
+          <xs:element name="a" type="xs:string"/>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedType { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unresolved_union_member_and_list_item() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:simpleType name="U"><xs:union memberTypes="xs:int NoSuch"/></xs:simpleType>
+          <xs:element name="a" type="xs:string"/>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src),
+            Err(XsdError::UnresolvedType { .. })
+        ));
+        let src2 = r#"<xs:schema xmlns:xs="x">
+          <xs:simpleType name="L"><xs:list itemType="NoSuch"/></xs:simpleType>
+          <xs:element name="a" type="xs:string"/>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_schema(src2),
+            Err(XsdError::UnresolvedType { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_cross_references_pass() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:attribute name="unit" type="xs:string"/>
+          <xs:element name="leaf" type="xs:string"/>
+          <xs:complexType name="Box">
+            <xs:sequence><xs:element ref="leaf"/></xs:sequence>
+            <xs:attribute ref="unit"/>
+          </xs:complexType>
+          <xs:element name="root" type="Box"/>
+        </xs:schema>"#;
+        assert!(check(&parse_schema(src).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn recursive_named_types_are_allowed() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:complexType name="Node">
+            <xs:sequence>
+              <xs:element name="child" type="Node" minOccurs="0"/>
+            </xs:sequence>
+          </xs:complexType>
+          <xs:element name="tree" type="Node"/>
+        </xs:schema>"#;
+        assert!(parse_schema(src).is_ok());
+    }
+}

@@ -1,0 +1,354 @@
+//! Built-in XML Schema simple types and their generalization lattice.
+//!
+//! The paper's *relaxed property match* (§2.1) treats a property match as
+//! relaxed "if the property value of the source is a generalization or a
+//! specialization of the target property" — for the `type` property that
+//! means walking the XSD built-in type hierarchy. This module encodes the
+//! derivation tree of XML Schema Part 2 for the types that occur in schema
+//! matching corpora.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A built-in XML Schema simple type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants mirror the XSD built-in type names 1:1
+pub enum BuiltinType {
+    AnyType,
+    AnySimpleType,
+    // String branch
+    String,
+    NormalizedString,
+    Token,
+    Language,
+    Name,
+    NcName,
+    NmToken,
+    Id,
+    IdRef,
+    Entity,
+    // Numeric branch
+    Decimal,
+    Integer,
+    NonPositiveInteger,
+    NegativeInteger,
+    NonNegativeInteger,
+    PositiveInteger,
+    Long,
+    Int,
+    Short,
+    Byte,
+    UnsignedLong,
+    UnsignedInt,
+    UnsignedShort,
+    UnsignedByte,
+    Float,
+    Double,
+    // Date/time branch
+    DateTime,
+    Date,
+    Time,
+    Duration,
+    GYear,
+    GYearMonth,
+    GMonth,
+    GMonthDay,
+    GDay,
+    // Other primitives
+    Boolean,
+    Base64Binary,
+    HexBinary,
+    AnyUri,
+    QNameType,
+    Notation,
+}
+
+impl BuiltinType {
+    /// The direct base type in the XSD derivation hierarchy, or `None` for
+    /// `anyType` (the root).
+    pub fn base(self) -> Option<BuiltinType> {
+        use BuiltinType::*;
+        Some(match self {
+            AnyType => return None,
+            AnySimpleType => AnyType,
+            // Primitives derive from anySimpleType.
+            String | Decimal | Float | Double | Boolean | DateTime | Date | Time | Duration
+            | GYear | GYearMonth | GMonth | GMonthDay | GDay | Base64Binary | HexBinary
+            | AnyUri | QNameType | Notation => AnySimpleType,
+            // String branch.
+            NormalizedString => String,
+            Token => NormalizedString,
+            Language | NmToken | Name => Token,
+            NcName => Name,
+            Id | IdRef | Entity => NcName,
+            // Numeric branch.
+            Integer => Decimal,
+            NonPositiveInteger | NonNegativeInteger | Long => Integer,
+            NegativeInteger => NonPositiveInteger,
+            PositiveInteger | UnsignedLong => NonNegativeInteger,
+            Int => Long,
+            Short => Int,
+            Byte => Short,
+            UnsignedInt => UnsignedLong,
+            UnsignedShort => UnsignedInt,
+            UnsignedByte => UnsignedShort,
+        })
+    }
+
+    /// True if `self` is `other` or an ancestor of `other` in the derivation
+    /// hierarchy (i.e. `self` is a *generalization* of `other`).
+    pub fn generalizes(self, other: BuiltinType) -> bool {
+        let mut cur = Some(other);
+        while let Some(t) = cur {
+            if t == self {
+                return true;
+            }
+            cur = t.base();
+        }
+        false
+    }
+
+    /// True if the two types are related by derivation in either direction.
+    ///
+    /// This is the paper's condition for a *relaxed* match on the `type`
+    /// property: one type is a generalization or specialization of the other.
+    pub fn related(self, other: BuiltinType) -> bool {
+        self.generalizes(other) || other.generalizes(self)
+    }
+
+    /// Number of derivation steps from `anyType` (0 for `anyType` itself).
+    pub fn depth(self) -> u32 {
+        let mut d = 0;
+        let mut cur = self.base();
+        while let Some(t) = cur {
+            d += 1;
+            cur = t.base();
+        }
+        d
+    }
+
+    /// The canonical XSD name, e.g. `nonNegativeInteger`.
+    pub fn name(self) -> &'static str {
+        use BuiltinType::*;
+        match self {
+            AnyType => "anyType",
+            AnySimpleType => "anySimpleType",
+            String => "string",
+            NormalizedString => "normalizedString",
+            Token => "token",
+            Language => "language",
+            Name => "Name",
+            NcName => "NCName",
+            NmToken => "NMTOKEN",
+            Id => "ID",
+            IdRef => "IDREF",
+            Entity => "ENTITY",
+            Decimal => "decimal",
+            Integer => "integer",
+            NonPositiveInteger => "nonPositiveInteger",
+            NegativeInteger => "negativeInteger",
+            NonNegativeInteger => "nonNegativeInteger",
+            PositiveInteger => "positiveInteger",
+            Long => "long",
+            Int => "int",
+            Short => "short",
+            Byte => "byte",
+            UnsignedLong => "unsignedLong",
+            UnsignedInt => "unsignedInt",
+            UnsignedShort => "unsignedShort",
+            UnsignedByte => "unsignedByte",
+            Float => "float",
+            Double => "double",
+            DateTime => "dateTime",
+            Date => "date",
+            Time => "time",
+            Duration => "duration",
+            GYear => "gYear",
+            GYearMonth => "gYearMonth",
+            GMonth => "gMonth",
+            GMonthDay => "gMonthDay",
+            GDay => "gDay",
+            Boolean => "boolean",
+            Base64Binary => "base64Binary",
+            HexBinary => "hexBinary",
+            AnyUri => "anyURI",
+            QNameType => "QName",
+            Notation => "NOTATION",
+        }
+    }
+
+    /// All built-in types, for exhaustive tests and sweeps.
+    pub fn all() -> &'static [BuiltinType] {
+        use BuiltinType::*;
+        &[
+            AnyType,
+            AnySimpleType,
+            String,
+            NormalizedString,
+            Token,
+            Language,
+            Name,
+            NcName,
+            NmToken,
+            Id,
+            IdRef,
+            Entity,
+            Decimal,
+            Integer,
+            NonPositiveInteger,
+            NegativeInteger,
+            NonNegativeInteger,
+            PositiveInteger,
+            Long,
+            Int,
+            Short,
+            Byte,
+            UnsignedLong,
+            UnsignedInt,
+            UnsignedShort,
+            UnsignedByte,
+            Float,
+            Double,
+            DateTime,
+            Date,
+            Time,
+            Duration,
+            GYear,
+            GYearMonth,
+            GMonth,
+            GMonthDay,
+            GDay,
+            Boolean,
+            Base64Binary,
+            HexBinary,
+            AnyUri,
+            QNameType,
+            Notation,
+        ]
+    }
+}
+
+impl fmt::Display for BuiltinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a name is not a built-in XSD type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotBuiltin(pub String);
+
+impl fmt::Display for NotBuiltin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} is not a built-in XSD type", self.0)
+    }
+}
+
+impl std::error::Error for NotBuiltin {}
+
+impl FromStr for BuiltinType {
+    type Err = NotBuiltin;
+
+    /// Parses a built-in type from its local name (any `xs:`/`xsd:` prefix
+    /// must already be stripped by the caller).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BuiltinType::all()
+            .iter()
+            .copied()
+            .find(|t| t.name() == s)
+            .ok_or_else(|| NotBuiltin(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_reaches_any_type() {
+        for &t in BuiltinType::all() {
+            assert!(
+                BuiltinType::AnyType.generalizes(t),
+                "{t} must derive from anyType"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_consistent_with_base() {
+        for &t in BuiltinType::all() {
+            match t.base() {
+                Some(b) => assert_eq!(t.depth(), b.depth() + 1, "{t}"),
+                None => assert_eq!(t.depth(), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn generalizes_is_reflexive_and_antisymmetric() {
+        for &a in BuiltinType::all() {
+            assert!(a.generalizes(a));
+            for &b in BuiltinType::all() {
+                if a != b && a.generalizes(b) {
+                    assert!(
+                        !b.generalizes(a),
+                        "{a} and {b} cannot generalize each other"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_lattice_matches_the_spec() {
+        use BuiltinType::*;
+        assert!(Decimal.generalizes(Integer));
+        assert!(Integer.generalizes(PositiveInteger));
+        assert!(Integer.generalizes(Int));
+        assert!(Long.generalizes(Short));
+        assert!(!Int.generalizes(Long));
+        assert!(NonNegativeInteger.generalizes(UnsignedByte));
+        assert!(!NonPositiveInteger.generalizes(PositiveInteger));
+    }
+
+    #[test]
+    fn string_lattice_matches_the_spec() {
+        use BuiltinType::*;
+        assert!(String.generalizes(Token));
+        assert!(Token.generalizes(Id));
+        assert!(NcName.generalizes(IdRef));
+        assert!(!Token.generalizes(String));
+        assert!(!String.generalizes(Decimal));
+    }
+
+    #[test]
+    fn related_is_symmetric_and_excludes_siblings() {
+        use BuiltinType::*;
+        assert!(Integer.related(Decimal));
+        assert!(Decimal.related(Integer));
+        assert!(Id.related(String));
+        // Siblings under a common ancestor are NOT related.
+        assert!(!Int.related(UnsignedInt));
+        assert!(!Date.related(Time));
+        assert!(!Boolean.related(String));
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for &t in BuiltinType::all() {
+            assert_eq!(t.name().parse::<BuiltinType>().unwrap(), t);
+        }
+        assert!("notAType".parse::<BuiltinType>().is_err());
+        // FromStr expects a local name without prefix.
+        assert!("xs:string".parse::<BuiltinType>().is_err());
+    }
+
+    #[test]
+    fn display_uses_canonical_name() {
+        assert_eq!(
+            BuiltinType::NonNegativeInteger.to_string(),
+            "nonNegativeInteger"
+        );
+        assert_eq!(BuiltinType::AnyUri.to_string(), "anyURI");
+    }
+}

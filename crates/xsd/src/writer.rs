@@ -1,0 +1,494 @@
+//! XSD serialization: render a [`Schema`] model back to schema-document
+//! text. `parse_schema(&write_schema(&s))` reproduces the model exactly
+//! (round-trip property tests live in the workspace test suite).
+
+use crate::model::{
+    AttributeDecl, AttributeUse, ComplexType, ElementDecl, Facet, MaxOccurs, Particle, Schema,
+    SimpleType, TypeDef, TypeRef,
+};
+use qmatch_xml::escape::escape_attr;
+use std::fmt::Write as _;
+
+/// Renders a complete schema document with the conventional `xs:` prefix.
+pub fn write_schema(schema: &Schema) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    out.push_str("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"");
+    if let Some(tns) = &schema.target_namespace {
+        let _ = write!(out, " targetNamespace=\"{}\"", escape_attr(tns));
+    }
+    out.push_str(">\n");
+    let w = Writer { indent: 1 };
+    for element in &schema.elements {
+        w.element(&mut out, element);
+    }
+    for attribute in &schema.attributes {
+        w.attribute(&mut out, attribute);
+    }
+    for (name, def) in &schema.types {
+        match def {
+            TypeDef::Complex(ct) => w.complex_type(&mut out, Some(name), ct),
+            TypeDef::Simple(st) => w.simple_type(&mut out, Some(name), st),
+        }
+    }
+    for (name, particle) in &schema.groups {
+        w.group(&mut out, name, particle);
+    }
+    for (name, attrs) in &schema.attribute_groups {
+        w.attribute_group(&mut out, name, attrs);
+    }
+    out.push_str("</xs:schema>\n");
+    out
+}
+
+struct Writer {
+    indent: usize,
+}
+
+impl Writer {
+    fn pad(&self) -> String {
+        "  ".repeat(self.indent)
+    }
+
+    fn deeper(&self) -> Writer {
+        Writer {
+            indent: self.indent + 1,
+        }
+    }
+
+    fn occurs_attrs(min: u32, max: MaxOccurs) -> String {
+        let mut s = String::new();
+        if min != 1 {
+            let _ = write!(s, " minOccurs=\"{min}\"");
+        }
+        if max != MaxOccurs::Bounded(1) {
+            let _ = write!(s, " maxOccurs=\"{max}\"");
+        }
+        s
+    }
+
+    fn type_name(type_ref: &TypeRef) -> Option<String> {
+        match type_ref {
+            TypeRef::Builtin(b) => Some(format!("xs:{b}")),
+            TypeRef::Named(n) => Some(n.clone()),
+            TypeRef::Inline(_) | TypeRef::Unspecified => None,
+        }
+    }
+
+    fn element(&self, out: &mut String, decl: &ElementDecl) {
+        let pad = self.pad();
+        let _ = write!(out, "{pad}<xs:element");
+        if let Some(target) = &decl.reference {
+            let _ = write!(out, " ref=\"{}\"", escape_attr(target));
+        } else {
+            let _ = write!(out, " name=\"{}\"", escape_attr(&decl.name));
+        }
+        if let Some(t) = Self::type_name(&decl.type_ref) {
+            let _ = write!(out, " type=\"{}\"", escape_attr(&t));
+        }
+        out.push_str(&Self::occurs_attrs(decl.min_occurs, decl.max_occurs));
+        if decl.nillable {
+            out.push_str(" nillable=\"true\"");
+        }
+        if let Some(d) = &decl.default {
+            let _ = write!(out, " default=\"{}\"", escape_attr(d));
+        }
+        if let Some(fx) = &decl.fixed {
+            let _ = write!(out, " fixed=\"{}\"", escape_attr(fx));
+        }
+        if let TypeRef::Inline(def) = &decl.type_ref {
+            out.push_str(">\n");
+            match def.as_ref() {
+                TypeDef::Complex(ct) => self.deeper().complex_type(out, None, ct),
+                TypeDef::Simple(st) => self.deeper().simple_type(out, None, st),
+            }
+            let _ = writeln!(out, "{pad}</xs:element>");
+        } else {
+            out.push_str("/>\n");
+        }
+    }
+
+    fn attribute(&self, out: &mut String, decl: &AttributeDecl) {
+        let pad = self.pad();
+        let _ = write!(out, "{pad}<xs:attribute");
+        if let Some(target) = &decl.reference {
+            let _ = write!(out, " ref=\"{}\"", escape_attr(target));
+        } else {
+            let _ = write!(out, " name=\"{}\"", escape_attr(&decl.name));
+        }
+        if let Some(t) = Self::type_name(&decl.type_ref) {
+            let _ = write!(out, " type=\"{}\"", escape_attr(&t));
+        }
+        match decl.required {
+            AttributeUse::Optional => {}
+            AttributeUse::Required => out.push_str(" use=\"required\""),
+            AttributeUse::Prohibited => out.push_str(" use=\"prohibited\""),
+        }
+        if let Some(d) = &decl.default {
+            let _ = write!(out, " default=\"{}\"", escape_attr(d));
+        }
+        if let Some(fx) = &decl.fixed {
+            let _ = write!(out, " fixed=\"{}\"", escape_attr(fx));
+        }
+        if let TypeRef::Inline(def) = &decl.type_ref {
+            out.push_str(">\n");
+            if let TypeDef::Simple(st) = def.as_ref() {
+                self.deeper().simple_type(out, None, st);
+            }
+            let _ = writeln!(out, "{pad}</xs:attribute>");
+        } else {
+            out.push_str("/>\n");
+        }
+    }
+
+    fn complex_type(&self, out: &mut String, name: Option<&str>, ct: &ComplexType) {
+        let pad = self.pad();
+        let _ = write!(out, "{pad}<xs:complexType");
+        if let Some(n) = name {
+            let _ = write!(out, " name=\"{}\"", escape_attr(n));
+        }
+        if ct.mixed {
+            out.push_str(" mixed=\"true\"");
+        }
+        out.push_str(">\n");
+        let inner = self.deeper();
+        if let Some(base) = &ct.simple_base {
+            let base_name = Self::type_name(base).unwrap_or_else(|| "xs:string".to_owned());
+            let _ = writeln!(out, "{}<xs:simpleContent>", inner.pad());
+            let body = inner.deeper();
+            let _ = writeln!(
+                out,
+                "{}<xs:extension base=\"{}\">",
+                body.pad(),
+                escape_attr(&base_name)
+            );
+            for attr in &ct.attributes {
+                body.deeper().attribute(out, attr);
+            }
+            let _ = writeln!(out, "{}</xs:extension>", body.pad());
+            let _ = writeln!(out, "{}</xs:simpleContent>", inner.pad());
+        } else if let Some(base) = &ct.complex_base {
+            let _ = writeln!(out, "{}<xs:complexContent>", inner.pad());
+            let body = inner.deeper();
+            let _ = writeln!(
+                out,
+                "{}<xs:extension base=\"{}\">",
+                body.pad(),
+                escape_attr(base)
+            );
+            let members = body.deeper();
+            if let Some(content) = &ct.content {
+                members.particle(out, content);
+            }
+            for attr in &ct.attributes {
+                members.attribute(out, attr);
+            }
+            for group in &ct.attribute_group_refs {
+                let _ = writeln!(
+                    out,
+                    "{}<xs:attributeGroup ref=\"{}\"/>",
+                    members.pad(),
+                    escape_attr(group)
+                );
+            }
+            let _ = writeln!(out, "{}</xs:extension>", body.pad());
+            let _ = writeln!(out, "{}</xs:complexContent>", inner.pad());
+        } else {
+            if let Some(content) = &ct.content {
+                inner.particle(out, content);
+            }
+            for attr in &ct.attributes {
+                inner.attribute(out, attr);
+            }
+            for group in &ct.attribute_group_refs {
+                let _ = writeln!(
+                    out,
+                    "{}<xs:attributeGroup ref=\"{}\"/>",
+                    inner.pad(),
+                    escape_attr(group)
+                );
+            }
+        }
+        let _ = writeln!(out, "{pad}</xs:complexType>");
+    }
+
+    fn particle(&self, out: &mut String, particle: &Particle) {
+        let pad = self.pad();
+        match particle {
+            Particle::Element(decl) => self.element(out, decl),
+            Particle::Sequence {
+                items,
+                min_occurs,
+                max_occurs,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}<xs:sequence{}>",
+                    Self::occurs_attrs(*min_occurs, *max_occurs)
+                );
+                for item in items {
+                    self.deeper().particle(out, item);
+                }
+                let _ = writeln!(out, "{pad}</xs:sequence>");
+            }
+            Particle::Choice {
+                items,
+                min_occurs,
+                max_occurs,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}<xs:choice{}>",
+                    Self::occurs_attrs(*min_occurs, *max_occurs)
+                );
+                for item in items {
+                    self.deeper().particle(out, item);
+                }
+                let _ = writeln!(out, "{pad}</xs:choice>");
+            }
+            Particle::All { items, min_occurs } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}<xs:all{}>",
+                    Self::occurs_attrs(*min_occurs, MaxOccurs::Bounded(1))
+                );
+                for item in items {
+                    self.deeper().particle(out, item);
+                }
+                let _ = writeln!(out, "{pad}</xs:all>");
+            }
+            Particle::GroupRef {
+                name,
+                min_occurs,
+                max_occurs,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}<xs:group ref=\"{}\"{}/>",
+                    escape_attr(name),
+                    Self::occurs_attrs(*min_occurs, *max_occurs)
+                );
+            }
+        }
+    }
+
+    fn simple_type(&self, out: &mut String, name: Option<&str>, st: &SimpleType) {
+        let pad = self.pad();
+        let _ = write!(out, "{pad}<xs:simpleType");
+        if let Some(n) = name {
+            let _ = write!(out, " name=\"{}\"", escape_attr(n));
+        }
+        out.push_str(">\n");
+        let inner = self.deeper();
+        match st {
+            SimpleType::Restriction { base, facets } => {
+                let base_name = Self::type_name(base).unwrap_or_else(|| "xs:string".to_owned());
+                if facets.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "{}<xs:restriction base=\"{}\"/>",
+                        inner.pad(),
+                        escape_attr(&base_name)
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{}<xs:restriction base=\"{}\">",
+                        inner.pad(),
+                        escape_attr(&base_name)
+                    );
+                    for facet in facets {
+                        inner.deeper().facet(out, facet);
+                    }
+                    let _ = writeln!(out, "{}</xs:restriction>", inner.pad());
+                }
+            }
+            SimpleType::List { item } => {
+                let item_name = Self::type_name(item).unwrap_or_else(|| "xs:string".to_owned());
+                let _ = writeln!(
+                    out,
+                    "{}<xs:list itemType=\"{}\"/>",
+                    inner.pad(),
+                    escape_attr(&item_name)
+                );
+            }
+            SimpleType::Union { members } => {
+                let names: Vec<String> = members.iter().filter_map(Self::type_name).collect();
+                let _ = writeln!(
+                    out,
+                    "{}<xs:union memberTypes=\"{}\"/>",
+                    inner.pad(),
+                    escape_attr(&names.join(" "))
+                );
+            }
+        }
+        let _ = writeln!(out, "{pad}</xs:simpleType>");
+    }
+
+    fn facet(&self, out: &mut String, facet: &Facet) {
+        let pad = self.pad();
+        let (tag, value) = match facet {
+            Facet::Enumeration(v) => ("enumeration", v.clone()),
+            Facet::Pattern(v) => ("pattern", v.clone()),
+            Facet::MinInclusive(v) => ("minInclusive", v.clone()),
+            Facet::MaxInclusive(v) => ("maxInclusive", v.clone()),
+            Facet::MinExclusive(v) => ("minExclusive", v.clone()),
+            Facet::MaxExclusive(v) => ("maxExclusive", v.clone()),
+            Facet::Length(n) => ("length", n.to_string()),
+            Facet::MinLength(n) => ("minLength", n.to_string()),
+            Facet::MaxLength(n) => ("maxLength", n.to_string()),
+            Facet::TotalDigits(n) => ("totalDigits", n.to_string()),
+            Facet::FractionDigits(n) => ("fractionDigits", n.to_string()),
+            Facet::WhiteSpace(v) => ("whiteSpace", v.clone()),
+        };
+        let _ = writeln!(out, "{pad}<xs:{tag} value=\"{}\"/>", escape_attr(&value));
+    }
+
+    fn group(&self, out: &mut String, name: &str, particle: &Particle) {
+        let pad = self.pad();
+        let _ = writeln!(out, "{pad}<xs:group name=\"{}\">", escape_attr(name));
+        self.deeper().particle(out, particle);
+        let _ = writeln!(out, "{pad}</xs:group>");
+    }
+
+    fn attribute_group(&self, out: &mut String, name: &str, attrs: &[AttributeDecl]) {
+        let pad = self.pad();
+        let _ = writeln!(
+            out,
+            "{pad}<xs:attributeGroup name=\"{}\">",
+            escape_attr(name)
+        );
+        for attr in attrs {
+            self.deeper().attribute(out, attr);
+        }
+        let _ = writeln!(out, "{pad}</xs:attributeGroup>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+
+    /// Round-trip helper: the re-parsed model must equal the original.
+    fn assert_round_trip(src: &str) {
+        let original = parse_schema(src).expect("source parses");
+        let rendered = write_schema(&original);
+        let reparsed = parse_schema(&rendered)
+            .unwrap_or_else(|e| panic!("rendered XSD must parse: {e}\n{rendered}"));
+        assert_eq!(
+            original, reparsed,
+            "round trip changed the model:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn round_trips_elements_attributes_and_types() {
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x" targetNamespace="urn:t">
+              <xs:element name="PO" type="POType" nillable="true"/>
+              <xs:attribute name="unit" type="xs:string" default="ea"/>
+              <xs:complexType name="POType">
+                <xs:sequence minOccurs="0" maxOccurs="2">
+                  <xs:element name="OrderNo" type="xs:integer"/>
+                  <xs:element name="Line" minOccurs="0" maxOccurs="unbounded">
+                    <xs:complexType>
+                      <xs:sequence><xs:element name="Qty" type="Q"/></xs:sequence>
+                      <xs:attribute name="no" type="xs:positiveInteger" use="required"/>
+                    </xs:complexType>
+                  </xs:element>
+                  <xs:choice><xs:element name="a" type="xs:string"/><xs:element name="b" type="xs:date"/></xs:choice>
+                  <xs:all><xs:element name="c" type="xs:token"/></xs:all>
+                </xs:sequence>
+                <xs:attribute ref="unit"/>
+              </xs:complexType>
+              <xs:simpleType name="Q">
+                <xs:restriction base="xs:integer">
+                  <xs:minInclusive value="1"/><xs:maxInclusive value="99"/>
+                </xs:restriction>
+              </xs:simpleType>
+            </xs:schema>"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_groups() {
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x">
+              <xs:group name="Addr"><xs:sequence>
+                <xs:element name="street" type="xs:string"/>
+              </xs:sequence></xs:group>
+              <xs:attributeGroup name="Audit">
+                <xs:attribute name="by" type="xs:string" use="required"/>
+              </xs:attributeGroup>
+              <xs:element name="r"><xs:complexType>
+                <xs:sequence><xs:group ref="Addr" maxOccurs="3"/></xs:sequence>
+                <xs:attributeGroup ref="Audit"/>
+              </xs:complexType></xs:element>
+            </xs:schema>"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_simple_type_varieties_and_fixed_values() {
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x">
+              <xs:simpleType name="Ints"><xs:list itemType="xs:int"/></xs:simpleType>
+              <xs:simpleType name="U"><xs:union memberTypes="xs:int xs:boolean"/></xs:simpleType>
+              <xs:simpleType name="Code">
+                <xs:restriction base="xs:string">
+                  <xs:enumeration value="A"/><xs:enumeration value="B"/>
+                  <xs:length value="1"/><xs:pattern value="[AB]"/>
+                </xs:restriction>
+              </xs:simpleType>
+              <xs:element name="r" type="Code" fixed="A"/>
+            </xs:schema>"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_the_whole_corpus() {
+        // The embedded corpus schemas exercise most of the model.
+        // (Checked here via the parser's own fixtures; the datasets corpus
+        // round-trips in the workspace integration tests.)
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x">
+              <xs:complexType name="Price">
+                <xs:simpleContent>
+                  <xs:extension base="xs:decimal">
+                    <xs:attribute name="currency" type="xs:string"/>
+                  </xs:extension>
+                </xs:simpleContent>
+              </xs:complexType>
+              <xs:element name="p" type="Price"/>
+            </xs:schema>"#,
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters_in_values() {
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x">
+              <xs:simpleType name="S">
+                <xs:restriction base="xs:string">
+                  <xs:enumeration value="a&lt;b &amp; c&gt;d"/>
+                  <xs:pattern value="&quot;[a-z]+&quot;"/>
+                </xs:restriction>
+              </xs:simpleType>
+              <xs:element name="r" type="S" default="&lt;none&gt;"/>
+            </xs:schema>"#,
+        );
+    }
+
+    #[test]
+    fn element_refs_round_trip() {
+        assert_round_trip(
+            r#"<xs:schema xmlns:xs="x">
+              <xs:element name="item" type="xs:string"/>
+              <xs:element name="list"><xs:complexType><xs:sequence>
+                <xs:element ref="item" minOccurs="2" maxOccurs="5"/>
+              </xs:sequence></xs:complexType></xs:element>
+            </xs:schema>"#,
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! COMA-style composite matching (the paper's §7 ongoing work): run several
+//! component matchers, combine their similarity matrices with different
+//! aggregation strategies, and compare the resulting quality — including
+//! the richer candidate-selection strategies (`BestPerSource`, `MaxDelta`)
+//! a match UI would use.
+//!
+//! ```sh
+//! cargo run --example composite_matching
+//! ```
+
+use qmatch::core::algorithms::{composite_match, Aggregation, Component};
+use qmatch::core::mapping::{select, Selection};
+use qmatch::core::report::{f3, Table};
+use qmatch::datasets::{corpus, gold};
+use qmatch::prelude::*;
+
+fn main() {
+    let source = corpus::dcmd_item();
+    let target = corpus::dcmd_ord();
+    let real = gold::dcmd_gold();
+    let config = MatchConfig::default();
+
+    println!(
+        "composite matching on the DCMD pair ({} vs {} elements, {} real matches)\n",
+        source.element_count(),
+        target.element_count(),
+        real.len()
+    );
+
+    // 1. Compare aggregation strategies at a fixed 1:1 selection.
+    let mut table = Table::new([
+        "aggregation",
+        "found",
+        "correct",
+        "precision",
+        "recall",
+        "overall",
+    ]);
+    let setups: [(&str, Vec<Component>, Aggregation, f64); 4] = [
+        (
+            "hybrid alone",
+            vec![Component::Hybrid],
+            Aggregation::Max,
+            config.weights.acceptance_threshold(),
+        ),
+        (
+            "max(L,S)",
+            vec![Component::Linguistic, Component::Structural],
+            Aggregation::Max,
+            0.8,
+        ),
+        (
+            "avg(L,S)",
+            vec![Component::Linguistic, Component::Structural],
+            Aggregation::Average,
+            0.55,
+        ),
+        (
+            "weighted(3H,1TE)",
+            vec![Component::Hybrid, Component::TreeEdit],
+            Aggregation::Weighted(vec![3.0, 1.0]),
+            0.65,
+        ),
+    ];
+    for (name, components, aggregation, threshold) in &setups {
+        let outcome = composite_match(&source, &target, &config, components, aggregation)
+            .expect("valid composite");
+        let mapping = extract_mapping(&outcome.matrix, *threshold);
+        let quality = evaluate(&mapping, &source, &target, &real);
+        table.row([
+            (*name).to_owned(),
+            mapping.len().to_string(),
+            quality.true_positives.to_string(),
+            f3(quality.precision),
+            f3(quality.recall),
+            f3(quality.overall),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // 2. Selection strategies over the hybrid matrix: a UI would show the
+    //    MaxDelta candidate set and let the user confirm.
+    let outcome = hybrid_match(&source, &target, &config);
+    println!("\nselection strategies over the hybrid matrix:");
+    let mut table = Table::new(["strategy", "pairs", "correct"]);
+    for (name, selection) in [
+        ("OneToOne(0.78)", Selection::OneToOne { threshold: 0.78 }),
+        (
+            "BestPerSource(0.78)",
+            Selection::BestPerSource { threshold: 0.78 },
+        ),
+        (
+            "MaxDelta(0.78, 0.05)",
+            Selection::MaxDelta {
+                threshold: 0.78,
+                delta: 0.05,
+            },
+        ),
+    ] {
+        let mapping = select(&outcome.matrix, selection);
+        let quality = evaluate(&mapping, &source, &target, &real);
+        table.row([
+            name.to_owned(),
+            mapping.len().to_string(),
+            quality.true_positives.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nMaxDelta trades precision for candidate coverage — useful before manual review");
+}

@@ -1,0 +1,67 @@
+//! Large-scale matching: the PIR (231 elements) vs PDB (3753 elements)
+//! protein schemas — the biggest workload in the paper's evaluation
+//! (Figure 4's 3984-element point). Demonstrates that the memoized O(n·m)
+//! TreeMatch handles ~867k node pairs, and that quality holds at scale
+//! because the gold standard is known by construction.
+//!
+//! ```sh
+//! cargo run --release --example protein_scale
+//! ```
+
+use qmatch::core::report::f3;
+use qmatch::datasets::synth;
+use qmatch::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let source = synth::pir();
+    let target = synth::pdb();
+    let real = synth::protein_gold();
+    let config = MatchConfig::default();
+
+    println!(
+        "PIR: {} elements, depth {} | PDB: {} elements, depth {} | node pairs: {}",
+        source.element_count(),
+        source.max_depth(),
+        target.element_count(),
+        target.max_depth(),
+        source.len() * target.len()
+    );
+    println!("known real matches (by construction): {}\n", real.len());
+
+    type MatchFn = fn(
+        &qmatch::xsd::SchemaTree,
+        &qmatch::xsd::SchemaTree,
+        &MatchConfig,
+    ) -> qmatch::core::MatchOutcome;
+    let algorithms: [(&str, MatchFn); 3] = [
+        ("Linguistic", linguistic_match),
+        ("Structural", structural_match),
+        ("Hybrid", hybrid_match),
+    ];
+    for (name, outcome_fn) in algorithms {
+        let start = Instant::now();
+        let outcome = outcome_fn(source, target, &config);
+        let elapsed = start.elapsed();
+        let threshold = match name {
+            "Linguistic" => 0.5,
+            "Structural" => 0.95,
+            _ => config.weights.acceptance_threshold(),
+        };
+        let mapping = extract_mapping(&outcome.matrix, threshold);
+        let quality = evaluate(&mapping, source, target, real);
+        println!(
+            "{name:<10}  {:>8.1} ms  QoM {}  found {:>3}  precision {}  recall {}  overall {}",
+            elapsed.as_secs_f64() * 1e3,
+            f3(outcome.total_qom),
+            mapping.len(),
+            f3(quality.precision),
+            f3(quality.recall),
+            f3(quality.overall),
+        );
+    }
+
+    println!("\n(the hybrid finds essentially every preserved/abbreviated/synonym node");
+    println!(" while the structural baseline relies on the positional copy and the");
+    println!(" linguistic baseline on labels alone — run under --release for speed)");
+}

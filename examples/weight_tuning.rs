@@ -1,0 +1,79 @@
+//! Tuning the axis weights (the experiment behind the paper's Table 2).
+//!
+//! Sweeps every unit-sum weight vector on a 0.1 grid over the PO and Book
+//! pairs, reports the best vectors and the per-axis "ideal ranges" (§5.1
+//! reports label 0.25–0.4, properties/level 0.1–0.2, children 0.3–0.5), and
+//! shows where the paper's chosen vector lands.
+//!
+//! ```sh
+//! cargo run --release --example weight_tuning
+//! ```
+
+use qmatch::core::report::{f3, Table};
+use qmatch::core::tuning::{best_ranges, score_weights, sweep, TuningTask};
+use qmatch::datasets::{corpus, gold};
+use qmatch::prelude::*;
+
+fn main() {
+    let (po1, po2, po_gold) = (corpus::po1(), corpus::po2(), gold::po_gold());
+    let (article, book, book_gold) = (corpus::article(), corpus::book(), gold::book_gold());
+    let tasks = [
+        TuningTask {
+            name: "PO",
+            source: &po1,
+            target: &po2,
+            gold: &po_gold,
+        },
+        TuningTask {
+            name: "BOOK",
+            source: &article,
+            target: &book,
+            gold: &book_gold,
+        },
+    ];
+
+    let points = sweep(&tasks, 0.1, 0.5);
+    println!(
+        "swept {} unit-sum weight vectors (0.1 grid) over {} tasks\n",
+        points.len(),
+        tasks.len()
+    );
+
+    let mut table = Table::new(["rank", "WL", "WP", "WH", "WC", "mean Overall"]);
+    for (i, p) in points.iter().take(8).enumerate() {
+        table.row([
+            (i + 1).to_string(),
+            f3(p.weights.label),
+            f3(p.weights.properties),
+            f3(p.weights.level),
+            f3(p.weights.children),
+            f3(p.mean_overall),
+        ]);
+    }
+    println!("best vectors:\n{}", table.render());
+
+    let ranges = best_ranges(&points, 10);
+    println!("ideal ranges among the top 10 (paper: L 0.25-0.4, P/H 0.1-0.2, C 0.3-0.5):");
+    println!("  label      {:.2} - {:.2}", ranges.label.0, ranges.label.1);
+    println!(
+        "  properties {:.2} - {:.2}",
+        ranges.properties.0, ranges.properties.1
+    );
+    println!("  level      {:.2} - {:.2}", ranges.level.0, ranges.level.1);
+    println!(
+        "  children   {:.2} - {:.2}",
+        ranges.children.0, ranges.children.1
+    );
+
+    let paper = score_weights(Weights::PAPER, &tasks, 0.5);
+    let rank = points
+        .iter()
+        .position(|p| p.mean_overall <= paper)
+        .map(|i| i + 1)
+        .unwrap_or(points.len());
+    println!(
+        "\npaper's Table 2 vector (0.3, 0.2, 0.1, 0.4) scores {} — rank ~{rank} of {}",
+        f3(paper),
+        points.len()
+    );
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over randomly generated schema trees: the invariants
+//! every matcher must hold regardless of input shape.
+
+use proptest::prelude::*;
+use qmatch::core::algorithms::tree_edit_match;
+use qmatch::prelude::*;
+use qmatch::xsd::SchemaTree;
+
+/// Strategy: a random tree as `(label, parent)` entries valid for
+/// `SchemaTree::from_labels` (parents always precede children).
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = SchemaTree> {
+    let label = "[A-Za-z][A-Za-z0-9]{0,9}";
+    proptest::collection::vec((label, any::<proptest::sample::Index>()), 1..max_nodes).prop_map(
+        |entries| {
+            let mut labels: Vec<(String, Option<usize>)> = Vec::with_capacity(entries.len());
+            for (i, (label, parent_idx)) in entries.into_iter().enumerate() {
+                let parent = if i == 0 {
+                    None
+                } else {
+                    Some(parent_idx.index(i))
+                };
+                labels.push((label, parent));
+            }
+            let borrowed: Vec<(&str, Option<usize>)> =
+                labels.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+            SchemaTree::from_labels("random", &borrowed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hybrid_scores_stay_in_unit_range(
+        a in tree_strategy(24),
+        b in tree_strategy(24),
+    ) {
+        let outcome = hybrid_match(&a, &b, &MatchConfig::default());
+        outcome.matrix.assert_normalized();
+        prop_assert!((0.0..=1.0).contains(&outcome.total_qom));
+    }
+
+    #[test]
+    fn structural_scores_stay_in_unit_range(
+        a in tree_strategy(24),
+        b in tree_strategy(24),
+    ) {
+        let outcome = structural_match(&a, &b, &MatchConfig::default());
+        outcome.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn linguistic_scores_stay_in_unit_range(
+        a in tree_strategy(24),
+        b in tree_strategy(24),
+    ) {
+        let outcome = linguistic_match(&a, &b, &MatchConfig::default());
+        outcome.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn tree_edit_scores_stay_in_unit_range(
+        a in tree_strategy(16),
+        b in tree_strategy(16),
+    ) {
+        let outcome = tree_edit_match(&a, &b, &MatchConfig::default());
+        outcome.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn self_match_is_always_perfect(a in tree_strategy(24)) {
+        let config = MatchConfig::default();
+        prop_assert!((hybrid_match(&a, &a, &config).total_qom - 1.0).abs() < 1e-9);
+        prop_assert!((structural_match(&a, &a, &config).total_qom - 1.0).abs() < 1e-9);
+        prop_assert!((tree_edit_match(&a, &a, &config).total_qom - 1.0).abs() < 1e-9);
+        // The flat linguistic total is a mean of per-node bests, all 1.0.
+        prop_assert!((linguistic_match(&a, &a, &config).total_qom - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linguistic_matrix_is_transpose_symmetric(
+        a in tree_strategy(12),
+        b in tree_strategy(12),
+    ) {
+        // Label similarity has no direction.
+        let config = MatchConfig::default();
+        let ab = linguistic_match(&a, &b, &config);
+        let ba = linguistic_match(&b, &a, &config);
+        for (s, t, v) in ab.matrix.iter() {
+            prop_assert!((v - ba.matrix.get(t, s)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mapping_extraction_is_injective_and_thresholded(
+        a in tree_strategy(16),
+        b in tree_strategy(16),
+        threshold in 0.0f64..1.0,
+    ) {
+        let outcome = hybrid_match(&a, &b, &MatchConfig::default());
+        let mapping = extract_mapping(&outcome.matrix, threshold);
+        let mut sources = std::collections::HashSet::new();
+        let mut targets = std::collections::HashSet::new();
+        for c in &mapping.pairs {
+            prop_assert!(c.score >= threshold);
+            prop_assert!(sources.insert(c.source), "source used twice");
+            prop_assert!(targets.insert(c.target), "target used twice");
+        }
+    }
+
+    #[test]
+    fn raising_the_threshold_never_grows_the_mapping(
+        a in tree_strategy(16),
+        b in tree_strategy(16),
+    ) {
+        let outcome = hybrid_match(&a, &b, &MatchConfig::default());
+        let mut last = usize::MAX;
+        for step in 0..=10 {
+            let mapping = extract_mapping(&outcome.matrix, step as f64 / 10.0);
+            prop_assert!(mapping.len() <= last);
+            last = mapping.len();
+        }
+    }
+
+    #[test]
+    fn total_exact_weight_identity_holds_for_any_weights(
+        l in 0.0f64..1.0,
+        p in 0.0f64..1.0,
+        h in 0.0f64..1.0,
+    ) {
+        // Normalize three free components into a unit-sum vector.
+        let rest = l + p + h;
+        let (l, p, h) = if rest > 1.0 { (l / rest, p / rest, h / rest) } else { (l, p, h) };
+        let c = (1.0 - l - p - h).max(0.0);
+        let weights = Weights::new(l, p, h, c);
+        prop_assume!(weights.is_ok());
+        let weights = weights.unwrap();
+        prop_assert!((weights.qom(1.0, 1.0, 1.0, 1.0) - 1.0).abs() < 1e-9);
+        prop_assert!((weights.leaf_qom(1.0, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_counts_are_consistent(
+        a in tree_strategy(12),
+        b in tree_strategy(12),
+    ) {
+        use qmatch::core::mapping::path_of;
+        let outcome = hybrid_match(&a, &b, &MatchConfig::default());
+        let mapping = extract_mapping(&outcome.matrix, 0.6);
+        // Gold = the first half of the predictions plus a fabricated miss.
+        let mut gold = qmatch::core::GoldStandard::new();
+        for c in mapping.pairs.iter().take(mapping.len() / 2) {
+            gold.add(&path_of(&a, c.source), &path_of(&b, c.target));
+        }
+        gold.add("no/such/source", "no/such/target");
+        let q = evaluate(&mapping, &a, &b, &gold);
+        prop_assert_eq!(q.true_positives + q.false_positives, mapping.len());
+        prop_assert_eq!(q.true_positives + q.false_negatives, gold.len());
+        prop_assert!(q.precision >= 0.0 && q.precision <= 1.0);
+        prop_assert!(q.recall >= 0.0 && q.recall <= 1.0);
+        prop_assert!(q.overall <= 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the XSD pipeline: generated schema documents must
+//! parse, resolve, and compile; the compiled tree must faithfully reflect
+//! the generated structure.
+
+use proptest::prelude::*;
+use qmatch::xml::escape::escape_attr;
+use qmatch::xsd::{parse_schema, SchemaTree};
+use std::fmt::Write as _;
+
+/// A generated element for the random schema: name, type index, and number
+/// of children (0 = leaf).
+#[derive(Debug, Clone)]
+struct GenElement {
+    name: String,
+    type_idx: usize,
+    children: Vec<GenElement>,
+}
+
+const TYPES: &[&str] = &[
+    "xs:string",
+    "xs:integer",
+    "xs:date",
+    "xs:decimal",
+    "xs:boolean",
+];
+
+fn gen_element(depth: u32) -> impl Strategy<Value = GenElement> {
+    let leaf = ("[A-Za-z][A-Za-z0-9_]{0,8}", 0usize..TYPES.len()).prop_map(|(name, type_idx)| {
+        GenElement {
+            name,
+            type_idx,
+            children: Vec::new(),
+        }
+    });
+    leaf.prop_recursive(depth, 32, 5, |inner| {
+        (
+            "[A-Za-z][A-Za-z0-9_]{0,8}",
+            proptest::collection::vec(inner, 1..5),
+        )
+            .prop_map(|(name, children)| GenElement {
+                name,
+                type_idx: 0,
+                children,
+            })
+    })
+}
+
+fn render(element: &GenElement, out: &mut String, indent: usize, min_occurs: u32) {
+    let pad = "  ".repeat(indent);
+    let occurs = if min_occurs == 0 {
+        " minOccurs=\"0\""
+    } else {
+        ""
+    };
+    if element.children.is_empty() {
+        let _ = writeln!(
+            out,
+            "{pad}<xs:element name=\"{}\" type=\"{}\"{occurs}/>",
+            escape_attr(&element.name),
+            TYPES[element.type_idx]
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{pad}<xs:element name=\"{}\"{occurs}>",
+            escape_attr(&element.name)
+        );
+        let _ = writeln!(out, "{pad}  <xs:complexType><xs:sequence>");
+        for (i, child) in element.children.iter().enumerate() {
+            render(child, out, indent + 2, (i % 2) as u32);
+        }
+        let _ = writeln!(out, "{pad}  </xs:sequence></xs:complexType>");
+        let _ = writeln!(out, "{pad}</xs:element>");
+    }
+}
+
+fn count(element: &GenElement) -> usize {
+    1 + element.children.iter().map(count).sum::<usize>()
+}
+
+fn depth(element: &GenElement) -> u32 {
+    element
+        .children
+        .iter()
+        .map(|c| 1 + depth(c))
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_schemas_parse_and_compile(root in gen_element(4)) {
+        let mut xsd = String::from(
+            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        );
+        render(&root, &mut xsd, 1, 1);
+        xsd.push_str("</xs:schema>\n");
+
+        let schema = parse_schema(&xsd).expect("generated schema must parse");
+        let tree = SchemaTree::compile(&schema).expect("generated schema must compile");
+
+        prop_assert_eq!(tree.element_count(), count(&root));
+        prop_assert_eq!(tree.max_depth(), depth(&root));
+        prop_assert_eq!(tree.root().label.as_str(), root.name.as_str());
+    }
+
+    #[test]
+    fn compiled_tree_preserves_child_order(root in gen_element(3)) {
+        let mut xsd = String::from(
+            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        );
+        render(&root, &mut xsd, 1, 1);
+        xsd.push_str("</xs:schema>\n");
+        let tree = SchemaTree::compile(&parse_schema(&xsd).unwrap()).unwrap();
+
+        // The root's children appear in document order with 1-based `order`.
+        let root_node = tree.root();
+        prop_assert_eq!(root_node.children.len(), root.children.len());
+        for (i, (&child_id, generated)) in
+            root_node.children.iter().zip(&root.children).enumerate()
+        {
+            let child = tree.node(child_id);
+            prop_assert_eq!(child.label.as_str(), generated.name.as_str());
+            prop_assert_eq!(child.properties.order, i as u32 + 1);
+            prop_assert_eq!(child.level, 1);
+            prop_assert_eq!(child.parent, Some(tree.root_id()));
+        }
+    }
+
+    #[test]
+    fn writer_round_trips_generated_schemas(root in gen_element(4)) {
+        let mut xsd = String::from(
+            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        );
+        render(&root, &mut xsd, 1, 1);
+        xsd.push_str("</xs:schema>\n");
+        let original = parse_schema(&xsd).unwrap();
+        let rendered = qmatch::xsd::write_schema(&original);
+        let reparsed = parse_schema(&rendered).expect("rendered schema parses");
+        prop_assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn parse_never_panics_on_mutated_schema_text(
+        root in gen_element(3),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut xsd = String::from(
+            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        );
+        render(&root, &mut xsd, 1, 1);
+        xsd.push_str("</xs:schema>\n");
+        // Truncate at an arbitrary char boundary: must error, never panic.
+        let mut idx = cut.index(xsd.len());
+        while !xsd.is_char_boundary(idx) {
+            idx -= 1;
+        }
+        let truncated = &xsd[..idx];
+        let _ = parse_schema(truncated);
+    }
+}
