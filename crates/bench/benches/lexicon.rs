@@ -4,7 +4,7 @@
 //!
 //! `cargo bench -p qmatch-bench --bench lexicon`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qmatch_bench::harness::Harness;
 use qmatch_lexicon::metrics::{bigram_dice, jaro_winkler, levenshtein};
 use qmatch_lexicon::{tokenize, NameMatcher};
 use std::hint::black_box;
@@ -19,67 +19,48 @@ const LABEL_PAIRS: &[(&str, &str)] = &[
     ("Library", "human"),
 ];
 
-fn metrics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lexicon/metrics");
-    group.bench_function("levenshtein", |b| {
-        b.iter(|| {
-            for (x, y) in LABEL_PAIRS {
-                black_box(levenshtein(black_box(x), black_box(y)));
-            }
-        })
-    });
-    group.bench_function("jaro_winkler", |b| {
-        b.iter(|| {
-            for (x, y) in LABEL_PAIRS {
-                black_box(jaro_winkler(black_box(x), black_box(y)));
-            }
-        })
-    });
-    group.bench_function("bigram_dice", |b| {
-        b.iter(|| {
-            for (x, y) in LABEL_PAIRS {
-                black_box(bigram_dice(black_box(x), black_box(y)));
-            }
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let h = Harness::from_env();
 
-fn tokenization(c: &mut Criterion) {
-    c.bench_function("lexicon/tokenize", |b| {
-        b.iter(|| {
-            for (x, y) in LABEL_PAIRS {
-                black_box(tokenize(black_box(x)));
-                black_box(tokenize(black_box(y)));
-            }
-        })
+    h.bench("lexicon/metrics/levenshtein", || {
+        for (x, y) in LABEL_PAIRS {
+            black_box(levenshtein(black_box(x), black_box(y)));
+        }
     });
-}
+    h.bench("lexicon/metrics/jaro_winkler", || {
+        for (x, y) in LABEL_PAIRS {
+            black_box(jaro_winkler(black_box(x), black_box(y)));
+        }
+    });
+    h.bench("lexicon/metrics/bigram_dice", || {
+        for (x, y) in LABEL_PAIRS {
+            black_box(bigram_dice(black_box(x), black_box(y)));
+        }
+    });
 
-fn name_compare(c: &mut Criterion) {
+    h.bench("lexicon/tokenize", || {
+        for (x, y) in LABEL_PAIRS {
+            black_box(tokenize(black_box(x)));
+            black_box(tokenize(black_box(y)));
+        }
+    });
+
     let matcher = NameMatcher::with_default_thesaurus();
-    c.bench_function("lexicon/compare", |b| {
-        b.iter(|| {
-            for (x, y) in LABEL_PAIRS {
-                black_box(matcher.compare(black_box(x), black_box(y)));
-            }
-        })
+    h.bench("lexicon/compare", || {
+        for (x, y) in LABEL_PAIRS {
+            black_box(matcher.compare(black_box(x), black_box(y)));
+        }
     });
     let tokenized: Vec<_> = LABEL_PAIRS
         .iter()
         .map(|(x, y)| (tokenize(x), tokenize(y)))
         .collect();
-    c.bench_function("lexicon/compare_tokens(pretokenized)", |b| {
-        b.iter(|| {
-            for (tx, ty) in &tokenized {
-                black_box(matcher.compare_tokens(black_box(tx), black_box(ty)));
-            }
-        })
+    h.bench("lexicon/compare_tokens(pretokenized)", || {
+        for (tx, ty) in &tokenized {
+            black_box(matcher.compare_tokens(black_box(tx), black_box(ty)));
+        }
     });
-    c.bench_function("lexicon/thesaurus_build", |b| {
-        b.iter(|| black_box(NameMatcher::with_default_thesaurus()))
+    h.bench("lexicon/thesaurus_build", || {
+        black_box(NameMatcher::with_default_thesaurus())
     });
 }
-
-criterion_group!(benches, metrics, tokenization, name_compare);
-criterion_main!(benches);

@@ -1,16 +1,17 @@
-//! Criterion benchmarks backing Figure 4: the three match algorithms on the
-//! paper's schema pairs (plus the tree-edit baseline for reference).
+//! Benchmarks backing Figure 4: the three match algorithms on the paper's
+//! schema pairs (plus the tree-edit baseline for reference).
 //!
 //! `cargo bench -p qmatch-bench --bench matchers`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qmatch_bench::{book_pair, dcmd_pair, po_pair, protein_pair, Algorithm, Pair};
+use qmatch_bench::harness::Harness;
+use qmatch_bench::{book_pair, dcmd_pair, po_pair, protein_pair, Algorithm};
 use qmatch_core::model::MatchConfig;
 use std::hint::black_box;
 
-fn small_pairs(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let config = MatchConfig::default();
-    let mut group = c.benchmark_group("figure4/small");
+
     for pair in [po_pair(), book_pair(), dcmd_pair()] {
         for algo in [
             Algorithm::Linguistic,
@@ -18,43 +19,25 @@ fn small_pairs(c: &mut Criterion) {
             Algorithm::Hybrid,
             Algorithm::TreeEdit,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(
-                    algo.name(),
-                    format!("{}[{}]", pair.name, pair.total_elements()),
-                ),
-                &pair,
-                |b, pair: &Pair| {
-                    b.iter(|| {
-                        let out = algo.run(&pair.source, &pair.target, &config);
-                        black_box(out.total_qom)
-                    })
-                },
+            let name = format!(
+                "figure4/small/{}/{}[{}]",
+                algo.name(),
+                pair.name,
+                pair.total_elements()
             );
+            h.bench(&name, || {
+                let out = algo.run(&pair.source, &pair.target, &config);
+                black_box(out.total_qom)
+            });
         }
     }
-    group.finish();
-}
 
-fn protein_pair_bench(c: &mut Criterion) {
-    let config = MatchConfig::default();
     let pair = protein_pair();
-    let mut group = c.benchmark_group("figure4/protein");
-    group.sample_size(10);
     for algo in Algorithm::PAPER {
-        group.bench_with_input(
-            BenchmarkId::new(algo.name(), pair.total_elements()),
-            &pair,
-            |b, pair: &Pair| {
-                b.iter(|| {
-                    let out = algo.run(&pair.source, &pair.target, &config);
-                    black_box(out.total_qom)
-                })
-            },
-        );
+        let name = format!("figure4/protein/{}/{}", algo.name(), pair.total_elements());
+        h.bench(&name, || {
+            let out = algo.run(&pair.source, &pair.target, &config);
+            black_box(out.total_qom)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, small_pairs, protein_pair_bench);
-criterion_main!(benches);

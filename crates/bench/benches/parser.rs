@@ -4,48 +4,37 @@
 //!
 //! `cargo bench -p qmatch-bench --bench parser`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qmatch_bench::harness::Harness;
 use qmatch_datasets::{corpus, synth};
 use qmatch_xml::Document;
 use qmatch_xsd::{parse_schema, SchemaTree};
 use std::hint::black_box;
 
-fn xml_parse(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let small = corpus::dcmd_ord_xsd();
     let large = &synth::protein_corpus().pdb_xsd;
-    let mut group = c.benchmark_group("parser/xml");
-    group.throughput(Throughput::Bytes(small.len() as u64));
-    group.bench_function("dcmd_ord(53 elems)", |b| {
-        b.iter(|| black_box(Document::parse(black_box(small)).unwrap()))
-    });
-    group.throughput(Throughput::Bytes(large.len() as u64));
-    group.bench_function("pdb(3753 elems)", |b| {
-        b.iter(|| black_box(Document::parse(black_box(large)).unwrap()))
-    });
-    group.finish();
-}
 
-fn xsd_pipeline(c: &mut Criterion) {
-    let small = corpus::dcmd_ord_xsd();
-    let large = &synth::protein_corpus().pdb_xsd;
-    let mut group = c.benchmark_group("parser/xsd");
-    group.bench_function("parse_schema/dcmd_ord", |b| {
-        b.iter(|| black_box(parse_schema(black_box(small)).unwrap()))
+    h.bench("parser/xml/dcmd_ord(53 elems)", || {
+        black_box(Document::parse(black_box(small)).unwrap())
     });
-    group.sample_size(20);
-    group.bench_function("parse_schema/pdb", |b| {
-        b.iter(|| black_box(parse_schema(black_box(large)).unwrap()))
+    h.bench("parser/xml/pdb(3753 elems)", || {
+        black_box(Document::parse(black_box(large)).unwrap())
     });
+
+    h.bench("parser/xsd/parse_schema/dcmd_ord", || {
+        black_box(parse_schema(black_box(small)).unwrap())
+    });
+    h.bench("parser/xsd/parse_schema/pdb", || {
+        black_box(parse_schema(black_box(large)).unwrap())
+    });
+
     let small_schema = parse_schema(small).unwrap();
     let large_schema = parse_schema(large).unwrap();
-    group.bench_function("compile_tree/dcmd_ord", |b| {
-        b.iter(|| black_box(SchemaTree::compile(black_box(&small_schema)).unwrap()))
+    h.bench("parser/xsd/compile_tree/dcmd_ord", || {
+        black_box(SchemaTree::compile(black_box(&small_schema)).unwrap())
     });
-    group.bench_function("compile_tree/pdb", |b| {
-        b.iter(|| black_box(SchemaTree::compile(black_box(&large_schema)).unwrap()))
+    h.bench("parser/xsd/compile_tree/pdb", || {
+        black_box(SchemaTree::compile(black_box(&large_schema)).unwrap())
     });
-    group.finish();
 }
-
-criterion_group!(benches, xml_parse, xsd_pipeline);
-criterion_main!(benches);

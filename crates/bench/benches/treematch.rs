@@ -1,69 +1,51 @@
 //! Scaling benchmark for the memoized TreeMatch dynamic program: the paper
 //! states the running time "lies in O(nm)". This bench matches synthetic
-//! balanced trees of growing size against themselves; Criterion's estimates
-//! across the sizes should grow quadratically (n·m with n = m).
+//! balanced trees of growing size against themselves; the per-size timings
+//! should grow quadratically (n·m with n = m).
 //!
 //! `cargo bench -p qmatch-bench --bench treematch`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmatch_core::algorithms::hybrid_match;
+use qmatch_bench::harness::Harness;
+use qmatch_bench::synth_tree::{balanced_tree, balanced_tree_with_vocab, SCHEMA_VOCAB};
+use qmatch_core::algorithms::{hybrid_match, hybrid_match_sequential};
 use qmatch_core::model::MatchConfig;
-use qmatch_xsd::SchemaTree;
 use std::hint::black_box;
 
-/// Builds a balanced tree with the given branching factor and depth, with
-/// distinct labels so the label oracle cannot collapse comparisons.
-fn balanced_tree(branch: usize, depth: usize) -> SchemaTree {
-    let mut entries: Vec<(String, Option<usize>)> = vec![("root".to_owned(), None)];
-    let mut frontier = vec![0usize];
-    for level in 0..depth {
-        let mut next = Vec::new();
-        for &parent in &frontier {
-            for k in 0..branch {
-                let idx = entries.len();
-                entries.push((format!("n{level}_{parent}_{k}"), Some(parent)));
-                next.push(idx);
-            }
-        }
-        frontier = next;
-    }
-    let borrowed: Vec<(&str, Option<usize>)> =
-        entries.iter().map(|(l, p)| (l.as_str(), *p)).collect();
-    SchemaTree::from_labels("root", &borrowed)
-}
-
-fn treematch_scaling(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_env();
     let config = MatchConfig::default();
-    let mut group = c.benchmark_group("treematch/onm-scaling");
+
+    // Sequential engine vs the wavefront engine (bit-identical results) on
+    // 10²–10³-node trees; 10⁴ lives in the bench_treematch bin, which also
+    // records the speedup trajectory in BENCH_treematch.json.
+    for (branch, depth) in [(4, 3), (3, 6)] {
+        let tree = balanced_tree_with_vocab(branch, depth, SCHEMA_VOCAB);
+        let n = tree.len();
+        h.bench(&format!("treematch/engine/sequential/{n}"), || {
+            black_box(hybrid_match_sequential(&tree, &tree, &config).total_qom)
+        });
+        h.bench(&format!("treematch/engine/parallel/{n}"), || {
+            black_box(hybrid_match(&tree, &tree, &config).total_qom)
+        });
+    }
+
     for (branch, depth) in [(3, 3), (4, 3), (5, 3), (6, 3)] {
         let tree = balanced_tree(branch, depth);
         let n = tree.len();
-        group.throughput(Throughput::Elements((n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
-            b.iter(|| {
-                let out = hybrid_match(tree, tree, &config);
-                black_box(out.total_qom)
-            })
+        h.bench(&format!("treematch/onm-scaling/{n}"), || {
+            let out = hybrid_match(&tree, &tree, &config);
+            black_box(out.total_qom)
         });
     }
-    group.finish();
-}
 
-fn treematch_shape(c: &mut Criterion) {
     // Same node count, different shapes: deep-narrow vs flat-wide. The DP
     // cost term Σ|children_s|·|children_t| differs, the pair count does not.
-    let config = MatchConfig::default();
     let deep = balanced_tree(2, 6); // 127 nodes
     let wide = balanced_tree(126, 1); // 127 nodes
-    let mut group = c.benchmark_group("treematch/shape");
-    group.bench_function("deep-narrow-127", |b| {
-        b.iter(|| black_box(hybrid_match(&deep, &deep, &config).total_qom))
+    h.bench("treematch/shape/deep-narrow-127", || {
+        black_box(hybrid_match(&deep, &deep, &config).total_qom)
     });
-    group.bench_function("flat-wide-127", |b| {
-        b.iter(|| black_box(hybrid_match(&wide, &wide, &config).total_qom))
+    h.bench("treematch/shape/flat-wide-127", || {
+        black_box(hybrid_match(&wide, &wide, &config).total_qom)
     });
-    group.finish();
 }
-
-criterion_group!(benches, treematch_scaling, treematch_shape);
-criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Perf accounting for the parallel TreeMatch engine: times the sequential
+//! fallback against the wavefront engine on synthetic trees of 10²–10⁴
+//! nodes (self-matches, bounded label vocabulary) and writes the results to
+//! `BENCH_treematch.json` so future changes can track the trajectory.
+//!
+//! `cargo run --release -p qmatch-bench --bin bench_treematch [OUT.json]`
+//!
+//! The speedup column only exceeds 1.0 on multicore hardware; the `threads`
+//! and `cores` fields record what the run had available.
+
+use qmatch_bench::synth_tree::{balanced_tree_with_vocab, SCHEMA_VOCAB};
+use qmatch_core::algorithms::{hybrid_match, hybrid_match_sequential};
+use qmatch_core::model::MatchConfig;
+use qmatch_core::par;
+use qmatch_core::report::Table;
+use std::time::{Duration, Instant};
+
+/// Median wall time of `runs` invocations.
+fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_treematch.json".to_owned());
+    let config = MatchConfig::default();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = par::num_threads();
+
+    // (branch, depth) ladders spanning ~10² to ~10⁴ nodes.
+    let shapes = [(4usize, 3usize), (3, 6), (3, 8)];
+    let mut table = Table::new(["nodes", "pairs n*m", "seq ms", "par ms", "speedup"]);
+    let mut entries = Vec::new();
+    for (branch, depth) in shapes {
+        let tree = balanced_tree_with_vocab(branch, depth, SCHEMA_VOCAB);
+        let n = tree.len();
+        // Larger trees get fewer repetitions; the DP dominates either way.
+        let runs = if n >= 5000 { 3 } else { 7 };
+        // One untimed run per engine: thesaurus construction and allocator
+        // warm-up would otherwise land entirely on the first sample.
+        std::hint::black_box(hybrid_match_sequential(&tree, &tree, &config).total_qom);
+        std::hint::black_box(hybrid_match(&tree, &tree, &config).total_qom);
+        let seq = time_median(runs, || {
+            hybrid_match_sequential(&tree, &tree, &config).total_qom
+        });
+        let par = time_median(runs, || hybrid_match(&tree, &tree, &config).total_qom);
+        let seq_ms = seq.as_secs_f64() * 1e3;
+        let par_ms = par.as_secs_f64() * 1e3;
+        let speedup = seq_ms / par_ms;
+        table.row([
+            n.to_string(),
+            (n * n).to_string(),
+            format!("{seq_ms:.2}"),
+            format!("{par_ms:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            "    {{\"nodes\": {n}, \"pairs\": {}, \"seq_ms\": {seq_ms:.3}, \
+             \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}}",
+            n * n
+        ));
+    }
+
+    println!("TreeMatch engine: sequential vs wavefront ({threads} thread(s), {cores} core(s))\n");
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"bench\": \"treematch\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

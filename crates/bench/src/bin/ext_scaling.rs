@@ -7,30 +7,13 @@
 //! pairs (the per-pair child-alignment work adds only a bounded factor at
 //! fixed branching).
 
-use qmatch_core::algorithms::hybrid_match;
+use qmatch_bench::synth_tree::balanced_tree;
+use qmatch_core::algorithms::{hybrid_match, match_many};
 use qmatch_core::model::MatchConfig;
+use qmatch_core::par;
 use qmatch_core::report::Table;
 use qmatch_xsd::SchemaTree;
 use std::time::{Duration, Instant};
-
-fn balanced_tree(branch: usize, depth: usize) -> SchemaTree {
-    let mut entries: Vec<(String, Option<usize>)> = vec![("root".to_owned(), None)];
-    let mut frontier = vec![0usize];
-    for level in 0..depth {
-        let mut next = Vec::new();
-        for &parent in &frontier {
-            for k in 0..branch {
-                let idx = entries.len();
-                entries.push((format!("n{level}_{parent}_{k}"), Some(parent)));
-                next.push(idx);
-            }
-        }
-        frontier = next;
-    }
-    let borrowed: Vec<(&str, Option<usize>)> =
-        entries.iter().map(|(l, p)| (l.as_str(), *p)).collect();
-    SchemaTree::from_labels("root", &borrowed)
-}
 
 fn median(mut samples: Vec<Duration>) -> Duration {
     samples.sort();
@@ -76,4 +59,28 @@ fn main() {
     let slope = (n * sum_xy - sum_x * sum_y) / (n * sum_xx - sum_x * sum_x);
     println!("\nfitted log-log slope (time vs n*m): {slope:.3}");
     println!("expected shape: slope ~ 1.0 — the paper's O(nm) bound holds empirically");
+
+    // The many-schema workload: the same ladder of self-matches submitted as
+    // one batch through the parallel match_many API versus one-at-a-time.
+    let corpus: Vec<(SchemaTree, SchemaTree)> = (3..=6)
+        .map(|depth| {
+            let tree = balanced_tree(3, depth);
+            (tree.clone(), tree)
+        })
+        .collect();
+    let start = Instant::now();
+    for (source, target) in &corpus {
+        std::hint::black_box(hybrid_match(source, target, &config).total_qom);
+    }
+    let one_at_a_time = start.elapsed();
+    let start = Instant::now();
+    std::hint::black_box(match_many(&corpus, &config).len());
+    let batched = start.elapsed();
+    println!(
+        "\nbatch API: {} self-match pairs, one-at-a-time {:.1} ms, match_many {:.1} ms ({} thread(s))",
+        corpus.len(),
+        one_at_a_time.as_secs_f64() * 1e3,
+        batched.as_secs_f64() * 1e3,
+        par::num_threads(),
+    );
 }

@@ -6,7 +6,7 @@
 //! is omitted, as in the paper). The shape to check: the hybrid's count is
 //! closest to the manual count, and it finds the most true positives.
 
-use qmatch_bench::{figure6_pairs, Algorithm};
+use qmatch_bench::{figure6_pairs, hybrid_batch, Algorithm};
 use qmatch_core::eval::evaluate;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::report::Table;
@@ -24,7 +24,10 @@ fn main() {
         "Structural TP",
         "Linguistic TP",
     ]);
-    for pair in figure6_pairs() {
+    let pairs = figure6_pairs();
+    // Hybrid runs for the whole corpus go through the batch API.
+    let hybrid = hybrid_batch(&pairs, &config);
+    for (pair, (_, hybrid_mapping)) in pairs.iter().zip(&hybrid) {
         let mut found = Vec::new();
         let mut correct = Vec::new();
         // Figure order: Hybrid, Structural, Linguistic.
@@ -33,7 +36,10 @@ fn main() {
             Algorithm::Structural,
             Algorithm::Linguistic,
         ] {
-            let (_, mapping) = algo.run_and_extract(&pair.source, &pair.target, &config);
+            let mapping = match algo {
+                Algorithm::Hybrid => hybrid_mapping.clone(),
+                _ => algo.run_and_extract(&pair.source, &pair.target, &config).1,
+            };
             let quality = evaluate(&mapping, &pair.source, &pair.target, &pair.gold);
             found.push(mapping.len());
             correct.push(quality.true_positives);

@@ -15,6 +15,9 @@
 //! | `ablation_threshold`  | child-match threshold sweep (design ablation) |
 //! | `ablation_linguistic` | lexicon-component ablation |
 
+pub mod harness;
+pub mod synth_tree;
+
 use qmatch_core::algorithms::{
     hybrid_match, linguistic_match, structural_match, tree_edit_match, MatchOutcome,
 };
@@ -106,6 +109,29 @@ impl Algorithm {
     }
 }
 
+/// Batch-runs the hybrid matcher over a corpus of evaluated pairs via
+/// [`qmatch_core::algorithms::match_many`] — one shared thesaurus build,
+/// parallel over the pairs — and extracts each mapping at the hybrid
+/// acceptance threshold. Outcomes come back in corpus order and are
+/// identical to per-pair [`Algorithm::run_and_extract`] calls.
+pub fn hybrid_batch(
+    pairs: &[Pair],
+    config: &MatchConfig,
+) -> Vec<(MatchOutcome, qmatch_core::mapping::Mapping)> {
+    let trees: Vec<(SchemaTree, SchemaTree)> = pairs
+        .iter()
+        .map(|p| (p.source.clone(), p.target.clone()))
+        .collect();
+    let threshold = Algorithm::Hybrid.extraction_threshold(config);
+    qmatch_core::algorithms::match_many(&trees, config)
+        .into_iter()
+        .map(|outcome| {
+            let mapping = qmatch_core::mapping::extract_mapping(&outcome.matrix, threshold);
+            (outcome, mapping)
+        })
+        .collect()
+}
+
 /// One evaluated schema pair with its gold standard.
 pub struct Pair {
     /// Domain name as the figures label it.
@@ -190,6 +216,20 @@ pub fn figure6_pairs() -> Vec<Pair> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hybrid_batch_matches_per_pair_runs() {
+        let config = MatchConfig::default();
+        let pairs = vec![po_pair(), book_pair()];
+        let batch = hybrid_batch(&pairs, &config);
+        assert_eq!(batch.len(), pairs.len());
+        for (pair, (outcome, mapping)) in pairs.iter().zip(&batch) {
+            let (single, single_mapping) =
+                Algorithm::Hybrid.run_and_extract(&pair.source, &pair.target, &config);
+            assert_eq!(outcome.matrix, single.matrix, "{}", pair.name);
+            assert_eq!(mapping.pairs, single_mapping.pairs, "{}", pair.name);
+        }
+    }
 
     #[test]
     fn figure4_x_axis_totals() {

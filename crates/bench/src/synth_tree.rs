@@ -1,0 +1,104 @@
+//! Synthetic tree builders shared by the benches and the extension drivers.
+
+use qmatch_xsd::SchemaTree;
+
+/// Builds a balanced tree with the given branching factor and depth, with
+/// distinct labels so the label stage cannot collapse comparisons.
+pub fn balanced_tree(branch: usize, depth: usize) -> SchemaTree {
+    let mut entries: Vec<(String, Option<usize>)> = vec![("root".to_owned(), None)];
+    let mut frontier = vec![0usize];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for k in 0..branch {
+                let idx = entries.len();
+                entries.push((format!("n{level}_{parent}_{k}"), Some(parent)));
+                next.push(idx);
+            }
+        }
+        frontier = next;
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        entries.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("root", &borrowed)
+}
+
+/// Like [`balanced_tree`], but drawing labels from a bounded vocabulary so
+/// the precomputed label matrix stays small even for very large trees —
+/// the realistic regime (real schemas reuse element names heavily), and the
+/// one the large parallel-engine benches use.
+pub fn balanced_tree_with_vocab(branch: usize, depth: usize, vocab: &[&str]) -> SchemaTree {
+    assert!(!vocab.is_empty(), "vocabulary must be non-empty");
+    let mut entries: Vec<(String, Option<usize>)> = vec![("root".to_owned(), None)];
+    let mut frontier = vec![0usize];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..branch {
+                let idx = entries.len();
+                entries.push((vocab[idx % vocab.len()].to_owned(), Some(parent)));
+                next.push(idx);
+            }
+        }
+        frontier = next;
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        entries.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("root", &borrowed)
+}
+
+/// A small schema-ish vocabulary for [`balanced_tree_with_vocab`].
+pub const SCHEMA_VOCAB: &[&str] = &[
+    "name",
+    "id",
+    "code",
+    "date",
+    "amount",
+    "quantity",
+    "price",
+    "address",
+    "city",
+    "country",
+    "status",
+    "type",
+    "description",
+    "title",
+    "author",
+    "order",
+    "item",
+    "line",
+    "unit",
+    "measure",
+    "contact",
+    "phone",
+    "email",
+    "street",
+    "zip",
+    "region",
+    "category",
+    "reference",
+    "version",
+    "comment",
+    "entry",
+    "record",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_tree_has_geometric_size() {
+        // 1 + 3 + 9 + 27 nodes for branch 3, depth 3.
+        assert_eq!(balanced_tree(3, 3).len(), 40);
+        assert_eq!(balanced_tree(2, 6).len(), 127);
+    }
+
+    #[test]
+    fn vocab_tree_matches_plain_tree_shape() {
+        let plain = balanced_tree(3, 3);
+        let vocab = balanced_tree_with_vocab(3, 3, SCHEMA_VOCAB);
+        assert_eq!(plain.len(), vocab.len());
+        assert_eq!(plain.max_depth(), vocab.max_depth());
+    }
+}

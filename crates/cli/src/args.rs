@@ -10,6 +10,7 @@ qmatch — hybrid XML schema matching (QMatch, ICDE 2005)
 
 USAGE:
     qmatch match <SOURCE.xsd> <TARGET.xsd> [options]
+    qmatch match-many <PAIRS.tsv> [options]
     qmatch inspect <SCHEMA.xsd> [--root NAME]
     qmatch evaluate <SOURCE.xsd> <TARGET.xsd> --gold <GOLD.tsv> [options]
     qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
@@ -42,6 +43,12 @@ INSPECT / GENERATE OPTIONS:
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
     '#' starts a comment; blank lines are ignored.
+
+PAIRS FILE FORMAT (match-many):
+    one schema pair per line:  <SOURCE.xsd> TAB <TARGET.xsd>
+    '#' starts a comment; blank lines are ignored. The whole corpus is
+    matched with the hybrid algorithm in one parallel batch; accepts the
+    weight/threshold/lexicon/thesaurus options and --total-only.
 ";
 
 /// Which match algorithm to run.
@@ -123,6 +130,13 @@ pub enum Command {
         /// Options.
         options: MatchOptions,
     },
+    /// `qmatch match-many`.
+    MatchMany {
+        /// Path of the pairs file (one `SOURCE TAB TARGET` line per pair).
+        pairs: String,
+        /// Options (hybrid only).
+        options: MatchOptions,
+    },
     /// `qmatch inspect`.
     Inspect {
         /// Schema path.
@@ -191,6 +205,26 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 target,
                 options: options.build()?,
             })
+        }
+        "match-many" => {
+            let (positional, options) = parse_common(args)?;
+            let [pairs] = one_positional(positional, "match-many")?;
+            let options = options.build()?;
+            if options.algorithm != AlgorithmChoice::Hybrid {
+                return Err(err(
+                    "match-many always runs the hybrid matcher; --algorithm is not supported",
+                ));
+            }
+            if options.explain.is_some()
+                || options.emit_gold
+                || options.matrix_csv.is_some()
+                || options.source_root.is_some()
+                || options.target_root.is_some()
+            {
+                return Err(err("match-many does not accept per-pair options \
+                     (--explain/--emit-gold/--matrix-csv/--source-root/--target-root)"));
+            }
+            Ok(Command::MatchMany { pairs, options })
         }
         "inspect" => {
             let (positional, options) = parse_common(args)?;
@@ -458,6 +492,35 @@ mod tests {
         assert_eq!(options.source_root.as_deref(), Some("PO"));
         assert_eq!(options.target_root.as_deref(), Some("Order"));
         assert!(options.total_only);
+    }
+
+    #[test]
+    fn parses_match_many() {
+        let cmd = parse([
+            "match-many",
+            "pairs.tsv",
+            "--lexicon",
+            "exact",
+            "--total-only",
+        ])
+        .unwrap();
+        let Command::MatchMany { pairs, options } = cmd else {
+            panic!()
+        };
+        assert_eq!(pairs, "pairs.tsv");
+        assert_eq!(options.config.lexicon, LexiconMode::ExactOnly);
+        assert!(options.total_only);
+    }
+
+    #[test]
+    fn match_many_rejects_per_pair_options() {
+        assert!(parse(["match-many"]).is_err());
+        assert!(parse(["match-many", "a.tsv", "b.tsv"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--algorithm", "linguistic"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--explain", "PO/Qty"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--emit-gold"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--matrix-csv", "m.csv"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--source-root", "PO"]).is_err());
     }
 
     #[test]

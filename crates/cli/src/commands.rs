@@ -3,8 +3,8 @@
 use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
 use crate::gold_file;
 use qmatch_core::algorithms::{
-    hybrid_match, hybrid_match_with, linguistic_match, linguistic_match_with, structural_match,
-    tree_edit_match, MatchOutcome,
+    hybrid_match, hybrid_match_with, linguistic_match, linguistic_match_with, match_many,
+    match_many_with, structural_match, tree_edit_match, MatchOutcome,
 };
 use qmatch_core::eval::evaluate;
 use qmatch_core::mapping::{extract_mapping, path_of};
@@ -55,7 +55,10 @@ pub fn run(command: Command) -> Result<(), CommandError> {
                 return Ok(());
             }
             if let Some(path) = &options.explain {
-                return explain(&source_tree, &target_tree, &options, path);
+                if options.algorithm != AlgorithmChoice::Hybrid {
+                    return Err(fail("--explain requires the hybrid algorithm"));
+                }
+                return explain(&source_tree, &target_tree, &options, &outcome, path);
             }
             if options.emit_gold {
                 let mapping = extract_mapping(&outcome.matrix, threshold);
@@ -83,6 +86,7 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             }
             Ok(())
         }
+        Command::MatchMany { pairs, options } => match_many_command(&pairs, &options),
         Command::Evaluate {
             source,
             target,
@@ -146,12 +150,82 @@ pub fn run(command: Command) -> Result<(), CommandError> {
     }
 }
 
+/// `match-many`: batch-match a whole corpus of schema pairs with the hybrid
+/// algorithm — one shared thesaurus build, parallel over the pairs.
+fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), CommandError> {
+    let text = std::fs::read_to_string(pairs_path)
+        .map_err(|e| fail(format!("cannot read {pairs_path}: {e}")))?;
+    let mut names = Vec::new();
+    let mut pairs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (source, target) = line
+            .split_once('\t')
+            .map(|(a, b)| (a.trim(), b.trim()))
+            .or_else(|| {
+                let mut fields = line.split_whitespace();
+                match (fields.next(), fields.next(), fields.next()) {
+                    (Some(a), Some(b), None) => Some((a, b)),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| {
+                fail(format!(
+                    "{pairs_path}:{}: expected `SOURCE.xsd TAB TARGET.xsd`, got {line:?}",
+                    lineno + 1
+                ))
+            })?;
+        pairs.push((load_tree(source, None)?, load_tree(target, None)?));
+        names.push((source.to_owned(), target.to_owned()));
+    }
+    if pairs.is_empty() {
+        return Err(fail(format!("{pairs_path} lists no schema pairs")));
+    }
+    let matcher = load_matcher(options)?;
+    let outcomes = match &matcher {
+        Some(m) => match_many_with(&pairs, &options.config, m),
+        None => match_many(&pairs, &options.config),
+    };
+    let threshold = options
+        .threshold
+        .unwrap_or_else(|| options.config.weights.acceptance_threshold());
+    if options.total_only {
+        for ((source, target), outcome) in names.iter().zip(&outcomes) {
+            println!("{source}\t{target}\t{}", f3(outcome.total_qom));
+        }
+        return Ok(());
+    }
+    let mut table = Table::new(["source", "target", "nodes", "total QoM", "matches"]);
+    for (((source, target), outcome), (s, t)) in names.iter().zip(&outcomes).zip(&pairs) {
+        let mapping = extract_mapping(&outcome.matrix, threshold);
+        table.row([
+            source.clone(),
+            target.clone(),
+            format!("{}x{}", s.len(), t.len()),
+            f3(outcome.total_qom),
+            mapping.len().to_string(),
+        ]);
+    }
+    println!(
+        "{} pair(s), hybrid algorithm, acceptance threshold {}",
+        pairs.len(),
+        f3(threshold)
+    );
+    print!("{}", table.render());
+    Ok(())
+}
+
 /// `match --explain`: show the QoM decomposition of the named source node
-/// against its best target candidates.
+/// against its best target candidates. Reuses the already-computed hybrid
+/// `outcome` instead of paying the match a second time.
 fn explain(
     source: &SchemaTree,
     target: &SchemaTree,
     options: &MatchOptions,
+    outcome: &MatchOutcome,
     source_path: &str,
 ) -> Result<(), CommandError> {
     let Some(sid) = source.find_by_path(source_path) else {
@@ -160,7 +234,6 @@ fn explain(
             path_of(source, source.root_id())
         )));
     };
-    let outcome = hybrid_match(source, target, &options.config);
     let mut candidates: Vec<(qmatch_xsd::NodeId, f64)> = target
         .iter()
         .map(|(tid, _)| (tid, outcome.matrix.get(sid, tid)))

@@ -303,6 +303,47 @@ fn explain_shows_axis_decomposition() {
 }
 
 #[test]
+fn match_many_batches_a_corpus() {
+    let dir = setup();
+    let po1 = dir.join("po1.xsd");
+    let po2 = dir.join("po2.xsd");
+    let pairs = dir.join("pairs.tsv");
+    // Tab-separated, whitespace-separated, comments, and blanks all parse.
+    std::fs::write(
+        &pairs,
+        format!(
+            "# corpus\n{}\t{}\n\n{} {}\n",
+            po1.display(),
+            po2.display(),
+            po1.display(),
+            po1.display(),
+        ),
+    )
+    .unwrap();
+    let out = run(&["match-many", pairs.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 pair(s)"), "{text}");
+    assert!(text.contains("total QoM"), "{text}");
+    assert!(text.contains("10x10"), "node counts shown: {text}");
+
+    // --total-only prints one TSV line per pair; the self-match is perfect.
+    let out = run(&["match-many", pairs.to_str().unwrap(), "--total-only"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    assert!(lines[1].ends_with("1.000"), "{}", lines[1]);
+
+    // Malformed lines are rejected with their line number.
+    let bad = dir.join("bad-pairs.tsv");
+    std::fs::write(&bad, "only-one-field\n").unwrap();
+    let out = run(&["match-many", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad-pairs.tsv:1"), "{}", stderr(&out));
+}
+
+#[test]
 fn thesaurus_extension_changes_the_match() {
     let dir = setup();
     // Two tiny schemas whose labels only relate through a custom synonym.

@@ -109,10 +109,13 @@ pub fn composite_match(
             });
         }
     }
-    let outcomes: Vec<MatchOutcome> = components
-        .iter()
-        .map(|c| c.run(source, target, config))
-        .collect();
+    // Components are independent whole matchers — run them concurrently
+    // (each may additionally wavefront internally).
+    let outcomes: Vec<MatchOutcome> = crate::par::map_rows(
+        components.len(),
+        cfg!(feature = "parallel") && components.len() > 1,
+        |i| components[i].run(source, target, config),
+    );
     let matrix = combine(outcomes.iter().map(|o| &o.matrix), aggregation);
     let total_qom = matrix.get(source.root_id(), target.root_id());
     Ok(MatchOutcome { matrix, total_qom })

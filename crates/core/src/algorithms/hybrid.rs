@@ -7,6 +7,13 @@
 //! over all (source, target) node pairs, which makes every pair's QoM
 //! available in one pass — the O(n·m) behaviour the paper reports.
 //!
+//! The DP is scheduled as a level-synchronous *wavefront*: source nodes are
+//! grouped by subtree height, and every row of one wave is computed
+//! out-of-place from the (already final) rows of lower waves, so the rows of
+//! a wave can run on separate threads. Each cell's arithmetic is a pure
+//! function of child rows, so the parallel schedule is bit-identical to the
+//! sequential one ([`hybrid_match_sequential`], property-tested).
+//!
 //! Two deliberate refinements of the pseudo-code (documented in DESIGN.md):
 //!
 //! 1. Figure 3 sums *every* child pair whose QoM clears the threshold, which
@@ -17,24 +24,46 @@
 //!    default), matching §2.2's "the nesting level for a leaf element is
 //!    always set to 0".
 
-use super::{postorder, LabelOracle, MatchOutcome};
+use super::{compare_single_labels, matcher_for_mode, waves_by_height, LabelMatrix, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::{children_qom, MatchConfig};
+use crate::par;
 use crate::props::compare_properties;
 use crate::taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
 use qmatch_lexicon::name_match::LabelGrade;
-use qmatch_xsd::SchemaTree;
+use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Runs the QMatch hybrid algorithm. `total_qom` is the QoM of the two
 /// roots — "the total match value for the entire source schema tree with
 /// respect to the target schema tree" that Figure 3 presents to the user.
+///
+/// With the `parallel` feature (on by default) the label matrix and the DP
+/// waves execute on scoped threads; the result is bit-identical to
+/// [`hybrid_match_sequential`].
 pub fn hybrid_match(
     source: &SchemaTree,
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let oracle = LabelOracle::new(source, target, config.lexicon);
-    hybrid_match_impl(source, target, config, oracle)
+    let labels = LabelMatrix::new(source, target, config.lexicon);
+    hybrid_match_impl(
+        source,
+        target,
+        config,
+        &labels,
+        use_parallel(source, target),
+    )
+}
+
+/// The always-sequential engine: same arithmetic, no threads. Kept compiled
+/// in every build flavour so the two engines can be compared directly.
+pub fn hybrid_match_sequential(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    let labels = LabelMatrix::new(source, target, config.lexicon);
+    hybrid_match_impl(source, target, config, &labels, false)
 }
 
 /// Like [`hybrid_match`], but with a caller-supplied [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g.
@@ -45,29 +74,65 @@ pub fn hybrid_match_with(
     config: &MatchConfig,
     matcher: &qmatch_lexicon::NameMatcher,
 ) -> MatchOutcome {
-    let oracle = LabelOracle::with_matcher(source, target, config.lexicon, matcher.clone());
-    hybrid_match_impl(source, target, config, oracle)
+    let labels = LabelMatrix::with_matcher(source, target, config.lexicon, matcher);
+    hybrid_match_impl(
+        source,
+        target,
+        config,
+        &labels,
+        use_parallel(source, target),
+    )
+}
+
+/// Whether a pair is large enough for the fork/join overhead to pay off.
+pub(crate) fn use_parallel(source: &SchemaTree, target: &SchemaTree) -> bool {
+    cfg!(feature = "parallel") && source.len() * target.len() >= par::PAR_CELL_THRESHOLD
 }
 
 fn hybrid_match_impl(
     source: &SchemaTree,
     target: &SchemaTree,
     config: &MatchConfig,
-    mut oracle: LabelOracle,
+    labels: &LabelMatrix,
+    parallel: bool,
 ) -> MatchOutcome {
     let mut matrix = SimMatrix::zeros(source.len(), target.len());
+    for wave in waves_by_height(source) {
+        let rows = par::map_rows(wave.len(), parallel, |i| {
+            hybrid_row(source, target, wave[i], config, labels, &matrix)
+        });
+        for (&s, row) in wave.iter().zip(&rows) {
+            matrix.set_row(s, row);
+        }
+    }
+    let total_qom = matrix.get(source.root_id(), target.root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// One source node's full row of the DP: the QoM against every target node.
+/// Reads only rows of strictly smaller height, which previous waves have
+/// already finalized.
+fn hybrid_row(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    s: NodeId,
+    config: &MatchConfig,
+    labels: &LabelMatrix,
+    matrix: &SimMatrix,
+) -> Vec<f64> {
     let weights = config.weights;
-    for &s in &postorder(source) {
-        let sn = source.node(s);
-        for &t in &postorder(target) {
+    let sn = source.node(s);
+    (0..target.len() as u32)
+        .map(|t| {
+            let t = NodeId(t);
             let tn = target.node(t);
-            let label = oracle.compare(s, t).score;
+            let label = labels.get(s, t).score;
             let props = compare_properties(&sn.properties, &tn.properties).score;
-            let qom = if sn.is_leaf() && tn.is_leaf() {
+            if sn.is_leaf() && tn.is_leaf() {
                 // Equation 2: leaves are exact by default on C and H.
                 weights.leaf_qom(label, props)
             } else {
-                let (qom_sum, matched) = best_child_matches(&matrix, sn, tn, config);
+                let (qom_sum, matched) = best_child_matches(matrix, sn, tn, config);
                 let qomc = if sn.is_leaf() != tn.is_leaf() {
                     // Leaf against subtree: no coverage (footnote 1 allows
                     // comparing them; the children axis simply contributes 0).
@@ -77,12 +142,9 @@ fn hybrid_match_impl(
                 };
                 let qomh = if sn.level == tn.level { 1.0 } else { 0.0 };
                 weights.qom(label, props, qomh, qomc)
-            };
-            matrix.set(s, t, qom);
-        }
-    }
-    let total_qom = matrix.get(source.root_id(), target.root_id());
-    MatchOutcome { matrix, total_qom }
+            }
+        })
+        .collect()
 }
 
 /// For each source child, the best QoM among the target children; children
@@ -112,18 +174,30 @@ fn best_child_matches(
 
 /// Classifies the match between the two roots on the paper's qualitative
 /// taxonomy (§2.2), using the same per-axis evidence the quantitative run
-/// uses.
+/// uses. Runs a full hybrid match internally; when an outcome is already at
+/// hand, use [`hybrid_root_category_from`] instead.
 pub fn hybrid_root_category(
     source: &SchemaTree,
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchCategory {
     let outcome = hybrid_match(source, target, config);
-    let mut oracle = LabelOracle::new(source, target, config.lexicon);
+    hybrid_root_category_from(source, target, config, &outcome)
+}
+
+/// Classifies the root pair from an existing hybrid [`MatchOutcome`] —
+/// no rerun of the match; only the root labels are re-compared.
+pub fn hybrid_root_category_from(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    outcome: &MatchOutcome,
+) -> MatchCategory {
     let (s, t) = (source.root_id(), target.root_id());
     let (sn, tn) = (source.node(s), target.node(t));
 
-    let label = match oracle.compare(s, t).grade {
+    let matcher = matcher_for_mode(config.lexicon);
+    let label = match compare_single_labels(&sn.label, &tn.label, config.lexicon, &matcher).grade {
         LabelGrade::Exact => AxisGrade::Exact,
         LabelGrade::Relaxed => AxisGrade::Relaxed,
         LabelGrade::None => AxisGrade::None,
@@ -201,6 +275,27 @@ mod tests {
             MatchCategory::TotalExact
         );
         out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn sequential_engine_agrees_exactly() {
+        let (lib, hum) = (library(), human());
+        let config = MatchConfig::default();
+        let a = hybrid_match(&lib, &hum, &config);
+        let b = hybrid_match_sequential(&lib, &hum, &config);
+        assert_eq!(a.matrix, b.matrix, "bit-identical matrices");
+        assert_eq!(a.total_qom, b.total_qom);
+    }
+
+    #[test]
+    fn root_category_from_outcome_matches_rerun() {
+        let (lib, hum) = (library(), human());
+        let config = MatchConfig::default();
+        let outcome = hybrid_match(&lib, &hum, &config);
+        assert_eq!(
+            hybrid_root_category_from(&lib, &hum, &config, &outcome),
+            hybrid_root_category(&lib, &hum, &config)
+        );
     }
 
     #[test]

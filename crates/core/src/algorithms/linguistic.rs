@@ -5,10 +5,12 @@
 //! This is one of the two baselines the paper compares QMatch against, and
 //! also the component QMatch uses internally for its label axis.
 
-use super::{LabelOracle, MatchOutcome};
+use super::hybrid::use_parallel;
+use super::{LabelMatrix, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
-use qmatch_xsd::SchemaTree;
+use crate::par;
+use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Runs the linguistic matcher. The outcome's `total_qom` is the mean best
 /// label similarity per source node (a flat matcher has no root recursion to
@@ -18,8 +20,18 @@ pub fn linguistic_match(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let oracle = LabelOracle::new(source, target, config.lexicon);
-    linguistic_match_impl(source, target, oracle)
+    let labels = LabelMatrix::new(source, target, config.lexicon);
+    linguistic_match_impl(source, target, &labels, use_parallel(source, target))
+}
+
+/// The always-sequential engine: same arithmetic, no threads.
+pub fn linguistic_match_sequential(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    let labels = LabelMatrix::new(source, target, config.lexicon);
+    linguistic_match_impl(source, target, &labels, false)
 }
 
 /// Like [`linguistic_match`], but with a caller-supplied
@@ -30,20 +42,26 @@ pub fn linguistic_match_with(
     config: &MatchConfig,
     matcher: &qmatch_lexicon::NameMatcher,
 ) -> MatchOutcome {
-    let oracle = LabelOracle::with_matcher(source, target, config.lexicon, matcher.clone());
-    linguistic_match_impl(source, target, oracle)
+    let labels = LabelMatrix::with_matcher(source, target, config.lexicon, matcher);
+    linguistic_match_impl(source, target, &labels, use_parallel(source, target))
 }
 
 fn linguistic_match_impl(
     source: &SchemaTree,
     target: &SchemaTree,
-    mut oracle: LabelOracle,
+    labels: &LabelMatrix,
+    parallel: bool,
 ) -> MatchOutcome {
+    // A flat matcher: every row is independent, so this is one wave.
     let mut matrix = SimMatrix::zeros(source.len(), target.len());
-    for (s, _) in source.iter() {
-        for (t, _) in target.iter() {
-            matrix.set(s, t, oracle.compare(s, t).score);
-        }
+    let rows = par::map_rows(source.len(), parallel, |s| {
+        let s = NodeId(s as u32);
+        (0..target.len() as u32)
+            .map(|t| labels.get(s, NodeId(t)).score)
+            .collect::<Vec<f64>>()
+    });
+    for (s, row) in rows.iter().enumerate() {
+        matrix.set_row(NodeId(s as u32), row);
     }
     let total_qom = matrix.mean_best_per_source();
     MatchOutcome { matrix, total_qom }
@@ -151,6 +169,16 @@ mod tests {
         let out = linguistic_match(&s, &s, &MatchConfig::default());
         assert!((out.total_qom - 1.0).abs() < 1e-9);
         out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn sequential_engine_agrees_exactly() {
+        let (s, t) = po_like();
+        let config = MatchConfig::default();
+        let a = linguistic_match(&s, &t, &config);
+        let b = linguistic_match_sequential(&s, &t, &config);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.total_qom, b.total_qom);
     }
 
     #[test]

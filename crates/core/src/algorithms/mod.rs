@@ -5,6 +5,12 @@
 //! [`crate::model::MatchConfig`] — and return a [`MatchOutcome`] holding the full node-pair
 //! similarity matrix plus the whole-schema QoM, so mapping extraction and
 //! evaluation treat them uniformly.
+//!
+//! The engines execute in level-synchronous *waves* (see DESIGN.md): the
+//! label axis is precomputed into an immutable [`LabelMatrix`], and the
+//! bottom-up TreeMatch recurrences fill whole source-node rows concurrently.
+//! With the `parallel` feature disabled every wave runs sequentially and
+//! produces bit-identical matrices.
 
 mod composite;
 mod hybrid;
@@ -13,13 +19,17 @@ mod structural;
 mod tree_edit;
 
 pub use composite::{composite_match, Aggregation, Component, CompositeError};
-pub use hybrid::{hybrid_match, hybrid_match_with, hybrid_root_category};
-pub use linguistic::{linguistic_match, linguistic_match_with};
-pub use structural::structural_match;
+pub use hybrid::{
+    hybrid_match, hybrid_match_sequential, hybrid_match_with, hybrid_root_category,
+    hybrid_root_category_from,
+};
+pub use linguistic::{linguistic_match, linguistic_match_sequential, linguistic_match_with};
+pub use structural::{structural_match, structural_match_sequential};
 pub use tree_edit::tree_edit_match;
 
 use crate::matrix::SimMatrix;
-use crate::model::LexiconMode;
+use crate::model::{LexiconMode, MatchConfig};
+use crate::par;
 use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
 use qmatch_lexicon::thesaurus::Thesaurus;
 use qmatch_lexicon::tokenize::{tokenize, Token};
@@ -38,97 +48,170 @@ pub struct MatchOutcome {
     pub total_qom: f64,
 }
 
-/// Label comparison oracle shared by the algorithms: interns each distinct
-/// label, tokenizes it once, and caches one [`NameMatch`] per distinct label
-/// pair. On the corpora this collapses the `n·m` node-pair label comparisons
-/// to the (much smaller) number of distinct label pairs.
-pub(crate) struct LabelOracle {
-    mode: LexiconMode,
-    matcher: NameMatcher,
-    source_ids: Vec<u32>,
-    target_ids: Vec<u32>,
-    source_tokens: Vec<Vec<Token>>,
-    target_tokens: Vec<Vec<Token>>,
-    source_labels: Vec<String>,
-    target_labels: Vec<String>,
-    cache: HashMap<(u32, u32), NameMatch>,
+/// The label matcher for a lexicon mode (with or without the thesaurus).
+pub(crate) fn matcher_for_mode(mode: LexiconMode) -> NameMatcher {
+    match mode {
+        LexiconMode::Full => NameMatcher::with_default_thesaurus(),
+        LexiconMode::FuzzyOnly | LexiconMode::ExactOnly => NameMatcher::new(Thesaurus::new()),
+    }
 }
 
-impl LabelOracle {
-    pub(crate) fn new(source: &SchemaTree, target: &SchemaTree, mode: LexiconMode) -> LabelOracle {
-        let matcher = match mode {
-            LexiconMode::Full => NameMatcher::with_default_thesaurus(),
-            LexiconMode::FuzzyOnly | LexiconMode::ExactOnly => NameMatcher::new(Thesaurus::new()),
-        };
-        Self::with_matcher(source, target, mode, matcher)
+/// Compares one label pair directly under a lexicon mode — the single-pair
+/// (diagnostic) path; whole-schema runs go through [`LabelMatrix`], which
+/// performs the identical computation per distinct pair.
+pub(crate) fn compare_single_labels(
+    a: &str,
+    b: &str,
+    mode: LexiconMode,
+    matcher: &NameMatcher,
+) -> NameMatch {
+    match mode {
+        LexiconMode::ExactOnly => {
+            if a.to_lowercase() == b.to_lowercase() {
+                NameMatch {
+                    grade: LabelGrade::Exact,
+                    score: 1.0,
+                }
+            } else {
+                NameMatch {
+                    grade: LabelGrade::None,
+                    score: 0.0,
+                }
+            }
+        }
+        LexiconMode::Full | LexiconMode::FuzzyOnly => {
+            matcher.compare_tokens(&tokenize(a), &tokenize(b))
+        }
+    }
+}
+
+/// One tree's side of the label interning: per-node distinct-label ids plus
+/// the tokenized and lowercased form of each distinct label.
+struct InternedLabels {
+    ids: Vec<u32>,
+    tokens: Vec<Vec<Token>>,
+    labels: Vec<String>,
+}
+
+fn intern_labels(tree: &SchemaTree) -> InternedLabels {
+    let mut table: HashMap<String, u32> = HashMap::new();
+    let mut ids = Vec::with_capacity(tree.len());
+    let mut tokens: Vec<Vec<Token>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (_, node) in tree.iter() {
+        let next = table.len() as u32;
+        let id = *table.entry(node.label.clone()).or_insert(next);
+        if id == next {
+            tokens.push(tokenize(&node.label));
+            labels.push(node.label.to_lowercase());
+        }
+        ids.push(id);
+    }
+    InternedLabels {
+        ids,
+        tokens,
+        labels,
+    }
+}
+
+/// Precomputed label-similarity matrix shared by the engines.
+///
+/// Each distinct source/target label pair is compared exactly once, up
+/// front (in parallel with the `parallel` feature), into a dense
+/// `distinct_src × distinct_tgt` table of [`NameMatch`]es; lookups are then
+/// two array reads and a multiply — no hashing, no mutation, no locks. This
+/// replaces the former mutable per-pair cache, whose `&mut self` lookups
+/// serialized the whole DP. On the corpora the number of distinct label
+/// pairs is far below the `n·m` node-pair count, so the precomputation is
+/// also strictly less label work than the uncached algorithm.
+pub struct LabelMatrix {
+    source_ids: Vec<u32>,
+    target_ids: Vec<u32>,
+    distinct_cols: usize,
+    table: Vec<NameMatch>,
+}
+
+impl LabelMatrix {
+    /// Builds the matrix for a lexicon mode (constructing the matcher).
+    pub fn new(source: &SchemaTree, target: &SchemaTree, mode: LexiconMode) -> LabelMatrix {
+        Self::with_matcher(source, target, mode, &matcher_for_mode(mode))
     }
 
-    /// An oracle over a caller-supplied matcher (custom thesaurus).
-    pub(crate) fn with_matcher(
+    /// Builds the matrix over a caller-supplied matcher (custom thesaurus).
+    pub fn with_matcher(
         source: &SchemaTree,
         target: &SchemaTree,
         mode: LexiconMode,
-        matcher: NameMatcher,
-    ) -> LabelOracle {
-        let intern = |tree: &SchemaTree| {
-            let mut table: HashMap<String, u32> = HashMap::new();
-            let mut ids = Vec::with_capacity(tree.len());
-            let mut tokens: Vec<Vec<Token>> = Vec::new();
-            let mut labels: Vec<String> = Vec::new();
-            for (_, node) in tree.iter() {
-                let next = table.len() as u32;
-                let id = *table.entry(node.label.clone()).or_insert(next);
-                if id == next {
-                    tokens.push(tokenize(&node.label));
-                    labels.push(node.label.to_lowercase());
-                }
-                ids.push(id);
-            }
-            (ids, tokens, labels)
-        };
-        let (source_ids, source_tokens, source_labels) = intern(source);
-        let (target_ids, target_tokens, target_labels) = intern(target);
-        LabelOracle {
-            mode,
-            matcher,
-            source_ids,
-            target_ids,
-            source_tokens,
-            target_tokens,
-            source_labels,
-            target_labels,
-            cache: HashMap::new(),
+        matcher: &NameMatcher,
+    ) -> LabelMatrix {
+        let src = intern_labels(source);
+        let tgt = intern_labels(target);
+        let (rows, cols) = (src.tokens.len(), tgt.tokens.len());
+        let parallel = cfg!(feature = "parallel") && rows * cols >= par::PAR_CELL_THRESHOLD;
+        let table: Vec<NameMatch> = par::map_rows(rows, parallel, |i| {
+            (0..cols)
+                .map(|j| match mode {
+                    LexiconMode::ExactOnly => {
+                        if src.labels[i] == tgt.labels[j] {
+                            NameMatch {
+                                grade: LabelGrade::Exact,
+                                score: 1.0,
+                            }
+                        } else {
+                            NameMatch {
+                                grade: LabelGrade::None,
+                                score: 0.0,
+                            }
+                        }
+                    }
+                    LexiconMode::Full | LexiconMode::FuzzyOnly => {
+                        matcher.compare_tokens(&src.tokens[i], &tgt.tokens[j])
+                    }
+                })
+                .collect::<Vec<NameMatch>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        LabelMatrix {
+            source_ids: src.ids,
+            target_ids: tgt.ids,
+            distinct_cols: cols,
+            table,
         }
     }
 
-    /// Compares the labels of a source and a target node.
-    pub(crate) fn compare(&mut self, s: NodeId, t: NodeId) -> NameMatch {
-        let key = (self.source_ids[s.index()], self.target_ids[t.index()]);
-        if let Some(hit) = self.cache.get(&key) {
-            return *hit;
-        }
-        let result = match self.mode {
-            LexiconMode::ExactOnly => {
-                if self.source_labels[key.0 as usize] == self.target_labels[key.1 as usize] {
-                    NameMatch {
-                        grade: LabelGrade::Exact,
-                        score: 1.0,
-                    }
-                } else {
-                    NameMatch {
-                        grade: LabelGrade::None,
-                        score: 0.0,
-                    }
-                }
-            }
-            LexiconMode::Full | LexiconMode::FuzzyOnly => self.matcher.compare_tokens(
-                &self.source_tokens[key.0 as usize],
-                &self.target_tokens[key.1 as usize],
-            ),
-        };
-        self.cache.insert(key, result);
-        result
+    /// The label comparison for a source and a target node.
+    #[inline]
+    pub fn get(&self, s: NodeId, t: NodeId) -> NameMatch {
+        let row = self.source_ids[s.index()] as usize;
+        let col = self.target_ids[t.index()] as usize;
+        self.table[row * self.distinct_cols + col]
     }
+
+    /// Number of distinct label pairs held (the table size).
+    pub fn distinct_pairs(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Batch matching: runs the hybrid matcher over every pair, sharing one
+/// matcher/thesaurus build, in parallel over the pairs with the `parallel`
+/// feature. Outcomes come back in input order.
+pub fn match_many(pairs: &[(SchemaTree, SchemaTree)], config: &MatchConfig) -> Vec<MatchOutcome> {
+    match_many_with(pairs, config, &matcher_for_mode(config.lexicon))
+}
+
+/// [`match_many`] over a caller-supplied matcher (custom thesaurus).
+pub fn match_many_with(
+    pairs: &[(SchemaTree, SchemaTree)],
+    config: &MatchConfig,
+    matcher: &NameMatcher,
+) -> Vec<MatchOutcome> {
+    par::map_rows(pairs.len(), cfg!(feature = "parallel"), |i| {
+        let (source, target) = &pairs[i];
+        hybrid_match_with(source, target, config, matcher)
+    })
 }
 
 /// Post-order traversal of a tree's node ids (children before parents).
@@ -136,6 +219,41 @@ pub(crate) fn postorder(tree: &SchemaTree) -> Vec<NodeId> {
     // The arena is built pre-order, so reversing index order yields a valid
     // bottom-up order (every child has a higher index than its parent).
     (0..tree.len() as u32).rev().map(NodeId).collect()
+}
+
+/// Bottom-up waves for the TreeMatch DP: wave `k` holds every node of
+/// *height* `k` (leaves first). A row's recurrence reads only child rows,
+/// which sit in strictly lower waves, so all rows of one wave can be
+/// computed concurrently.
+pub(crate) fn waves_by_height(tree: &SchemaTree) -> Vec<Vec<NodeId>> {
+    let mut height = vec![0u32; tree.len()];
+    for idx in (0..tree.len()).rev() {
+        // Children have higher indices, so their heights are already final.
+        let node = tree.node(NodeId(idx as u32));
+        height[idx] = node
+            .children
+            .iter()
+            .map(|c| height[c.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let max_height = height.iter().copied().max().unwrap_or(0) as usize;
+    let mut waves = vec![Vec::new(); max_height + 1];
+    for (idx, &h) in height.iter().enumerate() {
+        waves[h as usize].push(NodeId(idx as u32));
+    }
+    waves
+}
+
+/// Top-down waves: wave `k` holds every node at nesting level `k`. A
+/// context row reads only the parent's row, one wave earlier.
+pub(crate) fn waves_by_depth(tree: &SchemaTree) -> Vec<Vec<NodeId>> {
+    let max_level = tree.iter().map(|(_, n)| n.level).max().unwrap_or(0) as usize;
+    let mut waves = vec![Vec::new(); max_level + 1];
+    for (id, node) in tree.iter() {
+        waves[node.level as usize].push(id);
+    }
+    waves
 }
 
 /// Greedy 1:1 assignment over the cross product of two id slices: pairs are
@@ -196,43 +314,119 @@ mod tests {
     }
 
     #[test]
-    fn oracle_caches_by_label_not_node() {
+    fn waves_by_height_order_children_strictly_below_parents() {
+        let t = tiny();
+        let waves = waves_by_height(&t);
+        let wave_of = |id: NodeId| {
+            waves
+                .iter()
+                .position(|w| w.contains(&id))
+                .expect("every node sits in exactly one wave")
+        };
+        let mut seen = 0;
+        for w in &waves {
+            seen += w.len();
+        }
+        assert_eq!(seen, t.len());
+        for (id, node) in t.iter() {
+            for &child in &node.children {
+                assert!(wave_of(child) < wave_of(id), "{child:?} below {id:?}");
+            }
+        }
+        // r has height 2 via a→c; leaves b and c share wave 0.
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(waves[1], vec![NodeId(1)]);
+        assert_eq!(waves[2], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn waves_by_depth_put_parents_strictly_before_children() {
+        let t = tiny();
+        let waves = waves_by_depth(&t);
+        assert_eq!(waves[0], vec![NodeId(0)]);
+        assert_eq!(waves[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(waves[2], vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn label_matrix_is_indexed_by_distinct_labels() {
         let s = SchemaTree::from_labels("x", &[("x", None), ("dup", Some(0)), ("dup", Some(0))]);
         let t = tiny();
-        let mut o = LabelOracle::new(&s, &t, LexiconMode::Full);
-        let m1 = o.compare(NodeId(1), NodeId(0));
-        let m2 = o.compare(NodeId(2), NodeId(0));
+        let m = LabelMatrix::new(&s, &t, LexiconMode::Full);
+        let m1 = m.get(NodeId(1), NodeId(0));
+        let m2 = m.get(NodeId(2), NodeId(0));
         assert_eq!(m1, m2);
-        assert_eq!(o.cache.len(), 1, "both node pairs share one label pair");
+        // 2 distinct source labels × 4 distinct target labels.
+        assert_eq!(m.distinct_pairs(), 8, "table covers distinct label pairs");
     }
 
     #[test]
-    fn oracle_exact_only_mode_is_string_equality() {
+    fn label_matrix_exact_only_mode_is_string_equality() {
         let s = SchemaTree::from_labels("x", &[("Writer", None)]);
         let t = SchemaTree::from_labels("y", &[("Author", None)]);
-        let mut full = LabelOracle::new(&s, &t, LexiconMode::Full);
-        assert_eq!(full.compare(NodeId(0), NodeId(0)).grade, LabelGrade::Exact);
-        let mut exact = LabelOracle::new(&s, &t, LexiconMode::ExactOnly);
-        assert_eq!(exact.compare(NodeId(0), NodeId(0)).grade, LabelGrade::None);
+        let full = LabelMatrix::new(&s, &t, LexiconMode::Full);
+        assert_eq!(full.get(NodeId(0), NodeId(0)).grade, LabelGrade::Exact);
+        let exact = LabelMatrix::new(&s, &t, LexiconMode::ExactOnly);
+        assert_eq!(exact.get(NodeId(0), NodeId(0)).grade, LabelGrade::None);
         let s2 = SchemaTree::from_labels("x", &[("writer", None)]);
         let t2 = SchemaTree::from_labels("y", &[("WRITER", None)]);
-        let mut exact2 = LabelOracle::new(&s2, &t2, LexiconMode::ExactOnly);
-        assert_eq!(
-            exact2.compare(NodeId(0), NodeId(0)).grade,
-            LabelGrade::Exact
-        );
+        let exact2 = LabelMatrix::new(&s2, &t2, LexiconMode::ExactOnly);
+        assert_eq!(exact2.get(NodeId(0), NodeId(0)).grade, LabelGrade::Exact);
     }
 
     #[test]
-    fn oracle_fuzzy_only_mode_loses_synonyms_keeps_fuzzy() {
+    fn label_matrix_fuzzy_only_mode_loses_synonyms_keeps_fuzzy() {
         let s = SchemaTree::from_labels("x", &[("Writer", None), ("Quantety", Some(0))]);
         let t = SchemaTree::from_labels("y", &[("Author", None), ("Quantity", Some(0))]);
-        let mut fuzzy = LabelOracle::new(&s, &t, LexiconMode::FuzzyOnly);
-        assert_eq!(fuzzy.compare(NodeId(0), NodeId(0)).grade, LabelGrade::None);
-        assert_eq!(
-            fuzzy.compare(NodeId(1), NodeId(1)).grade,
-            LabelGrade::Relaxed
-        );
+        let fuzzy = LabelMatrix::new(&s, &t, LexiconMode::FuzzyOnly);
+        assert_eq!(fuzzy.get(NodeId(0), NodeId(0)).grade, LabelGrade::None);
+        assert_eq!(fuzzy.get(NodeId(1), NodeId(1)).grade, LabelGrade::Relaxed);
+    }
+
+    #[test]
+    fn label_matrix_agrees_with_single_pair_comparison() {
+        let s = tiny();
+        let t = SchemaTree::from_labels("q", &[("q", None), ("a", Some(0)), ("zz", Some(0))]);
+        for mode in [
+            LexiconMode::Full,
+            LexiconMode::FuzzyOnly,
+            LexiconMode::ExactOnly,
+        ] {
+            let matrix = LabelMatrix::new(&s, &t, mode);
+            let matcher = matcher_for_mode(mode);
+            for (sid, sn) in s.iter() {
+                for (tid, tn) in t.iter() {
+                    let direct = compare_single_labels(&sn.label, &tn.label, mode, &matcher);
+                    assert_eq!(
+                        matrix.get(sid, tid),
+                        direct,
+                        "{:?} vs {:?}",
+                        sn.label,
+                        tn.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_many_matches_individual_runs() {
+        let config = MatchConfig::default();
+        let pairs = vec![
+            (tiny(), tiny()),
+            (
+                SchemaTree::from_labels("a", &[("a", None), ("b", Some(0))]),
+                tiny(),
+            ),
+        ];
+        let batch = match_many(&pairs, &config);
+        assert_eq!(batch.len(), 2);
+        for (outcome, (s, t)) in batch.iter().zip(&pairs) {
+            let single = hybrid_match(s, t, &config);
+            assert_eq!(outcome.matrix, single.matrix, "batch == one-at-a-time");
+            assert_eq!(outcome.total_qom, single.total_qom);
+        }
     }
 
     #[test]

@@ -11,13 +11,13 @@
 //! bottom-up over all node pairs (the same memoized O(n·m) discipline as the
 //! hybrid).
 
-use super::{greedy_assignment, postorder, MatchOutcome};
+use super::hybrid::use_parallel;
+use super::{greedy_assignment, waves_by_depth, waves_by_height, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
+use crate::par;
 use crate::props::compare_properties;
-#[cfg(test)]
-use qmatch_xsd::NodeId;
-use qmatch_xsd::SchemaTree;
+use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Component weights of the structural similarity. Children dominate, as in
 /// the hybrid's weight model; the remainder splits between arity, the
@@ -28,19 +28,75 @@ const W_PROPS: f64 = 0.25;
 const W_LEVEL: f64 = 0.15;
 
 /// Runs the structural matcher. `total_qom` is the similarity of the roots.
+///
+/// Both passes are wavefronted: the bottom-up shape DP by source-node
+/// height, the top-down context blend by source-node depth. Bit-identical
+/// to [`structural_match_sequential`].
 pub fn structural_match(
     source: &SchemaTree,
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
+    structural_match_impl(source, target, config, use_parallel(source, target))
+}
+
+/// The always-sequential engine: same arithmetic, no threads.
+pub fn structural_match_sequential(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+) -> MatchOutcome {
+    structural_match_impl(source, target, config, false)
+}
+
+fn structural_match_impl(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    parallel: bool,
+) -> MatchOutcome {
     let mut matrix = SimMatrix::zeros(source.len(), target.len());
-    let s_order = postorder(source);
-    let t_order = postorder(target);
-    for &s in &s_order {
-        let sn = source.node(s);
-        for &t in &t_order {
-            let tn = target.node(t);
-            let sim = match (sn.is_leaf(), tn.is_leaf()) {
+    for wave in waves_by_height(source) {
+        let rows = par::map_rows(wave.len(), parallel, |i| {
+            structural_row(source, target, wave[i], config, &matrix)
+        });
+        for (&s, row) in wave.iter().zip(&rows) {
+            matrix.set_row(s, row);
+        }
+    }
+    // Top-down context pass: a pair is only as believable as its parents.
+    // Without labels, two same-typed leaves at the same level and order are
+    // indistinguishable; blending in the (already contextualized) parent
+    // pair's similarity disambiguates them the way CUPID's structural phase
+    // propagates context. A row depends only on the parent's row, one depth
+    // wave earlier.
+    let mut contextual = SimMatrix::zeros(source.len(), target.len());
+    for wave in waves_by_depth(source) {
+        let rows = par::map_rows(wave.len(), parallel, |i| {
+            context_row(source, target, wave[i], &matrix, &contextual)
+        });
+        for (&s, row) in wave.iter().zip(&rows) {
+            contextual.set_row(s, row);
+        }
+    }
+    let matrix = contextual;
+    let total_qom = matrix.get(source.root_id(), target.root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// One source node's row of the bottom-up shape DP.
+fn structural_row(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    s: NodeId,
+    config: &MatchConfig,
+    matrix: &SimMatrix,
+) -> Vec<f64> {
+    let sn = source.node(s);
+    (0..target.len() as u32)
+        .map(|t| {
+            let tn = target.node(NodeId(t));
+            match (sn.is_leaf(), tn.is_leaf()) {
                 // CUPID-style leaf similarity: the data type dominates (it
                 // is the only structural evidence a leaf carries), with the
                 // remaining properties and the nesting level refining it.
@@ -80,32 +136,33 @@ pub fn structural_match(
                         + W_PROPS * props_score
                         + W_LEVEL * level_score
                 }
-            };
-            matrix.set(s, t, sim);
-        }
-    }
-    // Top-down context pass: a pair is only as believable as its parents.
-    // Without labels, two same-typed leaves at the same level and order are
-    // indistinguishable; blending in the (already contextualized) parent
-    // pair's similarity disambiguates them the way CUPID's structural phase
-    // propagates context. Arena ids are pre-order, so ascending iteration
-    // visits parents before children.
-    let mut contextual = SimMatrix::zeros(source.len(), target.len());
-    for (s, sn) in source.iter() {
-        for (t, tn) in target.iter() {
+            }
+        })
+        .collect()
+}
+
+/// One source node's row of the top-down context blend.
+fn context_row(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    s: NodeId,
+    matrix: &SimMatrix,
+    contextual: &SimMatrix,
+) -> Vec<f64> {
+    let sn = source.node(s);
+    (0..target.len() as u32)
+        .map(|t| {
+            let t = NodeId(t);
+            let tn = target.node(t);
             let raw = matrix.get(s, t);
-            let blended = match (sn.parent, tn.parent) {
+            match (sn.parent, tn.parent) {
                 (None, None) => raw,
                 (Some(ps), Some(pt)) => (1.0 - CONTEXT) * raw + CONTEXT * contextual.get(ps, pt),
                 // A root never matches a non-root's context.
                 _ => (1.0 - CONTEXT) * raw,
-            };
-            contextual.set(s, t, blended);
-        }
-    }
-    let matrix = contextual;
-    let total_qom = matrix.get(source.root_id(), target.root_id());
-    MatchOutcome { matrix, total_qom }
+            }
+        })
+        .collect()
 }
 
 /// Weight of the parent-pair context in the top-down pass.
@@ -185,6 +242,16 @@ mod tests {
         let out = structural_match(&t, &t, &MatchConfig::default());
         assert!((out.total_qom - 1.0).abs() < 1e-9);
         out.matrix.assert_normalized();
+    }
+
+    #[test]
+    fn sequential_engine_agrees_exactly() {
+        let (s, t) = (library(), human());
+        let config = MatchConfig::default();
+        let a = structural_match(&s, &t, &config);
+        let b = structural_match_sequential(&s, &t, &config);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.total_qom, b.total_qom);
     }
 
     #[test]

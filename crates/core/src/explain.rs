@@ -4,7 +4,7 @@
 //! paper's §2/§3 machinery surfaced for inspection — what a match UI would
 //! show when the user asks "why did these two match (or not)?".
 
-use crate::algorithms::{hybrid_match, LabelOracle};
+use crate::algorithms::hybrid_match;
 use crate::matrix::SimMatrix;
 use crate::model::{children_qom, MatchConfig};
 use crate::props::compare_properties;
@@ -108,9 +108,12 @@ pub fn explain_with_matrix(
 ) -> Explanation {
     let weights = config.weights;
     let (sn, tn) = (source.node(s), target.node(t));
-    let mut oracle = LabelOracle::new(source, target, config.lexicon);
 
-    let name = oracle.compare(s, t);
+    // One pair is explained at a time, so compare the two labels directly
+    // rather than precomputing the full label matrix.
+    let matcher = crate::algorithms::matcher_for_mode(config.lexicon);
+    let name =
+        crate::algorithms::compare_single_labels(&sn.label, &tn.label, config.lexicon, &matcher);
     let label = AxisExplanation {
         score: name.score,
         grade: match name.grade {

@@ -17,6 +17,9 @@
 //!   [`algorithms::structural_match`], [`algorithms::hybrid_match`]
 //!   (Figure 3), and a tree-edit-distance baseline
 //!   ([`algorithms::tree_edit_match`], related work \[15\]).
+//! - [`par`] — scoped-thread wave execution behind the `parallel` feature
+//!   (on by default; `--no-default-features` builds run sequentially and
+//!   produce bit-identical matrices).
 //! - [`mapping`] — extraction of 1:1 correspondences from a matrix.
 //! - [`eval`] — Precision / Recall / Overall (§5).
 //! - [`tuning`] — the weight-determination sweep behind Table 2.
@@ -43,14 +46,16 @@ pub mod explain;
 pub mod mapping;
 pub mod matrix;
 pub mod model;
+pub mod par;
 pub mod props;
 pub mod report;
 pub mod taxonomy;
 pub mod tuning;
 
 pub use algorithms::{
-    composite_match, hybrid_match, linguistic_match, structural_match, tree_edit_match,
-    Aggregation, Component, MatchOutcome,
+    composite_match, hybrid_match, hybrid_match_sequential, linguistic_match, match_many,
+    match_many_with, structural_match, tree_edit_match, Aggregation, Component, LabelMatrix,
+    MatchOutcome,
 };
 pub use eval::{evaluate, GoldStandard, MatchQuality};
 pub use explain::{explain_pair, Explanation};

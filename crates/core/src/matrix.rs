@@ -59,6 +59,23 @@ impl SimMatrix {
         self.data[i] = value;
     }
 
+    /// One source node's row of scores, in target-id order.
+    #[inline]
+    pub fn row(&self, source: NodeId) -> &[f64] {
+        let r = source.index();
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Overwrites one source node's row. `row` must hold exactly one value
+    /// per target node. This is how the wavefront engines commit rows that
+    /// were computed out-of-place.
+    #[inline]
+    pub fn set_row(&mut self, source: NodeId, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row length must equal cols");
+        let r = source.index();
+        self.data[r * self.cols..(r + 1) * self.cols].copy_from_slice(row);
+    }
+
     /// The best-scoring target for a source row, with its score. `None` for
     /// an empty matrix.
     pub fn best_for_source(&self, source: NodeId) -> Option<(NodeId, f64)> {
@@ -161,6 +178,22 @@ mod tests {
         m.set(NodeId(1), NodeId(2), 0.75);
         assert_eq!(m.get(NodeId(1), NodeId(2)), 0.75);
         assert_eq!(m.get(NodeId(0), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn row_and_set_row_round_trip() {
+        let mut m = SimMatrix::zeros(2, 3);
+        m.set_row(NodeId(1), &[0.1, 0.2, 0.3]);
+        assert_eq!(m.row(NodeId(1)), &[0.1, 0.2, 0.3]);
+        assert_eq!(m.row(NodeId(0)), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.get(NodeId(1), NodeId(2)), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn set_row_rejects_wrong_length() {
+        let mut m = SimMatrix::zeros(2, 3);
+        m.set_row(NodeId(0), &[0.1, 0.2]);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Parallel-execution helpers built on scoped threads.
+//!
+//! The matching engines fan work out in *waves* of independent rows (see
+//! DESIGN.md); this module provides the small, dependency-free map primitive
+//! they share. With the `parallel` feature disabled (or a single available
+//! core) everything degenerates to a plain sequential loop, so the two build
+//! flavours run exactly the same per-cell arithmetic — the parallel and
+//! sequential engines are bit-identical by construction.
+
+/// Number of worker threads the parallel engines use: the `QMATCH_THREADS`
+/// environment variable when set (clamped to at least 1), otherwise the
+/// machine's available parallelism. Always 1 without the `parallel` feature.
+pub fn num_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    if let Ok(v) = std::env::var("QMATCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Minimum number of similarity cells (`rows × cols`) before an engine
+/// bothers spawning threads. Below this, thread startup dominates the work
+/// of a whole match — the weight-sweep drivers run thousands of matches on
+/// 6-node trees and must not pay a fork/join per wave.
+pub const PAR_CELL_THRESHOLD: usize = 256;
+
+/// Maps `f` over `0..n`, in parallel when `parallel` is true (and the build
+/// and machine support it), preserving index order. `f` must be a pure
+/// function of its index for the parallel and sequential paths to agree —
+/// every caller in this crate satisfies that by writing rows out-of-place.
+pub(crate) fn map_rows<T, F>(n: usize, parallel: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if parallel { num_threads().min(n) } else { 1 };
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    parallel_map(n, threads, &f)
+}
+
+#[cfg(feature = "parallel")]
+fn parallel_map<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // Contiguous chunks, one per worker; results are concatenated in
+    // chunk order so the output is index-ordered regardless of scheduling.
+    let chunk = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("qmatch worker thread panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(not(feature = "parallel"))]
+fn parallel_map<T, F>(n: usize, _threads: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..n).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rows_preserves_order_sequentially() {
+        let out = map_rows(10, false, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn map_rows_preserves_order_in_parallel() {
+        // Forces the threaded path even on a single-core machine.
+        std::env::set_var("QMATCH_THREADS", "4");
+        let out = map_rows(1000, true, |i| i as u64 * 3);
+        std::env::remove_var("QMATCH_THREADS");
+        assert_eq!(out, (0..1000u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_rows_handles_empty_and_single() {
+        assert_eq!(map_rows(0, true, |i| i), Vec::<usize>::new());
+        assert_eq!(map_rows(1, true, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

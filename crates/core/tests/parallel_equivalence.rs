@@ -1,0 +1,148 @@
+//! The parallel engines must be indistinguishable from the sequential
+//! fallback: bit-identical similarity matrices and totals on random trees,
+//! and deterministic across repeated parallel runs.
+//!
+//! `QMATCH_THREADS=4` is pinned so the threaded path is exercised even on a
+//! single-core machine (the wavefront splits rows across scoped threads
+//! regardless of physical parallelism).
+
+use qmatch_core::algorithms::{
+    hybrid_match, hybrid_match_sequential, linguistic_match, linguistic_match_sequential,
+    match_many, structural_match, structural_match_sequential,
+};
+use qmatch_core::model::MatchConfig;
+use qmatch_prng::SmallRng;
+use qmatch_xsd::SchemaTree;
+
+const CASES: usize = 48;
+
+fn force_threads() {
+    // Never removed: every test in this binary wants the threaded path.
+    std::env::set_var("QMATCH_THREADS", "4");
+}
+
+/// A random tree with 1..=max_nodes nodes; labels drawn from a small
+/// vocabulary so label interning sees collisions, plus a random suffix arm
+/// so distinct labels appear too.
+fn random_tree(rng: &mut SmallRng, max_nodes: usize) -> SchemaTree {
+    const VOCAB: &[&str] = &[
+        "name", "id", "order", "item", "quantity", "price", "date", "address",
+    ];
+    let nodes = rng.gen_range(1..=max_nodes);
+    let mut labels: Vec<(String, Option<usize>)> = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let label = if rng.gen_bool(0.7) {
+            VOCAB[rng.gen_range(0..VOCAB.len())].to_owned()
+        } else {
+            format!("n{}", rng.gen_range(0..1000u32))
+        };
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..i))
+        };
+        labels.push((label, parent));
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        labels.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("random", &borrowed)
+}
+
+#[test]
+fn hybrid_parallel_and_sequential_are_bit_identical() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xD1);
+    let config = MatchConfig::default();
+    for case in 0..CASES {
+        // Up to 64×64 nodes: comfortably past the parallel cell threshold.
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let par = hybrid_match(&a, &b, &config);
+        let seq = hybrid_match_sequential(&a, &b, &config);
+        assert_eq!(par.matrix, seq.matrix, "case {case}: matrices diverge");
+        assert!(
+            par.total_qom.to_bits() == seq.total_qom.to_bits(),
+            "case {case}: totals diverge: {} vs {}",
+            par.total_qom,
+            seq.total_qom
+        );
+    }
+}
+
+#[test]
+fn structural_parallel_and_sequential_are_bit_identical() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xD2);
+    let config = MatchConfig::default();
+    for case in 0..CASES {
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let par = structural_match(&a, &b, &config);
+        let seq = structural_match_sequential(&a, &b, &config);
+        assert_eq!(par.matrix, seq.matrix, "case {case}");
+        assert_eq!(
+            par.total_qom.to_bits(),
+            seq.total_qom.to_bits(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn linguistic_parallel_and_sequential_are_bit_identical() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xD3);
+    let config = MatchConfig::default();
+    for case in 0..CASES {
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let par = linguistic_match(&a, &b, &config);
+        let seq = linguistic_match_sequential(&a, &b, &config);
+        assert_eq!(par.matrix, seq.matrix, "case {case}");
+        assert_eq!(
+            par.total_qom.to_bits(),
+            seq.total_qom.to_bits(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xD4);
+    let config = MatchConfig::default();
+    for case in 0..CASES {
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let first = hybrid_match(&a, &b, &config);
+        let second = hybrid_match(&a, &b, &config);
+        assert_eq!(first.matrix, second.matrix, "case {case}");
+        assert_eq!(
+            first.total_qom.to_bits(),
+            second.total_qom.to_bits(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn match_many_is_deterministic_and_order_preserving() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xD5);
+    let config = MatchConfig::default();
+    let pairs: Vec<(SchemaTree, SchemaTree)> = (0..12)
+        .map(|_| (random_tree(&mut rng, 40), random_tree(&mut rng, 40)))
+        .collect();
+    let batch1 = match_many(&pairs, &config);
+    let batch2 = match_many(&pairs, &config);
+    assert_eq!(batch1.len(), pairs.len());
+    for (i, ((o1, o2), (s, t))) in batch1.iter().zip(&batch2).zip(&pairs).enumerate() {
+        assert_eq!(o1.matrix, o2.matrix, "pair {i}: batch not deterministic");
+        let single = hybrid_match_sequential(s, t, &config);
+        assert_eq!(
+            o1.matrix, single.matrix,
+            "pair {i}: batch diverges from sequential single match"
+        );
+    }
+}

@@ -3,14 +3,13 @@
 //! generate→validate round-trip property tests (everything this module
 //! emits must pass [`qmatch_xsd::validate::validate`]).
 
+use qmatch_prng::SmallRng;
 use qmatch_xml::dom::Element;
 use qmatch_xsd::BuiltinType;
 use qmatch_xsd::{
     AttributeDecl, AttributeUse, ComplexType, ElementDecl, Facet, MaxOccurs, Particle, Schema,
     SimpleType, TypeDef, TypeRef,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generation settings.
 #[derive(Debug, Clone, Copy)]

@@ -15,9 +15,8 @@
 //! gold standard are reproducible across runs and platforms.
 
 use qmatch_core::eval::GoldStandard;
+use qmatch_prng::SmallRng;
 use qmatch_xsd::{parse_schema, SchemaTree};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
@@ -369,7 +368,7 @@ fn generate() -> ProteinCorpus {
     for i in 1..pir.len() {
         let pdb_parent = copied[pir.parents[i].expect("non-root has a parent")];
         let original = pir.labels[i].clone();
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         // 45% kept, 20% abbreviated, 15% synonym, 20% renamed away.
         let (label, is_match) = if roll < 0.45 {
             (original.clone(), true)

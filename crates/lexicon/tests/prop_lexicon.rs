@@ -1,0 +1,213 @@
+//! Property tests for the linguistic substrate: metric axioms, tokenizer
+//! invariants, and name-matcher consistency over arbitrary identifiers.
+//!
+//! Randomized with the in-repo deterministic PRNG (`qmatch-prng`), so every
+//! run draws the same cases and failures reproduce from the case index.
+
+use qmatch_lexicon::metrics::{
+    bigram_dice, combined_similarity, jaro, jaro_winkler, lcs_len, levenshtein,
+    levenshtein_similarity,
+};
+use qmatch_lexicon::name_match::stem;
+use qmatch_lexicon::{tokenize, LabelGrade, NameMatcher};
+use qmatch_prng::SmallRng;
+
+const CASES: usize = 256;
+
+/// A random identifier-like label: `[A-Za-z][A-Za-z0-9_ -]{0,20}`.
+fn ident(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ -";
+    let len = rng.gen_range(0..=20usize);
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..len {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
+}
+
+/// Arbitrary printable text for the tokenizer tests.
+fn arbitrary_text(rng: &mut SmallRng, max_len: usize) -> String {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '✓', '№', '¼'];
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.1) {
+                EXOTIC[rng.gen_range(0..EXOTIC.len())]
+            } else {
+                rng.gen_range(0x20u8..=0x7E) as char
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn levenshtein_is_a_metric() {
+    let mut rng = SmallRng::seed_from_u64(0xA1);
+    for case in 0..CASES {
+        let (a, b, c) = (ident(&mut rng), ident(&mut rng), ident(&mut rng));
+        // Identity of indiscernibles.
+        assert_eq!(levenshtein(&a, &a), 0, "case {case}");
+        assert_eq!(levenshtein(&a, &b) == 0, a == b, "case {case}");
+        // Symmetry.
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a), "case {case}");
+        // Triangle inequality.
+        assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c),
+            "case {case}: {a:?} {b:?} {c:?}"
+        );
+        // Length bounds.
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        assert!(levenshtein(&a, &b) >= la.abs_diff(lb), "case {case}");
+        assert!(levenshtein(&a, &b) <= la.max(lb), "case {case}");
+    }
+}
+
+#[test]
+fn similarity_metrics_are_bounded_and_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(0xA2);
+    for case in 0..CASES {
+        let (a, b) = (ident(&mut rng), ident(&mut rng));
+        for (name, v, w) in [
+            (
+                "lev",
+                levenshtein_similarity(&a, &b),
+                levenshtein_similarity(&b, &a),
+            ),
+            ("jaro", jaro(&a, &b), jaro(&b, &a)),
+            ("jw", jaro_winkler(&a, &b), jaro_winkler(&b, &a)),
+            ("dice", bigram_dice(&a, &b), bigram_dice(&b, &a)),
+            (
+                "combined",
+                combined_similarity(&a, &b),
+                combined_similarity(&b, &a),
+            ),
+        ] {
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "case {case} {name}: {v}");
+            assert!(
+                (v - w).abs() < 1e-12,
+                "case {case} {name} asymmetric: {v} vs {w}"
+            );
+        }
+        // Self-similarity is maximal.
+        assert_eq!(jaro_winkler(&a, &a), 1.0, "case {case}");
+        assert_eq!(bigram_dice(&a, &a), 1.0, "case {case}");
+    }
+}
+
+#[test]
+fn jaro_winkler_dominates_jaro() {
+    let mut rng = SmallRng::seed_from_u64(0xA3);
+    for case in 0..CASES {
+        let (a, b) = (ident(&mut rng), ident(&mut rng));
+        assert!(
+            jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b),
+            "case {case}: {a:?} {b:?}"
+        );
+    }
+}
+
+#[test]
+fn lcs_is_bounded_by_both_lengths() {
+    let mut rng = SmallRng::seed_from_u64(0xA4);
+    for case in 0..CASES {
+        let (a, b) = (ident(&mut rng), ident(&mut rng));
+        let l = lcs_len(&a, &b);
+        assert!(l <= a.chars().count(), "case {case}");
+        assert!(l <= b.chars().count(), "case {case}");
+        assert_eq!(lcs_len(&a, &a), a.chars().count(), "case {case}");
+    }
+}
+
+#[test]
+fn tokenizer_output_is_normalized() {
+    let mut rng = SmallRng::seed_from_u64(0xA5);
+    for case in 0..CASES {
+        let label = arbitrary_text(&mut rng, 32);
+        for token in tokenize(&label) {
+            assert!(!token.as_str().is_empty(), "case {case}");
+            assert_eq!(token.as_str(), token.as_str().to_lowercase(), "case {case}");
+            assert!(
+                token.as_str().chars().all(char::is_alphanumeric),
+                "case {case}: {label:?} -> {token:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tokenizer_is_idempotent_on_its_own_output() {
+    let mut rng = SmallRng::seed_from_u64(0xA6);
+    for case in 0..CASES {
+        let label = ident(&mut rng);
+        let once = tokenize(&label);
+        let rejoined: String = once
+            .iter()
+            .map(|t| t.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let twice = tokenize(&rejoined);
+        assert_eq!(once, twice, "case {case}: {label:?}");
+    }
+}
+
+#[test]
+fn stem_never_grows_and_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xA7);
+    for case in 0..CASES {
+        let len = rng.gen_range(1..=16usize);
+        let word: String = (0..len)
+            .map(|_| rng.gen_range(b'a'..=b'z') as char)
+            .collect();
+        let s = stem(&word);
+        assert!(s.len() <= word.len() + 1, "case {case}: {word} -> {s}"); // +1 for ies->y
+        assert_eq!(
+            stem(&s),
+            s,
+            "case {case}: stem must be idempotent: {word} -> {s}"
+        );
+    }
+}
+
+#[test]
+fn name_matcher_is_symmetric_and_bounded() {
+    let matcher = NameMatcher::with_default_thesaurus();
+    let mut rng = SmallRng::seed_from_u64(0xA8);
+    for case in 0..CASES {
+        let (a, b) = (ident(&mut rng), ident(&mut rng));
+        let ab = matcher.compare(&a, &b);
+        let ba = matcher.compare(&b, &a);
+        assert!(
+            (ab.score - ba.score).abs() < 1e-12,
+            "case {case}: {a:?} vs {b:?}"
+        );
+        assert_eq!(ab.grade, ba.grade, "case {case}: {a:?} vs {b:?}");
+        assert!((0.0..=1.0).contains(&ab.score), "case {case}");
+        // Grade/score coherence.
+        match ab.grade {
+            LabelGrade::Exact => assert!((ab.score - 1.0).abs() < 1e-12, "case {case}"),
+            LabelGrade::Relaxed => assert!(ab.score >= 0.5 - 1e-12, "case {case}"),
+            LabelGrade::None => assert!(ab.score < 1.0, "case {case}"),
+        }
+    }
+}
+
+#[test]
+fn self_comparison_is_exact() {
+    let matcher = NameMatcher::with_default_thesaurus();
+    let mut rng = SmallRng::seed_from_u64(0xA9);
+    for case in 0..CASES {
+        let a = ident(&mut rng);
+        if tokenize(&a).is_empty() {
+            continue;
+        }
+        let m = matcher.compare(&a, &a);
+        assert_eq!(
+            m.grade,
+            LabelGrade::Exact,
+            "case {case}: {a:?} scored {}",
+            m.score
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! cargo run --example purchase_orders
 //! ```
 
-use qmatch::core::algorithms::{hybrid_root_category, tree_edit_match};
+use qmatch::core::algorithms::{hybrid_root_category_from, tree_edit_match};
 use qmatch::core::report::{f3, Table};
 use qmatch::datasets::{corpus, gold};
 use qmatch::prelude::*;
@@ -28,8 +28,10 @@ fn main() {
         target.max_depth()
     );
 
-    // Qualitative classification of the root match (paper §2.2).
-    let category = hybrid_root_category(&source, &target, &config);
+    // One hybrid run serves both the qualitative classification (paper
+    // §2.2) and the quantitative comparison below.
+    let hybrid_outcome = hybrid_match(&source, &target, &config);
+    let category = hybrid_root_category_from(&source, &target, &config, &hybrid_outcome);
     println!("taxonomy: the root match is classified \"{category}\"\n");
 
     // Quantitative comparison of all algorithms.
@@ -44,10 +46,7 @@ fn main() {
         ),
         (
             "Hybrid (QMatch)",
-            run(
-                hybrid_match(&source, &target, &config),
-                config.weights.acceptance_threshold(),
-            ),
+            run(hybrid_outcome, config.weights.acceptance_threshold()),
         ),
         (
             "TreeEdit [15]",

@@ -1,11 +1,16 @@
 //! Property tests for the XSD pipeline: generated schema documents must
 //! parse, resolve, and compile; the compiled tree must faithfully reflect
 //! the generated structure.
+//!
+//! Randomized with the in-repo deterministic PRNG (`qmatch-prng`) — fixed
+//! seeds, so failures reproduce from the case index in the message.
 
-use proptest::prelude::*;
 use qmatch::xml::escape::escape_attr;
 use qmatch::xsd::{parse_schema, SchemaTree};
+use qmatch_prng::SmallRng;
 use std::fmt::Write as _;
+
+const CASES: usize = 128;
 
 /// A generated element for the random schema: name, type index, and number
 /// of children (0 = leaf).
@@ -24,25 +29,37 @@ const TYPES: &[&str] = &[
     "xs:boolean",
 ];
 
-fn gen_element(depth: u32) -> impl Strategy<Value = GenElement> {
-    let leaf = ("[A-Za-z][A-Za-z0-9_]{0,8}", 0usize..TYPES.len()).prop_map(|(name, type_idx)| {
+/// `[A-Za-z][A-Za-z0-9_]{0,8}`, matching the old proptest regex strategy.
+fn gen_name(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let len = rng.gen_range(0..=8usize);
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..len {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
+}
+
+fn gen_element(rng: &mut SmallRng, depth: u32) -> GenElement {
+    // Leaves at depth 0, and with growing probability as depth shrinks,
+    // to keep trees small (the old strategy targeted ~32 nodes).
+    let leaf = depth == 0 || rng.gen_bool(0.4);
+    if leaf {
         GenElement {
-            name,
-            type_idx,
+            name: gen_name(rng),
+            type_idx: rng.gen_range(0..TYPES.len()),
             children: Vec::new(),
         }
-    });
-    leaf.prop_recursive(depth, 32, 5, |inner| {
-        (
-            "[A-Za-z][A-Za-z0-9_]{0,8}",
-            proptest::collection::vec(inner, 1..5),
-        )
-            .prop_map(|(name, children)| GenElement {
-                name,
-                type_idx: 0,
-                children,
-            })
-    })
+    } else {
+        let arity = rng.gen_range(1..5usize);
+        GenElement {
+            name: gen_name(rng),
+            type_idx: 0,
+            children: (0..arity).map(|_| gen_element(rng, depth - 1)).collect(),
+        }
+    }
 }
 
 fn render(element: &GenElement, out: &mut String, indent: usize, min_occurs: u32) {
@@ -74,6 +91,15 @@ fn render(element: &GenElement, out: &mut String, indent: usize, min_occurs: u32
     }
 }
 
+fn render_schema(root: &GenElement) -> String {
+    let mut xsd = String::from(
+        "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+    );
+    render(root, &mut xsd, 1, 1);
+    xsd.push_str("</xs:schema>\n");
+    xsd
+}
+
 fn count(element: &GenElement) -> usize {
     1 + element.children.iter().map(count).sum::<usize>()
 }
@@ -87,77 +113,70 @@ fn depth(element: &GenElement) -> u32 {
         .unwrap_or(0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn generated_schemas_parse_and_compile(root in gen_element(4)) {
-        let mut xsd = String::from(
-            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
-        );
-        render(&root, &mut xsd, 1, 1);
-        xsd.push_str("</xs:schema>\n");
+#[test]
+fn generated_schemas_parse_and_compile() {
+    let mut rng = SmallRng::seed_from_u64(0xC1);
+    for case in 0..CASES {
+        let root = gen_element(&mut rng, 4);
+        let xsd = render_schema(&root);
 
         let schema = parse_schema(&xsd).expect("generated schema must parse");
         let tree = SchemaTree::compile(&schema).expect("generated schema must compile");
 
-        prop_assert_eq!(tree.element_count(), count(&root));
-        prop_assert_eq!(tree.max_depth(), depth(&root));
-        prop_assert_eq!(tree.root().label.as_str(), root.name.as_str());
-    }
-
-    #[test]
-    fn compiled_tree_preserves_child_order(root in gen_element(3)) {
-        let mut xsd = String::from(
-            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
+        assert_eq!(tree.element_count(), count(&root), "case {case}");
+        assert_eq!(tree.max_depth(), depth(&root), "case {case}");
+        assert_eq!(
+            tree.root().label.as_str(),
+            root.name.as_str(),
+            "case {case}"
         );
-        render(&root, &mut xsd, 1, 1);
-        xsd.push_str("</xs:schema>\n");
-        let tree = SchemaTree::compile(&parse_schema(&xsd).unwrap()).unwrap();
+    }
+}
+
+#[test]
+fn compiled_tree_preserves_child_order() {
+    let mut rng = SmallRng::seed_from_u64(0xC2);
+    for case in 0..CASES {
+        let root = gen_element(&mut rng, 3);
+        let tree = SchemaTree::compile(&parse_schema(&render_schema(&root)).unwrap()).unwrap();
 
         // The root's children appear in document order with 1-based `order`.
         let root_node = tree.root();
-        prop_assert_eq!(root_node.children.len(), root.children.len());
-        for (i, (&child_id, generated)) in
-            root_node.children.iter().zip(&root.children).enumerate()
+        assert_eq!(root_node.children.len(), root.children.len(), "case {case}");
+        for (i, (&child_id, generated)) in root_node.children.iter().zip(&root.children).enumerate()
         {
             let child = tree.node(child_id);
-            prop_assert_eq!(child.label.as_str(), generated.name.as_str());
-            prop_assert_eq!(child.properties.order, i as u32 + 1);
-            prop_assert_eq!(child.level, 1);
-            prop_assert_eq!(child.parent, Some(tree.root_id()));
+            assert_eq!(child.label.as_str(), generated.name.as_str(), "case {case}");
+            assert_eq!(child.properties.order, i as u32 + 1, "case {case}");
+            assert_eq!(child.level, 1, "case {case}");
+            assert_eq!(child.parent, Some(tree.root_id()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn writer_round_trips_generated_schemas(root in gen_element(4)) {
-        let mut xsd = String::from(
-            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
-        );
-        render(&root, &mut xsd, 1, 1);
-        xsd.push_str("</xs:schema>\n");
-        let original = parse_schema(&xsd).unwrap();
+#[test]
+fn writer_round_trips_generated_schemas() {
+    let mut rng = SmallRng::seed_from_u64(0xC3);
+    for case in 0..CASES {
+        let root = gen_element(&mut rng, 4);
+        let original = parse_schema(&render_schema(&root)).unwrap();
         let rendered = qmatch::xsd::write_schema(&original);
         let reparsed = parse_schema(&rendered).expect("rendered schema parses");
-        prop_assert_eq!(original, reparsed);
+        assert_eq!(original, reparsed, "case {case}");
     }
+}
 
-    #[test]
-    fn parse_never_panics_on_mutated_schema_text(
-        root in gen_element(3),
-        cut in any::<proptest::sample::Index>(),
-    ) {
-        let mut xsd = String::from(
-            "<?xml version=\"1.0\"?>\n<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n",
-        );
-        render(&root, &mut xsd, 1, 1);
-        xsd.push_str("</xs:schema>\n");
+#[test]
+fn parse_never_panics_on_mutated_schema_text() {
+    let mut rng = SmallRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let root = gen_element(&mut rng, 3);
+        let xsd = render_schema(&root);
         // Truncate at an arbitrary char boundary: must error, never panic.
-        let mut idx = cut.index(xsd.len());
+        let mut idx = rng.gen_range(0..=xsd.len());
         while !xsd.is_char_boundary(idx) {
             idx -= 1;
         }
-        let truncated = &xsd[..idx];
-        let _ = parse_schema(truncated);
+        let _ = parse_schema(&xsd[..idx]);
     }
 }
