@@ -3,6 +3,12 @@
 //! nodes (self-matches, bounded label vocabulary) and writes the results to
 //! `BENCH_treematch.json` so future changes can track the trajectory.
 //!
+//! Also splits the session API into its two phases — `prepare_ms` is the
+//! once-per-schema cost (interning, tokenization, wave construction) and
+//! `match_ms` is the warm-cache per-pair cost, i.e. what a corpus run pays
+//! for every pair after the first. `cache_hit_rate` is the session's
+//! label-cache hit fraction at the end of the timed matches.
+//!
 //! `cargo run --release -p qmatch-bench --bin bench_treematch [OUT.json]`
 //!
 //! The speedup column only exceeds 1.0 on multicore hardware; the `threads`
@@ -13,6 +19,7 @@ use qmatch_core::algorithms::{hybrid_match, hybrid_match_sequential};
 use qmatch_core::model::MatchConfig;
 use qmatch_core::par;
 use qmatch_core::report::Table;
+use qmatch_core::session::MatchSession;
 use std::time::{Duration, Instant};
 
 /// Median wall time of `runs` invocations.
@@ -38,7 +45,15 @@ fn main() {
 
     // (branch, depth) ladders spanning ~10² to ~10⁴ nodes.
     let shapes = [(4usize, 3usize), (3, 6), (3, 8)];
-    let mut table = Table::new(["nodes", "pairs n*m", "seq ms", "par ms", "speedup"]);
+    let mut table = Table::new([
+        "nodes",
+        "pairs n*m",
+        "seq ms",
+        "par ms",
+        "speedup",
+        "prep ms",
+        "match ms",
+    ]);
     let mut entries = Vec::new();
     for (branch, depth) in shapes {
         let tree = balanced_tree_with_vocab(branch, depth, SCHEMA_VOCAB);
@@ -53,8 +68,22 @@ fn main() {
             hybrid_match_sequential(&tree, &tree, &config).total_qom
         });
         let par = time_median(runs, || hybrid_match(&tree, &tree, &config).total_qom);
+
+        // Session split: prepare is the once-per-schema cost; match is the
+        // warm-cache per-pair cost (tokenization, waves, and label
+        // comparisons all amortized away).
+        let session = MatchSession::new(config);
+        std::hint::black_box(session.prepare(&tree).distinct_labels());
+        let prepare = time_median(runs, || session.prepare(&tree).distinct_labels() as f64);
+        let (sp, tp) = (session.prepare(&tree), session.prepare(&tree));
+        std::hint::black_box(session.hybrid(&sp, &tp).total_qom);
+        let matched = time_median(runs, || session.hybrid(&sp, &tp).total_qom);
+        let hit_rate = session.cache_stats().hit_rate();
+
         let seq_ms = seq.as_secs_f64() * 1e3;
         let par_ms = par.as_secs_f64() * 1e3;
+        let prepare_ms = prepare.as_secs_f64() * 1e3;
+        let match_ms = matched.as_secs_f64() * 1e3;
         let speedup = seq_ms / par_ms;
         table.row([
             n.to_string(),
@@ -62,10 +91,14 @@ fn main() {
             format!("{seq_ms:.2}"),
             format!("{par_ms:.2}"),
             format!("{speedup:.2}x"),
+            format!("{prepare_ms:.2}"),
+            format!("{match_ms:.2}"),
         ]);
         entries.push(format!(
             "    {{\"nodes\": {n}, \"pairs\": {}, \"seq_ms\": {seq_ms:.3}, \
-             \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}}}",
+             \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}, \
+             \"prepare_ms\": {prepare_ms:.3}, \"match_ms\": {match_ms:.3}, \
+             \"cache_hit_rate\": {hit_rate:.3}}}",
             n * n
         ));
     }

@@ -23,6 +23,7 @@ use qmatch_core::algorithms::{
 };
 use qmatch_core::eval::GoldStandard;
 use qmatch_core::model::MatchConfig;
+use qmatch_core::session::MatchSession;
 use qmatch_datasets::{corpus, figures, gold, synth};
 use qmatch_xsd::SchemaTree;
 
@@ -109,21 +110,24 @@ impl Algorithm {
     }
 }
 
-/// Batch-runs the hybrid matcher over a corpus of evaluated pairs via
-/// [`qmatch_core::algorithms::match_many`] — one shared thesaurus build,
-/// parallel over the pairs — and extracts each mapping at the hybrid
-/// acceptance threshold. Outcomes come back in corpus order and are
-/// identical to per-pair [`Algorithm::run_and_extract`] calls.
+/// Batch-runs the hybrid matcher over a corpus of evaluated pairs via a
+/// [`MatchSession`] — one shared thesaurus and label cache, each schema
+/// prepared once, parallel over the pairs — and extracts each mapping at
+/// the hybrid acceptance threshold. Outcomes come back in corpus order and
+/// are identical to per-pair [`Algorithm::run_and_extract`] calls.
 pub fn hybrid_batch(
     pairs: &[Pair],
     config: &MatchConfig,
 ) -> Vec<(MatchOutcome, qmatch_core::mapping::Mapping)> {
-    let trees: Vec<(SchemaTree, SchemaTree)> = pairs
+    let session = MatchSession::new(*config);
+    let prepared: Vec<_> = pairs
         .iter()
-        .map(|p| (p.source.clone(), p.target.clone()))
+        .map(|p| (session.prepare(&p.source), session.prepare(&p.target)))
         .collect();
+    let refs: Vec<_> = prepared.iter().map(|(s, t)| (s, t)).collect();
     let threshold = Algorithm::Hybrid.extraction_threshold(config);
-    qmatch_core::algorithms::match_many(&trees, config)
+    session
+        .match_corpus(&refs)
         .into_iter()
         .map(|outcome| {
             let mapping = qmatch_core::mapping::extract_mapping(&outcome.matrix, threshold);

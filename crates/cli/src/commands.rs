@@ -2,14 +2,13 @@
 
 use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
 use crate::gold_file;
-use qmatch_core::algorithms::{
-    hybrid_match, hybrid_match_with, linguistic_match, linguistic_match_with, match_many,
-    match_many_with, structural_match, tree_edit_match, MatchOutcome,
-};
+use qmatch_core::algorithms::{tree_edit_match, MatchOutcome};
 use qmatch_core::eval::evaluate;
 use qmatch_core::mapping::{extract_mapping, path_of};
 use qmatch_core::report::{f3, Table};
+use qmatch_core::session::{MatchSession, PreparedSchema};
 use qmatch_xsd::{parse_schema, NodeKind, SchemaTree};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A command failure with context (file, phase).
@@ -44,7 +43,11 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             options,
         } => {
             let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
-            let (outcome, threshold) = execute(&source_tree, &target_tree, &options)?;
+            let session = build_session(&options)?;
+            let (prepared_source, prepared_target) =
+                (session.prepare(&source_tree), session.prepare(&target_tree));
+            let (outcome, threshold) =
+                execute(&session, &prepared_source, &prepared_target, &options);
             if let Some(csv_path) = &options.matrix_csv {
                 let csv = outcome.matrix.to_csv(&source_tree, &target_tree);
                 std::fs::write(csv_path, csv)
@@ -58,7 +61,7 @@ pub fn run(command: Command) -> Result<(), CommandError> {
                 if options.algorithm != AlgorithmChoice::Hybrid {
                     return Err(fail("--explain requires the hybrid algorithm"));
                 }
-                return explain(&source_tree, &target_tree, &options, &outcome, path);
+                return explain(&session, &prepared_source, &prepared_target, &outcome, path);
             }
             if options.emit_gold {
                 let mapping = extract_mapping(&outcome.matrix, threshold);
@@ -97,7 +100,11 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             let gold_text = std::fs::read_to_string(&gold)
                 .map_err(|e| fail(format!("cannot read {gold}: {e}")))?;
             let gold_set = gold_file::parse_gold(&gold_text).map_err(|e| fail(e.to_string()))?;
-            let (outcome, threshold) = execute(&source_tree, &target_tree, &options)?;
+            let session = build_session(&options)?;
+            let (prepared_source, prepared_target) =
+                (session.prepare(&source_tree), session.prepare(&target_tree));
+            let (outcome, threshold) =
+                execute(&session, &prepared_source, &prepared_target, &options);
             let mapping = extract_mapping(&outcome.matrix, threshold);
             let quality = evaluate(&mapping, &source_tree, &target_tree, &gold_set);
 
@@ -150,68 +157,102 @@ pub fn run(command: Command) -> Result<(), CommandError> {
     }
 }
 
+/// Splits one pairs-file line into its fields: tab-separated when a tab is
+/// present, whitespace-separated otherwise.
+fn pairs_line_fields(line: &str) -> Vec<&str> {
+    if line.contains('\t') {
+        // Keep empty fields: `a<TAB>` must surface as an empty path error,
+        // not silently collapse to one field.
+        line.split('\t').map(str::trim).collect()
+    } else {
+        line.split_whitespace().collect()
+    }
+}
+
 /// `match-many`: batch-match a whole corpus of schema pairs with the hybrid
-/// algorithm — one shared thesaurus build, parallel over the pairs.
+/// algorithm — one session, so the thesaurus build, every schema's prepared
+/// artifacts, and the distinct-label-pair comparisons are all shared across
+/// the corpus; pairs run in parallel.
 fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), CommandError> {
     let text = std::fs::read_to_string(pairs_path)
         .map_err(|e| fail(format!("cannot read {pairs_path}: {e}")))?;
-    let mut names = Vec::new();
-    let mut pairs = Vec::new();
+    // Parse and validate every row before loading anything: a malformed
+    // corpus file should fail fast with the offending line number.
+    let mut rows: Vec<(String, String)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
+        // Trim spaces but keep boundary tabs: `SOURCE<TAB>` is a row with
+        // an empty target path, not a one-field row.
+        let line = raw.trim_matches(|c| c == ' ' || c == '\r');
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (source, target) = line
-            .split_once('\t')
-            .map(|(a, b)| (a.trim(), b.trim()))
-            .or_else(|| {
-                let mut fields = line.split_whitespace();
-                match (fields.next(), fields.next(), fields.next()) {
-                    (Some(a), Some(b), None) => Some((a, b)),
-                    _ => None,
-                }
-            })
-            .ok_or_else(|| {
-                fail(format!(
-                    "{pairs_path}:{}: expected `SOURCE.xsd TAB TARGET.xsd`, got {line:?}",
-                    lineno + 1
-                ))
-            })?;
-        pairs.push((load_tree(source, None)?, load_tree(target, None)?));
-        names.push((source.to_owned(), target.to_owned()));
+        let fields = pairs_line_fields(line);
+        if fields.len() != 2 {
+            return Err(fail(format!(
+                "{pairs_path}:{}: expected `SOURCE.xsd TAB TARGET.xsd` (2 fields), got {} in {line:?}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        if let Some(which) = fields.iter().position(|f| f.is_empty()) {
+            return Err(fail(format!(
+                "{pairs_path}:{}: empty {} schema path in {line:?}",
+                lineno + 1,
+                if which == 0 { "source" } else { "target" }
+            )));
+        }
+        rows.push((fields[0].to_owned(), fields[1].to_owned()));
     }
-    if pairs.is_empty() {
+    if rows.is_empty() {
         return Err(fail(format!("{pairs_path} lists no schema pairs")));
     }
-    let matcher = load_matcher(options)?;
-    let outcomes = match &matcher {
-        Some(m) => match_many_with(&pairs, &options.config, m),
-        None => match_many(&pairs, &options.config),
-    };
+    // Load and prepare each distinct schema file once, however many corpus
+    // rows reference it.
+    let mut index_of: HashMap<&str, usize> = HashMap::new();
+    let mut trees: Vec<SchemaTree> = Vec::new();
+    for (source, target) in &rows {
+        for path in [source.as_str(), target.as_str()] {
+            if !index_of.contains_key(path) {
+                index_of.insert(path, trees.len());
+                trees.push(load_tree(path, None)?);
+            }
+        }
+    }
+    let session = build_session(options)?;
+    let prepared: Vec<PreparedSchema> = trees.iter().map(|t| session.prepare(t)).collect();
+    let corpus: Vec<(&PreparedSchema, &PreparedSchema)> = rows
+        .iter()
+        .map(|(s, t)| {
+            (
+                &prepared[index_of[s.as_str()]],
+                &prepared[index_of[t.as_str()]],
+            )
+        })
+        .collect();
+    let outcomes = session.match_corpus(&corpus);
     let threshold = options
         .threshold
         .unwrap_or_else(|| options.config.weights.acceptance_threshold());
     if options.total_only {
-        for ((source, target), outcome) in names.iter().zip(&outcomes) {
+        for ((source, target), outcome) in rows.iter().zip(&outcomes) {
             println!("{source}\t{target}\t{}", f3(outcome.total_qom));
         }
         return Ok(());
     }
     let mut table = Table::new(["source", "target", "nodes", "total QoM", "matches"]);
-    for (((source, target), outcome), (s, t)) in names.iter().zip(&outcomes).zip(&pairs) {
+    for (((source, target), outcome), (sp, tp)) in rows.iter().zip(&outcomes).zip(&corpus) {
         let mapping = extract_mapping(&outcome.matrix, threshold);
         table.row([
             source.clone(),
             target.clone(),
-            format!("{}x{}", s.len(), t.len()),
+            format!("{}x{}", sp.tree().len(), tp.tree().len()),
             f3(outcome.total_qom),
             mapping.len().to_string(),
         ]);
     }
     println!(
         "{} pair(s), hybrid algorithm, acceptance threshold {}",
-        pairs.len(),
+        rows.len(),
         f3(threshold)
     );
     print!("{}", table.render());
@@ -220,35 +261,30 @@ fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), Co
 
 /// `match --explain`: show the QoM decomposition of the named source node
 /// against its best target candidates. Reuses the already-computed hybrid
-/// `outcome` instead of paying the match a second time.
+/// `outcome` and the session's cached label comparisons instead of paying
+/// the match a second time.
 fn explain(
-    source: &SchemaTree,
-    target: &SchemaTree,
-    options: &MatchOptions,
+    session: &MatchSession,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     outcome: &MatchOutcome,
     source_path: &str,
 ) -> Result<(), CommandError> {
-    let Some(sid) = source.find_by_path(source_path) else {
+    let Some(sid) = source.tree().find_by_path(source_path) else {
         return Err(fail(format!(
             "source node {source_path:?} not found (paths look like {:?})",
-            path_of(source, source.root_id())
+            path_of(source.tree(), source.tree().root_id())
         )));
     };
     let mut candidates: Vec<(qmatch_xsd::NodeId, f64)> = target
+        .tree()
         .iter()
         .map(|(tid, _)| (tid, outcome.matrix.get(sid, tid)))
         .collect();
     candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top candidates for {source_path}:\n");
     for (tid, _) in candidates.into_iter().take(3) {
-        let explanation = qmatch_core::explain::explain_with_matrix(
-            source,
-            target,
-            sid,
-            tid,
-            &options.config,
-            &outcome.matrix,
-        );
+        let explanation = session.explain(source, target, sid, tid, &outcome.matrix);
         println!("{explanation}");
     }
     Ok(())
@@ -332,34 +368,34 @@ fn load_matcher(
     Ok(Some(qmatch_lexicon::NameMatcher::new(thesaurus)))
 }
 
-/// Runs the selected algorithm and returns the outcome plus the effective
-/// acceptance threshold.
+/// Builds the match session for a command invocation: the configuration
+/// plus the (optionally extended) name matcher.
+fn build_session(options: &MatchOptions) -> Result<MatchSession, CommandError> {
+    Ok(match load_matcher(options)? {
+        Some(matcher) => MatchSession::with_matcher(options.config, matcher),
+        None => MatchSession::new(options.config),
+    })
+}
+
+/// Runs the selected algorithm over prepared schemas and returns the
+/// outcome plus the effective acceptance threshold.
 fn execute(
-    source: &SchemaTree,
-    target: &SchemaTree,
+    session: &MatchSession,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     options: &MatchOptions,
-) -> Result<(MatchOutcome, f64), CommandError> {
+) -> (MatchOutcome, f64) {
     let config = &options.config;
-    let matcher = load_matcher(options)?;
     let (outcome, default_threshold) = match options.algorithm {
-        AlgorithmChoice::Hybrid => {
-            let outcome = match &matcher {
-                Some(m) => hybrid_match_with(source, target, config, m),
-                None => hybrid_match(source, target, config),
-            };
-            (outcome, config.weights.acceptance_threshold())
-        }
-        AlgorithmChoice::Linguistic => {
-            let outcome = match &matcher {
-                Some(m) => linguistic_match_with(source, target, config, m),
-                None => linguistic_match(source, target, config),
-            };
-            (outcome, 0.5)
-        }
-        AlgorithmChoice::Structural => (structural_match(source, target, config), 0.95),
-        AlgorithmChoice::TreeEdit => (tree_edit_match(source, target, config), 0.5),
+        AlgorithmChoice::Hybrid => (
+            session.hybrid(source, target),
+            config.weights.acceptance_threshold(),
+        ),
+        AlgorithmChoice::Linguistic => (session.linguistic(source, target), 0.5),
+        AlgorithmChoice::Structural => (session.structural(source, target), 0.95),
+        AlgorithmChoice::TreeEdit => (tree_edit_match(source.tree(), target.tree(), config), 0.5),
     };
-    Ok((outcome, options.threshold.unwrap_or(default_threshold)))
+    (outcome, options.threshold.unwrap_or(default_threshold))
 }
 
 fn inspect(path: &str, root: Option<&str>) -> Result<(), CommandError> {

@@ -344,6 +344,54 @@ fn match_many_batches_a_corpus() {
 }
 
 #[test]
+fn match_many_rejects_wrong_column_count() {
+    let dir = setup();
+    let po1 = dir.join("po1.xsd");
+    let bad = dir.join("three-pairs.tsv");
+    // A valid first row must not mask the malformed second row.
+    std::fs::write(
+        &bad,
+        format!(
+            "{}\t{}\n{}\t{}\textra-field\n",
+            po1.display(),
+            po1.display(),
+            po1.display(),
+            po1.display()
+        ),
+    )
+    .unwrap();
+    let out = run(&["match-many", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("three-pairs.tsv:2"), "{err}");
+    assert!(err.contains("2 fields"), "{err}");
+    assert!(err.contains("got 3"), "{err}");
+}
+
+#[test]
+fn match_many_rejects_empty_path() {
+    let dir = setup();
+    let po1 = dir.join("po1.xsd");
+    // A trailing tab means the target path is empty.
+    let bad = dir.join("empty-pairs.tsv");
+    std::fs::write(&bad, format!("{}\t\n", po1.display())).unwrap();
+    let out = run(&["match-many", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("empty-pairs.tsv:1"), "{err}");
+    assert!(err.contains("empty target schema path"), "{err}");
+
+    // Leading tab: the source path is the empty one.
+    let bad2 = dir.join("empty-source-pairs.tsv");
+    std::fs::write(&bad2, format!("\t{}\n", po1.display())).unwrap();
+    let out = run(&["match-many", bad2.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("empty-source-pairs.tsv:1"), "{err}");
+    assert!(err.contains("empty source schema path"), "{err}");
+}
+
+#[test]
 fn thesaurus_extension_changes_the_match() {
     let dir = setup();
     // Two tiny schemas whose labels only relate through a custom synonym.

@@ -13,6 +13,7 @@
 use super::{hybrid_match, linguistic_match, structural_match, tree_edit_match, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
+use crate::session::{MatchSession, PreparedSchema};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// How component similarity matrices are aggregated per cell.
@@ -57,6 +58,24 @@ impl Component {
             Component::TreeEdit => tree_edit_match(source, target, config),
         }
     }
+
+    /// Runs the component inside a session, over prepared schemas (label
+    /// comparisons come from the session's cross-schema cache).
+    fn run_in(
+        self,
+        session: &MatchSession,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> MatchOutcome {
+        match self {
+            Component::Linguistic => session.linguistic(source, target),
+            Component::Structural => session.structural(source, target),
+            Component::Hybrid => session.hybrid(source, target),
+            // The edit-distance baseline has no per-schema artifacts to
+            // amortize; it runs straight off the trees.
+            Component::TreeEdit => tree_edit_match(source.tree(), target.tree(), session.config()),
+        }
+    }
 }
 
 /// Errors from composite construction.
@@ -94,6 +113,18 @@ pub fn composite_match(
     components: &[Component],
     aggregation: &Aggregation,
 ) -> Result<MatchOutcome, CompositeError> {
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    composite_match_impl(&session, &sp, &tp, components, aggregation)
+}
+
+pub(crate) fn composite_match_impl(
+    session: &MatchSession,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
+    components: &[Component],
+    aggregation: &Aggregation,
+) -> Result<MatchOutcome, CompositeError> {
     if components.is_empty() {
         return Err(CompositeError::NoComponents);
     }
@@ -114,10 +145,10 @@ pub fn composite_match(
     let outcomes: Vec<MatchOutcome> = crate::par::map_rows(
         components.len(),
         cfg!(feature = "parallel") && components.len() > 1,
-        |i| components[i].run(source, target, config),
+        |i| components[i].run_in(session, source, target),
     );
     let matrix = combine(outcomes.iter().map(|o| &o.matrix), aggregation);
-    let total_qom = matrix.get(source.root_id(), target.root_id());
+    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     Ok(MatchOutcome { matrix, total_qom })
 }
 

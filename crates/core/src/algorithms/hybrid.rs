@@ -24,11 +24,12 @@
 //!    default), matching §2.2's "the nesting level for a leaf element is
 //!    always set to 0".
 
-use super::{compare_single_labels, matcher_for_mode, waves_by_height, LabelMatrix, MatchOutcome};
+use super::{compare_single_labels, matcher_for_mode, LabelMatrix, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::{children_qom, MatchConfig};
 use crate::par;
 use crate::props::compare_properties;
+use crate::session::{MatchSession, PreparedSchema};
 use crate::taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
 use qmatch_lexicon::name_match::LabelGrade;
 use qmatch_xsd::{NodeId, SchemaTree};
@@ -45,14 +46,9 @@ pub fn hybrid_match(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::new(source, target, config.lexicon);
-    hybrid_match_impl(
-        source,
-        target,
-        config,
-        &labels,
-        use_parallel(source, target),
-    )
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.hybrid(&sp, &tp)
 }
 
 /// The always-sequential engine: same arithmetic, no threads. Kept compiled
@@ -62,8 +58,9 @@ pub fn hybrid_match_sequential(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::new(source, target, config.lexicon);
-    hybrid_match_impl(source, target, config, &labels, false)
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.hybrid_sequential(&sp, &tp)
 }
 
 /// Like [`hybrid_match`], but with a caller-supplied [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g.
@@ -74,14 +71,9 @@ pub fn hybrid_match_with(
     config: &MatchConfig,
     matcher: &qmatch_lexicon::NameMatcher,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::with_matcher(source, target, config.lexicon, matcher);
-    hybrid_match_impl(
-        source,
-        target,
-        config,
-        &labels,
-        use_parallel(source, target),
-    )
+    let session = MatchSession::with_matcher(*config, matcher.clone());
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.hybrid(&sp, &tp)
 }
 
 /// Whether a pair is large enough for the fork/join overhead to pay off.
@@ -89,15 +81,18 @@ pub(crate) fn use_parallel(source: &SchemaTree, target: &SchemaTree) -> bool {
     cfg!(feature = "parallel") && source.len() * target.len() >= par::PAR_CELL_THRESHOLD
 }
 
-fn hybrid_match_impl(
-    source: &SchemaTree,
-    target: &SchemaTree,
+/// The engine proper, over prepared artifacts: the wave schedule, leaf
+/// flags, levels, and property profiles all come from the
+/// [`PreparedSchema`]s; the label axis from the session-built `labels`.
+pub(crate) fn hybrid_match_impl(
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     config: &MatchConfig,
     labels: &LabelMatrix,
     parallel: bool,
 ) -> MatchOutcome {
-    let mut matrix = SimMatrix::zeros(source.len(), target.len());
-    for wave in waves_by_height(source) {
+    let mut matrix = SimMatrix::zeros(source.tree().len(), target.tree().len());
+    for wave in source.waves_by_height() {
         let rows = par::map_rows(wave.len(), parallel, |i| {
             hybrid_row(source, target, wave[i], config, labels, &matrix)
         });
@@ -105,7 +100,7 @@ fn hybrid_match_impl(
             matrix.set_row(s, row);
         }
     }
-    let total_qom = matrix.get(source.root_id(), target.root_id());
+    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     MatchOutcome { matrix, total_qom }
 }
 
@@ -113,34 +108,38 @@ fn hybrid_match_impl(
 /// Reads only rows of strictly smaller height, which previous waves have
 /// already finalized.
 fn hybrid_row(
-    source: &SchemaTree,
-    target: &SchemaTree,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     s: NodeId,
     config: &MatchConfig,
     labels: &LabelMatrix,
     matrix: &SimMatrix,
 ) -> Vec<f64> {
     let weights = config.weights;
-    let sn = source.node(s);
-    (0..target.len() as u32)
+    let sn = source.tree().node(s);
+    let s_leaf = source.is_leaf(s);
+    let s_level = source.level(s);
+    let s_props = source.props(s);
+    (0..target.tree().len() as u32)
         .map(|t| {
             let t = NodeId(t);
-            let tn = target.node(t);
             let label = labels.get(s, t).score;
-            let props = compare_properties(&sn.properties, &tn.properties).score;
-            if sn.is_leaf() && tn.is_leaf() {
+            let props = compare_properties(s_props, target.props(t)).score;
+            let t_leaf = target.is_leaf(t);
+            if s_leaf && t_leaf {
                 // Equation 2: leaves are exact by default on C and H.
                 weights.leaf_qom(label, props)
             } else {
+                let tn = target.tree().node(t);
                 let (qom_sum, matched) = best_child_matches(matrix, sn, tn, config);
-                let qomc = if sn.is_leaf() != tn.is_leaf() {
+                let qomc = if s_leaf != t_leaf {
                     // Leaf against subtree: no coverage (footnote 1 allows
                     // comparing them; the children axis simply contributes 0).
                     0.0
                 } else {
                     children_qom(qom_sum, matched, sn.children.len())
                 };
-                let qomh = if sn.level == tn.level { 1.0 } else { 0.0 };
+                let qomh = if s_level == target.level(t) { 1.0 } else { 0.0 };
                 weights.qom(label, props, qomh, qomc)
             }
         })
@@ -193,11 +192,26 @@ pub fn hybrid_root_category_from(
     config: &MatchConfig,
     outcome: &MatchOutcome,
 ) -> MatchCategory {
+    let (sn, tn) = (source.node(source.root_id()), target.node(target.root_id()));
+    let matcher = matcher_for_mode(config.lexicon);
+    let grade = compare_single_labels(&sn.label, &tn.label, config.lexicon, &matcher).grade;
+    root_category_with_label(source, target, config, outcome, grade)
+}
+
+/// The taxonomy classification with the root-label grade supplied by the
+/// caller — the session path serves it from its cross-schema cache instead
+/// of re-running the matcher.
+pub(crate) fn root_category_with_label(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    config: &MatchConfig,
+    outcome: &MatchOutcome,
+    root_label: LabelGrade,
+) -> MatchCategory {
     let (s, t) = (source.root_id(), target.root_id());
     let (sn, tn) = (source.node(s), target.node(t));
 
-    let matcher = matcher_for_mode(config.lexicon);
-    let label = match compare_single_labels(&sn.label, &tn.label, config.lexicon, &matcher).grade {
+    let label = match root_label {
         LabelGrade::Exact => AxisGrade::Exact,
         LabelGrade::Relaxed => AxisGrade::Relaxed,
         LabelGrade::None => AxisGrade::None,

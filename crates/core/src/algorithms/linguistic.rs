@@ -5,11 +5,11 @@
 //! This is one of the two baselines the paper compares QMatch against, and
 //! also the component QMatch uses internally for its label axis.
 
-use super::hybrid::use_parallel;
 use super::{LabelMatrix, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
 use crate::par;
+use crate::session::{MatchSession, PreparedSchema};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Runs the linguistic matcher. The outcome's `total_qom` is the mean best
@@ -20,8 +20,9 @@ pub fn linguistic_match(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::new(source, target, config.lexicon);
-    linguistic_match_impl(source, target, &labels, use_parallel(source, target))
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.linguistic(&sp, &tp)
 }
 
 /// The always-sequential engine: same arithmetic, no threads.
@@ -30,8 +31,9 @@ pub fn linguistic_match_sequential(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::new(source, target, config.lexicon);
-    linguistic_match_impl(source, target, &labels, false)
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.linguistic_sequential(&sp, &tp)
 }
 
 /// Like [`linguistic_match`], but with a caller-supplied
@@ -42,21 +44,23 @@ pub fn linguistic_match_with(
     config: &MatchConfig,
     matcher: &qmatch_lexicon::NameMatcher,
 ) -> MatchOutcome {
-    let labels = LabelMatrix::with_matcher(source, target, config.lexicon, matcher);
-    linguistic_match_impl(source, target, &labels, use_parallel(source, target))
+    let session = MatchSession::with_matcher(*config, matcher.clone());
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.linguistic(&sp, &tp)
 }
 
-fn linguistic_match_impl(
-    source: &SchemaTree,
-    target: &SchemaTree,
+pub(crate) fn linguistic_match_impl(
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     labels: &LabelMatrix,
     parallel: bool,
 ) -> MatchOutcome {
     // A flat matcher: every row is independent, so this is one wave.
-    let mut matrix = SimMatrix::zeros(source.len(), target.len());
-    let rows = par::map_rows(source.len(), parallel, |s| {
+    let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
+    let mut matrix = SimMatrix::zeros(rows_n, cols_n);
+    let rows = par::map_rows(rows_n, parallel, |s| {
         let s = NodeId(s as u32);
-        (0..target.len() as u32)
+        (0..cols_n as u32)
             .map(|t| labels.get(s, NodeId(t)).score)
             .collect::<Vec<f64>>()
     });

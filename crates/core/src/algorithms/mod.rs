@@ -27,14 +27,18 @@ pub use linguistic::{linguistic_match, linguistic_match_sequential, linguistic_m
 pub use structural::{structural_match, structural_match_sequential};
 pub use tree_edit::tree_edit_match;
 
+pub(crate) use composite::composite_match_impl;
+pub(crate) use hybrid::{hybrid_match_impl, root_category_with_label, use_parallel};
+pub(crate) use linguistic::linguistic_match_impl;
+pub(crate) use structural::structural_match_impl;
+
 use crate::matrix::SimMatrix;
 use crate::model::{LexiconMode, MatchConfig};
-use crate::par;
+use crate::session::{MatchSession, PreparedSchema};
 use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
 use qmatch_lexicon::thesaurus::Thesaurus;
-use qmatch_lexicon::tokenize::{tokenize, Token};
+use qmatch_lexicon::tokenize::tokenize;
 use qmatch_xsd::{NodeId, SchemaTree};
-use std::collections::HashMap;
 
 /// The result of running a match algorithm.
 #[derive(Debug, Clone)]
@@ -85,45 +89,15 @@ pub(crate) fn compare_single_labels(
     }
 }
 
-/// One tree's side of the label interning: per-node distinct-label ids plus
-/// the tokenized and lowercased form of each distinct label.
-struct InternedLabels {
-    ids: Vec<u32>,
-    tokens: Vec<Vec<Token>>,
-    labels: Vec<String>,
-}
-
-fn intern_labels(tree: &SchemaTree) -> InternedLabels {
-    let mut table: HashMap<String, u32> = HashMap::new();
-    let mut ids = Vec::with_capacity(tree.len());
-    let mut tokens: Vec<Vec<Token>> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
-    for (_, node) in tree.iter() {
-        let next = table.len() as u32;
-        let id = *table.entry(node.label.clone()).or_insert(next);
-        if id == next {
-            tokens.push(tokenize(&node.label));
-            labels.push(node.label.to_lowercase());
-        }
-        ids.push(id);
-    }
-    InternedLabels {
-        ids,
-        tokens,
-        labels,
-    }
-}
-
 /// Precomputed label-similarity matrix shared by the engines.
 ///
-/// Each distinct source/target label pair is compared exactly once, up
-/// front (in parallel with the `parallel` feature), into a dense
-/// `distinct_src × distinct_tgt` table of [`NameMatch`]es; lookups are then
-/// two array reads and a multiply — no hashing, no mutation, no locks. This
-/// replaces the former mutable per-pair cache, whose `&mut self` lookups
-/// serialized the whole DP. On the corpora the number of distinct label
-/// pairs is far below the `n·m` node-pair count, so the precomputation is
-/// also strictly less label work than the uncached algorithm.
+/// Each distinct source/target label pair is compared exactly once into a
+/// dense `distinct_src × distinct_tgt` table of [`NameMatch`]es; lookups are
+/// then two array reads and a multiply — no hashing, no mutation, no locks.
+/// The table is built by [`crate::session::MatchSession`], whose
+/// cross-schema `(Symbol, Symbol)` cache means a distinct pair already seen
+/// in an earlier match of the same session is not even re-compared; these
+/// constructors spin up an ephemeral session for the one-shot case.
 pub struct LabelMatrix {
     source_ids: Vec<u32>,
     target_ids: Vec<u32>,
@@ -144,39 +118,27 @@ impl LabelMatrix {
         mode: LexiconMode,
         matcher: &NameMatcher,
     ) -> LabelMatrix {
-        let src = intern_labels(source);
-        let tgt = intern_labels(target);
-        let (rows, cols) = (src.tokens.len(), tgt.tokens.len());
-        let parallel = cfg!(feature = "parallel") && rows * cols >= par::PAR_CELL_THRESHOLD;
-        let table: Vec<NameMatch> = par::map_rows(rows, parallel, |i| {
-            (0..cols)
-                .map(|j| match mode {
-                    LexiconMode::ExactOnly => {
-                        if src.labels[i] == tgt.labels[j] {
-                            NameMatch {
-                                grade: LabelGrade::Exact,
-                                score: 1.0,
-                            }
-                        } else {
-                            NameMatch {
-                                grade: LabelGrade::None,
-                                score: 0.0,
-                            }
-                        }
-                    }
-                    LexiconMode::Full | LexiconMode::FuzzyOnly => {
-                        matcher.compare_tokens(&src.tokens[i], &tgt.tokens[j])
-                    }
-                })
-                .collect::<Vec<NameMatch>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let config = MatchConfig {
+            lexicon: mode,
+            ..MatchConfig::default()
+        };
+        let session = MatchSession::with_matcher(config, matcher.clone());
+        let (sp, tp) = (session.prepare(source), session.prepare(target));
+        session.pair_labels(&sp, &tp)
+    }
+
+    /// Assembles a matrix from session-computed parts: per-node distinct
+    /// ids for both trees and the dense distinct-pair table.
+    pub(crate) fn from_parts(
+        source_ids: Vec<u32>,
+        target_ids: Vec<u32>,
+        distinct_cols: usize,
+        table: Vec<NameMatch>,
+    ) -> LabelMatrix {
         LabelMatrix {
-            source_ids: src.ids,
-            target_ids: tgt.ids,
-            distinct_cols: cols,
+            source_ids,
+            target_ids,
+            distinct_cols,
             table,
         }
     }
@@ -196,8 +158,9 @@ impl LabelMatrix {
 }
 
 /// Batch matching: runs the hybrid matcher over every pair, sharing one
-/// matcher/thesaurus build, in parallel over the pairs with the `parallel`
-/// feature. Outcomes come back in input order.
+/// matcher/thesaurus build and one session-wide label cache, in parallel
+/// over the pairs with the `parallel` feature. Outcomes come back in input
+/// order.
 pub fn match_many(pairs: &[(SchemaTree, SchemaTree)], config: &MatchConfig) -> Vec<MatchOutcome> {
     match_many_with(pairs, config, &matcher_for_mode(config.lexicon))
 }
@@ -208,10 +171,14 @@ pub fn match_many_with(
     config: &MatchConfig,
     matcher: &NameMatcher,
 ) -> Vec<MatchOutcome> {
-    par::map_rows(pairs.len(), cfg!(feature = "parallel"), |i| {
-        let (source, target) = &pairs[i];
-        hybrid_match_with(source, target, config, matcher)
-    })
+    let session = MatchSession::with_matcher(*config, matcher.clone());
+    let prepared: Vec<(PreparedSchema, PreparedSchema)> = pairs
+        .iter()
+        .map(|(source, target)| (session.prepare(source), session.prepare(target)))
+        .collect();
+    let refs: Vec<(&PreparedSchema, &PreparedSchema)> =
+        prepared.iter().map(|(s, t)| (s, t)).collect();
+    session.match_corpus(&refs)
 }
 
 /// Post-order traversal of a tree's node ids (children before parents).

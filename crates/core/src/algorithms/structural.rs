@@ -11,12 +11,12 @@
 //! bottom-up over all node pairs (the same memoized O(n·m) discipline as the
 //! hybrid).
 
-use super::hybrid::use_parallel;
-use super::{greedy_assignment, waves_by_depth, waves_by_height, MatchOutcome};
+use super::{greedy_assignment, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
 use crate::par;
 use crate::props::compare_properties;
+use crate::session::{MatchSession, PreparedSchema};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Component weights of the structural similarity. Children dominate, as in
@@ -37,7 +37,9 @@ pub fn structural_match(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    structural_match_impl(source, target, config, use_parallel(source, target))
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.structural(&sp, &tp)
 }
 
 /// The always-sequential engine: same arithmetic, no threads.
@@ -46,17 +48,20 @@ pub fn structural_match_sequential(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchOutcome {
-    structural_match_impl(source, target, config, false)
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    session.structural_sequential(&sp, &tp)
 }
 
-fn structural_match_impl(
-    source: &SchemaTree,
-    target: &SchemaTree,
+pub(crate) fn structural_match_impl(
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     config: &MatchConfig,
     parallel: bool,
 ) -> MatchOutcome {
-    let mut matrix = SimMatrix::zeros(source.len(), target.len());
-    for wave in waves_by_height(source) {
+    let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
+    let mut matrix = SimMatrix::zeros(rows_n, cols_n);
+    for wave in source.waves_by_height() {
         let rows = par::map_rows(wave.len(), parallel, |i| {
             structural_row(source, target, wave[i], config, &matrix)
         });
@@ -70,8 +75,8 @@ fn structural_match_impl(
     // pair's similarity disambiguates them the way CUPID's structural phase
     // propagates context. A row depends only on the parent's row, one depth
     // wave earlier.
-    let mut contextual = SimMatrix::zeros(source.len(), target.len());
-    for wave in waves_by_depth(source) {
+    let mut contextual = SimMatrix::zeros(rows_n, cols_n);
+    for wave in source.waves_by_depth() {
         let rows = par::map_rows(wave.len(), parallel, |i| {
             context_row(source, target, wave[i], &matrix, &contextual)
         });
@@ -80,39 +85,42 @@ fn structural_match_impl(
         }
     }
     let matrix = contextual;
-    let total_qom = matrix.get(source.root_id(), target.root_id());
+    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     MatchOutcome { matrix, total_qom }
 }
 
 /// One source node's row of the bottom-up shape DP.
 fn structural_row(
-    source: &SchemaTree,
-    target: &SchemaTree,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     s: NodeId,
     config: &MatchConfig,
     matrix: &SimMatrix,
 ) -> Vec<f64> {
-    let sn = source.node(s);
-    (0..target.len() as u32)
+    let sn = source.tree().node(s);
+    let s_leaf = source.is_leaf(s);
+    let s_level = source.level(s);
+    let s_props = source.props(s);
+    (0..target.tree().len() as u32)
         .map(|t| {
-            let tn = target.node(NodeId(t));
-            match (sn.is_leaf(), tn.is_leaf()) {
+            let t = NodeId(t);
+            let t_props = target.props(t);
+            match (s_leaf, target.is_leaf(t)) {
                 // CUPID-style leaf similarity: the data type dominates (it
                 // is the only structural evidence a leaf carries), with the
                 // remaining properties and the nesting level refining it.
                 (true, true) => {
-                    let type_score = crate::props::type_similarity(
-                        &sn.properties.data_type,
-                        &tn.properties.data_type,
-                    );
-                    let props_score = compare_properties(&sn.properties, &tn.properties).score;
-                    let level_score = if sn.level == tn.level { 1.0 } else { 0.0 };
+                    let type_score =
+                        crate::props::type_similarity(&s_props.data_type, &t_props.data_type);
+                    let props_score = compare_properties(s_props, t_props).score;
+                    let level_score = if s_level == target.level(t) { 1.0 } else { 0.0 };
                     0.6 * type_score + 0.2 * props_score + 0.2 * level_score
                 }
                 // A leaf carries no internal structure to align with a
                 // subtree.
                 (true, false) | (false, true) => 0.0,
                 (false, false) => {
+                    let tn = target.tree().node(t);
                     let scores: Vec<Vec<f64>> = sn
                         .children
                         .iter()
@@ -129,8 +137,8 @@ fn structural_row(
                     // not a penalty (the target schema may simply be richer).
                     let children_score = kept / sn.children.len() as f64;
                     let arity_score = arity_similarity(sn.children.len(), tn.children.len());
-                    let props_score = compare_properties(&sn.properties, &tn.properties).score;
-                    let level_score = if sn.level == tn.level { 1.0 } else { 0.0 };
+                    let props_score = compare_properties(s_props, t_props).score;
+                    let level_score = if s_level == target.level(t) { 1.0 } else { 0.0 };
                     W_CHILDREN * children_score
                         + W_ARITY * arity_score
                         + W_PROPS * props_score
@@ -143,17 +151,17 @@ fn structural_row(
 
 /// One source node's row of the top-down context blend.
 fn context_row(
-    source: &SchemaTree,
-    target: &SchemaTree,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
     s: NodeId,
     matrix: &SimMatrix,
     contextual: &SimMatrix,
 ) -> Vec<f64> {
-    let sn = source.node(s);
-    (0..target.len() as u32)
+    let sn = source.tree().node(s);
+    (0..target.tree().len() as u32)
         .map(|t| {
             let t = NodeId(t);
-            let tn = target.node(t);
+            let tn = target.tree().node(t);
             let raw = matrix.get(s, t);
             match (sn.parent, tn.parent) {
                 (None, None) => raw,

@@ -106,14 +106,29 @@ pub fn explain_with_matrix(
     config: &MatchConfig,
     matrix: &SimMatrix,
 ) -> Explanation {
-    let weights = config.weights;
-    let (sn, tn) = (source.node(s), target.node(t));
-
     // One pair is explained at a time, so compare the two labels directly
     // rather than precomputing the full label matrix.
+    let (sn, tn) = (source.node(s), target.node(t));
     let matcher = crate::algorithms::matcher_for_mode(config.lexicon);
     let name =
         crate::algorithms::compare_single_labels(&sn.label, &tn.label, config.lexicon, &matcher);
+    explain_with_label(source, target, s, t, config, matrix, name)
+}
+
+/// The explanation with the label comparison supplied by the caller — the
+/// session path serves it from its cross-schema cache.
+pub(crate) fn explain_with_label(
+    source: &SchemaTree,
+    target: &SchemaTree,
+    s: NodeId,
+    t: NodeId,
+    config: &MatchConfig,
+    matrix: &SimMatrix,
+    name: qmatch_lexicon::name_match::NameMatch,
+) -> Explanation {
+    let weights = config.weights;
+    let (sn, tn) = (source.node(s), target.node(t));
+
     let label = AxisExplanation {
         score: name.score,
         grade: match name.grade {

@@ -20,6 +20,12 @@
 //! - [`par`] — scoped-thread wave execution behind the `parallel` feature
 //!   (on by default; `--no-default-features` builds run sequentially and
 //!   produce bit-identical matrices).
+//! - [`intern`] — the label interner ([`intern::Symbol`]): case-folding and
+//!   tokenization happen once per distinct label.
+//! - [`session`] — the prepare-once/match-many API
+//!   ([`session::MatchSession`], [`session::PreparedSchema`]) with the
+//!   cross-schema label cache; the one-shot functions above are thin
+//!   wrappers over an ephemeral session.
 //! - [`mapping`] — extraction of 1:1 correspondences from a matrix.
 //! - [`eval`] — Precision / Recall / Overall (§5).
 //! - [`tuning`] — the weight-determination sweep behind Table 2.
@@ -43,12 +49,14 @@
 pub mod algorithms;
 pub mod eval;
 pub mod explain;
+pub mod intern;
 pub mod mapping;
 pub mod matrix;
 pub mod model;
 pub mod par;
 pub mod props;
 pub mod report;
+pub mod session;
 pub mod taxonomy;
 pub mod tuning;
 
@@ -59,7 +67,9 @@ pub use algorithms::{
 };
 pub use eval::{evaluate, GoldStandard, MatchQuality};
 pub use explain::{explain_pair, Explanation};
+pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
 pub use matrix::SimMatrix;
 pub use model::{LexiconMode, MatchConfig, Weights};
+pub use session::{CacheStats, MatchSession, PreparedSchema};
 pub use taxonomy::{AxisGrade, CoverageGrade, MatchCategory};

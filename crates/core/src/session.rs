@@ -1,0 +1,660 @@
+//! The prepare-once/match-many session architecture.
+//!
+//! The matching engines consume per-schema facts — labels, tokens, wave
+//! schedules, leaf partitions, property profiles — that are pure functions
+//! of the [`SchemaTree`]. Recomputing them on every `match` call is wasted
+//! work in exactly the workload the ROADMAP targets: one schema matched
+//! against a whole corpus, repeatedly. This module splits that work at a
+//! hard boundary:
+//!
+//! - [`MatchSession::prepare`] builds a [`PreparedSchema`] once per tree:
+//!   interned [`Symbol`]s and case-folded labels, [`tokenize`] output per
+//!   distinct label, the bottom-up and top-down wave schedules, the
+//!   leaf/internal partition, and the per-node property profile.
+//! - [`MatchSession::match_pair`] (and the per-algorithm variants) run the
+//!   engines over two prepared schemas, touching only integer indices and
+//!   precomputed tables.
+//!
+//! The session also owns the cross-schema label cache: every distinct
+//! `(Symbol, Symbol)` pair is compared at most once per session, so the
+//! cache survives across pairs of a corpus — generalizing the per-pair
+//! [`LabelMatrix`] precomputation. Cached entries are pure functions of the
+//! two labels and the matcher, so cached and freshly computed runs are
+//! bit-identical (property-tested in `tests/session_equivalence.rs`).
+//!
+//! [`tokenize`]: qmatch_lexicon::tokenize
+
+use crate::algorithms::{
+    composite_match_impl, hybrid_match_impl, linguistic_match_impl, matcher_for_mode,
+    root_category_with_label, structural_match_impl, use_parallel, Aggregation, Component,
+    CompositeError, LabelMatrix, MatchOutcome,
+};
+use crate::explain::{explain_with_label, Explanation};
+use crate::intern::{Interner, Symbol};
+use crate::matrix::SimMatrix;
+use crate::model::{LexiconMode, MatchConfig};
+use crate::par;
+use crate::taxonomy::MatchCategory;
+use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
+use qmatch_lexicon::tokenize::Token;
+use qmatch_xsd::{NodeId, Properties, SchemaTree};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Everything the engines need from one schema, derived once.
+///
+/// Borrowing the tree keeps preparation allocation-light; the artifacts are
+/// dense tables indexed by [`NodeId::index`], so the match hot path does no
+/// hashing and no string work.
+pub struct PreparedSchema<'t> {
+    tree: &'t SchemaTree,
+    /// Per-node interned label (session-global symbol).
+    symbols: Vec<Symbol>,
+    /// Distinct symbols of this tree in first-seen (pre-order) order.
+    distinct: Vec<Symbol>,
+    /// Per-node index into `distinct` (the tree-local dense label id).
+    node_distinct: Vec<u32>,
+    /// Case-folded form per distinct label (owned copy from the interner).
+    distinct_folded: Vec<String>,
+    /// Token sequence per distinct label (owned copy from the interner).
+    distinct_tokens: Vec<Vec<Token>>,
+    /// Bottom-up wave schedule: wave `k` holds the nodes of height `k`.
+    waves_height: Vec<Vec<NodeId>>,
+    /// Top-down wave schedule: wave `k` holds the nodes at level `k`.
+    waves_depth: Vec<Vec<NodeId>>,
+    /// Dense per-node nesting levels.
+    levels: Vec<u32>,
+    /// Dense per-node leaf flags.
+    leaf_flags: Vec<bool>,
+    /// The leaf partition (pre-order).
+    leaves: Vec<NodeId>,
+    /// The internal-node partition (pre-order).
+    internals: Vec<NodeId>,
+    /// Per-node property profile (dense pointer table into the tree).
+    props: Vec<&'t Properties>,
+}
+
+impl<'t> PreparedSchema<'t> {
+    /// The underlying tree.
+    pub fn tree(&self) -> &'t SchemaTree {
+        self.tree
+    }
+
+    /// The interned symbol of a node's label.
+    pub fn symbol(&self, id: NodeId) -> Symbol {
+        self.symbols[id.index()]
+    }
+
+    /// Number of distinct labels in this tree.
+    pub fn distinct_labels(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// The leaf nodes, in pre-order.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// The internal (non-leaf) nodes, in pre-order.
+    pub fn internals(&self) -> &[NodeId] {
+        &self.internals
+    }
+
+    /// Whether a node is a leaf (dense lookup).
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.leaf_flags[id.index()]
+    }
+
+    /// A node's nesting level (dense lookup).
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// A node's property profile (dense lookup).
+    #[inline]
+    pub fn props(&self, id: NodeId) -> &'t Properties {
+        self.props[id.index()]
+    }
+
+    pub(crate) fn waves_by_height(&self) -> &[Vec<NodeId>] {
+        &self.waves_height
+    }
+
+    pub(crate) fn waves_by_depth(&self) -> &[Vec<NodeId>] {
+        &self.waves_depth
+    }
+}
+
+/// Hit/miss counters of the session's cross-schema label cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct-label-pair lookups answered from the cache.
+    pub hits: u64,
+    /// Distinct-label-pair lookups that had to run the linguistic matcher.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A long-lived matching context: configuration, the name matcher (with its
+/// thesaurus), the label interner, and the cross-schema label cache.
+///
+/// ```
+/// use qmatch_core::session::MatchSession;
+/// use qmatch_core::model::MatchConfig;
+/// use qmatch_xsd::SchemaTree;
+///
+/// let session = MatchSession::new(MatchConfig::default());
+/// let a = SchemaTree::from_labels("a", &[("a", None), ("OrderNo", Some(0))]);
+/// let b = SchemaTree::from_labels("b", &[("b", None), ("OrderNo", Some(0))]);
+/// let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+/// let outcome = session.match_pair(&pa, &pb);
+/// assert!(outcome.total_qom > 0.0);
+/// // Prepared schemas are reusable: match again, labels come from cache.
+/// let again = session.match_pair(&pa, &pb);
+/// assert_eq!(outcome.matrix, again.matrix);
+/// ```
+pub struct MatchSession {
+    config: MatchConfig,
+    matcher: NameMatcher,
+    interner: Mutex<Interner>,
+    /// `(Symbol, Symbol) -> NameMatch`, shared across every pair matched in
+    /// this session.
+    labels: Mutex<HashMap<(u32, u32), NameMatch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MatchSession {
+    /// A session with the standard matcher for the config's lexicon mode
+    /// (the built-in thesaurus under [`LexiconMode::Full`], an empty one
+    /// otherwise).
+    pub fn new(config: MatchConfig) -> MatchSession {
+        MatchSession::with_matcher(config, matcher_for_mode(config.lexicon))
+    }
+
+    /// A session over a caller-supplied matcher (custom thesaurus).
+    pub fn with_matcher(config: MatchConfig, matcher: NameMatcher) -> MatchSession {
+        MatchSession {
+            config,
+            matcher,
+            interner: Mutex::new(Interner::new()),
+            labels: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The session's name matcher.
+    pub fn matcher(&self) -> &NameMatcher {
+        &self.matcher
+    }
+
+    /// Cross-schema label-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Derives every per-schema artifact the engines consume. Labels seen in
+    /// earlier `prepare` calls reuse their interned fold/tokenize work.
+    pub fn prepare<'t>(&self, tree: &'t SchemaTree) -> PreparedSchema<'t> {
+        let mut symbols = Vec::with_capacity(tree.len());
+        let mut distinct: Vec<Symbol> = Vec::new();
+        let mut node_distinct = Vec::with_capacity(tree.len());
+        let mut distinct_folded: Vec<String> = Vec::new();
+        let mut distinct_tokens: Vec<Vec<Token>> = Vec::new();
+        {
+            let mut interner = self.interner.lock().expect("interner lock");
+            // Tree-local dense ids in first-seen order, exactly as the
+            // per-pair interning did, so the label table layout (and thus
+            // every downstream float) is unchanged.
+            let mut local: HashMap<Symbol, u32> = HashMap::new();
+            for (_, node) in tree.iter() {
+                let symbol = interner.intern(&node.label);
+                symbols.push(symbol);
+                let next = local.len() as u32;
+                let id = *local.entry(symbol).or_insert(next);
+                if id == next {
+                    distinct.push(symbol);
+                    distinct_folded.push(interner.folded(symbol).to_owned());
+                    distinct_tokens.push(interner.tokens(symbol).to_vec());
+                }
+                node_distinct.push(id);
+            }
+        }
+        let levels = tree.levels();
+        let leaf_flags = tree.leaf_flags();
+        let mut leaves = Vec::new();
+        let mut internals = Vec::new();
+        for (id, _) in tree.iter() {
+            if leaf_flags[id.index()] {
+                leaves.push(id);
+            } else {
+                internals.push(id);
+            }
+        }
+        PreparedSchema {
+            tree,
+            symbols,
+            distinct,
+            node_distinct,
+            distinct_folded,
+            distinct_tokens,
+            waves_height: crate::algorithms::waves_by_height(tree),
+            waves_depth: crate::algorithms::waves_by_depth(tree),
+            levels,
+            leaf_flags,
+            leaves,
+            internals,
+            props: tree.iter().map(|(_, n)| &n.properties).collect(),
+        }
+    }
+
+    /// Runs the QMatch hybrid algorithm over two prepared schemas — the
+    /// session's default match operation.
+    pub fn match_pair(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
+        self.hybrid(source, target)
+    }
+
+    /// The hybrid (QMatch) engine; parallel wavefront when worthwhile.
+    pub fn hybrid(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
+        let labels = self.pair_labels(source, target);
+        hybrid_match_impl(
+            source,
+            target,
+            &self.config,
+            &labels,
+            use_parallel(source.tree(), target.tree()),
+        )
+    }
+
+    /// The hybrid engine, always sequential (bit-identical to
+    /// [`MatchSession::hybrid`]).
+    pub fn hybrid_sequential(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> MatchOutcome {
+        let labels = self.pair_labels(source, target);
+        hybrid_match_impl(source, target, &self.config, &labels, false)
+    }
+
+    /// The flat linguistic matcher over prepared schemas.
+    pub fn linguistic(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
+        let labels = self.pair_labels(source, target);
+        linguistic_match_impl(
+            source,
+            target,
+            &labels,
+            use_parallel(source.tree(), target.tree()),
+        )
+    }
+
+    /// The linguistic matcher, always sequential.
+    pub fn linguistic_sequential(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> MatchOutcome {
+        let labels = self.pair_labels(source, target);
+        linguistic_match_impl(source, target, &labels, false)
+    }
+
+    /// The structural matcher over prepared schemas (labels unused — no
+    /// cache traffic).
+    pub fn structural(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
+        structural_match_impl(
+            source,
+            target,
+            &self.config,
+            use_parallel(source.tree(), target.tree()),
+        )
+    }
+
+    /// The structural matcher, always sequential.
+    pub fn structural_sequential(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> MatchOutcome {
+        structural_match_impl(source, target, &self.config, false)
+    }
+
+    /// COMA-style composite matching over prepared schemas; component
+    /// matchers share this session's label cache.
+    pub fn composite(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        components: &[Component],
+        aggregation: &Aggregation,
+    ) -> Result<MatchOutcome, CompositeError> {
+        composite_match_impl(self, source, target, components, aggregation)
+    }
+
+    /// Batch matching: the hybrid engine over every pair, parallel over the
+    /// pairs with the `parallel` feature, outcomes in input order. Prepared
+    /// schemas may repeat across pairs — that is the point.
+    pub fn match_corpus(&self, pairs: &[(&PreparedSchema, &PreparedSchema)]) -> Vec<MatchOutcome> {
+        par::map_rows(pairs.len(), cfg!(feature = "parallel"), |i| {
+            let (source, target) = pairs[i];
+            self.hybrid(source, target)
+        })
+    }
+
+    /// Classifies the root pair on the paper's qualitative taxonomy (§2.2)
+    /// from an existing hybrid outcome; the root-label comparison comes from
+    /// the session cache.
+    pub fn category(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        outcome: &MatchOutcome,
+    ) -> MatchCategory {
+        let name = self.label_match(
+            source,
+            source.tree().root_id(),
+            target,
+            target.tree().root_id(),
+        );
+        root_category_with_label(
+            source.tree(),
+            target.tree(),
+            &self.config,
+            outcome,
+            name.grade,
+        )
+    }
+
+    /// Explains one node pair against an already-computed hybrid matrix,
+    /// with the label axis served from the session cache.
+    pub fn explain(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        s: NodeId,
+        t: NodeId,
+        matrix: &SimMatrix,
+    ) -> Explanation {
+        let name = self.label_match(source, s, target, t);
+        explain_with_label(
+            source.tree(),
+            target.tree(),
+            s,
+            t,
+            &self.config,
+            matrix,
+            name,
+        )
+    }
+
+    /// The label comparison for one node pair, through the session cache.
+    pub fn label_match(
+        &self,
+        source: &PreparedSchema,
+        s: NodeId,
+        target: &PreparedSchema,
+        t: NodeId,
+    ) -> NameMatch {
+        let i = source.node_distinct[s.index()] as usize;
+        let j = target.node_distinct[t.index()] as usize;
+        let key = (source.distinct[i].0, target.distinct[j].0);
+        if let Some(&hit) = self.labels.lock().expect("label cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = self.compare_distinct(source, i, target, j);
+        self.labels
+            .lock()
+            .expect("label cache lock")
+            .insert(key, computed);
+        computed
+    }
+
+    /// Builds the dense per-pair label table from the session cache,
+    /// computing (and caching) only the distinct pairs not seen before.
+    pub(crate) fn pair_labels(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> LabelMatrix {
+        let rows = source.distinct.len();
+        let cols = target.distinct.len();
+        let mut table: Vec<Option<NameMatch>> = Vec::with_capacity(rows * cols);
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.labels.lock().expect("label cache lock");
+            for i in 0..rows {
+                for j in 0..cols {
+                    let key = (source.distinct[i].0, target.distinct[j].0);
+                    match cache.get(&key) {
+                        Some(&hit) => table.push(Some(hit)),
+                        None => {
+                            missing.push(i * cols + j);
+                            table.push(None);
+                        }
+                    }
+                }
+            }
+        }
+        self.hits
+            .fetch_add((rows * cols - missing.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            // Misses are pure label comparisons — safe to fan out; the
+            // values are identical however they are scheduled.
+            let parallel = cfg!(feature = "parallel") && missing.len() >= par::PAR_CELL_THRESHOLD;
+            let computed: Vec<NameMatch> = par::map_rows(missing.len(), parallel, |k| {
+                let idx = missing[k];
+                self.compare_distinct(source, idx / cols, target, idx % cols)
+            });
+            let mut cache = self.labels.lock().expect("label cache lock");
+            for (k, &idx) in missing.iter().enumerate() {
+                let (i, j) = (idx / cols, idx % cols);
+                cache.insert((source.distinct[i].0, target.distinct[j].0), computed[k]);
+                table[idx] = Some(computed[k]);
+            }
+        }
+        LabelMatrix::from_parts(
+            source.node_distinct.clone(),
+            target.node_distinct.clone(),
+            cols,
+            table
+                .into_iter()
+                .map(|m| m.expect("table filled"))
+                .collect(),
+        )
+    }
+
+    /// One distinct-label-pair comparison, off the prepared (pre-folded,
+    /// pre-tokenized) forms — no per-call `to_lowercase`, no re-tokenizing.
+    fn compare_distinct(
+        &self,
+        source: &PreparedSchema,
+        i: usize,
+        target: &PreparedSchema,
+        j: usize,
+    ) -> NameMatch {
+        match self.config.lexicon {
+            LexiconMode::ExactOnly => {
+                if source.distinct_folded[i] == target.distinct_folded[j] {
+                    NameMatch {
+                        grade: LabelGrade::Exact,
+                        score: 1.0,
+                    }
+                } else {
+                    NameMatch {
+                        grade: LabelGrade::None,
+                        score: 0.0,
+                    }
+                }
+            }
+            LexiconMode::Full | LexiconMode::FuzzyOnly => self
+                .matcher
+                .compare_tokens(&source.distinct_tokens[i], &target.distinct_tokens[j]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::SchemaTree;
+
+    fn po() -> SchemaTree {
+        SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("Lines", Some(0)),
+                ("Item", Some(2)),
+                ("Quantity", Some(2)),
+            ],
+        )
+    }
+
+    fn purchase_order() -> SchemaTree {
+        SchemaTree::from_labels(
+            "PurchaseOrder",
+            &[
+                ("PurchaseOrder", None),
+                ("OrderNo", Some(0)),
+                ("Items", Some(0)),
+                ("Item", Some(2)),
+                ("Qty", Some(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn prepare_collects_the_artifacts() {
+        let session = MatchSession::new(MatchConfig::default());
+        let tree = po();
+        let prepared = session.prepare(&tree);
+        assert_eq!(prepared.distinct_labels(), 5);
+        assert_eq!(prepared.leaves().len(), 3);
+        assert_eq!(prepared.internals().len(), 2);
+        assert!(prepared.is_leaf(NodeId(1)));
+        assert!(!prepared.is_leaf(NodeId(2)));
+        assert_eq!(prepared.level(NodeId(3)), 2);
+        // Shared vocabulary across trees shares symbols.
+        let other = purchase_order();
+        let prepared2 = session.prepare(&other);
+        assert_eq!(
+            prepared.symbol(NodeId(1)),
+            prepared2.symbol(NodeId(1)),
+            "OrderNo interned once"
+        );
+        assert_ne!(prepared.symbol(NodeId(0)), prepared2.symbol(NodeId(0)));
+    }
+
+    #[test]
+    fn cache_survives_across_pairs() {
+        let session = MatchSession::new(MatchConfig::default());
+        let (a, b) = (po(), purchase_order());
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let first = session.match_pair(&pa, &pb);
+        let after_first = session.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 25, "5x5 distinct pairs computed once");
+        let second = session.match_pair(&pa, &pb);
+        let after_second = session.cache_stats();
+        assert_eq!(after_second.misses, 25, "no new label work");
+        assert_eq!(after_second.hits, 25);
+        assert_eq!(first.matrix, second.matrix);
+        assert!(after_second.hit_rate() > 0.49 && after_second.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn label_match_agrees_with_pair_table() {
+        let session = MatchSession::new(MatchConfig::default());
+        let (a, b) = (po(), purchase_order());
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let table = session.pair_labels(&pa, &pb);
+        for (sid, _) in a.iter() {
+            for (tid, _) in b.iter() {
+                assert_eq!(session.label_match(&pa, sid, &pb, tid), table.get(sid, tid));
+            }
+        }
+    }
+
+    #[test]
+    fn category_and_explain_run_off_the_session() {
+        let session = MatchSession::new(MatchConfig::default());
+        let (a, b) = (po(), purchase_order());
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let outcome = session.match_pair(&pa, &pb);
+        let category = session.category(&pa, &pb, &outcome);
+        assert_eq!(
+            category,
+            crate::algorithms::hybrid_root_category_from(&a, &b, &MatchConfig::default(), &outcome)
+        );
+        let explanation = session.explain(&pa, &pb, a.root_id(), b.root_id(), &outcome.matrix);
+        let direct = crate::explain::explain_with_matrix(
+            &a,
+            &b,
+            a.root_id(),
+            b.root_id(),
+            &MatchConfig::default(),
+            &outcome.matrix,
+        );
+        assert_eq!(explanation, direct);
+    }
+
+    #[test]
+    fn match_corpus_reuses_prepared_schemas() {
+        let session = MatchSession::new(MatchConfig::default());
+        let (a, b) = (po(), purchase_order());
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let outcomes = session.match_corpus(&[(&pa, &pb), (&pa, &pa), (&pb, &pa)]);
+        assert_eq!(outcomes.len(), 3);
+        assert!((outcomes[1].total_qom - 1.0).abs() < 1e-9, "self-match");
+        let single = session.hybrid(&pa, &pb);
+        assert_eq!(outcomes[0].matrix, single.matrix);
+    }
+
+    #[test]
+    fn exact_only_mode_uses_prefolded_labels() {
+        let config = MatchConfig {
+            lexicon: LexiconMode::ExactOnly,
+            ..MatchConfig::default()
+        };
+        let session = MatchSession::new(config);
+        let a = SchemaTree::from_labels("writer", &[("writer", None)]);
+        let b = SchemaTree::from_labels("WRITER", &[("WRITER", None)]);
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let m = session.label_match(&pa, NodeId(0), &pb, NodeId(0));
+        assert_eq!(m.grade, LabelGrade::Exact);
+        let c = SchemaTree::from_labels("Author", &[("Author", None)]);
+        let pc = session.prepare(&c);
+        assert_eq!(
+            session.label_match(&pa, NodeId(0), &pc, NodeId(0)).grade,
+            LabelGrade::None,
+            "no thesaurus in exact-only mode"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The session API (`MatchSession::prepare` + match methods) must be a pure
+//! refactoring of the one-shot entry points: bit-identical similarity
+//! matrices and totals on random trees, for the sequential and the
+//! wavefront-parallel engines alike.
+//!
+//! The cross-schema label cache makes this non-trivial — a cached
+//! `NameMatch` is reused verbatim across pairs, so these tests also pin
+//! down that warming the cache can never change a matrix.
+
+use qmatch_core::algorithms::{
+    hybrid_match, hybrid_match_sequential, linguistic_match, linguistic_match_sequential,
+    structural_match, structural_match_sequential, MatchOutcome,
+};
+use qmatch_core::model::MatchConfig;
+use qmatch_core::session::MatchSession;
+use qmatch_prng::SmallRng;
+use qmatch_xsd::SchemaTree;
+
+const CASES: usize = 48;
+
+fn force_threads() {
+    // Never removed: every test in this binary wants the threaded path.
+    std::env::set_var("QMATCH_THREADS", "4");
+}
+
+/// A random tree with 1..=max_nodes nodes; labels drawn from a small
+/// vocabulary so label interning sees collisions, plus a random suffix arm
+/// so distinct labels appear too.
+fn random_tree(rng: &mut SmallRng, max_nodes: usize) -> SchemaTree {
+    const VOCAB: &[&str] = &[
+        "name", "id", "order", "item", "quantity", "price", "date", "address",
+    ];
+    let nodes = rng.gen_range(1..=max_nodes);
+    let mut labels: Vec<(String, Option<usize>)> = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let label = if rng.gen_bool(0.7) {
+            VOCAB[rng.gen_range(0..VOCAB.len())].to_owned()
+        } else {
+            format!("n{}", rng.gen_range(0..1000u32))
+        };
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..i))
+        };
+        labels.push((label, parent));
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        labels.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("random", &borrowed)
+}
+
+fn assert_bit_identical(a: &MatchOutcome, b: &MatchOutcome, what: &str) {
+    assert_eq!(a.matrix, b.matrix, "{what}: matrices diverge");
+    assert_eq!(
+        a.total_qom.to_bits(),
+        b.total_qom.to_bits(),
+        "{what}: totals diverge: {} vs {}",
+        a.total_qom,
+        b.total_qom
+    );
+}
+
+#[test]
+fn session_hybrid_matches_one_shot_paths() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xE1);
+    let config = MatchConfig::default();
+    let session = MatchSession::new(config);
+    for case in 0..CASES {
+        // Up to 64×64 nodes: comfortably past the parallel cell threshold.
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let (sp, tp) = (session.prepare(&a), session.prepare(&b));
+        assert_bit_identical(
+            &session.hybrid(&sp, &tp),
+            &hybrid_match(&a, &b, &config),
+            &format!("case {case} (auto)"),
+        );
+        assert_bit_identical(
+            &session.hybrid_sequential(&sp, &tp),
+            &hybrid_match_sequential(&a, &b, &config),
+            &format!("case {case} (sequential)"),
+        );
+    }
+}
+
+#[test]
+fn session_structural_and_linguistic_match_one_shot_paths() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xE2);
+    let config = MatchConfig::default();
+    let session = MatchSession::new(config);
+    for case in 0..CASES {
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let (sp, tp) = (session.prepare(&a), session.prepare(&b));
+        assert_bit_identical(
+            &session.structural(&sp, &tp),
+            &structural_match(&a, &b, &config),
+            &format!("case {case} structural (auto)"),
+        );
+        assert_bit_identical(
+            &session.structural_sequential(&sp, &tp),
+            &structural_match_sequential(&a, &b, &config),
+            &format!("case {case} structural (sequential)"),
+        );
+        assert_bit_identical(
+            &session.linguistic(&sp, &tp),
+            &linguistic_match(&a, &b, &config),
+            &format!("case {case} linguistic (auto)"),
+        );
+        assert_bit_identical(
+            &session.linguistic_sequential(&sp, &tp),
+            &linguistic_match_sequential(&a, &b, &config),
+            &format!("case {case} linguistic (sequential)"),
+        );
+    }
+}
+
+#[test]
+fn warm_cache_and_repeated_matching_are_bit_identical() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xE3);
+    let config = MatchConfig::default();
+    let session = MatchSession::new(config);
+    for case in 0..CASES {
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let (sp, tp) = (session.prepare(&a), session.prepare(&b));
+        // By this iteration the cache holds entries from every earlier pair;
+        // a fresh session has none. Both must agree, and re-running the warm
+        // session must be a fixed point.
+        let warm = session.hybrid(&sp, &tp);
+        let warm_again = session.hybrid(&sp, &tp);
+        assert_bit_identical(&warm, &warm_again, &format!("case {case} (rerun)"));
+        let cold_session = MatchSession::new(config);
+        let (csp, ctp) = (cold_session.prepare(&a), cold_session.prepare(&b));
+        assert_bit_identical(
+            &warm,
+            &cold_session.hybrid(&csp, &ctp),
+            &format!("case {case} (cold vs warm)"),
+        );
+    }
+}
+
+#[test]
+fn prepare_once_equals_prepare_per_pair() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xE4);
+    let config = MatchConfig::default();
+    let trees: Vec<SchemaTree> = (0..8).map(|_| random_tree(&mut rng, 40)).collect();
+    let session = MatchSession::new(config);
+    let prepared: Vec<_> = trees.iter().map(|t| session.prepare(t)).collect();
+    for (i, sp) in prepared.iter().enumerate() {
+        for (j, tp) in prepared.iter().enumerate() {
+            let once = session.hybrid(sp, tp);
+            // Re-preparing the same trees (same or a fresh session) must
+            // yield the same artifacts and hence the same matrix.
+            let (sp2, tp2) = (session.prepare(&trees[i]), session.prepare(&trees[j]));
+            assert_bit_identical(
+                &once,
+                &session.hybrid(&sp2, &tp2),
+                &format!("pair ({i},{j}) re-prepared"),
+            );
+        }
+    }
+}
+
+#[test]
+fn match_corpus_equals_pairwise_session_matching() {
+    force_threads();
+    let mut rng = SmallRng::seed_from_u64(0xE5);
+    let config = MatchConfig::default();
+    let trees: Vec<(SchemaTree, SchemaTree)> = (0..12)
+        .map(|_| (random_tree(&mut rng, 40), random_tree(&mut rng, 40)))
+        .collect();
+    let session = MatchSession::new(config);
+    let prepared: Vec<_> = trees
+        .iter()
+        .map(|(s, t)| (session.prepare(s), session.prepare(t)))
+        .collect();
+    let refs: Vec<_> = prepared.iter().map(|(s, t)| (s, t)).collect();
+    let batch = session.match_corpus(&refs);
+    assert_eq!(batch.len(), trees.len());
+    for (i, (out, (sp, tp))) in batch.iter().zip(&prepared).enumerate() {
+        assert_bit_identical(out, &session.hybrid(sp, tp), &format!("pair {i}"));
+        let (s, t) = &trees[i];
+        assert_bit_identical(
+            out,
+            &hybrid_match_sequential(s, t, &config),
+            &format!("pair {i} vs one-shot sequential"),
+        );
+    }
+}

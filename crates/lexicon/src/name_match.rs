@@ -245,7 +245,9 @@ impl NameMatcher {
         if sa == sb {
             return (scores::EXACT, true);
         }
-        match self.thesaurus.relation(&sa, &sb) {
+        // Tokens are lowercased at tokenize time and stemming preserves
+        // case, so the stems are already folded — no per-call lowercasing.
+        match self.thesaurus.relation_folded(&sa, &sb) {
             Relation::Same | Relation::Synonym => (scores::EXACT, true),
             Relation::Abbreviation => (scores::ABBREVIATION, false),
             Relation::Acronym => (scores::ACRONYM, false),

@@ -169,10 +169,28 @@ impl Thesaurus {
         })
     }
 
-    /// The strongest relation between `a` and `b` (symmetric: both argument
-    /// orders are tried for directional relations). Token-level only —
-    /// phrase-level acronyms are handled by the name matcher.
+    /// The strongest relation between `a` and `b`, case-insensitively: a
+    /// thin wrapper that folds mixed-case inputs before delegating to
+    /// [`Thesaurus::relation_folded`]. Callers holding already-folded
+    /// tokens (the tokenizer and the session interner lowercase at
+    /// creation) should call `relation_folded` directly and skip the scan.
     pub fn relation(&self, a: &str, b: &str) -> Relation {
+        fn fold(s: &str) -> std::borrow::Cow<'_, str> {
+            if s.chars().any(char::is_uppercase) {
+                std::borrow::Cow::Owned(s.to_lowercase())
+            } else {
+                std::borrow::Cow::Borrowed(s)
+            }
+        }
+        self.relation_folded(&fold(a), &fold(b))
+    }
+
+    /// The strongest relation between two *pre-folded* (lowercase) tokens
+    /// (symmetric: both argument orders are tried for directional
+    /// relations). Token-level only — phrase-level acronyms are handled by
+    /// the name matcher. Entries are stored lowercase, so folding happens
+    /// exactly once — at intern/tokenize time, not per lookup.
+    pub fn relation_folded(&self, a: &str, b: &str) -> Relation {
         if a == b {
             return Relation::Same;
         }
@@ -320,6 +338,17 @@ mod tests {
         assert_eq!(t.relation("uom", "unit"), Relation::Unrelated);
         assert_eq!(t.acronym_expansions("uom").len(), 1);
         assert!(t.acronym_expansions("zzz").is_empty());
+    }
+
+    #[test]
+    fn relation_folds_mixed_case_once() {
+        let t = sample();
+        // The string entry point is case-insensitive...
+        assert_eq!(t.relation("Writer", "AUTHOR"), Relation::Synonym);
+        assert_eq!(t.relation("QTY", "Quantity"), Relation::Abbreviation);
+        // ...and the pre-folded path sees exactly what it was given.
+        assert_eq!(t.relation_folded("writer", "author"), Relation::Synonym);
+        assert_eq!(t.relation_folded("Writer", "author"), Relation::Unrelated);
     }
 
     #[test]

@@ -277,6 +277,19 @@ impl SchemaTree {
         self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
     }
 
+    /// Per-node nesting levels as a dense table indexed by
+    /// [`NodeId::index`]. Matchers that are called repeatedly on the same
+    /// tree extract this once instead of chasing node references per pair.
+    pub fn levels(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.level).collect()
+    }
+
+    /// Per-node leaf flags as a dense table indexed by [`NodeId::index`]
+    /// (the leaf/internal partition of the tree).
+    pub fn leaf_flags(&self) -> Vec<bool> {
+        self.nodes.iter().map(SchemaNode::is_leaf).collect()
+    }
+
     /// Iterates over `(id, node)` pairs in pre-order (the arena is built in
     /// pre-order, so this is index order).
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &SchemaNode)> {
@@ -659,6 +672,21 @@ mod tests {
         let item = t.node(t.find_by_label("Item").unwrap());
         assert_eq!(item.level, 2);
         assert!(item.is_leaf());
+    }
+
+    #[test]
+    fn dense_level_and_leaf_tables_mirror_the_nodes() {
+        let t = po_tree();
+        let levels = t.levels();
+        let leaves = t.leaf_flags();
+        assert_eq!(levels.len(), t.len());
+        assert_eq!(leaves.len(), t.len());
+        for (id, node) in t.iter() {
+            assert_eq!(levels[id.index()], node.level);
+            assert_eq!(leaves[id.index()], node.is_leaf());
+        }
+        assert_eq!(levels[0], 0); // root
+        assert_eq!(leaves.iter().filter(|l| **l).count(), 5); // OrderNo, Item, Quantity, count, currency
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cargo run --example purchase_orders
 //! ```
 
-use qmatch::core::algorithms::{hybrid_root_category_from, tree_edit_match};
+use qmatch::core::algorithms::tree_edit_match;
 use qmatch::core::report::{f3, Table};
 use qmatch::datasets::{corpus, gold};
 use qmatch::prelude::*;
@@ -28,22 +28,21 @@ fn main() {
         target.max_depth()
     );
 
+    // A session prepares each schema once (interning, tokenization, wave
+    // construction) and shares the label cache across every run below.
+    let session = MatchSession::new(config);
+    let (sp, tp) = (session.prepare(&source), session.prepare(&target));
+
     // One hybrid run serves both the qualitative classification (paper
     // §2.2) and the quantitative comparison below.
-    let hybrid_outcome = hybrid_match(&source, &target, &config);
-    let category = hybrid_root_category_from(&source, &target, &config, &hybrid_outcome);
+    let hybrid_outcome = session.hybrid(&sp, &tp);
+    let category = session.category(&sp, &tp, &hybrid_outcome);
     println!("taxonomy: the root match is classified \"{category}\"\n");
 
     // Quantitative comparison of all algorithms.
     let runs: [(&str, MatchOutcomeAndMapping); 4] = [
-        (
-            "Linguistic",
-            run(linguistic_match(&source, &target, &config), 0.5),
-        ),
-        (
-            "Structural",
-            run(structural_match(&source, &target, &config), 0.95),
-        ),
+        ("Linguistic", run(session.linguistic(&sp, &tp), 0.5)),
+        ("Structural", run(session.structural(&sp, &tp), 0.95)),
         (
             "Hybrid (QMatch)",
             run(hybrid_outcome, config.weights.acceptance_threshold()),

@@ -37,5 +37,6 @@ pub mod prelude {
     pub use qmatch_core::eval::{evaluate, MatchQuality};
     pub use qmatch_core::mapping::{extract_mapping, Mapping};
     pub use qmatch_core::model::{MatchConfig, Weights};
+    pub use qmatch_core::session::{MatchSession, PreparedSchema};
     pub use qmatch_xsd::{parse_schema, SchemaTree};
 }
