@@ -15,6 +15,7 @@ USAGE:
     qmatch evaluate <SOURCE.xsd> <TARGET.xsd> --gold <GOLD.tsv> [options]
     qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
     qmatch generate <SCHEMA.xsd> [--seed N] [--root NAME]
+    qmatch fuzz [--seed N] [--cases N] [--budget-ms N] [--repro-dir PATH]
     qmatch help
 
 MATCH / EVALUATE OPTIONS:
@@ -39,6 +40,12 @@ MATCH / EVALUATE OPTIONS:
 INSPECT / GENERATE OPTIONS:
     --root <NAME>                global element to compile
     --seed <N>                   generation seed (generate only; default 7)
+
+FUZZ OPTIONS:
+    --seed <N>                   master fuzzing seed (default 0)
+    --cases <N>                  number of cases (default 1000)
+    --budget-ms <N>              wall-clock budget; stops early when exceeded
+    --repro-dir <PATH>           where minimized repros go (default fuzz-repro)
 
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
@@ -171,6 +178,17 @@ pub enum Command {
         /// Instance document path.
         instance: String,
     },
+    /// `qmatch fuzz`.
+    Fuzz {
+        /// Master fuzzing seed.
+        seed: u64,
+        /// Number of cases to run.
+        cases: u64,
+        /// Optional wall-clock budget in milliseconds.
+        budget_ms: Option<u64>,
+        /// Directory for minimized repro files.
+        repro_dir: String,
+    },
     /// `qmatch help`.
     Help,
 }
@@ -257,6 +275,34 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
             let [schema, instance] = two_positional(positional, "validate")?;
             Ok(Command::Validate { schema, instance })
         }
+        "fuzz" => {
+            let (positional, options) = parse_common(args)?;
+            options.reject_match_options("fuzz")?;
+            if !positional.is_empty() {
+                return Err(err("fuzz takes no positional arguments"));
+            }
+            if options.root.is_some() {
+                return Err(err("fuzz does not accept --root"));
+            }
+            let parse_u64 = |value: &Option<String>, flag: &str| -> Result<Option<u64>, ArgError> {
+                value
+                    .as_deref()
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| err(format!("{flag} {v:?} is not an unsigned integer")))
+                    })
+                    .transpose()
+            };
+            Ok(Command::Fuzz {
+                seed: parse_u64(&options.seed, "--seed")?.unwrap_or(0),
+                cases: parse_u64(&options.cases, "--cases")?.unwrap_or(1000),
+                budget_ms: parse_u64(&options.budget_ms, "--budget-ms")?,
+                repro_dir: options
+                    .repro_dir
+                    .clone()
+                    .unwrap_or_else(|| "fuzz-repro".to_owned()),
+            })
+        }
         "evaluate" => {
             let (positional, options) = parse_common(args)?;
             let [source, target] = two_positional(positional, "evaluate")?;
@@ -288,6 +334,9 @@ struct RawOptions {
     root: Option<String>,
     seed: Option<String>,
     gold: Option<String>,
+    cases: Option<String>,
+    budget_ms: Option<String>,
+    repro_dir: Option<String>,
     total_only: bool,
     emit_gold: bool,
     explain: Option<String>,
@@ -404,6 +453,9 @@ fn parse_common<'a>(
                 "root" => options.root = Some(take(&mut args)?),
                 "seed" => options.seed = Some(take(&mut args)?),
                 "gold" => options.gold = Some(take(&mut args)?),
+                "cases" => options.cases = Some(take(&mut args)?),
+                "budget-ms" => options.budget_ms = Some(take(&mut args)?),
+                "repro-dir" => options.repro_dir = Some(take(&mut args)?),
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
                 "explain" => options.explain = Some(take(&mut args)?),
@@ -571,6 +623,43 @@ mod tests {
         );
         assert!(parse(["validate", "s.xsd"]).is_err());
         assert!(parse(["validate", "s.xsd", "i.xml", "--algorithm", "hybrid"]).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        assert_eq!(
+            parse(["fuzz"]).unwrap(),
+            Command::Fuzz {
+                seed: 0,
+                cases: 1000,
+                budget_ms: None,
+                repro_dir: "fuzz-repro".into(),
+            }
+        );
+        assert_eq!(
+            parse([
+                "fuzz",
+                "--seed",
+                "42",
+                "--cases=20000",
+                "--budget-ms",
+                "60000",
+                "--repro-dir",
+                "out/repro",
+            ])
+            .unwrap(),
+            Command::Fuzz {
+                seed: 42,
+                cases: 20000,
+                budget_ms: Some(60000),
+                repro_dir: "out/repro".into(),
+            }
+        );
+        assert!(parse(["fuzz", "extra.xsd"]).is_err());
+        assert!(parse(["fuzz", "--seed", "minus-one"]).is_err());
+        assert!(parse(["fuzz", "--cases", "many"]).is_err());
+        assert!(parse(["fuzz", "--root", "PO"]).is_err());
+        assert!(parse(["fuzz", "--algorithm", "hybrid"]).is_err());
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub fn run(command: Command) -> Result<(), CommandError> {
         Command::Inspect { schema, root } => inspect(&schema, root.as_deref()),
         Command::Validate { schema, instance } => validate_instance(&schema, &instance),
         Command::Generate { schema, root, seed } => generate(&schema, root.as_deref(), seed),
+        Command::Fuzz {
+            seed,
+            cases,
+            budget_ms,
+            repro_dir,
+        } => fuzz(seed, cases, budget_ms, &repro_dir),
         Command::Match {
             source,
             target,
@@ -306,6 +312,44 @@ fn generate(schema_path: &str, root: Option<&str>, seed: u64) -> Result<(), Comm
     println!("<?xml version=\"1.0\"?>");
     print!("{instance}");
     Ok(())
+}
+
+fn fuzz(
+    seed: u64,
+    cases: u64,
+    budget_ms: Option<u64>,
+    repro_dir: &str,
+) -> Result<(), CommandError> {
+    let config = qmatch_fuzz::FuzzConfig {
+        seed,
+        cases,
+        budget_ms,
+        repro_dir: repro_dir.into(),
+        ..qmatch_fuzz::FuzzConfig::default()
+    };
+    let summary = qmatch_fuzz::run(&config);
+    println!("{}", summary.line());
+    for failure in &summary.failures {
+        eprintln!(
+            "case {} failed oracle {}: {:?}{}",
+            failure.case,
+            failure.failure.tag(),
+            failure.failure,
+            failure
+                .repro_path
+                .as_deref()
+                .map(|p| format!(" (repro: {})", p.display()))
+                .unwrap_or_default(),
+        );
+    }
+    if summary.is_clean() {
+        Ok(())
+    } else {
+        Err(fail(format!(
+            "fuzzing found {} crasher(s) and {} oracle violation(s)",
+            summary.crashers, summary.violations
+        )))
+    }
 }
 
 fn validate_instance(schema_path: &str, instance_path: &str) -> Result<(), CommandError> {

@@ -1,0 +1,124 @@
+//! Byte- and structure-level mutators.
+//!
+//! Byte mutations model corrupted or truncated input; structured mutations
+//! model well-formed XML that is *wrong at the schema level* (duplicate
+//! attributes, bad occurrence constraints, dangling type references,
+//! self-referential groups). Both must drive the pipeline into clean typed
+//! errors, never panics.
+
+use crate::gen::GeneratedSchema;
+use qmatch_prng::SmallRng;
+
+/// Applies one random byte-level mutation and returns the mutated text
+/// (lossily re-decoded, since mutations can break UTF-8).
+pub fn mutate_bytes(rng: &mut SmallRng, input: &str) -> String {
+    let mut bytes = input.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    match rng.gen_range(0..5u32) {
+        // Truncate at an arbitrary byte.
+        0 => {
+            let cut = rng.gen_range(0..bytes.len());
+            bytes.truncate(cut);
+        }
+        // Flip one bit.
+        1 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8u32);
+        }
+        // Insert a byte drawn from XML-significant characters.
+        2 => {
+            const SIGNIFICANT: &[u8] = b"<>&\"'=/!?-[]; x\0";
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.insert(at, SIGNIFICANT[rng.gen_range(0..SIGNIFICANT.len())]);
+        }
+        // Delete a short span.
+        3 => {
+            let at = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=16usize).min(bytes.len() - at);
+            bytes.drain(at..at + len);
+        }
+        // Duplicate-splice: copy a span to another position.
+        _ => {
+            let at = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=32usize).min(bytes.len() - at);
+            let span: Vec<u8> = bytes[at..at + len].to_vec();
+            let dest = rng.gen_range(0..=bytes.len());
+            bytes.splice(dest..dest, span);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Applies one structured (schema-aware) mutation to a valid generated
+/// schema. The result is usually well-formed XML that must fail cleanly in
+/// the XSD layer rather than the XML layer.
+pub fn mutate_structure(rng: &mut SmallRng, generated: &GeneratedSchema) -> String {
+    let text = &generated.text;
+    match rng.gen_range(0..6u32) {
+        // Duplicate attribute on the first element tag.
+        0 => text.replacen("<xs:element name=", "<xs:element name=\"dup\" name=", 1),
+        // Non-numeric occurrence constraint.
+        1 => text.replacen("<xs:element name=", "<xs:element minOccurs=\"banana\" name=", 1),
+        // Unknown schema construct at top level.
+        2 => text.replacen("</xs:schema>", "  <xs:frobnicate/>\n</xs:schema>", 1),
+        // Dangling type reference.
+        3 => {
+            if let Some(at) = text.find("type=\"") {
+                let end = text[at + 6..].find('"').map(|e| at + 6 + e);
+                match end {
+                    Some(end) => format!("{}NoSuchType999{}", &text[..at + 6], &text[end..]),
+                    None => text.clone(),
+                }
+            } else {
+                text.replacen("</xs:schema>", "  <xs:element name=\"ghost\" type=\"NoSuchType999\"/>\n</xs:schema>", 1)
+            }
+        }
+        // Self-referential model group, referenced so compilation sees it.
+        4 => text.replacen(
+            "</xs:schema>",
+            concat!(
+                "  <xs:group name=\"LoopG\"><xs:sequence><xs:group ref=\"LoopG\"/></xs:sequence></xs:group>\n",
+                "  <xs:element name=\"loopRoot\"><xs:complexType><xs:sequence>",
+                "<xs:group ref=\"LoopG\"/>",
+                "</xs:sequence></xs:complexType></xs:element>\n</xs:schema>"
+            ),
+            1,
+        ),
+        // Stray close tag.
+        _ => text.replacen("</xs:schema>", "</xs:oops></xs:schema>", 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_schema;
+    use qmatch_xsd::parse_schema;
+
+    #[test]
+    fn byte_mutations_are_deterministic() {
+        let generated = gen_schema(&mut SmallRng::seed_from_u64(9)).text;
+        let a = mutate_bytes(&mut SmallRng::seed_from_u64(3), &generated);
+        let b = mutate_bytes(&mut SmallRng::seed_from_u64(3), &generated);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structured_mutations_error_cleanly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let generated = gen_schema(&mut rng);
+            let mutated = mutate_structure(&mut rng, &generated);
+            // Must not panic; Ok is allowed (some splices are harmless on
+            // some documents), but most of these produce typed errors.
+            let _ = parse_schema(&mutated);
+        }
+    }
+
+    #[test]
+    fn empty_input_survives_byte_mutation() {
+        assert_eq!(mutate_bytes(&mut SmallRng::seed_from_u64(1), ""), "");
+    }
+}

@@ -1,0 +1,173 @@
+//! The three fuzzing oracles.
+//!
+//! 1. **No-panic**: every stage of the pipeline (parse → resolve → compile →
+//!    match) returns `Ok` or a typed `Err` — a panic is a crasher.
+//! 2. **Round-trip**: a schema that parses must survive
+//!    `write_schema` → re-parse and compare equal (the writer and parser
+//!    agree on the object model).
+//! 3. **Parallel/sequential equivalence**: `MatchSession::hybrid` and
+//!    `MatchSession::hybrid_sequential` must produce bit-identical
+//!    similarity matrices and total QoM for the same prepared pair.
+
+use qmatch_core::MatchSession;
+use qmatch_xml::IngestLimits;
+use qmatch_xsd::{parse_schema_with_limits, write_schema, Schema, SchemaTree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a fuzz case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleFailure {
+    /// The pipeline panicked (message extracted from the payload).
+    Panic(String),
+    /// write → re-parse diverged from the original schema.
+    RoundTrip(String),
+    /// Parallel and sequential hybrid matching disagreed.
+    ParSeqDivergence(String),
+}
+
+impl OracleFailure {
+    /// Short machine-readable tag (used in repro file names).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OracleFailure::Panic(_) => "panic",
+            OracleFailure::RoundTrip(_) => "roundtrip",
+            OracleFailure::ParSeqDivergence(_) => "parseq",
+        }
+    }
+
+    /// True for a crash (panic) as opposed to a semantic oracle violation.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, OracleFailure::Panic(_))
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// What a passing case did, for the run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// The input parsed into a schema.
+    pub parsed: bool,
+    /// The round-trip oracle ran.
+    pub round_tripped: bool,
+    /// The match-equivalence oracle ran.
+    pub matched: bool,
+}
+
+/// Trees above this size skip the match oracle (quadratic cost; the point
+/// is equivalence, not throughput on big trees — the bench covers those).
+const MATCH_ORACLE_MAX_NODES: usize = 96;
+
+/// Runs all applicable oracles on one input. `Ok` carries which oracles ran;
+/// `Err` is a crasher or violation.
+pub fn check_case(
+    input: &str,
+    session: &MatchSession,
+    limits: &IngestLimits,
+) -> Result<CaseOutcome, OracleFailure> {
+    // Oracle 1: no stage may panic. Typed errors end the case cleanly.
+    let parsed = catch_unwind(AssertUnwindSafe(|| parse_schema_with_limits(input, limits)));
+    let schema: Schema = match parsed {
+        Err(payload) => return Err(OracleFailure::Panic(panic_message(payload))),
+        Ok(Err(_)) => return Ok(CaseOutcome::default()),
+        Ok(Ok(schema)) => schema,
+    };
+
+    // Oracle 2 and 3 run inside catch_unwind too: a panic anywhere past
+    // parsing is just as much a crasher.
+    let rest = catch_unwind(AssertUnwindSafe(|| {
+        let rendered = write_schema(&schema);
+        let reparsed = match parse_schema_with_limits(&rendered, limits) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(OracleFailure::RoundTrip(format!(
+                    "rendered schema fails to re-parse: {e}"
+                )))
+            }
+        };
+        if reparsed != schema {
+            return Err(OracleFailure::RoundTrip(
+                "re-parsed schema differs from the original".to_owned(),
+            ));
+        }
+        let mut outcome = CaseOutcome {
+            parsed: true,
+            round_tripped: true,
+            matched: false,
+        };
+
+        let tree = match SchemaTree::compile_with_limits(&schema, limits) {
+            Ok(t) => t,
+            Err(_) => return Ok(outcome), // typed compile errors are clean
+        };
+        if tree.len() <= MATCH_ORACLE_MAX_NODES {
+            let prepared = session.prepare(&tree);
+            let par = session.hybrid(&prepared, &prepared);
+            let seq = session.hybrid_sequential(&prepared, &prepared);
+            if par.matrix != seq.matrix {
+                return Err(OracleFailure::ParSeqDivergence(
+                    "similarity matrices differ".to_owned(),
+                ));
+            }
+            if par.total_qom.to_bits() != seq.total_qom.to_bits() {
+                return Err(OracleFailure::ParSeqDivergence(format!(
+                    "total QoM differs: parallel {} vs sequential {}",
+                    par.total_qom, seq.total_qom
+                )));
+            }
+            outcome.matched = true;
+        }
+        Ok(outcome)
+    }));
+    match rest {
+        Err(payload) => Err(OracleFailure::Panic(panic_message(payload))),
+        Ok(result) => result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_core::MatchConfig;
+
+    fn session() -> MatchSession {
+        MatchSession::new(MatchConfig::default())
+    }
+
+    #[test]
+    fn valid_schema_passes_all_oracles() {
+        let src = r#"<xs:schema xmlns:xs="x">
+          <xs:element name="PO"><xs:complexType><xs:sequence>
+            <xs:element name="OrderNo" type="xs:integer"/>
+            <xs:element name="ShipTo" type="xs:string"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let outcome = check_case(src, &session(), &IngestLimits::default()).unwrap();
+        assert!(outcome.parsed && outcome.round_tripped && outcome.matched);
+    }
+
+    #[test]
+    fn clean_parse_errors_are_not_failures() {
+        let outcome = check_case("<not-a-schema/>", &session(), &IngestLimits::default()).unwrap();
+        assert!(!outcome.parsed);
+        let outcome = check_case("<<<", &session(), &IngestLimits::default()).unwrap();
+        assert!(!outcome.parsed);
+    }
+
+    #[test]
+    fn failure_tags_are_stable() {
+        assert_eq!(OracleFailure::Panic("p".into()).tag(), "panic");
+        assert_eq!(OracleFailure::RoundTrip("r".into()).tag(), "roundtrip");
+        assert_eq!(OracleFailure::ParSeqDivergence("d".into()).tag(), "parseq");
+        assert!(OracleFailure::Panic("p".into()).is_crash());
+        assert!(!OracleFailure::RoundTrip("r".into()).is_crash());
+    }
+}

@@ -5,8 +5,9 @@
 //! them. Whitespace-only text between elements is also dropped, which is the
 //! standard "element content" treatment for schema documents.
 
-use crate::error::{Position, XmlResult};
+use crate::error::{Position, XmlError, XmlErrorKind, XmlResult};
 use crate::escape::{escape_attr, escape_text};
+use crate::limits::IngestLimits;
 use crate::name::QName;
 use crate::reader::{Attribute, Event, Reader};
 use std::fmt;
@@ -36,9 +37,17 @@ pub struct Document {
 }
 
 impl Document {
-    /// Parses a complete XML document.
+    /// Parses a complete XML document with the default [`IngestLimits`].
     pub fn parse(src: &str) -> XmlResult<Document> {
-        let mut reader = Reader::new(src);
+        Document::parse_with_limits(src, &IngestLimits::default())
+    }
+
+    /// Parses a complete XML document enforcing custom [`IngestLimits`]
+    /// (`max_nodes` bounds the number of elements materialized in the DOM;
+    /// the remaining limits are enforced by the underlying reader).
+    pub fn parse_with_limits(src: &str, limits: &IngestLimits) -> XmlResult<Document> {
+        let mut reader = Reader::with_limits(src, *limits);
+        let mut nodes = 0usize;
         loop {
             match reader.next_event()? {
                 Event::StartElement {
@@ -47,8 +56,15 @@ impl Document {
                     self_closing,
                     position,
                 } => {
-                    let root =
-                        build_element(&mut reader, name, attributes, self_closing, position)?;
+                    let root = build_element(
+                        &mut reader,
+                        limits,
+                        &mut nodes,
+                        name,
+                        attributes,
+                        self_closing,
+                        position,
+                    )?;
                     // Drain trailing misc (comments/PIs/whitespace); the reader
                     // enforces that nothing substantive follows the root.
                     loop {
@@ -64,9 +80,17 @@ impl Document {
                 | Event::Text(_) => continue,
                 other => {
                     // The reader guarantees we cannot see EndElement/CData here
-                    // before a root element; Eof without a root is an error the
-                    // reader already raised.
-                    unreachable!("unexpected pre-root event: {other:?}");
+                    // before a root element, and it raises Eof-without-root
+                    // itself — but a typed error beats a panic if that
+                    // invariant ever slips (the fuzzer's no-panic oracle
+                    // exercises exactly this class of gap).
+                    let _ = other;
+                    return Err(XmlError::new(
+                        XmlErrorKind::BadDocumentStructure {
+                            detail: "unexpected content before the root element",
+                        },
+                        Reader::position(&reader),
+                    ));
                 }
             }
         }
@@ -83,13 +107,27 @@ impl Document {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_element(
     reader: &mut Reader<'_>,
+    limits: &IngestLimits,
+    nodes: &mut usize,
     name: QName,
     attributes: Vec<Attribute>,
     self_closing: bool,
     position: Position,
 ) -> XmlResult<Element> {
+    *nodes += 1;
+    if *nodes > limits.max_nodes {
+        return Err(XmlError::new(
+            XmlErrorKind::LimitExceeded {
+                limit: "max_nodes",
+                limit_value: limits.max_nodes as u64,
+                actual: *nodes as u64,
+            },
+            position,
+        ));
+    }
     let mut element = Element {
         name,
         attributes,
@@ -110,7 +148,15 @@ fn build_element(
                 self_closing,
                 position,
             } => {
-                let child = build_element(reader, name, attributes, self_closing, position)?;
+                let child = build_element(
+                    reader,
+                    limits,
+                    nodes,
+                    name,
+                    attributes,
+                    self_closing,
+                    position,
+                )?;
                 element.children.push(Node::Element(child));
             }
             Event::EndElement { .. } => return Ok(element),
@@ -121,7 +167,16 @@ fn build_element(
             }
             Event::CData(t) => element.push_text(&t),
             Event::Comment(_) | Event::ProcessingInstruction { .. } | Event::Declaration(_) => {}
-            Event::Eof => unreachable!("reader reports EOF inside an element as an error"),
+            // The reader reports EOF inside an element as an error; degrade
+            // to a typed error rather than a panic if that ever regresses.
+            Event::Eof => {
+                return Err(XmlError::new(
+                    XmlErrorKind::UnexpectedEof {
+                        context: "an unclosed element",
+                    },
+                    Reader::position(reader),
+                ))
+            }
         }
     }
 }
@@ -416,5 +471,23 @@ mod tests {
     fn parse_error_surfaces_from_document() {
         assert!(Document::parse("<a><b></a>").is_err());
         assert!(Document::parse("").is_err());
+    }
+
+    #[test]
+    fn node_count_limit_bounds_dom_size() {
+        let limits = IngestLimits {
+            max_nodes: 4,
+            ..IngestLimits::default()
+        };
+        assert!(Document::parse_with_limits("<a><b/><c/><d/></a>", &limits).is_ok());
+        let err = Document::parse_with_limits("<a><b/><c/><d/><e/></a>", &limits).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            XmlErrorKind::LimitExceeded {
+                limit: "max_nodes",
+                limit_value: 4,
+                actual: 5,
+            }
+        ));
     }
 }

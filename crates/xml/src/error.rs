@@ -86,6 +86,17 @@ pub enum XmlErrorKind {
         /// Human-readable description.
         detail: &'static str,
     },
+    /// The document exceeded a configured
+    /// [`IngestLimits`](crate::limits::IngestLimits) bound.
+    LimitExceeded {
+        /// Name of the offending limit (the `IngestLimits` field name,
+        /// e.g. `max_depth`).
+        limit: &'static str,
+        /// The configured bound.
+        limit_value: u64,
+        /// The observed value that crossed it.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -112,6 +123,14 @@ impl fmt::Display for XmlErrorKind {
             }
             XmlErrorKind::BadDocumentStructure { detail } => write!(f, "{detail}"),
             XmlErrorKind::IllegalConstruct { detail } => write!(f, "{detail}"),
+            XmlErrorKind::LimitExceeded {
+                limit,
+                limit_value,
+                actual,
+            } => write!(
+                f,
+                "input exceeds the {limit} ingestion limit ({actual} > {limit_value})"
+            ),
         }
     }
 }
@@ -236,6 +255,14 @@ mod tests {
                     detail: "'--' inside comment",
                 },
                 "--",
+            ),
+            (
+                XmlErrorKind::LimitExceeded {
+                    limit: "max_depth",
+                    limit_value: 512,
+                    actual: 513,
+                },
+                "max_depth",
             ),
         ];
         for (kind, needle) in cases {

@@ -36,10 +36,12 @@ pub mod dom;
 pub mod error;
 pub mod escape;
 mod input;
+pub mod limits;
 pub mod name;
 pub mod reader;
 
 pub use dom::{Document, Element};
 pub use error::{XmlError, XmlErrorKind, XmlResult};
+pub use limits::IngestLimits;
 pub use name::QName;
 pub use reader::{Attribute, Event, Reader};

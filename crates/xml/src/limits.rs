@@ -1,0 +1,92 @@
+//! Resource limits for untrusted input.
+//!
+//! The ingestion pipeline (pull reader → DOM → schema compiler) runs on
+//! arbitrary documents, so every dimension an adversarial input can inflate
+//! is bounded: raw size, nesting depth, attribute fan-out, decoded-text
+//! growth, and materialized node count. Exceeding a limit produces a typed
+//! error naming the offending limit
+//! ([`XmlErrorKind::LimitExceeded`](crate::error::XmlErrorKind::LimitExceeded)),
+//! never an OOM, stack overflow, or multi-second stall.
+//!
+//! The same struct is consumed by the XSD layer (`qmatch-xsd`), where
+//! `max_depth` and `max_nodes` additionally bound the *compiled schema
+//! tree* — named-type expansion can multiply a small document into a huge
+//! tree, the schema-level analog of an entity-expansion bomb.
+
+/// Configurable resource limits enforced while ingesting a document.
+///
+/// The defaults are far above anything a legitimate schema document needs
+/// (the largest corpus schemas are a few hundred KB and a few thousand
+/// nodes) while keeping worst-case memory for a hostile input bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestLimits {
+    /// Maximum raw input size in bytes. Default: 16 MiB.
+    pub max_input_bytes: usize,
+    /// Maximum element nesting depth (also bounds the recursive DOM and
+    /// schema-tree builders, so it must stay well under the thread stack
+    /// budget). Default: 512.
+    pub max_depth: usize,
+    /// Maximum number of attributes on a single element. Default: 256.
+    pub max_attributes: usize,
+    /// Maximum ratio of decoded character data (text and attribute values
+    /// after entity decoding) to raw input bytes. This reader resolves no
+    /// DTD-defined entities, so decoded output cannot actually outgrow the
+    /// input today; the factor is defense-in-depth should that ever change.
+    /// A factor of 0 forbids decoded character data entirely. Default: 8.
+    pub max_entity_expansion: usize,
+    /// Maximum number of materialized nodes: DOM elements while parsing,
+    /// schema-tree nodes while compiling. Default: 1,000,000.
+    pub max_nodes: usize,
+}
+
+impl IngestLimits {
+    /// The default limits as a `const` (usable in statics).
+    pub const DEFAULT: IngestLimits = IngestLimits {
+        max_input_bytes: 16 * 1024 * 1024,
+        max_depth: 512,
+        max_attributes: 256,
+        max_entity_expansion: 8,
+        max_nodes: 1_000_000,
+    };
+
+    /// Effectively unlimited ingestion, for trusted in-repo inputs that are
+    /// deliberately larger than the defaults (none exist today; provided so
+    /// callers never work around limits by inventing huge numbers).
+    pub const UNBOUNDED: IngestLimits = IngestLimits {
+        max_input_bytes: usize::MAX,
+        max_depth: 100_000,
+        max_attributes: usize::MAX,
+        max_entity_expansion: usize::MAX,
+        max_nodes: usize::MAX,
+    };
+}
+
+impl Default for IngestLimits {
+    fn default() -> Self {
+        IngestLimits::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_const() {
+        assert_eq!(IngestLimits::default(), IngestLimits::DEFAULT);
+        assert_eq!(IngestLimits::DEFAULT.max_depth, 512);
+    }
+
+    #[test]
+    fn limits_are_plain_data() {
+        let custom = IngestLimits {
+            max_depth: 3,
+            ..IngestLimits::default()
+        };
+        assert_eq!(custom.max_depth, 3);
+        assert_eq!(
+            custom.max_input_bytes,
+            IngestLimits::DEFAULT.max_input_bytes
+        );
+    }
+}

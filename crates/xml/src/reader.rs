@@ -9,6 +9,7 @@
 use crate::error::{Position, XmlErrorKind, XmlResult};
 use crate::escape::unescape;
 use crate::input::Cursor;
+use crate::limits::IngestLimits;
 use crate::name::{is_name_char, QName};
 
 /// One attribute on a start tag, with its decoded value.
@@ -64,15 +65,24 @@ pub enum Event {
     Eof,
 }
 
-/// Maximum element nesting depth. Recursive DOM construction and schema
-/// compilation are bounded by this, so a hostile document cannot overflow
-/// the stack.
-pub const MAX_DEPTH: usize = 512;
+/// Default maximum element nesting depth
+/// ([`IngestLimits::DEFAULT`]`.max_depth`). Recursive DOM construction and
+/// schema compilation are bounded by this, so a hostile document cannot
+/// overflow the stack.
+pub const MAX_DEPTH: usize = IngestLimits::DEFAULT.max_depth;
 
 /// The state machine for pull parsing.
 #[derive(Debug)]
 pub struct Reader<'a> {
     cursor: Cursor<'a>,
+    /// Resource limits enforced while pulling events.
+    limits: IngestLimits,
+    /// Raw input length in bytes (denominator of the expansion budget).
+    input_len: usize,
+    /// Cumulative decoded character-data bytes (text + attribute values).
+    expanded: usize,
+    /// Whether the input-size limit has been checked (once, on first pull).
+    size_checked: bool,
     /// Names of currently open elements.
     stack: Vec<QName>,
     /// Pending synthesized end element from a self-closing tag.
@@ -86,16 +96,47 @@ pub struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    /// Creates a reader over `src`.
+    /// Creates a reader over `src` with the default [`IngestLimits`].
     pub fn new(src: &'a str) -> Self {
+        Reader::with_limits(src, IngestLimits::default())
+    }
+
+    /// Creates a reader over `src` enforcing custom [`IngestLimits`].
+    pub fn with_limits(src: &'a str, limits: IngestLimits) -> Self {
         Reader {
             cursor: Cursor::new(src),
+            limits,
+            input_len: src.len(),
+            expanded: 0,
+            size_checked: false,
             stack: Vec::new(),
             pending_end: None,
             root_closed: false,
             seen_root: false,
             done: false,
         }
+    }
+
+    fn limit_error(&self, limit: &'static str, limit_value: usize, actual: usize) -> XmlResult<()> {
+        Err(self.cursor.error_at(XmlErrorKind::LimitExceeded {
+            limit,
+            limit_value: limit_value as u64,
+            actual: actual as u64,
+        }))
+    }
+
+    /// Charges `decoded_len` bytes of decoded character data against the
+    /// entity-expansion budget (`max_entity_expansion` × raw input bytes).
+    fn charge_expansion(&mut self, decoded_len: usize) -> XmlResult<()> {
+        self.expanded = self.expanded.saturating_add(decoded_len);
+        let budget = self
+            .limits
+            .max_entity_expansion
+            .saturating_mul(self.input_len);
+        if self.expanded > budget {
+            return self.limit_error("max_entity_expansion", budget, self.expanded);
+        }
+        Ok(())
     }
 
     /// Current source position (start of the next unread construct).
@@ -110,6 +151,16 @@ impl<'a> Reader<'a> {
 
     /// Pulls the next event.
     pub fn next_event(&mut self) -> XmlResult<Event> {
+        if !self.size_checked {
+            self.size_checked = true;
+            if self.input_len > self.limits.max_input_bytes {
+                self.limit_error(
+                    "max_input_bytes",
+                    self.limits.max_input_bytes,
+                    self.input_len,
+                )?;
+            }
+        }
         if let Some((name, position)) = self.pending_end.take() {
             self.leave_element();
             return Ok(Event::EndElement { name, position });
@@ -128,9 +179,13 @@ impl<'a> Reader<'a> {
     }
 
     fn finish(&mut self) -> XmlResult<Event> {
-        if let Some(open) = self.stack.last() {
+        if self.stack.last().is_some() {
+            // The position already points at the unclosed region; naming the
+            // element would require leaking or allocating into a `&'static
+            // str` context, which is unacceptable under sustained hostile
+            // traffic (the old implementation `Box::leak`ed here).
             return Err(self.cursor.error_at(XmlErrorKind::UnexpectedEof {
-                context: leak_context(format!("element <{open}>")),
+                context: "an unclosed element",
             }));
         }
         if !self.seen_root {
@@ -259,6 +314,16 @@ impl<'a> Reader<'a> {
                     self.seen_root = true;
                     self.pending_end = Some((name.clone(), position));
                     self.stack.push(name.clone());
+                    if self.stack.len() > self.limits.max_depth {
+                        return Err(self.cursor.error(
+                            XmlErrorKind::LimitExceeded {
+                                limit: "max_depth",
+                                limit_value: self.limits.max_depth as u64,
+                                actual: self.stack.len() as u64,
+                            },
+                            position,
+                        ));
+                    }
                     return Ok(Event::StartElement {
                         name,
                         attributes,
@@ -273,6 +338,13 @@ impl<'a> Reader<'a> {
                             found,
                             expected: "whitespace before an attribute",
                         }));
+                    }
+                    if attributes.len() >= self.limits.max_attributes {
+                        self.limit_error(
+                            "max_attributes",
+                            self.limits.max_attributes,
+                            attributes.len() + 1,
+                        )?;
                     }
                     let attr = self.read_attribute()?;
                     if attributes.iter().any(|a| a.name == attr.name) {
@@ -294,10 +366,12 @@ impl<'a> Reader<'a> {
         }
         self.seen_root = true;
         self.stack.push(name.clone());
-        if self.stack.len() > MAX_DEPTH {
+        if self.stack.len() > self.limits.max_depth {
             return Err(self.cursor.error(
-                XmlErrorKind::IllegalConstruct {
-                    detail: "element nesting exceeds the supported depth",
+                XmlErrorKind::LimitExceeded {
+                    limit: "max_depth",
+                    limit_value: self.limits.max_depth as u64,
+                    actual: self.stack.len() as u64,
                 },
                 position,
             ));
@@ -425,6 +499,7 @@ impl<'a> Reader<'a> {
                 ))
             }
         };
+        self.charge_expansion(value.len())?;
         Ok(Attribute {
             name,
             value,
@@ -466,15 +541,9 @@ impl<'a> Reader<'a> {
                 start,
             ));
         }
+        self.charge_expansion(text.len())?;
         Ok(Event::Text(text))
     }
-}
-
-/// Error contexts are `&'static str`; element names in EOF errors are rare
-/// (only on truncated documents) so leaking them is acceptable and keeps the
-/// error type allocation-free on the hot path.
-fn leak_context(s: String) -> &'static str {
-    Box::leak(s.into_boxed_str())
 }
 
 impl<'a> Iterator for Reader<'a> {
@@ -735,7 +804,10 @@ mod tests {
         let r: XmlResult<Vec<_>> = Reader::new(&deep).collect();
         assert!(matches!(
             r.unwrap_err().kind(),
-            XmlErrorKind::IllegalConstruct { .. }
+            XmlErrorKind::LimitExceeded {
+                limit: "max_depth",
+                ..
+            }
         ));
         // Just inside the limit is fine.
         let ok = "<a>".repeat(MAX_DEPTH) + &"</a>".repeat(MAX_DEPTH);
@@ -747,5 +819,90 @@ mod tests {
     fn numeric_references_in_text() {
         let evs = events("<a>&#65;&#x42;</a>");
         assert!(evs.iter().any(|e| matches!(e, Event::Text(t) if t == "AB")));
+    }
+
+    #[test]
+    fn input_size_limit_fires_before_parsing() {
+        let limits = IngestLimits {
+            max_input_bytes: 8,
+            ..IngestLimits::default()
+        };
+        let r: XmlResult<Vec<_>> = Reader::with_limits("<abcdefgh/>", limits).collect();
+        assert!(matches!(
+            r.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded {
+                limit: "max_input_bytes",
+                limit_value: 8,
+                actual: 11,
+            }
+        ));
+        // Exactly at the limit is fine.
+        let r: XmlResult<Vec<_>> = Reader::with_limits("<abcde/>", limits).collect();
+        assert_eq!(r.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn attribute_count_is_capped() {
+        let limits = IngestLimits {
+            max_attributes: 3,
+            ..IngestLimits::default()
+        };
+        let ok = r#"<a x1="1" x2="2" x3="3"/>"#;
+        let r: XmlResult<Vec<_>> = Reader::with_limits(ok, limits).collect();
+        assert!(r.is_ok());
+        let over = r#"<a x1="1" x2="2" x3="3" x4="4"/>"#;
+        let r: XmlResult<Vec<_>> = Reader::with_limits(over, limits).collect();
+        assert!(matches!(
+            r.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded {
+                limit: "max_attributes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expansion_budget_counts_decoded_character_data() {
+        // Factor 0 forbids decoded character data; factor 1 admits any
+        // document this reader can produce (no DTD entities, so decoded
+        // output never outgrows the raw input).
+        let zero = IngestLimits {
+            max_entity_expansion: 0,
+            ..IngestLimits::default()
+        };
+        let r: XmlResult<Vec<_>> = Reader::with_limits("<a>text</a>", zero).collect();
+        assert!(matches!(
+            r.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded {
+                limit: "max_entity_expansion",
+                ..
+            }
+        ));
+        let one = IngestLimits {
+            max_entity_expansion: 1,
+            ..IngestLimits::default()
+        };
+        let r: XmlResult<Vec<_>> =
+            Reader::with_limits("<a x=\"&lt;v&gt;\">&amp;</a>", one).collect();
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn custom_depth_limit_overrides_default() {
+        let limits = IngestLimits {
+            max_depth: 2,
+            ..IngestLimits::default()
+        };
+        let r: XmlResult<Vec<_>> = Reader::with_limits("<a><b/></a>", limits).collect();
+        assert!(r.is_ok());
+        let r: XmlResult<Vec<_>> = Reader::with_limits("<a><b><c/></b></a>", limits).collect();
+        assert!(matches!(
+            r.unwrap_err().kind(),
+            XmlErrorKind::LimitExceeded {
+                limit: "max_depth",
+                limit_value: 2,
+                actual: 3,
+            }
+        ));
     }
 }

@@ -42,6 +42,17 @@ pub enum XsdError {
     },
     /// The schema has no global element declaration to use as a tree root.
     NoRootElement,
+    /// The document or the compiled schema tree exceeded a configured
+    /// [`IngestLimits`](qmatch_xml::IngestLimits) bound.
+    LimitExceeded {
+        /// Name of the offending limit (the `IngestLimits` field name,
+        /// e.g. `max_nodes`).
+        limit: &'static str,
+        /// The configured bound.
+        limit_value: u64,
+        /// The observed value that crossed it.
+        actual: u64,
+    },
 }
 
 impl XsdError {
@@ -82,6 +93,14 @@ impl fmt::Display for XsdError {
                 write!(f, "duplicate global {space} declaration {name:?}")
             }
             XsdError::NoRootElement => write!(f, "schema declares no global element"),
+            XsdError::LimitExceeded {
+                limit,
+                limit_value,
+                actual,
+            } => write!(
+                f,
+                "schema exceeds the {limit} ingestion limit ({actual} > {limit_value})"
+            ),
         }
     }
 }
@@ -97,6 +116,20 @@ impl std::error::Error for XsdError {
 
 impl From<XmlError> for XsdError {
     fn from(e: XmlError) -> Self {
+        // Surface limit violations uniformly so callers can match one
+        // variant regardless of which pipeline stage tripped the limit.
+        if let qmatch_xml::XmlErrorKind::LimitExceeded {
+            limit,
+            limit_value,
+            actual,
+        } = e.kind()
+        {
+            return XsdError::LimitExceeded {
+                limit,
+                limit_value: *limit_value,
+                actual: *actual,
+            };
+        }
         XsdError::Xml(e)
     }
 }
@@ -134,6 +167,35 @@ mod tests {
         assert!(XsdError::NoRootElement
             .to_string()
             .contains("global element"));
+        assert!(XsdError::LimitExceeded {
+            limit: "max_nodes",
+            limit_value: 10,
+            actual: 11,
+        }
+        .to_string()
+        .contains("max_nodes"));
+    }
+
+    #[test]
+    fn xml_limit_errors_convert_to_the_typed_variant() {
+        use qmatch_xml::error::{Position, XmlErrorKind};
+        let xml = XmlError::new(
+            XmlErrorKind::LimitExceeded {
+                limit: "max_depth",
+                limit_value: 512,
+                actual: 513,
+            },
+            Position::START,
+        );
+        let xsd: XsdError = xml.into();
+        assert_eq!(
+            xsd,
+            XsdError::LimitExceeded {
+                limit: "max_depth",
+                limit_value: 512,
+                actual: 513,
+            }
+        );
     }
 
     #[test]

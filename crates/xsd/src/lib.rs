@@ -55,8 +55,9 @@ pub use model::{
     AttributeDecl, AttributeUse, ComplexType, ElementDecl, Facet, MaxOccurs, Particle, Schema,
     SimpleType, TypeDef, TypeRef,
 };
-pub use parser::parse_schema;
+pub use parser::{parse_schema, parse_schema_with_limits};
 pub use profile::TreeProfile;
+pub use qmatch_xml::IngestLimits;
 pub use tree::{DataType, NodeId, NodeKind, Properties, SchemaNode, SchemaTree};
 pub use types::BuiltinType;
 pub use validate::{validate, ValidationError, ValidationReport};

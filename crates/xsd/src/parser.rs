@@ -13,6 +13,7 @@ use crate::model::{
 use crate::resolve;
 use crate::types::BuiltinType;
 use qmatch_xml::dom::{Document, Element};
+use qmatch_xml::IngestLimits;
 
 /// Parses and resolves a complete schema document.
 ///
@@ -20,7 +21,12 @@ use qmatch_xml::dom::{Document, Element};
 /// runs reference [resolution](crate::resolve) so the returned schema is
 /// internally consistent.
 pub fn parse_schema(src: &str) -> XsdResult<Schema> {
-    let doc = Document::parse(src)?;
+    parse_schema_with_limits(src, &IngestLimits::default())
+}
+
+/// Like [`parse_schema`], with explicit [`IngestLimits`] for untrusted input.
+pub fn parse_schema_with_limits(src: &str, limits: &IngestLimits) -> XsdResult<Schema> {
+    let doc = Document::parse_with_limits(src, limits)?;
     let schema = schema_from_dom(doc.root())?;
     resolve::check(&schema)?;
     Ok(schema)
@@ -381,7 +387,12 @@ fn parse_particle(el: &Element) -> XsdResult<Particle> {
             max_occurs,
         },
         "all" => Particle::All { items, min_occurs },
-        other => unreachable!("parse_particle called on <{other}>"),
+        other => {
+            return Err(XsdError::invalid(
+                format!("<{other}> is not a model group compositor"),
+                Some(el.position()),
+            ))
+        }
     })
 }
 

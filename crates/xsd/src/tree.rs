@@ -15,6 +15,7 @@ use crate::model::{
     TypeDef, TypeRef,
 };
 use crate::types::BuiltinType;
+use qmatch_xml::IngestLimits;
 use std::fmt;
 
 /// Index of a node within its [`SchemaTree`] arena.
@@ -137,12 +138,32 @@ pub struct SchemaTree {
 impl SchemaTree {
     /// Compiles the first global element declaration of `schema`.
     pub fn compile(schema: &Schema) -> XsdResult<SchemaTree> {
+        Self::compile_with_limits(schema, &IngestLimits::default())
+    }
+
+    /// Like [`SchemaTree::compile`], with explicit [`IngestLimits`].
+    ///
+    /// Named-type expansion can multiply a small schema document into a huge
+    /// compiled tree (the schema-level analog of an entity-expansion bomb),
+    /// so `max_nodes` and `max_depth` are enforced here as well as during
+    /// XML parsing.
+    pub fn compile_with_limits(schema: &Schema, limits: &IngestLimits) -> XsdResult<SchemaTree> {
         let root = schema.elements.first().ok_or(XsdError::NoRootElement)?;
-        Self::compile_element(schema, &root.name)
+        let name = root.name.clone();
+        Self::compile_element_with_limits(schema, &name, limits)
     }
 
     /// Compiles the global element named `root_name`.
     pub fn compile_element(schema: &Schema, root_name: &str) -> XsdResult<SchemaTree> {
+        Self::compile_element_with_limits(schema, root_name, &IngestLimits::default())
+    }
+
+    /// Like [`SchemaTree::compile_element`], with explicit [`IngestLimits`].
+    pub fn compile_element_with_limits(
+        schema: &Schema,
+        root_name: &str,
+        limits: &IngestLimits,
+    ) -> XsdResult<SchemaTree> {
         let root = schema
             .element_by_name(root_name)
             .ok_or_else(|| XsdError::UnresolvedRef {
@@ -150,6 +171,7 @@ impl SchemaTree {
             })?;
         let mut builder = TreeBuilder {
             schema,
+            limits: *limits,
             nodes: Vec::new(),
             named_on_path: Vec::new(),
         };
@@ -361,19 +383,34 @@ impl SchemaTree {
 /// Recursive tree construction with a named-type cycle guard.
 struct TreeBuilder<'s> {
     schema: &'s Schema,
+    limits: IngestLimits,
     nodes: Vec<SchemaNode>,
     /// Named types currently being expanded on this path (cycle guard).
     named_on_path: Vec<&'s str>,
 }
 
 impl<'s> TreeBuilder<'s> {
-    fn push_node(&mut self, node: SchemaNode) -> NodeId {
+    fn push_node(&mut self, node: SchemaNode) -> XsdResult<NodeId> {
+        if self.nodes.len() >= self.limits.max_nodes {
+            return Err(XsdError::LimitExceeded {
+                limit: "max_nodes",
+                limit_value: self.limits.max_nodes as u64,
+                actual: self.nodes.len() as u64 + 1,
+            });
+        }
+        if node.level as usize > self.limits.max_depth {
+            return Err(XsdError::LimitExceeded {
+                limit: "max_depth",
+                limit_value: self.limits.max_depth as u64,
+                actual: node.level as u64,
+            });
+        }
         let id = NodeId(self.nodes.len() as u32);
         if let Some(parent) = node.parent {
             self.nodes[parent.index()].children.push(id);
         }
         self.nodes.push(node);
-        id
+        Ok(id)
     }
 
     fn add_element(
@@ -408,7 +445,7 @@ impl<'s> TreeBuilder<'s> {
             level,
             parent,
             children: Vec::new(),
-        });
+        })?;
         if let Some((complex, guard_name)) = expand {
             if let Some(name) = guard_name {
                 self.named_on_path.push(name);
@@ -620,7 +657,7 @@ impl<'s> TreeBuilder<'s> {
             level,
             parent: Some(parent),
             children: Vec::new(),
-        })))
+        })?))
     }
 }
 
@@ -872,6 +909,90 @@ mod tests {
             t.root().properties.data_type,
             DataType::Builtin(BuiltinType::AnyType)
         );
+    }
+
+    #[test]
+    fn node_limit_bounds_named_type_expansion() {
+        // Five levels of named types, 4 children each: 1 + 4 + 16 + 64 +
+        // 256 + 1024 = 1365 compiled nodes from a ~2 KB document — the
+        // schema-level analog of an entity-expansion bomb.
+        let mut src = String::from(r#"<xs:schema xmlns:xs="x">"#);
+        src.push_str(r#"<xs:complexType name="T0"><xs:sequence>"#);
+        for i in 0..4 {
+            src.push_str(&format!(r#"<xs:element name="leaf{i}" type="xs:string"/>"#));
+        }
+        src.push_str("</xs:sequence></xs:complexType>");
+        for level in 1..5 {
+            src.push_str(&format!(r#"<xs:complexType name="T{level}"><xs:sequence>"#));
+            for i in 0..4 {
+                src.push_str(&format!(
+                    r#"<xs:element name="n{level}_{i}" type="T{}"/>"#,
+                    level - 1
+                ));
+            }
+            src.push_str("</xs:sequence></xs:complexType>");
+        }
+        src.push_str(r#"<xs:element name="root" type="T4"/></xs:schema>"#);
+        let schema = parse_schema(&src).unwrap();
+
+        // Unrestricted compilation materializes the full expansion.
+        let full = SchemaTree::compile(&schema).unwrap();
+        assert_eq!(full.len(), 1365);
+
+        // A node cap turns the bomb into a typed error.
+        let limits = IngestLimits {
+            max_nodes: 100,
+            ..IngestLimits::default()
+        };
+        assert!(matches!(
+            SchemaTree::compile_with_limits(&schema, &limits),
+            Err(XsdError::LimitExceeded {
+                limit: "max_nodes",
+                limit_value: 100,
+                ..
+            })
+        ));
+        // Exactly enough room compiles.
+        let roomy = IngestLimits {
+            max_nodes: 1365,
+            ..IngestLimits::default()
+        };
+        assert!(SchemaTree::compile_with_limits(&schema, &roomy).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_bounds_named_type_chains() {
+        // A chain of named types nests one level per type without any
+        // recursion the cycle guard would catch.
+        let mut src = String::from(r#"<xs:schema xmlns:xs="x">"#);
+        src.push_str(r#"<xs:complexType name="D0"><xs:sequence><xs:element name="leaf" type="xs:string"/></xs:sequence></xs:complexType>"#);
+        for level in 1..8 {
+            src.push_str(&format!(
+                r#"<xs:complexType name="D{level}"><xs:sequence><xs:element name="c{level}" type="D{}"/></xs:sequence></xs:complexType>"#,
+                level - 1
+            ));
+        }
+        src.push_str(r#"<xs:element name="root" type="D7"/></xs:schema>"#);
+        let schema = parse_schema(&src).unwrap();
+        // root(0) c7(1) c6(2) ... c1(7) leaf(8): depth 8.
+        let tight = IngestLimits {
+            max_depth: 7,
+            ..IngestLimits::default()
+        };
+        assert!(matches!(
+            SchemaTree::compile_with_limits(&schema, &tight),
+            Err(XsdError::LimitExceeded {
+                limit: "max_depth",
+                limit_value: 7,
+                actual: 8,
+            })
+        ));
+        let enough = IngestLimits {
+            max_depth: 8,
+            ..IngestLimits::default()
+        };
+        let t = SchemaTree::compile_with_limits(&schema, &enough).unwrap();
+        assert_eq!(t.max_depth(), 8);
     }
 
     #[test]

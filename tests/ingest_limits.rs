@@ -1,0 +1,256 @@
+//! Integration coverage for the ingestion limits: every `IngestLimits`
+//! field has a just-under (Ok) and just-over (typed error naming the limit)
+//! case, exercised through both the XML reader/DOM path and the schema-tree
+//! builder path, plus an end-to-end "XML bomb" check.
+
+use qmatch::xml::{Document, IngestLimits, XmlErrorKind};
+use qmatch::xsd::{parse_schema_with_limits, SchemaTree, XsdError};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn xml_limit_name(result: Result<Document, qmatch::xml::XmlError>) -> &'static str {
+    match result.expect_err("expected a limit error").kind() {
+        XmlErrorKind::LimitExceeded { limit, .. } => limit,
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+fn xsd_limit_name<T: std::fmt::Debug>(result: Result<T, XsdError>) -> &'static str {
+    match result.expect_err("expected a limit error") {
+        XsdError::LimitExceeded { limit, .. } => limit,
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+// ---- reader / DOM path -------------------------------------------------
+
+#[test]
+fn max_input_bytes_boundary() {
+    let doc = "<root/>"; // 7 bytes
+    let under = IngestLimits {
+        max_input_bytes: 7,
+        ..IngestLimits::default()
+    };
+    assert!(Document::parse_with_limits(doc, &under).is_ok());
+    let over = IngestLimits {
+        max_input_bytes: 6,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(doc, &over)),
+        "max_input_bytes"
+    );
+}
+
+#[test]
+fn max_depth_boundary_in_reader() {
+    let doc = "<a><b><c/></b></a>"; // depth 3
+    let under = IngestLimits {
+        max_depth: 3,
+        ..IngestLimits::default()
+    };
+    assert!(Document::parse_with_limits(doc, &under).is_ok());
+    let over = IngestLimits {
+        max_depth: 2,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(doc, &over)),
+        "max_depth"
+    );
+}
+
+#[test]
+fn max_attributes_boundary() {
+    let doc = r#"<a p="1" q="2" r="3"/>"#;
+    let under = IngestLimits {
+        max_attributes: 3,
+        ..IngestLimits::default()
+    };
+    assert!(Document::parse_with_limits(doc, &under).is_ok());
+    let over = IngestLimits {
+        max_attributes: 2,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(doc, &over)),
+        "max_attributes"
+    );
+}
+
+#[test]
+fn max_entity_expansion_boundary() {
+    // The reader resolves no DTD entities, so decoded text can never exceed
+    // the input; factor 1 admits everything, factor 0 forbids character
+    // data outright (the defense-in-depth floor).
+    let doc = "<a>text &amp; more</a>";
+    let under = IngestLimits {
+        max_entity_expansion: 1,
+        ..IngestLimits::default()
+    };
+    assert!(Document::parse_with_limits(doc, &under).is_ok());
+    let over = IngestLimits {
+        max_entity_expansion: 0,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(doc, &over)),
+        "max_entity_expansion"
+    );
+}
+
+#[test]
+fn max_nodes_boundary_in_dom() {
+    let doc = "<a><b/><c/><d/></a>"; // 4 elements
+    let under = IngestLimits {
+        max_nodes: 4,
+        ..IngestLimits::default()
+    };
+    assert!(Document::parse_with_limits(doc, &under).is_ok());
+    let over = IngestLimits {
+        max_nodes: 3,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(doc, &over)),
+        "max_nodes"
+    );
+}
+
+// ---- schema-tree builder path ------------------------------------------
+
+/// Two levels of named types, three children each: root + 3 + 9 = 13 nodes.
+const EXPANDING: &str = r#"<xs:schema xmlns:xs="x">
+  <xs:complexType name="Inner"><xs:sequence>
+    <xs:element name="i1" type="xs:string"/>
+    <xs:element name="i2" type="xs:string"/>
+    <xs:element name="i3" type="xs:string"/>
+  </xs:sequence></xs:complexType>
+  <xs:complexType name="Outer"><xs:sequence>
+    <xs:element name="o1" type="Inner"/>
+    <xs:element name="o2" type="Inner"/>
+    <xs:element name="o3" type="Inner"/>
+  </xs:sequence></xs:complexType>
+  <xs:element name="root" type="Outer"/>
+</xs:schema>"#;
+
+#[test]
+fn max_nodes_boundary_in_tree_builder() {
+    let schema = parse_schema_with_limits(EXPANDING, &IngestLimits::default()).unwrap();
+    let under = IngestLimits {
+        max_nodes: 13,
+        ..IngestLimits::default()
+    };
+    let tree = SchemaTree::compile_with_limits(&schema, &under).unwrap();
+    assert_eq!(tree.len(), 13);
+    let over = IngestLimits {
+        max_nodes: 12,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xsd_limit_name(SchemaTree::compile_with_limits(&schema, &over)),
+        "max_nodes"
+    );
+}
+
+#[test]
+fn max_depth_boundary_in_tree_builder() {
+    // root(0) -> o*(1) -> i*(2): tree depth 2.
+    let schema = parse_schema_with_limits(EXPANDING, &IngestLimits::default()).unwrap();
+    let under = IngestLimits {
+        max_depth: 2,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        SchemaTree::compile_with_limits(&schema, &under)
+            .unwrap()
+            .max_depth(),
+        2
+    );
+    let over = IngestLimits {
+        max_depth: 1,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xsd_limit_name(SchemaTree::compile_with_limits(&schema, &over)),
+        "max_depth"
+    );
+}
+
+// ---- end-to-end bombs ---------------------------------------------------
+
+#[test]
+fn megabyte_nesting_bomb_fails_fast_with_default_limits() {
+    // ~1 MB of unclosed open tags: 262,144 levels of nesting. With default
+    // limits this must return a typed error quickly (the depth cap fires at
+    // 512), allocating nothing near the input size.
+    let bomb = "<a>".repeat(1024 * 1024 / 3);
+    assert!(bomb.len() >= 1024 * 1024 - 3);
+    let started = Instant::now();
+    let result = parse_schema_with_limits(&bomb, &IngestLimits::default());
+    let elapsed = started.elapsed();
+    match result {
+        Err(XsdError::LimitExceeded {
+            limit: "max_depth", ..
+        }) => {}
+        other => panic!("expected a max_depth error, got {other:?}"),
+    }
+    assert!(
+        elapsed.as_secs() < 1,
+        "bomb took {elapsed:?}, expected well under a second"
+    );
+}
+
+#[test]
+fn wide_element_bomb_is_capped_by_node_count() {
+    // A shallow but enormously wide schema trips max_nodes before building
+    // an arbitrarily large DOM.
+    let mut doc = String::from(
+        "<xs:schema xmlns:xs=\"x\"><xs:element name=\"r\"><xs:complexType><xs:sequence>",
+    );
+    for i in 0..5000 {
+        let _ = write!(doc, "<xs:element name=\"e{i}\" type=\"xs:string\"/>");
+    }
+    doc.push_str("</xs:sequence></xs:complexType></xs:element></xs:schema>");
+    let limits = IngestLimits {
+        max_nodes: 1000,
+        ..IngestLimits::default()
+    };
+    assert_eq!(
+        xsd_limit_name(parse_schema_with_limits(&doc, &limits)),
+        "max_nodes"
+    );
+}
+
+#[test]
+fn attribute_bomb_is_capped() {
+    let mut doc = String::from("<a");
+    for i in 0..10_000 {
+        let _ = write!(doc, " a{i}=\"v\"");
+    }
+    doc.push_str("/>");
+    assert_eq!(
+        xml_limit_name(Document::parse_with_limits(&doc, &IngestLimits::default())),
+        "max_attributes"
+    );
+}
+
+#[test]
+fn default_limits_admit_real_corpus_schemas() {
+    // The in-repo corpus schemas must all be far inside the default limits.
+    use qmatch::datasets::corpus;
+    let schemas: [(&str, &str); 6] = [
+        ("po1", corpus::po1_xsd()),
+        ("po2", corpus::po2_xsd()),
+        ("article", corpus::article_xsd()),
+        ("book", corpus::book_xsd()),
+        ("dcmd_item", corpus::dcmd_item_xsd()),
+        ("dcmd_ord", corpus::dcmd_ord_xsd()),
+    ];
+    for (name, text) in schemas {
+        let schema = parse_schema_with_limits(text, &IngestLimits::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        SchemaTree::compile_with_limits(&schema, &IngestLimits::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

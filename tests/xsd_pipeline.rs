@@ -166,6 +166,37 @@ fn writer_round_trips_generated_schemas() {
     }
 }
 
+/// Every file in the malformed corpus (crashers promoted from fuzzing
+/// sessions plus hand-written pathological inputs) must be rejected with a
+/// typed error somewhere in the pipeline — parse or compile — and must
+/// never panic.
+#[test]
+fn malformed_corpus_is_rejected_with_typed_errors() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/malformed");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("malformed corpus directory exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("xsd") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let pipeline = parse_schema(&text).and_then(|s| SchemaTree::compile(&s));
+        assert!(
+            pipeline.is_err(),
+            "{name}: expected the pipeline to reject this input"
+        );
+        // The error formats without panicking too.
+        let _ = pipeline.unwrap_err().to_string();
+        checked += 1;
+    }
+    assert!(checked >= 10, "corpus unexpectedly small: {checked} files");
+}
+
 #[test]
 fn parse_never_panics_on_mutated_schema_text() {
     let mut rng = SmallRng::seed_from_u64(0xC4);
