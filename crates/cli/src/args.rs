@@ -16,6 +16,7 @@ USAGE:
     qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
     qmatch generate <SCHEMA.xsd> [--seed N] [--root NAME]
     qmatch fuzz [--seed N] [--cases N] [--budget-ms N] [--repro-dir PATH]
+    qmatch serve [--addr HOST:PORT] [--threads N] [--max-schemas N]
     qmatch help
 
 MATCH / EVALUATE OPTIONS:
@@ -46,6 +47,15 @@ FUZZ OPTIONS:
     --cases <N>                  number of cases (default 1000)
     --budget-ms <N>              wall-clock budget; stops early when exceeded
     --repro-dir <PATH>           where minimized repros go (default fuzz-repro)
+
+SERVE OPTIONS:
+    --addr <HOST:PORT>           listen address (default: 127.0.0.1:8080)
+    --threads <N>                worker threads (default: 0 = all cores)
+    --max-schemas <N>            LRU cap on resident prepared schemas
+                                 (default: 64)
+    also accepts --weights/--child-threshold/--lexicon/--thesaurus for the
+    shared match session; per-request knobs (algorithm, threshold, explain)
+    travel as query parameters instead.
 
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
@@ -189,6 +199,17 @@ pub enum Command {
         /// Directory for minimized repro files.
         repro_dir: String,
     },
+    /// `qmatch serve`.
+    Serve {
+        /// Listen address (`HOST:PORT`).
+        addr: String,
+        /// Worker thread count (0 = available parallelism).
+        threads: usize,
+        /// LRU cap on resident prepared schemas.
+        max_schemas: usize,
+        /// Session options (weights, lexicon, thesaurus).
+        options: MatchOptions,
+    },
     /// `qmatch help`.
     Help,
 }
@@ -303,6 +324,51 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                     .unwrap_or_else(|| "fuzz-repro".to_owned()),
             })
         }
+        "serve" => {
+            let (positional, options) = parse_common(args)?;
+            if !positional.is_empty() {
+                return Err(err("serve takes no positional arguments"));
+            }
+            let parse_count = |value: &Option<String>,
+                               flag: &str|
+             -> Result<Option<usize>, ArgError> {
+                value
+                    .as_deref()
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| err(format!("{flag} {v:?} is not an unsigned integer")))
+                    })
+                    .transpose()
+            };
+            let threads = parse_count(&options.threads, "--threads")?.unwrap_or(0);
+            let max_schemas = parse_count(&options.max_schemas, "--max-schemas")?.unwrap_or(64);
+            if max_schemas == 0 {
+                return Err(err("--max-schemas must be at least 1"));
+            }
+            let addr = options
+                .addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
+            let built = options.build()?;
+            if built.algorithm != AlgorithmChoice::Hybrid
+                || built.threshold.is_some()
+                || built.explain.is_some()
+                || built.total_only
+                || built.emit_gold
+                || built.matrix_csv.is_some()
+                || built.source_root.is_some()
+                || built.target_root.is_some()
+            {
+                return Err(err("serve configures per-request knobs over HTTP; only \
+                     --weights/--child-threshold/--lexicon/--thesaurus apply"));
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                max_schemas,
+                options: built,
+            })
+        }
         "evaluate" => {
             let (positional, options) = parse_common(args)?;
             let [source, target] = two_positional(positional, "evaluate")?;
@@ -337,6 +403,9 @@ struct RawOptions {
     cases: Option<String>,
     budget_ms: Option<String>,
     repro_dir: Option<String>,
+    addr: Option<String>,
+    threads: Option<String>,
+    max_schemas: Option<String>,
     total_only: bool,
     emit_gold: bool,
     explain: Option<String>,
@@ -456,6 +525,9 @@ fn parse_common<'a>(
                 "cases" => options.cases = Some(take(&mut args)?),
                 "budget-ms" => options.budget_ms = Some(take(&mut args)?),
                 "repro-dir" => options.repro_dir = Some(take(&mut args)?),
+                "addr" => options.addr = Some(take(&mut args)?),
+                "threads" => options.threads = Some(take(&mut args)?),
+                "max-schemas" => options.max_schemas = Some(take(&mut args)?),
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
                 "explain" => options.explain = Some(take(&mut args)?),
@@ -660,6 +732,60 @@ mod tests {
         assert!(parse(["fuzz", "--cases", "many"]).is_err());
         assert!(parse(["fuzz", "--root", "PO"]).is_err());
         assert!(parse(["fuzz", "--algorithm", "hybrid"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(["serve"]).unwrap();
+        let Command::Serve {
+            addr,
+            threads,
+            max_schemas,
+            options,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:8080");
+        assert_eq!(threads, 0);
+        assert_eq!(max_schemas, 64);
+        assert_eq!(options.config, MatchConfig::default());
+        let cmd = parse([
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads=4",
+            "--max-schemas",
+            "8",
+            "--lexicon",
+            "exact",
+        ])
+        .unwrap();
+        let Command::Serve {
+            addr,
+            threads,
+            max_schemas,
+            options,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "0.0.0.0:9000");
+        assert_eq!(threads, 4);
+        assert_eq!(max_schemas, 8);
+        assert_eq!(options.config.lexicon, LexiconMode::ExactOnly);
+    }
+
+    #[test]
+    fn serve_rejects_per_request_options() {
+        assert!(parse(["serve", "extra.xsd"]).is_err());
+        assert!(parse(["serve", "--threads", "many"]).is_err());
+        assert!(parse(["serve", "--max-schemas", "0"]).is_err());
+        assert!(parse(["serve", "--algorithm", "linguistic"]).is_err());
+        assert!(parse(["serve", "--threshold", "0.5"]).is_err());
+        assert!(parse(["serve", "--explain", "PO/Qty"]).is_err());
+        assert!(parse(["serve", "--total-only"]).is_err());
+        assert!(parse(["serve", "--source-root", "PO"]).is_err());
     }
 
     #[test]

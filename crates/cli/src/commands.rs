@@ -43,6 +43,12 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             budget_ms,
             repro_dir,
         } => fuzz(seed, cases, budget_ms, &repro_dir),
+        Command::Serve {
+            addr,
+            threads,
+            max_schemas,
+            options,
+        } => serve(&addr, threads, max_schemas, &options),
         Command::Match {
             source,
             target,
@@ -394,6 +400,36 @@ fn load_pair(
         load_tree(source, options.source_root.as_deref())?,
         load_tree(target, options.target_root.as_deref())?,
     ))
+}
+
+/// Boots the HTTP match server and blocks until SIGINT/SIGTERM, then
+/// prints the activity summary to stderr.
+fn serve(
+    addr: &str,
+    threads: usize,
+    max_schemas: usize,
+    options: &MatchOptions,
+) -> Result<(), CommandError> {
+    let config = qmatch_serve::ServerConfig {
+        addr: addr.to_owned(),
+        threads,
+        max_resident: max_schemas,
+        limits: qmatch_xsd::IngestLimits::default(),
+        config: options.config,
+        matcher: load_matcher(options)?,
+    };
+    qmatch_serve::install_signal_handlers();
+    let server =
+        qmatch_serve::Server::bind(config).map_err(|e| fail(format!("cannot bind {addr}: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| fail(format!("cannot resolve listen address: {e}")))?;
+    eprintln!("qmatch-serve listening on http://{bound} (ctrl-c or SIGTERM to stop)");
+    let summary = server
+        .run()
+        .map_err(|e| fail(format!("server error: {e}")))?;
+    eprintln!("{summary}");
+    Ok(())
 }
 
 /// Loads the (optionally extended) name matcher for the lexicon-driven

@@ -71,5 +71,5 @@ pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
 pub use matrix::SimMatrix;
 pub use model::{LexiconMode, MatchConfig, Weights};
-pub use session::{CacheStats, MatchSession, PreparedSchema};
+pub use session::{CacheStats, MatchSession, OwnedPreparedSchema, PreparedSchema};
 pub use taxonomy::{AxisGrade, CoverageGrade, MatchCategory};

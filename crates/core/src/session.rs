@@ -40,7 +40,7 @@ use qmatch_lexicon::tokenize::Token;
 use qmatch_xsd::{NodeId, Properties, SchemaTree};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Everything the engines need from one schema, derived once.
 ///
@@ -127,6 +127,47 @@ impl<'t> PreparedSchema<'t> {
         &self.waves_depth
     }
 }
+
+/// A [`PreparedSchema`] that keeps its [`SchemaTree`] alive through an
+/// [`Arc`], so it has no outward lifetime and can live in long-lived
+/// registries shared across worker threads (the serving workload).
+///
+/// Constructed by [`MatchSession::prepare_owned`]; borrow the engine-facing
+/// view with [`OwnedPreparedSchema::prepared`].
+pub struct OwnedPreparedSchema {
+    /// Internally borrows from the `Arc` allocation in `tree` below. The
+    /// `'static` lifetime is a private fiction: it never escapes this
+    /// struct (`prepared()` re-shortens it to the borrow of `self`), and
+    /// the field order makes the borrower drop before the owner.
+    prepared: PreparedSchema<'static>,
+    tree: Arc<SchemaTree>,
+}
+
+impl OwnedPreparedSchema {
+    /// The engine-facing prepared view, borrowed no longer than `self`.
+    pub fn prepared(&self) -> &PreparedSchema<'_> {
+        // Covariance over the tree lifetime shortens `'static` to the
+        // lifetime of `&self`, so callers can never outlive the `Arc`.
+        &self.prepared
+    }
+
+    /// The shared tree this prepared schema keeps alive.
+    pub fn tree_arc(&self) -> &Arc<SchemaTree> {
+        &self.tree
+    }
+}
+
+// Compile-time proof that the session types can be shared across worker
+// threads: a serving registry holds one `MatchSession` plus prepared
+// schemas behind `RwLock`/`Arc`, and that is only sound if these stay
+// `Send + Sync` (no `Rc`, no un-synchronized interior mutability).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MatchSession>();
+    assert_send_sync::<PreparedSchema<'static>>();
+    assert_send_sync::<OwnedPreparedSchema>();
+    assert_send_sync::<CacheStats>();
+};
 
 /// Hit/miss counters of the session's cross-schema label cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +310,23 @@ impl MatchSession {
             internals,
             props: tree.iter().map(|(_, n)| &n.properties).collect(),
         }
+    }
+
+    /// Like [`MatchSession::prepare`], but the result owns the tree (via
+    /// the `Arc`) instead of borrowing it, so it can be stored in a
+    /// registry and shared across threads for the prepare-once/serve-many
+    /// workload. Bit-identical to preparing the same tree by reference.
+    pub fn prepare_owned(&self, tree: Arc<SchemaTree>) -> OwnedPreparedSchema {
+        // SAFETY: the reference produced here points into the `Arc`
+        // allocation, which is immutable (shared `Arc` contents are never
+        // handed out mutably) and stays at a stable address for as long as
+        // any clone of the `Arc` exists. The returned `OwnedPreparedSchema`
+        // stores such a clone alongside the borrowing `PreparedSchema` and
+        // only ever re-exposes it at the shorter lifetime of `&self`, so
+        // the fabricated `'static` cannot be observed after the tree drops.
+        let raw: &'static SchemaTree = unsafe { &*Arc::as_ptr(&tree) };
+        let prepared = self.prepare(raw);
+        OwnedPreparedSchema { prepared, tree }
     }
 
     /// Runs the QMatch hybrid algorithm over two prepared schemas — the
@@ -635,6 +693,38 @@ mod tests {
         assert!((outcomes[1].total_qom - 1.0).abs() < 1e-9, "self-match");
         let single = session.hybrid(&pa, &pb);
         assert_eq!(outcomes[0].matrix, single.matrix);
+    }
+
+    #[test]
+    fn prepare_owned_matches_borrowed_bit_for_bit() {
+        let session = MatchSession::new(MatchConfig::default());
+        let (a, b) = (po(), purchase_order());
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let expected = session.match_pair(&pa, &pb);
+        let oa = session.prepare_owned(Arc::new(po()));
+        let ob = session.prepare_owned(Arc::new(purchase_order()));
+        let got = session.match_pair(oa.prepared(), ob.prepared());
+        assert_eq!(expected.matrix, got.matrix);
+        assert_eq!(expected.total_qom, got.total_qom);
+        assert_eq!(oa.tree_arc().len(), 5);
+    }
+
+    #[test]
+    fn owned_prepared_schemas_are_shareable_across_threads() {
+        let session = Arc::new(MatchSession::new(MatchConfig::default()));
+        let oa = Arc::new(session.prepare_owned(Arc::new(po())));
+        let ob = Arc::new(session.prepare_owned(Arc::new(purchase_order())));
+        let baseline = session.match_pair(oa.prepared(), ob.prepared());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (session, oa, ob) = (session.clone(), oa.clone(), ob.clone());
+                std::thread::spawn(move || session.match_pair(oa.prepared(), ob.prepared()))
+            })
+            .collect();
+        for h in handles {
+            let outcome = h.join().expect("worker thread");
+            assert_eq!(outcome.matrix, baseline.matrix);
+        }
     }
 
     #[test]

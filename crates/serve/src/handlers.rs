@@ -1,0 +1,670 @@
+//! Request routing and endpoint logic.
+//!
+//! Every handler is a pure function of the request and the shared state
+//! (registry + metrics + limits), returning the [`Endpoint`] label for
+//! metrics and a [`Response`]. Match responses are deterministic functions
+//! of the registry contents and the query — they carry no counters — so
+//! concurrent clients asking the same question get byte-identical bodies
+//! (asserted in `tests/serve_http.rs`).
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::Registry;
+use qmatch_core::mapping::{extract_mapping, path_of};
+use qmatch_core::{Aggregation, Component, MatchOutcome, OwnedPreparedSchema};
+use qmatch_xsd::{parse_schema_with_limits, IngestLimits, SchemaTree, XsdError};
+use std::sync::Arc;
+
+/// Longest accepted schema name.
+const MAX_NAME_LEN: usize = 128;
+
+/// Routes one request to its handler.
+pub fn handle(
+    req: &Request,
+    registry: &Registry,
+    metrics: &Metrics,
+    limits: &IngestLimits,
+) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            Endpoint::Healthz,
+            Response::json(200, Json::obj().field("status", Json::str("ok")).render()),
+        ),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            Response::text(200, metrics.render(&registry.snapshot())),
+        ),
+        ("GET", "/schemas") => (Endpoint::SchemasList, list_schemas(registry)),
+        ("PUT", path)
+            if path
+                .strip_prefix("/schemas/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            let name = path.strip_prefix("/schemas/").expect("guard");
+            (
+                Endpoint::SchemasPut,
+                put_schema(name, &req.body, registry, metrics, limits),
+            )
+        }
+        ("POST", "/match") => (Endpoint::Match, do_match(req, registry)),
+        ("POST", "/match/topk") => (Endpoint::MatchTopk, do_topk(req, registry)),
+        (_, "/healthz" | "/metrics" | "/schemas" | "/match" | "/match/topk") => (
+            Endpoint::Other,
+            error(405, "method_not_allowed", "method not allowed on this path"),
+        ),
+        (method, path) if path.starts_with("/schemas/") && method != "PUT" => (
+            Endpoint::Other,
+            error(405, "method_not_allowed", "schemas are registered with PUT"),
+        ),
+        _ => (Endpoint::Other, error(404, "not_found", "no such endpoint")),
+    }
+}
+
+/// Builds the uniform error body `{"error":{"kind":...,"message":...}}`.
+pub fn error(status: u16, kind: &str, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        Json::obj()
+            .field(
+                "error",
+                Json::obj()
+                    .field("kind", Json::str(kind))
+                    .field("message", Json::str(message.into())),
+            )
+            .render(),
+    )
+}
+
+fn list_schemas(registry: &Registry) -> Response {
+    let infos = registry.list();
+    let stats = registry.session().cache_stats();
+    let schemas = infos
+        .into_iter()
+        .map(|info| {
+            Json::obj()
+                .field("name", Json::str(info.name))
+                .field("nodes", Json::UInt(info.nodes as u64))
+                .field("max_depth", Json::UInt(info.max_depth as u64))
+                .field("source_bytes", Json::UInt(info.source_bytes))
+                .field("resident", Json::Bool(info.resident))
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::obj()
+            .field("count", Json::UInt(registry.len() as u64))
+            .field("schemas", Json::Arr(schemas))
+            .field(
+                "label_cache",
+                Json::obj()
+                    .field("hits", Json::UInt(stats.hits))
+                    .field("misses", Json::UInt(stats.misses))
+                    .field("hit_rate", Json::Num(stats.hit_rate())),
+            )
+            .render(),
+    )
+}
+
+fn put_schema(
+    name: &str,
+    body: &[u8],
+    registry: &Registry,
+    metrics: &Metrics,
+    limits: &IngestLimits,
+) -> Response {
+    if name.len() > MAX_NAME_LEN
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        return error(
+            400,
+            "invalid_name",
+            "schema names are 1-128 characters of [A-Za-z0-9._-]",
+        );
+    }
+    if body.is_empty() {
+        return error(
+            400,
+            "empty_body",
+            "PUT a schema document as the request body",
+        );
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        return error(400, "invalid_schema", "schema body is not UTF-8");
+    };
+    let tree = parse_schema_with_limits(text, limits)
+        .and_then(|schema| SchemaTree::compile_with_limits(&schema, limits));
+    let tree = match tree {
+        Ok(tree) => tree,
+        Err(e @ XsdError::LimitExceeded { .. }) => {
+            metrics.add_rejected_by_limits();
+            return error(413, "limit_exceeded", e.to_string());
+        }
+        Err(e) => return error(400, "invalid_schema", e.to_string()),
+    };
+    metrics.add_ingested(body.len() as u64);
+    let registered = registry.register(name, tree, body.len() as u64);
+    Response::json(
+        if registered.replaced { 200 } else { 201 },
+        Json::obj()
+            .field("name", Json::str(name))
+            .field("replaced", Json::Bool(registered.replaced))
+            .field("nodes", Json::UInt(registered.nodes as u64))
+            .field("max_depth", Json::UInt(registered.max_depth as u64))
+            .render(),
+    )
+}
+
+/// Which algorithm a match request selects, with its default acceptance
+/// threshold (the same defaults the CLI uses).
+enum Algo {
+    Hybrid,
+    Linguistic,
+    Structural,
+    Composite {
+        components: Vec<Component>,
+        aggregation: Aggregation,
+    },
+}
+
+fn parse_algo(req: &Request) -> Result<Algo, Response> {
+    match req.query_param("algo").unwrap_or("hybrid") {
+        "hybrid" => Ok(Algo::Hybrid),
+        "linguistic" => Ok(Algo::Linguistic),
+        "structural" => Ok(Algo::Structural),
+        "composite" => {
+            let components = match req.query_param("components") {
+                None => vec![Component::Linguistic, Component::Structural],
+                Some(list) => list
+                    .split(',')
+                    .map(|c| match c.trim() {
+                        "linguistic" => Ok(Component::Linguistic),
+                        "structural" => Ok(Component::Structural),
+                        "hybrid" => Ok(Component::Hybrid),
+                        "tree-edit" => Ok(Component::TreeEdit),
+                        other => Err(error(
+                            400,
+                            "unknown_component",
+                            format!("unknown composite component {other:?}"),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let aggregation = match req.query_param("agg").unwrap_or("average") {
+                "max" => Aggregation::Max,
+                "min" => Aggregation::Min,
+                "average" => Aggregation::Average,
+                other => {
+                    return Err(error(
+                        400,
+                        "unknown_aggregation",
+                        format!("unknown aggregation {other:?} (use max|min|average)"),
+                    ))
+                }
+            };
+            Ok(Algo::Composite {
+                components,
+                aggregation,
+            })
+        }
+        other => Err(error(
+            400,
+            "unknown_algo",
+            format!("unknown algorithm {other:?} (use hybrid|linguistic|structural|composite)"),
+        )),
+    }
+}
+
+fn required_schema(
+    req: &Request,
+    registry: &Registry,
+    param: &str,
+) -> Result<(String, Arc<OwnedPreparedSchema>), Response> {
+    let name = req
+        .query_param(param)
+        .ok_or_else(|| {
+            error(
+                400,
+                "missing_parameter",
+                format!("query parameter {param:?} is required"),
+            )
+        })?
+        .to_owned();
+    let prepared = registry.prepared(&name).ok_or_else(|| {
+        error(
+            404,
+            "unknown_schema",
+            format!("no schema named {name:?} is registered"),
+        )
+    })?;
+    Ok((name, prepared))
+}
+
+fn run_algo(
+    algo: &Algo,
+    registry: &Registry,
+    source: &OwnedPreparedSchema,
+    target: &OwnedPreparedSchema,
+) -> Result<(MatchOutcome, f64), Response> {
+    let session = registry.session();
+    let config = session.config();
+    let (source, target) = (source.prepared(), target.prepared());
+    match algo {
+        Algo::Hybrid => Ok((
+            session.hybrid(source, target),
+            config.weights.acceptance_threshold(),
+        )),
+        Algo::Linguistic => Ok((session.linguistic(source, target), 0.5)),
+        Algo::Structural => Ok((session.structural(source, target), 0.95)),
+        Algo::Composite {
+            components,
+            aggregation,
+        } => session
+            .composite(source, target, components, aggregation)
+            .map(|outcome| (outcome, config.weights.acceptance_threshold()))
+            .map_err(|e| error(400, "bad_composite", e.to_string())),
+    }
+}
+
+fn do_match(req: &Request, registry: &Registry) -> Response {
+    let algo = match parse_algo(req) {
+        Ok(algo) => algo,
+        Err(response) => return response,
+    };
+    let lookup = required_schema(req, registry, "source")
+        .and_then(|s| required_schema(req, registry, "target").map(|t| (s, t)));
+    let ((source_name, source), (target_name, target)) = match lookup {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let threshold = match parse_threshold(req) {
+        Ok(t) => t,
+        Err(response) => return response,
+    };
+    let (outcome, default_threshold) = match run_algo(&algo, registry, &source, &target) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let threshold = threshold.unwrap_or(default_threshold);
+    let mapping = extract_mapping(&outcome.matrix, threshold);
+    let session = registry.session();
+    let (sp, tp) = (source.prepared(), target.prepared());
+    let pairs = mapping
+        .pairs
+        .iter()
+        .map(|c| {
+            Json::obj()
+                .field("source_path", Json::str(path_of(sp.tree(), c.source)))
+                .field("target_path", Json::str(path_of(tp.tree(), c.target)))
+                .field("score", Json::Num(c.score))
+        })
+        .collect();
+    let mut body = Json::obj()
+        .field("source", Json::str(source_name))
+        .field("target", Json::str(target_name))
+        .field(
+            "algo",
+            Json::str(req.query_param("algo").unwrap_or("hybrid")),
+        )
+        .field("threshold", Json::Num(threshold))
+        .field("total_qom", Json::Num(outcome.total_qom))
+        .field("matches", Json::UInt(mapping.len() as u64))
+        .field("mapping", Json::Arr(pairs));
+    if matches!(algo, Algo::Hybrid) {
+        let category = session.category(sp, tp, &outcome);
+        body = body.field("category", Json::str(category.to_string()));
+        if req.query_param("explain") == Some("1") {
+            let explanations = mapping
+                .pairs
+                .iter()
+                .map(|c| {
+                    Json::str(
+                        session
+                            .explain(sp, tp, c.source, c.target, &outcome.matrix)
+                            .to_string(),
+                    )
+                })
+                .collect();
+            body = body.field("explanations", Json::Arr(explanations));
+        }
+    } else if req.query_param("explain") == Some("1") {
+        return error(
+            400,
+            "bad_request",
+            "explain=1 requires the hybrid algorithm",
+        );
+    }
+    Response::json(200, body.render())
+}
+
+fn parse_threshold(req: &Request) -> Result<Option<f64>, Response> {
+    match req.query_param("threshold") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(t) if (0.0..=1.0).contains(&t) => Ok(Some(t)),
+            _ => Err(error(
+                400,
+                "bad_threshold",
+                format!("threshold {raw:?} is not a number in [0, 1]"),
+            )),
+        },
+    }
+}
+
+fn do_topk(req: &Request, registry: &Registry) -> Response {
+    let (source_name, source) = match required_schema(req, registry, "source") {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let k = match req.query_param("k").unwrap_or("5").parse::<usize>() {
+        Ok(k) if k > 0 => k,
+        _ => return error(400, "bad_k", "k must be a positive integer"),
+    };
+    let session = registry.session();
+    let mut ranking: Vec<(String, f64)> = Vec::new();
+    for name in registry.names() {
+        if name == source_name {
+            continue;
+        }
+        // The registry only drops names under concurrent replacement, and
+        // replacement never removes: the lookup cannot fail here, but stay
+        // defensive and skip rather than 500.
+        let Some(target) = registry.prepared(&name) else {
+            continue;
+        };
+        let outcome = session.hybrid(source.prepared(), target.prepared());
+        ranking.push((name, outcome.total_qom));
+    }
+    // Descending root QoM; ties broken by name so the order is total.
+    ranking.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranking.truncate(k);
+    let entries = ranking
+        .into_iter()
+        .map(|(name, qom)| {
+            Json::obj()
+                .field("target", Json::str(name))
+                .field("total_qom", Json::Num(qom))
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::obj()
+            .field("source", Json::str(source_name))
+            .field("k", Json::UInt(k as u64))
+            .field("ranking", Json::Arr(entries))
+            .render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_core::model::MatchConfig;
+    use qmatch_core::MatchSession;
+
+    const PO: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType><xs:sequence>
+      <xs:element name="OrderNo" type="xs:string"/>
+      <xs:element name="Qty" type="xs:int"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn state() -> (Registry, Metrics, IngestLimits) {
+        (
+            Registry::new(MatchSession::new(MatchConfig::default()), 8),
+            Metrics::new(),
+            IngestLimits::default(),
+        )
+    }
+
+    fn get(path: &str) -> Request {
+        request("GET", path, b"")
+    }
+
+    fn request(method: &str, target: &str, body: &[u8]) -> Request {
+        let head = crate::http::parse_head(&format!("{method} {target} HTTP/1.1")).unwrap();
+        Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn body_text(response: &Response) -> String {
+        String::from_utf8(response.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let (registry, metrics, limits) = state();
+        let (endpoint, response) = handle(&get("/healthz"), &registry, &metrics, &limits);
+        assert_eq!(endpoint, Endpoint::Healthz);
+        assert_eq!(response.status, 200);
+        assert_eq!(body_text(&response), r#"{"status":"ok"}"#);
+        let (endpoint, response) = handle(&get("/nope"), &registry, &metrics, &limits);
+        assert_eq!(endpoint, Endpoint::Other);
+        assert_eq!(response.status, 404);
+        assert!(body_text(&response).contains("not_found"));
+        let (_, response) = handle(
+            &request("POST", "/healthz", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 405);
+        let (_, response) = handle(
+            &request("GET", "/schemas/po", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 405, "schemas/{{name}} is PUT-only");
+    }
+
+    #[test]
+    fn put_then_list_then_match() {
+        let (registry, metrics, limits) = state();
+        let (endpoint, response) = handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(endpoint, Endpoint::SchemasPut);
+        assert_eq!(response.status, 201, "{}", body_text(&response));
+        assert!(body_text(&response).contains(r#""replaced":false"#));
+        // Replacing the same name answers 200.
+        let (_, response) = handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 200);
+        assert!(body_text(&response).contains(r#""replaced":true"#));
+        let (_, response) = handle(&get("/schemas"), &registry, &metrics, &limits);
+        let listing = body_text(&response);
+        assert!(listing.contains(r#""count":1"#), "{listing}");
+        assert!(listing.contains(r#""name":"po""#));
+        let (endpoint, response) = handle(
+            &request("POST", "/match?source=po&target=po", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(endpoint, Endpoint::Match);
+        assert_eq!(response.status, 200);
+        let text = body_text(&response);
+        assert!(text.contains(r#""total_qom":1"#), "self-match: {text}");
+        assert!(text.contains(r#""category":"#));
+    }
+
+    #[test]
+    fn put_validation_errors() {
+        let (registry, metrics, limits) = state();
+        let bad_name = request("PUT", "/schemas/bad%20name", PO.as_bytes());
+        let (_, response) = handle(&bad_name, &registry, &metrics, &limits);
+        assert_eq!(response.status, 400);
+        assert!(body_text(&response).contains("invalid_name"));
+        let (_, response) = handle(
+            &request("PUT", "/schemas/po", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 400);
+        assert!(body_text(&response).contains("empty_body"));
+        let (_, response) = handle(
+            &request("PUT", "/schemas/po", b"<not-a-schema/>"),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 400);
+        assert!(body_text(&response).contains("invalid_schema"));
+    }
+
+    #[test]
+    fn limit_violations_answer_413_with_the_offset() {
+        let (registry, metrics, _) = state();
+        let tiny = IngestLimits {
+            max_input_bytes: 16,
+            ..IngestLimits::default()
+        };
+        let (_, response) = handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &tiny,
+        );
+        assert_eq!(response.status, 413);
+        let text = body_text(&response);
+        assert!(text.contains("limit_exceeded"), "{text}");
+        assert!(text.contains("first offending byte at offset"), "{text}");
+        assert_eq!(registry.len(), 0);
+    }
+
+    #[test]
+    fn match_parameter_errors() {
+        let (registry, metrics, limits) = state();
+        handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        let cases = [
+            ("/match", 400, "missing_parameter"),
+            ("/match?source=po", 400, "missing_parameter"),
+            ("/match?source=po&target=nope", 404, "unknown_schema"),
+            (
+                "/match?source=po&target=po&algo=quantum",
+                400,
+                "unknown_algo",
+            ),
+            (
+                "/match?source=po&target=po&threshold=2",
+                400,
+                "bad_threshold",
+            ),
+            (
+                "/match?source=po&target=po&algo=composite&components=psychic",
+                400,
+                "unknown_component",
+            ),
+            (
+                "/match?source=po&target=po&algo=composite&agg=median",
+                400,
+                "unknown_aggregation",
+            ),
+            (
+                "/match?source=po&target=po&algo=structural&explain=1",
+                400,
+                "bad_request",
+            ),
+        ];
+        for (target, status, kind) in cases {
+            let (_, response) = handle(&request("POST", target, b""), &registry, &metrics, &limits);
+            assert_eq!(response.status, status, "{target}");
+            assert!(body_text(&response).contains(kind), "{target}");
+        }
+    }
+
+    #[test]
+    fn explain_adds_explanations_for_accepted_pairs() {
+        let (registry, metrics, limits) = state();
+        handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        let (_, response) = handle(
+            &request("POST", "/match?source=po&target=po&explain=1", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 200);
+        let text = body_text(&response);
+        assert!(text.contains(r#""explanations":["#), "{text}");
+    }
+
+    #[test]
+    fn topk_ranks_and_validates() {
+        let (registry, metrics, limits) = state();
+        let order = PO.replace("\"PO\"", "\"Order\"");
+        let book = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Book">
+    <xs:complexType><xs:sequence>
+      <xs:element name="Title" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        for (name, body) in [("po", PO), ("order", &order), ("book", book)] {
+            let (_, response) = handle(
+                &request("PUT", &format!("/schemas/{name}"), body.as_bytes()),
+                &registry,
+                &metrics,
+                &limits,
+            );
+            assert_eq!(response.status, 201, "{name}");
+        }
+        let (endpoint, response) = handle(
+            &request("POST", "/match/topk?source=po&k=2", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(endpoint, Endpoint::MatchTopk);
+        assert_eq!(response.status, 200);
+        let text = body_text(&response);
+        let order_pos = text.find(r#""target":"order""#).expect("order ranked");
+        let book_pos = text.find(r#""target":"book""#).expect("book ranked");
+        assert!(
+            order_pos < book_pos,
+            "near-identical schema outranks the unrelated one: {text}"
+        );
+        let (_, response) = handle(
+            &request("POST", "/match/topk?source=po&k=0", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 400);
+        let (_, response) = handle(
+            &request("POST", "/match/topk?source=ghost", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 404);
+    }
+}

@@ -1,0 +1,467 @@
+//! A minimal HTTP/1.1 connection layer over `std::net` (no dependencies).
+//!
+//! The parsing core ([`parse_head`], [`decode_percent`], [`parse_query`])
+//! is pure so it can be unit-tested without sockets; [`Conn`] wraps a
+//! [`TcpStream`] with a residual buffer so pipelined keep-alive requests
+//! are framed correctly. The socket is expected to carry a short read
+//! timeout — the read loop treats `WouldBlock`/`TimedOut` as a tick,
+//! polling the caller's abort callback so a server shutdown interrupts an
+//! idle keep-alive wait.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Request heads larger than this are rejected outright (the server's JSON
+/// API never needs long header blocks).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method as sent (`GET`, `PUT`, ...).
+    pub method: String,
+    /// Percent-decoded path (no query string).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first query parameter with this name, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header with this (case-insensitive) name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let folded = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == folded)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading the next request off a connection failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed (or the idle keep-alive deadline passed, or the
+    /// server is shutting down) with no request in flight — close quietly.
+    Closed,
+    /// The bytes on the wire were not a valid HTTP/1.x request.
+    BadRequest(&'static str),
+    /// The declared body length exceeds the configured cap; the caller
+    /// should answer `413` and close.
+    TooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+        /// The declared `Content-Length`.
+        actual: usize,
+    },
+    /// A socket error other than a timeout tick.
+    Io(std::io::Error),
+}
+
+/// One client connection with its unconsumed-byte buffer.
+pub struct Conn {
+    stream: TcpStream,
+    residual: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream (the caller sets the read timeout).
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            residual: Vec::new(),
+        }
+    }
+
+    /// Reads and parses the next request. `max_body` caps the declared
+    /// `Content-Length`; `idle_ticks` bounds how many consecutive read
+    /// timeouts are tolerated while *no* request bytes have arrived;
+    /// `should_abort` is polled on every timeout tick.
+    pub fn next_request(
+        &mut self,
+        max_body: usize,
+        idle_ticks: u32,
+        should_abort: &mut dyn FnMut() -> bool,
+    ) -> Result<Request, RecvError> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.residual) {
+                break pos;
+            }
+            if self.residual.len() > MAX_HEAD_BYTES {
+                return Err(RecvError::BadRequest("request head too large"));
+            }
+            self.fill(idle_ticks, self.residual.is_empty(), should_abort)?;
+        };
+        let head_text = std::str::from_utf8(&self.residual[..head_end])
+            .map_err(|_| RecvError::BadRequest("request head is not UTF-8"))?;
+        let head = parse_head(head_text).map_err(RecvError::BadRequest)?;
+        let body_len = match head.content_length {
+            Some(n) if n > max_body => {
+                return Err(RecvError::TooLarge {
+                    limit: max_body,
+                    actual: n,
+                })
+            }
+            Some(n) => n,
+            None => 0,
+        };
+        let body_start = head_end + 4;
+        while self.residual.len() < body_start + body_len {
+            // Mid-request stalls are never tolerated as idle.
+            self.fill(idle_ticks, false, should_abort)?;
+        }
+        let body = self.residual[body_start..body_start + body_len].to_vec();
+        self.residual.drain(..body_start + body_len);
+        Ok(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body,
+            keep_alive: head.keep_alive,
+        })
+    }
+
+    /// Reads more bytes into the residual buffer, treating timeout ticks as
+    /// abort-poll opportunities. `allow_idle` permits up to `idle_ticks`
+    /// consecutive timeouts (the between-requests keep-alive wait).
+    fn fill(
+        &mut self,
+        idle_ticks: u32,
+        allow_idle: bool,
+        should_abort: &mut dyn FnMut() -> bool,
+    ) -> Result<(), RecvError> {
+        let mut chunk = [0u8; 4096];
+        let mut ticks = 0u32;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.residual.is_empty() {
+                        RecvError::Closed
+                    } else {
+                        RecvError::BadRequest("connection closed mid-request")
+                    });
+                }
+                Ok(n) => {
+                    self.residual.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if should_abort() {
+                        return Err(RecvError::Closed);
+                    }
+                    ticks += 1;
+                    let budget = if allow_idle {
+                        idle_ticks
+                    } else {
+                        idle_ticks / 2
+                    };
+                    if ticks >= budget.max(1) {
+                        return Err(if allow_idle && self.residual.is_empty() {
+                            RecvError::Closed
+                        } else {
+                            RecvError::BadRequest("timed out reading request")
+                        });
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(RecvError::Io(e)),
+            }
+        }
+    }
+
+    /// Writes a response; `keep_alive` controls the `Connection` header.
+    pub fn write_response(&mut self, response: &Response, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            response.status,
+            reason_phrase(response.status),
+            response.content_type,
+            response.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .into_bytes();
+        head.extend_from_slice(&response.body);
+        self.stream.write_all(&head)?;
+        self.stream.flush()
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from already-rendered text.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// The parsed request head (everything before the body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Head {
+    /// Request method.
+    pub method: String,
+    /// Percent-decoded path.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Declared `Content-Length`, if any.
+    pub content_length: Option<usize>,
+    /// Keep-alive per the HTTP version and `Connection` header.
+    pub keep_alive: bool,
+}
+
+/// Index of the `\r\n\r\n` separator, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses a request head (request line + header lines, CRLF-separated,
+/// without the trailing blank line).
+pub fn parse_head(text: &str) -> Result<Head, &'static str> {
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty()).ok_or("no method")?;
+    let target = parts.next().ok_or("no request target")?;
+    let version = parts.next().ok_or("no HTTP version")?;
+    if parts.next().is_some() {
+        return Err("malformed request line");
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err("unsupported HTTP version"),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        if name.is_empty() || name.contains(' ') {
+            return Err("malformed header name");
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => Some(v.parse::<usize>().map_err(|_| "bad content-length")?),
+        None => None,
+    };
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err("request target must be an absolute path");
+    }
+    let path = decode_percent(raw_path, false).ok_or("bad percent-encoding in path")?;
+    let query = match raw_query {
+        Some(q) => parse_query(q).ok_or("bad percent-encoding in query")?,
+        None => Vec::new(),
+    };
+    Ok(Head {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+        content_length,
+        keep_alive,
+    })
+}
+
+/// Decodes `%XX` escapes (and `+` as space when `plus_is_space`); returns
+/// `None` on malformed escapes or non-UTF-8 results.
+pub fn decode_percent(s: &str, plus_is_space: bool) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_value(*bytes.get(i + 1)?)?;
+                let lo = hex_value(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Parses `a=1&b=two` into decoded pairs (order preserved; a key without
+/// `=` maps to the empty string).
+pub fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for piece in q.split('&') {
+        if piece.is_empty() {
+            continue;
+        }
+        let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+        out.push((decode_percent(k, true)?, decode_percent(v, true)?));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_put_with_query_and_body_length() {
+        let head = parse_head(
+            "PUT /schemas/po%201?algo=hybrid&explain=1 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 42\r\nContent-Type: application/xml",
+        )
+        .unwrap();
+        assert_eq!(head.method, "PUT");
+        assert_eq!(head.path, "/schemas/po 1");
+        assert_eq!(
+            head.query,
+            vec![
+                ("algo".to_owned(), "hybrid".to_owned()),
+                ("explain".to_owned(), "1".to_owned()),
+            ]
+        );
+        assert_eq!(head.content_length, Some(42));
+        assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(head.headers[0], ("host".to_owned(), "localhost".to_owned()));
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = parse_head("GET / HTTP/1.1\r\nConnection: close").unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_head("GET / HTTP/1.0").unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = parse_head("GET / HTTP/1.0\r\nConnection: Keep-Alive").unwrap();
+        assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(parse_head("").is_err());
+        assert!(parse_head("GET").is_err());
+        assert!(parse_head("GET /").is_err());
+        assert!(parse_head("GET / HTTP/2.0").is_err());
+        assert!(parse_head("GET / HTTP/1.1 extra").is_err());
+        assert!(parse_head("GET no-slash HTTP/1.1").is_err());
+        assert!(parse_head("GET / HTTP/1.1\r\nno-colon-line").is_err());
+        assert!(parse_head("GET / HTTP/1.1\r\nContent-Length: lots").is_err());
+        assert!(parse_head("GET /%zz HTTP/1.1").is_err());
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        assert_eq!(decode_percent("/a%2Fb", false).unwrap(), "/a/b");
+        assert_eq!(decode_percent("a+b", true).unwrap(), "a b");
+        assert_eq!(decode_percent("a+b", false).unwrap(), "a+b");
+        assert_eq!(decode_percent("%C3%A9", false).unwrap(), "é");
+        assert!(decode_percent("%4", false).is_none());
+        assert!(decode_percent("%FF", false).is_none(), "invalid UTF-8");
+    }
+
+    #[test]
+    fn query_parsing_handles_flags_and_empties() {
+        assert_eq!(
+            parse_query("a=1&flag&b=x%20y&&c=").unwrap(),
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("flag".to_owned(), String::new()),
+                ("b".to_owned(), "x y".to_owned()),
+                ("c".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200, 201, 400, 404, 405, 413, 500] {
+            assert_ne!(reason_phrase(code), "Unknown");
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+}

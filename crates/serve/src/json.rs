@@ -1,0 +1,160 @@
+//! A minimal JSON writer (no parser, no dependencies).
+//!
+//! The server only ever *emits* JSON — request inputs arrive as URL paths,
+//! query parameters, and raw XSD bodies — so this module is a writer and an
+//! escaper, nothing more. Values are built as a [`Json`] tree and rendered
+//! with [`Json::render`]; float formatting goes through [`fmt_f64`] so that
+//! integration tests can reproduce the server's number rendering
+//! bit-for-bit when asserting parity with library results.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, sizes, node counts).
+    UInt(u64),
+    /// A float, rendered with [`fmt_f64`].
+    Num(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (panics if `self` is not an object —
+    /// a programming error, not an input error).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value)),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => out.push_str(&fmt_f64(*x)),
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders a float exactly as the server does: Rust's shortest
+/// round-trippable decimal form (`{}`), with non-finite values mapped to
+/// `null` (JSON has no NaN/Infinity). Exported so tests asserting
+/// bit-identity with library outcomes can format their expectation the
+/// same way.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_compactly() {
+        let value = Json::obj()
+            .field("name", Json::str("po1"))
+            .field("nodes", Json::UInt(10))
+            .field("qom", Json::Num(0.5))
+            .field("tags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(
+            value.render(),
+            r#"{"name":"po1","nodes":10,"qom":0.5,"tags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd\te").render(), r#""a\"b\\c\nd\te""#);
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+        assert_eq!(Json::str("schäma/路径").render(), "\"schäma/路径\"");
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        assert_eq!(fmt_f64(0.30000000000000004), "0.30000000000000004");
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // Round-trip: the rendered text parses back to the same bits.
+        let x = 0.123_456_789_012_345_68_f64;
+        assert_eq!(fmt_f64(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! `qmatch-serve`: a long-running match server with a persistent schema
+//! registry.
+//!
+//! The library half of `qmatch serve`. A [`server::Server`] fronts a
+//! [`registry::Registry`] — named schemas ingested over HTTP, compiled
+//! once, prepared into the session's reusable artifacts, and matched many
+//! times — so the prepare-once/match-many economics of
+//! [`qmatch_core::MatchSession`] survive across *processes*, not just
+//! within one CLI invocation.
+//!
+//! Everything is built on `std` only (the deployment target has no crate
+//! registry access): [`http`] is a hand-rolled HTTP/1.1 connection layer,
+//! [`json`] a writer/escaper, [`metrics`] lock-free counters with a
+//! Prometheus-flavoured exposition, and [`server`] a fixed worker pool over
+//! `std::net::TcpListener` with cooperative (signal- or handle-triggered)
+//! graceful shutdown.
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `PUT /schemas/{name}` | ingest an XSD body under `name` (limits enforced) |
+//! | `GET /schemas` | list registered schemas and label-cache stats |
+//! | `POST /match?source=A&target=B` | match two registered schemas (`algo=`, `explain=1`, `threshold=`) |
+//! | `POST /match/topk?source=A&k=N` | rank `A` against the whole registry by root QoM |
+//! | `GET /metrics` | plain-text counters |
+//! | `GET /healthz` | liveness |
+//!
+//! Match responses are deterministic functions of the registry and the
+//! query (no counters inside), and every number is rendered with
+//! [`json::fmt_f64`] — so they are bit-identical to library results and
+//! across concurrent clients.
+
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use json::fmt_f64;
+pub use metrics::{Endpoint, Metrics};
+pub use registry::{Registered, Registry, SchemaInfo};
+pub use server::{install_signal_handlers, signal_received, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,316 @@
+//! Lock-free server counters and their plain-text rendering.
+//!
+//! Everything is an atomic, so the hot path (one [`Metrics::record`] per
+//! request) never blocks; `GET /metrics` and the shutdown summary read the
+//! same counters. The exposition format is Prometheus-flavoured plain text
+//! (`qmatch_`-prefixed), simple enough to scrape with `grep`.
+
+use crate::json::fmt_f64;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints the server distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `PUT /schemas/{name}`.
+    SchemasPut,
+    /// `GET /schemas`.
+    SchemasList,
+    /// `POST /match`.
+    Match,
+    /// `POST /match/topk`.
+    MatchTopk,
+    /// Anything else (404s, bad requests, unknown paths).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in rendering order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::SchemasPut,
+        Endpoint::SchemasList,
+        Endpoint::Match,
+        Endpoint::MatchTopk,
+        Endpoint::Other,
+    ];
+
+    /// The label used in the exposition format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::SchemasPut => "schemas_put",
+            Endpoint::SchemasList => "schemas_list",
+            Endpoint::Match => "match",
+            Endpoint::MatchTopk => "match_topk",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("listed")
+    }
+}
+
+/// Upper bounds (µs) of the latency histogram buckets; the final implicit
+/// bucket is `+Inf`.
+const LATENCY_BOUNDS_US: [u64; 7] = [100, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000];
+
+/// Counters describing everything the server has done so far.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; 7],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency_buckets: [AtomicU64; 8],
+    latency_sum_us: AtomicU64,
+    bytes_ingested: AtomicU64,
+    rejected_by_limits: AtomicU64,
+}
+
+/// A consistent snapshot of registry/session state, supplied by the caller
+/// when rendering (metrics itself owns only request-level counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistrySnapshot {
+    /// Registered schema count.
+    pub schemas: u64,
+    /// Prepared schemas currently resident.
+    pub resident: u64,
+    /// Prepared-schema lookups served from residence.
+    pub prepare_hits: u64,
+    /// Lookups that had to (re-)prepare.
+    pub prepare_misses: u64,
+    /// Prepared schemas evicted by the LRU cap.
+    pub evictions: u64,
+    /// Label-cache hits of the shared match session.
+    pub label_hits: u64,
+    /// Label-cache misses of the shared match session.
+    pub label_misses: u64,
+}
+
+impl RegistrySnapshot {
+    fn label_hit_rate(&self) -> f64 {
+        let total = self.label_hits + self.label_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.label_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Adds successfully read schema-body bytes.
+    pub fn add_ingested(&self, bytes: u64) {
+        self.bytes_ingested.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected by the ingestion limits.
+    pub fn add_rejected_by_limits(&self) {
+        self.rejected_by_limits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded so far.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the exposition text for `GET /metrics`.
+    pub fn render(&self, registry: &RegistrySnapshot) -> String {
+        let mut out = String::with_capacity(1024);
+        let total = self.total_requests();
+        let _ = writeln!(out, "qmatch_requests_total {total}");
+        for endpoint in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "qmatch_requests{{endpoint=\"{}\"}} {}",
+                endpoint.name(),
+                self.requests[endpoint.index()].load(Ordering::Relaxed)
+            );
+        }
+        for (class, counter) in [
+            ("2xx", &self.status_2xx),
+            ("4xx", &self.status_4xx),
+            ("5xx", &self.status_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "qmatch_responses{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        let mut cumulative = 0u64;
+        for (i, counter) in self.latency_buckets.iter().enumerate() {
+            cumulative += counter.load(Ordering::Relaxed);
+            let bound = LATENCY_BOUNDS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_owned());
+            let _ = writeln!(
+                out,
+                "qmatch_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "qmatch_request_latency_us_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "qmatch_request_latency_us_count {total}");
+        let _ = writeln!(
+            out,
+            "qmatch_bytes_ingested_total {}",
+            self.bytes_ingested.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "qmatch_rejected_by_limits_total {}",
+            self.rejected_by_limits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "qmatch_registry_schemas {}", registry.schemas);
+        let _ = writeln!(out, "qmatch_registry_resident {}", registry.resident);
+        let _ = writeln!(out, "qmatch_prepare_hits_total {}", registry.prepare_hits);
+        let _ = writeln!(
+            out,
+            "qmatch_prepare_misses_total {}",
+            registry.prepare_misses
+        );
+        let _ = writeln!(out, "qmatch_prepare_evictions_total {}", registry.evictions);
+        let _ = writeln!(out, "qmatch_label_cache_hits_total {}", registry.label_hits);
+        let _ = writeln!(
+            out,
+            "qmatch_label_cache_misses_total {}",
+            registry.label_misses
+        );
+        let _ = writeln!(
+            out,
+            "qmatch_label_cache_hit_rate {}",
+            fmt_f64(registry.label_hit_rate())
+        );
+        out
+    }
+
+    /// The human-readable shutdown summary printed to stderr by
+    /// `qmatch serve`.
+    pub fn summary(&self, registry: &RegistrySnapshot) -> String {
+        let total = self.total_requests();
+        let mean_us = self
+            .latency_sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(total)
+            .unwrap_or(0);
+        let per_endpoint: Vec<String> = Endpoint::ALL
+            .iter()
+            .filter_map(|e| {
+                let n = self.requests[e.index()].load(Ordering::Relaxed);
+                (n > 0).then(|| format!("{}={n}", e.name()))
+            })
+            .collect();
+        format!(
+            "served {total} request(s) ({}), {} schema(s) registered, \
+             {} byte(s) ingested, {} rejected by limits, \
+             label cache hit rate {:.2}, mean latency {mean_us}us",
+            if per_endpoint.is_empty() {
+                "none".to_owned()
+            } else {
+                per_endpoint.join(" ")
+            },
+            registry.schemas,
+            self.bytes_ingested.load(Ordering::Relaxed),
+            self.rejected_by_limits.load(Ordering::Relaxed),
+            registry.label_hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_and_buckets() {
+        let m = Metrics::new();
+        m.record(Endpoint::Match, 200, 50);
+        m.record(Endpoint::Match, 200, 2_000);
+        m.record(Endpoint::SchemasPut, 413, 10);
+        m.record(Endpoint::Other, 500, 2_000_000);
+        assert_eq!(m.total_requests(), 4);
+        let text = m.render(&RegistrySnapshot::default());
+        assert!(text.contains("qmatch_requests_total 4"), "{text}");
+        assert!(text.contains("qmatch_requests{endpoint=\"match\"} 2"));
+        assert!(text.contains("qmatch_responses{class=\"2xx\"} 2"));
+        assert!(text.contains("qmatch_responses{class=\"4xx\"} 1"));
+        assert!(text.contains("qmatch_responses{class=\"5xx\"} 1"));
+        // Histogram is cumulative: both sub-100us samples land in le=100,
+        // the 2ms sample first appears at le=5000, +Inf sees all four.
+        assert!(text.contains("qmatch_request_latency_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("qmatch_request_latency_us_bucket{le=\"5000\"} 3"));
+        assert!(text.contains("qmatch_request_latency_us_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn ingestion_counters_and_registry_snapshot_render() {
+        let m = Metrics::new();
+        m.add_ingested(1234);
+        m.add_rejected_by_limits();
+        let snapshot = RegistrySnapshot {
+            schemas: 3,
+            resident: 2,
+            prepare_hits: 10,
+            prepare_misses: 3,
+            evictions: 1,
+            label_hits: 75,
+            label_misses: 25,
+        };
+        let text = m.render(&snapshot);
+        assert!(text.contains("qmatch_bytes_ingested_total 1234"));
+        assert!(text.contains("qmatch_rejected_by_limits_total 1"));
+        assert!(text.contains("qmatch_registry_schemas 3"));
+        assert!(text.contains("qmatch_label_cache_hit_rate 0.75"));
+        let summary = m.summary(&snapshot);
+        assert!(summary.contains("3 schema(s)"), "{summary}");
+        assert!(summary.contains("hit rate 0.75"), "{summary}");
+        assert!(summary.contains("1 rejected by limits"), "{summary}");
+    }
+
+    #[test]
+    fn endpoint_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Endpoint::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), Endpoint::ALL.len());
+    }
+}

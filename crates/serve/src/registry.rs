@@ -1,0 +1,349 @@
+//! The concurrent schema registry: named compiled trees plus an LRU-capped
+//! pool of prepared schemas, all sharing one [`MatchSession`].
+//!
+//! Registered trees are cheap (an [`Arc<SchemaTree>`]) and are kept for
+//! every schema; the prepared artifacts ([`OwnedPreparedSchema`]) are the
+//! expensive part, so only the `max_resident` most recently used stay
+//! materialized. A lookup that misses residence re-prepares **outside** the
+//! write lock — preparation is a pure function of the tree and the session,
+//! so two racing re-preparations produce interchangeable values and the
+//! loser is simply dropped.
+
+use qmatch_core::session::{MatchSession, OwnedPreparedSchema};
+use qmatch_xsd::{SchemaTree, TreeProfile};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::RegistrySnapshot;
+
+/// Listing metadata for one registered schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaInfo {
+    /// Registry name.
+    pub name: String,
+    /// Raw XSD bytes the schema was ingested from.
+    pub source_bytes: u64,
+    /// Compiled tree node count.
+    pub nodes: usize,
+    /// Compiled tree depth (edges from the root).
+    pub max_depth: u32,
+    /// Whether a prepared schema is currently resident.
+    pub resident: bool,
+}
+
+/// The outcome of a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registered {
+    /// Whether an existing schema of the same name was replaced.
+    pub replaced: bool,
+    /// Compiled tree node count.
+    pub nodes: usize,
+    /// Compiled tree depth.
+    pub max_depth: u32,
+}
+
+struct Entry {
+    tree: Arc<SchemaTree>,
+    source_bytes: u64,
+    nodes: usize,
+    max_depth: u32,
+}
+
+struct Resident {
+    prepared: Arc<OwnedPreparedSchema>,
+    /// Logical access time (monotone ticks), updated on every hit. An
+    /// atomic so hits need only the registry's read lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    resident: HashMap<String, Resident>,
+    tick: u64,
+}
+
+/// A thread-safe named-schema store over one shared [`MatchSession`].
+pub struct Registry {
+    session: MatchSession,
+    inner: RwLock<Inner>,
+    max_resident: usize,
+    prepare_hits: AtomicU64,
+    prepare_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Registry {
+    /// A registry keeping at most `max_resident` prepared schemas
+    /// materialized (0 is treated as 1 — the schema being used must fit).
+    pub fn new(session: MatchSession, max_resident: usize) -> Registry {
+        Registry {
+            session,
+            inner: RwLock::new(Inner::default()),
+            max_resident: max_resident.max(1),
+            prepare_hits: AtomicU64::new(0),
+            prepare_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared match session (configuration, matcher, label cache).
+    pub fn session(&self) -> &MatchSession {
+        &self.session
+    }
+
+    /// Registers (or replaces) a schema under `name`. The tree is prepared
+    /// eagerly so the first match does not pay preparation latency.
+    pub fn register(&self, name: &str, tree: SchemaTree, source_bytes: u64) -> Registered {
+        let profile = TreeProfile::of(&tree);
+        let tree = Arc::new(tree);
+        let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
+        let mut inner = self.inner.write().expect("registry lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let replaced = inner
+            .entries
+            .insert(
+                name.to_owned(),
+                Entry {
+                    tree,
+                    source_bytes,
+                    nodes: profile.nodes,
+                    max_depth: profile.max_depth,
+                },
+            )
+            .is_some();
+        inner.resident.insert(
+            name.to_owned(),
+            Resident {
+                prepared,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+        self.evict_over_cap(&mut inner, name);
+        Registered {
+            replaced,
+            nodes: profile.nodes,
+            max_depth: profile.max_depth,
+        }
+    }
+
+    /// Evicts least-recently-used residents until the cap holds, never
+    /// evicting `keep` (the schema just touched).
+    fn evict_over_cap(&self, inner: &mut Inner, keep: &str) {
+        while inner.resident.len() > self.max_resident {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(name, _)| *name != keep)
+                .min_by_key(|(_, r)| r.last_used.load(Ordering::Relaxed))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    inner.resident.remove(&name);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The prepared schema for `name`, re-preparing (and re-inserting) it
+    /// if the LRU cap evicted it. `None` when the name is unknown.
+    pub fn prepared(&self, name: &str) -> Option<Arc<OwnedPreparedSchema>> {
+        {
+            let inner = self.inner.read().expect("registry lock");
+            if !inner.entries.contains_key(name) {
+                return None;
+            }
+            if let Some(resident) = inner.resident.get(name) {
+                // A racing writer may bump `tick` concurrently; any recent
+                // value keeps LRU ordering approximately right, which is
+                // all an eviction heuristic needs.
+                resident.last_used.store(inner.tick, Ordering::Relaxed);
+                self.prepare_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(resident.prepared.clone());
+            }
+        }
+        self.prepare_misses.fetch_add(1, Ordering::Relaxed);
+        let tree = {
+            let inner = self.inner.read().expect("registry lock");
+            inner.entries.get(name)?.tree.clone()
+        };
+        // Prepare outside any lock: pure work, possibly raced, harmless.
+        let prepared = Arc::new(self.session.prepare_owned(tree));
+        let mut inner = self.inner.write().expect("registry lock");
+        if !inner.entries.contains_key(name) {
+            return None; // deleted concurrently (future-proofing)
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let resident = inner
+            .resident
+            .entry(name.to_owned())
+            .or_insert_with(|| Resident {
+                prepared,
+                last_used: AtomicU64::new(tick),
+            });
+        resident.last_used.store(tick, Ordering::Relaxed);
+        let out = resident.prepared.clone();
+        self.evict_over_cap(&mut inner, name);
+        Some(out)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .read()
+            .expect("registry lock")
+            .entries
+            .contains_key(name)
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock").entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered names in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .expect("registry lock")
+            .entries
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Listing metadata for every schema, sorted by name.
+    pub fn list(&self) -> Vec<SchemaInfo> {
+        let inner = self.inner.read().expect("registry lock");
+        inner
+            .entries
+            .iter()
+            .map(|(name, entry)| SchemaInfo {
+                name: name.clone(),
+                source_bytes: entry.source_bytes,
+                nodes: entry.nodes,
+                max_depth: entry.max_depth,
+                resident: inner.resident.contains_key(name),
+            })
+            .collect()
+    }
+
+    /// A counters snapshot for metrics rendering.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let (schemas, resident) = {
+            let inner = self.inner.read().expect("registry lock");
+            (inner.entries.len() as u64, inner.resident.len() as u64)
+        };
+        let labels = self.session.cache_stats();
+        RegistrySnapshot {
+            schemas,
+            resident,
+            prepare_hits: self.prepare_hits.load(Ordering::Relaxed),
+            prepare_misses: self.prepare_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            label_hits: labels.hits,
+            label_misses: labels.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_core::model::MatchConfig;
+
+    fn tree(root: &str) -> SchemaTree {
+        SchemaTree::from_labels(root, &[(root, None), ("OrderNo", Some(0))])
+    }
+
+    fn registry(max_resident: usize) -> Registry {
+        Registry::new(MatchSession::new(MatchConfig::default()), max_resident)
+    }
+
+    #[test]
+    fn register_list_and_replace() {
+        let r = registry(8);
+        let first = r.register("po", tree("PO"), 100);
+        assert!(!first.replaced);
+        assert_eq!(first.nodes, 2);
+        let second = r.register("po", tree("PurchaseOrder"), 120);
+        assert!(second.replaced);
+        assert_eq!(r.len(), 1);
+        let infos = r.list();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].name, "po");
+        assert_eq!(infos[0].source_bytes, 120);
+        assert!(infos[0].resident);
+        assert!(r.contains("po"));
+        assert!(!r.contains("order"));
+        assert_eq!(r.prepared("missing").map(|_| ()), None);
+    }
+
+    #[test]
+    fn lru_evicts_and_reprepares_on_demand() {
+        let r = registry(2);
+        r.register("a", tree("A"), 1);
+        r.register("b", tree("B"), 1);
+        r.register("c", tree("C"), 1); // evicts "a" (least recently used)
+        let resident: Vec<_> = r.list().into_iter().filter(|i| i.resident).collect();
+        assert_eq!(resident.len(), 2);
+        assert!(!r.list().iter().any(|i| i.name == "a" && i.resident));
+        assert_eq!(r.snapshot().evictions, 1);
+        // "a" is still registered; using it re-prepares and evicts another.
+        let prepared = r.prepared("a").expect("still registered");
+        assert_eq!(prepared.prepared().tree().name(), "A");
+        assert_eq!(r.snapshot().prepare_misses, 1);
+        assert_eq!(r.snapshot().resident, 2);
+    }
+
+    #[test]
+    fn hits_update_recency() {
+        let r = registry(2);
+        r.register("a", tree("A"), 1);
+        r.register("b", tree("B"), 1);
+        r.prepared("a").unwrap(); // touch "a" so "b" is now the LRU victim
+        r.register("c", tree("C"), 1);
+        let resident: Vec<_> = r
+            .list()
+            .into_iter()
+            .filter(|i| i.resident)
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(resident, ["a", "c"]);
+        assert!(r.snapshot().prepare_hits >= 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let r = Arc::new(registry(1));
+        r.register("a", tree("A"), 1);
+        r.register("b", tree("B"), 1); // "a" evicted; lookups re-prepare
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let pa = r.prepared("a").unwrap();
+                        let pb = r.prepared("b").unwrap();
+                        let outcome = r.session().match_pair(pa.prepared(), pb.prepared());
+                        assert!(outcome.total_qom.is_finite());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("lookup thread");
+        }
+        assert_eq!(r.snapshot().schemas, 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! The server loop: a non-blocking accept loop feeding a fixed worker
+//! thread pool, with cooperative shutdown.
+//!
+//! Shutdown has two triggers — [`ShutdownHandle::shutdown`] (used by tests
+//! and embedders) and a delivered `SIGINT`/`SIGTERM` (registered by
+//! [`install_signal_handlers`], used by `qmatch serve`). Both set flags the
+//! accept loop and the per-connection read loops poll, so an idle server
+//! stops within one poll interval and in-flight requests finish first.
+
+use crate::handlers;
+use crate::http::{Conn, RecvError};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::Registry;
+use qmatch_core::model::MatchConfig;
+use qmatch_core::MatchSession;
+use qmatch_lexicon::NameMatcher;
+use qmatch_xsd::IngestLimits;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long one blocking read waits before ticking the shutdown poll.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Consecutive idle ticks tolerated between keep-alive requests (~10 s).
+const IDLE_TICKS: u32 = 100;
+/// Accept-loop sleep when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral
+    /// port — used by the tests).
+    pub addr: String,
+    /// Worker thread count; 0 means the machine's available parallelism.
+    pub threads: usize,
+    /// LRU cap on resident prepared schemas.
+    pub max_resident: usize,
+    /// Ingestion limits applied to `PUT /schemas/{name}` bodies.
+    pub limits: IngestLimits,
+    /// Match configuration for the shared session.
+    pub config: MatchConfig,
+    /// Optional custom name matcher (extended thesaurus).
+    pub matcher: Option<NameMatcher>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_owned(),
+            threads: 0,
+            max_resident: 64,
+            limits: IngestLimits::default(),
+            config: MatchConfig::default(),
+            matcher: None,
+        }
+    }
+}
+
+/// A handle that asks a running [`Server`] to stop accepting and drain.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound (not yet running) match server.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    limits: IngestLimits,
+    threads: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the shared state; the server does
+    /// not serve until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let session = match config.matcher {
+            Some(matcher) => MatchSession::with_matcher(config.config, matcher),
+            None => MatchSession::new(config.config),
+        };
+        Ok(Server {
+            listener,
+            registry: Arc::new(Registry::new(session, config.max_resident)),
+            metrics: Arc::new(Metrics::new()),
+            limits: config.limits,
+            threads: config.threads,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared schema registry (embedders may pre-register schemas).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The shared request counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// A handle that stops the accept loop from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.shutdown.clone())
+    }
+
+    /// Runs until shutdown is requested (via handle or signal), then drains
+    /// the worker pool and returns the human-readable activity summary.
+    pub fn run(self) -> std::io::Result<String> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            self.threads
+        };
+        let workers: Vec<_> = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let registry = self.registry.clone();
+                let metrics = self.metrics.clone();
+                let limits = self.limits;
+                let shutdown = self.shutdown.clone();
+                std::thread::Builder::new()
+                    .name(format!("qmatch-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &registry, &metrics, &limits, &shutdown))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        while !self.should_stop() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Closing the channel ends every worker after its current queue
+        // item; connections in flight observe the shutdown flag.
+        self.shutdown.store(true, Ordering::Relaxed);
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(self.metrics.summary(&self.registry.snapshot()))
+    }
+
+    fn should_stop(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal_received()
+    }
+}
+
+/// One worker: pull accepted connections off the shared queue until the
+/// accept loop hangs up.
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    registry: &Registry,
+    metrics: &Metrics,
+    limits: &IngestLimits,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let stream = {
+            let queue = rx.lock().expect("worker queue lock");
+            queue.recv()
+        };
+        match stream {
+            Ok(stream) => serve_conn(stream, registry, metrics, limits, shutdown),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop with shutdown polling.
+fn serve_conn(
+    stream: TcpStream,
+    registry: &Registry,
+    metrics: &Metrics,
+    limits: &IngestLimits,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    loop {
+        let mut abort = || shutdown.load(Ordering::Relaxed) || signal_received();
+        match conn.next_request(limits.max_input_bytes, IDLE_TICKS, &mut abort) {
+            Ok(request) => {
+                let start = Instant::now();
+                let (endpoint, response) = handlers::handle(&request, registry, metrics, limits);
+                let micros = start.elapsed().as_micros() as u64;
+                metrics.record(endpoint, response.status, micros);
+                // Finish the in-flight response, but do not wait for more
+                // requests once shutdown is in progress.
+                let keep = request.keep_alive && !abort();
+                if conn.write_response(&response, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(RecvError::Closed) => break,
+            Err(RecvError::BadRequest(detail)) => {
+                let response = handlers::error(400, "bad_request", detail);
+                metrics.record(Endpoint::Other, 400, 0);
+                let _ = conn.write_response(&response, false);
+                break;
+            }
+            Err(RecvError::TooLarge { limit, actual }) => {
+                metrics.add_rejected_by_limits();
+                let response = handlers::error(
+                    413,
+                    "limit_exceeded",
+                    format!(
+                        "request body of {actual} bytes exceeds the \
+                         max_input_bytes ingestion limit ({limit})"
+                    ),
+                );
+                metrics.record(Endpoint::Other, 413, 0);
+                let _ = conn.write_response(&response, false);
+                break;
+            }
+            Err(RecvError::Io(_)) => break,
+        }
+    }
+}
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNAL_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an async-signal-safe atomic store; the serving threads poll.
+        SIGNAL_RECEIVED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`; enough for a set-a-flag handler without
+        // pulling in a bindings crate.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Registers `SIGINT` and `SIGTERM` to request a graceful shutdown.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether a registered signal has been delivered.
+    pub fn received() -> bool {
+        SIGNAL_RECEIVED.load(Ordering::Relaxed)
+    }
+}
+
+/// Registers `SIGINT`/`SIGTERM` handlers that request a graceful shutdown
+/// (no-op on non-Unix platforms).
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    signals::install();
+}
+
+/// Whether a shutdown signal has been delivered since
+/// [`install_signal_handlers`] (always `false` on non-Unix platforms).
+pub fn signal_received() -> bool {
+    #[cfg(unix)]
+    {
+        signals::received()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_picks_an_ephemeral_port_and_shuts_down() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        assert_ne!(addr.port(), 0);
+        let handle = server.shutdown_handle();
+        assert!(!handle.is_shutdown());
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        let summary = runner.join().expect("server thread");
+        assert!(summary.contains("served 0 request(s)"), "{summary}");
+    }
+
+    #[test]
+    fn default_config_is_sensible() {
+        let config = ServerConfig::default();
+        assert_eq!(config.addr, "127.0.0.1:8080");
+        assert_eq!(config.threads, 0, "0 = auto");
+        assert_eq!(config.max_resident, 64);
+        assert!(config.matcher.is_none());
+    }
+}

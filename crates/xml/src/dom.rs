@@ -124,6 +124,7 @@ fn build_element(
                 limit: "max_nodes",
                 limit_value: limits.max_nodes as u64,
                 actual: *nodes as u64,
+                offset: Some(position.offset),
             },
             position,
         ));
@@ -487,6 +488,7 @@ mod tests {
                 limit: "max_nodes",
                 limit_value: 4,
                 actual: 5,
+                offset: Some(_),
             }
         ));
     }

@@ -96,6 +96,10 @@ pub enum XmlErrorKind {
         limit_value: u64,
         /// The observed value that crossed it.
         actual: u64,
+        /// Byte offset of the first input byte that crossed the limit,
+        /// where the violation maps to a concrete input position (`None`
+        /// for derived quantities like compiled-tree node counts).
+        offset: Option<usize>,
     },
 }
 
@@ -127,10 +131,17 @@ impl fmt::Display for XmlErrorKind {
                 limit,
                 limit_value,
                 actual,
-            } => write!(
-                f,
-                "input exceeds the {limit} ingestion limit ({actual} > {limit_value})"
-            ),
+                offset,
+            } => {
+                write!(
+                    f,
+                    "input exceeds the {limit} ingestion limit ({actual} > {limit_value})"
+                )?;
+                if let Some(o) = offset {
+                    write!(f, ", first offending byte at offset {o}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -261,6 +272,7 @@ mod tests {
                     limit: "max_depth",
                     limit_value: 512,
                     actual: 513,
+                    offset: None,
                 },
                 "max_depth",
             ),
@@ -269,6 +281,25 @@ mod tests {
             let msg = kind.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn limit_exceeded_display_reports_first_offending_byte() {
+        let with_offset = XmlErrorKind::LimitExceeded {
+            limit: "max_depth",
+            limit_value: 2,
+            actual: 3,
+            offset: Some(41),
+        };
+        let msg = with_offset.to_string();
+        assert!(msg.contains("first offending byte at offset 41"), "{msg}");
+        let without = XmlErrorKind::LimitExceeded {
+            limit: "max_nodes",
+            limit_value: 10,
+            actual: 11,
+            offset: None,
+        };
+        assert!(!without.to_string().contains("offset"));
     }
 
     #[test]

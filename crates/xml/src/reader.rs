@@ -118,10 +118,13 @@ impl<'a> Reader<'a> {
     }
 
     fn limit_error(&self, limit: &'static str, limit_value: usize, actual: usize) -> XmlResult<()> {
+        // The cursor sits on the first byte that crossed the limit.
+        let offset = Some(self.cursor.position().offset);
         Err(self.cursor.error_at(XmlErrorKind::LimitExceeded {
             limit,
             limit_value: limit_value as u64,
             actual: actual as u64,
+            offset,
         }))
     }
 
@@ -154,11 +157,14 @@ impl<'a> Reader<'a> {
         if !self.size_checked {
             self.size_checked = true;
             if self.input_len > self.limits.max_input_bytes {
-                self.limit_error(
-                    "max_input_bytes",
-                    self.limits.max_input_bytes,
-                    self.input_len,
-                )?;
+                // The cursor still sits at the start; the first byte past
+                // the cap is the offending one.
+                return Err(self.cursor.error_at(XmlErrorKind::LimitExceeded {
+                    limit: "max_input_bytes",
+                    limit_value: self.limits.max_input_bytes as u64,
+                    actual: self.input_len as u64,
+                    offset: Some(self.limits.max_input_bytes),
+                }));
             }
         }
         if let Some((name, position)) = self.pending_end.take() {
@@ -320,6 +326,7 @@ impl<'a> Reader<'a> {
                                 limit: "max_depth",
                                 limit_value: self.limits.max_depth as u64,
                                 actual: self.stack.len() as u64,
+                                offset: Some(position.offset),
                             },
                             position,
                         ));
@@ -372,6 +379,7 @@ impl<'a> Reader<'a> {
                     limit: "max_depth",
                     limit_value: self.limits.max_depth as u64,
                     actual: self.stack.len() as u64,
+                    offset: Some(position.offset),
                 },
                 position,
             ));
@@ -834,6 +842,7 @@ mod tests {
                 limit: "max_input_bytes",
                 limit_value: 8,
                 actual: 11,
+                offset: Some(8),
             }
         ));
         // Exactly at the limit is fine.
@@ -902,6 +911,7 @@ mod tests {
                 limit: "max_depth",
                 limit_value: 2,
                 actual: 3,
+                offset: Some(_),
             }
         ));
     }

@@ -52,6 +52,12 @@ pub enum XsdError {
         limit_value: u64,
         /// The observed value that crossed it.
         actual: u64,
+        /// Byte offset of the first offending input byte, where the
+        /// violation maps to a concrete document position. `None` for
+        /// limits on derived quantities (compiled-tree node count and
+        /// depth, which named-type expansion can inflate far from any
+        /// single input byte).
+        offset: Option<usize>,
     },
 }
 
@@ -97,10 +103,17 @@ impl fmt::Display for XsdError {
                 limit,
                 limit_value,
                 actual,
-            } => write!(
-                f,
-                "schema exceeds the {limit} ingestion limit ({actual} > {limit_value})"
-            ),
+                offset,
+            } => {
+                write!(
+                    f,
+                    "schema exceeds the {limit} ingestion limit ({actual} > {limit_value})"
+                )?;
+                if let Some(o) = offset {
+                    write!(f, ", first offending byte at offset {o}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -122,12 +135,16 @@ impl From<XmlError> for XsdError {
             limit,
             limit_value,
             actual,
+            offset,
         } = e.kind()
         {
+            // Keep the first offending byte from the reader; fall back to
+            // the error position so the offset survives the conversion.
             return XsdError::LimitExceeded {
                 limit,
                 limit_value: *limit_value,
                 actual: *actual,
+                offset: offset.or(Some(e.position().offset)),
             };
         }
         XsdError::Xml(e)
@@ -171,9 +188,21 @@ mod tests {
             limit: "max_nodes",
             limit_value: 10,
             actual: 11,
+            offset: None,
         }
         .to_string()
         .contains("max_nodes"));
+        let positioned = XsdError::LimitExceeded {
+            limit: "max_depth",
+            limit_value: 2,
+            actual: 3,
+            offset: Some(17),
+        }
+        .to_string();
+        assert!(
+            positioned.contains("first offending byte at offset 17"),
+            "{positioned}"
+        );
     }
 
     #[test]
@@ -184,6 +213,7 @@ mod tests {
                 limit: "max_depth",
                 limit_value: 512,
                 actual: 513,
+                offset: Some(4096),
             },
             Position::START,
         );
@@ -194,8 +224,32 @@ mod tests {
                 limit: "max_depth",
                 limit_value: 512,
                 actual: 513,
+                offset: Some(4096),
             }
         );
+        // An xml-layer error without its own offset falls back to the
+        // error position's byte offset.
+        let xml = XmlError::new(
+            XmlErrorKind::LimitExceeded {
+                limit: "max_depth",
+                limit_value: 512,
+                actual: 513,
+                offset: None,
+            },
+            Position {
+                line: 2,
+                column: 3,
+                offset: 99,
+            },
+        );
+        let xsd: XsdError = xml.into();
+        assert!(matches!(
+            xsd,
+            XsdError::LimitExceeded {
+                offset: Some(99),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -396,6 +396,7 @@ impl<'s> TreeBuilder<'s> {
                 limit: "max_nodes",
                 limit_value: self.limits.max_nodes as u64,
                 actual: self.nodes.len() as u64 + 1,
+                offset: None,
             });
         }
         if node.level as usize > self.limits.max_depth {
@@ -403,6 +404,7 @@ impl<'s> TreeBuilder<'s> {
                 limit: "max_depth",
                 limit_value: self.limits.max_depth as u64,
                 actual: node.level as u64,
+                offset: None,
             });
         }
         let id = NodeId(self.nodes.len() as u32);
@@ -985,6 +987,7 @@ mod tests {
                 limit: "max_depth",
                 limit_value: 7,
                 actual: 8,
+                offset: None,
             })
         ));
         let enough = IngestLimits {
