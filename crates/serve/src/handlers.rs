@@ -273,6 +273,16 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
         Ok(algo) => algo,
         Err(response) => return response,
     };
+    let explain = req.query_param("explain") == Some("1");
+    // Reject the invalid combination up front, before the (potentially
+    // expensive) match runs.
+    if explain && !matches!(algo, Algo::Hybrid) {
+        return error(
+            400,
+            "bad_request",
+            "explain=1 requires the hybrid algorithm",
+        );
+    }
     let lookup = required_schema(req, registry, "source")
         .and_then(|s| required_schema(req, registry, "target").map(|t| (s, t)));
     let ((source_name, source), (target_name, target)) = match lookup {
@@ -315,7 +325,7 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
     if matches!(algo, Algo::Hybrid) {
         let category = session.category(sp, tp, &outcome);
         body = body.field("category", Json::str(category.to_string()));
-        if req.query_param("explain") == Some("1") {
+        if explain {
             let explanations = mapping
                 .pairs
                 .iter()
@@ -329,12 +339,6 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
                 .collect();
             body = body.field("explanations", Json::Arr(explanations));
         }
-    } else if req.query_param("explain") == Some("1") {
-        return error(
-            400,
-            "bad_request",
-            "explain=1 requires the hybrid algorithm",
-        );
     }
     Response::json(200, body.render())
 }

@@ -89,12 +89,15 @@ impl Conn {
     /// Reads and parses the next request. `max_body` caps the declared
     /// `Content-Length`; `idle_ticks` bounds how many consecutive read
     /// timeouts are tolerated while *no* request bytes have arrived;
-    /// `should_abort` is polled on every timeout tick.
+    /// `should_abort` is polled on every timeout tick with whether the
+    /// connection is idle (no request bytes buffered yet) — callers can
+    /// abort idle keep-alive waits eagerly (e.g. under queue pressure)
+    /// while only aborting mid-request reads on a real shutdown.
     pub fn next_request(
         &mut self,
         max_body: usize,
         idle_ticks: u32,
-        should_abort: &mut dyn FnMut() -> bool,
+        should_abort: &mut dyn FnMut(bool) -> bool,
     ) -> Result<Request, RecvError> {
         let head_end = loop {
             if let Some(pos) = find_head_end(&self.residual) {
@@ -142,7 +145,7 @@ impl Conn {
         &mut self,
         idle_ticks: u32,
         allow_idle: bool,
-        should_abort: &mut dyn FnMut() -> bool,
+        should_abort: &mut dyn FnMut(bool) -> bool,
     ) -> Result<(), RecvError> {
         let mut chunk = [0u8; 4096];
         let mut ticks = 0u32;
@@ -160,7 +163,7 @@ impl Conn {
                     return Ok(());
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if should_abort() {
+                    if should_abort(allow_idle && self.residual.is_empty()) {
                         return Err(RecvError::Closed);
                     }
                     ticks += 1;
@@ -295,10 +298,21 @@ pub fn parse_head(text: &str) -> Result<Head, &'static str> {
         }
         headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
     }
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => Some(v.parse::<usize>().map_err(|_| "bad content-length")?),
-        None => None,
-    };
+    // Only Content-Length framing is implemented; silently treating a
+    // chunked body as length 0 would desync the connection (the chunk
+    // bytes would parse as the next pipelined request).
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err("transfer-encoding is not supported (use content-length)");
+    }
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let n = v.parse::<usize>().map_err(|_| "bad content-length")?;
+        // RFC 9112 §6.3: duplicates must agree, else the framing is
+        // ambiguous and the request is rejected.
+        if content_length.replace(n).is_some_and(|prev| prev != n) {
+            return Err("conflicting content-length headers");
+        }
+    }
     let connection = headers
         .iter()
         .find(|(k, _)| k == "connection")
@@ -426,6 +440,23 @@ mod tests {
         assert!(parse_head("GET / HTTP/1.1\r\nno-colon-line").is_err());
         assert!(parse_head("GET / HTTP/1.1\r\nContent-Length: lots").is_err());
         assert!(parse_head("GET /%zz HTTP/1.1").is_err());
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        assert!(parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked").is_err());
+        // Even alongside Content-Length — the framing would be ambiguous.
+        assert!(
+            parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_content_length_must_agree() {
+        let agree = parse_head("POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3");
+        assert_eq!(agree.unwrap().content_length, Some(3));
+        assert!(parse_head("POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4").is_err());
     }
 
     #[test]

@@ -61,7 +61,6 @@ struct Resident {
 struct Inner {
     entries: BTreeMap<String, Entry>,
     resident: HashMap<String, Resident>,
-    tick: u64,
 }
 
 /// A thread-safe named-schema store over one shared [`MatchSession`].
@@ -69,6 +68,10 @@ pub struct Registry {
     session: MatchSession,
     inner: RwLock<Inner>,
     max_resident: usize,
+    /// Logical clock for LRU ordering. Registry-level and atomic so a hit
+    /// under the read lock can still claim a strictly newer timestamp than
+    /// every earlier registration or hit.
+    tick: AtomicU64,
     prepare_hits: AtomicU64,
     prepare_misses: AtomicU64,
     evictions: AtomicU64,
@@ -82,6 +85,7 @@ impl Registry {
             session,
             inner: RwLock::new(Inner::default()),
             max_resident: max_resident.max(1),
+            tick: AtomicU64::new(0),
             prepare_hits: AtomicU64::new(0),
             prepare_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -100,8 +104,7 @@ impl Registry {
         let tree = Arc::new(tree);
         let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
         let mut inner = self.inner.write().expect("registry lock");
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.next_tick();
         let replaced = inner
             .entries
             .insert(
@@ -129,15 +132,28 @@ impl Registry {
         }
     }
 
+    /// The next logical-clock value, strictly greater than every value
+    /// handed out before.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Evicts least-recently-used residents until the cap holds, never
-    /// evicting `keep` (the schema just touched).
+    /// evicting `keep` (the schema just touched). Ties (impossible under
+    /// the strictly-increasing clock, but cheap to guard) break by name so
+    /// eviction never depends on `HashMap` iteration order.
     fn evict_over_cap(&self, inner: &mut Inner, keep: &str) {
         while inner.resident.len() > self.max_resident {
             let victim = inner
                 .resident
                 .iter()
                 .filter(|(name, _)| *name != keep)
-                .min_by_key(|(_, r)| r.last_used.load(Ordering::Relaxed))
+                .min_by(|(an, a), (bn, b)| {
+                    a.last_used
+                        .load(Ordering::Relaxed)
+                        .cmp(&b.last_used.load(Ordering::Relaxed))
+                        .then_with(|| an.cmp(bn))
+                })
                 .map(|(name, _)| name.clone());
             match victim {
                 Some(name) => {
@@ -158,10 +174,11 @@ impl Registry {
                 return None;
             }
             if let Some(resident) = inner.resident.get(name) {
-                // A racing writer may bump `tick` concurrently; any recent
-                // value keeps LRU ordering approximately right, which is
-                // all an eviction heuristic needs.
-                resident.last_used.store(inner.tick, Ordering::Relaxed);
+                // Claim a strictly newer tick so this hit outranks every
+                // earlier registration or hit in LRU order — the clock is
+                // registry-level and atomic precisely so the hit path can
+                // advance it under the read lock.
+                resident.last_used.store(self.next_tick(), Ordering::Relaxed);
                 self.prepare_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(resident.prepared.clone());
             }
@@ -177,8 +194,7 @@ impl Registry {
         if !inner.entries.contains_key(name) {
             return None; // deleted concurrently (future-proofing)
         }
-        inner.tick += 1;
-        let tick = inner.tick;
+        let tick = self.next_tick();
         let resident = inner
             .resident
             .entry(name.to_owned())

@@ -6,6 +6,17 @@
 //! [`install_signal_handlers`], used by `qmatch serve`). Both set flags the
 //! accept loop and the per-connection read loops poll, so an idle server
 //! stops within one poll interval and in-flight requests finish first.
+//!
+//! Each connection pins its worker thread for as long as it is being
+//! served, including keep-alive waits between requests. To keep that from
+//! starving newly accepted connections when every worker holds an idle
+//! keep-alive client, workers poll a shared pending-connection counter:
+//! while connections are queued, idle keep-alive waits are cut short and
+//! responses are sent with `Connection: close` — only *idle* waits, so
+//! requests in flight are never dropped. A client that keeps issuing
+//! requests can still occupy a worker for up to [`IDLE_TICKS`] per wait
+//! when the queue is empty; that is the accepted trade-off of a fixed
+//! thread-per-connection pool.
 
 use crate::handlers;
 use crate::http::{Conn, RecvError};
@@ -17,7 +28,7 @@ use qmatch_lexicon::NameMatcher;
 use qmatch_xsd::IngestLimits;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -131,6 +142,9 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        // Connections accepted but not yet picked up by a worker; idle
+        // keep-alive waits are cut short while this is non-zero.
+        let pending = Arc::new(AtomicUsize::new(0));
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -145,9 +159,12 @@ impl Server {
                 let metrics = self.metrics.clone();
                 let limits = self.limits;
                 let shutdown = self.shutdown.clone();
+                let pending = pending.clone();
                 std::thread::Builder::new()
                     .name(format!("qmatch-serve-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry, &metrics, &limits, &shutdown))
+                    .spawn(move || {
+                        worker_loop(&rx, &registry, &metrics, &limits, &shutdown, &pending)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -155,6 +172,7 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nodelay(true);
+                    pending.fetch_add(1, Ordering::Relaxed);
                     if tx.send(stream).is_err() {
                         break;
                     }
@@ -187,6 +205,7 @@ fn worker_loop(
     metrics: &Metrics,
     limits: &IngestLimits,
     shutdown: &AtomicBool,
+    pending: &AtomicUsize,
 ) {
     loop {
         let stream = {
@@ -194,26 +213,37 @@ fn worker_loop(
             queue.recv()
         };
         match stream {
-            Ok(stream) => serve_conn(stream, registry, metrics, limits, shutdown),
+            Ok(stream) => {
+                pending.fetch_sub(1, Ordering::Relaxed);
+                serve_conn(stream, registry, metrics, limits, shutdown, pending);
+            }
             Err(_) => break,
         }
     }
 }
 
 /// Serves one connection: keep-alive request loop with shutdown polling.
+/// Idle keep-alive waits additionally abort (and responses switch to
+/// `Connection: close`) while accepted connections are queued, so one slow
+/// client cannot pin this worker while others wait.
 fn serve_conn(
     stream: TcpStream,
     registry: &Registry,
     metrics: &Metrics,
     limits: &IngestLimits,
     shutdown: &AtomicBool,
+    pending: &AtomicUsize,
 ) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }
     let mut conn = Conn::new(stream);
     loop {
-        let mut abort = || shutdown.load(Ordering::Relaxed) || signal_received();
+        let mut abort = |idle: bool| {
+            shutdown.load(Ordering::Relaxed)
+                || signal_received()
+                || (idle && pending.load(Ordering::Relaxed) > 0)
+        };
         match conn.next_request(limits.max_input_bytes, IDLE_TICKS, &mut abort) {
             Ok(request) => {
                 let start = Instant::now();
@@ -221,8 +251,9 @@ fn serve_conn(
                 let micros = start.elapsed().as_micros() as u64;
                 metrics.record(endpoint, response.status, micros);
                 // Finish the in-flight response, but do not wait for more
-                // requests once shutdown is in progress.
-                let keep = request.keep_alive && !abort();
+                // requests once shutdown is in progress or the queue is
+                // backed up (the post-response wait would be idle time).
+                let keep = request.keep_alive && !abort(true);
                 if conn.write_response(&response, keep).is_err() || !keep {
                     break;
                 }
