@@ -7,9 +7,22 @@
 
 use qmatch_bench::harness::Harness;
 use qmatch_bench::synth_tree::{balanced_tree, balanced_tree_with_vocab, SCHEMA_VOCAB};
-use qmatch_core::algorithms::{hybrid_match, hybrid_match_sequential};
+use qmatch_bench::Algorithm;
 use qmatch_core::model::MatchConfig;
+use qmatch_core::session::MatchSession;
+use qmatch_xsd::SchemaTree;
 use std::hint::black_box;
+
+fn one_shot(tree: &SchemaTree, config: &MatchConfig, sequential: bool) -> f64 {
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(tree), session.prepare(tree));
+    let run = if sequential {
+        session.run_sequential(&Algorithm::Hybrid.core(), &sp, &tp)
+    } else {
+        session.run(&Algorithm::Hybrid.core(), &sp, &tp)
+    };
+    run.expect("hybrid is infallible").total_qom
+}
 
 fn main() {
     let h = Harness::from_env();
@@ -22,10 +35,10 @@ fn main() {
         let tree = balanced_tree_with_vocab(branch, depth, SCHEMA_VOCAB);
         let n = tree.len();
         h.bench(&format!("treematch/engine/sequential/{n}"), || {
-            black_box(hybrid_match_sequential(&tree, &tree, &config).total_qom)
+            black_box(one_shot(&tree, &config, true))
         });
         h.bench(&format!("treematch/engine/parallel/{n}"), || {
-            black_box(hybrid_match(&tree, &tree, &config).total_qom)
+            black_box(one_shot(&tree, &config, false))
         });
     }
 
@@ -33,8 +46,7 @@ fn main() {
         let tree = balanced_tree(branch, depth);
         let n = tree.len();
         h.bench(&format!("treematch/onm-scaling/{n}"), || {
-            let out = hybrid_match(&tree, &tree, &config);
-            black_box(out.total_qom)
+            black_box(one_shot(&tree, &config, false))
         });
     }
 
@@ -43,9 +55,9 @@ fn main() {
     let deep = balanced_tree(2, 6); // 127 nodes
     let wide = balanced_tree(126, 1); // 127 nodes
     h.bench("treematch/shape/deep-narrow-127", || {
-        black_box(hybrid_match(&deep, &deep, &config).total_qom)
+        black_box(one_shot(&deep, &config, false))
     });
     h.bench("treematch/shape/flat-wide-127", || {
-        black_box(hybrid_match(&wide, &wide, &config).total_qom)
+        black_box(one_shot(&wide, &config, false))
     });
 }

@@ -9,17 +9,34 @@
 //! for every pair after the first. `cache_hit_rate` is the session's
 //! label-cache hit fraction at the end of the timed matches.
 //!
-//! `cargo run --release -p qmatch-bench --bin bench_treematch [OUT.json]`
+//! The timed matches run with no trace sink attached (the `NullSink` fast
+//! path); a separate recorder-attached warm run supplies the per-phase
+//! breakdown (`phases` in the JSON), whose wall times should sum to within
+//! ~10% of `match_ms`.
+//!
+//! `cargo run --release -p qmatch-bench --bin bench_treematch [OUT.json] [--test] [--trace]`
+//!
+//! * `--test`  — smoke mode: only the smallest shape, no JSON written
+//!   (unless an output path is given explicitly). Used by CI's
+//!   trace-overhead check.
+//! * `--trace` — attach a [`Recorder`] to the
+//!   timed matches and print its per-phase report. This deliberately puts
+//!   the recorder on the hot path, so `match_ms` then includes trace
+//!   overhead; comparing a `--test` run against a `--test --trace` run
+//!   bounds the recorder's cost.
 //!
 //! The speedup column only exceeds 1.0 on multicore hardware; the `threads`
 //! and `cores` fields record what the run had available.
 
 use qmatch_bench::synth_tree::{balanced_tree_with_vocab, SCHEMA_VOCAB};
-use qmatch_core::algorithms::{hybrid_match, hybrid_match_sequential};
+use qmatch_core::algorithms::Algorithm;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::par;
 use qmatch_core::report::Table;
 use qmatch_core::session::MatchSession;
+use qmatch_core::trace::{Phase, Recorder};
+use qmatch_xsd::SchemaTree;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Median wall time of `runs` invocations.
@@ -35,16 +52,52 @@ fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// One-shot hybrid match through the session API: prepare + match, the same
+/// work the deprecated `hybrid_match` wrapper used to do.
+fn one_shot(tree: &SchemaTree, config: &MatchConfig, sequential: bool) -> f64 {
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(tree), session.prepare(tree));
+    let run = if sequential {
+        session.run_sequential(&Algorithm::Hybrid, &sp, &tp)
+    } else {
+        session.run(&Algorithm::Hybrid, &sp, &tp)
+    };
+    run.expect("hybrid is infallible").total_qom
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_treematch.json".to_owned());
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut trace = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => smoke = true,
+            "--trace" => trace = true,
+            other if !other.starts_with('-') => out_path = Some(other.to_owned()),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_treematch [OUT.json] [--test] [--trace]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke mode writes no JSON unless a path was given explicitly.
+    let out_path = match (out_path, smoke) {
+        (Some(p), _) => Some(p),
+        (None, false) => Some("BENCH_treematch.json".to_owned()),
+        (None, true) => None,
+    };
     let config = MatchConfig::default();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = par::num_threads();
 
     // (branch, depth) ladders spanning ~10² to ~10⁴ nodes.
-    let shapes = [(4usize, 3usize), (3, 6), (3, 8)];
+    let shapes: &[(usize, usize)] = if smoke {
+        &[(4, 3)]
+    } else {
+        &[(4, 3), (3, 6), (3, 8)]
+    };
     let mut table = Table::new([
         "nodes",
         "pairs n*m",
@@ -55,29 +108,60 @@ fn main() {
         "match ms",
     ]);
     let mut entries = Vec::new();
-    for (branch, depth) in shapes {
+    for &(branch, depth) in shapes {
         let tree = balanced_tree_with_vocab(branch, depth, SCHEMA_VOCAB);
         let n = tree.len();
         // Larger trees get fewer repetitions; the DP dominates either way.
         let runs = if n >= 5000 { 3 } else { 7 };
         // One untimed run per engine: thesaurus construction and allocator
         // warm-up would otherwise land entirely on the first sample.
-        std::hint::black_box(hybrid_match_sequential(&tree, &tree, &config).total_qom);
-        std::hint::black_box(hybrid_match(&tree, &tree, &config).total_qom);
-        let seq = time_median(runs, || {
-            hybrid_match_sequential(&tree, &tree, &config).total_qom
-        });
-        let par = time_median(runs, || hybrid_match(&tree, &tree, &config).total_qom);
+        std::hint::black_box(one_shot(&tree, &config, true));
+        std::hint::black_box(one_shot(&tree, &config, false));
+        let seq = time_median(runs, || one_shot(&tree, &config, true));
+        let par = time_median(runs, || one_shot(&tree, &config, false));
 
         // Session split: prepare is the once-per-schema cost; match is the
         // warm-cache per-pair cost (tokenization, waves, and label
-        // comparisons all amortized away).
-        let session = MatchSession::new(config);
+        // comparisons all amortized away). `--trace` pins a recorder on this
+        // session so its overhead lands inside the timed region.
+        let mut session = MatchSession::new(config);
+        let timed_recorder = trace.then(|| Arc::new(Recorder::default()));
+        if let Some(rec) = &timed_recorder {
+            session.set_trace_sink(rec.clone());
+        }
         std::hint::black_box(session.prepare(&tree).distinct_labels());
         let prepare = time_median(runs, || session.prepare(&tree).distinct_labels() as f64);
         let (sp, tp) = (session.prepare(&tree), session.prepare(&tree));
         std::hint::black_box(session.hybrid(&sp, &tp).total_qom);
-        let matched = time_median(runs, || session.hybrid(&sp, &tp).total_qom);
+
+        // Per-phase breakdown from a separate recorder-attached session so
+        // the match timings stay sink-free. The sink-free and traced
+        // matches are interleaved so both medians sample the same noise
+        // regime — their totals must agree to ~10%, which a sequential
+        // "time all, then trace all" layout does not guarantee on a busy
+        // machine.
+        let traced = Arc::new(Recorder::default());
+        let mut traced_session = MatchSession::new(config);
+        traced_session.set_trace_sink(traced.clone());
+        let (tsp, ttp) = (traced_session.prepare(&tree), traced_session.prepare(&tree));
+        std::hint::black_box(traced_session.hybrid(&tsp, &ttp).total_qom);
+        let mut match_samples: Vec<Duration> = Vec::with_capacity(runs);
+        let mut phase_samples: Vec<(f64, f64)> = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            std::hint::black_box(session.hybrid(&sp, &tp).total_qom);
+            match_samples.push(start.elapsed());
+            traced.reset();
+            std::hint::black_box(traced_session.hybrid(&tsp, &ttp).total_qom);
+            phase_samples.push((
+                traced.phase_stats(Phase::Labels).wall_ms(),
+                traced.phase_stats(Phase::HybridWave).wall_ms(),
+            ));
+        }
+        match_samples.sort();
+        let matched = match_samples[runs / 2];
+        phase_samples.sort_by(|a, b| (a.0 + a.1).total_cmp(&(b.0 + b.1)));
+        let (labels_ms, wave_ms) = phase_samples[runs / 2];
         let hit_rate = session.cache_stats().hit_rate();
 
         let seq_ms = seq.as_secs_f64() * 1e3;
@@ -98,18 +182,27 @@ fn main() {
             "    {{\"nodes\": {n}, \"pairs\": {}, \"seq_ms\": {seq_ms:.3}, \
              \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}, \
              \"prepare_ms\": {prepare_ms:.3}, \"match_ms\": {match_ms:.3}, \
-             \"cache_hit_rate\": {hit_rate:.3}}}",
+             \"cache_hit_rate\": {hit_rate:.3}, \
+             \"phases\": {{\"labels_ms\": {labels_ms:.3}, \"hybrid_wave_ms\": {wave_ms:.3}}}}}",
             n * n
         ));
+
+        if let Some(rec) = &timed_recorder {
+            println!("--- trace report ({n} nodes, timed session) ---");
+            print!("{}", rec.report());
+            println!();
+        }
     }
 
     println!("TreeMatch engine: sequential vs wavefront ({threads} thread(s), {cores} core(s))\n");
     print!("{}", table.render());
 
-    let json = format!(
-        "{{\n  \"bench\": \"treematch\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \"sizes\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("\nwrote {out_path}");
+    if let Some(out_path) = out_path {
+        let json = format!(
+            "{{\n  \"bench\": \"treematch\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        println!("\nwrote {out_path}");
+    }
 }

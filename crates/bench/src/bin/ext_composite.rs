@@ -10,15 +10,21 @@
 //! Library/Human pair Max inherits the structural matcher's false certainty.
 
 use qmatch_bench::{book_pair, dcmd_pair, po_pair, Algorithm};
-use qmatch_core::algorithms::{composite_match, Aggregation, Component};
+use qmatch_core::algorithms::{Aggregation, Algorithm as CoreAlgorithm, Component};
 use qmatch_core::eval::evaluate;
 use qmatch_core::mapping::extract_mapping;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::report::{f3, Table};
+use qmatch_core::session::MatchSession;
 
 fn main() {
     let pairs = [po_pair(), book_pair(), dcmd_pair()];
     let config = MatchConfig::default();
+    let session = MatchSession::new(config);
+    let prepared: Vec<_> = pairs
+        .iter()
+        .map(|p| (session.prepare(&p.source), session.prepare(&p.target)))
+        .collect();
 
     // (name, components, aggregation, extraction threshold). Thresholds sit
     // at each combination's semantic midpoint, mirroring Figure 5's setup.
@@ -75,10 +81,15 @@ fn main() {
     table.row(hybrid_row);
 
     for (name, components, aggregation, threshold) in &setups {
+        let algorithm = CoreAlgorithm::Composite {
+            components: components.clone(),
+            aggregation: aggregation.clone(),
+        };
         let mut row = vec![(*name).to_owned()];
         let mut total = 0.0;
-        for pair in &pairs {
-            let out = composite_match(&pair.source, &pair.target, &config, components, aggregation)
+        for (pair, (sp, tp)) in pairs.iter().zip(&prepared) {
+            let out = session
+                .run(&algorithm, sp, tp)
                 .expect("valid configuration");
             let mapping = extract_mapping(&out.matrix, *threshold);
             let overall = evaluate(&mapping, &pair.source, &pair.target, &pair.gold).overall;

@@ -8,7 +8,7 @@
 //! fixed branching).
 
 use qmatch_bench::synth_tree::balanced_tree;
-use qmatch_core::algorithms::hybrid_match;
+use qmatch_bench::Algorithm;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::par;
 use qmatch_core::report::Table;
@@ -35,7 +35,7 @@ fn main() {
             (0..runs)
                 .map(|_| {
                     let start = Instant::now();
-                    std::hint::black_box(hybrid_match(&tree, &tree, &config).total_qom);
+                    std::hint::black_box(Algorithm::Hybrid.run(&tree, &tree, &config).total_qom);
                     start.elapsed()
                 })
                 .collect(),
@@ -69,7 +69,7 @@ fn main() {
     let trees: Vec<SchemaTree> = (3..=6).map(|depth| balanced_tree(3, depth)).collect();
     let start = Instant::now();
     for tree in &trees {
-        std::hint::black_box(hybrid_match(tree, tree, &config).total_qom);
+        std::hint::black_box(Algorithm::Hybrid.run(tree, tree, &config).total_qom);
     }
     let one_at_a_time = start.elapsed();
     let session = MatchSession::new(config);

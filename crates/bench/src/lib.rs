@@ -18,9 +18,7 @@
 pub mod harness;
 pub mod synth_tree;
 
-use qmatch_core::algorithms::{
-    hybrid_match, linguistic_match, structural_match, tree_edit_match, MatchOutcome,
-};
+use qmatch_core::algorithms::{Algorithm as CoreAlgorithm, MatchOutcome};
 use qmatch_core::eval::GoldStandard;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::session::MatchSession;
@@ -59,6 +57,16 @@ impl Algorithm {
         }
     }
 
+    /// The corresponding [`qmatch_core::algorithms::Algorithm`] selector.
+    pub fn core(self) -> CoreAlgorithm {
+        match self {
+            Algorithm::Linguistic => CoreAlgorithm::Linguistic,
+            Algorithm::Structural => CoreAlgorithm::Structural,
+            Algorithm::Hybrid => CoreAlgorithm::Hybrid,
+            Algorithm::TreeEdit => CoreAlgorithm::TreeEdit,
+        }
+    }
+
     /// Runs the algorithm.
     pub fn run(
         self,
@@ -66,12 +74,11 @@ impl Algorithm {
         target: &SchemaTree,
         config: &MatchConfig,
     ) -> MatchOutcome {
-        match self {
-            Algorithm::Linguistic => linguistic_match(source, target, config),
-            Algorithm::Structural => structural_match(source, target, config),
-            Algorithm::Hybrid => hybrid_match(source, target, config),
-            Algorithm::TreeEdit => tree_edit_match(source, target, config),
-        }
+        let session = MatchSession::new(*config);
+        let (sp, tp) = (session.prepare(source), session.prepare(target));
+        session
+            .run(&self.core(), &sp, &tp)
+            .expect("non-composite algorithms are infallible")
     }
 
     /// The mapping-extraction (acceptance) threshold for this algorithm's

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies): subcommands,
 //! `--flag value` and `--flag=value` options, and typed validation.
 
-use qmatch_core::model::{LexiconMode, MatchConfig, Weights};
+use qmatch_core::model::{LexiconMode, MatchConfig};
 use std::fmt;
 
 /// The usage text shown on parse errors and by `qmatch help`.
@@ -37,6 +37,8 @@ MATCH / EVALUATE OPTIONS:
     --explain <SOURCE/PATH>      explain the QoM of this source node's best
                                  candidates (hybrid only)
     --matrix-csv <FILE>          also write the full similarity matrix as CSV
+    --trace                      print a per-phase pipeline timing report
+                                 (prepare, labels, waves) to stderr
 
 INSPECT / GENERATE OPTIONS:
     --root <NAME>                global element to compile
@@ -116,6 +118,8 @@ pub struct MatchOptions {
     pub thesaurus: Option<String>,
     /// Write the similarity matrix as CSV to this path (match command).
     pub matrix_csv: Option<String>,
+    /// Print a per-phase pipeline timing report to stderr.
+    pub trace: bool,
 }
 
 impl Default for MatchOptions {
@@ -131,6 +135,7 @@ impl Default for MatchOptions {
             explain: None,
             thesaurus: None,
             matrix_csv: None,
+            trace: false,
         }
     }
 }
@@ -358,6 +363,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 || built.matrix_csv.is_some()
                 || built.source_root.is_some()
                 || built.target_root.is_some()
+                || built.trace
             {
                 return Err(err("serve configures per-request knobs over HTTP; only \
                      --weights/--child-threshold/--lexicon/--thesaurus apply"));
@@ -411,6 +417,7 @@ struct RawOptions {
     explain: Option<String>,
     thesaurus: Option<String>,
     matrix_csv: Option<String>,
+    trace: bool,
 }
 
 impl RawOptions {
@@ -425,6 +432,9 @@ impl RawOptions {
                 other => return Err(err(format!("unknown algorithm {other:?}"))),
             };
         }
+        // The config options funnel through MatchConfig::builder, which
+        // owns the validation (unit-sum weights, threshold range).
+        let mut builder = MatchConfig::builder();
         if let Some(w) = &self.weights {
             let parts: Vec<f64> = w
                 .split(',')
@@ -434,22 +444,25 @@ impl RawOptions {
             let [l, p, h, c]: [f64; 4] = parts
                 .try_into()
                 .map_err(|_| err("--weights needs exactly four comma-separated numbers"))?;
-            options.config.weights =
-                Weights::new(l, p, h, c).map_err(|e| err(format!("--weights: {e}")))?;
+            builder = builder.weights(l, p, h, c);
         }
         if let Some(t) = &self.child_threshold {
-            options.config.threshold = parse_unit(t, "--child-threshold")?;
-        }
-        if let Some(t) = &self.threshold {
-            options.threshold = Some(parse_unit(t, "--threshold")?);
+            let parsed: f64 = t
+                .parse()
+                .map_err(|_| err(format!("--child-threshold {t:?} is not a number")))?;
+            builder = builder.threshold(parsed);
         }
         if let Some(mode) = &self.lexicon {
-            options.config.lexicon = match mode.as_str() {
+            builder = builder.lexicon(match mode.as_str() {
                 "full" => LexiconMode::Full,
                 "fuzzy" => LexiconMode::FuzzyOnly,
                 "exact" => LexiconMode::ExactOnly,
                 other => return Err(err(format!("unknown lexicon mode {other:?}"))),
-            };
+            });
+        }
+        options.config = builder.build().map_err(|e| err(e.to_string()))?;
+        if let Some(t) = &self.threshold {
+            options.threshold = Some(parse_unit(t, "--threshold")?);
         }
         options.source_root = self.source_root.clone();
         options.target_root = self.target_root.clone();
@@ -458,6 +471,7 @@ impl RawOptions {
         options.explain = self.explain.clone();
         options.thesaurus = self.thesaurus.clone();
         options.matrix_csv = self.matrix_csv.clone();
+        options.trace = self.trace;
         Ok(options)
     }
 
@@ -472,6 +486,7 @@ impl RawOptions {
             || self.explain.is_some()
             || self.thesaurus.is_some()
             || self.matrix_csv.is_some()
+            || self.trace
         {
             return Err(err(format!("{sub} does not accept match options")));
         }
@@ -530,6 +545,7 @@ fn parse_common<'a>(
                 "max-schemas" => options.max_schemas = Some(take(&mut args)?),
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
+                "trace" => options.trace = true,
                 "explain" => options.explain = Some(take(&mut args)?),
                 "thesaurus" => options.thesaurus = Some(take(&mut args)?),
                 "matrix-csv" => options.matrix_csv = Some(take(&mut args)?),
@@ -562,6 +578,7 @@ fn two_positional(positional: Vec<String>, sub: &str) -> Result<[String; 2], Arg
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qmatch_core::model::Weights;
 
     #[test]
     fn parses_match_with_defaults() {
@@ -616,6 +633,21 @@ mod tests {
         assert_eq!(options.source_root.as_deref(), Some("PO"));
         assert_eq!(options.target_root.as_deref(), Some("Order"));
         assert!(options.total_only);
+        assert!(!options.trace);
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let cmd = parse(["match", "a.xsd", "b.xsd", "--trace"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert!(options.trace);
+        // Session-running subcommands accept it; the others reject it.
+        assert!(parse(["match-many", "p.tsv", "--trace"]).is_ok());
+        assert!(parse(["evaluate", "a", "b", "--gold", "g.tsv", "--trace"]).is_ok());
+        assert!(parse(["inspect", "a.xsd", "--trace"]).is_err());
+        assert!(parse(["serve", "--trace"]).is_err());
     }
 
     #[test]

@@ -2,14 +2,16 @@
 
 use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
 use crate::gold_file;
-use qmatch_core::algorithms::{tree_edit_match, MatchOutcome};
+use qmatch_core::algorithms::{Algorithm, MatchOutcome};
 use qmatch_core::eval::evaluate;
 use qmatch_core::mapping::{extract_mapping, path_of};
 use qmatch_core::report::{f3, Table};
 use qmatch_core::session::{MatchSession, PreparedSchema};
+use qmatch_core::trace::Recorder;
 use qmatch_xsd::{parse_schema, NodeKind, SchemaTree};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A command failure with context (file, phase).
 #[derive(Debug)]
@@ -55,11 +57,12 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             options,
         } => {
             let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
-            let session = build_session(&options)?;
+            let (session, recorder) = build_session(&options)?;
             let (prepared_source, prepared_target) =
                 (session.prepare(&source_tree), session.prepare(&target_tree));
             let (outcome, threshold) =
                 execute(&session, &prepared_source, &prepared_target, &options);
+            emit_trace(recorder.as_deref());
             if let Some(csv_path) = &options.matrix_csv {
                 let csv = outcome.matrix.to_csv(&source_tree, &target_tree);
                 std::fs::write(csv_path, csv)
@@ -112,11 +115,12 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             let gold_text = std::fs::read_to_string(&gold)
                 .map_err(|e| fail(format!("cannot read {gold}: {e}")))?;
             let gold_set = gold_file::parse_gold(&gold_text).map_err(|e| fail(e.to_string()))?;
-            let session = build_session(&options)?;
+            let (session, recorder) = build_session(&options)?;
             let (prepared_source, prepared_target) =
                 (session.prepare(&source_tree), session.prepare(&target_tree));
             let (outcome, threshold) =
                 execute(&session, &prepared_source, &prepared_target, &options);
+            emit_trace(recorder.as_deref());
             let mapping = extract_mapping(&outcome.matrix, threshold);
             let quality = evaluate(&mapping, &source_tree, &target_tree, &gold_set);
 
@@ -230,7 +234,7 @@ fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), Co
             }
         }
     }
-    let session = build_session(options)?;
+    let (session, recorder) = build_session(options)?;
     let prepared: Vec<PreparedSchema> = trees.iter().map(|t| session.prepare(t)).collect();
     let corpus: Vec<(&PreparedSchema, &PreparedSchema)> = rows
         .iter()
@@ -242,6 +246,7 @@ fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), Co
         })
         .collect();
     let outcomes = session.match_corpus(&corpus);
+    emit_trace(recorder.as_deref());
     let threshold = options
         .threshold
         .unwrap_or_else(|| options.config.weights.acceptance_threshold());
@@ -449,12 +454,30 @@ fn load_matcher(
 }
 
 /// Builds the match session for a command invocation: the configuration
-/// plus the (optionally extended) name matcher.
-fn build_session(options: &MatchOptions) -> Result<MatchSession, CommandError> {
-    Ok(match load_matcher(options)? {
+/// plus the (optionally extended) name matcher. With `--trace`, a
+/// [`Recorder`] is installed on the session and returned alongside it so
+/// the caller can print the per-phase report once the work is done.
+fn build_session(
+    options: &MatchOptions,
+) -> Result<(MatchSession, Option<Arc<Recorder>>), CommandError> {
+    let mut session = match load_matcher(options)? {
         Some(matcher) => MatchSession::with_matcher(options.config, matcher),
         None => MatchSession::new(options.config),
-    })
+    };
+    let recorder = options.trace.then(|| {
+        let recorder = Arc::new(Recorder::default());
+        session.set_trace_sink(recorder.clone());
+        recorder
+    });
+    Ok((session, recorder))
+}
+
+/// Prints the `--trace` per-phase report to stderr, keeping stdout clean
+/// for the match result itself.
+fn emit_trace(recorder: Option<&Recorder>) {
+    if let Some(recorder) = recorder {
+        eprint!("{}", recorder.report());
+    }
 }
 
 /// Runs the selected algorithm over prepared schemas and returns the
@@ -466,15 +489,15 @@ fn execute(
     options: &MatchOptions,
 ) -> (MatchOutcome, f64) {
     let config = &options.config;
-    let (outcome, default_threshold) = match options.algorithm {
-        AlgorithmChoice::Hybrid => (
-            session.hybrid(source, target),
-            config.weights.acceptance_threshold(),
-        ),
-        AlgorithmChoice::Linguistic => (session.linguistic(source, target), 0.5),
-        AlgorithmChoice::Structural => (session.structural(source, target), 0.95),
-        AlgorithmChoice::TreeEdit => (tree_edit_match(source.tree(), target.tree(), config), 0.5),
+    let (algorithm, default_threshold) = match options.algorithm {
+        AlgorithmChoice::Hybrid => (Algorithm::Hybrid, config.weights.acceptance_threshold()),
+        AlgorithmChoice::Linguistic => (Algorithm::Linguistic, 0.5),
+        AlgorithmChoice::Structural => (Algorithm::Structural, 0.95),
+        AlgorithmChoice::TreeEdit => (Algorithm::TreeEdit, 0.5),
     };
+    let outcome = session
+        .run(&algorithm, source, target)
+        .expect("built-in algorithms are infallible");
     (outcome, options.threshold.unwrap_or(default_threshold))
 }
 

@@ -10,10 +10,11 @@
 //! outcomes, so QMatch can be compared against (and itself participate in)
 //! composite configurations.
 
-use super::{hybrid_match, linguistic_match, structural_match, tree_edit_match, MatchOutcome};
+use super::{tree_edit_match, MatchOutcome};
 use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
 use crate::session::{MatchSession, PreparedSchema};
+use crate::trace::{Phase, Span};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// How component similarity matrices are aggregated per cell.
@@ -44,19 +45,17 @@ pub enum Component {
 }
 
 impl Component {
-    /// Runs the component.
+    /// Runs the component one-shot (an ephemeral session per call; inside a
+    /// composite, components share the composite's session instead).
     pub fn run(
         self,
         source: &SchemaTree,
         target: &SchemaTree,
         config: &MatchConfig,
     ) -> MatchOutcome {
-        match self {
-            Component::Linguistic => linguistic_match(source, target, config),
-            Component::Structural => structural_match(source, target, config),
-            Component::Hybrid => hybrid_match(source, target, config),
-            Component::TreeEdit => tree_edit_match(source, target, config),
-        }
+        let session = MatchSession::new(*config);
+        let (sp, tp) = (session.prepare(source), session.prepare(target));
+        self.run_in(&session, &sp, &tp)
     }
 
     /// Runs the component inside a session, over prepared schemas (label
@@ -106,6 +105,16 @@ impl std::error::Error for CompositeError {}
 ///
 /// The outcome's `total_qom` is the aggregated score of the two roots,
 /// consistent with the recursive matchers.
+///
+/// # Migration
+///
+/// Use [`MatchSession::run`] with
+/// [`Algorithm::Composite`](super::Algorithm::Composite) over prepared
+/// schemas; components then share the session's label cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run(&Algorithm::Composite { .. }, ..) over prepared schemas"
+)]
 pub fn composite_match(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -141,14 +150,24 @@ pub(crate) fn composite_match_impl(
         }
     }
     // Components are independent whole matchers — run them concurrently
-    // (each may additionally wavefront internally).
+    // (each may additionally wavefront internally). Their own spans record
+    // through the shared session and may interleave across components.
     let outcomes: Vec<MatchOutcome> = crate::par::map_rows(
         components.len(),
         cfg!(feature = "parallel") && components.len() > 1,
         |i| components[i].run_in(session, source, target),
     );
+    let t0 = session.trace().start();
     let matrix = combine(outcomes.iter().map(|o| &o.matrix), aggregation);
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
+    session.trace().finish(
+        t0,
+        Span {
+            rows: components.len() as u64,
+            cells: (matrix.rows() * matrix.cols()) as u64,
+            ..Span::empty(Phase::CompositeCombine)
+        },
+    );
     Ok(MatchOutcome { matrix, total_qom })
 }
 
@@ -196,6 +215,7 @@ pub fn combine<'m>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
 
     fn trees() -> (SchemaTree, SchemaTree) {

@@ -31,6 +31,7 @@ use crate::par;
 use crate::props::compare_properties;
 use crate::session::{MatchSession, PreparedSchema};
 use crate::taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
+use crate::trace::{Phase, Span, Trace};
 use qmatch_lexicon::name_match::LabelGrade;
 use qmatch_xsd::{NodeId, SchemaTree};
 
@@ -41,6 +42,18 @@ use qmatch_xsd::{NodeId, SchemaTree};
 /// With the `parallel` feature (on by default) the label matrix and the DP
 /// waves execute on scoped threads; the result is bit-identical to
 /// [`hybrid_match_sequential`].
+///
+/// # Migration
+///
+/// Create a [`MatchSession`], [`prepare`](MatchSession::prepare) each
+/// schema once, and call
+/// [`session.run(&Algorithm::Hybrid, &s, &t)`](MatchSession::run) — the
+/// prepared artifacts and the label cache are then reused across matches
+/// instead of being rebuilt per call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run(&Algorithm::Hybrid, ..) over prepared schemas"
+)]
 pub fn hybrid_match(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -53,6 +66,15 @@ pub fn hybrid_match(
 
 /// The always-sequential engine: same arithmetic, no threads. Kept compiled
 /// in every build flavour so the two engines can be compared directly.
+///
+/// # Migration
+///
+/// Use [`MatchSession::run_sequential`] with
+/// [`Algorithm::Hybrid`](super::Algorithm::Hybrid) over prepared schemas.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run_sequential(&Algorithm::Hybrid, ..) over prepared schemas"
+)]
 pub fn hybrid_match_sequential(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -63,8 +85,18 @@ pub fn hybrid_match_sequential(
     session.hybrid_sequential(&sp, &tp)
 }
 
-/// Like [`hybrid_match`], but with a caller-supplied [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g.
+/// Like `hybrid_match`, but with a caller-supplied [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g.
 /// one whose thesaurus was extended for the schemas' domain).
+///
+/// # Migration
+///
+/// Build the session with [`MatchSession::with_matcher`] and call
+/// [`MatchSession::run`] — the custom matcher then also benefits from the
+/// session's cross-schema label cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::with_matcher(..) + MatchSession::run(&Algorithm::Hybrid, ..)"
+)]
 pub fn hybrid_match_with(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -90,15 +122,33 @@ pub(crate) fn hybrid_match_impl(
     config: &MatchConfig,
     labels: &LabelMatrix,
     parallel: bool,
+    trace: &Trace,
 ) -> MatchOutcome {
-    let mut matrix = SimMatrix::zeros(source.tree().len(), target.tree().len());
-    for wave in source.waves_by_height() {
+    let cols = target.tree().len();
+    // The output-matrix allocation (zeroing rows × cols floats — real time
+    // at 10⁴ nodes) is charged to the leaf wave's span, so the wave spans
+    // together account for the whole match.
+    let mut alloc_start = trace.start();
+    let mut matrix = SimMatrix::zeros(source.tree().len(), cols);
+    for (w, wave) in source.waves_by_height().iter().enumerate() {
+        // One span per wave, recorded by this coordinating thread after the
+        // row join — never per cell, and nothing here touches the scores.
+        let t0 = alloc_start.take().or_else(|| trace.start());
         let rows = par::map_rows(wave.len(), parallel, |i| {
             hybrid_row(source, target, wave[i], config, labels, &matrix)
         });
         for (&s, row) in wave.iter().zip(&rows) {
             matrix.set_row(s, row);
         }
+        trace.finish(
+            t0,
+            Span {
+                wave: w as u32,
+                rows: wave.len() as u64,
+                cells: (wave.len() * cols) as u64,
+                ..Span::empty(Phase::HybridWave)
+            },
+        );
     }
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     MatchOutcome { matrix, total_qom }
@@ -180,7 +230,9 @@ pub fn hybrid_root_category(
     target: &SchemaTree,
     config: &MatchConfig,
 ) -> MatchCategory {
-    let outcome = hybrid_match(source, target, config);
+    let session = MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    let outcome = session.hybrid(&sp, &tp);
     hybrid_root_category_from(source, target, config, &outcome)
 }
 
@@ -247,6 +299,7 @@ pub(crate) fn root_category_with_label(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
     use crate::model::Weights;
     use qmatch_xsd::{parse_schema, SchemaTree};

@@ -10,11 +10,22 @@ use crate::matrix::SimMatrix;
 use crate::model::MatchConfig;
 use crate::par;
 use crate::session::{MatchSession, PreparedSchema};
+use crate::trace::{Phase, Span, Trace};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Runs the linguistic matcher. The outcome's `total_qom` is the mean best
 /// label similarity per source node (a flat matcher has no root recursion to
 /// summarize with).
+///
+/// # Migration
+///
+/// Use [`MatchSession::run`] with
+/// [`Algorithm::Linguistic`](super::Algorithm::Linguistic) over prepared
+/// schemas; the label cache is then shared across matches.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run(&Algorithm::Linguistic, ..) over prepared schemas"
+)]
 pub fn linguistic_match(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -26,6 +37,15 @@ pub fn linguistic_match(
 }
 
 /// The always-sequential engine: same arithmetic, no threads.
+///
+/// # Migration
+///
+/// Use [`MatchSession::run_sequential`] with
+/// [`Algorithm::Linguistic`](super::Algorithm::Linguistic).
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run_sequential(&Algorithm::Linguistic, ..) over prepared schemas"
+)]
 pub fn linguistic_match_sequential(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -36,8 +56,17 @@ pub fn linguistic_match_sequential(
     session.linguistic_sequential(&sp, &tp)
 }
 
-/// Like [`linguistic_match`], but with a caller-supplied
+/// Like `linguistic_match`, but with a caller-supplied
 /// [`NameMatcher`](qmatch_lexicon::NameMatcher) (e.g. one whose thesaurus was extended for the schemas' domain).
+///
+/// # Migration
+///
+/// Build the session with [`MatchSession::with_matcher`] and call
+/// [`MatchSession::run`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::with_matcher(..) + MatchSession::run(&Algorithm::Linguistic, ..)"
+)]
 pub fn linguistic_match_with(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -54,8 +83,10 @@ pub(crate) fn linguistic_match_impl(
     target: &PreparedSchema,
     labels: &LabelMatrix,
     parallel: bool,
+    trace: &Trace,
 ) -> MatchOutcome {
     // A flat matcher: every row is independent, so this is one wave.
+    let t0 = trace.start();
     let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
     let mut matrix = SimMatrix::zeros(rows_n, cols_n);
     let rows = par::map_rows(rows_n, parallel, |s| {
@@ -68,11 +99,20 @@ pub(crate) fn linguistic_match_impl(
         matrix.set_row(NodeId(s as u32), row);
     }
     let total_qom = matrix.mean_best_per_source();
+    trace.finish(
+        t0,
+        Span {
+            rows: rows_n as u64,
+            cells: (rows_n * cols_n) as u64,
+            ..Span::empty(Phase::Linguistic)
+        },
+    );
     MatchOutcome { matrix, total_qom }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
     use qmatch_xsd::SchemaTree;
 

@@ -1,10 +1,12 @@
 //! The match algorithms: linguistic, structural, hybrid (QMatch, Figure 3),
 //! and a tree-edit-distance baseline.
 //!
-//! All algorithms share the same signature — two [`SchemaTree`]s and a
-//! [`crate::model::MatchConfig`] — and return a [`MatchOutcome`] holding the full node-pair
-//! similarity matrix plus the whole-schema QoM, so mapping extraction and
-//! evaluation treat them uniformly.
+//! The engines are selected through the [`Algorithm`] enum and executed by
+//! [`MatchSession::run`] over prepared schemas; every run returns a
+//! [`MatchOutcome`] holding the full node-pair similarity matrix plus the
+//! whole-schema QoM, so mapping extraction and evaluation treat them
+//! uniformly. The old per-algorithm free functions (`hybrid_match`, …)
+//! remain as `#[deprecated]` one-shot wrappers over an ephemeral session.
 //!
 //! The engines execute in level-synchronous *waves* (see DESIGN.md): the
 //! label axis is precomputed into an immutable [`LabelMatrix`], and the
@@ -18,12 +20,15 @@ mod linguistic;
 mod structural;
 mod tree_edit;
 
-pub use composite::{composite_match, Aggregation, Component, CompositeError};
-pub use hybrid::{
-    hybrid_match, hybrid_match_sequential, hybrid_match_with, hybrid_root_category,
-    hybrid_root_category_from,
-};
+#[allow(deprecated)]
+pub use composite::composite_match;
+pub use composite::{Aggregation, Component, CompositeError};
+#[allow(deprecated)]
+pub use hybrid::{hybrid_match, hybrid_match_sequential, hybrid_match_with};
+pub use hybrid::{hybrid_root_category, hybrid_root_category_from};
+#[allow(deprecated)]
 pub use linguistic::{linguistic_match, linguistic_match_sequential, linguistic_match_with};
+#[allow(deprecated)]
 pub use structural::{structural_match, structural_match_sequential};
 pub use tree_edit::tree_edit_match;
 
@@ -39,6 +44,46 @@ use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
 use qmatch_lexicon::thesaurus::Thesaurus;
 use qmatch_lexicon::tokenize::tokenize;
 use qmatch_xsd::{NodeId, SchemaTree};
+
+/// Selects which engine [`MatchSession::run`] executes — the consolidated
+/// v1 entry point replacing the per-algorithm free functions
+/// (`hybrid_match`, `structural_match`, …, now `#[deprecated]` thin
+/// wrappers).
+///
+/// Prepare each schema once with [`MatchSession::prepare`], then run any
+/// algorithm over the prepared pair; label comparisons share the session's
+/// cross-schema cache across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algorithm {
+    /// QMatch (paper Figure 3) — the session default.
+    Hybrid,
+    /// CUPID-style label matcher (labels only).
+    Linguistic,
+    /// Label-free structure matcher.
+    Structural,
+    /// Nierman–Jagadish-style tree-edit-distance baseline.
+    TreeEdit,
+    /// COMA-style composite: run several components, aggregate per cell.
+    Composite {
+        /// The component matchers to run.
+        components: Vec<Component>,
+        /// How the component matrices combine.
+        aggregation: Aggregation,
+    },
+}
+
+impl Algorithm {
+    /// Stable lowercase name (CLI/HTTP `algo=` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Hybrid => "hybrid",
+            Algorithm::Linguistic => "linguistic",
+            Algorithm::Structural => "structural",
+            Algorithm::TreeEdit => "tree-edit",
+            Algorithm::Composite { .. } => "composite",
+        }
+    }
+}
 
 /// The result of running a match algorithm.
 #[derive(Debug, Clone)]
@@ -255,6 +300,7 @@ pub(crate) fn greedy_assignment(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
     use qmatch_xsd::SchemaTree;
 

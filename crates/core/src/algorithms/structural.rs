@@ -17,6 +17,7 @@ use crate::model::MatchConfig;
 use crate::par;
 use crate::props::compare_properties;
 use crate::session::{MatchSession, PreparedSchema};
+use crate::trace::{Phase, Span, Trace};
 use qmatch_xsd::{NodeId, SchemaTree};
 
 /// Component weights of the structural similarity. Children dominate, as in
@@ -32,6 +33,16 @@ const W_LEVEL: f64 = 0.15;
 /// Both passes are wavefronted: the bottom-up shape DP by source-node
 /// height, the top-down context blend by source-node depth. Bit-identical
 /// to [`structural_match_sequential`].
+///
+/// # Migration
+///
+/// Use [`MatchSession::run`] with
+/// [`Algorithm::Structural`](super::Algorithm::Structural) over prepared
+/// schemas.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run(&Algorithm::Structural, ..) over prepared schemas"
+)]
 pub fn structural_match(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -43,6 +54,15 @@ pub fn structural_match(
 }
 
 /// The always-sequential engine: same arithmetic, no threads.
+///
+/// # Migration
+///
+/// Use [`MatchSession::run_sequential`] with
+/// [`Algorithm::Structural`](super::Algorithm::Structural).
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatchSession::run_sequential(&Algorithm::Structural, ..) over prepared schemas"
+)]
 pub fn structural_match_sequential(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -58,16 +78,27 @@ pub(crate) fn structural_match_impl(
     target: &PreparedSchema,
     config: &MatchConfig,
     parallel: bool,
+    trace: &Trace,
 ) -> MatchOutcome {
     let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
     let mut matrix = SimMatrix::zeros(rows_n, cols_n);
-    for wave in source.waves_by_height() {
+    for (w, wave) in source.waves_by_height().iter().enumerate() {
+        let t0 = trace.start();
         let rows = par::map_rows(wave.len(), parallel, |i| {
             structural_row(source, target, wave[i], config, &matrix)
         });
         for (&s, row) in wave.iter().zip(&rows) {
             matrix.set_row(s, row);
         }
+        trace.finish(
+            t0,
+            Span {
+                wave: w as u32,
+                rows: wave.len() as u64,
+                cells: (wave.len() * cols_n) as u64,
+                ..Span::empty(Phase::StructuralWave)
+            },
+        );
     }
     // Top-down context pass: a pair is only as believable as its parents.
     // Without labels, two same-typed leaves at the same level and order are
@@ -76,13 +107,23 @@ pub(crate) fn structural_match_impl(
     // propagates context. A row depends only on the parent's row, one depth
     // wave earlier.
     let mut contextual = SimMatrix::zeros(rows_n, cols_n);
-    for wave in source.waves_by_depth() {
+    for (w, wave) in source.waves_by_depth().iter().enumerate() {
+        let t0 = trace.start();
         let rows = par::map_rows(wave.len(), parallel, |i| {
             context_row(source, target, wave[i], &matrix, &contextual)
         });
         for (&s, row) in wave.iter().zip(&rows) {
             contextual.set_row(s, row);
         }
+        trace.finish(
+            t0,
+            Span {
+                wave: w as u32,
+                rows: wave.len() as u64,
+                cells: (wave.len() * cols_n) as u64,
+                ..Span::empty(Phase::ContextWave)
+            },
+        );
     }
     let matrix = contextual;
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
@@ -190,6 +231,7 @@ fn arity_similarity(source: usize, target: usize) -> f64 {
 /// Structural similarity of two specific nodes (exposed for diagnostics and
 /// tests): equivalent to running the matcher and reading one cell.
 #[cfg(test)]
+#[allow(deprecated)]
 pub(crate) fn pair_similarity(
     source: &SchemaTree,
     target: &SchemaTree,
@@ -202,6 +244,7 @@ pub(crate) fn pair_similarity(
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
     use qmatch_xsd::SchemaTree;
 

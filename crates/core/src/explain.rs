@@ -4,7 +4,6 @@
 //! paper's §2/§3 machinery surfaced for inspection — what a match UI would
 //! show when the user asks "why did these two match (or not)?".
 
-use crate::algorithms::hybrid_match;
 use crate::matrix::SimMatrix;
 use crate::model::{children_qom, MatchConfig};
 use crate::props::compare_properties;
@@ -92,7 +91,9 @@ pub fn explain_pair(
     t: NodeId,
     config: &MatchConfig,
 ) -> Explanation {
-    let outcome = hybrid_match(source, target, config);
+    let session = crate::session::MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(source), session.prepare(target));
+    let outcome = session.hybrid(&sp, &tp);
     explain_with_matrix(source, target, s, t, config, &outcome.matrix)
 }
 
@@ -280,7 +281,9 @@ impl fmt::Display for Explanation {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
+    use crate::algorithms::hybrid_match;
 
     fn po_trees() -> (SchemaTree, SchemaTree) {
         let source = SchemaTree::from_labels(

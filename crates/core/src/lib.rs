@@ -13,9 +13,9 @@
 //! - [`props`] — property-axis comparison (type lattice, occurrence
 //!   constraints, order, nillable/default/fixed).
 //! - [`matrix`] — the dense node-pair similarity matrix all algorithms emit.
-//! - [`algorithms`] — [`algorithms::linguistic_match`],
-//!   [`algorithms::structural_match`], [`algorithms::hybrid_match`]
-//!   (Figure 3), and a tree-edit-distance baseline
+//! - [`algorithms`] — the engines behind [`algorithms::Algorithm`]:
+//!   linguistic, structural, hybrid (Figure 3), COMA-style composite, and a
+//!   tree-edit-distance baseline
 //!   ([`algorithms::tree_edit_match`], related work \[15\]).
 //! - [`par`] — scoped-thread wave execution behind the `parallel` feature
 //!   (on by default; `--no-default-features` builds run sequentially and
@@ -27,6 +27,8 @@
 //!   cross-schema label cache; the one-shot functions above are thin
 //!   wrappers over an ephemeral session.
 //! - [`mapping`] — extraction of 1:1 correspondences from a matrix.
+//! - [`trace`] — zero-dependency pipeline observability: [`trace::Span`]s
+//!   per phase through a [`trace::TraceSink`] (see DESIGN.md §13).
 //! - [`eval`] — Precision / Recall / Overall (§5).
 //! - [`tuning`] — the weight-determination sweep behind Table 2.
 //! - [`report`] — plain-text tables for the experiment binaries.
@@ -34,15 +36,18 @@
 //! # Example
 //!
 //! ```
-//! use qmatch_core::algorithms::hybrid_match;
+//! use qmatch_core::algorithms::Algorithm;
 //! use qmatch_core::model::MatchConfig;
+//! use qmatch_core::session::MatchSession;
 //! use qmatch_xsd::SchemaTree;
 //!
 //! let library = SchemaTree::from_labels("Library", &[
 //!     ("Library", None), ("Title", Some(0)), ("Book", Some(0)),
 //!     ("number", Some(2)), ("character", Some(2)), ("Writer", Some(2)),
 //! ]);
-//! let outcome = hybrid_match(&library, &library, &MatchConfig::default());
+//! let session = MatchSession::new(MatchConfig::default());
+//! let prepared = session.prepare(&library);
+//! let outcome = session.run(&Algorithm::Hybrid, &prepared, &prepared).unwrap();
 //! assert!((outcome.total_qom - 1.0).abs() < 1e-9, "self-match is total exact");
 //! ```
 
@@ -58,18 +63,21 @@ pub mod props;
 pub mod report;
 pub mod session;
 pub mod taxonomy;
+pub mod trace;
 pub mod tuning;
 
+#[allow(deprecated)]
 pub use algorithms::{
     composite_match, hybrid_match, hybrid_match_sequential, linguistic_match, match_many,
-    match_many_with, structural_match, tree_edit_match, Aggregation, Component, LabelMatrix,
-    MatchOutcome,
+    match_many_with, structural_match, tree_edit_match, Aggregation, Algorithm, Component,
+    CompositeError, LabelMatrix, MatchOutcome,
 };
 pub use eval::{evaluate, GoldStandard, MatchQuality};
 pub use explain::{explain_pair, Explanation};
 pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
 pub use matrix::SimMatrix;
-pub use model::{LexiconMode, MatchConfig, Weights};
+pub use model::{ConfigError, LexiconMode, MatchConfig, MatchConfigBuilder, Weights};
 pub use session::{CacheStats, MatchSession, OwnedPreparedSchema, PreparedSchema};
 pub use taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
+pub use trace::{NullSink, Phase, PhaseStats, Recorder, Span, Trace, TraceSink};

@@ -198,6 +198,127 @@ impl MatchConfig {
             ..MatchConfig::default()
         }
     }
+
+    /// The validating builder — the v1 construction path. Every field
+    /// defaults to [`MatchConfig::default`]; [`MatchConfigBuilder::build`]
+    /// rejects weights that do not sum to 1 and thresholds outside `[0, 1]`.
+    ///
+    /// ```
+    /// use qmatch_core::model::MatchConfig;
+    ///
+    /// let config = MatchConfig::builder()
+    ///     .weights(0.25, 0.25, 0.25, 0.25)
+    ///     .threshold(0.6)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.threshold, 0.6);
+    /// assert!(MatchConfig::builder().threshold(1.5).build().is_err());
+    /// ```
+    pub fn builder() -> MatchConfigBuilder {
+        MatchConfigBuilder {
+            weights: Weights::PAPER,
+            threshold: MatchConfig::default().threshold,
+            lexicon: LexiconMode::Full,
+        }
+    }
+}
+
+/// Builder returned by [`MatchConfig::builder`]; validation happens once,
+/// in [`MatchConfigBuilder::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct MatchConfigBuilder {
+    weights: Weights,
+    threshold: f64,
+    lexicon: LexiconMode,
+}
+
+impl MatchConfigBuilder {
+    /// Sets the four axis weights (`WL`, `WP`, `WH`, `WC`) as raw values;
+    /// the unit-sum and non-negativity checks run in
+    /// [`MatchConfigBuilder::build`].
+    pub fn weights(mut self, label: f64, properties: f64, level: f64, children: f64) -> Self {
+        self.weights = Weights {
+            label,
+            properties,
+            level,
+            children,
+        };
+        self
+    }
+
+    /// Sets the weights from an existing (possibly pre-validated) vector.
+    pub fn weight_vector(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the child-match threshold of Figure 3 (validated to `[0, 1]`).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the linguistic-resource mode.
+    pub fn lexicon(mut self, lexicon: LexiconMode) -> Self {
+        self.lexicon = lexicon;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<MatchConfig, ConfigError> {
+        self.weights.validate().map_err(ConfigError::Weights)?;
+        if !self.threshold.is_finite() || !(0.0..=1.0).contains(&self.threshold) {
+            return Err(ConfigError::Threshold {
+                value: self.threshold,
+            });
+        }
+        Ok(MatchConfig {
+            weights: self.weights,
+            threshold: self.threshold,
+            lexicon: self.lexicon,
+        })
+    }
+}
+
+/// Why [`MatchConfigBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The weight vector failed validation (see [`WeightError`]).
+    Weights(WeightError),
+    /// The child-match threshold was not a finite value in `[0, 1]`.
+    Threshold {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Weights(err) => write!(f, "invalid weights: {err}"),
+            ConfigError::Threshold { value } => {
+                write!(
+                    f,
+                    "threshold must be a finite value in [0, 1] (got {value})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Weights(err) => Some(err),
+            ConfigError::Threshold { .. } => None,
+        }
+    }
+}
+
+impl From<WeightError> for ConfigError {
+    fn from(err: WeightError) -> ConfigError {
+        ConfigError::Weights(err)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +396,67 @@ mod tests {
         let w = Weights::new(0.25, 0.25, 0.25, 0.25).unwrap();
         assert_eq!(MatchConfig::with_weights(w).weights, w);
         assert_eq!(MatchConfig::with_threshold(0.7).threshold, 0.7);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        assert_eq!(
+            MatchConfig::builder().build().unwrap(),
+            MatchConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_weights_and_thresholds() {
+        assert!(matches!(
+            MatchConfig::builder().weights(0.3, 0.3, 0.3, 0.3).build(),
+            Err(ConfigError::Weights(WeightError::NotUnitSum { .. }))
+        ));
+        assert!(matches!(
+            MatchConfig::builder().weights(-0.1, 0.5, 0.3, 0.3).build(),
+            Err(ConfigError::Weights(WeightError::Negative))
+        ));
+        for bad in [-0.01, 1.01, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                MatchConfig::builder().threshold(bad).build(),
+                Err(ConfigError::Threshold { .. })
+            ));
+        }
+        for ok in [0.0, 0.5, 1.0] {
+            assert_eq!(
+                MatchConfig::builder()
+                    .threshold(ok)
+                    .build()
+                    .unwrap()
+                    .threshold,
+                ok
+            );
+        }
+    }
+
+    #[test]
+    fn builder_accepts_full_customization() {
+        let w = Weights::new(0.4, 0.1, 0.2, 0.3).unwrap();
+        let config = MatchConfig::builder()
+            .weight_vector(w)
+            .threshold(0.7)
+            .lexicon(LexiconMode::ExactOnly)
+            .build()
+            .unwrap();
+        assert_eq!(config.weights, w);
+        assert_eq!(config.threshold, 0.7);
+        assert_eq!(config.lexicon, LexiconMode::ExactOnly);
+    }
+
+    #[test]
+    fn config_error_messages_and_source() {
+        use std::error::Error;
+        let e = ConfigError::Threshold { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.source().is_none());
+        let e = ConfigError::from(WeightError::Negative);
+        assert!(e.to_string().contains("invalid weights"));
+        assert!(e.source().is_some());
     }
 
     #[test]

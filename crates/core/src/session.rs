@@ -22,19 +22,21 @@
 //! two labels and the matcher, so cached and freshly computed runs are
 //! bit-identical (property-tested in `tests/session_equivalence.rs`).
 //!
-//! [`tokenize`]: qmatch_lexicon::tokenize
+//! [`tokenize`]: qmatch_lexicon::tokenize()
 
 use crate::algorithms::{
     composite_match_impl, hybrid_match_impl, linguistic_match_impl, matcher_for_mode,
-    root_category_with_label, structural_match_impl, use_parallel, Aggregation, Component,
-    CompositeError, LabelMatrix, MatchOutcome,
+    root_category_with_label, structural_match_impl, tree_edit_match, use_parallel, Aggregation,
+    Algorithm, Component, CompositeError, LabelMatrix, MatchOutcome,
 };
 use crate::explain::{explain_with_label, Explanation};
 use crate::intern::{Interner, Symbol};
+use crate::mapping::{extract_mapping, Mapping};
 use crate::matrix::SimMatrix;
 use crate::model::{LexiconMode, MatchConfig};
 use crate::par;
 use crate::taxonomy::MatchCategory;
+use crate::trace::{Phase, Span, Trace, TraceSink};
 use qmatch_lexicon::name_match::{LabelGrade, NameMatch, NameMatcher};
 use qmatch_lexicon::tokenize::Token;
 use qmatch_xsd::{NodeId, Properties, SchemaTree};
@@ -217,6 +219,7 @@ pub struct MatchSession {
     labels: Mutex<HashMap<(u32, u32), NameMatch>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    trace: Trace,
 }
 
 impl MatchSession {
@@ -236,7 +239,24 @@ impl MatchSession {
             labels: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Installs a [`TraceSink`]: every subsequent prepare/match/selection
+    /// through this session emits per-phase [`Span`]s into it. Tracing only
+    /// observes — scores are bit-identical with and without a sink.
+    ///
+    /// Takes `&mut self` so a sink can only be (re)wired before the session
+    /// is shared; a running session's trace handle is immutable.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Trace::new(sink);
+    }
+
+    /// The session's trace handle, for callers that emit their own spans
+    /// around session work (e.g. a server's request loop).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// The session's configuration.
@@ -260,6 +280,7 @@ impl MatchSession {
     /// Derives every per-schema artifact the engines consume. Labels seen in
     /// earlier `prepare` calls reuse their interned fold/tokenize work.
     pub fn prepare<'t>(&self, tree: &'t SchemaTree) -> PreparedSchema<'t> {
+        let t0 = self.trace.start();
         let mut symbols = Vec::with_capacity(tree.len());
         let mut distinct: Vec<Symbol> = Vec::new();
         let mut node_distinct = Vec::with_capacity(tree.len());
@@ -295,7 +316,7 @@ impl MatchSession {
                 internals.push(id);
             }
         }
-        PreparedSchema {
+        let prepared = PreparedSchema {
             tree,
             symbols,
             distinct,
@@ -309,7 +330,16 @@ impl MatchSession {
             leaves,
             internals,
             props: tree.iter().map(|(_, n)| &n.properties).collect(),
-        }
+        };
+        self.trace.finish(
+            t0,
+            Span {
+                rows: tree.len() as u64,
+                cells: prepared.distinct.len() as u64,
+                ..Span::empty(Phase::Prepare)
+            },
+        );
+        prepared
     }
 
     /// Like [`MatchSession::prepare`], but the result owns the tree (via
@@ -335,6 +365,60 @@ impl MatchSession {
         self.hybrid(source, target)
     }
 
+    /// Runs any [`Algorithm`] over two prepared schemas — the consolidated
+    /// v1 entry point replacing the per-algorithm free functions.
+    ///
+    /// Only [`Algorithm::Composite`] can fail (empty component list or
+    /// mismatched weights); the other variants always return `Ok`.
+    ///
+    /// ```
+    /// use qmatch_core::algorithms::Algorithm;
+    /// use qmatch_core::model::MatchConfig;
+    /// use qmatch_core::session::MatchSession;
+    /// use qmatch_xsd::SchemaTree;
+    ///
+    /// let session = MatchSession::new(MatchConfig::default());
+    /// let tree = SchemaTree::from_labels("a", &[("a", None), ("b", Some(0))]);
+    /// let p = session.prepare(&tree);
+    /// let outcome = session.run(&Algorithm::Hybrid, &p, &p).unwrap();
+    /// assert!((outcome.total_qom - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn run(
+        &self,
+        algorithm: &Algorithm,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> Result<MatchOutcome, CompositeError> {
+        match algorithm {
+            Algorithm::Hybrid => Ok(self.hybrid(source, target)),
+            Algorithm::Linguistic => Ok(self.linguistic(source, target)),
+            Algorithm::Structural => Ok(self.structural(source, target)),
+            Algorithm::TreeEdit => Ok(tree_edit_match(source.tree(), target.tree(), &self.config)),
+            Algorithm::Composite {
+                components,
+                aggregation,
+            } => self.composite(source, target, components, aggregation),
+        }
+    }
+
+    /// [`MatchSession::run`] pinned to the sequential engines (bit-identical
+    /// results; for determinism comparisons and single-thread baselines).
+    /// [`Algorithm::Composite`] components keep their own scheduling — there
+    /// is no sequential composite variant.
+    pub fn run_sequential(
+        &self,
+        algorithm: &Algorithm,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> Result<MatchOutcome, CompositeError> {
+        match algorithm {
+            Algorithm::Hybrid => Ok(self.hybrid_sequential(source, target)),
+            Algorithm::Linguistic => Ok(self.linguistic_sequential(source, target)),
+            Algorithm::Structural => Ok(self.structural_sequential(source, target)),
+            other => self.run(other, source, target),
+        }
+    }
+
     /// The hybrid (QMatch) engine; parallel wavefront when worthwhile.
     pub fn hybrid(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
         let labels = self.pair_labels(source, target);
@@ -344,6 +428,7 @@ impl MatchSession {
             &self.config,
             &labels,
             use_parallel(source.tree(), target.tree()),
+            &self.trace,
         )
     }
 
@@ -355,7 +440,7 @@ impl MatchSession {
         target: &PreparedSchema,
     ) -> MatchOutcome {
         let labels = self.pair_labels(source, target);
-        hybrid_match_impl(source, target, &self.config, &labels, false)
+        hybrid_match_impl(source, target, &self.config, &labels, false, &self.trace)
     }
 
     /// The flat linguistic matcher over prepared schemas.
@@ -366,6 +451,7 @@ impl MatchSession {
             target,
             &labels,
             use_parallel(source.tree(), target.tree()),
+            &self.trace,
         )
     }
 
@@ -376,7 +462,7 @@ impl MatchSession {
         target: &PreparedSchema,
     ) -> MatchOutcome {
         let labels = self.pair_labels(source, target);
-        linguistic_match_impl(source, target, &labels, false)
+        linguistic_match_impl(source, target, &labels, false, &self.trace)
     }
 
     /// The structural matcher over prepared schemas (labels unused — no
@@ -387,6 +473,7 @@ impl MatchSession {
             target,
             &self.config,
             use_parallel(source.tree(), target.tree()),
+            &self.trace,
         )
     }
 
@@ -396,7 +483,25 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> MatchOutcome {
-        structural_match_impl(source, target, &self.config, false)
+        structural_match_impl(source, target, &self.config, false, &self.trace)
+    }
+
+    /// Extracts the 1:1 mapping from a finished similarity matrix at
+    /// `threshold`, recording a [`Phase::Select`] span. Identical to
+    /// [`extract_mapping`] — selection is deterministic and tracing only
+    /// observes.
+    pub fn select_mapping(&self, matrix: &SimMatrix, threshold: f64) -> Mapping {
+        let t0 = self.trace.start();
+        let mapping = extract_mapping(matrix, threshold);
+        self.trace.finish(
+            t0,
+            Span {
+                rows: matrix.rows() as u64,
+                cells: (matrix.rows() * matrix.cols()) as u64,
+                ..Span::empty(Phase::Select)
+            },
+        );
+        mapping
     }
 
     /// COMA-style composite matching over prepared schemas; component
@@ -498,6 +603,7 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> LabelMatrix {
+        let t0 = self.trace.start();
         let rows = source.distinct.len();
         let cols = target.distinct.len();
         let mut table: Vec<Option<NameMatch>> = Vec::with_capacity(rows * cols);
@@ -517,10 +623,10 @@ impl MatchSession {
                 }
             }
         }
+        let miss_count = missing.len() as u64;
         self.hits
-            .fetch_add((rows * cols - missing.len()) as u64, Ordering::Relaxed);
-        self.misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            .fetch_add(rows as u64 * cols as u64 - miss_count, Ordering::Relaxed);
+        self.misses.fetch_add(miss_count, Ordering::Relaxed);
         if !missing.is_empty() {
             // Misses are pure label comparisons — safe to fan out; the
             // values are identical however they are scheduled.
@@ -536,7 +642,7 @@ impl MatchSession {
                 table[idx] = Some(computed[k]);
             }
         }
-        LabelMatrix::from_parts(
+        let matrix = LabelMatrix::from_parts(
             source.node_distinct.clone(),
             target.node_distinct.clone(),
             cols,
@@ -544,7 +650,18 @@ impl MatchSession {
                 .into_iter()
                 .map(|m| m.expect("table filled"))
                 .collect(),
-        )
+        );
+        self.trace.finish(
+            t0,
+            Span {
+                rows: rows as u64,
+                cells: (rows * cols) as u64,
+                cache_hits: rows as u64 * cols as u64 - miss_count,
+                cache_misses: miss_count,
+                ..Span::empty(Phase::Labels)
+            },
+        );
+        matrix
     }
 
     /// One distinct-label-pair comparison, off the prepared (pre-folded,

@@ -8,7 +8,6 @@
 //! standard, and the best vectors (and the per-axis ranges they span) are
 //! reported.
 
-use crate::algorithms::hybrid_match;
 use crate::eval::{evaluate, GoldStandard};
 use crate::mapping::extract_mapping;
 use crate::model::{MatchConfig, Weights};
@@ -70,10 +69,12 @@ pub fn score_weights(weights: Weights, tasks: &[TuningTask<'_>], threshold: f64)
         threshold,
         ..MatchConfig::default()
     };
+    let session = crate::session::MatchSession::new(config);
     let total: f64 = tasks
         .iter()
         .map(|task| {
-            let outcome = hybrid_match(task.source, task.target, &config);
+            let (sp, tp) = (session.prepare(task.source), session.prepare(task.target));
+            let outcome = session.hybrid(&sp, &tp);
             // Extraction adapts to the weight vector: the leaf constant
             // C = WH + WC shifts every score, so a fixed cut would bias the
             // sweep toward label-heavy vectors.
@@ -104,7 +105,9 @@ pub fn sweep(tasks: &[TuningTask<'_>], step: f64, threshold: f64) -> Vec<SweepPo
 /// at desired levels of matching", made executable. Ties prefer the lowest
 /// threshold (more recall at equal Overall).
 pub fn calibrate_threshold(task: &TuningTask<'_>, config: &MatchConfig) -> (f64, f64) {
-    let outcome = hybrid_match(task.source, task.target, config);
+    let session = crate::session::MatchSession::new(*config);
+    let (sp, tp) = (session.prepare(task.source), session.prepare(task.target));
+    let outcome = session.hybrid(&sp, &tp);
     let mut best = (0.3, f64::NEG_INFINITY);
     for step in 0..=70 {
         let threshold = 0.3 + step as f64 / 100.0;
@@ -156,7 +159,9 @@ pub fn best_ranges(points: &[SweepPoint], top_n: usize) -> AxisRanges {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the one-shot wrappers stay covered until removal
     use super::*;
+    use crate::algorithms::hybrid_match;
 
     #[test]
     fn grid_is_unit_sum_and_complete() {

@@ -6,6 +6,8 @@
 //! single-core machine (the wavefront splits rows across scoped threads
 //! regardless of physical parallelism).
 
+#![allow(deprecated)] // the one-shot wrappers stay pinned against the session API
+
 use qmatch_core::algorithms::{
     hybrid_match, hybrid_match_sequential, linguistic_match, linguistic_match_sequential,
     match_many, structural_match, structural_match_sequential,

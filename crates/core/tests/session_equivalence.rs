@@ -7,6 +7,8 @@
 //! `NameMatch` is reused verbatim across pairs, so these tests also pin
 //! down that warming the cache can never change a matrix.
 
+#![allow(deprecated)] // the one-shot wrappers stay pinned against the session API
+
 use qmatch_core::algorithms::{
     hybrid_match, hybrid_match_sequential, linguistic_match, linguistic_match_sequential,
     structural_match, structural_match_sequential, MatchOutcome,

@@ -181,7 +181,10 @@ fn build_input(rng: &mut SmallRng, mode: Mode) -> String {
 /// Runs a fuzzing campaign. Prints nothing; the caller decides how to
 /// report the returned [`FuzzSummary`].
 pub fn run(config: &FuzzConfig) -> FuzzSummary {
-    let session = MatchSession::new(MatchConfig::default());
+    let match_config = MatchConfig::builder()
+        .build()
+        .expect("the default match configuration is valid");
+    let session = MatchSession::new(match_config);
     let mut summary = FuzzSummary {
         seed: config.seed,
         cases: config.cases,

@@ -20,13 +20,43 @@ use std::sync::Arc;
 const MAX_NAME_LEN: usize = 128;
 
 /// Routes one request to its handler.
+///
+/// The canonical API surface lives under `/v1/...`. The original
+/// unversioned paths keep working as aliases, but their responses carry
+/// `Deprecation: true` and a `Link: </v1/...>; rel="successor-version"`
+/// header pointing at the versioned route (and `GET /schemas` documents
+/// the deprecation in its body).
 pub fn handle(
     req: &Request,
     registry: &Registry,
     metrics: &Metrics,
     limits: &IngestLimits,
 ) -> (Endpoint, Response) {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, versioned) = match req.path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (rest, true),
+        _ => (req.path.as_str(), false),
+    };
+    let (endpoint, response) = route(req, path, registry, metrics, limits);
+    let response = if versioned || endpoint == Endpoint::Other {
+        response
+    } else {
+        response.with_header("deprecation", "true").with_header(
+            "link",
+            format!("</v1{}>; rel=\"successor-version\"", req.path),
+        )
+    };
+    (endpoint, response)
+}
+
+/// Dispatches on the (already version-stripped) path.
+fn route(
+    req: &Request,
+    path: &str,
+    registry: &Registry,
+    metrics: &Metrics,
+    limits: &IngestLimits,
+) -> (Endpoint, Response) {
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => (
             Endpoint::Healthz,
             Response::json(200, Json::obj().field("status", Json::str("ok")).render()),
@@ -93,6 +123,13 @@ fn list_schemas(registry: &Registry) -> Response {
     Response::json(
         200,
         Json::obj()
+            .field(
+                "docs",
+                Json::str(
+                    "API v1: use /v1/schemas, /v1/match, /v1/match/topk, /v1/metrics, \
+                     /v1/healthz; unversioned paths are deprecated aliases",
+                ),
+            )
             .field("count", Json::UInt(registry.len() as u64))
             .field("schemas", Json::Arr(schemas))
             .field(
@@ -508,6 +545,52 @@ mod tests {
         let text = body_text(&response);
         assert!(text.contains(r#""total_qom":1"#), "self-match: {text}");
         assert!(text.contains(r#""category":"#));
+    }
+
+    #[test]
+    fn v1_paths_route_and_legacy_paths_carry_deprecation() {
+        let (registry, metrics, limits) = state();
+        let (endpoint, response) = handle(&get("/v1/healthz"), &registry, &metrics, &limits);
+        assert_eq!(endpoint, Endpoint::Healthz);
+        assert_eq!(response.status, 200);
+        assert!(response.headers.is_empty(), "versioned paths are canonical");
+        let (endpoint, response) = handle(&get("/healthz"), &registry, &metrics, &limits);
+        assert_eq!(endpoint, Endpoint::Healthz);
+        assert!(response
+            .headers
+            .iter()
+            .any(|(k, v)| *k == "deprecation" && v == "true"));
+        assert!(response
+            .headers
+            .iter()
+            .any(|(k, v)| *k == "link" && v == "</v1/healthz>; rel=\"successor-version\""));
+        // Same body either way; only the headers differ.
+        let (_, v1) = handle(&get("/v1/schemas"), &registry, &metrics, &limits);
+        let (_, legacy) = handle(&get("/schemas"), &registry, &metrics, &limits);
+        assert_eq!(v1.body, legacy.body);
+        assert!(body_text(&v1).contains("deprecated aliases"));
+        // /v1 with an unknown remainder is still a 404, without headers.
+        let (endpoint, response) = handle(&get("/v1/nope"), &registry, &metrics, &limits);
+        assert_eq!(endpoint, Endpoint::Other);
+        assert_eq!(response.status, 404);
+        assert!(response.headers.is_empty());
+        // Ingest + match through the versioned surface.
+        let (_, response) = handle(
+            &request("PUT", "/v1/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(response.status, 201, "{}", body_text(&response));
+        let (endpoint, response) = handle(
+            &request("POST", "/v1/match?source=po&target=po", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(endpoint, Endpoint::Match);
+        assert_eq!(response.status, 200);
+        assert!(response.headers.is_empty());
     }
 
     #[test]

@@ -189,14 +189,21 @@ impl Conn {
     /// Writes a response; `keep_alive` controls the `Connection` header.
     pub fn write_response(&mut self, response: &Response, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             response.status,
             reason_phrase(response.status),
             response.content_type,
             response.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
-        )
-        .into_bytes();
+        );
+        for (name, value) in &response.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut head = head.into_bytes();
         head.extend_from_slice(&response.body);
         self.stream.write_all(&head)?;
         self.stream.flush()
@@ -210,6 +217,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra response headers (lowercase names; `content-type`,
+    /// `content-length` and `connection` are emitted separately).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -220,6 +230,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -229,8 +240,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Appends one extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 

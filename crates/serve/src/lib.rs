@@ -19,14 +19,24 @@
 //!
 //! # Endpoints
 //!
+//! The canonical surface is versioned under `/v1/`; the original
+//! unversioned paths keep working as aliases but answer with
+//! `Deprecation: true` and a `Link: </v1/...>; rel="successor-version"`
+//! header.
+//!
 //! | Route | Meaning |
 //! |---|---|
-//! | `PUT /schemas/{name}` | ingest an XSD body under `name` (limits enforced) |
-//! | `GET /schemas` | list registered schemas and label-cache stats |
-//! | `POST /match?source=A&target=B` | match two registered schemas (`algo=`, `explain=1`, `threshold=`) |
-//! | `POST /match/topk?source=A&k=N` | rank `A` against the whole registry by root QoM |
-//! | `GET /metrics` | plain-text counters |
-//! | `GET /healthz` | liveness |
+//! | `PUT /v1/schemas/{name}` | ingest an XSD body under `name` (limits enforced) |
+//! | `GET /v1/schemas` | list registered schemas and label-cache stats |
+//! | `POST /v1/match?source=A&target=B` | match two registered schemas (`algo=`, `explain=1`, `threshold=`) |
+//! | `POST /v1/match/topk?source=A&k=N` | rank `A` against the whole registry by root QoM |
+//! | `GET /v1/metrics` | plain-text counters, including per-phase pipeline histograms |
+//! | `GET /v1/healthz` | liveness |
+//!
+//! Every response carries an `X-Request-Id` header — the client's own, or
+//! a server-minted `q-N` — and a [`metrics::PhaseSink`] installed on the
+//! shared session feeds per-phase span data (prepares, label-matrix
+//! builds, wavefront passes) into `GET /metrics`.
 //!
 //! Match responses are deterministic functions of the registry and the
 //! query (no counters inside), and every number is rendered with

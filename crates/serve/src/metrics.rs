@@ -4,10 +4,18 @@
 //! request) never blocks; `GET /metrics` and the shutdown summary read the
 //! same counters. The exposition format is Prometheus-flavoured plain text
 //! (`qmatch_`-prefixed), simple enough to scrape with `grep`.
+//!
+//! [`PhaseSink`] adapts [`Metrics`] into a
+//! [`TraceSink`]: installed on the shared
+//! match session, it folds every pipeline span (label-matrix builds,
+//! wavefront passes, prepares) into per-phase counters and wall-time
+//! histograms that `GET /metrics` exposes next to the request counters.
 
 use crate::json::fmt_f64;
+use qmatch_core::trace::{Phase, Span, TraceSink};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The endpoints the server distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +84,11 @@ pub struct Metrics {
     latency_sum_us: AtomicU64,
     bytes_ingested: AtomicU64,
     rejected_by_limits: AtomicU64,
+    request_seq: AtomicU64,
+    phase_count: [AtomicU64; Phase::COUNT],
+    phase_wall_us: [AtomicU64; Phase::COUNT],
+    phase_cells: [AtomicU64; Phase::COUNT],
+    phase_buckets: [[AtomicU64; 8]; Phase::COUNT],
 }
 
 /// A consistent snapshot of registry/session state, supplied by the caller
@@ -140,6 +153,34 @@ impl Metrics {
     /// Counts one request rejected by the ingestion limits.
     pub fn add_rejected_by_limits(&self) {
         self.rejected_by_limits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mints the next server-assigned request id (`q-1`, `q-2`, ...);
+    /// echoed back to clients as `X-Request-Id` when they did not supply
+    /// their own.
+    pub fn next_request_id(&self) -> String {
+        format!("q-{}", self.request_seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Request ids minted so far.
+    pub fn request_ids_minted(&self) -> u64 {
+        self.request_seq.load(Ordering::Relaxed)
+    }
+
+    /// Folds one pipeline span into the per-phase counters and histograms.
+    /// Called by [`PhaseSink`] from whatever thread coordinates the match —
+    /// relaxed atomics only, never blocking.
+    pub fn record_phase(&self, span: &Span) {
+        let i = span.phase.index();
+        let micros = span.wall.as_micros() as u64;
+        self.phase_count[i].fetch_add(1, Ordering::Relaxed);
+        self.phase_wall_us[i].fetch_add(micros, Ordering::Relaxed);
+        self.phase_cells[i].fetch_add(span.cells, Ordering::Relaxed);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.phase_buckets[i][bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total requests recorded so far.
@@ -222,6 +263,39 @@ impl Metrics {
             "qmatch_label_cache_hit_rate {}",
             fmt_f64(registry.label_hit_rate())
         );
+        // Per-phase pipeline observability (fed by PhaseSink). Phases that
+        // never fired are skipped so a fresh server stays terse.
+        for phase in Phase::ALL {
+            let i = phase.index();
+            let count = self.phase_count[i].load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let name = phase.name();
+            let _ = writeln!(out, "qmatch_phase_count{{phase=\"{name}\"}} {count}");
+            let _ = writeln!(
+                out,
+                "qmatch_phase_wall_us_sum{{phase=\"{name}\"}} {}",
+                self.phase_wall_us[i].load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "qmatch_phase_cells_total{{phase=\"{name}\"}} {}",
+                self.phase_cells[i].load(Ordering::Relaxed)
+            );
+            let mut cumulative = 0u64;
+            for (b, counter) in self.phase_buckets[i].iter().enumerate() {
+                cumulative += counter.load(Ordering::Relaxed);
+                let bound = LATENCY_BOUNDS_US
+                    .get(b)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                let _ = writeln!(
+                    out,
+                    "qmatch_phase_wall_us_bucket{{phase=\"{name}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+        }
         out
     }
 
@@ -241,10 +315,29 @@ impl Metrics {
                 (n > 0).then(|| format!("{}={n}", e.name()))
             })
             .collect();
-        format!(
+        let minted = self.request_ids_minted();
+        let ids = if minted == 0 {
+            "no request ids minted".to_owned()
+        } else {
+            format!("request ids q-1..q-{minted}")
+        };
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .filter_map(|p| {
+                let n = self.phase_count[p.index()].load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    format!(
+                        "{}={n}/{:.1}ms",
+                        p.name(),
+                        self.phase_wall_us[p.index()].load(Ordering::Relaxed) as f64 / 1e3
+                    )
+                })
+            })
+            .collect();
+        let mut summary = format!(
             "served {total} request(s) ({}), {} schema(s) registered, \
              {} byte(s) ingested, {} rejected by limits, \
-             label cache hit rate {:.2}, mean latency {mean_us}us",
+             label cache hit rate {:.2}, mean latency {mean_us}us, {ids}",
             if per_endpoint.is_empty() {
                 "none".to_owned()
             } else {
@@ -254,7 +347,34 @@ impl Metrics {
             self.bytes_ingested.load(Ordering::Relaxed),
             self.rejected_by_limits.load(Ordering::Relaxed),
             registry.label_hit_rate(),
-        )
+        );
+        if !phases.is_empty() {
+            summary.push_str(&format!("\nphases (count/wall): {}", phases.join(" ")));
+        }
+        summary
+    }
+}
+
+/// A [`TraceSink`] that feeds pipeline spans into [`Metrics`].
+///
+/// `Server::bind` installs one on the shared match session, so every
+/// prepare, label-matrix build, and wavefront pass run on behalf of a
+/// request lands in the `qmatch_phase_*` series of `GET /metrics`.
+/// Recording is a handful of relaxed atomic adds — safe from any worker
+/// thread, and the spans never influence match scores.
+#[derive(Debug, Clone)]
+pub struct PhaseSink(Arc<Metrics>);
+
+impl PhaseSink {
+    /// Wraps the shared metrics.
+    pub fn new(metrics: Arc<Metrics>) -> PhaseSink {
+        PhaseSink(metrics)
+    }
+}
+
+impl TraceSink for PhaseSink {
+    fn record(&self, span: &Span) {
+        self.0.record_phase(span);
     }
 }
 
@@ -306,6 +426,38 @@ mod tests {
         assert!(summary.contains("3 schema(s)"), "{summary}");
         assert!(summary.contains("hit rate 0.75"), "{summary}");
         assert!(summary.contains("1 rejected by limits"), "{summary}");
+    }
+
+    #[test]
+    fn phase_sink_feeds_phase_series() {
+        let m = Arc::new(Metrics::new());
+        let sink = PhaseSink::new(m.clone());
+        let span = Span {
+            cells: 42,
+            wall: std::time::Duration::from_micros(250),
+            ..Span::empty(Phase::HybridWave)
+        };
+        sink.record(&span);
+        let text = m.render(&RegistrySnapshot::default());
+        assert!(
+            text.contains("qmatch_phase_count{phase=\"hybrid_wave\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("qmatch_phase_wall_us_sum{phase=\"hybrid_wave\"} 250"));
+        assert!(text.contains("qmatch_phase_cells_total{phase=\"hybrid_wave\"} 42"));
+        assert!(text.contains("qmatch_phase_wall_us_bucket{phase=\"hybrid_wave\",le=\"500\"} 1"));
+        // Phases that never fired are skipped entirely.
+        assert!(!text.contains("phase=\"labels\""), "{text}");
+    }
+
+    #[test]
+    fn request_ids_are_sequential_and_summarized() {
+        let m = Metrics::new();
+        assert_eq!(m.next_request_id(), "q-1");
+        assert_eq!(m.next_request_id(), "q-2");
+        assert_eq!(m.request_ids_minted(), 2);
+        let summary = m.summary(&RegistrySnapshot::default());
+        assert!(summary.contains("request ids q-1..q-2"), "{summary}");
     }
 
     #[test]

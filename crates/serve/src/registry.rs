@@ -178,7 +178,9 @@ impl Registry {
                 // earlier registration or hit in LRU order — the clock is
                 // registry-level and atomic precisely so the hit path can
                 // advance it under the read lock.
-                resident.last_used.store(self.next_tick(), Ordering::Relaxed);
+                resident
+                    .last_used
+                    .store(self.next_tick(), Ordering::Relaxed);
                 self.prepare_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(resident.prepared.clone());
             }

@@ -14,15 +14,16 @@
 //! while connections are queued, idle keep-alive waits are cut short and
 //! responses are sent with `Connection: close` — only *idle* waits, so
 //! requests in flight are never dropped. A client that keeps issuing
-//! requests can still occupy a worker for up to [`IDLE_TICKS`] per wait
+//! requests can still occupy a worker for up to `IDLE_TICKS` per wait
 //! when the queue is empty; that is the accepted trade-off of a fixed
 //! thread-per-connection pool.
 
 use crate::handlers;
 use crate::http::{Conn, RecvError};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, PhaseSink};
 use crate::registry::Registry;
 use qmatch_core::model::MatchConfig;
+use qmatch_core::trace::{Phase, Span};
 use qmatch_core::MatchSession;
 use qmatch_lexicon::NameMatcher;
 use qmatch_xsd::IngestLimits;
@@ -102,14 +103,20 @@ impl Server {
     /// not serve until [`Server::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let session = match config.matcher {
+        let metrics = Arc::new(Metrics::new());
+        let mut session = match config.matcher {
             Some(matcher) => MatchSession::with_matcher(config.config, matcher),
             None => MatchSession::new(config.config),
         };
+        // Every pipeline span the session emits (prepares, label-matrix
+        // builds, wavefront passes) lands in the qmatch_phase_* series of
+        // GET /metrics. Wired before the session is shared, as the sink API
+        // requires.
+        session.set_trace_sink(Arc::new(PhaseSink::new(metrics.clone())));
         Ok(Server {
             listener,
             registry: Arc::new(Registry::new(session, config.max_resident)),
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             limits: config.limits,
             threads: config.threads,
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -246,10 +253,25 @@ fn serve_conn(
         };
         match conn.next_request(limits.max_input_bytes, IDLE_TICKS, &mut abort) {
             Ok(request) => {
+                // Echo a client-supplied X-Request-Id, else mint q-N; the
+                // id rides back on the response so clients can correlate
+                // it with server-side logs and metrics.
+                let request_id = request
+                    .header("x-request-id")
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| metrics.next_request_id());
                 let start = Instant::now();
                 let (endpoint, response) = handlers::handle(&request, registry, metrics, limits);
-                let micros = start.elapsed().as_micros() as u64;
+                let elapsed = start.elapsed();
+                let micros = elapsed.as_micros() as u64;
                 metrics.record(endpoint, response.status, micros);
+                metrics.record_phase(&Span {
+                    rows: 1,
+                    cells: request.body.len() as u64,
+                    wall: elapsed,
+                    ..Span::empty(Phase::Request)
+                });
+                let response = response.with_header("x-request-id", request_id);
                 // Finish the in-flight response, but do not wait for more
                 // requests once shutdown is in progress or the queue is
                 // backed up (the post-response wait would be idle time).

@@ -8,7 +8,6 @@
 //! cargo run --example composite_matching
 //! ```
 
-use qmatch::core::algorithms::{composite_match, Aggregation, Component};
 use qmatch::core::mapping::{select, Selection};
 use qmatch::core::report::{f3, Table};
 use qmatch::datasets::{corpus, gold};
@@ -19,6 +18,8 @@ fn main() {
     let target = corpus::dcmd_ord();
     let real = gold::dcmd_gold();
     let config = MatchConfig::default();
+    let session = MatchSession::new(config);
+    let (source_prepared, target_prepared) = (session.prepare(&source), session.prepare(&target));
 
     println!(
         "composite matching on the DCMD pair ({} vs {} elements, {} real matches)\n",
@@ -63,7 +64,12 @@ fn main() {
         ),
     ];
     for (name, components, aggregation, threshold) in &setups {
-        let outcome = composite_match(&source, &target, &config, components, aggregation)
+        let algorithm = Algorithm::Composite {
+            components: components.clone(),
+            aggregation: aggregation.clone(),
+        };
+        let outcome = session
+            .run(&algorithm, &source_prepared, &target_prepared)
             .expect("valid composite");
         let mapping = extract_mapping(&outcome.matrix, *threshold);
         let quality = evaluate(&mapping, &source, &target, &real);
@@ -80,7 +86,9 @@ fn main() {
 
     // 2. Selection strategies over the hybrid matrix: a UI would show the
     //    MaxDelta candidate set and let the user confirm.
-    let outcome = hybrid_match(&source, &target, &config);
+    let outcome = session
+        .run(&Algorithm::Hybrid, &source_prepared, &target_prepared)
+        .expect("the hybrid algorithm is infallible");
     println!("\nselection strategies over the hybrid matrix:");
     let mut table = Table::new(["strategy", "pairs", "correct"]);
     for (name, selection) in [

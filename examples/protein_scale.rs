@@ -29,19 +29,21 @@ fn main() {
     );
     println!("known real matches (by construction): {}\n", real.len());
 
-    type MatchFn = fn(
-        &qmatch::xsd::SchemaTree,
-        &qmatch::xsd::SchemaTree,
-        &MatchConfig,
-    ) -> qmatch::core::MatchOutcome;
-    let algorithms: [(&str, MatchFn); 3] = [
-        ("Linguistic", linguistic_match),
-        ("Structural", structural_match),
-        ("Hybrid", hybrid_match),
+    // One session across all three algorithms: the thesaurus build and the
+    // distinct-label-pair comparisons are shared, so the later runs only
+    // pay for their own wavefronts.
+    let session = MatchSession::new(config);
+    let (source_prepared, target_prepared) = (session.prepare(source), session.prepare(target));
+    let algorithms = [
+        ("Linguistic", Algorithm::Linguistic),
+        ("Structural", Algorithm::Structural),
+        ("Hybrid", Algorithm::Hybrid),
     ];
-    for (name, outcome_fn) in algorithms {
+    for (name, algorithm) in algorithms {
         let start = Instant::now();
-        let outcome = outcome_fn(source, target, &config);
+        let outcome = session
+            .run(&algorithm, &source_prepared, &target_prepared)
+            .expect("built-in algorithms are infallible");
         let elapsed = start.elapsed();
         let threshold = match name {
             "Linguistic" => 0.5,

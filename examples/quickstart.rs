@@ -44,7 +44,11 @@ fn main() {
     // 2. Run the hybrid QMatch algorithm with the paper's default weights
     //    (label 0.3, properties 0.2, level 0.1, children 0.4).
     let config = MatchConfig::default();
-    let outcome = hybrid_match(&source, &target, &config);
+    let session = MatchSession::new(config);
+    let (source_prepared, target_prepared) = (session.prepare(&source), session.prepare(&target));
+    let outcome = session
+        .run(&Algorithm::Hybrid, &source_prepared, &target_prepared)
+        .expect("the hybrid algorithm is infallible");
     println!(
         "total QoM({}, {}) = {:.3}\n",
         source.name(),

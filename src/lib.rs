@@ -20,8 +20,9 @@
 //!
 //! let source = qmatch::datasets::corpus::po1();
 //! let target = qmatch::datasets::corpus::po2();
-//! let config = MatchConfig::default();
-//! let result = hybrid_match(&source, &target, &config);
+//! let session = MatchSession::new(MatchConfig::default());
+//! let (sp, tp) = (session.prepare(&source), session.prepare(&target));
+//! let result = session.run(&Algorithm::Hybrid, &sp, &tp).unwrap();
 //! assert!(result.total_qom > 0.0);
 //! ```
 
@@ -33,10 +34,15 @@ pub use qmatch_xsd as xsd;
 
 /// Convenient single-line import for the common workflow.
 pub mod prelude {
+    #[allow(deprecated)] // re-exported until the one-shot wrappers are removed
     pub use qmatch_core::algorithms::{hybrid_match, linguistic_match, structural_match};
+    pub use qmatch_core::algorithms::{
+        Aggregation, Algorithm, Component, CompositeError, MatchOutcome,
+    };
     pub use qmatch_core::eval::{evaluate, MatchQuality};
     pub use qmatch_core::mapping::{extract_mapping, Mapping};
-    pub use qmatch_core::model::{MatchConfig, Weights};
+    pub use qmatch_core::model::{ConfigError, MatchConfig, MatchConfigBuilder, Weights};
     pub use qmatch_core::session::{MatchSession, PreparedSchema};
+    pub use qmatch_core::trace::{NullSink, Phase, PhaseStats, Recorder, Span, Trace, TraceSink};
     pub use qmatch_xsd::{parse_schema, SchemaTree};
 }

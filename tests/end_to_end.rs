@@ -3,6 +3,8 @@
 //! shapes, so a regression in any layer that would change the paper's
 //! reproduced results fails CI rather than silently skewing EXPERIMENTS.md.
 
+#![allow(deprecated)] // the one-shot wrappers stay covered end-to-end until removal
+
 use qmatch::core::algorithms::{hybrid_root_category, tree_edit_match};
 use qmatch::core::taxonomy::MatchCategory;
 use qmatch::datasets::{corpus, figures, gold, table1_rows};

@@ -3,6 +3,8 @@
 //! the claim it verifies, so the taxonomy implementation stays anchored to
 //! the prose.
 
+#![allow(deprecated)] // the one-shot wrappers stay covered end-to-end until removal
+
 use qmatch::core::explain::explain_pair;
 use qmatch::core::taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
 use qmatch::datasets::figures::{po_fig1, purchase_order_fig2};

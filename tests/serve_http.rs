@@ -67,6 +67,39 @@ fn send(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Stri
     (status, text[head_end + 4..].to_owned())
 }
 
+/// Like [`send`], but with caller-supplied extra request headers, and
+/// returning the response head text alongside the body.
+fn send_raw(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra_headers: &str,
+    body: &[u8],
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n{extra_headers}connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let head_end = text.find("\r\n\r\n").expect("header separator");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (
+        status,
+        text[..head_end].to_owned(),
+        text[head_end + 4..].to_owned(),
+    )
+}
+
 fn register_corpus(addr: SocketAddr) {
     for (name, xsd) in CORPUS {
         let (status, body) = send(addr, "PUT", &format!("/schemas/{name}"), xsd().as_bytes());
@@ -371,6 +404,64 @@ fn concurrent_clients_get_byte_identical_responses() {
     shutdown.shutdown();
     let summary = runner.join().expect("server thread");
     assert!(summary.contains("match=41"), "{summary}");
+}
+
+#[test]
+fn v1_surface_request_ids_and_phase_metrics() {
+    let (addr, shutdown, runner) = boot();
+    // Registration through the versioned surface.
+    for (name, xsd) in CORPUS {
+        let (status, _, body) = send_raw(
+            addr,
+            "PUT",
+            &format!("/v1/schemas/{name}"),
+            "",
+            xsd().as_bytes(),
+        );
+        assert_eq!(status, 201, "registering {name} via /v1: {body}");
+    }
+    // The unversioned alias answers identically but is marked deprecated.
+    let (status, head, body) = send_raw(addr, "GET", "/schemas", "", b"");
+    assert_eq!(status, 200);
+    assert!(head.contains("deprecation: true"), "{head}");
+    assert!(
+        head.contains("link: </v1/schemas>; rel=\"successor-version\""),
+        "{head}"
+    );
+    let (_, head_v1, body_v1) = send_raw(addr, "GET", "/v1/schemas", "", b"");
+    assert!(!head_v1.contains("deprecation:"), "{head_v1}");
+    assert_eq!(body, body_v1, "alias and versioned bodies must agree");
+    assert!(body.contains("deprecated aliases"), "{body}");
+    // Server-minted request ids ride on every response...
+    assert!(head.contains("x-request-id: q-"), "{head}");
+    // ...and a client-supplied id is echoed verbatim.
+    let (status, head, _) = send_raw(
+        addr,
+        "POST",
+        "/v1/match?source=po1&target=po2",
+        "x-request-id: trace-42\r\n",
+        b"",
+    );
+    assert_eq!(status, 200);
+    assert!(head.contains("x-request-id: trace-42"), "{head}");
+    // The match drove the instrumented pipeline: per-phase series appear
+    // in the metrics exposition.
+    let (status, _, metrics) = send_raw(addr, "GET", "/v1/metrics", "", b"");
+    assert_eq!(status, 200);
+    for phase in ["prepare", "labels", "hybrid_wave", "request"] {
+        assert!(
+            metrics.contains(&format!("qmatch_phase_count{{phase=\"{phase}\"}}")),
+            "missing phase {phase}: {metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("qmatch_phase_wall_us_bucket{phase=\"hybrid_wave\",le=\"+Inf\"}"),
+        "{metrics}"
+    );
+    shutdown.shutdown();
+    let summary = runner.join().expect("server thread");
+    assert!(summary.contains("request ids q-1.."), "{summary}");
+    assert!(summary.contains("phases (count/wall):"), "{summary}");
 }
 
 #[test]
