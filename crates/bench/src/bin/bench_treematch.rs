@@ -6,8 +6,19 @@
 //! Also splits the session API into its two phases — `prepare_ms` is the
 //! once-per-schema cost (interning, tokenization, wave construction) and
 //! `match_ms` is the warm-cache per-pair cost, i.e. what a corpus run pays
-//! for every pair after the first. `cache_hit_rate` is the session's
-//! label-cache hit fraction at the end of the timed matches.
+//! for every pair after the first. Timed matches recycle their outcome back
+//! into the session arena, exactly like `match_corpus` / `/v1/match/topk`,
+//! so `alloc_ms` (the `Phase::Alloc` wall time) collapses to the pool-pull
+//! cost after the first pair. `cache_hit_rate` is the session's label-cache
+//! hit fraction at the end of the timed matches.
+//!
+//! Every shape is measured at both storage precisions; each JSON entry
+//! carries a `"precision"` tag ("f64" is the bit-exact default, "f32" the
+//! memory-lean mode). `peak_rss_mib` is the resident-set high-water delta
+//! (`VmHWM`, reset per measurement via `/proc/self/clear_refs`) across the
+//! cold matrix allocation plus the timed matches — the number the f32 mode
+//! exists to cut. `skipped_cells` counts child-row cells the band prefilter
+//! proved unreachable and never read. Both are 0 where procfs is missing.
 //!
 //! The timed matches run with no trace sink attached (the `NullSink` fast
 //! path); a separate recorder-attached warm run supplies the per-phase
@@ -20,8 +31,8 @@
 //!   (unless an output path is given explicitly). Used by CI's
 //!   trace-overhead check.
 //! * `--trace` — attach a [`Recorder`] to the
-//!   timed matches and print its per-phase report. This deliberately puts
-//!   the recorder on the hot path, so `match_ms` then includes trace
+//!   timed f64 matches and print its per-phase report. This deliberately
+//!   puts the recorder on the hot path, so `match_ms` then includes trace
 //!   overhead; comparing a `--test` run against a `--test --trace` run
 //!   bounds the recorder's cost.
 //!
@@ -30,6 +41,7 @@
 
 use qmatch_bench::synth_tree::{balanced_tree_with_vocab, SCHEMA_VOCAB};
 use qmatch_core::algorithms::Algorithm;
+use qmatch_core::matrix::Precision;
 use qmatch_core::model::MatchConfig;
 use qmatch_core::par;
 use qmatch_core::report::Table;
@@ -52,6 +64,23 @@ fn time_median<F: FnMut() -> f64>(runs: usize, mut f: F) -> Duration {
     samples[samples.len() / 2]
 }
 
+/// Peak resident set (`VmHWM`) in MiB. `None` off Linux or when procfs is
+/// unavailable — callers fall back to reporting 0.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+/// Resets the RSS high-water mark so each measurement window starts at the
+/// current resident set. Writing `5` to `/proc/self/clear_refs` is the
+/// documented Linux mechanism; elsewhere this is a no-op and the peak
+/// numbers degrade to process-lifetime maxima.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// One-shot hybrid match through the session API: prepare + match, the same
 /// work the deprecated `hybrid_match` wrapper used to do.
 fn one_shot(tree: &SchemaTree, config: &MatchConfig, sequential: bool) -> f64 {
@@ -63,6 +92,100 @@ fn one_shot(tree: &SchemaTree, config: &MatchConfig, sequential: bool) -> f64 {
         session.run(&Algorithm::Hybrid, &sp, &tp)
     };
     run.expect("hybrid is infallible").total_qom
+}
+
+/// What one (shape, precision) measurement produces.
+struct PrecisionRun {
+    match_ms: f64,
+    labels_ms: f64,
+    wave_ms: f64,
+    alloc_ms: f64,
+    skipped_cells: u64,
+    peak_rss_mib: f64,
+    cache_hit_rate: f64,
+    /// The recorder pinned on the timed session under `--trace`.
+    timed_recorder: Option<Arc<Recorder>>,
+}
+
+/// Times the warm per-pair match at one storage precision and captures the
+/// RSS high-water delta of its working set.
+///
+/// The traced twin session is warmed (and its matrix recycled) *before* the
+/// RSS window opens, so the window covers exactly one cold matrix
+/// acquisition — the sink-free session's — plus the arena-warm timed loop.
+fn measure_precision(
+    tree: &SchemaTree,
+    config: &MatchConfig,
+    precision: Precision,
+    runs: usize,
+    trace: bool,
+) -> PrecisionRun {
+    let pconfig = MatchConfig {
+        precision,
+        ..*config
+    };
+    let mut session = MatchSession::new(pconfig);
+    let timed_recorder = trace.then(|| Arc::new(Recorder::default()));
+    if let Some(rec) = &timed_recorder {
+        session.set_trace_sink(rec.clone());
+    }
+    let (sp, tp) = (session.prepare(tree), session.prepare(tree));
+
+    // Per-phase breakdown from a separate recorder-attached session so the
+    // match timings stay sink-free. The sink-free and traced matches are
+    // interleaved so both medians sample the same noise regime — their
+    // totals must agree to ~10%, which a sequential "time all, then trace
+    // all" layout does not guarantee on a busy machine.
+    let traced = Arc::new(Recorder::default());
+    let mut traced_session = MatchSession::new(pconfig);
+    traced_session.set_trace_sink(traced.clone());
+    let (tsp, ttp) = (traced_session.prepare(tree), traced_session.prepare(tree));
+    let warm = traced_session.hybrid(&tsp, &ttp);
+    std::hint::black_box(warm.total_qom);
+    traced_session.recycle(warm);
+
+    reset_peak_rss();
+    let rss_floor = peak_rss_mib().unwrap_or(0.0);
+    let warm = session.hybrid(&sp, &tp);
+    std::hint::black_box(warm.total_qom);
+    session.recycle(warm);
+
+    let mut match_samples: Vec<Duration> = Vec::with_capacity(runs);
+    let mut phase_samples: Vec<(f64, f64, f64)> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let outcome = session.hybrid(&sp, &tp);
+        std::hint::black_box(outcome.total_qom);
+        match_samples.push(start.elapsed());
+        session.recycle(outcome);
+        traced.reset();
+        let outcome = traced_session.hybrid(&tsp, &ttp);
+        std::hint::black_box(outcome.total_qom);
+        traced_session.recycle(outcome);
+        phase_samples.push((
+            traced.phase_stats(Phase::Labels).wall_ms(),
+            traced.phase_stats(Phase::HybridWave).wall_ms(),
+            traced.phase_stats(Phase::Alloc).wall_ms(),
+        ));
+    }
+    let rss_peak = peak_rss_mib().unwrap_or(0.0);
+    // The prefilter's skip count is a deterministic function of the pair;
+    // the last traced run's stats are as good as any.
+    let skipped_cells = traced.phase_stats(Phase::HybridWave).skipped;
+
+    match_samples.sort();
+    phase_samples.sort_by(|a, b| (a.0 + a.1).total_cmp(&(b.0 + b.1)));
+    let (labels_ms, wave_ms, alloc_ms) = phase_samples[runs / 2];
+    PrecisionRun {
+        match_ms: match_samples[runs / 2].as_secs_f64() * 1e3,
+        labels_ms,
+        wave_ms,
+        alloc_ms,
+        skipped_cells,
+        peak_rss_mib: (rss_peak - rss_floor).max(0.0),
+        cache_hit_rate: session.cache_stats().hit_rate(),
+        timed_recorder,
+    }
 }
 
 fn main() {
@@ -106,6 +229,9 @@ fn main() {
         "speedup",
         "prep ms",
         "match ms",
+        "rss MiB",
+        "f32 ms",
+        "f32 MiB",
     ]);
     let mut entries = Vec::new();
     for &(branch, depth) in shapes {
@@ -120,54 +246,19 @@ fn main() {
         let seq = time_median(runs, || one_shot(&tree, &config, true));
         let par = time_median(runs, || one_shot(&tree, &config, false));
 
-        // Session split: prepare is the once-per-schema cost; match is the
-        // warm-cache per-pair cost (tokenization, waves, and label
-        // comparisons all amortized away). `--trace` pins a recorder on this
-        // session so its overhead lands inside the timed region.
-        let mut session = MatchSession::new(config);
-        let timed_recorder = trace.then(|| Arc::new(Recorder::default()));
-        if let Some(rec) = &timed_recorder {
-            session.set_trace_sink(rec.clone());
-        }
+        // Session split: prepare is the once-per-schema cost; the
+        // per-precision runs below measure the warm-cache per-pair cost.
+        let session = MatchSession::new(config);
         std::hint::black_box(session.prepare(&tree).distinct_labels());
         let prepare = time_median(runs, || session.prepare(&tree).distinct_labels() as f64);
-        let (sp, tp) = (session.prepare(&tree), session.prepare(&tree));
-        std::hint::black_box(session.hybrid(&sp, &tp).total_qom);
+        drop(session);
 
-        // Per-phase breakdown from a separate recorder-attached session so
-        // the match timings stay sink-free. The sink-free and traced
-        // matches are interleaved so both medians sample the same noise
-        // regime — their totals must agree to ~10%, which a sequential
-        // "time all, then trace all" layout does not guarantee on a busy
-        // machine.
-        let traced = Arc::new(Recorder::default());
-        let mut traced_session = MatchSession::new(config);
-        traced_session.set_trace_sink(traced.clone());
-        let (tsp, ttp) = (traced_session.prepare(&tree), traced_session.prepare(&tree));
-        std::hint::black_box(traced_session.hybrid(&tsp, &ttp).total_qom);
-        let mut match_samples: Vec<Duration> = Vec::with_capacity(runs);
-        let mut phase_samples: Vec<(f64, f64)> = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            let start = Instant::now();
-            std::hint::black_box(session.hybrid(&sp, &tp).total_qom);
-            match_samples.push(start.elapsed());
-            traced.reset();
-            std::hint::black_box(traced_session.hybrid(&tsp, &ttp).total_qom);
-            phase_samples.push((
-                traced.phase_stats(Phase::Labels).wall_ms(),
-                traced.phase_stats(Phase::HybridWave).wall_ms(),
-            ));
-        }
-        match_samples.sort();
-        let matched = match_samples[runs / 2];
-        phase_samples.sort_by(|a, b| (a.0 + a.1).total_cmp(&(b.0 + b.1)));
-        let (labels_ms, wave_ms) = phase_samples[runs / 2];
-        let hit_rate = session.cache_stats().hit_rate();
+        let exact = measure_precision(&tree, &config, Precision::F64, runs, trace);
+        let lean = measure_precision(&tree, &config, Precision::F32, runs, false);
 
         let seq_ms = seq.as_secs_f64() * 1e3;
         let par_ms = par.as_secs_f64() * 1e3;
         let prepare_ms = prepare.as_secs_f64() * 1e3;
-        let match_ms = matched.as_secs_f64() * 1e3;
         let speedup = seq_ms / par_ms;
         table.row([
             n.to_string(),
@@ -176,18 +267,45 @@ fn main() {
             format!("{par_ms:.2}"),
             format!("{speedup:.2}x"),
             format!("{prepare_ms:.2}"),
-            format!("{match_ms:.2}"),
+            format!("{:.2}", exact.match_ms),
+            format!("{:.1}", exact.peak_rss_mib),
+            format!("{:.2}", lean.match_ms),
+            format!("{:.1}", lean.peak_rss_mib),
         ]);
         entries.push(format!(
-            "    {{\"nodes\": {n}, \"pairs\": {}, \"seq_ms\": {seq_ms:.3}, \
+            "    {{\"nodes\": {n}, \"pairs\": {}, \"precision\": \"f64\", \
+             \"seq_ms\": {seq_ms:.3}, \
              \"par_ms\": {par_ms:.3}, \"speedup\": {speedup:.3}, \
-             \"prepare_ms\": {prepare_ms:.3}, \"match_ms\": {match_ms:.3}, \
-             \"cache_hit_rate\": {hit_rate:.3}, \
-             \"phases\": {{\"labels_ms\": {labels_ms:.3}, \"hybrid_wave_ms\": {wave_ms:.3}}}}}",
-            n * n
+             \"prepare_ms\": {prepare_ms:.3}, \"match_ms\": {:.3}, \
+             \"alloc_ms\": {:.3}, \"peak_rss_mib\": {:.3}, \
+             \"skipped_cells\": {}, \"cache_hit_rate\": {:.3}, \
+             \"phases\": {{\"labels_ms\": {:.3}, \"hybrid_wave_ms\": {:.3}}}}}",
+            n * n,
+            exact.match_ms,
+            exact.alloc_ms,
+            exact.peak_rss_mib,
+            exact.skipped_cells,
+            exact.cache_hit_rate,
+            exact.labels_ms,
+            exact.wave_ms,
+        ));
+        entries.push(format!(
+            "    {{\"nodes\": {n}, \"pairs\": {}, \"precision\": \"f32\", \
+             \"match_ms\": {:.3}, \
+             \"alloc_ms\": {:.3}, \"peak_rss_mib\": {:.3}, \
+             \"skipped_cells\": {}, \"cache_hit_rate\": {:.3}, \
+             \"phases\": {{\"labels_ms\": {:.3}, \"hybrid_wave_ms\": {:.3}}}}}",
+            n * n,
+            lean.match_ms,
+            lean.alloc_ms,
+            lean.peak_rss_mib,
+            lean.skipped_cells,
+            lean.cache_hit_rate,
+            lean.labels_ms,
+            lean.wave_ms,
         ));
 
-        if let Some(rec) = &timed_recorder {
+        if let Some(rec) = &exact.timed_recorder {
             println!("--- trace report ({n} nodes, timed session) ---");
             print!("{}", rec.report());
             println!();

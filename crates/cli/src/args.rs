@@ -27,6 +27,8 @@ MATCH / EVALUATE OPTIONS:
     --threshold <0..1>           mapping acceptance threshold
                                  (default: adapted to the weights)
     --lexicon <full|fuzzy|exact> linguistic resources (default: full)
+    --precision <f64|f32>        similarity-matrix storage (default: f64;
+                                 f32 halves matrix memory, scores within 1e-6)
     --thesaurus <FILE>           extend the built-in thesaurus from a file
                                  (directives: syn/hyp/acr/abbr — see README)
     --source-root <NAME>         global element to compile in SOURCE
@@ -56,8 +58,8 @@ SERVE OPTIONS:
     --max-schemas <N>            LRU cap on resident prepared schemas
                                  (default: 64)
     also accepts --weights/--child-threshold/--lexicon/--thesaurus for the
-    shared match session; per-request knobs (algorithm, threshold, explain)
-    travel as query parameters instead.
+    shared match session; per-request knobs (algorithm, threshold, precision,
+    explain) travel as query parameters instead.
 
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
@@ -356,6 +358,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
             let built = options.build()?;
             if built.algorithm != AlgorithmChoice::Hybrid
+                || options.precision.is_some()
                 || built.threshold.is_some()
                 || built.explain.is_some()
                 || built.total_only
@@ -401,6 +404,7 @@ struct RawOptions {
     child_threshold: Option<String>,
     threshold: Option<String>,
     lexicon: Option<String>,
+    precision: Option<String>,
     source_root: Option<String>,
     target_root: Option<String>,
     root: Option<String>,
@@ -460,6 +464,9 @@ impl RawOptions {
                 other => return Err(err(format!("unknown lexicon mode {other:?}"))),
             });
         }
+        if let Some(p) = &self.precision {
+            builder = builder.precision_name(p);
+        }
         options.config = builder.build().map_err(|e| err(e.to_string()))?;
         if let Some(t) = &self.threshold {
             options.threshold = Some(parse_unit(t, "--threshold")?);
@@ -481,6 +488,7 @@ impl RawOptions {
             || self.threshold.is_some()
             || self.child_threshold.is_some()
             || self.lexicon.is_some()
+            || self.precision.is_some()
             || self.total_only
             || self.emit_gold
             || self.explain.is_some()
@@ -532,6 +540,7 @@ fn parse_common<'a>(
                 "child-threshold" => options.child_threshold = Some(take(&mut args)?),
                 "threshold" => options.threshold = Some(take(&mut args)?),
                 "lexicon" => options.lexicon = Some(take(&mut args)?),
+                "precision" => options.precision = Some(take(&mut args)?),
                 "source-root" => options.source_root = Some(take(&mut args)?),
                 "target-root" => options.target_root = Some(take(&mut args)?),
                 "root" => options.root = Some(take(&mut args)?),
@@ -634,6 +643,27 @@ mod tests {
         assert_eq!(options.target_root.as_deref(), Some("Order"));
         assert!(options.total_only);
         assert!(!options.trace);
+    }
+
+    #[test]
+    fn parses_precision_flag() {
+        use qmatch_core::matrix::Precision;
+        let cmd = parse(["match", "a.xsd", "b.xsd", "--precision", "f32"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.config.precision, Precision::F32);
+        // Default stays f64; match-many takes it as a session-wide knob.
+        let cmd = parse(["match-many", "p.tsv", "--precision=f64"]).unwrap();
+        let Command::MatchMany { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.config.precision, Precision::F64);
+        // Unknown names fail through the typed ConfigError path.
+        assert!(parse(["match", "a", "b", "--precision", "f16"]).is_err());
+        // serve's precision travels as a query parameter, inspect has none.
+        assert!(parse(["serve", "--precision", "f32"]).is_err());
+        assert!(parse(["inspect", "a.xsd", "--precision", "f32"]).is_err());
     }
 
     #[test]

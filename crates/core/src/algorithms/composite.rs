@@ -160,6 +160,11 @@ pub(crate) fn composite_match_impl(
     let t0 = session.trace().start();
     let matrix = combine(outcomes.iter().map(|o| &o.matrix), aggregation);
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
+    // The component matrices are spent once combined: recycle their buffers
+    // into the session arena for the next match.
+    for outcome in outcomes {
+        session.recycle(outcome);
+    }
     session.trace().finish(
         t0,
         Span {

@@ -25,7 +25,8 @@
 //!    always set to 0".
 
 use super::{compare_single_labels, matcher_for_mode, LabelMatrix, MatchOutcome};
-use crate::matrix::SimMatrix;
+use crate::arena::{MatchArena, RowScratch};
+use crate::matrix::{Precision, RawRows, Score, SimMatrix};
 use crate::model::{children_qom, MatchConfig};
 use crate::par;
 use crate::props::compare_properties;
@@ -113,9 +114,20 @@ pub(crate) fn use_parallel(source: &SchemaTree, target: &SchemaTree) -> bool {
     cfg!(feature = "parallel") && source.len() * target.len() >= par::PAR_CELL_THRESHOLD
 }
 
+/// Slack added to the floating-point upper bounds of the band prefilter.
+/// The bounds are weighted sums of values in `[0, 1]`, so their rounding
+/// error is ≤ 1e-15, and an `f32`-stored child score sits within 2⁻²⁴ of its
+/// `f64` value; 1e-6 covers both with orders of magnitude to spare, making
+/// a pruned row *provably* free of threshold-clearing cells in either
+/// precision.
+const PRUNE_MARGIN: f64 = 1e-6;
+
 /// The engine proper, over prepared artifacts: the wave schedule, leaf
-/// flags, levels, and property profiles all come from the
-/// [`PreparedSchema`]s; the label axis from the session-built `labels`.
+/// flags, levels, parent links, and distinct property profiles all come
+/// from the [`PreparedSchema`]s; the label axis from the session-built
+/// `labels`; the output matrix and per-thread row scratch from the session
+/// `arena`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn hybrid_match_impl(
     source: &PreparedSchema,
     target: &PreparedSchema,
@@ -123,22 +135,169 @@ pub(crate) fn hybrid_match_impl(
     labels: &LabelMatrix,
     parallel: bool,
     trace: &Trace,
+    arena: &MatchArena,
+    precision: Precision,
 ) -> MatchOutcome {
-    let cols = target.tree().len();
-    // The output-matrix allocation (zeroing rows × cols floats — real time
-    // at 10⁴ nodes) is charged to the leaf wave's span, so the wave spans
-    // together account for the whole match.
-    let mut alloc_start = trace.start();
-    let mut matrix = SimMatrix::zeros(source.tree().len(), cols);
+    let (rows, cols) = (source.tree().len(), target.tree().len());
+    // Matrix acquisition (arena pop, or zeroing rows × cols floats — real
+    // time at 10⁴ nodes) and the per-pair score tables get their own Alloc
+    // span, so the wave spans measure pure kernel time.
+    let t0 = trace.start();
+    let mut matrix = arena.take_matrix(rows, cols, precision);
+    let tables = PairTables::build(source, target, labels);
+    trace.finish(
+        t0,
+        Span {
+            rows: rows as u64,
+            cells: (rows * cols) as u64,
+            ..Span::empty(Phase::Alloc)
+        },
+    );
+    match precision {
+        Precision::F64 => {
+            run_waves::<f64>(source, config, &tables, parallel, trace, arena, &mut matrix)
+        }
+        Precision::F32 => {
+            run_waves::<f32>(source, config, &tables, parallel, trace, arena, &mut matrix)
+        }
+    }
+    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// Per-pair lookup tables gathered once per match so the wave kernels run
+/// tight loops over dense slices instead of chasing `NodeId`s. Label and
+/// property scores are stored once per *distinct* pair — always as `f64`,
+/// whatever the output precision — and the per-node index columns below
+/// turn a cell visit into two contiguous-row gathers.
+struct PairTables<'p> {
+    /// Distinct label-pair scores, `… × label_cols` row-major.
+    ltab: Vec<f64>,
+    label_cols: usize,
+    /// Per-node row/column indices into `ltab`.
+    s_label: &'p [u32],
+    t_label: &'p [u32],
+    /// Per distinct source label: the best score over every distinct target
+    /// label — the label-similarity upper bound of the band prefilter.
+    lmax: Vec<f64>,
+    /// Distinct property-profile scores, `… × prop_cols` row-major.
+    ptab: Vec<f64>,
+    prop_cols: usize,
+    /// Per-node row/column indices into `ptab`.
+    s_prop: &'p [u32],
+    t_prop: &'p [u32],
+    /// Per-target-node attributes read by the cell loop.
+    t_leaf: &'p [bool],
+    t_level: &'p [u32],
+    /// Parent of every target node (`u32::MAX` for the root, which the
+    /// scatter loops exclude): band scatters fold child cells up to these.
+    t_parent: &'p [u32],
+    /// Non-root target nodes split by kind, for the cross-kind prefilter.
+    leaf_ts: Vec<u32>,
+    internal_ts: Vec<u32>,
+}
+
+impl<'p> PairTables<'p> {
+    fn build(
+        source: &'p PreparedSchema<'_>,
+        target: &'p PreparedSchema<'_>,
+        labels: &'p LabelMatrix,
+    ) -> PairTables<'p> {
+        let ltab = labels.score_table();
+        let label_cols = labels.distinct_cols_raw();
+        let label_rows = ltab.len().checked_div(label_cols).unwrap_or(0);
+        let mut lmax = vec![0.0f64; label_rows];
+        for (r, best) in lmax.iter_mut().enumerate() {
+            let row = &ltab[r * label_cols..(r + 1) * label_cols];
+            *best = row.iter().fold(0.0f64, |a, &b| a.max(b));
+        }
+
+        let (sprops, tprops) = (source.distinct_props_raw(), target.distinct_props_raw());
+        let prop_cols = tprops.len();
+        let mut ptab = Vec::with_capacity(sprops.len() * prop_cols);
+        for sp in sprops {
+            for tp in tprops {
+                ptab.push(compare_properties(sp, tp).score);
+            }
+        }
+
+        let t_leaf = target.leaf_flags_raw();
+        let (mut leaf_ts, mut internal_ts) = (Vec::new(), Vec::new());
+        for t in 1..target.tree().len() as u32 {
+            if t_leaf[t as usize] {
+                leaf_ts.push(t);
+            } else {
+                internal_ts.push(t);
+            }
+        }
+
+        PairTables {
+            ltab,
+            label_cols,
+            s_label: labels.source_ids_raw(),
+            t_label: labels.target_ids_raw(),
+            lmax,
+            ptab,
+            prop_cols,
+            s_prop: source.node_props_raw(),
+            t_prop: target.node_props_raw(),
+            t_leaf,
+            t_level: target.levels_raw(),
+            t_parent: target.parents_raw(),
+            leaf_ts,
+            internal_ts,
+        }
+    }
+
+    /// The distinct-label score row for source node `s`.
+    #[inline]
+    fn label_row(&self, s: usize) -> &[f64] {
+        let r = self.s_label[s] as usize * self.label_cols;
+        &self.ltab[r..r + self.label_cols]
+    }
+
+    /// The distinct-props score row for source node `s`.
+    #[inline]
+    fn prop_row(&self, s: usize) -> &[f64] {
+        let r = self.s_prop[s] as usize * self.prop_cols;
+        &self.ptab[r..r + self.prop_cols]
+    }
+}
+
+/// The wavefront driver, generic over the storage scalar. Rows are written
+/// in place through [`RawRows`] — no per-row `Vec`, no copy-back — and each
+/// wave reads only rows of strictly smaller height, already finalized by
+/// earlier waves, so the parallel schedule stays bit-identical to the
+/// sequential one.
+#[allow(clippy::too_many_arguments)]
+fn run_waves<S: Score>(
+    source: &PreparedSchema,
+    config: &MatchConfig,
+    tables: &PairTables,
+    parallel: bool,
+    trace: &Trace,
+    arena: &MatchArena,
+    matrix: &mut SimMatrix,
+) {
+    let cols = matrix.cols();
+    let raw = RawRows::<S>::new(matrix).expect("matrix storage matches the kernel scalar");
     for (w, wave) in source.waves_by_height().iter().enumerate() {
         // One span per wave, recorded by this coordinating thread after the
-        // row join — never per cell, and nothing here touches the scores.
-        let t0 = alloc_start.take().or_else(|| trace.start());
-        let rows = par::map_rows(wave.len(), parallel, |i| {
-            hybrid_row(source, target, wave[i], config, labels, &matrix)
-        });
-        for (&s, row) in wave.iter().zip(&rows) {
-            matrix.set_row(s, row);
+        // row join — never per cell. Workers lease one scratch set each and
+        // count the cells their prefilters skipped.
+        let t0 = trace.start();
+        let states = par::for_rows_with(
+            wave.len(),
+            parallel,
+            || (arena.take_scratch(cols), 0u64),
+            |(scratch, skipped), i| {
+                *skipped += kernel_row::<S>(&raw, wave[i], source, config, tables, scratch);
+            },
+        );
+        let mut skipped = 0u64;
+        for (scratch, n) in states {
+            arena.put_scratch(scratch);
+            skipped += n;
         }
         trace.finish(
             t0,
@@ -146,79 +305,169 @@ pub(crate) fn hybrid_match_impl(
                 wave: w as u32,
                 rows: wave.len() as u64,
                 cells: (wave.len() * cols) as u64,
+                skipped,
                 ..Span::empty(Phase::HybridWave)
             },
         );
     }
-    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
-    MatchOutcome { matrix, total_qom }
 }
 
-/// One source node's full row of the DP: the QoM against every target node.
-/// Reads only rows of strictly smaller height, which previous waves have
-/// already finalized.
-fn hybrid_row(
-    source: &PreparedSchema,
-    target: &PreparedSchema,
+/// One source node's full DP row, written in place. Returns the number of
+/// cells the children-pass prefilters skipped.
+///
+/// Safety of the in-place write: each source node appears exactly once in
+/// exactly one wave, so this worker holds the row exclusively; the children
+/// pass reads only rows of strictly smaller subtree height, finalized
+/// before this wave started.
+fn kernel_row<S: Score>(
+    raw: &RawRows<S>,
     s: NodeId,
+    source: &PreparedSchema,
     config: &MatchConfig,
-    labels: &LabelMatrix,
-    matrix: &SimMatrix,
-) -> Vec<f64> {
+    tables: &PairTables,
+    scratch: &mut RowScratch,
+) -> u64 {
     let weights = config.weights;
-    let sn = source.tree().node(s);
-    let s_leaf = source.is_leaf(s);
-    let s_level = source.level(s);
-    let s_props = source.props(s);
-    (0..target.tree().len() as u32)
-        .map(|t| {
-            let t = NodeId(t);
-            let label = labels.get(s, t).score;
-            let props = compare_properties(s_props, target.props(t)).score;
-            let t_leaf = target.is_leaf(t);
-            if s_leaf && t_leaf {
-                // Equation 2: leaves are exact by default on C and H.
-                weights.leaf_qom(label, props)
+    let cols = tables.t_label.len();
+    let lrow = tables.label_row(s.index());
+    let prow = tables.prop_row(s.index());
+    let s_level = source.levels_raw()[s.index()];
+
+    if source.leaf_flags_raw()[s.index()] {
+        // Leaf source: Equation 2 against leaf targets; against a subtree
+        // the children axis contributes 0 (footnote 1). Two gathers and a
+        // weighted sum per cell.
+        let row = unsafe { raw.row_mut(s.index()) };
+        for t in 0..cols {
+            let l = lrow[tables.t_label[t] as usize];
+            let p = prow[tables.t_prop[t] as usize];
+            let q = if tables.t_leaf[t] {
+                weights.leaf_qom(l, p)
             } else {
-                let tn = target.tree().node(t);
-                let (qom_sum, matched) = best_child_matches(matrix, sn, tn, config);
-                let qomc = if s_leaf != t_leaf {
-                    // Leaf against subtree: no coverage (footnote 1 allows
-                    // comparing them; the children axis simply contributes 0).
-                    0.0
+                let qomh = if s_level == tables.t_level[t] {
+                    1.0
                 } else {
-                    children_qom(qom_sum, matched, sn.children.len())
+                    0.0
                 };
-                let qomh = if s_level == target.level(t) { 1.0 } else { 0.0 };
-                weights.qom(label, props, qomh, qomc)
-            }
-        })
-        .collect()
+                weights.qom(l, p, qomh, 0.0)
+            };
+            row[t] = S::from_f64(q);
+        }
+        return 0;
+    }
+
+    let sn = source.tree().node(s);
+    let skipped = children_pass::<S>(raw, sn, source, config, tables, scratch);
+    let n_children = sn.children.len();
+    let row = unsafe { raw.row_mut(s.index()) };
+    for t in 0..cols {
+        let l = lrow[tables.t_label[t] as usize];
+        let p = prow[tables.t_prop[t] as usize];
+        let qomh = if s_level == tables.t_level[t] {
+            1.0
+        } else {
+            0.0
+        };
+        let qomc = if tables.t_leaf[t] {
+            // Subtree against a leaf: no coverage (footnote 1 allows the
+            // comparison; the children axis simply contributes 0).
+            0.0
+        } else {
+            children_qom(scratch.qsum[t], scratch.mcnt[t] as usize, n_children)
+        };
+        row[t] = S::from_f64(weights.qom(l, p, qomh, qomc));
+    }
+    skipped
 }
 
-/// For each source child, the best QoM among the target children; children
-/// clear the Figure 3 threshold or contribute nothing. Returns the kept sum
-/// and the matched count (`|Ncs|`).
-fn best_child_matches(
-    matrix: &SimMatrix,
+/// The children pass for an internal source node. For every source child, a
+/// *band scatter* folds the child's (finalized) row up to each target
+/// parent — `band[p]` ends as the best threshold-clearing score among `p`'s
+/// children, or −1 when none clears — and the band then accumulates into
+/// the per-target QoM sum and matched count. Accumulation runs in
+/// source-child order, so the `f64` sums are bit-identical to the reference
+/// recursion's (max is order-free; the sum is not).
+///
+/// Two prefilters skip cells that provably cannot clear the Figure 3
+/// threshold (bounds padded by [`PRUNE_MARGIN`]):
+///
+/// - a child whose best label score caps its QoM below the threshold skips
+///   its entire row;
+/// - a child whose *cross-kind* bound (no children credit) falls below the
+///   threshold scans only same-kind targets.
+///
+/// Returns the number of cells skipped (never read).
+fn children_pass<S: Score>(
+    raw: &RawRows<S>,
     sn: &qmatch_xsd::SchemaNode,
-    tn: &qmatch_xsd::SchemaNode,
+    source: &PreparedSchema,
     config: &MatchConfig,
-) -> (f64, usize) {
-    let mut qom_sum = 0.0;
-    let mut matched = 0usize;
+    tables: &PairTables,
+    scratch: &mut RowScratch,
+) -> u64 {
+    let w = config.weights;
+    let threshold = config.threshold;
+    let cols = tables.t_label.len();
+    scratch.qsum[..cols].fill(0.0);
+    scratch.mcnt[..cols].fill(0);
+    let mut skipped = 0u64;
+    let scan = (cols - 1) as u64; // non-root targets per child row
     for &cs in &sn.children {
-        let best = tn
-            .children
-            .iter()
-            .map(|&ct| matrix.get(cs, ct))
-            .fold(0.0f64, f64::max);
-        if best >= config.threshold {
-            qom_sum += best;
-            matched += 1;
+        let lmax = tables.lmax[tables.s_label[cs.index()] as usize];
+        let full_ub = w.label * lmax + (w.properties + w.level + w.children) + PRUNE_MARGIN;
+        if full_ub < threshold {
+            // No cell in this child's row can clear the threshold.
+            skipped += scan;
+            continue;
+        }
+        // SAFETY: `cs` has strictly smaller subtree height than its parent,
+        // so its row was finalized by an earlier wave; nothing writes it now.
+        let child_row = unsafe { raw.row(cs.index()) };
+        let band = &mut scratch.band[..cols];
+        band.fill(-1.0);
+        let cross_ub = w.label * lmax + (w.properties + w.level) + PRUNE_MARGIN;
+        if cross_ub < threshold {
+            // Cross-kind pairs carry no children credit, so only same-kind
+            // targets can clear: scan just those.
+            let kin = if source.leaf_flags_raw()[cs.index()] {
+                &tables.leaf_ts
+            } else {
+                &tables.internal_ts
+            };
+            skipped += scan - kin.len() as u64;
+            for &t in kin {
+                let v = S::to_f64(child_row[t as usize]);
+                if v >= threshold {
+                    let p = tables.t_parent[t as usize] as usize;
+                    if band[p] < v {
+                        band[p] = v;
+                    }
+                }
+            }
+        } else {
+            // The fast path: one contiguous scan of the child row.
+            for (t, &cell) in child_row.iter().enumerate().skip(1) {
+                let v = S::to_f64(cell);
+                if v >= threshold {
+                    let p = tables.t_parent[t] as usize;
+                    if band[p] < v {
+                        band[p] = v;
+                    }
+                }
+            }
+        }
+        // Fold the band into the accumulators. A kept band value is the
+        // overall per-parent max (kept values ≥ threshold dominate the
+        // dropped ones), so this reproduces the reference `best ≥ threshold`
+        // gate exactly; −1 marks parents with no clearing child.
+        for (t, &b) in band.iter().enumerate() {
+            if b >= 0.0 {
+                scratch.qsum[t] += b;
+                scratch.mcnt[t] += 1;
+            }
         }
     }
-    (qom_sum, matched)
+    skipped
 }
 
 /// Classifies the match between the two roots on the paper's qualitative

@@ -6,12 +6,13 @@
 //! also the component QMatch uses internally for its label axis.
 
 use super::{LabelMatrix, MatchOutcome};
-use crate::matrix::SimMatrix;
+use crate::arena::MatchArena;
+use crate::matrix::{Precision, RawRows, Score, SimMatrix};
 use crate::model::MatchConfig;
 use crate::par;
 use crate::session::{MatchSession, PreparedSchema};
 use crate::trace::{Phase, Span, Trace};
-use qmatch_xsd::{NodeId, SchemaTree};
+use qmatch_xsd::SchemaTree;
 
 /// Runs the linguistic matcher. The outcome's `total_qom` is the mean best
 /// label similarity per source node (a flat matcher has no root recursion to
@@ -84,19 +85,25 @@ pub(crate) fn linguistic_match_impl(
     labels: &LabelMatrix,
     parallel: bool,
     trace: &Trace,
+    arena: &MatchArena,
+    precision: Precision,
 ) -> MatchOutcome {
+    let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
+    let t_alloc = trace.start();
+    let mut matrix = arena.take_matrix(rows_n, cols_n, precision);
+    trace.finish(
+        t_alloc,
+        Span {
+            rows: rows_n as u64,
+            cells: (rows_n * cols_n) as u64,
+            ..Span::empty(Phase::Alloc)
+        },
+    );
     // A flat matcher: every row is independent, so this is one wave.
     let t0 = trace.start();
-    let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
-    let mut matrix = SimMatrix::zeros(rows_n, cols_n);
-    let rows = par::map_rows(rows_n, parallel, |s| {
-        let s = NodeId(s as u32);
-        (0..cols_n as u32)
-            .map(|t| labels.get(s, NodeId(t)).score)
-            .collect::<Vec<f64>>()
-    });
-    for (s, row) in rows.iter().enumerate() {
-        matrix.set_row(NodeId(s as u32), row);
+    match precision {
+        Precision::F64 => fill_rows::<f64>(labels, parallel, &mut matrix),
+        Precision::F32 => fill_rows::<f32>(labels, parallel, &mut matrix),
     }
     let total_qom = matrix.mean_best_per_source();
     trace.finish(
@@ -108,6 +115,30 @@ pub(crate) fn linguistic_match_impl(
         },
     );
     MatchOutcome { matrix, total_qom }
+}
+
+/// Writes every label score in place through [`RawRows`], gathering from the
+/// distinct score table's contiguous rows.
+fn fill_rows<S: Score>(labels: &LabelMatrix, parallel: bool, matrix: &mut SimMatrix) {
+    let rows_n = matrix.rows();
+    let ltab = labels.score_table();
+    let lcols = labels.distinct_cols_raw();
+    let (sids, tids) = (labels.source_ids_raw(), labels.target_ids_raw());
+    let raw = RawRows::<S>::new(matrix).expect("matrix storage matches the kernel scalar");
+    par::for_rows_with(
+        rows_n,
+        parallel,
+        || (),
+        |_, s| {
+            // SAFETY: each row index is visited exactly once, so no two
+            // workers write the same row.
+            let row = unsafe { raw.row_mut(s) };
+            let lrow = &ltab[sids[s] as usize * lcols..][..lcols];
+            for (cell, &t) in row.iter_mut().zip(tids) {
+                *cell = S::from_f64(lrow[t as usize]);
+            }
+        },
+    );
 }
 
 #[cfg(test)]

@@ -200,6 +200,28 @@ impl LabelMatrix {
     pub fn distinct_pairs(&self) -> usize {
         self.table.len()
     }
+
+    /// The distinct score table flattened to `f64`, row-major — the hybrid
+    /// kernel gathers label scores from its contiguous rows instead of going
+    /// through [`LabelMatrix::get`]'s `NodeId` arithmetic per cell.
+    pub(crate) fn score_table(&self) -> Vec<f64> {
+        self.table.iter().map(|m| m.score).collect()
+    }
+
+    /// Per-source-node row indices into the distinct table.
+    pub(crate) fn source_ids_raw(&self) -> &[u32] {
+        &self.source_ids
+    }
+
+    /// Per-target-node column indices into the distinct table.
+    pub(crate) fn target_ids_raw(&self) -> &[u32] {
+        &self.target_ids
+    }
+
+    /// Width (distinct target labels) of the distinct table.
+    pub(crate) fn distinct_cols_raw(&self) -> usize {
+        self.distinct_cols
+    }
 }
 
 /// Batch matching: runs the hybrid matcher over every pair, sharing one

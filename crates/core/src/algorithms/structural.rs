@@ -12,7 +12,8 @@
 //! hybrid).
 
 use super::{greedy_assignment, MatchOutcome};
-use crate::matrix::SimMatrix;
+use crate::arena::MatchArena;
+use crate::matrix::{Precision, SimMatrix};
 use crate::model::MatchConfig;
 use crate::par;
 use crate::props::compare_properties;
@@ -79,9 +80,24 @@ pub(crate) fn structural_match_impl(
     config: &MatchConfig,
     parallel: bool,
     trace: &Trace,
+    arena: &MatchArena,
+    precision: Precision,
 ) -> MatchOutcome {
     let (rows_n, cols_n) = (source.tree().len(), target.tree().len());
-    let mut matrix = SimMatrix::zeros(rows_n, cols_n);
+    // Both passes run in f64 (the context blend reads the shape matrix cell
+    // by cell); an f32 request only converts the final matrix. The two big
+    // intermediates come from — and the shape pass returns to — the arena.
+    let t_alloc = trace.start();
+    let mut matrix = arena.take_matrix(rows_n, cols_n, Precision::F64);
+    let mut contextual = arena.take_matrix(rows_n, cols_n, Precision::F64);
+    trace.finish(
+        t_alloc,
+        Span {
+            rows: (2 * rows_n) as u64,
+            cells: (2 * rows_n * cols_n) as u64,
+            ..Span::empty(Phase::Alloc)
+        },
+    );
     for (w, wave) in source.waves_by_height().iter().enumerate() {
         let t0 = trace.start();
         let rows = par::map_rows(wave.len(), parallel, |i| {
@@ -106,7 +122,6 @@ pub(crate) fn structural_match_impl(
     // pair's similarity disambiguates them the way CUPID's structural phase
     // propagates context. A row depends only on the parent's row, one depth
     // wave earlier.
-    let mut contextual = SimMatrix::zeros(rows_n, cols_n);
     for (w, wave) in source.waves_by_depth().iter().enumerate() {
         let t0 = trace.start();
         let rows = par::map_rows(wave.len(), parallel, |i| {
@@ -125,7 +140,9 @@ pub(crate) fn structural_match_impl(
             },
         );
     }
-    let matrix = contextual;
+    // The shape matrix is internal: hand its buffer straight back.
+    arena.put_matrix(matrix);
+    let matrix = contextual.with_precision(precision);
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     MatchOutcome { matrix, total_qom }
 }

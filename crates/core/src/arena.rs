@@ -1,0 +1,273 @@
+//! Buffer pooling across matches: the [`MatchArena`].
+//!
+//! The dominant allocation of a match is the dense similarity matrix —
+//! ~775 MB of `f64` for the 9841-node bench pair — and a corpus workload
+//! (`match_corpus`, `/v1/match/topk`) used to allocate *and zero* a fresh
+//! one per pair. The arena, owned by
+//! [`MatchSession`](crate::session::MatchSession), pools those buffers plus
+//! the per-thread row scratch of the hybrid kernel:
+//!
+//! - matrix buffers are returned via
+//!   [`MatchSession::recycle`](crate::session::MatchSession::recycle) once a
+//!   caller is done with an outcome, and handed back **without re-zeroing**
+//!   — sound because every engine commits every row/cell of the matrix it
+//!   takes (the wavefront covers all source nodes; the flat engines write
+//!   all rows; the combiner writes all cells), an invariant documented on
+//!   `SimMatrix::from_storage`-based construction;
+//! - row scratch (children-pass accumulators) cycles automatically inside
+//!   the kernel, one lease per worker thread per wave.
+//!
+//! Pools are bounded (a handful of buffers) so a burst of concurrent
+//! matches cannot hoard memory; excess buffers are simply dropped.
+
+use crate::matrix::{MatrixData, Precision, SimMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Most buffers a pool retains; extra returns are dropped.
+const MAX_POOLED_MATRICES: usize = 4;
+/// Row-scratch sets retained (bounded by worker-thread count in practice).
+const MAX_POOLED_SCRATCH: usize = 32;
+
+/// Counters describing how often the arena served a buffer from its pool
+/// versus allocating a fresh one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Matrix buffers served from the pool (no allocation, no zeroing).
+    pub matrix_reuses: u64,
+    /// Matrix buffers freshly allocated (pool empty or wrong precision).
+    pub matrix_allocs: u64,
+}
+
+/// Per-thread scratch for the hybrid kernel's children pass. Contents are
+/// *stale* between leases; the kernel fills every entry it reads.
+#[derive(Default)]
+pub(crate) struct RowScratch {
+    /// Per-target running QoM sum of matched source children.
+    pub qsum: Vec<f64>,
+    /// Per-target matched-children count.
+    pub mcnt: Vec<u32>,
+    /// Per-target best child score this pass (−1.0 = no child cleared the
+    /// threshold).
+    pub band: Vec<f64>,
+}
+
+impl RowScratch {
+    /// Ensures each buffer holds exactly `cols` entries (values stale).
+    pub(crate) fn ensure_cols(&mut self, cols: usize) {
+        self.qsum.resize(cols, 0.0);
+        self.mcnt.resize(cols, 0);
+        self.band.resize(cols, 0.0);
+    }
+}
+
+/// The session-owned buffer pool. See the module docs for the lifecycle.
+pub struct MatchArena {
+    f64_pool: Mutex<Vec<Vec<f64>>>,
+    f32_pool: Mutex<Vec<Vec<f32>>>,
+    scratch_pool: Mutex<Vec<RowScratch>>,
+    reuses: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl Default for MatchArena {
+    fn default() -> Self {
+        MatchArena {
+            f64_pool: Mutex::new(Vec::new()),
+            f32_pool: Mutex::new(Vec::new()),
+            scratch_pool: Mutex::new(Vec::new()),
+            reuses: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for MatchArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MatchArena")
+            .field("matrix_reuses", &stats.matrix_reuses)
+            .field("matrix_allocs", &stats.matrix_allocs)
+            .finish()
+    }
+}
+
+impl MatchArena {
+    /// Reuse/allocation counters so far.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            matrix_reuses: self.reuses.load(Ordering::Relaxed),
+            matrix_allocs: self.allocs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A `rows × cols` matrix in the requested precision, from the pool when
+    /// possible.
+    ///
+    /// A pooled buffer is resized without re-zeroing its retained prefix:
+    /// the caller (an engine) **must overwrite every cell** before the
+    /// matrix escapes. Freshly allocated buffers are zeroed by `vec!`.
+    pub(crate) fn take_matrix(&self, rows: usize, cols: usize, precision: Precision) -> SimMatrix {
+        let len = rows * cols;
+        let data = match precision {
+            Precision::F64 => {
+                let pooled = self.f64_pool.lock().expect("arena pool lock").pop();
+                MatrixData::F64(match pooled {
+                    Some(buf) => {
+                        self.reuses.fetch_add(1, Ordering::Relaxed);
+                        resize_stale(buf, len, 0.0)
+                    }
+                    None => {
+                        self.allocs.fetch_add(1, Ordering::Relaxed);
+                        vec![0.0; len]
+                    }
+                })
+            }
+            Precision::F32 => {
+                let pooled = self.f32_pool.lock().expect("arena pool lock").pop();
+                MatrixData::F32(match pooled {
+                    Some(buf) => {
+                        self.reuses.fetch_add(1, Ordering::Relaxed);
+                        resize_stale(buf, len, 0.0)
+                    }
+                    None => {
+                        self.allocs.fetch_add(1, Ordering::Relaxed);
+                        vec![0.0; len]
+                    }
+                })
+            }
+        };
+        SimMatrix::from_storage(rows, cols, data)
+    }
+
+    /// Returns a matrix's buffer to the pool (dropped if the pool is full).
+    pub(crate) fn put_matrix(&self, matrix: SimMatrix) {
+        match matrix.into_storage() {
+            MatrixData::F64(buf) => {
+                let mut pool = self.f64_pool.lock().expect("arena pool lock");
+                if pool.len() < MAX_POOLED_MATRICES {
+                    pool.push(buf);
+                }
+            }
+            MatrixData::F32(buf) => {
+                let mut pool = self.f32_pool.lock().expect("arena pool lock");
+                if pool.len() < MAX_POOLED_MATRICES {
+                    pool.push(buf);
+                }
+            }
+        }
+    }
+
+    /// One row-scratch set sized for `cols` targets (contents stale).
+    pub(crate) fn take_scratch(&self, cols: usize) -> RowScratch {
+        let mut scratch = self
+            .scratch_pool
+            .lock()
+            .expect("arena scratch lock")
+            .pop()
+            .unwrap_or_default();
+        scratch.ensure_cols(cols);
+        scratch
+    }
+
+    /// Returns a row-scratch set to the pool.
+    pub(crate) fn put_scratch(&self, scratch: RowScratch) {
+        let mut pool = self.scratch_pool.lock().expect("arena scratch lock");
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+    }
+}
+
+/// Resizes a recycled buffer to `len` entries. Only the *appended* region
+/// (if any) is initialized; the retained prefix keeps its stale values —
+/// see the caller contract on [`MatchArena::take_matrix`].
+fn resize_stale<T: Copy>(mut buf: Vec<T>, len: usize, fill: T) -> Vec<T> {
+    if buf.len() > len {
+        buf.truncate(len);
+    } else if buf.len() < len {
+        buf.resize(len, fill);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_xsd::NodeId;
+
+    #[test]
+    fn take_is_zeroed_when_fresh_and_counts_allocs() {
+        let arena = MatchArena::default();
+        let m = arena.take_matrix(2, 2, Precision::F64);
+        assert_eq!(m.get(NodeId(1), NodeId(1)), 0.0);
+        assert_eq!(
+            arena.stats(),
+            ArenaStats {
+                matrix_reuses: 0,
+                matrix_allocs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_without_rezeroing() {
+        let arena = MatchArena::default();
+        let mut m = arena.take_matrix(2, 2, Precision::F64);
+        m.set(NodeId(0), NodeId(0), 0.75);
+        arena.put_matrix(m);
+        let again = arena.take_matrix(2, 2, Precision::F64);
+        // The stale value is visible — engines must overwrite every cell.
+        assert_eq!(again.get(NodeId(0), NodeId(0)), 0.75);
+        assert_eq!(arena.stats().matrix_reuses, 1);
+    }
+
+    #[test]
+    fn recycled_buffer_grows_with_zeroed_tail() {
+        let arena = MatchArena::default();
+        let mut m = arena.take_matrix(1, 2, Precision::F64);
+        m.set(NodeId(0), NodeId(1), 0.5);
+        arena.put_matrix(m);
+        let bigger = arena.take_matrix(2, 2, Precision::F64);
+        assert_eq!(bigger.get(NodeId(1), NodeId(1)), 0.0, "appended region");
+        arena.put_matrix(bigger);
+        let smaller = arena.take_matrix(1, 1, Precision::F64);
+        assert_eq!(smaller.rows() * smaller.cols(), 1);
+    }
+
+    #[test]
+    fn precisions_pool_separately() {
+        let arena = MatchArena::default();
+        let m64 = arena.take_matrix(2, 2, Precision::F64);
+        arena.put_matrix(m64);
+        let m32 = arena.take_matrix(2, 2, Precision::F32);
+        assert_eq!(m32.precision(), Precision::F32);
+        // The f64 buffer could not serve the f32 request.
+        assert_eq!(arena.stats().matrix_allocs, 2);
+        assert_eq!(arena.stats().matrix_reuses, 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let arena = MatchArena::default();
+        let matrices: Vec<_> = (0..MAX_POOLED_MATRICES + 3)
+            .map(|_| arena.take_matrix(1, 1, Precision::F64))
+            .collect();
+        for m in matrices {
+            arena.put_matrix(m);
+        }
+        let pooled = arena.f64_pool.lock().unwrap().len();
+        assert_eq!(pooled, MAX_POOLED_MATRICES);
+    }
+
+    #[test]
+    fn scratch_round_trips_and_resizes() {
+        let arena = MatchArena::default();
+        let mut s = arena.take_scratch(4);
+        assert_eq!(s.qsum.len(), 4);
+        s.band[0] = -1.0;
+        arena.put_scratch(s);
+        let s2 = arena.take_scratch(2);
+        assert_eq!(s2.mcnt.len(), 2);
+    }
+}

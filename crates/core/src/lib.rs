@@ -12,7 +12,10 @@
 //!   [`model::MatchConfig`].
 //! - [`props`] — property-axis comparison (type lattice, occurrence
 //!   constraints, order, nillable/default/fixed).
-//! - [`matrix`] — the dense node-pair similarity matrix all algorithms emit.
+//! - [`matrix`] — the dense node-pair similarity matrix all algorithms emit,
+//!   in either storage precision ([`matrix::Precision`]).
+//! - [`arena`] — the session-owned buffer pool ([`arena::MatchArena`])
+//!   reusing matrix and kernel-scratch allocations across matches.
 //! - [`algorithms`] — the engines behind [`algorithms::Algorithm`]:
 //!   linguistic, structural, hybrid (Figure 3), COMA-style composite, and a
 //!   tree-edit-distance baseline
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod arena;
 pub mod eval;
 pub mod explain;
 pub mod intern;
@@ -72,11 +76,12 @@ pub use algorithms::{
     match_many_with, structural_match, tree_edit_match, Aggregation, Algorithm, Component,
     CompositeError, LabelMatrix, MatchOutcome,
 };
+pub use arena::{ArenaStats, MatchArena};
 pub use eval::{evaluate, GoldStandard, MatchQuality};
 pub use explain::{explain_pair, Explanation};
 pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
-pub use matrix::SimMatrix;
+pub use matrix::{MatrixIndexError, Precision, SimMatrix};
 pub use model::{ConfigError, LexiconMode, MatchConfig, MatchConfigBuilder, Weights};
 pub use session::{CacheStats, MatchSession, OwnedPreparedSchema, PreparedSchema};
 pub use taxonomy::{AxisGrade, CoverageGrade, MatchCategory};

@@ -11,6 +11,8 @@
 //! leaves using Eq. 2 with constant `C = WH + WC` (leaves match exactly by
 //! default on the children and level axes, so a perfect leaf scores 1.0).
 
+use crate::matrix::Precision;
+
 /// The per-axis weights of Equation 1. They must sum to 1 so that a total
 /// exact match always scores exactly 1.0.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +172,10 @@ pub struct MatchConfig {
     pub threshold: f64,
     /// Linguistic resources to use.
     pub lexicon: LexiconMode,
+    /// Similarity-matrix storage precision. `F64` (default) is bit-identical
+    /// to the paper arithmetic; `F32` halves the quadratic matrix footprint
+    /// with a ≤1e-6 per-cell tolerance (see [`Precision`]).
+    pub precision: Precision,
 }
 
 impl Default for MatchConfig {
@@ -178,6 +184,7 @@ impl Default for MatchConfig {
             weights: Weights::PAPER,
             threshold: 0.5,
             lexicon: LexiconMode::Full,
+            precision: Precision::F64,
         }
     }
 }
@@ -219,17 +226,23 @@ impl MatchConfig {
             weights: Weights::PAPER,
             threshold: MatchConfig::default().threshold,
             lexicon: LexiconMode::Full,
+            precision: Precision::F64,
+            precision_raw: None,
         }
     }
 }
 
 /// Builder returned by [`MatchConfig::builder`]; validation happens once,
 /// in [`MatchConfigBuilder::build`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MatchConfigBuilder {
     weights: Weights,
     threshold: f64,
     lexicon: LexiconMode,
+    precision: Precision,
+    /// A raw `--precision`/`precision=` string awaiting validation in
+    /// [`MatchConfigBuilder::build`].
+    precision_raw: Option<String>,
 }
 
 impl MatchConfigBuilder {
@@ -264,8 +277,26 @@ impl MatchConfigBuilder {
         self
     }
 
+    /// Sets the similarity-matrix storage precision.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the storage precision from its textual name (`"f64"`/`"f32"`,
+    /// as taken by the `--precision` CLI flag and the `precision=` query
+    /// parameter); anything else is rejected in
+    /// [`MatchConfigBuilder::build`] with [`ConfigError::Precision`].
+    pub fn precision_name(mut self, name: &str) -> Self {
+        self.precision_raw = Some(name.to_owned());
+        self
+    }
+
     /// Validates and produces the config.
-    pub fn build(self) -> Result<MatchConfig, ConfigError> {
+    pub fn build(mut self) -> Result<MatchConfig, ConfigError> {
+        if let Some(raw) = self.precision_raw.take() {
+            self.precision = raw.parse::<Precision>()?;
+        }
         self.weights.validate().map_err(ConfigError::Weights)?;
         if !self.threshold.is_finite() || !(0.0..=1.0).contains(&self.threshold) {
             return Err(ConfigError::Threshold {
@@ -276,12 +307,13 @@ impl MatchConfigBuilder {
             weights: self.weights,
             threshold: self.threshold,
             lexicon: self.lexicon,
+            precision: self.precision,
         })
     }
 }
 
 /// Why [`MatchConfigBuilder::build`] rejected a configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// The weight vector failed validation (see [`WeightError`]).
     Weights(WeightError),
@@ -289,6 +321,11 @@ pub enum ConfigError {
     Threshold {
         /// The rejected value.
         value: f64,
+    },
+    /// The storage precision name was not `"f32"` or `"f64"`.
+    Precision {
+        /// The rejected name.
+        value: String,
     },
 }
 
@@ -302,6 +339,9 @@ impl std::fmt::Display for ConfigError {
                     "threshold must be a finite value in [0, 1] (got {value})"
                 )
             }
+            ConfigError::Precision { value } => {
+                write!(f, "precision must be \"f32\" or \"f64\" (got {value:?})")
+            }
         }
     }
 }
@@ -310,7 +350,23 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Weights(err) => Some(err),
-            ConfigError::Threshold { .. } => None,
+            ConfigError::Threshold { .. } | ConfigError::Precision { .. } => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = ConfigError;
+
+    /// Parses the CLI/query-parameter spelling; the error is the same typed
+    /// [`ConfigError::Precision`] that [`MatchConfigBuilder::build`] emits.
+    fn from_str(s: &str) -> Result<Precision, ConfigError> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            other => Err(ConfigError::Precision {
+                value: other.to_owned(),
+            }),
         }
     }
 }
@@ -446,6 +502,31 @@ mod tests {
         assert_eq!(config.weights, w);
         assert_eq!(config.threshold, 0.7);
         assert_eq!(config.lexicon, LexiconMode::ExactOnly);
+    }
+
+    #[test]
+    fn builder_precision_paths() {
+        assert_eq!(MatchConfig::default().precision, Precision::F64);
+        let c = MatchConfig::builder()
+            .precision(Precision::F32)
+            .build()
+            .unwrap();
+        assert_eq!(c.precision, Precision::F32);
+        let c = MatchConfig::builder()
+            .precision_name("f32")
+            .build()
+            .unwrap();
+        assert_eq!(c.precision, Precision::F32);
+        assert!(matches!(
+            MatchConfig::builder().precision_name("f16").build(),
+            Err(ConfigError::Precision { value }) if value == "f16"
+        ));
+        assert!(matches!(
+            "bogus".parse::<Precision>(),
+            Err(ConfigError::Precision { .. })
+        ));
+        assert_eq!("f64".parse::<Precision>().unwrap(), Precision::F64);
+        assert_eq!(Precision::F32.name(), "f32");
     }
 
     #[test]

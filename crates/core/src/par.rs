@@ -78,6 +78,77 @@ where
     (0..n).map(f).collect()
 }
 
+/// Runs `f` over `0..n` for side effects, giving each worker thread one
+/// state value built by `init` (scratch buffers, per-thread counters). The
+/// per-thread states are returned after the join so the caller can fold
+/// counters and recycle buffers — no atomics in the row loop.
+///
+/// `f` must write its results out-of-band (e.g. into disjoint matrix rows):
+/// unlike [`map_rows`] nothing is collected per index, which is what lets
+/// the wavefront kernels write rows in place without a per-row `Vec`.
+pub(crate) fn for_rows_with<S, I, F>(n: usize, parallel: bool, init: I, f: F) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let threads = if parallel { num_threads().min(n) } else { 1 };
+    if threads <= 1 || !cfg!(feature = "parallel") {
+        let mut state = init();
+        for i in 0..n {
+            f(&mut state, i);
+        }
+        return vec![state];
+    }
+    parallel_for_with(n, threads, &init, &f)
+}
+
+#[cfg(feature = "parallel")]
+fn parallel_for_with<S, I, F>(n: usize, threads: usize, init: &I, f: &F) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    // Same contiguous-chunk split as `parallel_map`: one worker per chunk,
+    // states returned in chunk order.
+    let chunk = n.div_ceil(threads);
+    let mut states = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    let mut state = init();
+                    for i in lo..hi {
+                        f(&mut state, i);
+                    }
+                    state
+                })
+            })
+            .collect();
+        for handle in handles {
+            states.push(handle.join().expect("qmatch worker thread panicked"));
+        }
+    });
+    states
+}
+
+#[cfg(not(feature = "parallel"))]
+fn parallel_for_with<S, I, F>(n: usize, _threads: usize, init: &I, f: &F) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let mut state = init();
+    for i in 0..n {
+        f(&mut state, i);
+    }
+    vec![state]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +177,36 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_rows_with_covers_every_index_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        std::env::set_var("QMATCH_THREADS", "4");
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        let states = for_rows_with(
+            1000,
+            true,
+            || 0u64,
+            |count, i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                *count += i as u64;
+            },
+        );
+        std::env::remove_var("QMATCH_THREADS");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // The per-thread counters together saw every index exactly once.
+        assert_eq!(states.iter().sum::<u64>(), (0..1000u64).sum());
+        if cfg!(feature = "parallel") {
+            assert!(states.len() > 1, "threaded path produced one state each");
+        } else {
+            assert_eq!(states.len(), 1, "sequential build keeps one state");
+        }
+    }
+
+    #[test]
+    fn for_rows_with_sequential_returns_single_state() {
+        let states = for_rows_with(5, false, Vec::new, |v: &mut Vec<usize>, i| v.push(i));
+        assert_eq!(states, vec![vec![0, 1, 2, 3, 4]]);
     }
 }

@@ -29,10 +29,11 @@ use crate::algorithms::{
     root_category_with_label, structural_match_impl, tree_edit_match, use_parallel, Aggregation,
     Algorithm, Component, CompositeError, LabelMatrix, MatchOutcome,
 };
+use crate::arena::{ArenaStats, MatchArena};
 use crate::explain::{explain_with_label, Explanation};
 use crate::intern::{Interner, Symbol};
 use crate::mapping::{extract_mapping, Mapping};
-use crate::matrix::SimMatrix;
+use crate::matrix::{Precision, SimMatrix};
 use crate::model::{LexiconMode, MatchConfig};
 use crate::par;
 use crate::taxonomy::MatchCategory;
@@ -75,6 +76,14 @@ pub struct PreparedSchema<'t> {
     internals: Vec<NodeId>,
     /// Per-node property profile (dense pointer table into the tree).
     props: Vec<&'t Properties>,
+    /// Per-node parent index (`u32::MAX` for the root).
+    parents: Vec<u32>,
+    /// Per-node index into `distinct_props` (the tree-local dense property
+    /// profile id) — lets the kernels score properties once per distinct
+    /// profile pair instead of once per node pair.
+    node_props: Vec<u32>,
+    /// Distinct property profiles in first-seen (pre-order) order.
+    distinct_props: Vec<&'t Properties>,
 }
 
 impl<'t> PreparedSchema<'t> {
@@ -127,6 +136,32 @@ impl<'t> PreparedSchema<'t> {
 
     pub(crate) fn waves_by_depth(&self) -> &[Vec<NodeId>] {
         &self.waves_depth
+    }
+
+    /// Dense per-node nesting levels (kernel fast path).
+    pub(crate) fn levels_raw(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Dense per-node leaf flags (kernel fast path).
+    pub(crate) fn leaf_flags_raw(&self) -> &[bool] {
+        &self.leaf_flags
+    }
+
+    /// Per-node parent index, `u32::MAX` for the root.
+    pub(crate) fn parents_raw(&self) -> &[u32] {
+        &self.parents
+    }
+
+    /// Per-node dense distinct-property-profile id.
+    pub(crate) fn node_props_raw(&self) -> &[u32] {
+        &self.node_props
+    }
+
+    /// Distinct property profiles, indexed by the ids in
+    /// [`PreparedSchema::node_props_raw`].
+    pub(crate) fn distinct_props_raw(&self) -> &[&'t Properties] {
+        &self.distinct_props
     }
 }
 
@@ -220,6 +255,9 @@ pub struct MatchSession {
     hits: AtomicU64,
     misses: AtomicU64,
     trace: Trace,
+    /// Pooled matrix/scratch buffers reused across matches (see
+    /// [`MatchArena`]).
+    arena: MatchArena,
 }
 
 impl MatchSession {
@@ -240,6 +278,7 @@ impl MatchSession {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             trace: Trace::disabled(),
+            arena: MatchArena::default(),
         }
     }
 
@@ -267,6 +306,19 @@ impl MatchSession {
     /// The session's name matcher.
     pub fn matcher(&self) -> &NameMatcher {
         &self.matcher
+    }
+
+    /// Reuse/allocation counters of the session's buffer arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Returns a finished outcome's matrix buffer to the session arena so a
+    /// later match of compatible precision can reuse it without allocating
+    /// or re-zeroing. Purely an optimization — recycling never changes
+    /// scores (property-tested: warm arena == cold arena, bit-identical).
+    pub fn recycle(&self, outcome: MatchOutcome) {
+        self.arena.put_matrix(outcome.matrix);
     }
 
     /// Cross-schema label-cache counters so far.
@@ -316,6 +368,22 @@ impl MatchSession {
                 internals.push(id);
             }
         }
+        // Dense parent table (u32::MAX marks the root) and the distinct
+        // property-profile dedup: properties scoring is a pure function of
+        // the two profiles, so the kernels only score distinct pairs.
+        let mut parents = Vec::with_capacity(tree.len());
+        let mut node_props = Vec::with_capacity(tree.len());
+        let mut distinct_props: Vec<&'t Properties> = Vec::new();
+        let mut props_ids: HashMap<&'t Properties, u32> = HashMap::new();
+        for (_, node) in tree.iter() {
+            parents.push(node.parent.map_or(u32::MAX, |p| p.0));
+            let next = props_ids.len() as u32;
+            let id = *props_ids.entry(&node.properties).or_insert(next);
+            if id == next {
+                distinct_props.push(&node.properties);
+            }
+            node_props.push(id);
+        }
         let prepared = PreparedSchema {
             tree,
             symbols,
@@ -330,6 +398,9 @@ impl MatchSession {
             leaves,
             internals,
             props: tree.iter().map(|(_, n)| &n.properties).collect(),
+            parents,
+            node_props,
+            distinct_props,
         };
         self.trace.finish(
             t0,
@@ -389,15 +460,38 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> Result<MatchOutcome, CompositeError> {
+        self.run_with_precision(algorithm, source, target, self.config.precision)
+    }
+
+    /// [`MatchSession::run`] with a per-call storage-[`Precision`] override
+    /// (the `precision=` query parameter of `/v1/match*`). The config's
+    /// precision is untouched; only this call's matrix storage changes.
+    ///
+    /// The hybrid, linguistic, and structural kernels store in the requested
+    /// precision natively; tree-edit and composite compute in `f64` and
+    /// convert the finished matrix (identical rounding semantics: one
+    /// nearest-`f32` round per cell).
+    pub fn run_with_precision(
+        &self,
+        algorithm: &Algorithm,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        precision: Precision,
+    ) -> Result<MatchOutcome, CompositeError> {
         match algorithm {
-            Algorithm::Hybrid => Ok(self.hybrid(source, target)),
-            Algorithm::Linguistic => Ok(self.linguistic(source, target)),
-            Algorithm::Structural => Ok(self.structural(source, target)),
-            Algorithm::TreeEdit => Ok(tree_edit_match(source.tree(), target.tree(), &self.config)),
+            Algorithm::Hybrid => Ok(self.hybrid_with(source, target, true, precision)),
+            Algorithm::Linguistic => Ok(self.linguistic_with(source, target, true, precision)),
+            Algorithm::Structural => Ok(self.structural_with(source, target, true, precision)),
+            Algorithm::TreeEdit => Ok(convert_outcome(
+                tree_edit_match(source.tree(), target.tree(), &self.config),
+                precision,
+            )),
             Algorithm::Composite {
                 components,
                 aggregation,
-            } => self.composite(source, target, components, aggregation),
+            } => self
+                .composite(source, target, components, aggregation)
+                .map(|outcome| convert_outcome(outcome, precision)),
         }
     }
 
@@ -421,15 +515,7 @@ impl MatchSession {
 
     /// The hybrid (QMatch) engine; parallel wavefront when worthwhile.
     pub fn hybrid(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
-        let labels = self.pair_labels(source, target);
-        hybrid_match_impl(
-            source,
-            target,
-            &self.config,
-            &labels,
-            use_parallel(source.tree(), target.tree()),
-            &self.trace,
-        )
+        self.hybrid_with(source, target, true, self.config.precision)
     }
 
     /// The hybrid engine, always sequential (bit-identical to
@@ -439,20 +525,32 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> MatchOutcome {
+        self.hybrid_with(source, target, false, self.config.precision)
+    }
+
+    fn hybrid_with(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        parallel: bool,
+        precision: Precision,
+    ) -> MatchOutcome {
         let labels = self.pair_labels(source, target);
-        hybrid_match_impl(source, target, &self.config, &labels, false, &self.trace)
+        hybrid_match_impl(
+            source,
+            target,
+            &self.config,
+            &labels,
+            parallel && use_parallel(source.tree(), target.tree()),
+            &self.trace,
+            &self.arena,
+            precision,
+        )
     }
 
     /// The flat linguistic matcher over prepared schemas.
     pub fn linguistic(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
-        let labels = self.pair_labels(source, target);
-        linguistic_match_impl(
-            source,
-            target,
-            &labels,
-            use_parallel(source.tree(), target.tree()),
-            &self.trace,
-        )
+        self.linguistic_with(source, target, true, self.config.precision)
     }
 
     /// The linguistic matcher, always sequential.
@@ -461,20 +559,32 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> MatchOutcome {
+        self.linguistic_with(source, target, false, self.config.precision)
+    }
+
+    fn linguistic_with(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        parallel: bool,
+        precision: Precision,
+    ) -> MatchOutcome {
         let labels = self.pair_labels(source, target);
-        linguistic_match_impl(source, target, &labels, false, &self.trace)
+        linguistic_match_impl(
+            source,
+            target,
+            &labels,
+            parallel && use_parallel(source.tree(), target.tree()),
+            &self.trace,
+            &self.arena,
+            precision,
+        )
     }
 
     /// The structural matcher over prepared schemas (labels unused — no
     /// cache traffic).
     pub fn structural(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
-        structural_match_impl(
-            source,
-            target,
-            &self.config,
-            use_parallel(source.tree(), target.tree()),
-            &self.trace,
-        )
+        self.structural_with(source, target, true, self.config.precision)
     }
 
     /// The structural matcher, always sequential.
@@ -483,7 +593,25 @@ impl MatchSession {
         source: &PreparedSchema,
         target: &PreparedSchema,
     ) -> MatchOutcome {
-        structural_match_impl(source, target, &self.config, false, &self.trace)
+        self.structural_with(source, target, false, self.config.precision)
+    }
+
+    fn structural_with(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        parallel: bool,
+        precision: Precision,
+    ) -> MatchOutcome {
+        structural_match_impl(
+            source,
+            target,
+            &self.config,
+            parallel && use_parallel(source.tree(), target.tree()),
+            &self.trace,
+            &self.arena,
+            precision,
+        )
     }
 
     /// Extracts the 1:1 mapping from a finished similarity matrix at
@@ -691,6 +819,15 @@ impl MatchSession {
                 .matcher
                 .compare_tokens(&source.distinct_tokens[i], &target.distinct_tokens[j]),
         }
+    }
+}
+
+/// Converts an outcome's matrix storage to `precision` (no-op when it
+/// already matches); used by the algorithms whose kernels compute in `f64`.
+fn convert_outcome(outcome: MatchOutcome, precision: Precision) -> MatchOutcome {
+    MatchOutcome {
+        matrix: outcome.matrix.with_precision(precision),
+        total_qom: outcome.total_qom,
     }
 }
 

@@ -43,6 +43,10 @@ pub enum Phase {
     /// `cells` = distinct source × target label pairs, with the session
     /// cache hit/miss delta of this build.
     Labels,
+    /// Similarity-matrix acquisition (arena reuse or fresh zeroed buffer):
+    /// `rows` = matrix rows, `cells` = matrix cells. Split out so matrix
+    /// allocation is no longer charged to the first wave.
+    Alloc,
     /// One bottom-up wave of the hybrid DP: `wave` = height, `rows` =
     /// source nodes in the wave, `cells` = rows × target nodes.
     HybridWave,
@@ -64,9 +68,10 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Prepare,
         Phase::Labels,
+        Phase::Alloc,
         Phase::HybridWave,
         Phase::Linguistic,
         Phase::StructuralWave,
@@ -84,6 +89,7 @@ impl Phase {
         match self {
             Phase::Prepare => "prepare",
             Phase::Labels => "labels",
+            Phase::Alloc => "alloc",
             Phase::HybridWave => "hybrid_wave",
             Phase::Linguistic => "linguistic",
             Phase::StructuralWave => "structural_wave",
@@ -99,13 +105,14 @@ impl Phase {
         match self {
             Phase::Prepare => 0,
             Phase::Labels => 1,
-            Phase::HybridWave => 2,
-            Phase::Linguistic => 3,
-            Phase::StructuralWave => 4,
-            Phase::ContextWave => 5,
-            Phase::CompositeCombine => 6,
-            Phase::Select => 7,
-            Phase::Request => 8,
+            Phase::Alloc => 2,
+            Phase::HybridWave => 3,
+            Phase::Linguistic => 4,
+            Phase::StructuralWave => 5,
+            Phase::ContextWave => 6,
+            Phase::CompositeCombine => 7,
+            Phase::Select => 8,
+            Phase::Request => 9,
         }
     }
 }
@@ -128,6 +135,9 @@ pub struct Span {
     pub cache_hits: u64,
     /// Label-cache misses attributable to this span.
     pub cache_misses: u64,
+    /// Cells the kernel skipped (band pruning / threshold prefilter) in
+    /// this span — work that was provably unnecessary, not work lost.
+    pub skipped: u64,
     /// Wall time spent in the phase.
     pub wall: Duration,
 }
@@ -143,6 +153,7 @@ impl Span {
             cells: 0,
             cache_hits: 0,
             cache_misses: 0,
+            skipped: 0,
             wall: Duration::ZERO,
         }
     }
@@ -258,6 +269,8 @@ pub struct PhaseStats {
     pub cache_hits: u64,
     /// Summed cache misses.
     pub cache_misses: u64,
+    /// Summed skipped-cell counts.
+    pub skipped: u64,
 }
 
 impl PhaseStats {
@@ -275,6 +288,7 @@ struct PhaseCells {
     cells: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    skipped: AtomicU64,
 }
 
 /// A slot of the recorder's ordered log. The `UnsafeCell` is written
@@ -375,6 +389,7 @@ impl Recorder {
             cells: t.cells.load(Ordering::Relaxed),
             cache_hits: t.cache_hits.load(Ordering::Relaxed),
             cache_misses: t.cache_misses.load(Ordering::Relaxed),
+            skipped: t.skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -394,6 +409,7 @@ impl Recorder {
             t.cells.store(0, Ordering::Relaxed);
             t.cache_hits.store(0, Ordering::Relaxed);
             t.cache_misses.store(0, Ordering::Relaxed);
+            t.skipped.store(0, Ordering::Relaxed);
         }
     }
 
@@ -403,8 +419,8 @@ impl Recorder {
     pub fn report(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:>6} {:>10} {:>10} {:>12} {:>14}\n",
-            "phase", "spans", "wall_ms", "rows", "pairs", "cache hit/miss"
+            "{:<18} {:>6} {:>10} {:>10} {:>12} {:>10} {:>14}\n",
+            "phase", "spans", "wall_ms", "rows", "pairs", "skipped", "cache hit/miss"
         ));
         let mut total_us = 0u64;
         let mut total_spans = 0u64;
@@ -416,12 +432,13 @@ impl Recorder {
             total_us += s.wall_us;
             total_spans += s.count;
             out.push_str(&format!(
-                "{:<18} {:>6} {:>10.3} {:>10} {:>12} {:>7}/{}\n",
+                "{:<18} {:>6} {:>10.3} {:>10} {:>12} {:>10} {:>7}/{}\n",
                 phase.name(),
                 s.count,
                 s.wall_ms(),
                 s.rows,
                 s.cells,
+                s.skipped,
                 s.cache_hits,
                 s.cache_misses,
             ));
@@ -450,6 +467,7 @@ impl TraceSink for Recorder {
         t.cache_hits.fetch_add(span.cache_hits, Ordering::Relaxed);
         t.cache_misses
             .fetch_add(span.cache_misses, Ordering::Relaxed);
+        t.skipped.fetch_add(span.skipped, Ordering::Relaxed);
         let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
         if let Some(slot) = self.slots.get(idx) {
             // SAFETY: `idx` was handed out exactly once by the fetch-add,

@@ -101,12 +101,13 @@ fn heights(tree: &SchemaTree) -> Vec<u32> {
 }
 
 /// The timing-free part of a span — what must be deterministic.
-fn shape(span: &Span) -> (Phase, u32, u64, u64, u64, u64) {
+fn shape(span: &Span) -> (Phase, u32, u64, u64, u64, u64, u64) {
     (
         span.phase,
         span.wave,
         span.rows,
         span.cells,
+        span.skipped,
         span.cache_hits,
         span.cache_misses,
     )
@@ -132,11 +133,12 @@ fn hybrid_span_sequence_matches_the_wavefront_golden() {
     let (spans, _) = traced_hybrid(false);
 
     // Golden sequence: prepare(source), prepare(target), one label-matrix
-    // build, then exactly one wave per height class, bottom-up.
+    // build, one matrix/table acquisition, then exactly one wave per height
+    // class, bottom-up.
     let h = heights(&source);
     let max_height = *h.iter().max().unwrap();
     let phases: Vec<Phase> = spans.iter().map(|s| s.phase).collect();
-    let mut expected = vec![Phase::Prepare, Phase::Prepare, Phase::Labels];
+    let mut expected = vec![Phase::Prepare, Phase::Prepare, Phase::Labels, Phase::Alloc];
     expected.extend(vec![Phase::HybridWave; max_height as usize + 1]);
     assert_eq!(phases, expected);
 
@@ -152,15 +154,20 @@ fn hybrid_span_sequence_matches_the_wavefront_golden() {
     assert_eq!(labels.cache_hits + labels.cache_misses, labels.cells);
     assert!(labels.cache_misses > 0);
 
+    // The Alloc span accounts for the whole output matrix.
+    let alloc = &spans[3];
+    assert_eq!(alloc.rows, source.len() as u64);
+    assert_eq!(alloc.cells, (source.len() * target.len()) as u64);
+
     // Wave w covers exactly the source nodes of height w.
-    for (w, span) in spans[3..].iter().enumerate() {
+    for (w, span) in spans[4..].iter().enumerate() {
         assert_eq!(span.wave, w as u32);
         let in_wave = h.iter().filter(|&&x| x == w as u32).count() as u64;
         assert_eq!(span.rows, in_wave, "wave {w} rows");
         assert_eq!(span.cells, in_wave * target.len() as u64, "wave {w} cells");
     }
     // Waves partition the source tree.
-    let total_rows: u64 = spans[3..].iter().map(|s| s.rows).sum();
+    let total_rows: u64 = spans[4..].iter().map(|s| s.rows).sum();
     assert_eq!(total_rows, source.len() as u64);
 }
 

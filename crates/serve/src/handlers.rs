@@ -12,7 +12,9 @@ use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::Registry;
 use qmatch_core::mapping::{extract_mapping, path_of};
-use qmatch_core::{Aggregation, Component, MatchOutcome, OwnedPreparedSchema};
+use qmatch_core::{
+    Aggregation, Algorithm, Component, MatchOutcome, OwnedPreparedSchema, Precision,
+};
 use qmatch_xsd::{parse_schema_with_limits, IngestLimits, SchemaTree, XsdError};
 use std::sync::Arc;
 
@@ -284,25 +286,30 @@ fn run_algo(
     registry: &Registry,
     source: &OwnedPreparedSchema,
     target: &OwnedPreparedSchema,
+    precision: Precision,
 ) -> Result<(MatchOutcome, f64), Response> {
     let session = registry.session();
     let config = session.config();
     let (source, target) = (source.prepared(), target.prepared());
-    match algo {
-        Algo::Hybrid => Ok((
-            session.hybrid(source, target),
-            config.weights.acceptance_threshold(),
-        )),
-        Algo::Linguistic => Ok((session.linguistic(source, target), 0.5)),
-        Algo::Structural => Ok((session.structural(source, target), 0.95)),
+    let (algorithm, default_threshold) = match algo {
+        Algo::Hybrid => (Algorithm::Hybrid, config.weights.acceptance_threshold()),
+        Algo::Linguistic => (Algorithm::Linguistic, 0.5),
+        Algo::Structural => (Algorithm::Structural, 0.95),
         Algo::Composite {
             components,
             aggregation,
-        } => session
-            .composite(source, target, components, aggregation)
-            .map(|outcome| (outcome, config.weights.acceptance_threshold()))
-            .map_err(|e| error(400, "bad_composite", e.to_string())),
-    }
+        } => (
+            Algorithm::Composite {
+                components: components.clone(),
+                aggregation: aggregation.clone(),
+            },
+            config.weights.acceptance_threshold(),
+        ),
+    };
+    session
+        .run_with_precision(&algorithm, source, target, precision)
+        .map(|outcome| (outcome, default_threshold))
+        .map_err(|e| error(400, "bad_composite", e.to_string()))
 }
 
 fn do_match(req: &Request, registry: &Registry) -> Response {
@@ -330,7 +337,12 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
         Ok(t) => t,
         Err(response) => return response,
     };
-    let (outcome, default_threshold) = match run_algo(&algo, registry, &source, &target) {
+    let precision = match parse_precision(req) {
+        Ok(p) => p.unwrap_or_else(|| registry.session().config().precision),
+        Err(response) => return response,
+    };
+    let (outcome, default_threshold) = match run_algo(&algo, registry, &source, &target, precision)
+    {
         Ok(pair) => pair,
         Err(response) => return response,
     };
@@ -356,6 +368,7 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
             Json::str(req.query_param("algo").unwrap_or("hybrid")),
         )
         .field("threshold", Json::Num(threshold))
+        .field("precision", Json::str(outcome.matrix.precision().name()))
         .field("total_qom", Json::Num(outcome.total_qom))
         .field("matches", Json::UInt(mapping.len() as u64))
         .field("mapping", Json::Arr(pairs));
@@ -394,6 +407,18 @@ fn parse_threshold(req: &Request) -> Result<Option<f64>, Response> {
     }
 }
 
+/// The `precision=` query parameter (`f64`/`f32` matrix storage; `None`
+/// falls back to the session default).
+fn parse_precision(req: &Request) -> Result<Option<Precision>, Response> {
+    match req.query_param("precision") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<Precision>()
+            .map(Some)
+            .map_err(|e| error(400, "bad_precision", e.to_string())),
+    }
+}
+
 fn do_topk(req: &Request, registry: &Registry) -> Response {
     let (source_name, source) = match required_schema(req, registry, "source") {
         Ok(pair) => pair,
@@ -404,6 +429,10 @@ fn do_topk(req: &Request, registry: &Registry) -> Response {
         _ => return error(400, "bad_k", "k must be a positive integer"),
     };
     let session = registry.session();
+    let precision = match parse_precision(req) {
+        Ok(p) => p.unwrap_or_else(|| session.config().precision),
+        Err(response) => return response,
+    };
     let mut ranking: Vec<(String, f64)> = Vec::new();
     for name in registry.names() {
         if name == source_name {
@@ -415,8 +444,18 @@ fn do_topk(req: &Request, registry: &Registry) -> Response {
         let Some(target) = registry.prepared(&name) else {
             continue;
         };
-        let outcome = session.hybrid(source.prepared(), target.prepared());
+        // Only the root QoM survives the loop, so the matrix goes straight
+        // back into the session arena for the next candidate to reuse.
+        let outcome = session
+            .run_with_precision(
+                &Algorithm::Hybrid,
+                source.prepared(),
+                target.prepared(),
+                precision,
+            )
+            .expect("hybrid is infallible");
         ranking.push((name, outcome.total_qom));
+        session.recycle(outcome);
     }
     // Descending root QoM; ties broken by name so the order is total.
     ranking.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -434,6 +473,7 @@ fn do_topk(req: &Request, registry: &Registry) -> Response {
         Json::obj()
             .field("source", Json::str(source_name))
             .field("k", Json::UInt(k as u64))
+            .field("precision", Json::str(precision.name()))
             .field("ranking", Json::Arr(entries))
             .render(),
     )
@@ -676,12 +716,54 @@ mod tests {
                 400,
                 "bad_request",
             ),
+            (
+                "/match?source=po&target=po&precision=f16",
+                400,
+                "bad_precision",
+            ),
         ];
         for (target, status, kind) in cases {
             let (_, response) = handle(&request("POST", target, b""), &registry, &metrics, &limits);
             assert_eq!(response.status, status, "{target}");
             assert!(body_text(&response).contains(kind), "{target}");
         }
+    }
+
+    #[test]
+    fn precision_param_selects_f32_storage_and_is_echoed() {
+        let (registry, metrics, limits) = state();
+        handle(
+            &request("PUT", "/schemas/po", PO.as_bytes()),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        let (_, default) = handle(
+            &request("POST", "/match?source=po&target=po", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert!(body_text(&default).contains(r#""precision":"f64""#));
+        let (_, lean) = handle(
+            &request("POST", "/match?source=po&target=po&precision=f32", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(lean.status, 200);
+        let text = body_text(&lean);
+        assert!(text.contains(r#""precision":"f32""#), "{text}");
+        // A self-match is exact in either storage width.
+        assert!(text.contains(r#""total_qom":1"#), "{text}");
+        let (_, topk) = handle(
+            &request("POST", "/match/topk?source=po&precision=f32", b""),
+            &registry,
+            &metrics,
+            &limits,
+        );
+        assert_eq!(topk.status, 200);
+        assert!(body_text(&topk).contains(r#""precision":"f32""#));
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl fmt::Display for DataType {
 }
 
 /// The atomic properties of a node (the paper's **P** axis).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` (consistent with the derived `Eq`) lets consumers deduplicate
+/// identical property profiles — the matchers score properties as a pure
+/// function of the two profiles, so equal profiles always score equally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Properties {
     /// Resolved data type.
     pub data_type: DataType,
