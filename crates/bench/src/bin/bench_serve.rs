@@ -1,0 +1,223 @@
+//! Serving-path throughput and latency accounting: boots the epoll
+//! reactor in-process on an ephemeral port, registers the embedded
+//! corpus, and hammers the match endpoints from a fixed pool of
+//! keep-alive client threads. Results go to `BENCH_serve.json` so serving
+//! changes can track the trajectory alongside `BENCH_treematch.json`.
+//!
+//! Three endpoints are measured, chosen to bracket the serving stack:
+//!
+//! * `healthz` — inline on the reactor thread; its latency is the floor
+//!   the event loop itself imposes (parse + render + syscalls).
+//! * `match` — one queued job on the owner shard: queue hop, hybrid
+//!   TreeMatch over a corpus pair, response render.
+//! * `topk` — a scatter over every shard plus the total-order merge, the
+//!   most machinery a single request can exercise.
+//!
+//! Each endpoint is driven by `CONCURRENCY` client threads, every client
+//! holding one keep-alive connection and issuing its share of the
+//! request budget sequentially — so the offered load is closed-loop and
+//! the p50/p99 percentiles are per-request wall times as a client saw
+//! them, not server-side numbers. The warmup pass (untimed) absorbs
+//! thesaurus construction and first-touch prepares.
+//!
+//! `cargo run --release -p qmatch-bench --bin bench_serve [OUT.json] [--test]`
+//!
+//! * `--test` — smoke mode: tiny request budget, no JSON written (unless
+//!   an output path is given explicitly). Used by CI.
+//!
+//! Numbers move with the host; treat the JSON as a trend line, not a
+//! contract (CI's delta job is report-only for the same reason).
+
+use qmatch_core::report::Table;
+use qmatch_datasets::corpus;
+use qmatch_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Fixed client-thread count: enough to keep every shard busy on small
+/// hosts without turning the bench into a context-switch measurement.
+const CONCURRENCY: usize = 8;
+
+/// One keep-alive request; returns the status code after draining the
+/// framed response body.
+fn request(stream: &mut TcpStream, method: &str, target: &str) -> u16 {
+    let head = format!("{method} {target} HTTP/1.1\r\nhost: bench\r\ncontent-length: 0\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("write request");
+    let mut raw = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head byte");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("response body");
+    status
+}
+
+/// Measured result for one endpoint.
+struct Measured {
+    endpoint: &'static str,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// Closed-loop measurement: `CONCURRENCY` clients split `total` requests
+/// against `target`, each timing every request on its own keep-alive
+/// connection.
+fn measure(
+    addr: SocketAddr,
+    endpoint: &'static str,
+    method: &'static str,
+    target: &'static str,
+    total: usize,
+) -> Measured {
+    let per_client = total.div_ceil(CONCURRENCY);
+    // Untimed warmup: first-touch prepares, label-cache fill, allocator.
+    let mut stream = TcpStream::connect(addr).expect("warmup connect");
+    for _ in 0..3 {
+        assert_eq!(request(&mut stream, method, target), 200, "warmup {target}");
+    }
+    drop(stream);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CONCURRENCY)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("client connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut lat = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let status = request(&mut stream, method, target);
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    assert_eq!(status, 200, "{target}");
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(per_client * CONCURRENCY);
+    for worker in workers {
+        latencies.extend(worker.join().expect("client thread"));
+    }
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    Measured {
+        endpoint,
+        rps: latencies.len() as f64 / wall.as_secs_f64(),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        max_us: *latencies.last().expect("non-empty latencies"),
+    }
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => smoke = true,
+            other if !other.starts_with('-') => out_path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other}; usage: bench_serve [OUT.json] [--test]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke mode writes no JSON unless a path was given explicitly.
+    let out_path = match (out_path, smoke) {
+        (Some(p), _) => Some(p),
+        (None, false) => Some("BENCH_serve.json".to_owned()),
+        (None, true) => None,
+    };
+    let total = if smoke { 2 * CONCURRENCY } else { 2000 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let shards = server.registry().shard_count();
+    for (name, tree, xsd) in [
+        ("po1", corpus::po1(), corpus::po1_xsd()),
+        ("po2", corpus::po2(), corpus::po2_xsd()),
+        ("article", corpus::article(), corpus::article_xsd()),
+        ("book", corpus::book(), corpus::book_xsd()),
+        ("dcmd_item", corpus::dcmd_item(), corpus::dcmd_item_xsd()),
+        ("dcmd_ord", corpus::dcmd_ord(), corpus::dcmd_ord_xsd()),
+    ] {
+        server.registry().register(name, tree, xsd.as_bytes());
+    }
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+
+    let measured = [
+        measure(addr, "healthz", "GET", "/v1/healthz", total),
+        measure(
+            addr,
+            "match",
+            "POST",
+            "/v1/match?source=po1&target=po2",
+            total,
+        ),
+        measure(
+            addr,
+            "topk",
+            "POST",
+            "/v1/match/topk?source=po1&k=10",
+            total,
+        ),
+    ];
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    let mut table = Table::new(["endpoint", "rps", "p50 us", "p99 us", "max us"]);
+    for m in &measured {
+        table.row([
+            m.endpoint.to_owned(),
+            format!("{:.0}", m.rps),
+            m.p50_us.to_string(),
+            m.p99_us.to_string(),
+            m.max_us.to_string(),
+        ]);
+    }
+    println!("bench_serve: {CONCURRENCY} keep-alive clients, {total} requests/endpoint, {shards} shard(s), {cores} core(s)");
+    print!("{}", table.render());
+
+    if let Some(out_path) = out_path {
+        let entries: Vec<String> = measured
+            .iter()
+            .map(|m| {
+                format!(
+                    r#"    {{"endpoint": "{}", "rps": {:.1}, "p50_us": {}, "p99_us": {}, "max_us": {}}}"#,
+                    m.endpoint, m.rps, m.p50_us, m.p99_us, m.max_us
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"concurrency\": {CONCURRENCY},\n  \"requests_per_endpoint\": {total},\n  \"shards\": {shards},\n  \"cores\": {cores},\n  \"endpoints\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        eprintln!("wrote {out_path}");
+    }
+}

@@ -54,12 +54,21 @@ FUZZ OPTIONS:
 
 SERVE OPTIONS:
     --addr <HOST:PORT>           listen address (default: 127.0.0.1:8080)
-    --threads <N>                worker threads (default: 0 = all cores)
-    --max-schemas <N>            LRU cap on resident prepared schemas
-                                 (default: 64)
+    --shards <N>                 registry shards = worker threads (default:
+                                 0 = all cores; --threads is an alias)
+    --max-schemas <N>            LRU cap on resident prepared schemas, per
+                                 shard (default: 64)
+    --queue-depth <N>            max queued-or-executing match jobs before
+                                 requests answer 429 (default: 512)
+    --deadline-ms <N>            per-request budget; jobs that outlive it in
+                                 the queue answer 503 (default: 30000)
+    --data-dir <PATH>            durable registry directory (WAL + snapshots,
+                                 replayed on boot; default: in-memory only)
+    --precision <f32|f64>        default similarity-matrix precision; the
+                                 precision= query parameter still wins
     also accepts --weights/--child-threshold/--lexicon/--thesaurus for the
-    shared match session; per-request knobs (algorithm, threshold, precision,
-    explain) travel as query parameters instead.
+    shard sessions; per-request knobs (algorithm, threshold, explain) travel
+    as query parameters instead.
 
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
@@ -210,11 +219,18 @@ pub enum Command {
     Serve {
         /// Listen address (`HOST:PORT`).
         addr: String,
-        /// Worker thread count (0 = available parallelism).
-        threads: usize,
-        /// LRU cap on resident prepared schemas.
+        /// Registry shard / worker thread count (0 = available
+        /// parallelism).
+        shards: usize,
+        /// LRU cap on resident prepared schemas, per shard.
         max_schemas: usize,
-        /// Session options (weights, lexicon, thesaurus).
+        /// Max queued-or-executing match jobs before requests answer 429.
+        queue_depth: usize,
+        /// Per-request deadline budget in milliseconds.
+        deadline_ms: u64,
+        /// Durable registry directory (`None` serves in-memory only).
+        data_dir: Option<String>,
+        /// Session options (weights, lexicon, precision, thesaurus).
         options: MatchOptions,
     },
     /// `qmatch help`.
@@ -347,18 +363,37 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                     })
                     .transpose()
             };
-            let threads = parse_count(&options.threads, "--threads")?.unwrap_or(0);
+            if options.threads.is_some() && options.shards.is_some() {
+                return Err(err("--threads is an alias for --shards; give only one"));
+            }
+            let shards = match parse_count(&options.shards, "--shards")? {
+                Some(n) => n,
+                None => parse_count(&options.threads, "--threads")?.unwrap_or(0),
+            };
             let max_schemas = parse_count(&options.max_schemas, "--max-schemas")?.unwrap_or(64);
             if max_schemas == 0 {
                 return Err(err("--max-schemas must be at least 1"));
             }
+            let queue_depth = parse_count(&options.queue_depth, "--queue-depth")?.unwrap_or(512);
+            if queue_depth == 0 {
+                return Err(err("--queue-depth must be at least 1"));
+            }
+            let deadline_ms = match options.deadline_ms.as_deref() {
+                Some(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("--deadline-ms {v:?} is not an unsigned integer")))?,
+                None => 30_000,
+            };
+            if deadline_ms == 0 {
+                return Err(err("--deadline-ms must be at least 1"));
+            }
+            let data_dir = options.data_dir.clone();
             let addr = options
                 .addr
                 .clone()
                 .unwrap_or_else(|| "127.0.0.1:8080".to_owned());
             let built = options.build()?;
             if built.algorithm != AlgorithmChoice::Hybrid
-                || options.precision.is_some()
                 || built.threshold.is_some()
                 || built.explain.is_some()
                 || built.total_only
@@ -368,13 +403,18 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 || built.target_root.is_some()
                 || built.trace
             {
-                return Err(err("serve configures per-request knobs over HTTP; only \
-                     --weights/--child-threshold/--lexicon/--thesaurus apply"));
+                return Err(err(
+                    "serve configures per-request knobs over HTTP; only \
+                     --weights/--child-threshold/--lexicon/--precision/--thesaurus apply",
+                ));
             }
             Ok(Command::Serve {
                 addr,
-                threads,
+                shards,
                 max_schemas,
+                queue_depth,
+                deadline_ms,
+                data_dir,
                 options: built,
             })
         }
@@ -415,7 +455,11 @@ struct RawOptions {
     repro_dir: Option<String>,
     addr: Option<String>,
     threads: Option<String>,
+    shards: Option<String>,
     max_schemas: Option<String>,
+    queue_depth: Option<String>,
+    deadline_ms: Option<String>,
+    data_dir: Option<String>,
     total_only: bool,
     emit_gold: bool,
     explain: Option<String>,
@@ -551,7 +595,11 @@ fn parse_common<'a>(
                 "repro-dir" => options.repro_dir = Some(take(&mut args)?),
                 "addr" => options.addr = Some(take(&mut args)?),
                 "threads" => options.threads = Some(take(&mut args)?),
+                "shards" => options.shards = Some(take(&mut args)?),
                 "max-schemas" => options.max_schemas = Some(take(&mut args)?),
+                "queue-depth" => options.queue_depth = Some(take(&mut args)?),
+                "deadline-ms" => options.deadline_ms = Some(take(&mut args)?),
+                "data-dir" => options.data_dir = Some(take(&mut args)?),
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
                 "trace" => options.trace = true,
@@ -661,8 +709,13 @@ mod tests {
         assert_eq!(options.config.precision, Precision::F64);
         // Unknown names fail through the typed ConfigError path.
         assert!(parse(["match", "a", "b", "--precision", "f16"]).is_err());
-        // serve's precision travels as a query parameter, inspect has none.
-        assert!(parse(["serve", "--precision", "f32"]).is_err());
+        // serve takes it as the session-wide default (the precision= query
+        // parameter still wins per request); inspect has none.
+        let cmd = parse(["serve", "--precision", "f32"]).unwrap();
+        let Command::Serve { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.config.precision, Precision::F32);
         assert!(parse(["inspect", "a.xsd", "--precision", "f32"]).is_err());
     }
 
@@ -801,48 +854,76 @@ mod tests {
         let cmd = parse(["serve"]).unwrap();
         let Command::Serve {
             addr,
-            threads,
+            shards,
             max_schemas,
+            queue_depth,
+            deadline_ms,
+            data_dir,
             options,
         } = cmd
         else {
             panic!()
         };
         assert_eq!(addr, "127.0.0.1:8080");
-        assert_eq!(threads, 0);
+        assert_eq!(shards, 0);
         assert_eq!(max_schemas, 64);
+        assert_eq!(queue_depth, 512);
+        assert_eq!(deadline_ms, 30_000);
+        assert_eq!(data_dir, None);
         assert_eq!(options.config, MatchConfig::default());
         let cmd = parse([
             "serve",
             "--addr",
             "0.0.0.0:9000",
-            "--threads=4",
+            "--shards=4",
             "--max-schemas",
             "8",
+            "--queue-depth",
+            "16",
+            "--deadline-ms=2500",
+            "--data-dir",
+            "/var/lib/qmatch",
             "--lexicon",
             "exact",
         ])
         .unwrap();
         let Command::Serve {
             addr,
-            threads,
+            shards,
             max_schemas,
+            queue_depth,
+            deadline_ms,
+            data_dir,
             options,
         } = cmd
         else {
             panic!()
         };
         assert_eq!(addr, "0.0.0.0:9000");
-        assert_eq!(threads, 4);
+        assert_eq!(shards, 4);
         assert_eq!(max_schemas, 8);
+        assert_eq!(queue_depth, 16);
+        assert_eq!(deadline_ms, 2500);
+        assert_eq!(data_dir.as_deref(), Some("/var/lib/qmatch"));
         assert_eq!(options.config.lexicon, LexiconMode::ExactOnly);
+        // --threads survives as an alias for --shards.
+        let cmd = parse(["serve", "--threads", "2"]).unwrap();
+        let Command::Serve { shards, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(shards, 2);
     }
 
     #[test]
     fn serve_rejects_per_request_options() {
         assert!(parse(["serve", "extra.xsd"]).is_err());
         assert!(parse(["serve", "--threads", "many"]).is_err());
+        assert!(parse(["serve", "--shards", "many"]).is_err());
+        assert!(parse(["serve", "--threads", "2", "--shards", "4"]).is_err());
         assert!(parse(["serve", "--max-schemas", "0"]).is_err());
+        assert!(parse(["serve", "--queue-depth", "0"]).is_err());
+        assert!(parse(["serve", "--deadline-ms", "0"]).is_err());
+        assert!(parse(["serve", "--deadline-ms", "soon"]).is_err());
         assert!(parse(["serve", "--algorithm", "linguistic"]).is_err());
         assert!(parse(["serve", "--threshold", "0.5"]).is_err());
         assert!(parse(["serve", "--explain", "PO/Qty"]).is_err());

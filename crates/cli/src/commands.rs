@@ -47,10 +47,21 @@ pub fn run(command: Command) -> Result<(), CommandError> {
         } => fuzz(seed, cases, budget_ms, &repro_dir),
         Command::Serve {
             addr,
-            threads,
+            shards,
             max_schemas,
+            queue_depth,
+            deadline_ms,
+            data_dir,
             options,
-        } => serve(&addr, threads, max_schemas, &options),
+        } => serve(
+            &addr,
+            shards,
+            max_schemas,
+            queue_depth,
+            deadline_ms,
+            data_dir.as_deref(),
+            &options,
+        ),
         Command::Match {
             source,
             target,
@@ -411,17 +422,24 @@ fn load_pair(
 /// prints the activity summary to stderr.
 fn serve(
     addr: &str,
-    threads: usize,
+    shards: usize,
     max_schemas: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    data_dir: Option<&str>,
     options: &MatchOptions,
 ) -> Result<(), CommandError> {
     let config = qmatch_serve::ServerConfig {
         addr: addr.to_owned(),
-        threads,
+        threads: shards,
         max_resident: max_schemas,
         limits: qmatch_xsd::IngestLimits::default(),
         config: options.config,
         matcher: load_matcher(options)?,
+        queue_depth,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+        data_dir: data_dir.map(std::path::PathBuf::from),
+        ..qmatch_serve::ServerConfig::default()
     };
     qmatch_serve::install_signal_handlers();
     let server =

@@ -64,11 +64,17 @@ pub enum Phase {
     Select,
     /// One served HTTP request (recorded by `qmatch-serve` workers).
     Request,
+    /// Time a queued serve job waited in the bounded match-queue before a
+    /// shard thread dequeued it (`wall` = queue wait).
+    Queue,
+    /// One shard-thread execution of a queued serve job (`wall` = time on
+    /// the shard, excluding queue wait).
+    Shard,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Prepare,
         Phase::Labels,
         Phase::Alloc,
@@ -79,6 +85,8 @@ impl Phase {
         Phase::CompositeCombine,
         Phase::Select,
         Phase::Request,
+        Phase::Queue,
+        Phase::Shard,
     ];
 
     /// Number of phases (array-sizing constant for sinks).
@@ -97,6 +105,8 @@ impl Phase {
             Phase::CompositeCombine => "composite_combine",
             Phase::Select => "select",
             Phase::Request => "request",
+            Phase::Queue => "queue",
+            Phase::Shard => "shard",
         }
     }
 
@@ -113,6 +123,8 @@ impl Phase {
             Phase::CompositeCombine => 7,
             Phase::Select => 8,
             Phase::Request => 9,
+            Phase::Queue => 10,
+            Phase::Shard => 11,
         }
     }
 }
@@ -138,6 +150,10 @@ pub struct Span {
     /// Cells the kernel skipped (band pruning / threshold prefilter) in
     /// this span — work that was provably unnecessary, not work lost.
     pub skipped: u64,
+    /// Request correlation id threaded by servers: the numeric part of a
+    /// minted `q-N` id, or an FNV-1a hash of a client-supplied
+    /// `X-Request-Id`. `0` for spans not attributable to one request.
+    pub request: u64,
     /// Wall time spent in the phase.
     pub wall: Duration,
 }
@@ -154,6 +170,7 @@ impl Span {
             cache_hits: 0,
             cache_misses: 0,
             skipped: 0,
+            request: 0,
             wall: Duration::ZERO,
         }
     }

@@ -1,63 +1,131 @@
 //! Request routing and endpoint logic.
 //!
-//! Every handler is a pure function of the request and the shared state
-//! (registry + metrics + limits), returning the [`Endpoint`] label for
-//! metrics and a [`Response`]. Match responses are deterministic functions
-//! of the registry contents and the query — they carry no counters — so
+//! Every handler is a pure function of the request and the shared
+//! [`ServeState`] (sharded registry + metrics + limits + optional
+//! durability engine), returning the [`Endpoint`] label for metrics and a
+//! [`Response`]. Match responses are deterministic functions of the
+//! registry contents and the query — they carry no counters — so
 //! concurrent clients asking the same question get byte-identical bodies
 //! (asserted in `tests/serve_http.rs`).
+//!
+//! [`handle`] is the synchronous dispatcher: unit tests call it directly,
+//! shard workers call it for queued single-shard jobs, and the reactor
+//! calls it inline for cheap endpoints. The reactor decides *where* a
+//! request runs via [`disposition`]; `/match/topk` is split into
+//! [`validate_topk`] (reactor thread) → [`topk_partial`] (every shard) →
+//! [`topk_render`] (the last shard to finish), and the sequential
+//! composition of those three pieces inside [`handle`] is byte-identical
+//! to the scattered execution.
 
 use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
+use crate::persist::Persist;
 use crate::registry::Registry;
 use qmatch_core::mapping::{extract_mapping, path_of};
+use qmatch_core::session::MatchSession;
 use qmatch_core::{
     Aggregation, Algorithm, Component, MatchOutcome, OwnedPreparedSchema, Precision,
 };
 use qmatch_xsd::{parse_schema_with_limits, IngestLimits, SchemaTree, XsdError};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Longest accepted schema name.
 const MAX_NAME_LEN: usize = 128;
 
-/// Routes one request to its handler.
-///
-/// The canonical API surface lives under `/v1/...`. The original
-/// unversioned paths keep working as aliases, but their responses carry
-/// `Deprecation: true` and a `Link: </v1/...>; rel="successor-version"`
-/// header pointing at the versioned route (and `GET /schemas` documents
-/// the deprecation in its body).
-pub fn handle(
-    req: &Request,
-    registry: &Registry,
-    metrics: &Metrics,
-    limits: &IngestLimits,
-) -> (Endpoint, Response) {
-    let (path, versioned) = match req.path.strip_prefix("/v1") {
+/// Everything a request handler can touch, shared by the reactor and all
+/// shard workers.
+pub struct ServeState {
+    /// The sharded schema registry.
+    pub registry: Registry,
+    /// Request/latency/queue counters.
+    pub metrics: Arc<Metrics>,
+    /// Ingestion limits applied to `PUT /schemas/{name}` bodies.
+    pub limits: IngestLimits,
+    /// Registry durability (WAL + snapshots); `None` runs in-memory only.
+    pub persist: Option<Persist>,
+}
+
+/// Where the reactor should run a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Cheap enough for the reactor thread (health, metrics, listings,
+    /// and every parse-level error).
+    Inline,
+    /// Queue to one shard's worker (PUT, `/match` — keyed by owner).
+    Shard {
+        /// The owning shard's index.
+        shard: usize,
+        /// Endpoint label, pre-computed for backpressure/deadline errors.
+        endpoint: Endpoint,
+    },
+    /// Fan out to every shard (`/match/topk`).
+    Scatter,
+}
+
+/// Strips the optional `/v1` prefix; returns the effective path and
+/// whether the request used the versioned surface.
+fn strip_v1(path: &str) -> (&str, bool) {
+    match path.strip_prefix("/v1") {
         Some(rest) if rest.starts_with('/') => (rest, true),
-        _ => (req.path.as_str(), false),
-    };
-    let (endpoint, response) = route(req, path, registry, metrics, limits);
-    let response = if versioned || endpoint == Endpoint::Other {
+        _ => (path, false),
+    }
+}
+
+/// Decides where a parsed request should execute. Requests that will fail
+/// validation stay [`Disposition::Inline`] where possible, but shard-side
+/// validation failures (e.g. an unknown source schema) are fine — the
+/// worker produces the same error response the inline path would.
+pub fn disposition(req: &Request, registry: &Registry) -> Disposition {
+    let (path, _) = strip_v1(&req.path);
+    match (req.method.as_str(), path) {
+        ("PUT", p) if p.strip_prefix("/schemas/").is_some_and(|n| !n.is_empty()) => {
+            let name = p.strip_prefix("/schemas/").expect("guard");
+            Disposition::Shard {
+                shard: registry.shard_of(name),
+                endpoint: Endpoint::SchemasPut,
+            }
+        }
+        ("POST", "/match") => match req.query_param("source") {
+            Some(source) => Disposition::Shard {
+                shard: registry.shard_of(source),
+                endpoint: Endpoint::Match,
+            },
+            None => Disposition::Inline, // will 400 without touching a shard
+        },
+        ("POST", "/match/topk") => Disposition::Scatter,
+        _ => Disposition::Inline,
+    }
+}
+
+/// Adds the deprecation headers to responses served via unversioned alias
+/// paths. The canonical API surface lives under `/v1/...`; the original
+/// paths keep working but carry `Deprecation: true` and a
+/// `Link: </v1/...>; rel="successor-version"` header.
+pub fn finalize(path: &str, endpoint: Endpoint, response: Response) -> Response {
+    let (_, versioned) = strip_v1(path);
+    if versioned || endpoint == Endpoint::Other {
         response
     } else {
-        response.with_header("deprecation", "true").with_header(
-            "link",
-            format!("</v1{}>; rel=\"successor-version\"", req.path),
-        )
-    };
-    (endpoint, response)
+        response
+            .with_header("deprecation", "true")
+            .with_header("link", format!("</v1{path}>; rel=\"successor-version\""))
+    }
+}
+
+/// Routes one request to its handler and applies the deprecation-header
+/// policy. This is the full synchronous path — on the server, single-shard
+/// jobs run it on their owner shard's worker thread.
+pub fn handle(req: &Request, state: &ServeState) -> (Endpoint, Response) {
+    let (path, _) = strip_v1(&req.path);
+    let (endpoint, response) = route(req, path, state);
+    (endpoint, finalize(&req.path, endpoint, response))
 }
 
 /// Dispatches on the (already version-stripped) path.
-fn route(
-    req: &Request,
-    path: &str,
-    registry: &Registry,
-    metrics: &Metrics,
-    limits: &IngestLimits,
-) -> (Endpoint, Response) {
+fn route(req: &Request, path: &str, state: &ServeState) -> (Endpoint, Response) {
+    let registry = &state.registry;
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => (
             Endpoint::Healthz,
@@ -65,7 +133,7 @@ fn route(
         ),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
-            Response::text(200, metrics.render(&registry.snapshot())),
+            Response::text(200, state.metrics.render(&registry.snapshot())),
         ),
         ("GET", "/schemas") => (Endpoint::SchemasList, list_schemas(registry)),
         ("PUT", path)
@@ -74,13 +142,10 @@ fn route(
                 .is_some_and(|n| !n.is_empty()) =>
         {
             let name = path.strip_prefix("/schemas/").expect("guard");
-            (
-                Endpoint::SchemasPut,
-                put_schema(name, &req.body, registry, metrics, limits),
-            )
+            (Endpoint::SchemasPut, put_schema(name, &req.body, state))
         }
         ("POST", "/match") => (Endpoint::Match, do_match(req, registry)),
-        ("POST", "/match/topk") => (Endpoint::MatchTopk, do_topk(req, registry)),
+        ("POST", "/match/topk") => (Endpoint::MatchTopk, do_topk(req, state)),
         (_, "/healthz" | "/metrics" | "/schemas" | "/match" | "/match/topk") => (
             Endpoint::Other,
             error(405, "method_not_allowed", "method not allowed on this path"),
@@ -110,7 +175,7 @@ pub fn error(status: u16, kind: &str, message: impl Into<String>) -> Response {
 
 fn list_schemas(registry: &Registry) -> Response {
     let infos = registry.list();
-    let stats = registry.session().cache_stats();
+    let stats = registry.cache_stats();
     let schemas = infos
         .into_iter()
         .map(|info| {
@@ -145,13 +210,7 @@ fn list_schemas(registry: &Registry) -> Response {
     )
 }
 
-fn put_schema(
-    name: &str,
-    body: &[u8],
-    registry: &Registry,
-    metrics: &Metrics,
-    limits: &IngestLimits,
-) -> Response {
+fn put_schema(name: &str, body: &[u8], state: &ServeState) -> Response {
     if name.len() > MAX_NAME_LEN
         || !name
             .chars()
@@ -173,18 +232,41 @@ fn put_schema(
     let Ok(text) = std::str::from_utf8(body) else {
         return error(400, "invalid_schema", "schema body is not UTF-8");
     };
-    let tree = parse_schema_with_limits(text, limits)
-        .and_then(|schema| SchemaTree::compile_with_limits(&schema, limits));
+    let tree = parse_schema_with_limits(text, &state.limits)
+        .and_then(|schema| SchemaTree::compile_with_limits(&schema, &state.limits));
     let tree = match tree {
         Ok(tree) => tree,
         Err(e @ XsdError::LimitExceeded { .. }) => {
-            metrics.add_rejected_by_limits();
+            state.metrics.add_rejected_by_limits();
             return error(413, "limit_exceeded", e.to_string());
         }
         Err(e) => return error(400, "invalid_schema", e.to_string()),
     };
-    metrics.add_ingested(body.len() as u64);
-    let registered = registry.register(name, tree, body.len() as u64);
+    state.metrics.add_ingested(body.len() as u64);
+    // Register in memory FIRST, then log. The ordering is load-bearing for
+    // durability: `Persist::compact` dumps the registry under the WAL
+    // lock, so a record is only ever truncated away after the registry
+    // state that covers it is snapshotted.
+    let registered = state.registry.register(name, tree, body);
+    if let Some(persist) = &state.persist {
+        match persist.append(name, body) {
+            Ok(bytes) => {
+                state.metrics.add_wal_bytes(bytes);
+                if persist.needs_compaction() {
+                    // Best effort: a failed compaction leaves the (larger
+                    // but complete) WAL in place.
+                    let _ = persist.compact(|| state.registry.dump());
+                }
+            }
+            Err(e) => {
+                return error(
+                    500,
+                    "persist_failed",
+                    format!("schema registered but not durably logged: {e}"),
+                )
+            }
+        }
+    }
     Response::json(
         if registered.replaced { 200 } else { 201 },
         Json::obj()
@@ -283,12 +365,11 @@ fn required_schema(
 
 fn run_algo(
     algo: &Algo,
-    registry: &Registry,
+    session: &MatchSession,
     source: &OwnedPreparedSchema,
     target: &OwnedPreparedSchema,
     precision: Precision,
 ) -> Result<(MatchOutcome, f64), Response> {
-    let session = registry.session();
     let config = session.config();
     let (source, target) = (source.prepared(), target.prepared());
     let (algorithm, default_threshold) = match algo {
@@ -333,22 +414,25 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
         Ok(pair) => pair,
         Err(response) => return response,
     };
+    // The owner shard's session: on the server this IS the current worker
+    // thread's session, so its label cache and arena stay thread-hot.
+    // Scores are pure functions of config + trees, so which session runs
+    // the match never shows in the bytes.
+    let session = registry.owner(&source_name).session();
     let threshold = match parse_threshold(req) {
         Ok(t) => t,
         Err(response) => return response,
     };
     let precision = match parse_precision(req) {
-        Ok(p) => p.unwrap_or_else(|| registry.session().config().precision),
+        Ok(p) => p.unwrap_or_else(|| session.config().precision),
         Err(response) => return response,
     };
-    let (outcome, default_threshold) = match run_algo(&algo, registry, &source, &target, precision)
-    {
+    let (outcome, default_threshold) = match run_algo(&algo, session, &source, &target, precision) {
         Ok(pair) => pair,
         Err(response) => return response,
     };
     let threshold = threshold.unwrap_or(default_threshold);
     let mapping = extract_mapping(&outcome.matrix, threshold);
-    let session = registry.session();
     let (sp, tp) = (source.prepared(), target.prepared());
     let pairs = mapping
         .pairs
@@ -419,29 +503,58 @@ fn parse_precision(req: &Request) -> Result<Option<Precision>, Response> {
     }
 }
 
-fn do_topk(req: &Request, registry: &Registry) -> Response {
-    let (source_name, source) = match required_schema(req, registry, "source") {
-        Ok(pair) => pair,
-        Err(response) => return response,
-    };
+/// A validated `/match/topk` query, ready to scatter across shards.
+pub struct TopkPlan {
+    /// The original request path (for the deprecation-header policy).
+    pub path: String,
+    /// Source schema name (excluded from the ranking).
+    pub source: String,
+    /// The source's prepared artifact, fetched once from its owner.
+    pub prepared: Arc<OwnedPreparedSchema>,
+    /// How many ranked targets to return.
+    pub k: usize,
+    /// Matrix storage precision for every comparison.
+    pub precision: Precision,
+}
+
+/// Validates a `/match/topk` request into a [`TopkPlan`]. Runs on the
+/// reactor thread so invalid queries never occupy the match queue; the
+/// `Err` response is NOT yet finalized (the caller applies [`finalize`]).
+pub fn validate_topk(req: &Request, registry: &Registry) -> Result<TopkPlan, Response> {
+    let (source, prepared) = required_schema(req, registry, "source")?;
     let k = match req.query_param("k").unwrap_or("5").parse::<usize>() {
         Ok(k) if k > 0 => k,
-        _ => return error(400, "bad_k", "k must be a positive integer"),
+        _ => return Err(error(400, "bad_k", "k must be a positive integer")),
     };
-    let session = registry.session();
     let precision = match parse_precision(req) {
-        Ok(p) => p.unwrap_or_else(|| session.config().precision),
-        Err(response) => return response,
+        Ok(p) => p.unwrap_or_else(|| registry.session().config().precision),
+        Err(response) => return Err(response),
     };
+    Ok(TopkPlan {
+        path: req.path.clone(),
+        source,
+        prepared,
+        k,
+        precision,
+    })
+}
+
+/// One shard's share of a topk scatter: rank the schemas *this shard
+/// owns* against the plan's source, keep its local top `k`. The global
+/// top `k` is a subset of the union of per-shard top `k`s, so local
+/// truncation loses nothing.
+pub fn topk_partial(state: &ServeState, shard_index: usize, plan: &TopkPlan) -> Vec<(String, f64)> {
+    let shard = state.registry.shard(shard_index);
+    let session = shard.session();
     let mut ranking: Vec<(String, f64)> = Vec::new();
-    for name in registry.names() {
-        if name == source_name {
+    for name in shard.names() {
+        if name == plan.source {
             continue;
         }
-        // The registry only drops names under concurrent replacement, and
+        // The shard only drops names under concurrent replacement, and
         // replacement never removes: the lookup cannot fail here, but stay
         // defensive and skip rather than 500.
-        let Some(target) = registry.prepared(&name) else {
+        let Some(target) = shard.prepared(&name) else {
             continue;
         };
         // Only the root QoM survives the loop, so the matrix goes straight
@@ -449,39 +562,96 @@ fn do_topk(req: &Request, registry: &Registry) -> Response {
         let outcome = session
             .run_with_precision(
                 &Algorithm::Hybrid,
-                source.prepared(),
+                plan.prepared.prepared(),
                 target.prepared(),
-                precision,
+                plan.precision,
             )
             .expect("hybrid is infallible");
         ranking.push((name, outcome.total_qom));
         session.recycle(outcome);
     }
-    // Descending root QoM; ties broken by name so the order is total.
     ranking.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    ranking.truncate(k);
-    let entries = ranking
+    ranking.truncate(plan.k);
+    ranking
+}
+
+/// A ranking entry ordered for the gather heap: max-pop yields the
+/// highest QoM, ties broken by lexicographically smallest name — exactly
+/// the total order the sequential sort used, so merged output is
+/// byte-identical.
+struct Ranked(String, f64);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Ranked) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Ranked) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Ranked) -> std::cmp::Ordering {
+        self.1
+            .total_cmp(&other.1)
+            .then_with(|| other.0.cmp(&self.0))
+    }
+}
+
+/// The gather half of topk: merge per-shard partials through a
+/// total-order heap and render the response body. NOT yet finalized (the
+/// caller applies [`finalize`]).
+pub fn topk_render(plan: &TopkPlan, partials: Vec<(String, f64)>) -> Response {
+    let mut heap: BinaryHeap<Ranked> = partials
         .into_iter()
-        .map(|(name, qom)| {
+        .map(|(name, qom)| Ranked(name, qom))
+        .collect();
+    let mut entries = Vec::with_capacity(plan.k.min(heap.len()));
+    while entries.len() < plan.k {
+        let Some(Ranked(name, qom)) = heap.pop() else {
+            break;
+        };
+        entries.push(
             Json::obj()
                 .field("target", Json::str(name))
-                .field("total_qom", Json::Num(qom))
-        })
-        .collect();
+                .field("total_qom", Json::Num(qom)),
+        );
+    }
     Response::json(
         200,
         Json::obj()
-            .field("source", Json::str(source_name))
-            .field("k", Json::UInt(k as u64))
-            .field("precision", Json::str(precision.name()))
+            .field("source", Json::str(plan.source.clone()))
+            .field("k", Json::UInt(plan.k as u64))
+            .field("precision", Json::str(plan.precision.name()))
             .field("ranking", Json::Arr(entries))
             .render(),
     )
 }
 
+/// The sequential composition of validate → scatter → gather, used by the
+/// synchronous [`handle`] path. Byte-identical to the fanned-out server
+/// execution.
+fn do_topk(req: &Request, state: &ServeState) -> Response {
+    let plan = match validate_topk(req, &state.registry) {
+        Ok(plan) => plan,
+        Err(response) => return response,
+    };
+    let mut partials = Vec::new();
+    for shard in 0..state.registry.shard_count() {
+        partials.extend(topk_partial(state, shard, &plan));
+    }
+    topk_render(&plan, partials)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::Shard;
     use qmatch_core::model::MatchConfig;
     use qmatch_core::MatchSession;
 
@@ -494,12 +664,20 @@ mod tests {
   </xs:element>
 </xs:schema>"#;
 
-    fn state() -> (Registry, Metrics, IngestLimits) {
-        (
-            Registry::new(MatchSession::new(MatchConfig::default()), 8),
-            Metrics::new(),
-            IngestLimits::default(),
-        )
+    fn state() -> ServeState {
+        state_with(Registry::single(
+            MatchSession::new(MatchConfig::default()),
+            8,
+        ))
+    }
+
+    fn state_with(registry: Registry) -> ServeState {
+        ServeState {
+            registry,
+            metrics: Arc::new(Metrics::new()),
+            limits: IngestLimits::default(),
+            persist: None,
+        }
     }
 
     fn get(path: &str) -> Request {
@@ -524,62 +702,38 @@ mod tests {
 
     #[test]
     fn healthz_and_unknown_paths() {
-        let (registry, metrics, limits) = state();
-        let (endpoint, response) = handle(&get("/healthz"), &registry, &metrics, &limits);
+        let state = state();
+        let (endpoint, response) = handle(&get("/healthz"), &state);
         assert_eq!(endpoint, Endpoint::Healthz);
         assert_eq!(response.status, 200);
         assert_eq!(body_text(&response), r#"{"status":"ok"}"#);
-        let (endpoint, response) = handle(&get("/nope"), &registry, &metrics, &limits);
+        let (endpoint, response) = handle(&get("/nope"), &state);
         assert_eq!(endpoint, Endpoint::Other);
         assert_eq!(response.status, 404);
         assert!(body_text(&response).contains("not_found"));
-        let (_, response) = handle(
-            &request("POST", "/healthz", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("POST", "/healthz", b""), &state);
         assert_eq!(response.status, 405);
-        let (_, response) = handle(
-            &request("GET", "/schemas/po", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("GET", "/schemas/po", b""), &state);
         assert_eq!(response.status, 405, "schemas/{{name}} is PUT-only");
     }
 
     #[test]
     fn put_then_list_then_match() {
-        let (registry, metrics, limits) = state();
-        let (endpoint, response) = handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let state = state();
+        let (endpoint, response) = handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
         assert_eq!(endpoint, Endpoint::SchemasPut);
         assert_eq!(response.status, 201, "{}", body_text(&response));
         assert!(body_text(&response).contains(r#""replaced":false"#));
         // Replacing the same name answers 200.
-        let (_, response) = handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
         assert_eq!(response.status, 200);
         assert!(body_text(&response).contains(r#""replaced":true"#));
-        let (_, response) = handle(&get("/schemas"), &registry, &metrics, &limits);
+        let (_, response) = handle(&get("/schemas"), &state);
         let listing = body_text(&response);
         assert!(listing.contains(r#""count":1"#), "{listing}");
         assert!(listing.contains(r#""name":"po""#));
-        let (endpoint, response) = handle(
-            &request("POST", "/match?source=po&target=po", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (endpoint, response) =
+            handle(&request("POST", "/match?source=po&target=po", b""), &state);
         assert_eq!(endpoint, Endpoint::Match);
         assert_eq!(response.status, 200);
         let text = body_text(&response);
@@ -589,12 +743,12 @@ mod tests {
 
     #[test]
     fn v1_paths_route_and_legacy_paths_carry_deprecation() {
-        let (registry, metrics, limits) = state();
-        let (endpoint, response) = handle(&get("/v1/healthz"), &registry, &metrics, &limits);
+        let state = state();
+        let (endpoint, response) = handle(&get("/v1/healthz"), &state);
         assert_eq!(endpoint, Endpoint::Healthz);
         assert_eq!(response.status, 200);
         assert!(response.headers.is_empty(), "versioned paths are canonical");
-        let (endpoint, response) = handle(&get("/healthz"), &registry, &metrics, &limits);
+        let (endpoint, response) = handle(&get("/healthz"), &state);
         assert_eq!(endpoint, Endpoint::Healthz);
         assert!(response
             .headers
@@ -605,28 +759,21 @@ mod tests {
             .iter()
             .any(|(k, v)| *k == "link" && v == "</v1/healthz>; rel=\"successor-version\""));
         // Same body either way; only the headers differ.
-        let (_, v1) = handle(&get("/v1/schemas"), &registry, &metrics, &limits);
-        let (_, legacy) = handle(&get("/schemas"), &registry, &metrics, &limits);
+        let (_, v1) = handle(&get("/v1/schemas"), &state);
+        let (_, legacy) = handle(&get("/schemas"), &state);
         assert_eq!(v1.body, legacy.body);
         assert!(body_text(&v1).contains("deprecated aliases"));
         // /v1 with an unknown remainder is still a 404, without headers.
-        let (endpoint, response) = handle(&get("/v1/nope"), &registry, &metrics, &limits);
+        let (endpoint, response) = handle(&get("/v1/nope"), &state);
         assert_eq!(endpoint, Endpoint::Other);
         assert_eq!(response.status, 404);
         assert!(response.headers.is_empty());
         // Ingest + match through the versioned surface.
-        let (_, response) = handle(
-            &request("PUT", "/v1/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("PUT", "/v1/schemas/po", PO.as_bytes()), &state);
         assert_eq!(response.status, 201, "{}", body_text(&response));
         let (endpoint, response) = handle(
             &request("POST", "/v1/match?source=po&target=po", b""),
-            &registry,
-            &metrics,
-            &limits,
+            &state,
         );
         assert_eq!(endpoint, Endpoint::Match);
         assert_eq!(response.status, 200);
@@ -635,58 +782,38 @@ mod tests {
 
     #[test]
     fn put_validation_errors() {
-        let (registry, metrics, limits) = state();
+        let state = state();
         let bad_name = request("PUT", "/schemas/bad%20name", PO.as_bytes());
-        let (_, response) = handle(&bad_name, &registry, &metrics, &limits);
+        let (_, response) = handle(&bad_name, &state);
         assert_eq!(response.status, 400);
         assert!(body_text(&response).contains("invalid_name"));
-        let (_, response) = handle(
-            &request("PUT", "/schemas/po", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("PUT", "/schemas/po", b""), &state);
         assert_eq!(response.status, 400);
         assert!(body_text(&response).contains("empty_body"));
-        let (_, response) = handle(
-            &request("PUT", "/schemas/po", b"<not-a-schema/>"),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("PUT", "/schemas/po", b"<not-a-schema/>"), &state);
         assert_eq!(response.status, 400);
         assert!(body_text(&response).contains("invalid_schema"));
     }
 
     #[test]
     fn limit_violations_answer_413_with_the_offset() {
-        let (registry, metrics, _) = state();
-        let tiny = IngestLimits {
+        let mut state = state();
+        state.limits = IngestLimits {
             max_input_bytes: 16,
             ..IngestLimits::default()
         };
-        let (_, response) = handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &tiny,
-        );
+        let (_, response) = handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
         assert_eq!(response.status, 413);
         let text = body_text(&response);
         assert!(text.contains("limit_exceeded"), "{text}");
         assert!(text.contains("first offending byte at offset"), "{text}");
-        assert_eq!(registry.len(), 0);
+        assert_eq!(state.registry.len(), 0);
     }
 
     #[test]
     fn match_parameter_errors() {
-        let (registry, metrics, limits) = state();
-        handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let state = state();
+        handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
         let cases = [
             ("/match", 400, "missing_parameter"),
             ("/match?source=po", 400, "missing_parameter"),
@@ -723,7 +850,7 @@ mod tests {
             ),
         ];
         for (target, status, kind) in cases {
-            let (_, response) = handle(&request("POST", target, b""), &registry, &metrics, &limits);
+            let (_, response) = handle(&request("POST", target, b""), &state);
             assert_eq!(response.status, status, "{target}");
             assert!(body_text(&response).contains(kind), "{target}");
         }
@@ -731,25 +858,13 @@ mod tests {
 
     #[test]
     fn precision_param_selects_f32_storage_and_is_echoed() {
-        let (registry, metrics, limits) = state();
-        handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
-        let (_, default) = handle(
-            &request("POST", "/match?source=po&target=po", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let state = state();
+        handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
+        let (_, default) = handle(&request("POST", "/match?source=po&target=po", b""), &state);
         assert!(body_text(&default).contains(r#""precision":"f64""#));
         let (_, lean) = handle(
             &request("POST", "/match?source=po&target=po&precision=f32", b""),
-            &registry,
-            &metrics,
-            &limits,
+            &state,
         );
         assert_eq!(lean.status, 200);
         let text = body_text(&lean);
@@ -758,9 +873,7 @@ mod tests {
         assert!(text.contains(r#""total_qom":1"#), "{text}");
         let (_, topk) = handle(
             &request("POST", "/match/topk?source=po&precision=f32", b""),
-            &registry,
-            &metrics,
-            &limits,
+            &state,
         );
         assert_eq!(topk.status, 200);
         assert!(body_text(&topk).contains(r#""precision":"f32""#));
@@ -768,18 +881,11 @@ mod tests {
 
     #[test]
     fn explain_adds_explanations_for_accepted_pairs() {
-        let (registry, metrics, limits) = state();
-        handle(
-            &request("PUT", "/schemas/po", PO.as_bytes()),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let state = state();
+        handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
         let (_, response) = handle(
             &request("POST", "/match?source=po&target=po&explain=1", b""),
-            &registry,
-            &metrics,
-            &limits,
+            &state,
         );
         assert_eq!(response.status, 200);
         let text = body_text(&response);
@@ -788,7 +894,7 @@ mod tests {
 
     #[test]
     fn topk_ranks_and_validates() {
-        let (registry, metrics, limits) = state();
+        let state = state();
         let order = PO.replace("\"PO\"", "\"Order\"");
         let book = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
   <xs:element name="Book">
@@ -800,18 +906,12 @@ mod tests {
         for (name, body) in [("po", PO), ("order", &order), ("book", book)] {
             let (_, response) = handle(
                 &request("PUT", &format!("/schemas/{name}"), body.as_bytes()),
-                &registry,
-                &metrics,
-                &limits,
+                &state,
             );
             assert_eq!(response.status, 201, "{name}");
         }
-        let (endpoint, response) = handle(
-            &request("POST", "/match/topk?source=po&k=2", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (endpoint, response) =
+            handle(&request("POST", "/match/topk?source=po&k=2", b""), &state);
         assert_eq!(endpoint, Endpoint::MatchTopk);
         assert_eq!(response.status, 200);
         let text = body_text(&response);
@@ -821,19 +921,117 @@ mod tests {
             order_pos < book_pos,
             "near-identical schema outranks the unrelated one: {text}"
         );
-        let (_, response) = handle(
-            &request("POST", "/match/topk?source=po&k=0", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("POST", "/match/topk?source=po&k=0", b""), &state);
         assert_eq!(response.status, 400);
-        let (_, response) = handle(
-            &request("POST", "/match/topk?source=ghost", b""),
-            &registry,
-            &metrics,
-            &limits,
-        );
+        let (_, response) = handle(&request("POST", "/match/topk?source=ghost", b""), &state);
         assert_eq!(response.status, 404);
+    }
+
+    #[test]
+    fn sharded_topk_is_byte_identical_to_single_shard() {
+        let single = state();
+        let sharded = state_with(Registry::new(
+            (0..4)
+                .map(|i| Arc::new(Shard::new(i, MatchSession::new(MatchConfig::default()), 8)))
+                .collect(),
+        ));
+        let order = PO.replace("\"PO\"", "\"Order\"");
+        let purchase = PO.replace("\"PO\"", "\"Purchase\"");
+        for (name, body) in [
+            ("po", PO),
+            ("order", order.as_str()),
+            ("purchase", &purchase),
+        ] {
+            for s in [&single, &sharded] {
+                let (_, response) = handle(
+                    &request("PUT", &format!("/schemas/{name}"), body.as_bytes()),
+                    s,
+                );
+                assert_eq!(response.status, 201, "{name}");
+            }
+        }
+        for target in [
+            "/match/topk?source=po&k=5",
+            "/match/topk?source=po&k=1",
+            "/match?source=po&target=order",
+        ] {
+            let (_, a) = handle(&request("POST", target, b""), &single);
+            let (_, b) = handle(&request("POST", target, b""), &sharded);
+            assert_eq!(a.body, b.body, "{target}");
+        }
+        // The same partials merged through the gather heap in any arrival
+        // order render identically.
+        let plan = validate_topk(
+            &request("POST", "/match/topk?source=po&k=5", b""),
+            &sharded.registry,
+        )
+        .expect("valid");
+        let mut partials = Vec::new();
+        for i in 0..sharded.registry.shard_count() {
+            partials.extend(topk_partial(&sharded, i, &plan));
+        }
+        let forward = topk_render(&plan, partials.clone()).body;
+        partials.reverse();
+        let reversed = topk_render(&plan, partials).body;
+        assert_eq!(forward, reversed, "gather order must not matter");
+    }
+
+    #[test]
+    fn disposition_routes_by_owner_shard() {
+        let state = state_with(Registry::new(
+            (0..4)
+                .map(|i| Arc::new(Shard::new(i, MatchSession::new(MatchConfig::default()), 8)))
+                .collect(),
+        ));
+        let registry = &state.registry;
+        assert_eq!(disposition(&get("/healthz"), registry), Disposition::Inline);
+        assert_eq!(disposition(&get("/metrics"), registry), Disposition::Inline);
+        assert_eq!(
+            disposition(&request("PUT", "/schemas/po", b"<x/>"), registry),
+            Disposition::Shard {
+                shard: registry.shard_of("po"),
+                endpoint: Endpoint::SchemasPut,
+            }
+        );
+        // The /v1 alias dispatches identically.
+        assert_eq!(
+            disposition(&request("PUT", "/v1/schemas/po", b"<x/>"), registry),
+            disposition(&request("PUT", "/schemas/po", b"<x/>"), registry),
+        );
+        assert_eq!(
+            disposition(
+                &request("POST", "/match?source=abc&target=x", b""),
+                registry
+            ),
+            Disposition::Shard {
+                shard: registry.shard_of("abc"),
+                endpoint: Endpoint::Match,
+            }
+        );
+        assert_eq!(
+            disposition(&request("POST", "/match", b""), registry),
+            Disposition::Inline,
+            "a 400 must not occupy the match queue"
+        );
+        assert_eq!(
+            disposition(&request("POST", "/match/topk?source=abc", b""), registry),
+            Disposition::Scatter
+        );
+        // Wrong-method hits stay inline (they answer 405/404).
+        assert_eq!(
+            disposition(&request("GET", "/match", b""), registry),
+            Disposition::Inline
+        );
+    }
+
+    #[test]
+    fn finalize_marks_only_legacy_recognized_endpoints() {
+        let plain = || Response::json(200, "{}".to_owned());
+        let legacy = finalize("/healthz", Endpoint::Healthz, plain());
+        assert!(legacy.headers.iter().any(|(k, _)| *k == "deprecation"));
+        let versioned = finalize("/v1/healthz", Endpoint::Healthz, plain());
+        assert!(versioned.headers.is_empty());
+        let unknown = finalize("/nope", Endpoint::Other, plain());
+        assert!(unknown.headers.is_empty());
     }
 }

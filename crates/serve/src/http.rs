@@ -1,19 +1,18 @@
-//! A minimal HTTP/1.1 connection layer over `std::net` (no dependencies).
+//! The HTTP/1.1 parsing and serialization core (no dependencies, no I/O).
 //!
-//! The parsing core ([`parse_head`], [`decode_percent`], [`parse_query`])
-//! is pure so it can be unit-tested without sockets; [`Conn`] wraps a
-//! [`TcpStream`] with a residual buffer so pipelined keep-alive requests
-//! are framed correctly. The socket is expected to carry a short read
-//! timeout — the read loop treats `WouldBlock`/`TimedOut` as a tick,
-//! polling the caller's abort callback so a server shutdown interrupts an
-//! idle keep-alive wait.
-
-use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
+//! Everything here is a pure function of bytes — `find_head_end`,
+//! [`parse_head`], [`decode_percent`], [`parse_query`] on the way in,
+//! [`Response::render`] on the way out — so it unit-tests without sockets.
+//! The actual socket handling lives in `reactor`, which feeds received
+//! bytes through these functions incrementally: it buffers until
+//! `find_head_end` fires, parses the head once, then waits for
+//! `Content-Length` body bytes. There is no blocking connection type —
+//! the old worker-pool `Conn` was deleted when the server moved to the
+//! epoll readiness loop.
 
 /// Request heads larger than this are rejected outright (the server's JSON
 /// API never needs long header blocks).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,165 +47,6 @@ impl Request {
             .iter()
             .find(|(k, _)| *k == folded)
             .map(|(_, v)| v.as_str())
-    }
-}
-
-/// Why reading the next request off a connection failed.
-#[derive(Debug)]
-pub enum RecvError {
-    /// The peer closed (or the idle keep-alive deadline passed, or the
-    /// server is shutting down) with no request in flight — close quietly.
-    Closed,
-    /// The bytes on the wire were not a valid HTTP/1.x request.
-    BadRequest(&'static str),
-    /// The declared body length exceeds the configured cap; the caller
-    /// should answer `413` and close.
-    TooLarge {
-        /// The configured cap in bytes.
-        limit: usize,
-        /// The declared `Content-Length`.
-        actual: usize,
-    },
-    /// A socket error other than a timeout tick.
-    Io(std::io::Error),
-}
-
-/// One client connection with its unconsumed-byte buffer.
-pub struct Conn {
-    stream: TcpStream,
-    residual: Vec<u8>,
-}
-
-impl Conn {
-    /// Wraps an accepted stream (the caller sets the read timeout).
-    pub fn new(stream: TcpStream) -> Conn {
-        Conn {
-            stream,
-            residual: Vec::new(),
-        }
-    }
-
-    /// Reads and parses the next request. `max_body` caps the declared
-    /// `Content-Length`; `idle_ticks` bounds how many consecutive read
-    /// timeouts are tolerated while *no* request bytes have arrived;
-    /// `should_abort` is polled on every timeout tick with whether the
-    /// connection is idle (no request bytes buffered yet) — callers can
-    /// abort idle keep-alive waits eagerly (e.g. under queue pressure)
-    /// while only aborting mid-request reads on a real shutdown.
-    pub fn next_request(
-        &mut self,
-        max_body: usize,
-        idle_ticks: u32,
-        should_abort: &mut dyn FnMut(bool) -> bool,
-    ) -> Result<Request, RecvError> {
-        let head_end = loop {
-            if let Some(pos) = find_head_end(&self.residual) {
-                break pos;
-            }
-            if self.residual.len() > MAX_HEAD_BYTES {
-                return Err(RecvError::BadRequest("request head too large"));
-            }
-            self.fill(idle_ticks, self.residual.is_empty(), should_abort)?;
-        };
-        let head_text = std::str::from_utf8(&self.residual[..head_end])
-            .map_err(|_| RecvError::BadRequest("request head is not UTF-8"))?;
-        let head = parse_head(head_text).map_err(RecvError::BadRequest)?;
-        let body_len = match head.content_length {
-            Some(n) if n > max_body => {
-                return Err(RecvError::TooLarge {
-                    limit: max_body,
-                    actual: n,
-                })
-            }
-            Some(n) => n,
-            None => 0,
-        };
-        let body_start = head_end + 4;
-        while self.residual.len() < body_start + body_len {
-            // Mid-request stalls are never tolerated as idle.
-            self.fill(idle_ticks, false, should_abort)?;
-        }
-        let body = self.residual[body_start..body_start + body_len].to_vec();
-        self.residual.drain(..body_start + body_len);
-        Ok(Request {
-            method: head.method,
-            path: head.path,
-            query: head.query,
-            headers: head.headers,
-            body,
-            keep_alive: head.keep_alive,
-        })
-    }
-
-    /// Reads more bytes into the residual buffer, treating timeout ticks as
-    /// abort-poll opportunities. `allow_idle` permits up to `idle_ticks`
-    /// consecutive timeouts (the between-requests keep-alive wait).
-    fn fill(
-        &mut self,
-        idle_ticks: u32,
-        allow_idle: bool,
-        should_abort: &mut dyn FnMut(bool) -> bool,
-    ) -> Result<(), RecvError> {
-        let mut chunk = [0u8; 4096];
-        let mut ticks = 0u32;
-        loop {
-            match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    return Err(if self.residual.is_empty() {
-                        RecvError::Closed
-                    } else {
-                        RecvError::BadRequest("connection closed mid-request")
-                    });
-                }
-                Ok(n) => {
-                    self.residual.extend_from_slice(&chunk[..n]);
-                    return Ok(());
-                }
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if should_abort(allow_idle && self.residual.is_empty()) {
-                        return Err(RecvError::Closed);
-                    }
-                    ticks += 1;
-                    let budget = if allow_idle {
-                        idle_ticks
-                    } else {
-                        idle_ticks / 2
-                    };
-                    if ticks >= budget.max(1) {
-                        return Err(if allow_idle && self.residual.is_empty() {
-                            RecvError::Closed
-                        } else {
-                            RecvError::BadRequest("timed out reading request")
-                        });
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(RecvError::Io(e)),
-            }
-        }
-    }
-
-    /// Writes a response; `keep_alive` controls the `Connection` header.
-    pub fn write_response(&mut self, response: &Response, keep_alive: bool) -> std::io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            response.status,
-            reason_phrase(response.status),
-            response.content_type,
-            response.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        for (name, value) in &response.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
-        let mut head = head.into_bytes();
-        head.extend_from_slice(&response.body);
-        self.stream.write_all(&head)?;
-        self.stream.flush()
     }
 }
 
@@ -250,6 +90,31 @@ impl Response {
         self.headers.push((name, value.into()));
         self
     }
+
+    /// Serializes the full response (status line, framing headers, extra
+    /// headers, body) exactly as the wire expects it; `keep_alive` controls
+    /// the `Connection` header. Byte-for-byte the format the worker-pool
+    /// server wrote, so socket-level tests see identical responses.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -260,8 +125,11 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -284,7 +152,7 @@ pub struct Head {
 }
 
 /// Index of the `\r\n\r\n` separator, if complete.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
@@ -508,9 +376,27 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for code in [200, 201, 400, 404, 405, 413, 500] {
+        for code in [200, 201, 400, 404, 405, 408, 413, 429, 500, 503] {
             assert_ne!(reason_phrase(code), "Unknown");
         }
         assert_eq!(reason_phrase(418), "Unknown");
+    }
+
+    #[test]
+    fn response_render_frames_and_keeps_header_order() {
+        let wire = Response::json(200, r#"{"ok":true}"#.to_owned())
+            .with_header("x-request-id", "q-7")
+            .render(true);
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-request-id: q-7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+        let close = Response::text(503, "busy".to_owned()).render(false);
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(close.contains("connection: close\r\n"));
     }
 }

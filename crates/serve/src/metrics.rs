@@ -73,6 +73,14 @@ impl Endpoint {
 /// bucket is `+Inf`.
 const LATENCY_BOUNDS_US: [u64; 7] = [100, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000];
 
+/// The cumulative-histogram bucket a µs sample falls into.
+fn bucket_of(micros: u64) -> usize {
+    LATENCY_BOUNDS_US
+        .iter()
+        .position(|&bound| micros <= bound)
+        .unwrap_or(LATENCY_BOUNDS_US.len())
+}
+
 /// Counters describing everything the server has done so far.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -82,8 +90,16 @@ pub struct Metrics {
     status_5xx: AtomicU64,
     latency_buckets: [AtomicU64; 8],
     latency_sum_us: AtomicU64,
+    queue_wait_buckets: [AtomicU64; 8],
+    queue_wait_sum_us: AtomicU64,
+    queue_wait_count: AtomicU64,
+    scatter_buckets: [AtomicU64; 8],
+    scatter_sum_us: AtomicU64,
+    scatter_count: AtomicU64,
     bytes_ingested: AtomicU64,
     rejected_by_limits: AtomicU64,
+    rejected_backpressure: AtomicU64,
+    wal_bytes: AtomicU64,
     request_seq: AtomicU64,
     phase_count: [AtomicU64; Phase::COUNT],
     phase_wall_us: [AtomicU64; Phase::COUNT],
@@ -137,12 +153,23 @@ impl Metrics {
             _ => &self.status_5xx,
         };
         class.fetch_add(1, Ordering::Relaxed);
-        let bucket = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records the queue wait of one dequeued match-queue job.
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.queue_wait_buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.queue_wait_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the wall time of one cross-shard topk scatter-gather (from
+    /// the first partial enqueued to the merged ranking).
+    pub fn record_scatter_gather(&self, micros: u64) {
+        self.scatter_buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.scatter_sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.scatter_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds successfully read schema-body bytes.
@@ -153,6 +180,17 @@ impl Metrics {
     /// Counts one request rejected by the ingestion limits.
     pub fn add_rejected_by_limits(&self) {
         self.rejected_by_limits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed with `429` because the match queue was full.
+    pub fn add_rejected_backpressure(&self) {
+        self.rejected_backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds bytes appended to the registry write-ahead log (a cumulative
+    /// counter; compaction truncates the file but never this).
+    pub fn add_wal_bytes(&self, bytes: u64) {
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Mints the next server-assigned request id (`q-1`, `q-2`, ...);
@@ -176,11 +214,7 @@ impl Metrics {
         self.phase_count[i].fetch_add(1, Ordering::Relaxed);
         self.phase_wall_us[i].fetch_add(micros, Ordering::Relaxed);
         self.phase_cells[i].fetch_add(span.cells, Ordering::Relaxed);
-        let bucket = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.phase_buckets[i][bucket].fetch_add(1, Ordering::Relaxed);
+        self.phase_buckets[i][bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total requests recorded so far.
@@ -233,6 +267,32 @@ impl Metrics {
             self.latency_sum_us.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "qmatch_request_latency_us_count {total}");
+        for (prefix, buckets, sum, count) in [
+            (
+                "qmatch_queue_wait_us",
+                &self.queue_wait_buckets,
+                &self.queue_wait_sum_us,
+                &self.queue_wait_count,
+            ),
+            (
+                "qmatch_shard_scatter_us",
+                &self.scatter_buckets,
+                &self.scatter_sum_us,
+                &self.scatter_count,
+            ),
+        ] {
+            let mut cumulative = 0u64;
+            for (i, counter) in buckets.iter().enumerate() {
+                cumulative += counter.load(Ordering::Relaxed);
+                let bound = LATENCY_BOUNDS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_owned());
+                let _ = writeln!(out, "{prefix}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{prefix}_sum {}", sum.load(Ordering::Relaxed));
+            let _ = writeln!(out, "{prefix}_count {}", count.load(Ordering::Relaxed));
+        }
         let _ = writeln!(
             out,
             "qmatch_bytes_ingested_total {}",
@@ -242,6 +302,16 @@ impl Metrics {
             out,
             "qmatch_rejected_by_limits_total {}",
             self.rejected_by_limits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "qmatch_rejected_backpressure_total {}",
+            self.rejected_backpressure.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "qmatch_wal_bytes_total {}",
+            self.wal_bytes.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "qmatch_registry_schemas {}", registry.schemas);
         let _ = writeln!(out, "qmatch_registry_resident {}", registry.resident);
@@ -337,6 +407,7 @@ impl Metrics {
         let mut summary = format!(
             "served {total} request(s) ({}), {} schema(s) registered, \
              {} byte(s) ingested, {} rejected by limits, \
+             {} shed by backpressure, {} WAL byte(s) appended, \
              label cache hit rate {:.2}, mean latency {mean_us}us, {ids}",
             if per_endpoint.is_empty() {
                 "none".to_owned()
@@ -346,6 +417,8 @@ impl Metrics {
             registry.schemas,
             self.bytes_ingested.load(Ordering::Relaxed),
             self.rejected_by_limits.load(Ordering::Relaxed),
+            self.rejected_backpressure.load(Ordering::Relaxed),
+            self.wal_bytes.load(Ordering::Relaxed),
             registry.label_hit_rate(),
         );
         if !phases.is_empty() {

@@ -1,21 +1,20 @@
-//! The concurrent schema registry: named compiled trees plus an LRU-capped
-//! pool of prepared schemas, all sharing one [`MatchSession`].
+//! The sharded schema registry: a thin facade over per-core
+//! [`Shard`]s, each owning one hash partition of the name space.
 //!
-//! Registered trees are cheap (an [`Arc<SchemaTree>`]) and are kept for
-//! every schema; the prepared artifacts ([`OwnedPreparedSchema`]) are the
-//! expensive part, so only the `max_resident` most recently used stay
-//! materialized. A lookup that misses residence re-prepares **outside** the
-//! write lock — preparation is a pure function of the tree and the session,
-//! so two racing re-preparations produce interchangeable values and the
-//! loser is simply dropped.
+//! Ownership is static — `shard_of(name) = fnv1a(name) % shards` — so
+//! every schema has exactly one home: the shard holding its compiled tree,
+//! its raw source bytes (for WAL compaction dumps), and its prepared
+//! artifact in that shard's LRU pool. Facade reads (`list`, `names`,
+//! `snapshot`) merge the partitions; writes route to the owner. A
+//! single-shard registry ([`Registry::single`]) behaves exactly like the
+//! old monolithic one and is what unit tests use.
 
-use qmatch_core::session::{MatchSession, OwnedPreparedSchema};
-use qmatch_xsd::{SchemaTree, TreeProfile};
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use qmatch_core::session::{CacheStats, MatchSession, OwnedPreparedSchema};
+use qmatch_xsd::SchemaTree;
+use std::sync::Arc;
 
 use crate::metrics::RegistrySnapshot;
+use crate::shard::{fnv1a, Shard};
 
 /// Listing metadata for one registered schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,7 +27,7 @@ pub struct SchemaInfo {
     pub nodes: usize,
     /// Compiled tree depth (edges from the root).
     pub max_depth: u32,
-    /// Whether a prepared schema is currently resident.
+    /// Whether a prepared schema is currently resident on the owner shard.
     pub resident: bool,
 }
 
@@ -43,185 +42,75 @@ pub struct Registered {
     pub max_depth: u32,
 }
 
-struct Entry {
-    tree: Arc<SchemaTree>,
-    source_bytes: u64,
-    nodes: usize,
-    max_depth: u32,
-}
-
-struct Resident {
-    prepared: Arc<OwnedPreparedSchema>,
-    /// Logical access time (monotone ticks), updated on every hit. An
-    /// atomic so hits need only the registry's read lock.
-    last_used: AtomicU64,
-}
-
-#[derive(Default)]
-struct Inner {
-    entries: BTreeMap<String, Entry>,
-    resident: HashMap<String, Resident>,
-}
-
-/// A thread-safe named-schema store over one shared [`MatchSession`].
+/// A named-schema store partitioned across shared-nothing [`Shard`]s.
 pub struct Registry {
-    session: MatchSession,
-    inner: RwLock<Inner>,
-    max_resident: usize,
-    /// Logical clock for LRU ordering. Registry-level and atomic so a hit
-    /// under the read lock can still claim a strictly newer timestamp than
-    /// every earlier registration or hit.
-    tick: AtomicU64,
-    prepare_hits: AtomicU64,
-    prepare_misses: AtomicU64,
-    evictions: AtomicU64,
+    shards: Vec<Arc<Shard>>,
 }
 
 impl Registry {
-    /// A registry keeping at most `max_resident` prepared schemas
-    /// materialized (0 is treated as 1 — the schema being used must fit).
-    pub fn new(session: MatchSession, max_resident: usize) -> Registry {
-        Registry {
-            session,
-            inner: RwLock::new(Inner::default()),
-            max_resident: max_resident.max(1),
-            tick: AtomicU64::new(0),
-            prepare_hits: AtomicU64::new(0),
-            prepare_misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        }
+    /// A registry over an already-built shard vector (the server builds
+    /// one shard per worker thread, each with its own session).
+    pub fn new(shards: Vec<Arc<Shard>>) -> Registry {
+        assert!(!shards.is_empty(), "a registry needs at least one shard");
+        Registry { shards }
     }
 
-    /// The shared match session (configuration, matcher, label cache).
+    /// A single-shard registry — the old monolithic behavior, used by unit
+    /// tests and embedders that do not need the sharded server.
+    pub fn single(session: MatchSession, max_resident: usize) -> Registry {
+        Registry::new(vec![Arc::new(Shard::new(0, session, max_resident))])
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard at `index`.
+    pub fn shard(&self, index: usize) -> &Arc<Shard> {
+        &self.shards[index]
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// Which shard owns `name`.
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning `name`.
+    pub fn owner(&self, name: &str) -> &Arc<Shard> {
+        &self.shards[self.shard_of(name)]
+    }
+
+    /// A session for configuration lookups (config is identical across
+    /// shards; only per-shard caches differ).
     pub fn session(&self) -> &MatchSession {
-        &self.session
+        self.shards[0].session()
     }
 
-    /// Registers (or replaces) a schema under `name`. The tree is prepared
-    /// eagerly so the first match does not pay preparation latency.
-    pub fn register(&self, name: &str, tree: SchemaTree, source_bytes: u64) -> Registered {
-        let profile = TreeProfile::of(&tree);
-        let tree = Arc::new(tree);
-        let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
-        let mut inner = self.inner.write().expect("registry lock");
-        let tick = self.next_tick();
-        let replaced = inner
-            .entries
-            .insert(
-                name.to_owned(),
-                Entry {
-                    tree,
-                    source_bytes,
-                    nodes: profile.nodes,
-                    max_depth: profile.max_depth,
-                },
-            )
-            .is_some();
-        inner.resident.insert(
-            name.to_owned(),
-            Resident {
-                prepared,
-                last_used: AtomicU64::new(tick),
-            },
-        );
-        self.evict_over_cap(&mut inner, name);
-        Registered {
-            replaced,
-            nodes: profile.nodes,
-            max_depth: profile.max_depth,
-        }
+    /// Registers (or replaces) a schema on its owner shard.
+    pub fn register(&self, name: &str, tree: SchemaTree, source: &[u8]) -> Registered {
+        self.owner(name).register(name, tree, source)
     }
 
-    /// The next logical-clock value, strictly greater than every value
-    /// handed out before.
-    fn next_tick(&self) -> u64 {
-        self.tick.fetch_add(1, Ordering::Relaxed) + 1
-    }
-
-    /// Evicts least-recently-used residents until the cap holds, never
-    /// evicting `keep` (the schema just touched). Ties (impossible under
-    /// the strictly-increasing clock, but cheap to guard) break by name so
-    /// eviction never depends on `HashMap` iteration order.
-    fn evict_over_cap(&self, inner: &mut Inner, keep: &str) {
-        while inner.resident.len() > self.max_resident {
-            let victim = inner
-                .resident
-                .iter()
-                .filter(|(name, _)| *name != keep)
-                .min_by(|(an, a), (bn, b)| {
-                    a.last_used
-                        .load(Ordering::Relaxed)
-                        .cmp(&b.last_used.load(Ordering::Relaxed))
-                        .then_with(|| an.cmp(bn))
-                })
-                .map(|(name, _)| name.clone());
-            match victim {
-                Some(name) => {
-                    inner.resident.remove(&name);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-                None => break,
-            }
-        }
-    }
-
-    /// The prepared schema for `name`, re-preparing (and re-inserting) it
-    /// if the LRU cap evicted it. `None` when the name is unknown.
+    /// The prepared schema for `name` from its owner shard (re-preparing
+    /// if evicted). `None` when the name is unknown.
     pub fn prepared(&self, name: &str) -> Option<Arc<OwnedPreparedSchema>> {
-        {
-            let inner = self.inner.read().expect("registry lock");
-            if !inner.entries.contains_key(name) {
-                return None;
-            }
-            if let Some(resident) = inner.resident.get(name) {
-                // Claim a strictly newer tick so this hit outranks every
-                // earlier registration or hit in LRU order — the clock is
-                // registry-level and atomic precisely so the hit path can
-                // advance it under the read lock.
-                resident
-                    .last_used
-                    .store(self.next_tick(), Ordering::Relaxed);
-                self.prepare_hits.fetch_add(1, Ordering::Relaxed);
-                return Some(resident.prepared.clone());
-            }
-        }
-        self.prepare_misses.fetch_add(1, Ordering::Relaxed);
-        let tree = {
-            let inner = self.inner.read().expect("registry lock");
-            inner.entries.get(name)?.tree.clone()
-        };
-        // Prepare outside any lock: pure work, possibly raced, harmless.
-        let prepared = Arc::new(self.session.prepare_owned(tree));
-        let mut inner = self.inner.write().expect("registry lock");
-        if !inner.entries.contains_key(name) {
-            return None; // deleted concurrently (future-proofing)
-        }
-        let tick = self.next_tick();
-        let resident = inner
-            .resident
-            .entry(name.to_owned())
-            .or_insert_with(|| Resident {
-                prepared,
-                last_used: AtomicU64::new(tick),
-            });
-        resident.last_used.store(tick, Ordering::Relaxed);
-        let out = resident.prepared.clone();
-        self.evict_over_cap(&mut inner, name);
-        Some(out)
+        self.owner(name).prepared(name)
     }
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.inner
-            .read()
-            .expect("registry lock")
-            .entries
-            .contains_key(name)
+        self.owner(name).contains(name)
     }
 
-    /// Number of registered schemas.
+    /// Number of registered schemas across all shards.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("registry lock").entries.len()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// True when nothing is registered.
@@ -229,49 +118,56 @@ impl Registry {
         self.len() == 0
     }
 
-    /// All registered names in sorted order.
+    /// All registered names in sorted order (merged across shards).
     pub fn names(&self) -> Vec<String> {
-        self.inner
-            .read()
-            .expect("registry lock")
-            .entries
-            .keys()
-            .cloned()
-            .collect()
+        let mut names: Vec<String> = self.shards.iter().flat_map(|s| s.names()).collect();
+        names.sort();
+        names
     }
 
     /// Listing metadata for every schema, sorted by name.
     pub fn list(&self) -> Vec<SchemaInfo> {
-        let inner = self.inner.read().expect("registry lock");
-        inner
-            .entries
-            .iter()
-            .map(|(name, entry)| SchemaInfo {
-                name: name.clone(),
-                source_bytes: entry.source_bytes,
-                nodes: entry.nodes,
-                max_depth: entry.max_depth,
-                resident: inner.resident.contains_key(name),
-            })
-            .collect()
+        let mut infos: Vec<SchemaInfo> = self.shards.iter().flat_map(|s| s.list()).collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
     }
 
-    /// A counters snapshot for metrics rendering.
-    pub fn snapshot(&self) -> RegistrySnapshot {
-        let (schemas, resident) = {
-            let inner = self.inner.read().expect("registry lock");
-            (inner.entries.len() as u64, inner.resident.len() as u64)
-        };
-        let labels = self.session.cache_stats();
-        RegistrySnapshot {
-            schemas,
-            resident,
-            prepare_hits: self.prepare_hits.load(Ordering::Relaxed),
-            prepare_misses: self.prepare_misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            label_hits: labels.hits,
-            label_misses: labels.misses,
+    /// Label-cache statistics summed across every shard's session.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats { hits: 0, misses: 0 };
+        for shard in &self.shards {
+            let stats = shard.session().cache_stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
         }
+        total
+    }
+
+    /// A counters snapshot summed across shards, for metrics rendering.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut total = RegistrySnapshot::default();
+        for shard in &self.shards {
+            let s = shard.snapshot();
+            total.schemas += s.schemas;
+            total.resident += s.resident;
+            total.prepare_hits += s.prepare_hits;
+            total.prepare_misses += s.prepare_misses;
+            total.evictions += s.evictions;
+            total.label_hits += s.label_hits;
+            total.label_misses += s.label_misses;
+        }
+        total
+    }
+
+    /// `(name, raw source bytes)` for every registered schema, sorted by
+    /// name — the WAL compaction dump.
+    pub fn dump(&self) -> Vec<(String, Arc<[u8]>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            shard.dump_into(&mut out);
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -285,16 +181,30 @@ mod tests {
     }
 
     fn registry(max_resident: usize) -> Registry {
-        Registry::new(MatchSession::new(MatchConfig::default()), max_resident)
+        Registry::single(MatchSession::new(MatchConfig::default()), max_resident)
+    }
+
+    fn sharded(shards: usize, max_resident: usize) -> Registry {
+        Registry::new(
+            (0..shards)
+                .map(|i| {
+                    Arc::new(Shard::new(
+                        i,
+                        MatchSession::new(MatchConfig::default()),
+                        max_resident,
+                    ))
+                })
+                .collect(),
+        )
     }
 
     #[test]
     fn register_list_and_replace() {
         let r = registry(8);
-        let first = r.register("po", tree("PO"), 100);
+        let first = r.register("po", tree("PO"), &[0u8; 100]);
         assert!(!first.replaced);
         assert_eq!(first.nodes, 2);
-        let second = r.register("po", tree("PurchaseOrder"), 120);
+        let second = r.register("po", tree("PurchaseOrder"), &[0u8; 120]);
         assert!(second.replaced);
         assert_eq!(r.len(), 1);
         let infos = r.list();
@@ -310,9 +220,9 @@ mod tests {
     #[test]
     fn lru_evicts_and_reprepares_on_demand() {
         let r = registry(2);
-        r.register("a", tree("A"), 1);
-        r.register("b", tree("B"), 1);
-        r.register("c", tree("C"), 1); // evicts "a" (least recently used)
+        r.register("a", tree("A"), b"x");
+        r.register("b", tree("B"), b"x");
+        r.register("c", tree("C"), b"x"); // evicts "a" (least recently used)
         let resident: Vec<_> = r.list().into_iter().filter(|i| i.resident).collect();
         assert_eq!(resident.len(), 2);
         assert!(!r.list().iter().any(|i| i.name == "a" && i.resident));
@@ -327,10 +237,10 @@ mod tests {
     #[test]
     fn hits_update_recency() {
         let r = registry(2);
-        r.register("a", tree("A"), 1);
-        r.register("b", tree("B"), 1);
+        r.register("a", tree("A"), b"x");
+        r.register("b", tree("B"), b"x");
         r.prepared("a").unwrap(); // touch "a" so "b" is now the LRU victim
-        r.register("c", tree("C"), 1);
+        r.register("c", tree("C"), b"x");
         let resident: Vec<_> = r
             .list()
             .into_iter()
@@ -344,8 +254,8 @@ mod tests {
     #[test]
     fn concurrent_lookups_agree() {
         let r = Arc::new(registry(1));
-        r.register("a", tree("A"), 1);
-        r.register("b", tree("B"), 1); // "a" evicted; lookups re-prepare
+        r.register("a", tree("A"), b"x");
+        r.register("b", tree("B"), b"x"); // "a" evicted; lookups re-prepare
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let r = r.clone();
@@ -363,5 +273,38 @@ mod tests {
             h.join().expect("lookup thread");
         }
         assert_eq!(r.snapshot().schemas, 2);
+    }
+
+    #[test]
+    fn sharded_ownership_routes_and_merges() {
+        let r = sharded(4, 8);
+        let names = ["po1", "po2", "article", "book", "dcmd_item", "dcmd_ord"];
+        for name in names {
+            r.register(name, tree(name), name.as_bytes());
+            // The owner shard holds it; every other shard does not.
+            let owner = r.shard_of(name);
+            for (i, shard) in r.shards().iter().enumerate() {
+                assert_eq!(shard.contains(name), i == owner, "{name} on shard {i}");
+            }
+        }
+        assert_eq!(r.len(), names.len());
+        let mut sorted: Vec<&str> = names.to_vec();
+        sorted.sort();
+        assert_eq!(r.names(), sorted);
+        assert_eq!(
+            r.list().iter().map(|i| i.name.as_str()).collect::<Vec<_>>(),
+            sorted
+        );
+        let dump = r.dump();
+        assert_eq!(
+            dump.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            sorted,
+            "dump is name-sorted for deterministic snapshots"
+        );
+        assert_eq!(r.snapshot().schemas, names.len() as u64);
+        // Cross-shard prepared lookups work through the facade.
+        for name in names {
+            assert!(r.prepared(name).is_some(), "{name}");
+        }
     }
 }

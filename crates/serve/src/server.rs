@@ -1,45 +1,37 @@
-//! The server loop: a non-blocking accept loop feeding a fixed worker
-//! thread pool, with cooperative shutdown.
+//! Server assembly: bind, shard construction, durability replay, and the
+//! reactor + worker-pool lifecycle.
 //!
-//! Shutdown has two triggers — [`ShutdownHandle::shutdown`] (used by tests
-//! and embedders) and a delivered `SIGINT`/`SIGTERM` (registered by
-//! [`install_signal_handlers`], used by `qmatch serve`). Both set flags the
-//! accept loop and the per-connection read loops poll, so an idle server
-//! stops within one poll interval and in-flight requests finish first.
+//! The serving topology is one epoll reactor thread (`reactor::run`)
+//! owning every socket, plus one worker thread per registry shard
+//! (`qmatch-shard-{i}`, running [`crate::shard::run_worker`]) executing
+//! queued match work. [`Server::bind`] builds the shard-per-core registry
+//! — each shard gets its own [`MatchSession`] wired into the phase
+//! metrics — and, when `data_dir` is set, opens the WAL/snapshot store
+//! and replays it so a restart comes back with every schema that was
+//! `PUT` before the crash.
 //!
-//! Each connection pins its worker thread for as long as it is being
-//! served, including keep-alive waits between requests. To keep that from
-//! starving newly accepted connections when every worker holds an idle
-//! keep-alive client, workers poll a shared pending-connection counter:
-//! while connections are queued, idle keep-alive waits are cut short and
-//! responses are sent with `Connection: close` — only *idle* waits, so
-//! requests in flight are never dropped. A client that keeps issuing
-//! requests can still occupy a worker for up to `IDLE_TICKS` per wait
-//! when the queue is empty; that is the accepted trade-off of a fixed
-//! thread-per-connection pool.
+//! Shutdown has two triggers — [`ShutdownHandle::shutdown`] (tests and
+//! embedders) and a delivered `SIGINT`/`SIGTERM` (registered by
+//! [`install_signal_handlers`], used by `qmatch serve`). The reactor
+//! polls both, stops accepting, drains in-flight work, and returns; the
+//! job channels close and the workers exit.
 
-use crate::handlers;
-use crate::http::{Conn, RecvError};
-use crate::metrics::{Endpoint, Metrics, PhaseSink};
+use crate::handlers::ServeState;
+use crate::metrics::{Metrics, PhaseSink};
+use crate::persist::Persist;
+use crate::reactor::{self, Timing, WakeFd};
 use crate::registry::Registry;
+use crate::shard::{run_worker, Completion, CompletionSender, Job, Shard};
 use qmatch_core::model::MatchConfig;
-use qmatch_core::trace::{Phase, Span};
 use qmatch_core::MatchSession;
 use qmatch_lexicon::NameMatcher;
-use qmatch_xsd::IngestLimits;
-use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// How long one blocking read waits before ticking the shutdown poll.
-const READ_TICK: Duration = Duration::from_millis(100);
-/// Consecutive idle ticks tolerated between keep-alive requests (~10 s).
-const IDLE_TICKS: u32 = 100;
-/// Accept-loop sleep when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+use qmatch_xsd::{parse_schema_with_limits, IngestLimits, SchemaTree};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -47,16 +39,35 @@ pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral
     /// port — used by the tests).
     pub addr: String,
-    /// Worker thread count; 0 means the machine's available parallelism.
+    /// Shard/worker thread count; 0 means the machine's available
+    /// parallelism.
     pub threads: usize,
-    /// LRU cap on resident prepared schemas.
+    /// LRU cap on resident prepared schemas, per shard.
     pub max_resident: usize,
     /// Ingestion limits applied to `PUT /schemas/{name}` bodies.
     pub limits: IngestLimits,
-    /// Match configuration for the shared session.
+    /// Match configuration for every shard session (including the default
+    /// matrix precision the `precision=` query parameter overrides).
     pub config: MatchConfig,
-    /// Optional custom name matcher (extended thesaurus).
+    /// Optional custom name matcher (extended thesaurus), cloned per
+    /// shard.
     pub matcher: Option<NameMatcher>,
+    /// Max queued-or-executing match jobs before requests answer `429`.
+    pub queue_depth: usize,
+    /// Per-request deadline budget; jobs that expire in the queue answer
+    /// `503`.
+    pub deadline: Duration,
+    /// First byte → complete head budget (kills slow-loris clients).
+    pub header_deadline: Duration,
+    /// Complete head → complete body budget.
+    pub body_deadline: Duration,
+    /// Idle budget: accept → first byte, and between keep-alive requests.
+    pub idle_deadline: Duration,
+    /// Registry durability directory (WAL + snapshots). `None` serves
+    /// in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// WAL payload size that triggers compaction into a snapshot.
+    pub snapshot_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +79,13 @@ impl Default for ServerConfig {
             limits: IngestLimits::default(),
             config: MatchConfig::default(),
             matcher: None,
+            queue_depth: 512,
+            deadline: Duration::from_secs(30),
+            header_deadline: Duration::from_secs(5),
+            body_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(10),
+            data_dir: None,
+            snapshot_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -91,35 +109,79 @@ impl ShutdownHandle {
 /// A bound (not yet running) match server.
 pub struct Server {
     listener: TcpListener,
-    registry: Arc<Registry>,
-    metrics: Arc<Metrics>,
-    limits: IngestLimits,
-    threads: usize,
+    state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
+    timing: Timing,
 }
 
 impl Server {
-    /// Binds the listen socket and builds the shared state; the server does
+    /// Binds the listen socket, builds the sharded registry, and — when
+    /// `data_dir` is set — replays the WAL/snapshot store; the server does
     /// not serve until [`Server::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let metrics = Arc::new(Metrics::new());
-        let mut session = match config.matcher {
-            Some(matcher) => MatchSession::with_matcher(config.config, matcher),
-            None => MatchSession::new(config.config),
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            config.threads
         };
-        // Every pipeline span the session emits (prepares, label-matrix
-        // builds, wavefront passes) lands in the qmatch_phase_* series of
-        // GET /metrics. Wired before the session is shared, as the sink API
-        // requires.
-        session.set_trace_sink(Arc::new(PhaseSink::new(metrics.clone())));
+        let shards: Vec<Arc<Shard>> = (0..threads)
+            .map(|i| {
+                let mut session = match &config.matcher {
+                    Some(matcher) => MatchSession::with_matcher(config.config, matcher.clone()),
+                    None => MatchSession::new(config.config),
+                };
+                // Every pipeline span the session emits (prepares,
+                // label-matrix builds, wavefront passes) lands in the
+                // qmatch_phase_* series of GET /metrics. Wired before the
+                // session is shared, as the sink API requires.
+                session.set_trace_sink(Arc::new(PhaseSink::new(metrics.clone())));
+                Arc::new(Shard::new(i, session, config.max_resident))
+            })
+            .collect();
+        let registry = Registry::new(shards);
+        let persist = match &config.data_dir {
+            Some(dir) => {
+                let (persist, replayed) = Persist::open(dir, config.snapshot_bytes)?;
+                // Re-register every durable schema through the same parse +
+                // compile path a PUT takes, so a restarted server serves
+                // byte-identical listings and rankings. Bodies that no
+                // longer pass the (possibly tightened) limits are skipped,
+                // not fatal.
+                for (name, body) in &replayed.schemas {
+                    let Ok(text) = std::str::from_utf8(body) else {
+                        continue;
+                    };
+                    let tree = parse_schema_with_limits(text, &config.limits).and_then(|schema| {
+                        SchemaTree::compile_with_limits(&schema, &config.limits)
+                    });
+                    if let Ok(tree) = tree {
+                        registry.register(name, tree, body);
+                    }
+                }
+                Some(persist)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
-            registry: Arc::new(Registry::new(session, config.max_resident)),
-            metrics,
-            limits: config.limits,
-            threads: config.threads,
+            state: Arc::new(ServeState {
+                registry,
+                metrics,
+                limits: config.limits,
+                persist,
+            }),
             shutdown: Arc::new(AtomicBool::new(false)),
+            timing: Timing {
+                header: config.header_deadline,
+                body: config.body_deadline,
+                idle: config.idle_deadline,
+                request: config.deadline,
+                queue_depth: config.queue_depth,
+            },
         })
     }
 
@@ -128,181 +190,58 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// The shared schema registry (embedders may pre-register schemas).
-    pub fn registry(&self) -> &Arc<Registry> {
-        &self.registry
+    /// The sharded schema registry (embedders may pre-register schemas).
+    pub fn registry(&self) -> &Registry {
+        &self.state.registry
     }
 
     /// The shared request counters.
     pub fn metrics(&self) -> &Arc<Metrics> {
-        &self.metrics
+        &self.state.metrics
     }
 
-    /// A handle that stops the accept loop from another thread.
+    /// A handle that stops the reactor from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle(self.shutdown.clone())
     }
 
-    /// Runs until shutdown is requested (via handle or signal), then drains
-    /// the worker pool and returns the human-readable activity summary.
+    /// Runs until shutdown is requested (via handle or signal), then
+    /// drains the shard workers and returns the human-readable activity
+    /// summary.
     pub fn run(self) -> std::io::Result<String> {
-        self.listener.set_nonblocking(true)?;
-        let (tx, rx) = channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        // Connections accepted but not yet picked up by a worker; idle
-        // keep-alive waits are cut short while this is non-zero.
-        let pending = Arc::new(AtomicUsize::new(0));
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4)
-        } else {
-            self.threads
-        };
-        let workers: Vec<_> = (0..threads)
+        let shards = self.state.registry.shard_count();
+        let wake = Arc::new(WakeFd::new()?);
+        let (done_tx, done_rx) = channel::<Completion>();
+        let mut senders = Vec::with_capacity(shards);
+        let workers: Vec<_> = (0..shards)
             .map(|i| {
-                let rx = rx.clone();
-                let registry = self.registry.clone();
-                let metrics = self.metrics.clone();
-                let limits = self.limits;
-                let shutdown = self.shutdown.clone();
-                let pending = pending.clone();
+                let (tx, rx) = channel::<Job>();
+                senders.push(tx);
+                let state = self.state.clone();
+                let done = CompletionSender::new(done_tx.clone(), wake.clone());
                 std::thread::Builder::new()
-                    .name(format!("qmatch-serve-{i}"))
-                    .spawn(move || {
-                        worker_loop(&rx, &registry, &metrics, &limits, &shutdown, &pending)
-                    })
-                    .expect("spawn worker thread")
+                    .name(format!("qmatch-shard-{i}"))
+                    .spawn(move || run_worker(&state, i, rx, done))
+                    .expect("spawn shard worker")
             })
             .collect();
-        while !self.should_stop() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_nodelay(true);
-                    pending.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Closing the channel ends every worker after its current queue
-        // item; connections in flight observe the shutdown flag.
-        self.shutdown.store(true, Ordering::Relaxed);
-        drop(tx);
+        drop(done_tx);
+        let result = reactor::run(
+            self.listener,
+            self.state.clone(),
+            senders,
+            done_rx,
+            wake,
+            self.shutdown.clone(),
+            self.timing,
+        );
+        // The reactor dropped the job senders on return; each worker's
+        // recv() fails and its loop exits.
         for worker in workers {
             let _ = worker.join();
         }
-        Ok(self.metrics.summary(&self.registry.snapshot()))
-    }
-
-    fn should_stop(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed) || signal_received()
-    }
-}
-
-/// One worker: pull accepted connections off the shared queue until the
-/// accept loop hangs up.
-fn worker_loop(
-    rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    registry: &Registry,
-    metrics: &Metrics,
-    limits: &IngestLimits,
-    shutdown: &AtomicBool,
-    pending: &AtomicUsize,
-) {
-    loop {
-        let stream = {
-            let queue = rx.lock().expect("worker queue lock");
-            queue.recv()
-        };
-        match stream {
-            Ok(stream) => {
-                pending.fetch_sub(1, Ordering::Relaxed);
-                serve_conn(stream, registry, metrics, limits, shutdown, pending);
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Serves one connection: keep-alive request loop with shutdown polling.
-/// Idle keep-alive waits additionally abort (and responses switch to
-/// `Connection: close`) while accepted connections are queued, so one slow
-/// client cannot pin this worker while others wait.
-fn serve_conn(
-    stream: TcpStream,
-    registry: &Registry,
-    metrics: &Metrics,
-    limits: &IngestLimits,
-    shutdown: &AtomicBool,
-    pending: &AtomicUsize,
-) {
-    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
-        return;
-    }
-    let mut conn = Conn::new(stream);
-    loop {
-        let mut abort = |idle: bool| {
-            shutdown.load(Ordering::Relaxed)
-                || signal_received()
-                || (idle && pending.load(Ordering::Relaxed) > 0)
-        };
-        match conn.next_request(limits.max_input_bytes, IDLE_TICKS, &mut abort) {
-            Ok(request) => {
-                // Echo a client-supplied X-Request-Id, else mint q-N; the
-                // id rides back on the response so clients can correlate
-                // it with server-side logs and metrics.
-                let request_id = request
-                    .header("x-request-id")
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| metrics.next_request_id());
-                let start = Instant::now();
-                let (endpoint, response) = handlers::handle(&request, registry, metrics, limits);
-                let elapsed = start.elapsed();
-                let micros = elapsed.as_micros() as u64;
-                metrics.record(endpoint, response.status, micros);
-                metrics.record_phase(&Span {
-                    rows: 1,
-                    cells: request.body.len() as u64,
-                    wall: elapsed,
-                    ..Span::empty(Phase::Request)
-                });
-                let response = response.with_header("x-request-id", request_id);
-                // Finish the in-flight response, but do not wait for more
-                // requests once shutdown is in progress or the queue is
-                // backed up (the post-response wait would be idle time).
-                let keep = request.keep_alive && !abort(true);
-                if conn.write_response(&response, keep).is_err() || !keep {
-                    break;
-                }
-            }
-            Err(RecvError::Closed) => break,
-            Err(RecvError::BadRequest(detail)) => {
-                let response = handlers::error(400, "bad_request", detail);
-                metrics.record(Endpoint::Other, 400, 0);
-                let _ = conn.write_response(&response, false);
-                break;
-            }
-            Err(RecvError::TooLarge { limit, actual }) => {
-                metrics.add_rejected_by_limits();
-                let response = handlers::error(
-                    413,
-                    "limit_exceeded",
-                    format!(
-                        "request body of {actual} bytes exceeds the \
-                         max_input_bytes ingestion limit ({limit})"
-                    ),
-                );
-                metrics.record(Endpoint::Other, 413, 0);
-                let _ = conn.write_response(&response, false);
-                break;
-            }
-            Err(RecvError::Io(_)) => break,
-        }
+        result?;
+        Ok(self.state.metrics.summary(&self.state.registry.snapshot()))
     }
 }
 
@@ -374,6 +313,7 @@ mod tests {
         .expect("bind");
         let addr = server.local_addr().expect("local addr");
         assert_ne!(addr.port(), 0);
+        assert_eq!(server.registry().shard_count(), 2);
         let handle = server.shutdown_handle();
         assert!(!handle.is_shutdown());
         let runner = std::thread::spawn(move || server.run().expect("run"));
@@ -390,5 +330,9 @@ mod tests {
         assert_eq!(config.threads, 0, "0 = auto");
         assert_eq!(config.max_resident, 64);
         assert!(config.matcher.is_none());
+        assert_eq!(config.queue_depth, 512);
+        assert_eq!(config.deadline, Duration::from_secs(30));
+        assert!(config.data_dir.is_none(), "in-memory by default");
+        assert_eq!(config.snapshot_bytes, 4 * 1024 * 1024);
     }
 }

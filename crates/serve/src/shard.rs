@@ -1,0 +1,538 @@
+//! Shared-nothing registry shards and the worker loop that animates them.
+//!
+//! Schema ownership is static: `shard_of(name) = fnv1a(name) % shards`.
+//! Each [`Shard`] owns one partition of the name space — the compiled
+//! trees, the LRU-capped pool of prepared artifacts for *its* schemas, and
+//! its own [`MatchSession`] (label cache, matrix arena). A match on
+//! `source` always executes on `shard_of(source)`'s thread, so the hot
+//! per-session state is touched by exactly one thread; a cross-shard
+//! *target* costs only an `Arc` clone of the owner's prepared artifact
+//! (preparation is a pure function of the tree, so artifacts are
+//! interchangeable between sessions — scores are bit-identical regardless
+//! of which session runs the match).
+//!
+//! The reactor feeds shards through per-shard channels of [`Job`]s:
+//! [`Job::Exec`] for single-shard work (PUT, `/match`), [`Job::Partial`]
+//! for the scatter half of `/match/topk` — every shard ranks its own
+//! partition, and the last one to finish merges the partials through a
+//! total-order heap and emits the [`Completion`].
+
+use crate::handlers::{self, ServeState, TopkPlan};
+use crate::http::{Request, Response};
+use crate::metrics::{Endpoint, RegistrySnapshot};
+use qmatch_core::session::{MatchSession, OwnedPreparedSchema};
+use qmatch_core::trace::{Phase, Span};
+use qmatch_xsd::{SchemaTree, TreeProfile};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::reactor::WakeFd;
+use crate::registry::{Registered, SchemaInfo};
+
+/// FNV-1a 64-bit — the shard-routing hash (stable across runs and
+/// platforms, unlike `std`'s randomized hasher).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    tree: Arc<SchemaTree>,
+    /// Raw XSD bytes as ingested — kept for snapshot compaction dumps.
+    source: Arc<[u8]>,
+    nodes: usize,
+    max_depth: u32,
+}
+
+struct Resident {
+    prepared: Arc<OwnedPreparedSchema>,
+    /// Logical access time (monotone ticks), updated on every hit. An
+    /// atomic so hits need only the shard's read lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    resident: HashMap<String, Resident>,
+}
+
+/// One registry partition: the schemas this shard owns, their prepared
+/// artifacts (LRU-capped), and the shard's private [`MatchSession`].
+pub struct Shard {
+    index: usize,
+    session: MatchSession,
+    inner: RwLock<Inner>,
+    max_resident: usize,
+    /// Logical clock for LRU ordering; shard-local (ownership is static,
+    /// so cross-shard recency never needs comparing).
+    tick: AtomicU64,
+    prepare_hits: AtomicU64,
+    prepare_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Shard {
+    /// A shard keeping at most `max_resident` prepared schemas
+    /// materialized (0 is treated as 1 — the schema being used must fit).
+    pub fn new(index: usize, session: MatchSession, max_resident: usize) -> Shard {
+        Shard {
+            index,
+            session,
+            inner: RwLock::new(Inner::default()),
+            max_resident: max_resident.max(1),
+            tick: AtomicU64::new(0),
+            prepare_hits: AtomicU64::new(0),
+            prepare_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// This shard's position in the registry's shard vector.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard-private match session (label cache, matrix arena).
+    pub fn session(&self) -> &MatchSession {
+        &self.session
+    }
+
+    /// Registers (or replaces) a schema this shard owns. The tree is
+    /// prepared eagerly so the first match does not pay preparation
+    /// latency.
+    pub fn register(&self, name: &str, tree: SchemaTree, source: &[u8]) -> Registered {
+        let profile = TreeProfile::of(&tree);
+        let tree = Arc::new(tree);
+        let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
+        let mut inner = self.inner.write().expect("shard lock");
+        let tick = self.next_tick();
+        let replaced = inner
+            .entries
+            .insert(
+                name.to_owned(),
+                Entry {
+                    tree,
+                    source: Arc::from(source),
+                    nodes: profile.nodes,
+                    max_depth: profile.max_depth,
+                },
+            )
+            .is_some();
+        inner.resident.insert(
+            name.to_owned(),
+            Resident {
+                prepared,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+        self.evict_over_cap(&mut inner, name);
+        Registered {
+            replaced,
+            nodes: profile.nodes,
+            max_depth: profile.max_depth,
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts least-recently-used residents until the cap holds, never
+    /// evicting `keep` (the schema just touched). Ties break by name so
+    /// eviction never depends on `HashMap` iteration order.
+    fn evict_over_cap(&self, inner: &mut Inner, keep: &str) {
+        while inner.resident.len() > self.max_resident {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(name, _)| *name != keep)
+                .min_by(|(an, a), (bn, b)| {
+                    a.last_used
+                        .load(Ordering::Relaxed)
+                        .cmp(&b.last_used.load(Ordering::Relaxed))
+                        .then_with(|| an.cmp(bn))
+                })
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    inner.resident.remove(&name);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The prepared schema for `name` (owned by this shard), re-preparing
+    /// it if the LRU cap evicted it. `None` when the name is unknown.
+    pub fn prepared(&self, name: &str) -> Option<Arc<OwnedPreparedSchema>> {
+        {
+            let inner = self.inner.read().expect("shard lock");
+            if !inner.entries.contains_key(name) {
+                return None;
+            }
+            if let Some(resident) = inner.resident.get(name) {
+                resident
+                    .last_used
+                    .store(self.next_tick(), Ordering::Relaxed);
+                self.prepare_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(resident.prepared.clone());
+            }
+        }
+        self.prepare_misses.fetch_add(1, Ordering::Relaxed);
+        let tree = {
+            let inner = self.inner.read().expect("shard lock");
+            inner.entries.get(name)?.tree.clone()
+        };
+        // Prepare outside any lock: pure work, possibly raced, harmless.
+        let prepared = Arc::new(self.session.prepare_owned(tree));
+        let mut inner = self.inner.write().expect("shard lock");
+        if !inner.entries.contains_key(name) {
+            return None; // deleted concurrently (future-proofing)
+        }
+        let tick = self.next_tick();
+        let resident = inner
+            .resident
+            .entry(name.to_owned())
+            .or_insert_with(|| Resident {
+                prepared,
+                last_used: AtomicU64::new(tick),
+            });
+        resident.last_used.store(tick, Ordering::Relaxed);
+        let out = resident.prepared.clone();
+        self.evict_over_cap(&mut inner, name);
+        Some(out)
+    }
+
+    /// Whether this shard owns a schema called `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .read()
+            .expect("shard lock")
+            .entries
+            .contains_key(name)
+    }
+
+    /// Number of schemas this shard owns.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("shard lock").entries.len()
+    }
+
+    /// True when the shard owns nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names this shard owns, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .expect("shard lock")
+            .entries
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Listing metadata for this shard's partition, sorted by name.
+    pub fn list(&self) -> Vec<SchemaInfo> {
+        let inner = self.inner.read().expect("shard lock");
+        inner
+            .entries
+            .iter()
+            .map(|(name, entry)| SchemaInfo {
+                name: name.clone(),
+                source_bytes: entry.source.len() as u64,
+                nodes: entry.nodes,
+                max_depth: entry.max_depth,
+                resident: inner.resident.contains_key(name),
+            })
+            .collect()
+    }
+
+    /// Appends `(name, raw source bytes)` for every owned schema — the
+    /// compaction dump. Cheap: sources are shared `Arc<[u8]>`s.
+    pub fn dump_into(&self, out: &mut Vec<(String, Arc<[u8]>)>) {
+        let inner = self.inner.read().expect("shard lock");
+        out.extend(
+            inner
+                .entries
+                .iter()
+                .map(|(name, entry)| (name.clone(), entry.source.clone())),
+        );
+    }
+
+    /// This shard's contribution to the registry-wide counters snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let (schemas, resident) = {
+            let inner = self.inner.read().expect("shard lock");
+            (inner.entries.len() as u64, inner.resident.len() as u64)
+        };
+        let labels = self.session.cache_stats();
+        RegistrySnapshot {
+            schemas,
+            resident,
+            prepare_hits: self.prepare_hits.load(Ordering::Relaxed),
+            prepare_misses: self.prepare_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            label_hits: labels.hits,
+            label_misses: labels.misses,
+        }
+    }
+}
+
+/// Per-request bookkeeping that rides along a queued job and returns with
+/// its [`Completion`].
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// The reactor's connection token the response belongs to.
+    pub token: u64,
+    /// The `X-Request-Id` to echo (client-supplied or minted `q-N`).
+    pub request_id: String,
+    /// Numeric correlation id threaded into trace spans.
+    pub rid: u64,
+    /// When the request was fully parsed (request latency baseline).
+    pub started: Instant,
+    /// When the job entered the match queue (queue-wait baseline).
+    pub enqueued: Instant,
+    /// Absolute per-request deadline; expired jobs answer `503`.
+    pub deadline: Instant,
+    /// Request body bytes (for the request-phase span).
+    pub body_len: u64,
+}
+
+/// The shared fan-out state of one `/match/topk` scatter-gather.
+pub struct Scatter {
+    /// The validated query (source artifact, `k`, precision, path).
+    pub plan: TopkPlan,
+    /// Request bookkeeping (one per scatter, shared by all partials).
+    pub ctx: JobCtx,
+    /// Shards still to report; the decrement-to-zero shard merges.
+    pub remaining: AtomicUsize,
+    /// Set when any shard saw the deadline expire — the merge answers 503.
+    pub expired: AtomicBool,
+    /// Per-shard partial rankings, gathered for the merge.
+    pub partials: Mutex<Vec<(String, f64)>>,
+}
+
+/// One unit of work on a shard's queue.
+pub enum Job {
+    /// A whole request executing on its owner shard (PUT, `/match`).
+    Exec {
+        /// The parsed request (boxed: a `Request` carries its body buffer
+        /// and header map, and would dwarf the `Partial` variant inline).
+        req: Box<Request>,
+        /// Response routing and timing bookkeeping.
+        ctx: JobCtx,
+        /// Endpoint label used if the job dies before the handler runs.
+        endpoint: Endpoint,
+    },
+    /// One shard's share of a `/match/topk` scatter-gather.
+    Partial {
+        /// The scatter this partial belongs to.
+        scatter: Arc<Scatter>,
+    },
+}
+
+/// A finished job on its way back to the reactor.
+pub struct Completion {
+    /// The bookkeeping that accompanied the job.
+    pub ctx: JobCtx,
+    /// Endpoint label for the request counters.
+    pub endpoint: Endpoint,
+    /// The response to serialize (without `X-Request-Id`, which the
+    /// reactor appends).
+    pub response: Response,
+}
+
+/// The shard side of the completion channel: sending also kicks the
+/// reactor's eventfd so a blocked `epoll_wait` returns immediately.
+#[derive(Clone)]
+pub struct CompletionSender {
+    tx: Sender<Completion>,
+    wake: Arc<WakeFd>,
+}
+
+impl CompletionSender {
+    /// Pairs a channel sender with the reactor's wake fd.
+    pub fn new(tx: Sender<Completion>, wake: Arc<WakeFd>) -> CompletionSender {
+        CompletionSender { tx, wake }
+    }
+
+    /// Delivers one completion and wakes the reactor. A send error means
+    /// the reactor is gone — the response has nowhere to go, so it is
+    /// dropped silently.
+    pub fn send(&self, completion: Completion) {
+        let _ = self.tx.send(completion);
+        self.wake.wake();
+    }
+}
+
+/// The shard worker loop: drain jobs until the reactor hangs up the
+/// channel. Runs on a dedicated thread named `qmatch-shard-{index}`.
+pub fn run_worker(
+    state: &ServeState,
+    shard_index: usize,
+    jobs: Receiver<Job>,
+    done: CompletionSender,
+) {
+    let metrics = &state.metrics;
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Exec { req, ctx, endpoint } => {
+                let wait = ctx.enqueued.elapsed();
+                metrics.record_queue_wait(wait.as_micros() as u64);
+                metrics.record_phase(&Span {
+                    rows: 1,
+                    wall: wait,
+                    request: ctx.rid,
+                    ..Span::empty(Phase::Queue)
+                });
+                let (endpoint, response) = if Instant::now() >= ctx.deadline {
+                    let response = handlers::finalize(
+                        &req.path,
+                        endpoint,
+                        handlers::error(
+                            503,
+                            "deadline_exceeded",
+                            "request exceeded its deadline budget in the match queue",
+                        ),
+                    );
+                    (endpoint, response)
+                } else {
+                    let t0 = Instant::now();
+                    let (endpoint, response) = handlers::handle(&req, state);
+                    metrics.record_phase(&Span {
+                        rows: 1,
+                        cells: req.body.len() as u64,
+                        wall: t0.elapsed(),
+                        request: ctx.rid,
+                        ..Span::empty(Phase::Shard)
+                    });
+                    (endpoint, response)
+                };
+                done.send(Completion {
+                    ctx,
+                    endpoint,
+                    response,
+                });
+            }
+            Job::Partial { scatter } => {
+                let wait = scatter.ctx.enqueued.elapsed();
+                metrics.record_queue_wait(wait.as_micros() as u64);
+                metrics.record_phase(&Span {
+                    rows: 1,
+                    wall: wait,
+                    request: scatter.ctx.rid,
+                    ..Span::empty(Phase::Queue)
+                });
+                if Instant::now() >= scatter.ctx.deadline {
+                    scatter.expired.store(true, Ordering::Relaxed);
+                } else {
+                    let t0 = Instant::now();
+                    let partial = handlers::topk_partial(state, shard_index, &scatter.plan);
+                    metrics.record_phase(&Span {
+                        rows: partial.len() as u64,
+                        wall: t0.elapsed(),
+                        request: scatter.ctx.rid,
+                        ..Span::empty(Phase::Shard)
+                    });
+                    scatter
+                        .partials
+                        .lock()
+                        .expect("scatter partials lock")
+                        .extend(partial);
+                }
+                // AcqRel so the merging shard observes every other shard's
+                // partials written before its decrement.
+                if scatter.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let response = if scatter.expired.load(Ordering::Relaxed) {
+                        handlers::error(
+                            503,
+                            "deadline_exceeded",
+                            "request exceeded its deadline budget in the match queue",
+                        )
+                    } else {
+                        let partials = std::mem::take(
+                            &mut *scatter.partials.lock().expect("scatter partials lock"),
+                        );
+                        metrics.record_scatter_gather(
+                            scatter.ctx.enqueued.elapsed().as_micros() as u64
+                        );
+                        handlers::topk_render(&scatter.plan, partials)
+                    };
+                    let response =
+                        handlers::finalize(&scatter.plan.path, Endpoint::MatchTopk, response);
+                    done.send(Completion {
+                        ctx: scatter.ctx.clone(),
+                        endpoint: Endpoint::MatchTopk,
+                        response,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmatch_core::model::MatchConfig;
+
+    fn tree(root: &str) -> SchemaTree {
+        SchemaTree::from_labels(root, &[(root, None), ("OrderNo", Some(0))])
+    }
+
+    fn shard(max_resident: usize) -> Shard {
+        Shard::new(0, MatchSession::new(MatchConfig::default()), max_resident)
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"po1"), fnv1a(b"po2"));
+    }
+
+    #[test]
+    fn register_prepared_and_lru() {
+        let s = shard(2);
+        assert!(s.is_empty());
+        let first = s.register("po", tree("PO"), b"<po/>");
+        assert!(!first.replaced);
+        assert_eq!(first.nodes, 2);
+        assert!(s.register("po", tree("PO2"), b"<po v2/>").replaced);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.list()[0].source_bytes, 8);
+        s.register("a", tree("A"), b"<a/>");
+        s.register("b", tree("B"), b"<b/>"); // evicts the LRU ("po")
+        assert_eq!(s.snapshot().evictions, 1);
+        assert!(s.contains("po"), "evicted from residence, not the store");
+        let prepared = s.prepared("po").expect("still registered");
+        assert_eq!(prepared.prepared().tree().name(), "PO2");
+        assert_eq!(s.snapshot().prepare_misses, 1);
+        assert_eq!(s.prepared("missing").map(|_| ()), None);
+    }
+
+    #[test]
+    fn dump_preserves_raw_source_bytes() {
+        let s = shard(4);
+        s.register("a", tree("A"), b"<alpha/>");
+        s.register("b", tree("B"), b"<beta/>");
+        let mut dump = Vec::new();
+        s.dump_into(&mut dump);
+        dump.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(dump.len(), 2);
+        assert_eq!(&*dump[0].1, b"<alpha/>".as_slice());
+        assert_eq!(&*dump[1].1, b"<beta/>".as_slice());
+    }
+}

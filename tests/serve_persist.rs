@@ -1,0 +1,233 @@
+//! End-to-end durability tests: a server with a `data_dir` must come back
+//! from a restart serving *byte-identical* listings and rankings — via WAL
+//! replay, via compacted snapshots, and with a torn (truncated) WAL tail.
+//!
+//! Restarts here go through [`ShutdownHandle`] rather than a real signal:
+//! the signal flag is a process-wide static, so raising `SIGTERM`
+//! in-process would stop every other test's server too. The CI smoke job
+//! covers the real kill-and-restart path.
+
+use qmatch::datasets::corpus;
+use qmatch_serve::{Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+type XsdSource = fn() -> &'static str;
+
+const CORPUS: [(&str, XsdSource); 6] = [
+    ("po1", corpus::po1_xsd),
+    ("po2", corpus::po2_xsd),
+    ("article", corpus::article_xsd),
+    ("book", corpus::book_xsd),
+    ("dcmd_item", corpus::dcmd_item_xsd),
+    ("dcmd_ord", corpus::dcmd_ord_xsd),
+];
+
+/// A unique, deterministic scratch directory per test invocation.
+fn tempdir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qmatch-serve-persist-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(config: ServerConfig) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<String>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, runner)
+}
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 3,
+        data_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+/// One request over a fresh connection (`Connection: close` framing).
+fn send(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let head_end = text.find("\r\n\r\n").expect("header separator");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, text[head_end + 4..].to_owned())
+}
+
+fn register_corpus(addr: SocketAddr) {
+    for (name, xsd) in CORPUS {
+        let (status, body) = send(
+            addr,
+            "PUT",
+            &format!("/v1/schemas/{name}"),
+            xsd().as_bytes(),
+        );
+        assert_eq!(status, 201, "registering {name}: {body}");
+    }
+}
+
+/// The freshly-booted fingerprint of a registry: the `/v1/schemas` listing
+/// and a top-k ranking. The listing embeds label-cache counters, so it is
+/// only comparable across servers that have seen the same match traffic —
+/// capture it *before* running any matches.
+fn fingerprint(addr: SocketAddr) -> (String, String) {
+    let (status, listing) = send(addr, "GET", "/v1/schemas", b"");
+    assert_eq!(status, 200, "{listing}");
+    let (status, topk) = send(addr, "POST", "/v1/match/topk?source=po1&k=10", b"");
+    assert_eq!(status, 200, "{topk}");
+    (listing, topk)
+}
+
+#[test]
+fn registry_survives_a_restart_byte_identically() {
+    let dir = tempdir("wal-replay");
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    register_corpus(addr);
+    let (listing, topk) = fingerprint(addr);
+    assert!(listing.contains(r#""count":6"#), "{listing}");
+    // Mixed match traffic after the fingerprint, so shutdown lands
+    // mid-workload rather than on a quiet server.
+    for (source, target) in [
+        ("po1", "po2"),
+        ("article", "book"),
+        ("dcmd_item", "dcmd_ord"),
+    ] {
+        let (status, body) = send(
+            addr,
+            "POST",
+            &format!("/v1/match?source={source}&target={target}"),
+            b"",
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+    // Every PUT was WAL-logged.
+    let (_, metrics) = send(addr, "GET", "/v1/metrics", b"");
+    let wal_line = metrics
+        .lines()
+        .find(|l| l.starts_with("qmatch_wal_bytes_total "))
+        .expect("wal bytes metric");
+    let wal_bytes: u64 = wal_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(wal_bytes > 0, "{metrics}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    // Same data_dir, fresh process state: the WAL replays on boot.
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "listing must survive restart unchanged");
+    assert_eq!(topk, topk2, "ranking must survive restart unchanged");
+    // The restarted registry accepts further writes.
+    let (status, _) = send(
+        addr,
+        "PUT",
+        "/v1/schemas/extra",
+        corpus::po1_xsd().as_bytes(),
+    );
+    assert_eq!(status, 201);
+    let (_, listing3) = send(addr, "GET", "/v1/schemas", b"");
+    assert!(listing3.contains(r#""count":7"#), "{listing3}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_snapshots_survive_restart() {
+    let dir = tempdir("compaction");
+    // snapshot_bytes: 1 — every PUT trips the compaction threshold, so the
+    // surviving image lives in registry.snap and the WAL stays truncated.
+    let config = || ServerConfig {
+        snapshot_bytes: 1,
+        ..durable_config(&dir)
+    };
+    let (addr, shutdown, runner) = boot(config());
+    register_corpus(addr);
+    let (listing, topk) = fingerprint(addr);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let snap = std::fs::read(dir.join("registry.snap")).expect("snapshot written");
+    assert_eq!(&snap[..8], qmatch_serve::persist::SNAP_MAGIC);
+    let wal = std::fs::read(dir.join("registry.wal")).expect("wal exists");
+    assert_eq!(wal.len(), 8, "compaction truncates the WAL to its header");
+
+    let (addr, shutdown, runner) = boot(config());
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "snapshot replay must be byte-identical");
+    assert_eq!(topk, topk2);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_dropped_and_the_prefix_recovered() {
+    let dir = tempdir("torn-tail");
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    register_corpus(addr);
+    let (listing, topk) = fingerprint(addr);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    // Simulate a crash mid-append: a record header promising more bytes
+    // than the file holds.
+    let wal_path = dir.join("registry.wal");
+    let before = std::fs::read(&wal_path).expect("wal exists").len() as u64;
+    let mut wal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal_path)
+        .expect("open wal");
+    wal.write_all(&[0x40, 0, 0, 0, 0x40, 0, 0, 0, 1, 2, 3])
+        .expect("torn tail");
+    drop(wal);
+
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "intact prefix must replay unchanged");
+    assert_eq!(topk, topk2);
+    // Recovery truncated the torn tail, so the next PUT appends to a
+    // clean WAL end rather than after garbage.
+    assert_eq!(
+        std::fs::metadata(&wal_path).expect("wal exists").len(),
+        before,
+        "torn tail must be truncated away on recovery"
+    );
+    let (status, _) = send(
+        addr,
+        "PUT",
+        "/v1/schemas/extra",
+        corpus::po2_xsd().as_bytes(),
+    );
+    assert_eq!(status, 201);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    // And the post-recovery append itself replays.
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    let (_, listing3) = send(addr, "GET", "/v1/schemas", b"");
+    assert!(listing3.contains(r#""count":7"#), "{listing3}");
+    assert!(listing3.contains(r#""name":"extra""#), "{listing3}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
