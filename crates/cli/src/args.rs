@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies): subcommands,
 //! `--flag value` and `--flag=value` options, and typed validation.
 
+use qmatch_core::index::IndexPolicy;
 use qmatch_core::model::{LexiconMode, MatchConfig};
 use std::fmt;
 
@@ -41,6 +42,9 @@ MATCH / EVALUATE OPTIONS:
     --matrix-csv <FILE>          also write the full similarity matrix as CSV
     --trace                      print a per-phase pipeline timing report
                                  (prepare, labels, waves) to stderr
+    --index <off|auto|force>     candidate prefilter for match-many/evaluate
+                                 (default: off; auto engages only above the
+                                 candidate floor, force always prefilters)
 
 INSPECT / GENERATE OPTIONS:
     --root <NAME>                global element to compile
@@ -131,6 +135,8 @@ pub struct MatchOptions {
     pub matrix_csv: Option<String>,
     /// Print a per-phase pipeline timing report to stderr.
     pub trace: bool,
+    /// Candidate-index policy for match-many/evaluate.
+    pub index: IndexPolicy,
 }
 
 impl Default for MatchOptions {
@@ -147,6 +153,7 @@ impl Default for MatchOptions {
             thesaurus: None,
             matrix_csv: None,
             trace: false,
+            index: IndexPolicy::Off,
         }
     }
 }
@@ -402,6 +409,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 || built.source_root.is_some()
                 || built.target_root.is_some()
                 || built.trace
+                || built.index != IndexPolicy::Off
             {
                 return Err(err(
                     "serve configures per-request knobs over HTTP; only \
@@ -466,6 +474,7 @@ struct RawOptions {
     thesaurus: Option<String>,
     matrix_csv: Option<String>,
     trace: bool,
+    index: Option<String>,
 }
 
 impl RawOptions {
@@ -523,6 +532,9 @@ impl RawOptions {
         options.thesaurus = self.thesaurus.clone();
         options.matrix_csv = self.matrix_csv.clone();
         options.trace = self.trace;
+        if let Some(policy) = &self.index {
+            options.index = policy.parse::<IndexPolicy>().map_err(err)?;
+        }
         Ok(options)
     }
 
@@ -539,6 +551,7 @@ impl RawOptions {
             || self.thesaurus.is_some()
             || self.matrix_csv.is_some()
             || self.trace
+            || self.index.is_some()
         {
             return Err(err(format!("{sub} does not accept match options")));
         }
@@ -604,6 +617,7 @@ fn parse_common<'a>(
                 "emit-gold" => options.emit_gold = true,
                 "trace" => options.trace = true,
                 "explain" => options.explain = Some(take(&mut args)?),
+                "index" => options.index = Some(take(&mut args)?),
                 "thesaurus" => options.thesaurus = Some(take(&mut args)?),
                 "matrix-csv" => options.matrix_csv = Some(take(&mut args)?),
                 other => return Err(err(format!("unknown option --{other}"))),
@@ -717,6 +731,30 @@ mod tests {
         };
         assert_eq!(options.config.precision, Precision::F32);
         assert!(parse(["inspect", "a.xsd", "--precision", "f32"]).is_err());
+    }
+
+    #[test]
+    fn parses_index_flag() {
+        let cmd = parse(["match-many", "p.tsv", "--index", "force"]).unwrap();
+        let Command::MatchMany { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.index, IndexPolicy::Force);
+        let cmd = parse(["evaluate", "a", "b", "--gold", "g.tsv", "--index=auto"]).unwrap();
+        let Command::Evaluate { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.index, IndexPolicy::Auto);
+        // Off by default, so plain runs stay exhaustive.
+        let cmd = parse(["match", "a.xsd", "b.xsd"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.index, IndexPolicy::Off);
+        // Junk values and non-session subcommands are rejected.
+        assert!(parse(["match-many", "p.tsv", "--index", "banana"]).is_err());
+        assert!(parse(["inspect", "a.xsd", "--index", "auto"]).is_err());
+        assert!(parse(["serve", "--index", "force"]).is_err());
     }
 
     #[test]

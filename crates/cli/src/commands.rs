@@ -4,6 +4,7 @@ use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
 use crate::gold_file;
 use qmatch_core::algorithms::{Algorithm, MatchOutcome};
 use qmatch_core::eval::evaluate;
+use qmatch_core::index::{pair_is_candidate, IndexParams, IndexPolicy};
 use qmatch_core::mapping::{extract_mapping, path_of};
 use qmatch_core::report::{f3, Table};
 use qmatch_core::session::{MatchSession, PreparedSchema};
@@ -151,6 +152,19 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             table.row(["precision".to_owned(), f3(quality.precision)]);
             table.row(["recall".to_owned(), f3(quality.recall)]);
             table.row(["overall".to_owned(), f3(quality.overall)]);
+            if options.index != IndexPolicy::Off {
+                // Report what the candidate prefilter would have decided
+                // for this pair, so gold-standard runs can audit it.
+                let qs = session.signature(&prepared_source);
+                let ts = session.signature(&prepared_target);
+                let admitted = pair_is_candidate(&qs, &ts, &IndexParams::default());
+                table.row(["index policy".to_owned(), options.index.name().to_owned()]);
+                table.row(["prefilter dice".to_owned(), f3(qs.dice(&ts))]);
+                table.row([
+                    "prefilter".to_owned(),
+                    if admitted { "candidate" } else { "pruned" }.to_owned(),
+                ]);
+            }
             print!("{}", table.render());
 
             // List errors for post-match repair, like a matcher UI would.
@@ -256,30 +270,45 @@ fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), Co
             )
         })
         .collect();
-    let outcomes = session.match_corpus(&corpus);
+    let outcomes = session.match_corpus_indexed(&corpus, options.index);
     emit_trace(recorder.as_deref());
     let threshold = options
         .threshold
         .unwrap_or_else(|| options.config.weights.acceptance_threshold());
     if options.total_only {
         for ((source, target), outcome) in rows.iter().zip(&outcomes) {
-            println!("{source}\t{target}\t{}", f3(outcome.total_qom));
+            match outcome {
+                Some(outcome) => println!("{source}\t{target}\t{}", f3(outcome.total_qom)),
+                None => println!("{source}\t{target}\tpruned"),
+            }
         }
         return Ok(());
     }
     let mut table = Table::new(["source", "target", "nodes", "total QoM", "matches"]);
     for (((source, target), outcome), (sp, tp)) in rows.iter().zip(&outcomes).zip(&corpus) {
-        let mapping = extract_mapping(&outcome.matrix, threshold);
+        let (qom, matches) = match outcome {
+            Some(outcome) => {
+                let mapping = extract_mapping(&outcome.matrix, threshold);
+                (f3(outcome.total_qom), mapping.len().to_string())
+            }
+            None => ("pruned".to_owned(), "-".to_owned()),
+        };
         table.row([
             source.clone(),
             target.clone(),
             format!("{}x{}", sp.tree().len(), tp.tree().len()),
-            f3(outcome.total_qom),
-            mapping.len().to_string(),
+            qom,
+            matches,
         ]);
     }
+    // The index note only appears when the prefilter is on, so default
+    // runs keep their byte-identical output.
+    let index_note = match options.index {
+        IndexPolicy::Off => String::new(),
+        policy => format!(", index {}", policy.name()),
+    };
     println!(
-        "{} pair(s), hybrid algorithm, acceptance threshold {}",
+        "{} pair(s), hybrid algorithm, acceptance threshold {}{index_note}",
         rows.len(),
         f3(threshold)
     );

@@ -58,6 +58,7 @@ pub mod algorithms;
 pub mod arena;
 pub mod eval;
 pub mod explain;
+pub mod index;
 pub mod intern;
 pub mod mapping;
 pub mod matrix;
@@ -79,6 +80,9 @@ pub use algorithms::{
 pub use arena::{ArenaStats, MatchArena};
 pub use eval::{evaluate, GoldStandard, MatchQuality};
 pub use explain::{explain_pair, Explanation};
+pub use index::{
+    pair_is_candidate, CandidateSet, CorpusIndex, IndexParams, IndexPolicy, Signature,
+};
 pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
 pub use matrix::{MatrixIndexError, Precision, SimMatrix};

@@ -130,6 +130,18 @@ impl<'t> PreparedSchema<'t> {
         self.props[id.index()]
     }
 
+    /// Case-folded form of each distinct label, in first-seen (pre-order)
+    /// order — the label set the candidate index signs.
+    pub fn distinct_folded(&self) -> &[String] {
+        &self.distinct_folded
+    }
+
+    /// Token sequence per distinct label, parallel to
+    /// [`PreparedSchema::distinct_folded`].
+    pub fn distinct_tokens(&self) -> &[Vec<Token>] {
+        &self.distinct_tokens
+    }
+
     pub(crate) fn waves_by_height(&self) -> &[Vec<NodeId>] {
         &self.waves_height
     }

@@ -25,6 +25,7 @@
 //! (`R`) for every evaluated pair.
 
 pub mod corpus;
+pub mod drift;
 pub mod figures;
 pub mod gold;
 pub mod instances;

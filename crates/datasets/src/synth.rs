@@ -257,7 +257,7 @@ fn fresh_label(word: &str, used: &HashSet<String>, counter: &mut u32) -> String 
 /// Consonant-skeleton abbreviation: first char plus the non-vowels of the
 /// remainder, capped at 4 chars — recognizable by the lexicon's
 /// `looks_like_abbreviation` heuristic. Numeric suffixes are preserved.
-fn abbreviate(label: &str) -> String {
+pub(crate) fn abbreviate(label: &str) -> String {
     let word_end = label
         .find(|c: char| c.is_ascii_digit())
         .unwrap_or(label.len());
@@ -277,7 +277,7 @@ fn abbreviate(label: &str) -> String {
 
 /// Applies the synonym map to a label's word part, preserving any numeric
 /// suffix. Returns `None` when the word has no registered synonym.
-fn synonymize(label: &str) -> Option<String> {
+pub(crate) fn synonymize(label: &str) -> Option<String> {
     let word_end = label
         .find(|c: char| c.is_ascii_digit())
         .unwrap_or(label.len());

@@ -36,6 +36,9 @@ pub enum Relation {
 pub struct Thesaurus {
     /// token -> synset id.
     synset_of: HashMap<String, u32>,
+    /// synset id -> canonical member (lexicographically smallest), the
+    /// stable representative [`Thesaurus::canonical_folded`] returns.
+    canonical: HashMap<u32, String>,
     synset_count: u32,
     /// child token -> parent tokens (hypernyms).
     hypernyms: HashMap<String, Vec<String>>,
@@ -87,8 +90,26 @@ impl Thesaurus {
                 }
             }
         }
+        // The canonical member is the smallest across the merged sets and
+        // the new words — insertion-order independent by construction.
+        let mut canon = self.canonical.remove(&id);
+        for m in &merge_ids {
+            if let Some(c) = self.canonical.remove(m) {
+                canon = Some(match canon {
+                    Some(prev) => prev.min(c),
+                    None => c,
+                });
+            }
+        }
         for w in words {
+            canon = Some(match canon {
+                Some(prev) if prev <= w => prev,
+                _ => w.clone(),
+            });
             self.synset_of.insert(w, id);
+        }
+        if let Some(canon) = canon {
+            self.canonical.insert(id, canon);
         }
     }
 
@@ -216,6 +237,50 @@ impl Thesaurus {
             return Relation::Coordinate;
         }
         Relation::Unrelated
+    }
+
+    /// The stable concept representative for a *pre-folded* token, if the
+    /// thesaurus knows the token at all: members of a synonym set map to
+    /// the set's lexicographically smallest member, registered short forms
+    /// (abbreviations, single-word acronym expansions) map through their
+    /// full form's set. Tokens the thesaurus has never seen return `None`.
+    ///
+    /// Deterministic and insertion-order independent, so it is safe to use
+    /// as a feature key in persistent or cross-session structures (the
+    /// candidate index does exactly that).
+    pub fn canonical_folded(&self, token: &str) -> Option<&str> {
+        let of_full = |full: &str| -> Option<&str> {
+            self.synset_of
+                .get(full)
+                .and_then(|id| self.canonical.get(id))
+                .map(String::as_str)
+        };
+        if let Some(id) = self.synset_of.get(token) {
+            return self.canonical.get(id).map(String::as_str);
+        }
+        if let Some(fulls) = self.abbreviations.get(token) {
+            let full = fulls.iter().min()?;
+            return Some(of_full(full).unwrap_or(full));
+        }
+        if let Some(word) = self
+            .acronyms
+            .get(token)
+            .into_iter()
+            .flatten()
+            .filter(|e| e.len() == 1)
+            .map(|e| e[0].as_str())
+            .min()
+        {
+            return Some(of_full(word).unwrap_or(word));
+        }
+        None
+    }
+
+    /// All registered ancestors of a *pre-folded* token (transitive
+    /// hypernym closure, bounded for safety against malformed cyclic
+    /// data). Order follows the registered edges, deterministically.
+    pub fn ancestors_folded(&self, token: &str) -> Vec<String> {
+        self.ancestors(token)
     }
 
     /// All registered ancestors of `token` (transitive hypernym closure,
@@ -381,5 +446,46 @@ mod tests {
     fn synonym_token_count_reflects_entries() {
         let t = sample();
         assert_eq!(t.synonym_token_count(), 5);
+    }
+
+    #[test]
+    fn canonical_is_the_smallest_set_member() {
+        let t = sample();
+        // {writer, author, creator} -> "author"; {book, volume} -> "book".
+        assert_eq!(t.canonical_folded("writer"), Some("author"));
+        assert_eq!(t.canonical_folded("creator"), Some("author"));
+        assert_eq!(t.canonical_folded("author"), Some("author"));
+        assert_eq!(t.canonical_folded("volume"), Some("book"));
+        // Short forms resolve through their full form's set.
+        assert_eq!(t.canonical_folded("qty"), Some("quantity"));
+        assert_eq!(t.canonical_folded("id"), Some("identifier"));
+        // Unknown tokens have no concept representative.
+        assert_eq!(t.canonical_folded("zeppelin"), None);
+        // Hypernym-only tokens are not canonicalized (direction matters).
+        assert_eq!(t.canonical_folded("publication"), None);
+    }
+
+    #[test]
+    fn canonical_survives_set_merges_order_independently() {
+        let mut fwd = Thesaurus::new();
+        fwd.add_synonyms(["m", "z"]);
+        fwd.add_synonyms(["z", "a"]);
+        let mut rev = Thesaurus::new();
+        rev.add_synonyms(["z", "a"]);
+        rev.add_synonyms(["m", "z"]);
+        for t in [&fwd, &rev] {
+            assert_eq!(t.canonical_folded("m"), Some("a"));
+            assert_eq!(t.canonical_folded("z"), Some("a"));
+        }
+    }
+
+    #[test]
+    fn ancestors_expose_the_transitive_closure() {
+        let t = sample();
+        let a = t.ancestors_folded("book");
+        assert!(a.contains(&"publication".to_owned()));
+        assert!(a.contains(&"work".to_owned()), "transitive: {a:?}");
+        assert!(t.ancestors_folded("work").is_empty());
+        assert!(t.ancestors_folded("zeppelin").is_empty());
     }
 }

@@ -22,6 +22,7 @@ use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
 use crate::persist::Persist;
 use crate::registry::Registry;
+use qmatch_core::index::{IndexParams, IndexPolicy, Signature};
 use qmatch_core::mapping::{extract_mapping, path_of};
 use qmatch_core::session::MatchSession;
 use qmatch_core::{
@@ -515,6 +516,11 @@ pub struct TopkPlan {
     pub k: usize,
     /// Matrix storage precision for every comparison.
     pub precision: Precision,
+    /// Candidate-index policy (`off | auto | force`), echoed in the body.
+    pub policy: IndexPolicy,
+    /// The source's candidate signature, computed once on the reactor so
+    /// every shard filters against the same session-independent hashes.
+    pub signature: Signature,
 }
 
 /// Validates a `/match/topk` request into a [`TopkPlan`]. Runs on the
@@ -522,20 +528,38 @@ pub struct TopkPlan {
 /// `Err` response is NOT yet finalized (the caller applies [`finalize`]).
 pub fn validate_topk(req: &Request, registry: &Registry) -> Result<TopkPlan, Response> {
     let (source, prepared) = required_schema(req, registry, "source")?;
-    let k = match req.query_param("k").unwrap_or("5").parse::<usize>() {
+    let raw_k = req.query_param("k").unwrap_or("5");
+    let k = match raw_k.parse::<usize>() {
         Ok(k) if k > 0 => k,
-        _ => return Err(error(400, "bad_k", "k must be a positive integer")),
+        _ => {
+            return Err(error(
+                400,
+                "bad_k",
+                format!("k {raw_k:?} must be a positive integer"),
+            ))
+        }
     };
     let precision = match parse_precision(req) {
         Ok(p) => p.unwrap_or_else(|| registry.session().config().precision),
         Err(response) => return Err(response),
     };
+    let policy = match req
+        .query_param("index")
+        .unwrap_or("auto")
+        .parse::<IndexPolicy>()
+    {
+        Ok(policy) => policy,
+        Err(message) => return Err(error(400, "bad_index", message)),
+    };
+    let signature = registry.session().signature(prepared.prepared());
     Ok(TopkPlan {
         path: req.path.clone(),
         source,
         prepared,
         k,
         precision,
+        policy,
+        signature,
     })
 }
 
@@ -546,8 +570,19 @@ pub fn validate_topk(req: &Request, registry: &Registry) -> Result<TopkPlan, Res
 pub fn topk_partial(state: &ServeState, shard_index: usize, plan: &TopkPlan) -> Vec<(String, f64)> {
     let shard = state.registry.shard(shard_index);
     let session = shard.session();
+    // The auto policy keys off the GLOBAL registry size, never the
+    // shard-local one: every shard must make the same indexed/exhaustive
+    // decision or the ranking would depend on how names hash to shards.
+    let indexed = plan
+        .policy
+        .engages(state.registry.len(), &IndexParams::default());
+    let names = if indexed {
+        shard.candidates(&plan.signature)
+    } else {
+        shard.names()
+    };
     let mut ranking: Vec<(String, f64)> = Vec::new();
-    for name in shard.names() {
+    for name in names {
         if name == plan.source {
             continue;
         }
@@ -628,6 +663,7 @@ pub fn topk_render(plan: &TopkPlan, partials: Vec<(String, f64)>) -> Response {
             .field("source", Json::str(plan.source.clone()))
             .field("k", Json::UInt(plan.k as u64))
             .field("precision", Json::str(plan.precision.name()))
+            .field("index", Json::str(plan.policy.name()))
             .field("ranking", Json::Arr(entries))
             .render(),
     )
@@ -921,10 +957,112 @@ mod tests {
             order_pos < book_pos,
             "near-identical schema outranks the unrelated one: {text}"
         );
-        let (_, response) = handle(&request("POST", "/match/topk?source=po&k=0", b""), &state);
-        assert_eq!(response.status, 400);
         let (_, response) = handle(&request("POST", "/match/topk?source=ghost", b""), &state);
         assert_eq!(response.status, 404);
+        // k=0 and non-numeric k both answer a typed 400 naming the value.
+        for target in ["/match/topk?source=po&k=0", "/match/topk?source=po&k=three"] {
+            let (_, response) = handle(&request("POST", target, b""), &state);
+            assert_eq!(response.status, 400, "{target}");
+            let text = body_text(&response);
+            assert!(text.contains("bad_k"), "{target}: {text}");
+        }
+    }
+
+    #[test]
+    fn topk_index_param_validates_and_echoes() {
+        let state = state();
+        handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
+        // The default policy is auto, echoed in every topk body.
+        let (_, response) = handle(&request("POST", "/match/topk?source=po", b""), &state);
+        assert_eq!(response.status, 200);
+        assert!(body_text(&response).contains(r#""index":"auto""#));
+        for policy in ["off", "auto", "force"] {
+            let (_, response) = handle(
+                &request(
+                    "POST",
+                    &format!("/match/topk?source=po&index={policy}"),
+                    b"",
+                ),
+                &state,
+            );
+            assert_eq!(response.status, 200, "{policy}");
+            let text = body_text(&response);
+            assert!(text.contains(&format!(r#""index":"{policy}""#)), "{text}");
+        }
+        let (_, response) = handle(
+            &request("POST", "/match/topk?source=po&index=banana", b""),
+            &state,
+        );
+        assert_eq!(response.status, 400);
+        assert!(body_text(&response).contains("bad_index"));
+    }
+
+    #[test]
+    fn forced_index_is_shard_count_invariant_and_matches_exhaustive() {
+        let single = state();
+        let sharded = state_with(Registry::new(
+            (0..4)
+                .map(|i| Arc::new(Shard::new(i, MatchSession::new(MatchConfig::default()), 8)))
+                .collect(),
+        ));
+        // Near-duplicates of the source (index candidates) plus one
+        // unrelated schema the prefilter prunes.
+        let order = PO.replace("\"PO\"", "\"Order\"");
+        let purchase = PO.replace("\"PO\"", "\"Purchase\"");
+        let invoice = PO.replace("\"PO\"", "\"Invoice\"");
+        let book = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Book">
+    <xs:complexType><xs:sequence>
+      <xs:element name="Title" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        for (name, body) in [
+            ("po", PO),
+            ("order", order.as_str()),
+            ("purchase", &purchase),
+            ("invoice", &invoice),
+            ("book", book),
+        ] {
+            for s in [&single, &sharded] {
+                let (_, response) = handle(
+                    &request("PUT", &format!("/schemas/{name}"), body.as_bytes()),
+                    s,
+                );
+                assert_eq!(response.status, 201, "{name}");
+            }
+        }
+        // The candidate predicate is pair-local, so the union of per-shard
+        // candidate sets equals the single-shard set: indexed rankings are
+        // byte-identical across partitionings.
+        for target in [
+            "/match/topk?source=po&k=5&index=force",
+            "/match/topk?source=po&k=2&index=force",
+        ] {
+            let (_, a) = handle(&request("POST", target, b""), &single);
+            let (_, b) = handle(&request("POST", target, b""), &sharded);
+            assert_eq!(a.status, 200, "{target}");
+            assert_eq!(a.body, b.body, "{target}");
+        }
+        // The near-duplicates all survive the prefilter, so the forced
+        // ranking matches the exhaustive one apart from the echoed policy.
+        let (_, off) = handle(
+            &request("POST", "/match/topk?source=po&k=3&index=off", b""),
+            &single,
+        );
+        let (_, force) = handle(
+            &request("POST", "/match/topk?source=po&k=3&index=force", b""),
+            &single,
+        );
+        assert_eq!(
+            body_text(&off).replace(r#""index":"off""#, r#""index":"force""#),
+            body_text(&force)
+        );
+        // The forced queries exercised the shard indexes: candidates were
+        // admitted and the unrelated schema was pruned at least once.
+        let snapshot = single.registry.snapshot();
+        assert!(snapshot.index_candidates > 0, "{snapshot:?}");
+        assert!(snapshot.index_filtered > 0, "{snapshot:?}");
     }
 
     #[test]

@@ -125,6 +125,10 @@ pub struct RegistrySnapshot {
     pub label_hits: u64,
     /// Label-cache misses of the shared match session.
     pub label_misses: u64,
+    /// Schemas admitted as topk candidates by the shard indexes.
+    pub index_candidates: u64,
+    /// Schemas pruned by the shard indexes before the DP ran.
+    pub index_filtered: u64,
 }
 
 impl RegistrySnapshot {
@@ -333,6 +337,12 @@ impl Metrics {
             "qmatch_label_cache_hit_rate {}",
             fmt_f64(registry.label_hit_rate())
         );
+        let _ = writeln!(out, "qmatch_index_candidates {}", registry.index_candidates);
+        let _ = writeln!(
+            out,
+            "qmatch_index_filtered_total {}",
+            registry.index_filtered
+        );
         // Per-phase pipeline observability (fed by PhaseSink). Phases that
         // never fired are skipped so a fresh server stays terse.
         for phase in Phase::ALL {
@@ -489,12 +499,16 @@ mod tests {
             evictions: 1,
             label_hits: 75,
             label_misses: 25,
+            index_candidates: 7,
+            index_filtered: 93,
         };
         let text = m.render(&snapshot);
         assert!(text.contains("qmatch_bytes_ingested_total 1234"));
         assert!(text.contains("qmatch_rejected_by_limits_total 1"));
         assert!(text.contains("qmatch_registry_schemas 3"));
         assert!(text.contains("qmatch_label_cache_hit_rate 0.75"));
+        assert!(text.contains("qmatch_index_candidates 7"));
+        assert!(text.contains("qmatch_index_filtered_total 93"));
         let summary = m.summary(&snapshot);
         assert!(summary.contains("3 schema(s)"), "{summary}");
         assert!(summary.contains("hit rate 0.75"), "{summary}");

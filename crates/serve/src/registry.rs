@@ -155,6 +155,8 @@ impl Registry {
             total.evictions += s.evictions;
             total.label_hits += s.label_hits;
             total.label_misses += s.label_misses;
+            total.index_candidates += s.index_candidates;
+            total.index_filtered += s.index_filtered;
         }
         total
     }

@@ -20,6 +20,7 @@
 use crate::handlers::{self, ServeState, TopkPlan};
 use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, RegistrySnapshot};
+use qmatch_core::index::{CorpusIndex, Signature};
 use qmatch_core::session::{MatchSession, OwnedPreparedSchema};
 use qmatch_core::trace::{Phase, Span};
 use qmatch_xsd::{SchemaTree, TreeProfile};
@@ -62,6 +63,10 @@ struct Resident {
 struct Inner {
     entries: BTreeMap<String, Entry>,
     resident: HashMap<String, Resident>,
+    /// Shard-local candidate index over this partition's signatures,
+    /// maintained on every registration (PUT and WAL replay both funnel
+    /// through [`Shard::register`]).
+    index: CorpusIndex,
 }
 
 /// One registry partition: the schemas this shard owns, their prepared
@@ -77,6 +82,8 @@ pub struct Shard {
     prepare_hits: AtomicU64,
     prepare_misses: AtomicU64,
     evictions: AtomicU64,
+    index_candidates: AtomicU64,
+    index_filtered: AtomicU64,
 }
 
 impl Shard {
@@ -92,6 +99,8 @@ impl Shard {
             prepare_hits: AtomicU64::new(0),
             prepare_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            index_candidates: AtomicU64::new(0),
+            index_filtered: AtomicU64::new(0),
         }
     }
 
@@ -112,7 +121,9 @@ impl Shard {
         let profile = TreeProfile::of(&tree);
         let tree = Arc::new(tree);
         let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
+        let signature = self.session.signature(prepared.prepared());
         let mut inner = self.inner.write().expect("shard lock");
+        inner.index.insert(name, signature);
         let tick = self.next_tick();
         let replaced = inner
             .entries
@@ -242,6 +253,31 @@ impl Shard {
             .collect()
     }
 
+    /// The candidate floor of this shard's index: under the `auto` index
+    /// policy, registries at or below this size rank exhaustively.
+    pub fn candidate_floor(&self) -> usize {
+        self.inner.read().expect("shard lock").index.params().floor
+    }
+
+    /// Candidate names from this shard's partition for an indexed topk
+    /// query, sorted. The candidate predicate is pair-local (see
+    /// `qmatch_core::index`), so the union across shards is independent
+    /// of the shard count. Feeds the `qmatch_index_candidates` /
+    /// `qmatch_index_filtered_total` counters.
+    pub fn candidates(&self, query: &Signature) -> Vec<String> {
+        let set = self
+            .inner
+            .read()
+            .expect("shard lock")
+            .index
+            .candidates(query);
+        self.index_candidates
+            .fetch_add(set.names.len() as u64, Ordering::Relaxed);
+        self.index_filtered
+            .fetch_add(set.pruned as u64, Ordering::Relaxed);
+        set.names
+    }
+
     /// Listing metadata for this shard's partition, sorted by name.
     pub fn list(&self) -> Vec<SchemaInfo> {
         let inner = self.inner.read().expect("shard lock");
@@ -285,6 +321,8 @@ impl Shard {
             evictions: self.evictions.load(Ordering::Relaxed),
             label_hits: labels.hits,
             label_misses: labels.misses,
+            index_candidates: self.index_candidates.load(Ordering::Relaxed),
+            index_filtered: self.index_filtered.load(Ordering::Relaxed),
         }
     }
 }
