@@ -13,6 +13,7 @@ USAGE:
     qmatch match <SOURCE.xsd> <TARGET.xsd> [options]
     qmatch match-many <PAIRS.tsv> [options]
     qmatch inspect <SCHEMA.xsd> [--root NAME]
+    qmatch diff <OLD.xsd> <NEW.xsd> [--root NAME]
     qmatch evaluate <SOURCE.xsd> <TARGET.xsd> --gold <GOLD.tsv> [options]
     qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
     qmatch generate <SCHEMA.xsd> [--seed N] [--root NAME]
@@ -46,9 +47,15 @@ MATCH / EVALUATE OPTIONS:
                                  (default: off; auto engages only above the
                                  candidate floor, force always prefilters)
 
-INSPECT / GENERATE OPTIONS:
-    --root <NAME>                global element to compile
+INSPECT / DIFF / GENERATE OPTIONS:
+    --root <NAME>                global element to compile (diff applies it
+                                 to both revisions)
     --seed <N>                   generation seed (generate only; default 7)
+
+DIFF:
+    diff treats OLD and NEW as two revisions of one schema and prints the
+    typed edit script (rename/move/insert/delete/prop-change) plus the
+    dirty-node summary the incremental re-match planner would see.
 
 FUZZ OPTIONS:
     --seed <N>                   master fuzzing seed (default 0)
@@ -68,6 +75,11 @@ SERVE OPTIONS:
                                  the queue answer 503 (default: 30000)
     --data-dir <PATH>            durable registry directory (WAL + snapshots,
                                  replayed on boot; default: in-memory only)
+    --fsync-batch-ms <N>         WAL group-commit window: 0 fsyncs every
+                                 accepted write before its response; N > 0
+                                 fsyncs at most once per window, trading a
+                                 bounded crash-loss window for PUT/DELETE
+                                 throughput (default: 0)
     --precision <f32|f64>        default similarity-matrix precision; the
                                  precision= query parameter still wins
     also accepts --weights/--child-threshold/--lexicon/--thesaurus for the
@@ -184,6 +196,15 @@ pub enum Command {
         /// Root element override.
         root: Option<String>,
     },
+    /// `qmatch diff`.
+    Diff {
+        /// Old schema revision path.
+        old: String,
+        /// New schema revision path.
+        new: String,
+        /// Root element override, applied to both revisions.
+        root: Option<String>,
+    },
     /// `qmatch evaluate`.
     Evaluate {
         /// Source schema path.
@@ -237,6 +258,8 @@ pub enum Command {
         deadline_ms: u64,
         /// Durable registry directory (`None` serves in-memory only).
         data_dir: Option<String>,
+        /// WAL group-commit window in milliseconds (0 = per-write fsync).
+        fsync_batch_ms: u64,
         /// Session options (weights, lexicon, precision, thesaurus).
         options: MatchOptions,
     },
@@ -301,6 +324,16 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
             let [schema] = one_positional(positional, "inspect")?;
             Ok(Command::Inspect {
                 schema,
+                root: options.root,
+            })
+        }
+        "diff" => {
+            let (positional, options) = parse_common(args)?;
+            options.reject_match_options("diff")?;
+            let [old, new] = two_positional(positional, "diff")?;
+            Ok(Command::Diff {
+                old,
+                new,
                 root: options.root,
             })
         }
@@ -394,6 +427,17 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
             if deadline_ms == 0 {
                 return Err(err("--deadline-ms must be at least 1"));
             }
+            let fsync_batch_ms = match options.fsync_batch_ms.as_deref() {
+                Some(v) => v.parse::<u64>().map_err(|_| {
+                    err(format!("--fsync-batch-ms {v:?} is not an unsigned integer"))
+                })?,
+                None => 0,
+            };
+            if fsync_batch_ms > 0 && options.data_dir.is_none() {
+                return Err(err(
+                    "--fsync-batch-ms only applies to a durable registry; give --data-dir too",
+                ));
+            }
             let data_dir = options.data_dir.clone();
             let addr = options
                 .addr
@@ -423,6 +467,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
                 queue_depth,
                 deadline_ms,
                 data_dir,
+                fsync_batch_ms,
                 options: built,
             })
         }
@@ -468,6 +513,7 @@ struct RawOptions {
     queue_depth: Option<String>,
     deadline_ms: Option<String>,
     data_dir: Option<String>,
+    fsync_batch_ms: Option<String>,
     total_only: bool,
     emit_gold: bool,
     explain: Option<String>,
@@ -613,6 +659,7 @@ fn parse_common<'a>(
                 "queue-depth" => options.queue_depth = Some(take(&mut args)?),
                 "deadline-ms" => options.deadline_ms = Some(take(&mut args)?),
                 "data-dir" => options.data_dir = Some(take(&mut args)?),
+                "fsync-batch-ms" => options.fsync_batch_ms = Some(take(&mut args)?),
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
                 "trace" => options.trace = true,
@@ -897,6 +944,7 @@ mod tests {
             queue_depth,
             deadline_ms,
             data_dir,
+            fsync_batch_ms,
             options,
         } = cmd
         else {
@@ -908,6 +956,7 @@ mod tests {
         assert_eq!(queue_depth, 512);
         assert_eq!(deadline_ms, 30_000);
         assert_eq!(data_dir, None);
+        assert_eq!(fsync_batch_ms, 0, "per-write durability by default");
         assert_eq!(options.config, MatchConfig::default());
         let cmd = parse([
             "serve",
@@ -921,6 +970,7 @@ mod tests {
             "--deadline-ms=2500",
             "--data-dir",
             "/var/lib/qmatch",
+            "--fsync-batch-ms=25",
             "--lexicon",
             "exact",
         ])
@@ -932,6 +982,7 @@ mod tests {
             queue_depth,
             deadline_ms,
             data_dir,
+            fsync_batch_ms,
             options,
         } = cmd
         else {
@@ -943,6 +994,7 @@ mod tests {
         assert_eq!(queue_depth, 16);
         assert_eq!(deadline_ms, 2500);
         assert_eq!(data_dir.as_deref(), Some("/var/lib/qmatch"));
+        assert_eq!(fsync_batch_ms, 25);
         assert_eq!(options.config.lexicon, LexiconMode::ExactOnly);
         // --threads survives as an alias for --shards.
         let cmd = parse(["serve", "--threads", "2"]).unwrap();
@@ -967,6 +1019,34 @@ mod tests {
         assert!(parse(["serve", "--explain", "PO/Qty"]).is_err());
         assert!(parse(["serve", "--total-only"]).is_err());
         assert!(parse(["serve", "--source-root", "PO"]).is_err());
+        assert!(parse(["serve", "--fsync-batch-ms", "soon"]).is_err());
+        // Group commit without a durable registry is a configuration
+        // mistake, not a silent no-op.
+        assert!(parse(["serve", "--fsync-batch-ms", "25"]).is_err());
+        assert!(parse(["serve", "--data-dir", "d", "--fsync-batch-ms", "0"]).is_ok());
+    }
+
+    #[test]
+    fn parses_diff() {
+        assert_eq!(
+            parse(["diff", "old.xsd", "new.xsd"]).unwrap(),
+            Command::Diff {
+                old: "old.xsd".into(),
+                new: "new.xsd".into(),
+                root: None
+            }
+        );
+        assert_eq!(
+            parse(["diff", "old.xsd", "new.xsd", "--root", "PO"]).unwrap(),
+            Command::Diff {
+                old: "old.xsd".into(),
+                new: "new.xsd".into(),
+                root: Some("PO".into())
+            }
+        );
+        assert!(parse(["diff", "only-one.xsd"]).is_err());
+        assert!(parse(["diff", "a.xsd", "b.xsd", "--algorithm", "hybrid"]).is_err());
+        assert!(parse(["diff", "a.xsd", "b.xsd", "--trace"]).is_err());
     }
 
     #[test]

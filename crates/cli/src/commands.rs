@@ -38,6 +38,7 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             Ok(())
         }
         Command::Inspect { schema, root } => inspect(&schema, root.as_deref()),
+        Command::Diff { old, new, root } => diff_command(&old, &new, root.as_deref()),
         Command::Validate { schema, instance } => validate_instance(&schema, &instance),
         Command::Generate { schema, root, seed } => generate(&schema, root.as_deref(), seed),
         Command::Fuzz {
@@ -53,6 +54,7 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             queue_depth,
             deadline_ms,
             data_dir,
+            fsync_batch_ms,
             options,
         } => serve(
             &addr,
@@ -61,6 +63,7 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             queue_depth,
             deadline_ms,
             data_dir.as_deref(),
+            fsync_batch_ms,
             &options,
         ),
         Command::Match {
@@ -449,6 +452,7 @@ fn load_pair(
 
 /// Boots the HTTP match server and blocks until SIGINT/SIGTERM, then
 /// prints the activity summary to stderr.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     shards: usize,
@@ -456,6 +460,7 @@ fn serve(
     queue_depth: usize,
     deadline_ms: u64,
     data_dir: Option<&str>,
+    fsync_batch_ms: u64,
     options: &MatchOptions,
 ) -> Result<(), CommandError> {
     let config = qmatch_serve::ServerConfig {
@@ -468,6 +473,7 @@ fn serve(
         queue_depth,
         deadline: std::time::Duration::from_millis(deadline_ms),
         data_dir: data_dir.map(std::path::PathBuf::from),
+        fsync_batch: std::time::Duration::from_millis(fsync_batch_ms),
         ..qmatch_serve::ServerConfig::default()
     };
     qmatch_serve::install_signal_handlers();
@@ -572,5 +578,78 @@ fn inspect(path: &str, root: Option<&str>) -> Result<(), CommandError> {
         );
         let _ = id;
     }
+    Ok(())
+}
+
+/// `qmatch diff`: the typed edit script between two revisions of a schema,
+/// plus the dirty-node summary the incremental re-match planner consumes.
+fn diff_command(old: &str, new: &str, root: Option<&str>) -> Result<(), CommandError> {
+    let old_tree = load_tree(old, root)?;
+    let new_tree = load_tree(new, root)?;
+    let diff = qmatch_core::diff::TreeDiff::compute(&old_tree, &new_tree);
+    println!(
+        "{} ({} nodes) -> {} ({} nodes)",
+        old_tree.name(),
+        old_tree.len(),
+        new_tree.name(),
+        new_tree.len()
+    );
+    if diff.is_identity() {
+        println!("revisions are identical: no edits");
+        return Ok(());
+    }
+    println!("\nedit script ({} op(s)):", diff.ops().len());
+    for op in diff.ops() {
+        println!("  {op}");
+    }
+    let counts = diff.op_counts();
+    let mut table = Table::new(["measure", "value"]);
+    table.row(["renames".to_owned(), counts.renames.to_string()]);
+    table.row(["moves".to_owned(), counts.moves.to_string()]);
+    table.row([
+        "inserts".to_owned(),
+        format!("{} ({} node(s))", counts.inserts, counts.inserted_nodes),
+    ]);
+    table.row([
+        "deletes".to_owned(),
+        format!("{} ({} node(s))", counts.deletes, counts.deleted_nodes),
+    ]);
+    table.row(["prop changes".to_owned(), counts.prop_changes.to_string()]);
+    table.row([
+        "dirty nodes".to_owned(),
+        format!(
+            "{} / {} ({})",
+            diff.dirty_count(),
+            new_tree.len(),
+            f3(diff.dirty_fraction())
+        ),
+    ]);
+    table.row([
+        "recompute rows".to_owned(),
+        format!(
+            "{} / {} ({})",
+            diff.recompute_count(),
+            new_tree.len(),
+            f3(diff.recompute_fraction())
+        ),
+    ]);
+    table.row(["shape changed".to_owned(), diff.shape_changed().to_string()]);
+    // The same plan the serve hot-update path would pick for a re-match
+    // against an unchanged target.
+    let incremental = !diff.shape_changed()
+        && diff.recompute_fraction() <= qmatch_core::EVOLVE_FALLBACK_THRESHOLD;
+    table.row([
+        "re-match plan".to_owned(),
+        if incremental {
+            "incremental (dirty rows + ancestors)".to_owned()
+        } else {
+            format!(
+                "full recompute (shape changed or recompute fraction > {})",
+                qmatch_core::EVOLVE_FALLBACK_THRESHOLD
+            )
+        },
+    ]);
+    println!();
+    print!("{}", table.render());
     Ok(())
 }

@@ -26,6 +26,7 @@
 
 use super::{compare_single_labels, matcher_for_mode, LabelMatrix, MatchOutcome};
 use crate::arena::{MatchArena, RowScratch};
+use crate::diff::TreeDiff;
 use crate::matrix::{Precision, RawRows, Score, SimMatrix};
 use crate::model::{children_qom, MatchConfig};
 use crate::par;
@@ -163,6 +164,149 @@ pub(crate) fn hybrid_match_impl(
     }
     let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
     MatchOutcome { matrix, total_qom }
+}
+
+/// The incremental re-match engine (DESIGN.md §17). Rows outside the
+/// diff's recompute closure are copied verbatim from `previous` (the
+/// finished matrix of the *old* source against the same target) at their
+/// old row indices; rows inside the closure rerun the standard
+/// [`kernel_row`] wave by wave. Because a DP row is a pure function of the
+/// node's own facts and its children's finalized rows, the result is
+/// bit-identical to a full recompute — the property `tests` in
+/// `qmatch-datasets` pin this over drift-generated mutation chains.
+///
+/// The caller ([`MatchSession::rematch_with_precision`]) guarantees:
+/// `previous` has `diff.old_len()` rows, `target.tree().len()` columns, and
+/// storage precision `precision`.
+///
+/// [`MatchSession::rematch_with_precision`]: crate::session::MatchSession::rematch_with_precision
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hybrid_rematch_impl(
+    source: &PreparedSchema,
+    target: &PreparedSchema,
+    config: &MatchConfig,
+    labels: &LabelMatrix,
+    diff: &TreeDiff,
+    previous: &SimMatrix,
+    parallel: bool,
+    trace: &Trace,
+    arena: &MatchArena,
+    precision: Precision,
+) -> MatchOutcome {
+    let (rows, cols) = (source.tree().len(), target.tree().len());
+    debug_assert_eq!(previous.rows(), diff.old_len());
+    debug_assert_eq!(previous.cols(), cols);
+    debug_assert_eq!(previous.precision(), precision);
+    let t0 = trace.start();
+    let mut matrix = arena.take_matrix(rows, cols, precision);
+    let tables = PairTables::build(source, target, labels);
+    trace.finish(
+        t0,
+        Span {
+            rows: rows as u64,
+            cells: (rows * cols) as u64,
+            ..Span::empty(Phase::Alloc)
+        },
+    );
+    match precision {
+        Precision::F64 => run_waves_incremental::<f64>(
+            source,
+            config,
+            &tables,
+            diff,
+            previous,
+            parallel,
+            trace,
+            arena,
+            &mut matrix,
+        ),
+        Precision::F32 => run_waves_incremental::<f32>(
+            source,
+            config,
+            &tables,
+            diff,
+            previous,
+            parallel,
+            trace,
+            arena,
+            &mut matrix,
+        ),
+    }
+    let total_qom = matrix.get(source.tree().root_id(), target.tree().root_id());
+    MatchOutcome { matrix, total_qom }
+}
+
+/// Wavefront driver of the incremental re-match: clean rows are copied
+/// up-front (they are finalized facts of the previous revision and depend
+/// on nothing computed here), then each bottom-up wave recomputes only its
+/// closure rows. A recomputed row's children are either clean (copied
+/// before the waves started) or members of earlier waves — finalized either
+/// way, exactly the invariant [`kernel_row`] already relies on.
+#[allow(clippy::too_many_arguments)]
+fn run_waves_incremental<S: Score>(
+    source: &PreparedSchema,
+    config: &MatchConfig,
+    tables: &PairTables,
+    diff: &TreeDiff,
+    previous: &SimMatrix,
+    parallel: bool,
+    trace: &Trace,
+    arena: &MatchArena,
+    matrix: &mut SimMatrix,
+) {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let raw = RawRows::<S>::new(matrix).expect("matrix storage matches the kernel scalar");
+    let prev = S::data_vec(previous).expect("previous matrix matches the kernel scalar");
+    for r in 0..rows {
+        let id = NodeId(r as u32);
+        if diff.needs_recompute(id) {
+            continue;
+        }
+        let old_r = diff
+            .old_of(id)
+            .expect("nodes outside the recompute closure are matched")
+            .index();
+        // SAFETY: single-threaded copy phase before any wave runs; each row
+        // is written at most once and recomputed rows are never touched.
+        unsafe {
+            raw.row_mut(r)
+                .copy_from_slice(&prev[old_r * cols..(old_r + 1) * cols]);
+        }
+    }
+    for (w, wave) in source.waves_by_height().iter().enumerate() {
+        let live: Vec<NodeId> = wave
+            .iter()
+            .copied()
+            .filter(|&id| diff.needs_recompute(id))
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        let t0 = trace.start();
+        let states = par::for_rows_with(
+            live.len(),
+            parallel,
+            || (arena.take_scratch(cols), 0u64),
+            |(scratch, skipped), i| {
+                *skipped += kernel_row::<S>(&raw, live[i], source, config, tables, scratch);
+            },
+        );
+        let mut skipped = 0u64;
+        for (scratch, n) in states {
+            arena.put_scratch(scratch);
+            skipped += n;
+        }
+        trace.finish(
+            t0,
+            Span {
+                wave: w as u32,
+                rows: live.len() as u64,
+                cells: (live.len() * cols) as u64,
+                skipped,
+                ..Span::empty(Phase::HybridWave)
+            },
+        );
+    }
 }
 
 /// Per-pair lookup tables gathered once per match so the wave kernels run

@@ -33,7 +33,9 @@ pub use structural::{structural_match, structural_match_sequential};
 pub use tree_edit::tree_edit_match;
 
 pub(crate) use composite::composite_match_impl;
-pub(crate) use hybrid::{hybrid_match_impl, root_category_with_label, use_parallel};
+pub(crate) use hybrid::{
+    hybrid_match_impl, hybrid_rematch_impl, root_category_with_label, use_parallel,
+};
 pub(crate) use linguistic::linguistic_match_impl;
 pub(crate) use structural::structural_match_impl;
 
@@ -221,6 +223,33 @@ impl LabelMatrix {
     /// Width (distinct target labels) of the distinct table.
     pub(crate) fn distinct_cols_raw(&self) -> usize {
         self.distinct_cols
+    }
+
+    /// Height (distinct source labels) of the distinct table.
+    pub(crate) fn distinct_rows_raw(&self) -> usize {
+        self.table
+            .len()
+            .checked_div(self.distinct_cols)
+            .unwrap_or(0)
+    }
+
+    /// One distinct source label's comparison row — the unit the evolved
+    /// label build copies wholesale for labels shared between revisions.
+    pub(crate) fn distinct_row_raw(&self, row: usize) -> &[NameMatch] {
+        &self.table[row * self.distinct_cols..(row + 1) * self.distinct_cols]
+    }
+}
+
+// The full table is thousands of cells; a dimensional summary is what a
+// debug dump of a containing struct (e.g. `evolve::Rematch`) wants.
+impl std::fmt::Debug for LabelMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelMatrix")
+            .field("source_nodes", &self.source_ids.len())
+            .field("target_nodes", &self.target_ids.len())
+            .field("distinct_rows", &self.distinct_rows_raw())
+            .field("distinct_cols", &self.distinct_cols)
+            .finish_non_exhaustive()
     }
 }
 

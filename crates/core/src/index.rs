@@ -36,7 +36,8 @@ use crate::algorithms::MatchOutcome;
 use crate::session::{MatchSession, PreparedSchema};
 use qmatch_lexicon::name_match::NameMatcher;
 use qmatch_lexicon::thesaurus::Thesaurus;
-use std::collections::HashMap;
+use qmatch_lexicon::tokenize::Token;
+use std::collections::{HashMap, HashSet};
 use std::str::FromStr;
 
 /// FNV-1a 64-bit over a namespace byte plus content — the feature hash.
@@ -195,6 +196,37 @@ fn push_concepts(features: &mut Vec<u64>, thesaurus: &Thesaurus, token: &str) {
     }
 }
 
+/// Pushes every feature one distinct folded label contributes: the label
+/// hash, per-token hashes with consonant skeletons and thesaurus concepts,
+/// and the character trigrams. A pure function of `(label, tokens,
+/// thesaurus)` — both [`Signature::of`] and [`Signature::evolved`] build
+/// their feature sets exclusively through this, which is what makes the
+/// incremental union below exact.
+fn push_label_features(
+    features: &mut Vec<u64>,
+    thesaurus: &Thesaurus,
+    label: &str,
+    label_tokens: &[Token],
+) {
+    let bytes = label.as_bytes();
+    features.push(feature_hash(NS_LABEL, bytes));
+    for token in label_tokens {
+        let token = token.as_str();
+        features.push(feature_hash(NS_TOKEN, token.as_bytes()));
+        if token.len() >= 3 {
+            features.push(feature_hash(NS_SKELETON, skeleton(token).as_bytes()));
+        }
+        push_concepts(features, thesaurus, token);
+    }
+    if bytes.len() < 3 {
+        features.push(feature_hash(NS_GRAM, bytes));
+    } else {
+        for gram in bytes.windows(3) {
+            features.push(feature_hash(NS_GRAM, gram));
+        }
+    }
+}
+
 impl Signature {
     /// Extracts the signature of a prepared schema. The matcher supplies
     /// the thesaurus the concept features hash through — use the same
@@ -208,23 +240,7 @@ impl Signature {
         let tokens = prepared.distinct_tokens();
         let mut features = Vec::with_capacity(folded.len() * 8);
         for (label, label_tokens) in folded.iter().zip(tokens) {
-            let bytes = label.as_bytes();
-            features.push(feature_hash(NS_LABEL, bytes));
-            for token in label_tokens {
-                let token = token.as_str();
-                features.push(feature_hash(NS_TOKEN, token.as_bytes()));
-                if token.len() >= 3 {
-                    features.push(feature_hash(NS_SKELETON, skeleton(token).as_bytes()));
-                }
-                push_concepts(&mut features, thesaurus, token);
-            }
-            if bytes.len() < 3 {
-                features.push(feature_hash(NS_GRAM, bytes));
-            } else {
-                for gram in bytes.windows(3) {
-                    features.push(feature_hash(NS_GRAM, gram));
-                }
-            }
+            push_label_features(&mut features, thesaurus, label, label_tokens);
         }
         features.sort_unstable();
         features.dedup();
@@ -233,6 +249,52 @@ impl Signature {
             nodes: prepared.tree().len() as u32,
             depth: prepared.tree().max_depth(),
         }
+    }
+
+    /// Updates `self` (the signature of the *old* revision, built with the
+    /// same `matcher`) across a schema evolution, without re-hashing the
+    /// unchanged labels. The feature set is a deduplicated union over the
+    /// distinct folded labels, so:
+    ///
+    /// - equal label sets reuse the old features verbatim (only the
+    ///   node-count and depth bands change);
+    /// - added labels merge in exactly their `push_label_features`
+    ///   contribution;
+    /// - removed labels return `None` — a deduplicated union cannot be
+    ///   subtracted from (another label may contribute the same feature),
+    ///   so the caller must rebuild with [`Signature::of`].
+    ///
+    /// When `Some`, the result is identical to `Signature::of(new,
+    /// matcher)`.
+    pub fn evolved(
+        &self,
+        old: &PreparedSchema<'_>,
+        new: &PreparedSchema<'_>,
+        matcher: &NameMatcher,
+    ) -> Option<Signature> {
+        let old_set: HashSet<&str> = old.distinct_folded().iter().map(String::as_str).collect();
+        let new_set: HashSet<&str> = new.distinct_folded().iter().map(String::as_str).collect();
+        if !old_set.iter().all(|label| new_set.contains(label)) {
+            return None;
+        }
+        let mut features = self.features.clone();
+        let thesaurus = matcher.thesaurus();
+        let mut added = false;
+        for (label, tokens) in new.distinct_folded().iter().zip(new.distinct_tokens()) {
+            if !old_set.contains(label.as_str()) {
+                push_label_features(&mut features, thesaurus, label, tokens);
+                added = true;
+            }
+        }
+        if added {
+            features.sort_unstable();
+            features.dedup();
+        }
+        Some(Signature {
+            features,
+            nodes: new.tree().len() as u32,
+            depth: new.tree().max_depth(),
+        })
     }
 
     /// Number of distinct features.
@@ -400,6 +462,18 @@ impl CorpusIndex {
         self.by_name.is_empty()
     }
 
+    /// The signature registered under `name`, if any — the seed for
+    /// [`Signature::evolved`] on the serve hot-update path.
+    pub fn get(&self, name: &str) -> Option<&Signature> {
+        let id = *self.by_name.get(name)?;
+        Some(
+            &self.docs[id as usize]
+                .as_ref()
+                .expect("doc slot in sync")
+                .signature,
+        )
+    }
+
     /// Indexes (or replaces) a schema's signature under `name`.
     pub fn insert(&mut self, name: &str, signature: Signature) {
         self.remove(name);
@@ -480,6 +554,18 @@ impl MatchSession {
     /// produce identical signatures.
     pub fn signature(&self, prepared: &PreparedSchema<'_>) -> Signature {
         Signature::of(prepared, self.matcher())
+    }
+
+    /// [`Signature::evolved`] through this session's matcher: incrementally
+    /// updates a resident signature across a schema revision, or `None`
+    /// when labels were removed and the caller must re-sign from scratch.
+    pub fn signature_evolved(
+        &self,
+        old_signature: &Signature,
+        old: &PreparedSchema<'_>,
+        new: &PreparedSchema<'_>,
+    ) -> Option<Signature> {
+        old_signature.evolved(old, new, self.matcher())
     }
 
     /// Ranks `corpus` against `source` by hybrid root QoM and returns the
@@ -630,6 +716,51 @@ mod tests {
         assert_eq!(sig_a.nodes(), 4);
         assert_eq!(sig_a.depth(), 1);
         assert!(sig_a.len() > 4, "labels + tokens + trigrams");
+    }
+
+    #[test]
+    fn evolved_signatures_match_from_scratch_builds() {
+        let session = MatchSession::new(MatchConfig::default());
+        let old_tree = po();
+        let old = session.prepare(&old_tree);
+        let old_sig = session.signature(&old);
+        // Additions only: incremental merge equals a fresh signature.
+        let grown = SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("BillingAddress", Some(0)),
+                ("ShippingAddress", Some(0)),
+                ("DeliveryDate", Some(0)),
+            ],
+        );
+        let new = session.prepare(&grown);
+        let evolved = session
+            .signature_evolved(&old_sig, &old, &new)
+            .expect("additions merge incrementally");
+        assert_eq!(evolved, session.signature(&new));
+        // Equal label sets (structure-only change): features reused, bands
+        // updated.
+        let reshaped = SchemaTree::from_labels(
+            "PO",
+            &[
+                ("PO", None),
+                ("OrderNo", Some(0)),
+                ("BillingAddress", Some(1)),
+                ("ShippingAddress", Some(2)),
+            ],
+        );
+        let deep = session.prepare(&reshaped);
+        let evolved = session
+            .signature_evolved(&old_sig, &old, &deep)
+            .expect("equal label sets reuse features");
+        assert_eq!(evolved, session.signature(&deep));
+        assert_eq!(evolved.depth(), 3);
+        // A removed label forces a rebuild.
+        let shrunk = order();
+        let small = session.prepare(&shrunk);
+        assert!(session.signature_evolved(&old_sig, &old, &small).is_none());
     }
 
     #[test]

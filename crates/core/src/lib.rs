@@ -16,6 +16,12 @@
 //!   in either storage precision ([`matrix::Precision`]).
 //! - [`arena`] — the session-owned buffer pool ([`arena::MatchArena`])
 //!   reusing matrix and kernel-scratch allocations across matches.
+//! - [`diff`] — deterministic tree diff between two schema revisions: a
+//!   typed edit script ([`diff::EditOp`]) plus per-node dirty/recompute
+//!   sets ([`diff::TreeDiff`]).
+//! - [`evolve`] — schema evolution over a diff: incremental re-prepare and
+//!   incremental re-match ([`evolve::Rematch`]), bit-identical to the
+//!   from-scratch paths (DESIGN.md §17).
 //! - [`algorithms`] — the engines behind [`algorithms::Algorithm`]:
 //!   linguistic, structural, hybrid (Figure 3), COMA-style composite, and a
 //!   tree-edit-distance baseline
@@ -56,7 +62,9 @@
 
 pub mod algorithms;
 pub mod arena;
+pub mod diff;
 pub mod eval;
+pub mod evolve;
 pub mod explain;
 pub mod index;
 pub mod intern;
@@ -78,7 +86,9 @@ pub use algorithms::{
     CompositeError, LabelMatrix, MatchOutcome,
 };
 pub use arena::{ArenaStats, MatchArena};
+pub use diff::{EditCounts, EditOp, TreeDiff};
 pub use eval::{evaluate, GoldStandard, MatchQuality};
+pub use evolve::{Rematch, EVOLVE_FALLBACK_THRESHOLD};
 pub use explain::{explain_pair, Explanation};
 pub use index::{
     pair_is_candidate, CandidateSet, CorpusIndex, IndexParams, IndexPolicy, Signature,

@@ -120,6 +120,10 @@ pub(crate) trait Score: Copy + Send + Sync + 'static {
     fn to_f64(self) -> f64;
     /// The matrix's backing vec, if it stores this precision.
     fn data_vec_mut(m: &mut SimMatrix) -> Option<&mut Vec<Self>>;
+    /// Read-only view of the backing vec, if it stores this precision —
+    /// lets the incremental re-match copy finalized rows out of a previous
+    /// outcome without widening through `f64`.
+    fn data_vec(m: &SimMatrix) -> Option<&Vec<Self>>;
 }
 
 impl Score for f64 {
@@ -137,6 +141,12 @@ impl Score for f64 {
             MatrixData::F32(_) => None,
         }
     }
+    fn data_vec(m: &SimMatrix) -> Option<&Vec<f64>> {
+        match &m.data {
+            MatrixData::F64(v) => Some(v),
+            MatrixData::F32(_) => None,
+        }
+    }
 }
 
 impl Score for f32 {
@@ -150,6 +160,12 @@ impl Score for f32 {
     }
     fn data_vec_mut(m: &mut SimMatrix) -> Option<&mut Vec<f32>> {
         match &mut m.data {
+            MatrixData::F32(v) => Some(v),
+            MatrixData::F64(_) => None,
+        }
+    }
+    fn data_vec(m: &SimMatrix) -> Option<&Vec<f32>> {
+        match &m.data {
             MatrixData::F32(v) => Some(v),
             MatrixData::F64(_) => None,
         }

@@ -51,39 +51,39 @@ use std::sync::{Arc, Mutex};
 /// dense tables indexed by [`NodeId::index`], so the match hot path does no
 /// hashing and no string work.
 pub struct PreparedSchema<'t> {
-    tree: &'t SchemaTree,
+    pub(crate) tree: &'t SchemaTree,
     /// Per-node interned label (session-global symbol).
-    symbols: Vec<Symbol>,
+    pub(crate) symbols: Vec<Symbol>,
     /// Distinct symbols of this tree in first-seen (pre-order) order.
-    distinct: Vec<Symbol>,
+    pub(crate) distinct: Vec<Symbol>,
     /// Per-node index into `distinct` (the tree-local dense label id).
-    node_distinct: Vec<u32>,
+    pub(crate) node_distinct: Vec<u32>,
     /// Case-folded form per distinct label (owned copy from the interner).
-    distinct_folded: Vec<String>,
+    pub(crate) distinct_folded: Vec<String>,
     /// Token sequence per distinct label (owned copy from the interner).
-    distinct_tokens: Vec<Vec<Token>>,
+    pub(crate) distinct_tokens: Vec<Vec<Token>>,
     /// Bottom-up wave schedule: wave `k` holds the nodes of height `k`.
-    waves_height: Vec<Vec<NodeId>>,
+    pub(crate) waves_height: Vec<Vec<NodeId>>,
     /// Top-down wave schedule: wave `k` holds the nodes at level `k`.
-    waves_depth: Vec<Vec<NodeId>>,
+    pub(crate) waves_depth: Vec<Vec<NodeId>>,
     /// Dense per-node nesting levels.
-    levels: Vec<u32>,
+    pub(crate) levels: Vec<u32>,
     /// Dense per-node leaf flags.
-    leaf_flags: Vec<bool>,
+    pub(crate) leaf_flags: Vec<bool>,
     /// The leaf partition (pre-order).
-    leaves: Vec<NodeId>,
+    pub(crate) leaves: Vec<NodeId>,
     /// The internal-node partition (pre-order).
-    internals: Vec<NodeId>,
+    pub(crate) internals: Vec<NodeId>,
     /// Per-node property profile (dense pointer table into the tree).
-    props: Vec<&'t Properties>,
+    pub(crate) props: Vec<&'t Properties>,
     /// Per-node parent index (`u32::MAX` for the root).
-    parents: Vec<u32>,
+    pub(crate) parents: Vec<u32>,
     /// Per-node index into `distinct_props` (the tree-local dense property
     /// profile id) — lets the kernels score properties once per distinct
     /// profile pair instead of once per node pair.
-    node_props: Vec<u32>,
+    pub(crate) node_props: Vec<u32>,
     /// Distinct property profiles in first-seen (pre-order) order.
-    distinct_props: Vec<&'t Properties>,
+    pub(crate) distinct_props: Vec<&'t Properties>,
 }
 
 impl<'t> PreparedSchema<'t> {
@@ -175,6 +175,31 @@ impl<'t> PreparedSchema<'t> {
     pub(crate) fn distinct_props_raw(&self) -> &[&'t Properties] {
         &self.distinct_props
     }
+
+    /// Test support: asserts every derived table of `self` equals `other`'s,
+    /// naming the first differing table. Pins the incremental re-prepare
+    /// ([`MatchSession::reprepare`]) to the from-scratch
+    /// [`MatchSession::prepare`] in property tests; not part of the stable
+    /// API surface.
+    #[doc(hidden)]
+    pub fn assert_structural_eq(&self, other: &PreparedSchema<'_>) {
+        assert_eq!(self.tree.len(), other.tree.len(), "tree length");
+        assert_eq!(self.symbols, other.symbols, "symbols");
+        assert_eq!(self.distinct, other.distinct, "distinct symbols");
+        assert_eq!(self.node_distinct, other.node_distinct, "node_distinct");
+        assert_eq!(self.distinct_folded, other.distinct_folded, "folded labels");
+        assert_eq!(self.distinct_tokens, other.distinct_tokens, "tokens");
+        assert_eq!(self.waves_height, other.waves_height, "waves_by_height");
+        assert_eq!(self.waves_depth, other.waves_depth, "waves_by_depth");
+        assert_eq!(self.levels, other.levels, "levels");
+        assert_eq!(self.leaf_flags, other.leaf_flags, "leaf_flags");
+        assert_eq!(self.leaves, other.leaves, "leaves");
+        assert_eq!(self.internals, other.internals, "internals");
+        assert_eq!(self.parents, other.parents, "parents");
+        assert_eq!(self.node_props, other.node_props, "node_props");
+        assert_eq!(self.props, other.props, "props");
+        assert_eq!(self.distinct_props, other.distinct_props, "distinct_props");
+    }
 }
 
 /// A [`PreparedSchema`] that keeps its [`SchemaTree`] alive through an
@@ -203,6 +228,17 @@ impl OwnedPreparedSchema {
     /// The shared tree this prepared schema keeps alive.
     pub fn tree_arc(&self) -> &Arc<SchemaTree> {
         &self.tree
+    }
+
+    /// Assembles an owned prepared schema from a prepared view borrowing the
+    /// `Arc` allocation of `tree`. Upholds the same invariant as
+    /// [`MatchSession::prepare_owned`]: `prepared` must have been built from
+    /// a `&'static SchemaTree` fabricated from this very `Arc`.
+    pub(crate) fn from_raw_parts(
+        prepared: PreparedSchema<'static>,
+        tree: Arc<SchemaTree>,
+    ) -> OwnedPreparedSchema {
+        OwnedPreparedSchema { prepared, tree }
     }
 }
 
@@ -323,6 +359,17 @@ impl MatchSession {
     /// Reuse/allocation counters of the session's buffer arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
+    }
+
+    /// The session's buffer arena (for the evolve engine, which drives the
+    /// kernels directly).
+    pub(crate) fn arena(&self) -> &MatchArena {
+        &self.arena
+    }
+
+    /// The session's label interner (for the incremental re-prepare).
+    pub(crate) fn interner(&self) -> &Mutex<Interner> {
+        &self.interner
     }
 
     /// Returns a finished outcome's matrix buffer to the session arena so a
@@ -540,7 +587,7 @@ impl MatchSession {
         self.hybrid_with(source, target, false, self.config.precision)
     }
 
-    fn hybrid_with(
+    pub(crate) fn hybrid_with(
         &self,
         source: &PreparedSchema,
         target: &PreparedSchema,
@@ -802,6 +849,109 @@ impl MatchSession {
             },
         );
         matrix
+    }
+
+    /// The dense label matrix for a prepared pair — the reusable artifact
+    /// [`MatchSession::rematch_evolved`] copies forward across revisions.
+    pub fn label_matrix(&self, source: &PreparedSchema, target: &PreparedSchema) -> LabelMatrix {
+        self.pair_labels(source, target)
+    }
+
+    /// Builds the label matrix for `(new_source, target)` by reusing
+    /// `old_labels` — the matrix previously built for `(old_source,
+    /// target)` in this session. Distinct labels present in both revisions
+    /// copy their comparison row wholesale (label comparisons are pure in
+    /// the symbol pair, so the copied row is bit-identical to a recompute);
+    /// only the new revision's fresh labels go through the cache/compare
+    /// path. Returns `None` when `old_labels` does not line up with
+    /// `old_source`/`target`, in which case the caller must fall back to
+    /// [`MatchSession::pair_labels`].
+    pub(crate) fn pair_labels_evolved(
+        &self,
+        old_source: &PreparedSchema,
+        old_labels: &LabelMatrix,
+        new_source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> Option<LabelMatrix> {
+        let rows = new_source.distinct.len();
+        let cols = target.distinct.len();
+        if old_labels.distinct_cols_raw() != cols
+            || old_labels.distinct_rows_raw() != old_source.distinct.len()
+        {
+            return None;
+        }
+        let t0 = self.trace.start();
+        let old_row: HashMap<Symbol, usize> = old_source
+            .distinct
+            .iter()
+            .enumerate()
+            .map(|(i, &symbol)| (symbol, i))
+            .collect();
+        let placeholder = NameMatch {
+            grade: LabelGrade::None,
+            score: 0.0,
+        };
+        let mut table: Vec<NameMatch> = Vec::with_capacity(rows * cols);
+        let mut fresh: Vec<usize> = Vec::new();
+        for i in 0..rows {
+            match old_row.get(&new_source.distinct[i]) {
+                Some(&old_i) => table.extend_from_slice(old_labels.distinct_row_raw(old_i)),
+                None => {
+                    fresh.push(i);
+                    table.resize(table.len() + cols, placeholder);
+                }
+            }
+        }
+        let copied = (rows - fresh.len()) as u64 * cols as u64;
+        let mut hit_count = 0u64;
+        let mut miss_count = 0u64;
+        for &i in &fresh {
+            for j in 0..cols {
+                let key = (new_source.distinct[i].0, target.distinct[j].0);
+                let cached = self
+                    .labels
+                    .lock()
+                    .expect("label cache lock")
+                    .get(&key)
+                    .copied();
+                let value = match cached {
+                    Some(hit) => {
+                        hit_count += 1;
+                        hit
+                    }
+                    None => {
+                        miss_count += 1;
+                        let computed = self.compare_distinct(new_source, i, target, j);
+                        self.labels
+                            .lock()
+                            .expect("label cache lock")
+                            .insert(key, computed);
+                        computed
+                    }
+                };
+                table[i * cols + j] = value;
+            }
+        }
+        self.hits.fetch_add(hit_count, Ordering::Relaxed);
+        self.misses.fetch_add(miss_count, Ordering::Relaxed);
+        let matrix = LabelMatrix::from_parts(
+            new_source.node_distinct.clone(),
+            target.node_distinct.clone(),
+            cols,
+            table,
+        );
+        self.trace.finish(
+            t0,
+            Span {
+                rows: rows as u64,
+                cells: (rows * cols) as u64,
+                skipped: copied,
+                cache_hits: hit_count,
+                cache_misses: miss_count,
+                ..Span::empty(Phase::Labels)
+            },
+        );
+        Some(matrix)
     }
 
     /// One distinct-label-pair comparison, off the prepared (pre-folded,

@@ -70,11 +70,15 @@ pub enum Phase {
     /// One shard-thread execution of a queued serve job (`wall` = time on
     /// the shard, excluding queue wait).
     Shard,
+    /// A schema-evolution tree diff ([`crate::diff::TreeDiff::compute`]):
+    /// `rows` = new-tree nodes, `cells` = edit ops, `skipped` = rows the
+    /// recompute closure excludes.
+    Diff,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Prepare,
         Phase::Labels,
         Phase::Alloc,
@@ -87,6 +91,7 @@ impl Phase {
         Phase::Request,
         Phase::Queue,
         Phase::Shard,
+        Phase::Diff,
     ];
 
     /// Number of phases (array-sizing constant for sinks).
@@ -107,6 +112,7 @@ impl Phase {
             Phase::Request => "request",
             Phase::Queue => "queue",
             Phase::Shard => "shard",
+            Phase::Diff => "diff",
         }
     }
 
@@ -125,6 +131,7 @@ impl Phase {
             Phase::Request => 9,
             Phase::Queue => 10,
             Phase::Shard => 11,
+            Phase::Diff => 12,
         }
     }
 }

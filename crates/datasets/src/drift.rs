@@ -55,6 +55,31 @@ const DRIFT_VOCAB: &[&str] = &[
     "manifest",
 ];
 
+/// Flattens a tree to the parallel `(labels, parents)` vectors
+/// [`SchemaTree::from_labels`] accepts. Iteration is pre-order, so every
+/// parent precedes its children — the invariant `from_labels` requires.
+fn flatten(tree: &SchemaTree) -> (Vec<String>, Vec<Option<usize>>) {
+    let mut index_of: HashMap<_, usize> = HashMap::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut parents: Vec<Option<usize>> = Vec::new();
+    for (id, node) in tree.iter() {
+        index_of.insert(id, labels.len());
+        labels.push(node.label.clone());
+        parents.push(node.parent.map(|p| index_of[&p]));
+    }
+    (labels, parents)
+}
+
+/// The synonym replacement for a label, if any: the corpus-vocabulary
+/// [`SYNONYM_MAP`] first, the bio-domain map of [`crate::synth`] second.
+fn synonym_for(label: &str) -> Option<String> {
+    SYNONYM_MAP
+        .iter()
+        .find(|(from, _)| *from == label)
+        .map(|(_, to)| (*to).to_owned())
+        .or_else(|| synth::synonymize(label))
+}
+
 /// One drifted copy of `base`, named `name`, driven by `rng`. `salt` is
 /// the schema's registry index: renamed-away and padding labels embed it,
 /// so two different schemas never coin the same fresh label — accidental
@@ -62,16 +87,7 @@ const DRIFT_VOCAB: &[&str] = &[
 /// QoM (the root label especially) and make the registry unrealistically
 /// tangled.
 fn drift(base: &SchemaTree, name: &str, salt: usize, rng: &mut SmallRng) -> SchemaTree {
-    // Flatten the base tree; iteration is pre-order, so every parent
-    // precedes its children — the invariant `from_labels` requires.
-    let mut index_of: HashMap<_, usize> = HashMap::new();
-    let mut labels: Vec<String> = Vec::new();
-    let mut parents: Vec<Option<usize>> = Vec::new();
-    for (id, node) in base.iter() {
-        index_of.insert(id, labels.len());
-        labels.push(node.label.clone());
-        parents.push(node.parent.map(|p| index_of[&p]));
-    }
+    let (mut labels, mut parents) = flatten(base);
 
     // Revision distance varies per schema, as it does in real schema
     // repositories: most members are light touch-ups of their base, a
@@ -101,12 +117,7 @@ fn drift(base: &SchemaTree, name: &str, salt: usize, rng: &mut SmallRng) -> Sche
         } else if roll < abbreviate_below {
             *label = synth::abbreviate(label);
         } else if roll < synonym_below {
-            if let Some(replacement) = SYNONYM_MAP
-                .iter()
-                .find(|(from, _)| *from == label.as_str())
-                .map(|(_, to)| (*to).to_owned())
-                .or_else(|| synth::synonymize(label))
-            {
+            if let Some(replacement) = synonym_for(label) {
                 *label = replacement;
             }
         } else if position == 0 {
@@ -266,6 +277,106 @@ pub fn synthetic_registry(count: usize, seed: u64) -> Vec<(String, SchemaTree)> 
         .collect()
 }
 
+/// One controlled-intensity revision of `prev` — the schema-evolution
+/// workload generator. Unlike [`drift`], which draws its own revision
+/// distance (registry members spread from near-copies to far relatives),
+/// a chain step takes `intensity` as an argument: it is approximately the
+/// fraction of labels mutated, so evolution benchmarks can sweep dirty
+/// fractions directly. Mutated labels split evenly between abbreviation,
+/// synonym substitution, and rename-away (the root is only ever
+/// abbreviated); one leaf drop and one leaf add each fire with
+/// probability `intensity`.
+fn mutate_step(prev: &SchemaTree, salt: usize, intensity: f64, rng: &mut SmallRng) -> SchemaTree {
+    let intensity = intensity.clamp(0.0, 1.0);
+    let (mut labels, mut parents) = flatten(prev);
+    let keep_below = 1.0 - intensity;
+    let mut counter = 0u32;
+    for (position, label) in labels.iter_mut().enumerate() {
+        if rng.gen_f64() < keep_below {
+            continue;
+        }
+        match rng.gen_range(0..3usize) {
+            0 => *label = synth::abbreviate(label),
+            1 => {
+                if let Some(replacement) = synonym_for(label) {
+                    *label = replacement;
+                } else {
+                    *label = synth::abbreviate(label);
+                }
+            }
+            _ if position == 0 => *label = synth::abbreviate(label),
+            _ => {
+                counter += 1;
+                *label = format!(
+                    "{}{}",
+                    DRIFT_VOCAB[rng.gen_range(0..DRIFT_VOCAB.len())],
+                    salt as u32 * 256 + counter
+                );
+            }
+        }
+    }
+    if rng.gen_f64() < intensity {
+        // Only leaves are dropped, so no parent reference ever dangles.
+        let leaves: Vec<usize> = (1..labels.len())
+            .filter(|&i| !parents.contains(&Some(i)))
+            .collect();
+        if leaves.len() > 1 {
+            let victim = leaves[rng.gen_range(0..leaves.len())];
+            labels.remove(victim);
+            parents.remove(victim);
+            for p in parents.iter_mut().flatten() {
+                debug_assert_ne!(*p, victim, "dropped node was a leaf");
+                if *p > victim {
+                    *p -= 1;
+                }
+            }
+        }
+    }
+    if rng.gen_f64() < intensity {
+        counter += 1;
+        let parent = rng.gen_range(0..labels.len());
+        labels.push(format!(
+            "{}{}",
+            DRIFT_VOCAB[rng.gen_range(0..DRIFT_VOCAB.len())],
+            salt as u32 * 256 + counter
+        ));
+        parents.push(Some(parent));
+    }
+    let entries: Vec<(&str, Option<usize>)> = labels
+        .iter()
+        .map(String::as_str)
+        .zip(parents.iter().copied())
+        .collect();
+    SchemaTree::from_labels(prev.name(), &entries)
+}
+
+/// A seeded chain of `steps` successive revisions of `base`: element `k`
+/// is one `mutate_step` of the given `intensity` applied to element
+/// `k-1` (element 0 to `base` itself). Every revision keeps the base's
+/// name — a chain models repeated `PUT`s of one registry entry, the
+/// evolution subsystem's workload.
+///
+/// Deterministic in `(base, intensity, seed)`, and prefix-stable in
+/// `steps`: each step derives its own RNG stream from the seed and its
+/// index, so `mutation_chain(b, 10, i, s)[k]` equals
+/// `mutation_chain(b, 5, i, s)[k]` for `k < 5`.
+pub fn mutation_chain(
+    base: &SchemaTree,
+    steps: usize,
+    intensity: f64,
+    seed: u64,
+) -> Vec<SchemaTree> {
+    let mut out: Vec<SchemaTree> = Vec::with_capacity(steps);
+    let mut current = base.clone();
+    for k in 0..steps {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (k as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        current = mutate_step(&current, k, intensity, &mut rng);
+        out.push(current.clone());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +438,55 @@ mod tests {
                 .collect()
         };
         assert_ne!(labels(&a), labels(&b));
+    }
+
+    #[test]
+    fn mutation_chains_are_deterministic_and_prefix_stable() {
+        let base = corpus::po1();
+        let long = mutation_chain(&base, 10, 0.25, GATE_SEED);
+        let short = mutation_chain(&base, 5, 0.25, GATE_SEED);
+        assert_eq!(long.len(), 10);
+        for (a, b) in long.iter().zip(&short) {
+            let la: Vec<_> = a.iter().map(|(_, n)| n.label.clone()).collect();
+            let lb: Vec<_> = b.iter().map(|(_, n)| n.label.clone()).collect();
+            assert_eq!(la, lb, "shorter chains are prefixes of longer ones");
+        }
+        let other_seed = mutation_chain(&base, 5, 0.25, GATE_SEED + 1);
+        assert_ne!(
+            long[4].iter().map(|(_, n)| &n.label).collect::<Vec<_>>(),
+            other_seed[4]
+                .iter()
+                .map(|(_, n)| &n.label)
+                .collect::<Vec<_>>(),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn mutation_chain_intensity_scales_the_edit_rate() {
+        let base = synth::pir();
+        let light = &mutation_chain(base, 1, 0.02, GATE_SEED)[0];
+        let heavy = &mutation_chain(base, 1, 0.60, GATE_SEED)[0];
+        let changed = |rev: &SchemaTree| {
+            let base_labels: Vec<_> = base.iter().map(|(_, n)| n.label.clone()).collect();
+            rev.iter()
+                .zip(base_labels)
+                .filter(|((_, n), old)| n.label != *old)
+                .count()
+        };
+        let (light_changed, heavy_changed) = (changed(light), changed(heavy));
+        assert!(
+            light_changed * 5 < heavy_changed,
+            "intensity 0.02 changed {light_changed}, 0.60 changed {heavy_changed}"
+        );
+        assert!(
+            light_changed <= base.len() / 10,
+            "light steps stay light: {light_changed}/{}",
+            base.len()
+        );
+        // Chains keep the registry name: they model repeated PUTs of one
+        // entry.
+        assert_eq!(light.name(), base.name());
     }
 
     #[test]

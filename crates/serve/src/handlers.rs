@@ -88,6 +88,15 @@ pub fn disposition(req: &Request, registry: &Registry) -> Disposition {
                 endpoint: Endpoint::SchemasPut,
             }
         }
+        ("DELETE", p) if p.strip_prefix("/schemas/").is_some_and(|n| !n.is_empty()) => {
+            // Routed to the owner shard like PUT, so all mutations of one
+            // name serialize on one worker thread.
+            let name = p.strip_prefix("/schemas/").expect("guard");
+            Disposition::Shard {
+                shard: registry.shard_of(name),
+                endpoint: Endpoint::SchemasDelete,
+            }
+        }
         ("POST", "/match") => match req.query_param("source") {
             Some(source) => Disposition::Shard {
                 shard: registry.shard_of(source),
@@ -145,16 +154,32 @@ fn route(req: &Request, path: &str, state: &ServeState) -> (Endpoint, Response) 
             let name = path.strip_prefix("/schemas/").expect("guard");
             (Endpoint::SchemasPut, put_schema(name, &req.body, state))
         }
+        ("DELETE", path)
+            if path
+                .strip_prefix("/schemas/")
+                .is_some_and(|n| !n.is_empty()) =>
+        {
+            let name = path.strip_prefix("/schemas/").expect("guard");
+            (Endpoint::SchemasDelete, delete_schema(name, state))
+        }
         ("POST", "/match") => (Endpoint::Match, do_match(req, registry)),
         ("POST", "/match/topk") => (Endpoint::MatchTopk, do_topk(req, state)),
         (_, "/healthz" | "/metrics" | "/schemas" | "/match" | "/match/topk") => (
             Endpoint::Other,
             error(405, "method_not_allowed", "method not allowed on this path"),
         ),
-        (method, path) if path.starts_with("/schemas/") && method != "PUT" => (
-            Endpoint::Other,
-            error(405, "method_not_allowed", "schemas are registered with PUT"),
-        ),
+        (method, path)
+            if path.starts_with("/schemas/") && method != "PUT" && method != "DELETE" =>
+        {
+            (
+                Endpoint::Other,
+                error(
+                    405,
+                    "method_not_allowed",
+                    "schemas are registered with PUT and removed with DELETE",
+                ),
+            )
+        }
         _ => (Endpoint::Other, error(404, "not_found", "no such endpoint")),
     }
 }
@@ -275,6 +300,44 @@ fn put_schema(name: &str, body: &[u8], state: &ServeState) -> Response {
             .field("replaced", Json::Bool(registered.replaced))
             .field("nodes", Json::UInt(registered.nodes as u64))
             .field("max_depth", Json::UInt(registered.max_depth as u64))
+            .render(),
+    )
+}
+
+fn delete_schema(name: &str, state: &ServeState) -> Response {
+    // Remove in memory FIRST, then log the tombstone — the same ordering
+    // contract as put_schema: `Persist::compact` dumps the registry under
+    // the WAL lock, so a truncated-away tombstone is always covered by a
+    // snapshot that already excludes the schema.
+    if !state.registry.remove(name) {
+        return error(
+            404,
+            "unknown_schema",
+            format!("no schema named {name:?} is registered"),
+        );
+    }
+    if let Some(persist) = &state.persist {
+        match persist.append_tombstone(name) {
+            Ok(bytes) => {
+                state.metrics.add_wal_bytes(bytes);
+                if persist.needs_compaction() {
+                    let _ = persist.compact(|| state.registry.dump());
+                }
+            }
+            Err(e) => {
+                return error(
+                    500,
+                    "persist_failed",
+                    format!("schema removed but deletion not durably logged: {e}"),
+                )
+            }
+        }
+    }
+    Response::json(
+        200,
+        Json::obj()
+            .field("name", Json::str(name))
+            .field("deleted", Json::Bool(true))
             .render(),
     )
 }

@@ -26,6 +26,8 @@ pub enum Endpoint {
     Metrics,
     /// `PUT /schemas/{name}`.
     SchemasPut,
+    /// `DELETE /schemas/{name}`.
+    SchemasDelete,
     /// `GET /schemas`.
     SchemasList,
     /// `POST /match`.
@@ -38,10 +40,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in rendering order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::SchemasPut,
+        Endpoint::SchemasDelete,
         Endpoint::SchemasList,
         Endpoint::Match,
         Endpoint::MatchTopk,
@@ -54,6 +57,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::SchemasPut => "schemas_put",
+            Endpoint::SchemasDelete => "schemas_delete",
             Endpoint::SchemasList => "schemas_list",
             Endpoint::Match => "match",
             Endpoint::MatchTopk => "match_topk",
@@ -84,7 +88,7 @@ fn bucket_of(micros: u64) -> usize {
 /// Counters describing everything the server has done so far.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 7],
+    requests: [AtomicU64; 8],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
@@ -129,6 +133,14 @@ pub struct RegistrySnapshot {
     pub index_candidates: u64,
     /// Schemas pruned by the shard indexes before the DP ran.
     pub index_filtered: u64,
+    /// Schema replacements served by the diff-guided incremental
+    /// re-prepare (the `PUT /schemas/{name}` hot-update fast path).
+    pub evolve_incremental: u64,
+    /// Schema replacements that fell back to a full from-scratch prepare
+    /// (old revision not resident, or the diff was unusable).
+    pub evolve_full: u64,
+    /// Schemas removed via `DELETE /schemas/{name}`.
+    pub deletes: u64,
 }
 
 impl RegistrySnapshot {
@@ -343,6 +355,13 @@ impl Metrics {
             "qmatch_index_filtered_total {}",
             registry.index_filtered
         );
+        let _ = writeln!(
+            out,
+            "qmatch_evolve_incremental_total {}",
+            registry.evolve_incremental
+        );
+        let _ = writeln!(out, "qmatch_evolve_full_total {}", registry.evolve_full);
+        let _ = writeln!(out, "qmatch_schema_deletes_total {}", registry.deletes);
         // Per-phase pipeline observability (fed by PhaseSink). Phases that
         // never fired are skipped so a fresh server stays terse.
         for phase in Phase::ALL {
@@ -501,6 +520,9 @@ mod tests {
             label_misses: 25,
             index_candidates: 7,
             index_filtered: 93,
+            evolve_incremental: 4,
+            evolve_full: 2,
+            deletes: 1,
         };
         let text = m.render(&snapshot);
         assert!(text.contains("qmatch_bytes_ingested_total 1234"));
@@ -509,6 +531,9 @@ mod tests {
         assert!(text.contains("qmatch_label_cache_hit_rate 0.75"));
         assert!(text.contains("qmatch_index_candidates 7"));
         assert!(text.contains("qmatch_index_filtered_total 93"));
+        assert!(text.contains("qmatch_evolve_incremental_total 4"));
+        assert!(text.contains("qmatch_evolve_full_total 2"));
+        assert!(text.contains("qmatch_schema_deletes_total 1"));
         let summary = m.summary(&snapshot);
         assert!(summary.contains("3 schema(s)"), "{summary}");
         assert!(summary.contains("hit rate 0.75"), "{summary}");

@@ -17,12 +17,25 @@
 //! [u32le name_len][u32le body_len][u32le crc32(name ++ body)][name][body]
 //! ```
 //!
+//! A `DELETE /schemas/{name}` appends a *tombstone*: the same frame with
+//! the sentinel `body_len == u32::MAX`, zero body bytes, and the CRC taken
+//! over the name alone. Old logs (which cannot contain the sentinel — a
+//! 4 GiB body would be rejected long before the WAL) replay unchanged, so
+//! no magic bump is needed. Replay applies a tombstone by removing the
+//! name from the image; compaction snapshots only live schemas, so
+//! tombstones never outlive the log segment they were written to.
+//!
 //! Replay applies the snapshot first, then the WAL on top (later records
 //! win). A torn tail — a record cut short by `SIGKILL`/power loss, or one
 //! whose CRC disagrees — ends replay at the last good record, and the WAL
 //! is truncated back to that offset so subsequent appends extend a clean
 //! log instead of a corrupt one. Everything before the torn record is
 //! recovered.
+//!
+//! Appends are durable before the response is sent: each record is
+//! `fdatasync`'d by default, or — with a group-commit window configured
+//! via `--fsync-batch-ms` — at most once per window, trading a bounded
+//! tail of un-synced records for one syscall per burst.
 //!
 //! Consistency with the in-memory registry relies on an ordering contract
 //! (see `handlers::put_schema`): a schema is registered in memory *before*
@@ -34,6 +47,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Versioned magic opening `registry.wal` (bump the trailing byte on
 /// format changes).
@@ -45,6 +59,10 @@ pub const SNAP_MAGIC: &[u8; 8] = b"QMSNP\0\0\x01";
 const WAL_FILE: &str = "registry.wal";
 /// Snapshot file name inside the data directory.
 const SNAP_FILE: &str = "registry.snap";
+
+/// The `body_len` sentinel marking a tombstone (deletion) record. No real
+/// body can reach this length — ingest limits cap bodies far below 4 GiB.
+const TOMBSTONE_LEN: u32 = u32::MAX;
 
 /// Hand-rolled CRC-32 (IEEE 802.3, reflected), table built at first use —
 /// the stdlib ships no checksum and the container has no crates.
@@ -89,19 +107,34 @@ fn encode_record(name: &str, body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// A tombstone for `name`: the sentinel `body_len`, no body bytes, CRC
+/// over the name alone.
+fn encode_tombstone(name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + name.len());
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(&TOMBSTONE_LEN.to_le_bytes());
+    out.extend_from_slice(&crc32(&[name.as_bytes()]).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+/// One decoded record: a `Some` body is an upsert, `None` a tombstone.
+type DecodedRecord = (String, Option<Vec<u8>>);
+
 /// Decodes records from `bytes` (already past the magic), stopping at the
-/// first incomplete or corrupt record. Returns the decoded records and the
-/// offset (relative to `bytes`) of the first byte *not* consumed by a good
-/// record — the truncation point for a torn tail.
-fn decode_records(bytes: &[u8]) -> (Vec<(String, Vec<u8>)>, usize) {
+/// first incomplete or corrupt record. Returns the decoded records and
+/// the offset (relative to `bytes`) of the first byte *not* consumed by a
+/// good record — the truncation point for a torn tail.
+fn decode_records(bytes: &[u8]) -> (Vec<DecodedRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 12 {
         let name_len =
             u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let body_len =
-            u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+        let raw_body_len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
         let crc = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        let tombstone = raw_body_len == TOMBSTONE_LEN;
+        let body_len = if tombstone { 0 } else { raw_body_len as usize };
         let data_start = pos + 12;
         let Some(data_end) = data_start.checked_add(name_len + body_len) else {
             break;
@@ -117,7 +150,7 @@ fn decode_records(bytes: &[u8]) -> (Vec<(String, Vec<u8>)>, usize) {
         let Ok(name) = std::str::from_utf8(name_bytes) else {
             break;
         };
-        records.push((name.to_owned(), body.to_vec()));
+        records.push((name.to_owned(), (!tombstone).then(|| body.to_vec())));
         pos = data_end;
     }
     (records, pos)
@@ -139,6 +172,10 @@ struct Inner {
     wal: File,
     /// Payload bytes currently in the WAL (excluding the magic header).
     wal_payload: u64,
+    /// When the WAL was last fsync'd (group-commit bookkeeping).
+    last_sync: Instant,
+    /// Whether bytes have been written since `last_sync`.
+    dirty: bool,
 }
 
 /// The durability engine: one WAL handle plus the compaction threshold.
@@ -149,6 +186,9 @@ pub struct Persist {
     dir: PathBuf,
     inner: Mutex<Inner>,
     compact_threshold: u64,
+    /// Group-commit window: zero fsyncs every append; a positive window
+    /// fsyncs at most once per window (plus on compaction and drop).
+    fsync_batch: Duration,
 }
 
 impl std::fmt::Debug for Persist {
@@ -162,7 +202,21 @@ impl Persist {
     /// WAL, truncates any torn WAL tail, and returns the engine plus the
     /// recovered registry image. `compact_threshold` is the WAL payload
     /// size (bytes) beyond which [`Persist::needs_compaction`] fires.
+    /// Every append is fsync'd; see [`Persist::open_with`] for group
+    /// commit.
     pub fn open(dir: &Path, compact_threshold: u64) -> std::io::Result<(Persist, Replayed)> {
+        Persist::open_with(dir, compact_threshold, Duration::ZERO)
+    }
+
+    /// [`Persist::open`] with a group-commit window: a zero `fsync_batch`
+    /// fsyncs every append before it returns; a positive window fsyncs at
+    /// most once per window, so a crash can lose up to one window of
+    /// acknowledged writes in exchange for one `fdatasync` per burst.
+    pub fn open_with(
+        dir: &Path,
+        compact_threshold: u64,
+        fsync_batch: Duration,
+    ) -> std::io::Result<(Persist, Replayed)> {
         std::fs::create_dir_all(dir)?;
         let mut replayed = Replayed::default();
         let mut image: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
@@ -172,7 +226,10 @@ impl Persist {
             if bytes.len() >= 8 && &bytes[..8] == SNAP_MAGIC {
                 let (records, _) = decode_records(&bytes[8..]);
                 for (name, body) in records {
-                    image.insert(name, body);
+                    match body {
+                        Some(body) => image.insert(name, body),
+                        None => image.remove(&name),
+                    };
                 }
             }
         }
@@ -185,7 +242,10 @@ impl Persist {
                 let (records, good_end) = decode_records(&bytes[8..]);
                 replayed.wal_records = records.len();
                 for (name, body) in records {
-                    image.insert(name, body);
+                    match body {
+                        Some(body) => image.insert(name, body),
+                        None => image.remove(&name),
+                    };
                 }
                 if 8 + good_end < bytes.len() {
                     replayed.truncated_tail = true;
@@ -208,8 +268,14 @@ impl Persist {
         Ok((
             Persist {
                 dir: dir.to_path_buf(),
-                inner: Mutex::new(Inner { wal, wal_payload }),
+                inner: Mutex::new(Inner {
+                    wal,
+                    wal_payload,
+                    last_sync: Instant::now(),
+                    dirty: false,
+                }),
                 compact_threshold: compact_threshold.max(1),
+                fsync_batch,
             },
             replayed,
         ))
@@ -220,15 +286,43 @@ impl Persist {
         &self.dir
     }
 
-    /// Appends one accepted PUT to the WAL and flushes it. Returns the
-    /// bytes appended (for the `wal_bytes_total` counter).
+    /// Appends one accepted PUT to the WAL and syncs it per the
+    /// group-commit policy. Returns the bytes appended (for the
+    /// `wal_bytes_total` counter).
     pub fn append(&self, name: &str, body: &[u8]) -> std::io::Result<u64> {
-        let record = encode_record(name, body);
+        self.append_raw(encode_record(name, body))
+    }
+
+    /// Appends one accepted DELETE as a tombstone record.
+    pub fn append_tombstone(&self, name: &str) -> std::io::Result<u64> {
+        self.append_raw(encode_tombstone(name))
+    }
+
+    fn append_raw(&self, record: Vec<u8>) -> std::io::Result<u64> {
         let mut inner = self.inner.lock().expect("wal lock");
         inner.wal.write_all(&record)?;
-        inner.wal.flush()?;
+        inner.dirty = true;
+        // Group commit: with a zero window every append is durable before
+        // the response; with a positive one, at most one fdatasync per
+        // window covers every record written inside it.
+        if self.fsync_batch.is_zero() || inner.last_sync.elapsed() >= self.fsync_batch {
+            inner.wal.sync_data()?;
+            inner.last_sync = Instant::now();
+            inner.dirty = false;
+        }
         inner.wal_payload += record.len() as u64;
         Ok(record.len() as u64)
+    }
+
+    /// Forces any group-commit-deferred WAL bytes to disk (shutdown path).
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal lock");
+        if inner.dirty {
+            inner.wal.sync_data()?;
+            inner.last_sync = Instant::now();
+            inner.dirty = false;
+        }
+        Ok(())
     }
 
     /// Whether the WAL payload has outgrown the compaction threshold.
@@ -256,17 +350,29 @@ impl Persist {
             tmp.sync_all()?;
         }
         std::fs::rename(&tmp_path, self.dir.join(SNAP_FILE))?;
-        // The snapshot is durable; the WAL records it covers can go.
+        // The snapshot is durable; the WAL records it covers can go —
+        // including any group-commit-deferred bytes, which the snapshot
+        // (taken from the in-memory registry) already covers.
         inner.wal.set_len(8)?;
         inner.wal.seek(SeekFrom::End(0))?;
         inner.wal.sync_all()?;
         inner.wal_payload = 0;
+        inner.last_sync = Instant::now();
+        inner.dirty = false;
         Ok(())
     }
 
     /// Current WAL payload bytes (records only, header excluded).
     pub fn wal_payload(&self) -> u64 {
         self.inner.lock().expect("wal lock").wal_payload
+    }
+}
+
+impl Drop for Persist {
+    fn drop(&mut self) {
+        // Best effort: flush any group-commit tail so a clean shutdown
+        // never loses acknowledged writes.
+        let _ = self.sync();
     }
 }
 
@@ -356,6 +462,67 @@ mod tests {
             ["after", "keep"]
         );
         assert!(!replayed.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_delete_on_replay_and_reput_revives() {
+        let dir = tempdir("tombstone");
+        {
+            let (p, _) = Persist::open(&dir, 1 << 20).unwrap();
+            p.append("a", b"<alpha/>").unwrap();
+            p.append("b", b"<beta/>").unwrap();
+            let bytes = p.append_tombstone("a").unwrap();
+            // name_len + body_len sentinel + crc + "a"
+            assert_eq!(bytes, 13);
+        }
+        let (p, replayed) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(replayed.wal_records, 3, "the tombstone is a record");
+        assert!(!replayed.truncated_tail, "tombstone crc must verify");
+        assert_eq!(
+            replayed.schemas,
+            vec![("b".to_owned(), b"<beta/>".to_vec())],
+            "the tombstone removed \"a\" from the live image"
+        );
+        // Delete → re-put replays in order: the re-put wins.
+        p.append("a", b"<alpha v2/>").unwrap();
+        drop(p);
+        let (_, replayed) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(
+            replayed.schemas,
+            vec![
+                ("a".to_owned(), b"<alpha v2/>".to_vec()),
+                ("b".to_owned(), b"<beta/>".to_vec()),
+            ]
+        );
+        // Tombstoning a name that was never logged is harmless on replay.
+        let (p, _) = Persist::open(&dir, 1 << 20).unwrap();
+        p.append_tombstone("ghost").unwrap();
+        drop(p);
+        let (_, replayed) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(replayed.schemas.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_defers_fsync_and_sync_flushes_the_tail() {
+        let dir = tempdir("group-commit");
+        {
+            let (p, _) = Persist::open_with(&dir, 1 << 20, Duration::from_secs(3600)).unwrap();
+            // Both records land in the file (write_all), but only the
+            // window-expiry path would sync them; sync() forces it.
+            p.append("a", b"<alpha/>").unwrap();
+            p.append_tombstone("a").unwrap();
+            p.sync().unwrap();
+            p.append("b", b"<beta/>").unwrap();
+            // Dropped dirty: Drop syncs the tail.
+        }
+        let (_, replayed) = Persist::open_with(&dir, 1 << 20, Duration::ZERO).unwrap();
+        assert_eq!(replayed.wal_records, 3);
+        assert_eq!(
+            replayed.schemas,
+            vec![("b".to_owned(), b"<beta/>".to_vec())]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

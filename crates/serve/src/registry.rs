@@ -97,6 +97,12 @@ impl Registry {
         self.owner(name).register(name, tree, source)
     }
 
+    /// Removes a schema from its owner shard (tree, prepared artifact, and
+    /// index entry). Returns whether the name was registered.
+    pub fn remove(&self, name: &str) -> bool {
+        self.owner(name).remove(name)
+    }
+
     /// The prepared schema for `name` from its owner shard (re-preparing
     /// if evicted). `None` when the name is unknown.
     pub fn prepared(&self, name: &str) -> Option<Arc<OwnedPreparedSchema>> {
@@ -157,6 +163,9 @@ impl Registry {
             total.label_misses += s.label_misses;
             total.index_candidates += s.index_candidates;
             total.index_filtered += s.index_filtered;
+            total.evolve_incremental += s.evolve_incremental;
+            total.evolve_full += s.evolve_full;
+            total.deletes += s.deletes;
         }
         total
     }

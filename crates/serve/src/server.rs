@@ -68,6 +68,10 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// WAL payload size that triggers compaction into a snapshot.
     pub snapshot_bytes: u64,
+    /// WAL group-commit window (`--fsync-batch-ms`): zero fsyncs every
+    /// accepted write before its response; a positive window fsyncs at
+    /// most once per window.
+    pub fsync_batch: Duration,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             idle_deadline: Duration::from_secs(10),
             data_dir: None,
             snapshot_bytes: 4 * 1024 * 1024,
+            fsync_batch: Duration::ZERO,
         }
     }
 }
@@ -145,7 +150,8 @@ impl Server {
         let registry = Registry::new(shards);
         let persist = match &config.data_dir {
             Some(dir) => {
-                let (persist, replayed) = Persist::open(dir, config.snapshot_bytes)?;
+                let (persist, replayed) =
+                    Persist::open_with(dir, config.snapshot_bytes, config.fsync_batch)?;
                 // Re-register every durable schema through the same parse +
                 // compile path a PUT takes, so a restarted server serves
                 // byte-identical listings and rankings. Bodies that no
@@ -334,5 +340,6 @@ mod tests {
         assert_eq!(config.deadline, Duration::from_secs(30));
         assert!(config.data_dir.is_none(), "in-memory by default");
         assert_eq!(config.snapshot_bytes, 4 * 1024 * 1024);
+        assert!(config.fsync_batch.is_zero(), "per-write durability");
     }
 }

@@ -84,6 +84,9 @@ pub struct Shard {
     evictions: AtomicU64,
     index_candidates: AtomicU64,
     index_filtered: AtomicU64,
+    evolve_incremental: AtomicU64,
+    evolve_full: AtomicU64,
+    deletes: AtomicU64,
 }
 
 impl Shard {
@@ -101,6 +104,9 @@ impl Shard {
             evictions: AtomicU64::new(0),
             index_candidates: AtomicU64::new(0),
             index_filtered: AtomicU64::new(0),
+            evolve_incremental: AtomicU64::new(0),
+            evolve_full: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
         }
     }
 
@@ -117,11 +123,29 @@ impl Shard {
     /// Registers (or replaces) a schema this shard owns. The tree is
     /// prepared eagerly so the first match does not pay preparation
     /// latency.
+    ///
+    /// When a *revision* of a resident schema arrives (the hot-update
+    /// path), the new tree is diffed against the resident one and the
+    /// prepared artifacts and index signature are derived incrementally —
+    /// bit-identical to the from-scratch path, counted by the
+    /// `qmatch_evolve_*` metrics.
     pub fn register(&self, name: &str, tree: SchemaTree, source: &[u8]) -> Registered {
         let profile = TreeProfile::of(&tree);
         let tree = Arc::new(tree);
-        let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
-        let signature = self.session.signature(prepared.prepared());
+        let (prepared, signature) = match self.try_evolve(name, &tree) {
+            Some(pair) => {
+                self.evolve_incremental.fetch_add(1, Ordering::Relaxed);
+                pair
+            }
+            None => {
+                if self.contains(name) {
+                    self.evolve_full.fetch_add(1, Ordering::Relaxed);
+                }
+                let prepared = Arc::new(self.session.prepare_owned(tree.clone()));
+                let signature = self.session.signature(prepared.prepared());
+                (prepared, signature)
+            }
+        };
         let mut inner = self.inner.write().expect("shard lock");
         inner.index.insert(name, signature);
         let tick = self.next_tick();
@@ -150,6 +174,53 @@ impl Shard {
             nodes: profile.nodes,
             max_depth: profile.max_depth,
         }
+    }
+
+    /// The incremental half of [`Shard::register`]: when the old revision
+    /// of `name` is resident, reuse it. The diff drives an incremental
+    /// re-prepare (symbol + structural-table reuse), and the index
+    /// signature evolves in place unless labels were removed — then the
+    /// signature (only) is rebuilt from scratch. `None` means the caller
+    /// must take the full path: first registration, or the prepared
+    /// artifact was evicted (re-deriving it would cost a full prepare
+    /// anyway).
+    fn try_evolve(
+        &self,
+        name: &str,
+        new_tree: &Arc<SchemaTree>,
+    ) -> Option<(Arc<OwnedPreparedSchema>, Signature)> {
+        let (old_tree, old_prepared, old_signature) = {
+            let inner = self.inner.read().expect("shard lock");
+            let entry = inner.entries.get(name)?;
+            let resident = inner.resident.get(name)?;
+            let signature = inner.index.get(name)?.clone();
+            (entry.tree.clone(), resident.prepared.clone(), signature)
+        };
+        let diff = self.session.diff_trees(&old_tree, new_tree);
+        let prepared = Arc::new(self.session.reprepare_owned(
+            &old_prepared,
+            new_tree.clone(),
+            &diff,
+        ));
+        let signature = self
+            .session
+            .signature_evolved(&old_signature, old_prepared.prepared(), prepared.prepared())
+            .unwrap_or_else(|| self.session.signature(prepared.prepared()));
+        Some((prepared, signature))
+    }
+
+    /// Removes a schema this shard owns: the compiled tree, its resident
+    /// prepared artifact, and its index entry. Returns whether the name
+    /// was registered.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut inner = self.inner.write().expect("shard lock");
+        inner.index.remove(name);
+        inner.resident.remove(name);
+        let removed = inner.entries.remove(name).is_some();
+        if removed {
+            self.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     fn next_tick(&self) -> u64 {
@@ -323,6 +394,9 @@ impl Shard {
             label_misses: labels.misses,
             index_candidates: self.index_candidates.load(Ordering::Relaxed),
             index_filtered: self.index_filtered.load(Ordering::Relaxed),
+            evolve_incremental: self.evolve_incremental.load(Ordering::Relaxed),
+            evolve_full: self.evolve_full.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
         }
     }
 }
@@ -559,6 +633,52 @@ mod tests {
         assert_eq!(prepared.prepared().tree().name(), "PO2");
         assert_eq!(s.snapshot().prepare_misses, 1);
         assert_eq!(s.prepared("missing").map(|_| ()), None);
+    }
+
+    #[test]
+    fn replacing_a_resident_schema_takes_the_evolve_fast_path() {
+        let s = shard(2);
+        s.register("po", tree("PO"), b"<po/>");
+        assert_eq!(s.snapshot().evolve_incremental, 0);
+        // Old revision is registered, resident, and indexed → diff-guided
+        // re-prepare instead of a from-scratch prepare.
+        let second = s.register("po", tree("PO"), b"<po v2/>");
+        assert!(second.replaced);
+        let snap = s.snapshot();
+        assert_eq!(snap.evolve_incremental, 1);
+        assert_eq!(snap.evolve_full, 0);
+        // The evolved entry still serves matches.
+        let prepared = s.prepared("po").expect("registered");
+        assert_eq!(prepared.prepared().tree().len(), 2);
+    }
+
+    #[test]
+    fn replacing_an_evicted_schema_counts_a_full_prepare() {
+        let s = shard(1);
+        s.register("po", tree("PO"), b"<po/>");
+        s.register("other", tree("O"), b"<o/>"); // evicts "po"
+        assert!(s.register("po", tree("PO"), b"<po v2/>").replaced);
+        let snap = s.snapshot();
+        assert_eq!(snap.evolve_incremental, 0, "old revision was not resident");
+        assert_eq!(snap.evolve_full, 1);
+    }
+
+    #[test]
+    fn remove_clears_every_table_and_counts() {
+        let s = shard(2);
+        s.register("po", tree("PO"), b"<po/>");
+        assert!(s.remove("po"));
+        assert!(!s.contains("po"));
+        assert!(s.is_empty());
+        assert_eq!(s.prepared("po").map(|_| ()), None);
+        assert_eq!(s.snapshot().deletes, 1);
+        assert!(!s.remove("po"), "second delete is a no-op");
+        assert_eq!(s.snapshot().deletes, 1);
+        // A removed name can be registered afresh — and the re-register is
+        // a first registration, not a replacement or an evolve.
+        let again = s.register("po", tree("PO"), b"<po v3/>");
+        assert!(!again.replaced);
+        assert_eq!(s.snapshot().evolve_full, 0);
     }
 
     #[test]

@@ -313,8 +313,11 @@ fn error_paths_404_400_405_413() {
     );
     assert_eq!(status, 400);
     assert!(body.contains("unknown_algo"));
-    let (status, _) = send(addr, "DELETE", "/schemas/po1", b"");
+    let (status, _) = send(addr, "PATCH", "/schemas/po1", b"");
     assert_eq!(status, 405);
+    let (status, body) = send(addr, "DELETE", "/schemas/ghost", b"");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown_schema"), "{body}");
     let (status, body) = send(addr, "PUT", "/schemas/bad%20name", b"<x/>");
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("invalid_name"));
@@ -462,6 +465,64 @@ fn v1_surface_request_ids_and_phase_metrics() {
     let summary = runner.join().expect("server thread");
     assert!(summary.contains("request ids q-1.."), "{summary}");
     assert!(summary.contains("phases (count/wall):"), "{summary}");
+}
+
+#[test]
+fn delete_and_hot_update_evolution() {
+    let (addr, shutdown, runner) = boot();
+    register_corpus(addr);
+    // Baseline response for a pair that will ride through a hot update.
+    let (status, baseline) = send(addr, "POST", "/v1/match?source=po1&target=po2", b"");
+    assert_eq!(status, 200, "{baseline}");
+    // Re-PUT of a resident schema takes the diff-guided evolve fast path;
+    // the served bytes must not change (incremental = bit-identical).
+    let (status, body) = send(addr, "PUT", "/v1/schemas/po1", corpus::po1_xsd().as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""replaced":true"#), "{body}");
+    let (status, after) = send(addr, "POST", "/v1/match?source=po1&target=po2", b"");
+    assert_eq!(status, 200);
+    assert_eq!(baseline, after, "hot update must not change match bytes");
+    let (_, metrics) = send(addr, "GET", "/v1/metrics", b"");
+    let evolve_line = metrics
+        .lines()
+        .find(|l| l.starts_with("qmatch_evolve_incremental_total "))
+        .expect("evolve metric");
+    let evolved: u64 = evolve_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(evolved >= 1, "{metrics}");
+    assert!(
+        metrics.contains("qmatch_phase_count{phase=\"diff\"}"),
+        "the evolve path records Diff spans: {metrics}"
+    );
+    // DELETE removes the schema from listings, matching, and the index.
+    let (status, body) = send(addr, "DELETE", "/v1/schemas/book", b"");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, r#"{"name":"book","deleted":true}"#);
+    let (_, listing) = send(addr, "GET", "/v1/schemas", b"");
+    assert!(listing.contains(r#""count":5"#), "{listing}");
+    assert!(!listing.contains(r#""name":"book""#), "{listing}");
+    let (status, body) = send(addr, "POST", "/v1/match?source=book&target=po1", b"");
+    assert_eq!(status, 404, "{body}");
+    // Deleting twice is a 404; re-registering afterwards is a fresh 201.
+    let (status, _) = send(addr, "DELETE", "/v1/schemas/book", b"");
+    assert_eq!(status, 404);
+    let (status, _) = send(
+        addr,
+        "PUT",
+        "/v1/schemas/book",
+        corpus::book_xsd().as_bytes(),
+    );
+    assert_eq!(status, 201);
+    let (_, metrics) = send(addr, "GET", "/v1/metrics", b"");
+    assert!(
+        metrics.contains("qmatch_schema_deletes_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("qmatch_requests{endpoint=\"schemas_delete\"} 2"),
+        "{metrics}"
+    );
+    shutdown.shutdown();
+    runner.join().expect("server thread");
 }
 
 #[test]

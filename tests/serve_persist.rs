@@ -181,6 +181,103 @@ fn compaction_snapshots_survive_restart() {
 }
 
 #[test]
+fn deletions_survive_restart_via_tombstones() {
+    let dir = tempdir("tombstones");
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    register_corpus(addr);
+    for name in ["book", "dcmd_item"] {
+        let (status, body) = send(addr, "DELETE", &format!("/v1/schemas/{name}"), b"");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (listing, topk) = fingerprint(addr);
+    assert!(listing.contains(r#""count":4"#), "{listing}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    // The tombstones replay: deleted schemas stay gone after a restart,
+    // and the surviving registry is byte-identical.
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "tombstoned listing must replay");
+    assert_eq!(topk, topk2);
+    assert!(!listing2.contains(r#""name":"book""#), "{listing2}");
+    // A deleted name can be re-registered after the restart.
+    let (status, _) = send(
+        addr,
+        "PUT",
+        "/v1/schemas/book",
+        corpus::book_xsd().as_bytes(),
+    );
+    assert_eq!(status, 201);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    // And the delete → re-put sequence replays in order (the re-put wins).
+    let (addr, shutdown, runner) = boot(durable_config(&dir));
+    let (_, listing3) = send(addr, "GET", "/v1/schemas", b"");
+    assert!(listing3.contains(r#""count":5"#), "{listing3}");
+    assert!(listing3.contains(r#""name":"book""#), "{listing3}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_drops_tombstones_from_the_snapshot() {
+    let dir = tempdir("tombstone-compaction");
+    // Every write trips compaction, so the snapshot is rewritten after
+    // each PUT/DELETE and must exclude deleted schemas outright.
+    let config = || ServerConfig {
+        snapshot_bytes: 1,
+        ..durable_config(&dir)
+    };
+    let (addr, shutdown, runner) = boot(config());
+    register_corpus(addr);
+    let (status, _) = send(addr, "DELETE", "/v1/schemas/article", b"");
+    assert_eq!(status, 200);
+    let (listing, topk) = fingerprint(addr);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let wal = std::fs::read(dir.join("registry.wal")).expect("wal exists");
+    assert_eq!(wal.len(), 8, "the tombstone was compacted away");
+
+    let (addr, shutdown, runner) = boot(config());
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "{listing2}");
+    assert_eq!(topk, topk2);
+    assert!(!listing2.contains(r#""name":"article""#), "{listing2}");
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_commit_window_keeps_clean_shutdowns_lossless() {
+    let dir = tempdir("fsync-batch");
+    // A large window: most appends defer their fsync, the shutdown-path
+    // sync flushes the tail, and replay still sees every record.
+    let config = || ServerConfig {
+        fsync_batch: std::time::Duration::from_millis(5_000),
+        ..durable_config(&dir)
+    };
+    let (addr, shutdown, runner) = boot(config());
+    register_corpus(addr);
+    let (status, _) = send(addr, "DELETE", "/v1/schemas/dcmd_ord", b"");
+    assert_eq!(status, 200);
+    let (listing, topk) = fingerprint(addr);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+
+    let (addr, shutdown, runner) = boot(config());
+    let (listing2, topk2) = fingerprint(addr);
+    assert_eq!(listing, listing2, "group commit must not lose acked writes");
+    assert_eq!(topk, topk2);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn torn_wal_tail_is_dropped_and_the_prefix_recovered() {
     let dir = tempdir("torn-tail");
     let (addr, shutdown, runner) = boot(durable_config(&dir));
