@@ -1,0 +1,19 @@
+use qmatch_core::{MatchConfig, MatchSession, TreeDiff};
+use qmatch_xsd::SchemaTree;
+
+#[test]
+fn move_preserving_preorder_identity() {
+    // Old: R -> {A, B}.  New: R -> A -> B (B moved under A).
+    // Pre-order indices are identical (R=0, A=1, B=2) in both trees.
+    let old = SchemaTree::from_labels("R", &[("R", None), ("A", Some(0)), ("B", Some(0))]);
+    let new = SchemaTree::from_labels("R", &[("R", None), ("A", Some(0)), ("B", Some(1))]);
+    let diff = TreeDiff::compute(&old, &new);
+    println!("shape_changed = {}", diff.shape_changed());
+    println!("ops = {:?}", diff.ops());
+
+    let session = MatchSession::new(MatchConfig::default());
+    let old_p = session.prepare(&old);
+    let incremental = session.reprepare(&old_p, &new, &diff);
+    let scratch = session.prepare(&new);
+    incremental.assert_structural_eq(&scratch);
+}
