@@ -1,0 +1,194 @@
+//! Match-quality benchmark and regression gate.
+//!
+//! Runs QMatch (hybrid), the full CUPID matcher, and the tree-edit
+//! baseline over every evaluated corpus pair (`figure5_pairs`: PO, BOOK,
+//! DCMD, Protein), scores each extracted mapping against the pair's gold
+//! standard through `qmatch_core::quality`, and prints the unified report
+//! the CLI's `evaluate --all` renders — the two surfaces share one
+//! evaluation path, so their numbers agree byte-for-byte.
+//!
+//! `cargo run --release -p qmatch-bench --bin bench_quality [OUT.json] [--test] [--gate]`
+//!
+//! * default — writes every row (counts, precision/recall/F1/overall) to
+//!   `BENCH_quality.json`. Quality is a pure function of the corpus and
+//!   the algorithms, so the file is deterministic — no wall times.
+//! * `--test` — smoke mode: PO pair only, no JSON written (unless an
+//!   output path is given explicitly).
+//! * `--gate` — CI quality gate: recompute every row, compare F1 and
+//!   Overall against the committed `BENCH_quality.json` (or the given
+//!   path), and exit 1 if any cell dropped. Output is fully
+//!   deterministic, so CI diffs two runs byte-for-byte.
+
+use qmatch_bench::{figure5_pairs, po_pair, Pair};
+use qmatch_core::model::MatchConfig;
+use qmatch_core::quality::{self, QualityReport, QualityRow};
+use qmatch_core::session::MatchSession;
+use qmatch_core::Algorithm;
+
+/// The algorithms the quality harness compares — the same list the CLI's
+/// `evaluate --all` runs.
+const ALGORITHMS: [Algorithm; 3] = [Algorithm::Hybrid, Algorithm::Cupid, Algorithm::TreeEdit];
+
+/// Every (pair, algorithm) quality row, through one shared session.
+fn compute_rows(pairs: &[Pair]) -> Vec<QualityRow> {
+    let session = MatchSession::new(MatchConfig::default());
+    let mut rows = Vec::with_capacity(pairs.len() * ALGORITHMS.len());
+    for pair in pairs {
+        let (sp, tp) = (session.prepare(&pair.source), session.prepare(&pair.target));
+        for algorithm in &ALGORITHMS {
+            rows.push(
+                quality::evaluate_algorithm(&session, algorithm, pair.name, &sp, &tp, &pair.gold)
+                    .expect("harness algorithms are infallible"),
+            );
+        }
+    }
+    rows
+}
+
+/// One row as a single JSON object line (stable key order, fixed float
+/// width — the file must be reproducible byte-for-byte).
+fn row_json(row: &QualityRow) -> String {
+    format!(
+        "    {{\"pair\": \"{}\", \"algorithm\": \"{}\", \"real\": {}, \
+         \"predicted\": {}, \"correct\": {}, \"precision\": {:.6}, \
+         \"recall\": {:.6}, \"f1\": {:.6}, \"overall\": {:.6}}}",
+        row.pair,
+        row.algorithm,
+        row.quality.real(),
+        row.quality.predicted(),
+        row.quality.true_positives,
+        row.quality.precision,
+        row.quality.recall,
+        row.quality.f1(),
+        row.quality.overall,
+    )
+}
+
+/// Pulls `"key": <number>` out of one baseline row line.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Pulls `"key": "<string>"` out of one baseline row line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Baseline (f1, overall) per (pair, algorithm), parsed from the
+/// committed JSON (one row object per line, as `row_json` writes it).
+fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            Some((
+                field_str(line, "pair")?.to_owned(),
+                field_str(line, "algorithm")?.to_owned(),
+                field_f64(line, "f1")?,
+                field_f64(line, "overall")?,
+            ))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => smoke = true,
+            "--gate" => gate = true,
+            other if !other.starts_with('-') => out_path = Some(other.to_owned()),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_quality [OUT.json] [--test] [--gate]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pairs = if smoke {
+        vec![po_pair()]
+    } else {
+        figure5_pairs()
+    };
+    let rows = compute_rows(&pairs);
+    let mut report = QualityReport::new();
+    for row in &rows {
+        report.push(row.clone());
+    }
+    println!(
+        "Match quality: {} corpus pair(s) x {} algorithm(s)\n",
+        pairs.len(),
+        ALGORITHMS.len()
+    );
+    print!("{}", report.render());
+
+    if gate {
+        // The quality gate: every F1/Overall cell must be at least its
+        // committed baseline (compared with a rounding-aware margin, so
+        // re-runs of an identical build never flap).
+        let baseline_path = out_path.unwrap_or_else(|| "BENCH_quality.json".to_owned());
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("baseline {baseline_path} contains no quality rows");
+            std::process::exit(2);
+        }
+        let mut failures = 0usize;
+        println!();
+        for (pair, algorithm, base_f1, base_overall) in &baseline {
+            let Some(row) = rows
+                .iter()
+                .find(|r| &r.pair == pair && &r.algorithm == algorithm)
+            else {
+                println!("{pair}/{algorithm}: MISSING from this run");
+                failures += 1;
+                continue;
+            };
+            let (f1, overall) = (row.quality.f1(), row.quality.overall);
+            // The baseline stores 6 decimals and may round *up* past the
+            // true float; the margin absorbs that half-ulp (5e-7) while
+            // still catching any real regression.
+            let dropped = f1 < base_f1 - 1e-6 || overall < base_overall - 1e-6;
+            println!(
+                "{pair}/{algorithm}: f1 {f1:.6} (baseline {base_f1:.6}) overall {overall:.6} \
+                 (baseline {base_overall:.6}){}",
+                if dropped { " DROP" } else { "" }
+            );
+            failures += usize::from(dropped);
+        }
+        if failures > 0 {
+            println!("FAIL: {failures} cell(s) below the committed baseline");
+            std::process::exit(1);
+        }
+        println!("PASS");
+        return;
+    }
+
+    // Smoke mode writes no JSON unless a path was given explicitly.
+    let out_path = match (out_path, smoke) {
+        (Some(p), _) => Some(p),
+        (None, false) => Some("BENCH_quality.json".to_owned()),
+        (None, true) => None,
+    };
+    if let Some(out_path) = out_path {
+        let body: Vec<String> = rows.iter().map(row_json).collect();
+        let json = format!(
+            "{{\n  \"bench\": \"quality\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        );
+        std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+        println!("\nwrote {out_path}");
+    }
+}

@@ -82,22 +82,16 @@ impl Algorithm {
     }
 
     /// The mapping-extraction (acceptance) threshold for this algorithm's
-    /// score distribution. The scales differ by construction: linguistic
-    /// scores are label similarities where 0.5 already means a relaxed
-    /// match, while the hybrid's leaf equation (Eq. 2) gives *any* leaf pair
-    /// the constant `C = WH + WC = 0.5` head start, and the structural
-    /// matcher concentrates compatible leaves near 1.0. The values below put
-    /// the acceptance cut at the same semantic point — "more evidence than
-    /// an unrelated pair gets by default" — for each scale.
+    /// score distribution — delegates to
+    /// [`qmatch_core::quality::default_threshold`], the single source of
+    /// truth the CLI and serve handlers also use. The scales differ by
+    /// construction: linguistic scores are label similarities where 0.5
+    /// already means a relaxed match, while the hybrid's leaf equation
+    /// (Eq. 2) gives *any* leaf pair the constant `C = WH + WC = 0.5` head
+    /// start, and the structural matcher concentrates compatible leaves
+    /// near 1.0.
     pub fn extraction_threshold(self, config: &MatchConfig) -> f64 {
-        match self {
-            Algorithm::Linguistic => 0.5,
-            Algorithm::Structural => 0.95,
-            // Adapts to the weight vector (see Weights::acceptance_threshold);
-            // 0.78 under the paper's Table 2 weights.
-            Algorithm::Hybrid => config.weights.acceptance_threshold(),
-            Algorithm::TreeEdit => 0.5,
-        }
+        qmatch_core::quality::default_threshold(&self.core(), config)
     }
 
     /// Runs the algorithm and extracts its mapping at

@@ -1,0 +1,44 @@
+//! Golden quality numbers for the PO pair, pinned per algorithm.
+//!
+//! These are the `BENCH_quality.json` cells the CI quality gate defends;
+//! pinning them here too means a regression fails fast in `cargo test`
+//! with the offending algorithm named, instead of only in the release
+//! gate job. If an intentional improvement moves a number, update both
+//! this test and the committed `BENCH_quality.json`.
+
+use qmatch_bench::po_pair;
+use qmatch_core::model::MatchConfig;
+use qmatch_core::quality;
+use qmatch_core::session::MatchSession;
+use qmatch_core::Algorithm;
+
+#[test]
+fn po_pair_quality_is_pinned_per_algorithm() {
+    let pair = po_pair();
+    let session = MatchSession::new(MatchConfig::default());
+    let (sp, tp) = (session.prepare(&pair.source), session.prepare(&pair.target));
+    // (algorithm, |R|, |P|, |I|, f1, overall) — the unified report's cells.
+    let golden = [
+        (Algorithm::Hybrid, 9, 8, 7, 0.823529, 0.666667),
+        (Algorithm::Cupid, 9, 3, 3, 0.500000, 0.333333),
+        (Algorithm::TreeEdit, 9, 6, 3, 0.400000, 0.000000),
+    ];
+    for (algorithm, real, predicted, correct, f1, overall) in golden {
+        let row = quality::evaluate_algorithm(&session, &algorithm, "PO", &sp, &tp, &pair.gold)
+            .expect("evaluated algorithms are infallible");
+        let name = row.algorithm.clone();
+        assert_eq!(row.quality.real(), real, "{name}: |R|");
+        assert_eq!(row.quality.predicted(), predicted, "{name}: |P|");
+        assert_eq!(row.quality.true_positives, correct, "{name}: |I|");
+        assert!(
+            (row.quality.f1() - f1).abs() < 1e-6,
+            "{name}: f1 {} != {f1}",
+            row.quality.f1()
+        );
+        assert!(
+            (row.quality.overall - overall).abs() < 1e-6,
+            "{name}: overall {} != {overall}",
+            row.quality.overall
+        );
+    }
+}

@@ -15,6 +15,7 @@ USAGE:
     qmatch inspect <SCHEMA.xsd> [--root NAME]
     qmatch diff <OLD.xsd> <NEW.xsd> [--root NAME]
     qmatch evaluate <SOURCE.xsd> <TARGET.xsd> --gold <GOLD.tsv> [options]
+    qmatch evaluate --all [options]
     qmatch validate <SCHEMA.xsd> <INSTANCE.xml>
     qmatch generate <SCHEMA.xsd> [--seed N] [--root NAME]
     qmatch fuzz [--seed N] [--cases N] [--budget-ms N] [--repro-dir PATH]
@@ -22,7 +23,8 @@ USAGE:
     qmatch help
 
 MATCH / EVALUATE OPTIONS:
-    --algorithm <hybrid|linguistic|structural|tree-edit>   (default: hybrid)
+    --algorithm <hybrid|linguistic|structural|cupid|tree-edit>
+                                 (default: hybrid)
     --weights <WL,WP,WH,WC>      axis weights, must sum to 1
                                  (default: 0.3,0.2,0.1,0.4 — the paper's Table 2)
     --child-threshold <0..1>     Figure 3's child-match threshold (default: 0.5)
@@ -86,9 +88,19 @@ SERVE OPTIONS:
     shard sessions; per-request knobs (algorithm, threshold, explain) travel
     as query parameters instead.
 
+EVALUATE --all:
+    runs QMatch (hybrid), full CUPID, and the tree-edit baseline across
+    every built-in corpus pair with a gold standard (PO, BOOK, DCMD,
+    Protein)
+    and prints one deterministic report with the unified column schema
+    (pair, algorithm, |R|, |P|, |I|, precision, recall, f1, overall).
+    Takes the session options (--weights/--lexicon/--precision/...), but
+    no schema files, --gold, or per-pair flags.
+
 GOLD FILE FORMAT (evaluate):
     one real match per line:  <source/label/path> TAB <target/label/path>
-    '#' starts a comment; blank lines are ignored.
+    '#' starts a comment; blank lines are ignored; duplicate pairs are
+    rejected with their file:line.
 
 PAIRS FILE FORMAT (match-many):
     one schema pair per line:  <SOURCE.xsd> TAB <TARGET.xsd>
@@ -106,6 +118,8 @@ pub enum AlgorithmChoice {
     Linguistic,
     /// Structure-only matcher.
     Structural,
+    /// Full CUPID (similarity propagation + leaf-anchored mapping).
+    Cupid,
     /// Tree-edit-distance baseline.
     TreeEdit,
 }
@@ -117,6 +131,7 @@ impl AlgorithmChoice {
             AlgorithmChoice::Hybrid => "hybrid",
             AlgorithmChoice::Linguistic => "linguistic",
             AlgorithmChoice::Structural => "structural",
+            AlgorithmChoice::Cupid => "cupid",
             AlgorithmChoice::TreeEdit => "tree-edit",
         }
     }
@@ -149,6 +164,9 @@ pub struct MatchOptions {
     pub trace: bool,
     /// Candidate-index policy for match-many/evaluate.
     pub index: IndexPolicy,
+    /// Deprecation warnings triggered by the parsed flags, printed to
+    /// stderr by the command layer before any work runs.
+    pub deprecations: Vec<String>,
 }
 
 impl Default for MatchOptions {
@@ -166,6 +184,7 @@ impl Default for MatchOptions {
             matrix_csv: None,
             trace: false,
             index: IndexPolicy::Off,
+            deprecations: Vec::new(),
         }
     }
 }
@@ -214,6 +233,12 @@ pub enum Command {
         /// Gold-standard file path.
         gold: String,
         /// Options.
+        options: MatchOptions,
+    },
+    /// `qmatch evaluate --all`: every corpus pair x every evaluated
+    /// algorithm, one deterministic report.
+    EvaluateAll {
+        /// Session options (config knobs only; per-pair flags rejected).
         options: MatchOptions,
     },
     /// `qmatch generate`.
@@ -291,6 +316,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         "help" | "--help" | "-h" => Ok(Command::Help),
         "match" => {
             let (positional, options) = parse_common(args)?;
+            options.reject_all(sub)?;
             let [source, target] = two_positional(positional, "match")?;
             Ok(Command::Match {
                 source,
@@ -300,6 +326,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         }
         "match-many" => {
             let (positional, options) = parse_common(args)?;
+            options.reject_all(sub)?;
             let [pairs] = one_positional(positional, "match-many")?;
             let options = options.build()?;
             if options.algorithm != AlgorithmChoice::Hybrid {
@@ -389,6 +416,7 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         }
         "serve" => {
             let (positional, options) = parse_common(args)?;
+            options.reject_all(sub)?;
             if !positional.is_empty() {
                 return Err(err("serve takes no positional arguments"));
             }
@@ -473,11 +501,42 @@ pub fn parse<'a>(argv: impl IntoIterator<Item = &'a str>) -> Result<Command, Arg
         }
         "evaluate" => {
             let (positional, options) = parse_common(args)?;
+            if options.all {
+                if !positional.is_empty() {
+                    return Err(err(
+                        "evaluate --all runs the built-in corpus; it takes no schema files",
+                    ));
+                }
+                if options.gold.is_some() {
+                    return Err(err(
+                        "evaluate --all scores against the built-in gold standards; \
+                         --gold does not apply",
+                    ));
+                }
+                let built = options.build()?;
+                if built.algorithm != AlgorithmChoice::Hybrid
+                    || built.threshold.is_some()
+                    || built.explain.is_some()
+                    || built.total_only
+                    || built.emit_gold
+                    || built.matrix_csv.is_some()
+                    || built.source_root.is_some()
+                    || built.target_root.is_some()
+                {
+                    return Err(err(
+                        "evaluate --all always runs hybrid vs cupid vs tree-edit at their \
+                         own thresholds; only session options \
+                         (--weights/--child-threshold/--lexicon/--precision/--thesaurus/--trace) \
+                         apply",
+                    ));
+                }
+                return Ok(Command::EvaluateAll { options: built });
+            }
             let [source, target] = two_positional(positional, "evaluate")?;
             let gold = options
                 .gold
                 .clone()
-                .ok_or_else(|| err("evaluate requires --gold <FILE>"))?;
+                .ok_or_else(|| err("evaluate requires --gold <FILE> (or --all)"))?;
             Ok(Command::Evaluate {
                 source,
                 target,
@@ -514,6 +573,7 @@ struct RawOptions {
     deadline_ms: Option<String>,
     data_dir: Option<String>,
     fsync_batch_ms: Option<String>,
+    all: bool,
     total_only: bool,
     emit_gold: bool,
     explain: Option<String>,
@@ -531,7 +591,14 @@ impl RawOptions {
                 "hybrid" => AlgorithmChoice::Hybrid,
                 "linguistic" => AlgorithmChoice::Linguistic,
                 "structural" => AlgorithmChoice::Structural,
-                "tree-edit" | "treeedit" => AlgorithmChoice::TreeEdit,
+                "cupid" => AlgorithmChoice::Cupid,
+                "tree-edit" => AlgorithmChoice::TreeEdit,
+                "treeedit" => {
+                    options.deprecations.push(
+                        "--algorithm treeedit is a deprecated alias; use tree-edit".to_owned(),
+                    );
+                    AlgorithmChoice::TreeEdit
+                }
                 other => return Err(err(format!("unknown algorithm {other:?}"))),
             };
         }
@@ -584,7 +651,15 @@ impl RawOptions {
         Ok(options)
     }
 
+    fn reject_all(&self, sub: &str) -> Result<(), ArgError> {
+        if self.all {
+            return Err(err(format!("--all only applies to evaluate, not {sub}")));
+        }
+        Ok(())
+    }
+
     fn reject_match_options(&self, sub: &str) -> Result<(), ArgError> {
+        self.reject_all(sub)?;
         if self.algorithm.is_some()
             || self.weights.is_some()
             || self.threshold.is_some()
@@ -660,6 +735,7 @@ fn parse_common<'a>(
                 "deadline-ms" => options.deadline_ms = Some(take(&mut args)?),
                 "data-dir" => options.data_dir = Some(take(&mut args)?),
                 "fsync-batch-ms" => options.fsync_batch_ms = Some(take(&mut args)?),
+                "all" => options.all = true,
                 "total-only" => options.total_only = true,
                 "emit-gold" => options.emit_gold = true,
                 "trace" => options.trace = true,
@@ -1084,11 +1160,56 @@ mod tests {
     }
 
     #[test]
+    fn parses_evaluate_all() {
+        let cmd = parse(["evaluate", "--all"]).unwrap();
+        let Command::EvaluateAll { options } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.config, MatchConfig::default());
+        // Session options thread through; --trace is allowed.
+        let cmd = parse(["evaluate", "--all", "--lexicon", "exact", "--trace"]).unwrap();
+        let Command::EvaluateAll { options } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.config.lexicon, LexiconMode::ExactOnly);
+        assert!(options.trace);
+        // No schema files, no --gold, no per-pair or algorithm knobs.
+        assert!(parse(["evaluate", "--all", "a.xsd", "b.xsd"]).is_err());
+        assert!(parse(["evaluate", "--all", "--gold", "g.tsv"]).is_err());
+        assert!(parse(["evaluate", "--all", "--algorithm", "cupid"]).is_err());
+        assert!(parse(["evaluate", "--all", "--threshold", "0.5"]).is_err());
+        assert!(parse(["evaluate", "--all", "--emit-gold"]).is_err());
+        // --all stays an evaluate-only flag.
+        assert!(parse(["match", "a.xsd", "b.xsd", "--all"]).is_err());
+        assert!(parse(["match-many", "p.tsv", "--all"]).is_err());
+        assert!(parse(["inspect", "a.xsd", "--all"]).is_err());
+        assert!(parse(["serve", "--all"]).is_err());
+    }
+
+    #[test]
+    fn treeedit_alias_records_a_deprecation_warning() {
+        let cmd = parse(["match", "a.xsd", "b.xsd", "--algorithm", "treeedit"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(options.algorithm, AlgorithmChoice::TreeEdit);
+        assert_eq!(options.deprecations.len(), 1);
+        assert!(options.deprecations[0].contains("deprecated"));
+        // The canonical spelling stays warning-free.
+        let cmd = parse(["match", "a.xsd", "b.xsd", "--algorithm", "tree-edit"]).unwrap();
+        let Command::Match { options, .. } = cmd else {
+            panic!()
+        };
+        assert!(options.deprecations.is_empty());
+    }
+
+    #[test]
     fn algorithm_names_round_trip() {
         for (choice, name) in [
             (AlgorithmChoice::Hybrid, "hybrid"),
             (AlgorithmChoice::Linguistic, "linguistic"),
             (AlgorithmChoice::Structural, "structural"),
+            (AlgorithmChoice::Cupid, "cupid"),
             (AlgorithmChoice::TreeEdit, "tree-edit"),
         ] {
             assert_eq!(choice.name(), name);

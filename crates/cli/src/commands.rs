@@ -2,10 +2,12 @@
 
 use crate::args::{AlgorithmChoice, Command, MatchOptions, USAGE};
 use crate::gold_file;
-use qmatch_core::algorithms::{Algorithm, MatchOutcome};
+use qmatch_core::algorithms::{mapping_generation_leaves, Algorithm, MatchOutcome};
 use qmatch_core::eval::evaluate;
 use qmatch_core::index::{pair_is_candidate, IndexParams, IndexPolicy};
-use qmatch_core::mapping::{extract_mapping, path_of};
+use qmatch_core::mapping::{extract_mapping, path_of, Mapping};
+use qmatch_core::matrix::SimMatrix;
+use qmatch_core::quality::{self, QualityReport, QualityRow};
 use qmatch_core::report::{f3, Table};
 use qmatch_core::session::{MatchSession, PreparedSchema};
 use qmatch_core::trace::Recorder;
@@ -71,11 +73,12 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             target,
             options,
         } => {
+            emit_deprecations(&options);
             let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
             let (session, recorder) = build_session(&options)?;
             let (prepared_source, prepared_target) =
                 (session.prepare(&source_tree), session.prepare(&target_tree));
-            let (outcome, threshold) =
+            let (algorithm, outcome, threshold) =
                 execute(&session, &prepared_source, &prepared_target, &options);
             emit_trace(recorder.as_deref());
             if let Some(csv_path) = &options.matrix_csv {
@@ -94,7 +97,13 @@ pub fn run(command: Command) -> Result<(), CommandError> {
                 return explain(&session, &prepared_source, &prepared_target, &outcome, path);
             }
             if options.emit_gold {
-                let mapping = extract_mapping(&outcome.matrix, threshold);
+                let mapping = extract_at(
+                    &algorithm,
+                    &prepared_source,
+                    &prepared_target,
+                    &outcome.matrix,
+                    threshold,
+                );
                 let mut gold = qmatch_core::eval::GoldStandard::new();
                 for (s, t) in mapping.to_path_pairs(&source_tree, &target_tree) {
                     gold.add(&s, &t);
@@ -111,7 +120,13 @@ pub fn run(command: Command) -> Result<(), CommandError> {
                 options.algorithm.name()
             );
             println!("total QoM: {}\n", f3(outcome.total_qom));
-            let mapping = extract_mapping(&outcome.matrix, threshold);
+            let mapping = extract_at(
+                &algorithm,
+                &prepared_source,
+                &prepared_target,
+                &outcome.matrix,
+                threshold,
+            );
             println!("correspondences (threshold {}):", f3(threshold));
             print!("{}", mapping.display(&source_tree, &target_tree));
             if mapping.is_empty() {
@@ -120,55 +135,59 @@ pub fn run(command: Command) -> Result<(), CommandError> {
             Ok(())
         }
         Command::MatchMany { pairs, options } => match_many_command(&pairs, &options),
+        Command::EvaluateAll { options } => evaluate_all_command(&options),
         Command::Evaluate {
             source,
             target,
             gold,
             options,
         } => {
+            emit_deprecations(&options);
             let (source_tree, target_tree) = load_pair(&source, &target, &options)?;
             let gold_text = std::fs::read_to_string(&gold)
                 .map_err(|e| fail(format!("cannot read {gold}: {e}")))?;
-            let gold_set = gold_file::parse_gold(&gold_text).map_err(|e| fail(e.to_string()))?;
+            let gold_set =
+                gold_file::parse_gold(&gold, &gold_text).map_err(|e| fail(e.to_string()))?;
             let (session, recorder) = build_session(&options)?;
             let (prepared_source, prepared_target) =
                 (session.prepare(&source_tree), session.prepare(&target_tree));
-            let (outcome, threshold) =
+            let (algorithm, outcome, threshold) =
                 execute(&session, &prepared_source, &prepared_target, &options);
             emit_trace(recorder.as_deref());
-            let mapping = extract_mapping(&outcome.matrix, threshold);
+            let mapping = extract_at(
+                &algorithm,
+                &prepared_source,
+                &prepared_target,
+                &outcome.matrix,
+                threshold,
+            );
             let quality = evaluate(&mapping, &source_tree, &target_tree, &gold_set);
 
-            let mut table = Table::new(["measure", "value"]);
-            table.row(["algorithm".to_owned(), options.algorithm.name().to_owned()]);
-            table.row(["real matches |R|".to_owned(), gold_set.len().to_string()]);
-            table.row(["predicted |P|".to_owned(), mapping.len().to_string()]);
-            table.row([
-                "true positives |I|".to_owned(),
-                quality.true_positives.to_string(),
-            ]);
-            table.row([
-                "false positives |F|".to_owned(),
-                quality.false_positives.to_string(),
-            ]);
-            table.row(["missed |M|".to_owned(), quality.false_negatives.to_string()]);
-            table.row(["precision".to_owned(), f3(quality.precision)]);
-            table.row(["recall".to_owned(), f3(quality.recall)]);
-            table.row(["overall".to_owned(), f3(quality.overall)]);
+            // The same column schema `evaluate --all` and bench_quality
+            // render, so single-pair runs line up with corpus reports.
+            let mut report = QualityReport::new();
+            report.push(QualityRow {
+                pair: format!("{}-{}", source_tree.name(), target_tree.name()),
+                algorithm: algorithm.name().to_owned(),
+                threshold,
+                quality,
+            });
+            print!("{}", report.render());
             if options.index != IndexPolicy::Off {
                 // Report what the candidate prefilter would have decided
                 // for this pair, so gold-standard runs can audit it.
                 let qs = session.signature(&prepared_source);
                 let ts = session.signature(&prepared_target);
                 let admitted = pair_is_candidate(&qs, &ts, &IndexParams::default());
+                let mut table = Table::new(["measure", "value"]);
                 table.row(["index policy".to_owned(), options.index.name().to_owned()]);
                 table.row(["prefilter dice".to_owned(), f3(qs.dice(&ts))]);
                 table.row([
                     "prefilter".to_owned(),
                     if admitted { "candidate" } else { "pruned" }.to_owned(),
                 ]);
+                print!("{}", table.render());
             }
-            print!("{}", table.render());
 
             // List errors for post-match repair, like a matcher UI would.
             let predicted = mapping.to_path_pairs(&source_tree, &target_tree);
@@ -217,7 +236,66 @@ fn pairs_line_fields(line: &str) -> Vec<&str> {
 /// algorithm — one session, so the thesaurus build, every schema's prepared
 /// artifacts, and the distinct-label-pair comparisons are all shared across
 /// the corpus; pairs run in parallel.
+/// The built-in corpus: every schema pair with a non-empty gold standard,
+/// in the paper's figure order. (Library/Human is excluded — the paper
+/// publishes no gold for it, so quality scores would be degenerate.)
+fn corpus_pairs() -> Vec<(
+    &'static str,
+    SchemaTree,
+    SchemaTree,
+    qmatch_core::GoldStandard,
+)> {
+    use qmatch_datasets::{corpus, gold, synth};
+    vec![
+        ("PO", corpus::po1(), corpus::po2(), gold::po_gold()),
+        ("BOOK", corpus::article(), corpus::book(), gold::book_gold()),
+        (
+            "DCMD",
+            corpus::dcmd_item(),
+            corpus::dcmd_ord(),
+            gold::dcmd_gold(),
+        ),
+        (
+            "Protein",
+            synth::pir().clone(),
+            synth::pdb().clone(),
+            synth::protein_gold().clone(),
+        ),
+    ]
+}
+
+/// The algorithms `evaluate --all` (and `bench_quality`) compare: QMatch,
+/// full CUPID, and the tree-edit baseline.
+const EVALUATED_ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::Hybrid, Algorithm::Cupid, Algorithm::TreeEdit];
+
+/// `evaluate --all`: one deterministic quality report over every corpus
+/// pair x every evaluated algorithm, through one shared session.
+fn evaluate_all_command(options: &MatchOptions) -> Result<(), CommandError> {
+    emit_deprecations(options);
+    let (session, recorder) = build_session(options)?;
+    let pairs = corpus_pairs();
+    let mut report = QualityReport::new();
+    for (name, source, target, gold) in &pairs {
+        let (sp, tp) = (session.prepare(source), session.prepare(target));
+        for algorithm in &EVALUATED_ALGORITHMS {
+            let row = quality::evaluate_algorithm(&session, algorithm, name, &sp, &tp, gold)
+                .map_err(|e| fail(e.to_string()))?;
+            report.push(row);
+        }
+    }
+    emit_trace(recorder.as_deref());
+    println!(
+        "{} corpus pair(s) x {} algorithm(s), each at its own acceptance threshold",
+        pairs.len(),
+        EVALUATED_ALGORITHMS.len()
+    );
+    print!("{}", report.render());
+    Ok(())
+}
+
 fn match_many_command(pairs_path: &str, options: &MatchOptions) -> Result<(), CommandError> {
+    emit_deprecations(options);
     let text = std::fs::read_to_string(pairs_path)
         .map_err(|e| fail(format!("cannot read {pairs_path}: {e}")))?;
     // Parse and validate every row before loading anything: a malformed
@@ -463,6 +541,7 @@ fn serve(
     fsync_batch_ms: u64,
     options: &MatchOptions,
 ) -> Result<(), CommandError> {
+    emit_deprecations(options);
     let config = qmatch_serve::ServerConfig {
         addr: addr.to_owned(),
         threads: shards,
@@ -533,25 +612,63 @@ fn emit_trace(recorder: Option<&Recorder>) {
     }
 }
 
+/// The [`Algorithm`] selector behind a CLI algorithm choice — the CLI
+/// reuses the core enum end-to-end instead of its own algo strings.
+fn core_algorithm(choice: AlgorithmChoice) -> Algorithm {
+    match choice {
+        AlgorithmChoice::Hybrid => Algorithm::Hybrid,
+        AlgorithmChoice::Linguistic => Algorithm::Linguistic,
+        AlgorithmChoice::Structural => Algorithm::Structural,
+        AlgorithmChoice::Cupid => Algorithm::Cupid,
+        AlgorithmChoice::TreeEdit => Algorithm::TreeEdit,
+    }
+}
+
+/// Extracts a mapping by the algorithm's own convention at an explicit
+/// threshold: CUPID is leaf-anchored (`mapping_generation_leaves`), every
+/// other algorithm uses the greedy 1:1 extraction.
+fn extract_at(
+    algorithm: &Algorithm,
+    source: &PreparedSchema,
+    target: &PreparedSchema,
+    matrix: &SimMatrix,
+    threshold: f64,
+) -> Mapping {
+    match algorithm {
+        Algorithm::Cupid => mapping_generation_leaves(source, target, matrix, threshold),
+        _ => extract_mapping(matrix, threshold),
+    }
+}
+
+/// Prints any flag-level deprecation warnings (RFC 8594 spirit: the old
+/// spelling still works, the warning names the successor) to stderr
+/// before the command runs.
+fn emit_deprecations(options: &MatchOptions) {
+    for warning in &options.deprecations {
+        eprintln!("deprecation: {warning}");
+    }
+}
+
 /// Runs the selected algorithm over prepared schemas and returns the
-/// outcome plus the effective acceptance threshold.
+/// selector, the outcome, and the effective acceptance threshold (the
+/// shared [`quality::default_threshold`] unless `--threshold` overrode
+/// it).
 fn execute(
     session: &MatchSession,
     source: &PreparedSchema,
     target: &PreparedSchema,
     options: &MatchOptions,
-) -> (MatchOutcome, f64) {
-    let config = &options.config;
-    let (algorithm, default_threshold) = match options.algorithm {
-        AlgorithmChoice::Hybrid => (Algorithm::Hybrid, config.weights.acceptance_threshold()),
-        AlgorithmChoice::Linguistic => (Algorithm::Linguistic, 0.5),
-        AlgorithmChoice::Structural => (Algorithm::Structural, 0.95),
-        AlgorithmChoice::TreeEdit => (Algorithm::TreeEdit, 0.5),
-    };
+) -> (Algorithm, MatchOutcome, f64) {
+    let algorithm = core_algorithm(options.algorithm);
+    let default_threshold = quality::default_threshold(&algorithm, &options.config);
     let outcome = session
         .run(&algorithm, source, target)
         .expect("built-in algorithms are infallible");
-    (outcome, options.threshold.unwrap_or(default_threshold))
+    (
+        algorithm,
+        outcome,
+        options.threshold.unwrap_or(default_threshold),
+    )
 }
 
 fn inspect(path: &str, root: Option<&str>) -> Result<(), CommandError> {

@@ -1,57 +1,12 @@
-//! Gold-standard file parsing: one real match per line as
-//! `source/path<TAB>target/path`, with `#` comments and blank lines.
+//! Gold-standard file rendering, plus a re-export of the typed parser.
+//!
+//! Parsing lives in [`qmatch_core::quality`] so every surface (this CLI,
+//! `evaluate --all`, `bench_quality`) rejects malformed and duplicate
+//! gold pairs identically, with `file:line` diagnostics.
+
+pub use qmatch_core::quality::parse_gold;
 
 use qmatch_core::eval::GoldStandard;
-use std::fmt;
-
-/// A gold-file parse error with its 1-based line number.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GoldParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for GoldParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "gold file line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for GoldParseError {}
-
-/// Parses gold-standard text.
-pub fn parse_gold(text: &str) -> Result<GoldStandard, GoldParseError> {
-    let mut gold = GoldStandard::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let content = match raw.find('#') {
-            Some(pos) => &raw[..pos],
-            None => raw,
-        };
-        if content.trim().is_empty() {
-            continue;
-        }
-        // Split before trimming so that an empty field ("path<TAB>") is
-        // reported as such rather than silently merged into its neighbour.
-        let Some((source, target)) = content.split_once('\t') else {
-            return Err(GoldParseError {
-                line,
-                message: format!("expected 'source<TAB>target', got {:?}", content.trim()),
-            });
-        };
-        let (source, target) = (source.trim(), target.trim());
-        if source.is_empty() || target.is_empty() {
-            return Err(GoldParseError {
-                line,
-                message: "empty path".to_owned(),
-            });
-        }
-        gold.add(source, target);
-    }
-    Ok(gold)
-}
 
 /// Serializes a gold standard back to the file format (sorted for
 /// determinism).
@@ -73,44 +28,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_tab_separated_pairs() {
-        let gold = parse_gold("PO/OrderNo\tOrder/OrderNo\nPO/Qty\tOrder/Quantity\n").unwrap();
-        assert_eq!(gold.len(), 2);
-        assert!(gold.contains("PO/OrderNo", "Order/OrderNo"));
-    }
-
-    #[test]
-    fn skips_comments_and_blanks() {
-        let text = "# header\n\nA/x\tB/y  # trailing comment\n   \n# done\n";
-        let gold = parse_gold(text).unwrap();
-        assert_eq!(gold.len(), 1);
-        assert!(gold.contains("A/x", "B/y"));
-    }
-
-    #[test]
-    fn reports_line_numbers_on_errors() {
-        let err = parse_gold("A/x\tB/y\nbroken line\n").unwrap_err();
-        assert_eq!(err.line, 2);
-        assert!(err.to_string().contains("line 2"));
-        let err2 = parse_gold("A/x\t  \n").unwrap_err();
-        assert_eq!(err2.line, 1);
-        assert!(err2.message.contains("empty path"), "{}", err2.message);
-        // A line of pure whitespace (even with a tab) is blank, not an error.
-        assert!(parse_gold("\t\n").unwrap().is_empty());
-    }
-
-    #[test]
     fn round_trips_through_render() {
-        let gold = parse_gold("B/b\tY/y\nA/a\tX/x\n").unwrap();
+        let gold = parse_gold("g.tsv", "B/b\tY/y\nA/a\tX/x\n").unwrap();
         let rendered = render_gold(&gold);
         assert_eq!(rendered, "A/a\tX/x\nB/b\tY/y\n");
-        let reparsed = parse_gold(&rendered).unwrap();
+        let reparsed = parse_gold("g.tsv", &rendered).unwrap();
         assert_eq!(reparsed.len(), gold.len());
     }
 
     #[test]
-    fn whitespace_around_paths_is_trimmed() {
-        let gold = parse_gold("  A/x  \t  B/y  \n").unwrap();
-        assert!(gold.contains("A/x", "B/y"));
+    fn parser_reports_file_and_line() {
+        // The re-exported core parser carries file:line context — including
+        // for duplicate pairs, which the old CLI parser silently collapsed.
+        let err = parse_gold("mine.tsv", "A/x\tB/y\nbroken line\n").unwrap_err();
+        assert_eq!((err.file.as_str(), err.line), ("mine.tsv", 2));
+        assert!(err.to_string().starts_with("mine.tsv:2:"));
+        let err = parse_gold("mine.tsv", "A/x\tB/y\nA/x\tB/y\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"), "{}", err.message);
     }
 }

@@ -38,15 +38,24 @@ fn stderr(output: &Output) -> String {
     String::from_utf8_lossy(&output.stderr).into_owned()
 }
 
-/// The last whitespace-separated token of the table row starting with
-/// `label` (robust against column-width changes).
-fn row_value(text: &str, label: &str) -> String {
-    text.lines()
-        .find(|l| l.starts_with(label))
-        .unwrap_or_else(|| panic!("no row {label:?} in {text}"))
+/// The cell under `column` in the unified quality report row whose
+/// `algorithm` column matches (robust against column-width changes).
+fn report_cell(text: &str, algorithm: &str, column: &str) -> String {
+    let header = text
+        .lines()
+        .find(|l| l.starts_with("pair"))
+        .unwrap_or_else(|| panic!("no report header in {text}"));
+    let index = header
         .split_whitespace()
-        .last()
-        .unwrap()
+        .position(|c| c == column)
+        .unwrap_or_else(|| panic!("no column {column:?} in {header:?}"));
+    let row = text
+        .lines()
+        .find(|l| l.split_whitespace().nth(1) == Some(algorithm))
+        .unwrap_or_else(|| panic!("no row for algorithm {algorithm:?} in {text}"));
+    row.split_whitespace()
+        .nth(index)
+        .unwrap_or_else(|| panic!("row {row:?} has no column {index}"))
         .to_owned()
 }
 
@@ -137,8 +146,8 @@ fn emit_gold_round_trips_through_evaluate() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
-    assert_eq!(row_value(&text, "precision"), "1.000", "{text}");
-    assert_eq!(row_value(&text, "recall"), "1.000", "{text}");
+    assert_eq!(report_cell(&text, "hybrid", "precision"), "1.000", "{text}");
+    assert_eq!(report_cell(&text, "hybrid", "recall"), "1.000", "{text}");
 }
 
 #[test]
@@ -153,7 +162,7 @@ fn evaluate_against_real_gold() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
-    assert_eq!(row_value(&text, "real matches |R|"), "9", "{text}");
+    assert_eq!(report_cell(&text, "hybrid", "|R|"), "9", "{text}");
     assert!(text.contains("precision"), "{text}");
     assert!(text.contains("overall"), "{text}");
 }

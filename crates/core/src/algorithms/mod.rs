@@ -15,6 +15,7 @@
 //! produces bit-identical matrices.
 
 mod composite;
+mod cupid;
 mod hybrid;
 mod linguistic;
 mod structural;
@@ -23,6 +24,7 @@ mod tree_edit;
 #[allow(deprecated)]
 pub use composite::composite_match;
 pub use composite::{Aggregation, Component, CompositeError};
+pub use cupid::mapping_generation_leaves;
 #[allow(deprecated)]
 pub use hybrid::{hybrid_match, hybrid_match_sequential, hybrid_match_with};
 pub use hybrid::{hybrid_root_category, hybrid_root_category_from};
@@ -33,6 +35,7 @@ pub use structural::{structural_match, structural_match_sequential};
 pub use tree_edit::tree_edit_match;
 
 pub(crate) use composite::composite_match_impl;
+pub(crate) use cupid::cupid_match_impl;
 pub(crate) use hybrid::{
     hybrid_match_impl, hybrid_rematch_impl, root_category_with_label, use_parallel,
 };
@@ -63,6 +66,11 @@ pub enum Algorithm {
     Linguistic,
     /// Label-free structure matcher.
     Structural,
+    /// Full-fidelity CUPID (Madhavan et al., VLDB 2001): structural
+    /// similarity propagation with `th_high`/`th_low` thresholds and
+    /// `c_inc`/`c_dec` adjustment over the leaf initialization (see
+    /// [`crate::model::CupidParams`]).
+    Cupid,
     /// Nierman–Jagadish-style tree-edit-distance baseline.
     TreeEdit,
     /// COMA-style composite: run several components, aggregate per cell.
@@ -81,6 +89,7 @@ impl Algorithm {
             Algorithm::Hybrid => "hybrid",
             Algorithm::Linguistic => "linguistic",
             Algorithm::Structural => "structural",
+            Algorithm::Cupid => "cupid",
             Algorithm::TreeEdit => "tree-edit",
             Algorithm::Composite { .. } => "composite",
         }

@@ -39,6 +39,9 @@
 //! - [`trace`] — zero-dependency pipeline observability: [`trace::Span`]s
 //!   per phase through a [`trace::TraceSink`] (see DESIGN.md §13).
 //! - [`eval`] — Precision / Recall / Overall (§5).
+//! - [`quality`] — the evaluation surface on top of [`eval`]: per-algorithm
+//!   mapping extraction, typed gold-file parsing, and the unified quality
+//!   report (DESIGN.md §18).
 //! - [`tuning`] — the weight-determination sweep behind Table 2.
 //! - [`report`] — plain-text tables for the experiment binaries.
 //!
@@ -73,6 +76,7 @@ pub mod matrix;
 pub mod model;
 pub mod par;
 pub mod props;
+pub mod quality;
 pub mod report;
 pub mod session;
 pub mod taxonomy;
@@ -81,9 +85,9 @@ pub mod tuning;
 
 #[allow(deprecated)]
 pub use algorithms::{
-    composite_match, hybrid_match, hybrid_match_sequential, linguistic_match, match_many,
-    match_many_with, structural_match, tree_edit_match, Aggregation, Algorithm, Component,
-    CompositeError, LabelMatrix, MatchOutcome,
+    composite_match, hybrid_match, hybrid_match_sequential, linguistic_match,
+    mapping_generation_leaves, match_many, match_many_with, structural_match, tree_edit_match,
+    Aggregation, Algorithm, Component, CompositeError, LabelMatrix, MatchOutcome,
 };
 pub use arena::{ArenaStats, MatchArena};
 pub use diff::{EditCounts, EditOp, TreeDiff};
@@ -96,7 +100,10 @@ pub use index::{
 pub use intern::{Interner, Symbol};
 pub use mapping::{extract_mapping, select, Correspondence, Mapping, Selection};
 pub use matrix::{MatrixIndexError, Precision, SimMatrix};
-pub use model::{ConfigError, LexiconMode, MatchConfig, MatchConfigBuilder, Weights};
+pub use model::{ConfigError, CupidParams, LexiconMode, MatchConfig, MatchConfigBuilder, Weights};
+pub use quality::{
+    default_threshold, evaluate_algorithm, parse_gold, GoldParseError, QualityReport, QualityRow,
+};
 pub use session::{CacheStats, MatchSession, OwnedPreparedSchema, PreparedSchema};
 pub use taxonomy::{AxisGrade, CoverageGrade, MatchCategory};
 pub use trace::{NullSink, Phase, PhaseStats, Recorder, Span, Trace, TraceSink};

@@ -162,6 +162,93 @@ pub enum LexiconMode {
     ExactOnly,
 }
 
+/// Parameters of the full-fidelity CUPID matcher
+/// ([`Algorithm::Cupid`](crate::algorithms::Algorithm::Cupid)): the
+/// similarity-propagation thresholds and adjustment factors of Madhavan,
+/// Bernstein & Rahm (VLDB 2001), defaulting to the values the CUPID paper
+/// recommends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CupidParams {
+    /// Acceptance threshold: a leaf pair with `wsim ≥ th_accept` is a
+    /// *strong link* (feeds internal ssim and the leaf mapping).
+    pub th_accept: f64,
+    /// High-propagation threshold: an internal pair with `wsim > th_high`
+    /// increases the ssim of every leaf pair beneath it by `c_inc`.
+    pub th_high: f64,
+    /// Low-propagation threshold: an internal pair with `wsim < th_low`
+    /// decreases the ssim of every leaf pair beneath it by `c_dec`.
+    pub th_low: f64,
+    /// Multiplicative ssim increase applied per high-confidence ancestor
+    /// pair (must be ≥ 1; results are capped at 1.0).
+    pub c_inc: f64,
+    /// Multiplicative ssim decrease applied per low-confidence ancestor
+    /// pair (must be in `(0, 1]`).
+    pub c_dec: f64,
+    /// Structural weight in `wsim = w_struct·ssim + (1 − w_struct)·lsim`.
+    pub w_struct: f64,
+}
+
+impl CupidParams {
+    /// The CUPID paper's recommended operating point.
+    pub const PAPER: CupidParams = CupidParams {
+        th_accept: 0.7,
+        th_high: 0.6,
+        th_low: 0.35,
+        c_inc: 1.2,
+        c_dec: 0.9,
+        w_struct: 0.2,
+    };
+
+    /// Checks every parameter's domain (thresholds finite in `[0, 1]` with
+    /// `th_low ≤ th_high`, `c_inc ≥ 1`, `0 < c_dec ≤ 1`, `w_struct` in
+    /// `[0, 1]`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let unit = |param: &'static str, value: f64| {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                Err(ConfigError::Cupid {
+                    param,
+                    value,
+                    expected: "a finite value in [0, 1]",
+                })
+            } else {
+                Ok(())
+            }
+        };
+        unit("th_accept", self.th_accept)?;
+        unit("th_high", self.th_high)?;
+        unit("th_low", self.th_low)?;
+        unit("w_struct", self.w_struct)?;
+        if self.th_low > self.th_high {
+            return Err(ConfigError::Cupid {
+                param: "th_low",
+                value: self.th_low,
+                expected: "at most th_high",
+            });
+        }
+        if !self.c_inc.is_finite() || self.c_inc < 1.0 {
+            return Err(ConfigError::Cupid {
+                param: "c_inc",
+                value: self.c_inc,
+                expected: "a finite value >= 1",
+            });
+        }
+        if !self.c_dec.is_finite() || self.c_dec <= 0.0 || self.c_dec > 1.0 {
+            return Err(ConfigError::Cupid {
+                param: "c_dec",
+                value: self.c_dec,
+                expected: "a finite value in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CupidParams {
+    fn default() -> Self {
+        CupidParams::PAPER
+    }
+}
+
 /// Configuration shared by all match algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchConfig {
@@ -176,6 +263,9 @@ pub struct MatchConfig {
     /// to the paper arithmetic; `F32` halves the quadratic matrix footprint
     /// with a ≤1e-6 per-cell tolerance (see [`Precision`]).
     pub precision: Precision,
+    /// The CUPID propagation parameters (used only by
+    /// [`Algorithm::Cupid`](crate::algorithms::Algorithm::Cupid)).
+    pub cupid: CupidParams,
 }
 
 impl Default for MatchConfig {
@@ -185,6 +275,7 @@ impl Default for MatchConfig {
             threshold: 0.5,
             lexicon: LexiconMode::Full,
             precision: Precision::F64,
+            cupid: CupidParams::PAPER,
         }
     }
 }
@@ -228,6 +319,7 @@ impl MatchConfig {
             lexicon: LexiconMode::Full,
             precision: Precision::F64,
             precision_raw: None,
+            cupid: CupidParams::PAPER,
         }
     }
 }
@@ -243,6 +335,7 @@ pub struct MatchConfigBuilder {
     /// A raw `--precision`/`precision=` string awaiting validation in
     /// [`MatchConfigBuilder::build`].
     precision_raw: Option<String>,
+    cupid: CupidParams,
 }
 
 impl MatchConfigBuilder {
@@ -292,6 +385,37 @@ impl MatchConfigBuilder {
         self
     }
 
+    /// Sets the CUPID high-propagation threshold `th_high` (validated in
+    /// [`MatchConfigBuilder::build`]).
+    pub fn th_high(mut self, th_high: f64) -> Self {
+        self.cupid.th_high = th_high;
+        self
+    }
+
+    /// Sets the CUPID low-propagation threshold `th_low`.
+    pub fn th_low(mut self, th_low: f64) -> Self {
+        self.cupid.th_low = th_low;
+        self
+    }
+
+    /// Sets the CUPID ssim increase factor `c_inc`.
+    pub fn c_inc(mut self, c_inc: f64) -> Self {
+        self.cupid.c_inc = c_inc;
+        self
+    }
+
+    /// Sets the CUPID ssim decrease factor `c_dec`.
+    pub fn c_dec(mut self, c_dec: f64) -> Self {
+        self.cupid.c_dec = c_dec;
+        self
+    }
+
+    /// Sets the full CUPID parameter block at once.
+    pub fn cupid(mut self, cupid: CupidParams) -> Self {
+        self.cupid = cupid;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(mut self) -> Result<MatchConfig, ConfigError> {
         if let Some(raw) = self.precision_raw.take() {
@@ -303,11 +427,13 @@ impl MatchConfigBuilder {
                 value: self.threshold,
             });
         }
+        self.cupid.validate()?;
         Ok(MatchConfig {
             weights: self.weights,
             threshold: self.threshold,
             lexicon: self.lexicon,
             precision: self.precision,
+            cupid: self.cupid,
         })
     }
 }
@@ -327,6 +453,16 @@ pub enum ConfigError {
         /// The rejected name.
         value: String,
     },
+    /// A CUPID propagation parameter was outside its domain (see
+    /// [`CupidParams::validate`]).
+    Cupid {
+        /// Which parameter was rejected.
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// The accepted domain, for the error message.
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -342,6 +478,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Precision { value } => {
                 write!(f, "precision must be \"f32\" or \"f64\" (got {value:?})")
             }
+            ConfigError::Cupid {
+                param,
+                value,
+                expected,
+            } => {
+                write!(f, "cupid {param} must be {expected} (got {value})")
+            }
         }
     }
 }
@@ -350,7 +493,9 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Weights(err) => Some(err),
-            ConfigError::Threshold { .. } | ConfigError::Precision { .. } => None,
+            ConfigError::Threshold { .. }
+            | ConfigError::Precision { .. }
+            | ConfigError::Cupid { .. } => None,
         }
     }
 }
@@ -527,6 +672,56 @@ mod tests {
         ));
         assert_eq!("f64".parse::<Precision>().unwrap(), Precision::F64);
         assert_eq!(Precision::F32.name(), "f32");
+    }
+
+    #[test]
+    fn builder_sets_and_validates_cupid_knobs() {
+        let config = MatchConfig::builder()
+            .th_high(0.65)
+            .th_low(0.3)
+            .c_inc(1.3)
+            .c_dec(0.8)
+            .build()
+            .unwrap();
+        assert_eq!(
+            config.cupid,
+            CupidParams {
+                th_high: 0.65,
+                th_low: 0.3,
+                c_inc: 1.3,
+                c_dec: 0.8,
+                ..CupidParams::PAPER
+            }
+        );
+        let block = CupidParams {
+            th_accept: 0.8,
+            ..CupidParams::PAPER
+        };
+        assert_eq!(
+            MatchConfig::builder().cupid(block).build().unwrap().cupid,
+            block
+        );
+        // Each knob's domain is enforced at build time, with the offending
+        // parameter named in the error.
+        let cases = [
+            ("th_high", MatchConfig::builder().th_high(1.5).build()),
+            ("th_low", MatchConfig::builder().th_low(-0.1).build()),
+            // th_low above th_high is rejected even with both in [0, 1].
+            (
+                "th_low",
+                MatchConfig::builder().th_low(0.9).th_high(0.4).build(),
+            ),
+            ("c_inc", MatchConfig::builder().c_inc(0.9).build()),
+            ("c_dec", MatchConfig::builder().c_dec(0.0).build()),
+            ("c_dec", MatchConfig::builder().c_dec(1.1).build()),
+            ("c_inc", MatchConfig::builder().c_inc(f64::NAN).build()),
+        ];
+        for (expected_param, result) in cases {
+            match result {
+                Err(ConfigError::Cupid { param, .. }) => assert_eq!(param, expected_param),
+                other => panic!("{expected_param}: expected a cupid error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

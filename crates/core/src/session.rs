@@ -25,9 +25,9 @@
 //! [`tokenize`]: qmatch_lexicon::tokenize()
 
 use crate::algorithms::{
-    composite_match_impl, hybrid_match_impl, linguistic_match_impl, matcher_for_mode,
-    root_category_with_label, structural_match_impl, tree_edit_match, use_parallel, Aggregation,
-    Algorithm, Component, CompositeError, LabelMatrix, MatchOutcome,
+    composite_match_impl, cupid_match_impl, hybrid_match_impl, linguistic_match_impl,
+    matcher_for_mode, root_category_with_label, structural_match_impl, tree_edit_match,
+    use_parallel, Aggregation, Algorithm, Component, CompositeError, LabelMatrix, MatchOutcome,
 };
 use crate::arena::{ArenaStats, MatchArena};
 use crate::explain::{explain_with_label, Explanation};
@@ -541,6 +541,7 @@ impl MatchSession {
             Algorithm::Hybrid => Ok(self.hybrid_with(source, target, true, precision)),
             Algorithm::Linguistic => Ok(self.linguistic_with(source, target, true, precision)),
             Algorithm::Structural => Ok(self.structural_with(source, target, true, precision)),
+            Algorithm::Cupid => Ok(self.cupid_with(source, target, true, precision)),
             Algorithm::TreeEdit => Ok(convert_outcome(
                 tree_edit_match(source.tree(), target.tree(), &self.config),
                 precision,
@@ -568,6 +569,7 @@ impl MatchSession {
             Algorithm::Hybrid => Ok(self.hybrid_sequential(source, target)),
             Algorithm::Linguistic => Ok(self.linguistic_sequential(source, target)),
             Algorithm::Structural => Ok(self.structural_sequential(source, target)),
+            Algorithm::Cupid => Ok(self.cupid_sequential(source, target)),
             other => self.run(other, source, target),
         }
     }
@@ -632,6 +634,43 @@ impl MatchSession {
         linguistic_match_impl(
             source,
             target,
+            &labels,
+            parallel && use_parallel(source.tree(), target.tree()),
+            &self.trace,
+            &self.arena,
+            precision,
+        )
+    }
+
+    /// The full-fidelity CUPID engine ([`Algorithm::Cupid`]): similarity
+    /// propagation over the prepared leaf sets, sharing the session label
+    /// cache with the other engines.
+    pub fn cupid(&self, source: &PreparedSchema, target: &PreparedSchema) -> MatchOutcome {
+        self.cupid_with(source, target, true, self.config.precision)
+    }
+
+    /// The CUPID engine, always sequential (bit-identical to
+    /// [`MatchSession::cupid`]).
+    pub fn cupid_sequential(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+    ) -> MatchOutcome {
+        self.cupid_with(source, target, false, self.config.precision)
+    }
+
+    fn cupid_with(
+        &self,
+        source: &PreparedSchema,
+        target: &PreparedSchema,
+        parallel: bool,
+        precision: Precision,
+    ) -> MatchOutcome {
+        let labels = self.pair_labels(source, target);
+        cupid_match_impl(
+            source,
+            target,
+            self.config.cupid,
             &labels,
             parallel && use_parallel(source.tree(), target.tree()),
             &self.trace,

@@ -74,11 +74,15 @@ pub enum Phase {
     /// `rows` = new-tree nodes, `cells` = edit ops, `skipped` = rows the
     /// recompute closure excludes.
     Diff,
+    /// One pass of the CUPID structural-similarity propagation (`wave` = 0
+    /// leaf init, 1 bottom-up flag pass, 2 adjust + recompute): `rows` =
+    /// source nodes touched, `cells` = pairs scored in the pass.
+    CupidWave,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Prepare,
         Phase::Labels,
         Phase::Alloc,
@@ -92,6 +96,7 @@ impl Phase {
         Phase::Queue,
         Phase::Shard,
         Phase::Diff,
+        Phase::CupidWave,
     ];
 
     /// Number of phases (array-sizing constant for sinks).
@@ -113,6 +118,7 @@ impl Phase {
             Phase::Queue => "queue",
             Phase::Shard => "shard",
             Phase::Diff => "diff",
+            Phase::CupidWave => "cupid_wave",
         }
     }
 
@@ -132,6 +138,7 @@ impl Phase {
             Phase::Queue => 10,
             Phase::Shard => 11,
             Phase::Diff => 12,
+            Phase::CupidWave => 13,
         }
     }
 }

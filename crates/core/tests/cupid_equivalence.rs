@@ -1,0 +1,109 @@
+//! The CUPID engine's parallel path must be indistinguishable from the
+//! sequential one — bit-identical matrices on random trees — and, stronger,
+//! invariant to *how* the wavefront is scheduled: any worker count yields
+//! the same bytes, because propagation flags are computed against the
+//! immutable pre-pass leaf similarities and applied once per leaf pair.
+//!
+//! Everything lives in one test function: it mutates `QMATCH_THREADS`
+//! mid-run, and the other test only asserts thread-count-independent
+//! properties.
+
+use qmatch_core::algorithms::mapping_generation_leaves;
+use qmatch_core::model::MatchConfig;
+use qmatch_core::session::MatchSession;
+use qmatch_prng::SmallRng;
+use qmatch_xsd::SchemaTree;
+
+/// A random tree with 1..=max_nodes nodes; labels drawn from a small
+/// vocabulary so label interning sees collisions, plus a random suffix arm
+/// so distinct labels appear too.
+fn random_tree(rng: &mut SmallRng, max_nodes: usize) -> SchemaTree {
+    const VOCAB: &[&str] = &[
+        "name", "id", "order", "item", "quantity", "price", "date", "address",
+    ];
+    let nodes = rng.gen_range(1..=max_nodes);
+    let mut labels: Vec<(String, Option<usize>)> = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let label = if rng.gen_bool(0.7) {
+            VOCAB[rng.gen_range(0..VOCAB.len())].to_owned()
+        } else {
+            format!("n{}", rng.gen_range(0..1000u32))
+        };
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..i))
+        };
+        labels.push((label, parent));
+    }
+    let borrowed: Vec<(&str, Option<usize>)> =
+        labels.iter().map(|(l, p)| (l.as_str(), *p)).collect();
+    SchemaTree::from_labels("random", &borrowed)
+}
+
+#[test]
+fn cupid_is_bit_identical_across_sequential_parallel_and_thread_counts() {
+    let session = MatchSession::new(MatchConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0xC0BD);
+    for case in 0..32 {
+        // Up to 64×64 nodes: comfortably past the parallel cell threshold.
+        let a = random_tree(&mut rng, 64);
+        let b = random_tree(&mut rng, 64);
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        std::env::set_var("QMATCH_THREADS", "4");
+        let par = session.cupid(&pa, &pb);
+        let seq = session.cupid_sequential(&pa, &pb);
+        assert_eq!(par.matrix, seq.matrix, "case {case}: matrices diverge");
+        assert_eq!(
+            par.total_qom.to_bits(),
+            seq.total_qom.to_bits(),
+            "case {case}: totals diverge: {} vs {}",
+            par.total_qom,
+            seq.total_qom
+        );
+        // Wave-scheduling invariance: reslicing the wavefront across any
+        // number of workers never shows in the output bytes.
+        for threads in ["1", "2", "3", "8"] {
+            std::env::set_var("QMATCH_THREADS", threads);
+            let run = session.cupid(&pa, &pb);
+            assert_eq!(
+                run.matrix, seq.matrix,
+                "case {case}: {threads} worker(s) diverge from sequential"
+            );
+            assert_eq!(run.total_qom.to_bits(), seq.total_qom.to_bits());
+        }
+    }
+    std::env::remove_var("QMATCH_THREADS");
+}
+
+#[test]
+fn cupid_leaf_mapping_is_leaf_anchored_and_one_to_one() {
+    let session = MatchSession::new(MatchConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0xC0FF);
+    let threshold = MatchConfig::default().cupid.th_accept;
+    for case in 0..32 {
+        let a = random_tree(&mut rng, 48);
+        let b = random_tree(&mut rng, 48);
+        let (pa, pb) = (session.prepare(&a), session.prepare(&b));
+        let outcome = session.cupid(&pa, &pb);
+        let mapping = mapping_generation_leaves(&pa, &pb, &outcome.matrix, threshold);
+        let mut sources = std::collections::HashSet::new();
+        let mut targets = std::collections::HashSet::new();
+        for c in &mapping.pairs {
+            assert!(
+                pa.leaves().contains(&c.source) && pb.leaves().contains(&c.target),
+                "case {case}: pair ({:?}, {:?}) is not leaf-to-leaf",
+                c.source,
+                c.target
+            );
+            assert!(
+                c.score >= threshold,
+                "case {case}: accepted score {} below th_accept",
+                c.score
+            );
+            assert!(sources.insert(c.source), "case {case}: source reused");
+            assert!(targets.insert(c.target), "case {case}: target reused");
+        }
+        session.recycle(outcome);
+    }
+}

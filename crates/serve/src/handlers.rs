@@ -26,7 +26,8 @@ use qmatch_core::index::{IndexParams, IndexPolicy, Signature};
 use qmatch_core::mapping::{extract_mapping, path_of};
 use qmatch_core::session::MatchSession;
 use qmatch_core::{
-    Aggregation, Algorithm, Component, MatchOutcome, OwnedPreparedSchema, Precision,
+    mapping_generation_leaves, quality, Aggregation, Algorithm, Component, MatchOutcome,
+    OwnedPreparedSchema, Precision,
 };
 use qmatch_xsd::{parse_schema_with_limits, IngestLimits, SchemaTree, XsdError};
 use std::collections::BinaryHeap;
@@ -141,10 +142,21 @@ fn route(req: &Request, path: &str, state: &ServeState) -> (Endpoint, Response) 
             Endpoint::Healthz,
             Response::json(200, Json::obj().field("status", Json::str("ok")).render()),
         ),
-        ("GET", "/metrics") => (
-            Endpoint::Metrics,
-            Response::text(200, state.metrics.render(&registry.snapshot())),
-        ),
+        ("GET", "/metrics") => {
+            let mut text = state.metrics.render(&registry.snapshot());
+            // The live fraction lives on the durability engine, not the
+            // counter block: without --data-dir (or right after a
+            // compaction) the WAL is empty, which counts as all-live.
+            let live = state
+                .persist
+                .as_ref()
+                .map_or(1.0, |p| p.wal_live_fraction());
+            text.push_str(&format!(
+                "qmatch_wal_live_fraction {}\n",
+                crate::json::fmt_f64(live)
+            ));
+            (Endpoint::Metrics, Response::text(200, text))
+        }
         ("GET", "/schemas") => (Endpoint::SchemasList, list_schemas(registry)),
         ("PUT", path)
             if path
@@ -342,16 +354,39 @@ fn delete_schema(name: &str, state: &ServeState) -> Response {
     )
 }
 
-/// Which algorithm a match request selects, with its default acceptance
-/// threshold (the same defaults the CLI uses).
+/// Which algorithm a match request selects. Thresholds and mapping
+/// extraction follow [`qmatch_core::quality`], so the serve surface and
+/// the CLI agree byte-for-byte on every algorithm's defaults.
 enum Algo {
     Hybrid,
     Linguistic,
     Structural,
+    Cupid,
+    TreeEdit,
     Composite {
         components: Vec<Component>,
         aggregation: Aggregation,
     },
+}
+
+impl Algo {
+    /// The core algorithm this request variant selects.
+    fn algorithm(&self) -> Algorithm {
+        match self {
+            Algo::Hybrid => Algorithm::Hybrid,
+            Algo::Linguistic => Algorithm::Linguistic,
+            Algo::Structural => Algorithm::Structural,
+            Algo::Cupid => Algorithm::Cupid,
+            Algo::TreeEdit => Algorithm::TreeEdit,
+            Algo::Composite {
+                components,
+                aggregation,
+            } => Algorithm::Composite {
+                components: components.clone(),
+                aggregation: aggregation.clone(),
+            },
+        }
+    }
 }
 
 fn parse_algo(req: &Request) -> Result<Algo, Response> {
@@ -359,6 +394,8 @@ fn parse_algo(req: &Request) -> Result<Algo, Response> {
         "hybrid" => Ok(Algo::Hybrid),
         "linguistic" => Ok(Algo::Linguistic),
         "structural" => Ok(Algo::Structural),
+        "cupid" => Ok(Algo::Cupid),
+        "tree-edit" => Ok(Algo::TreeEdit),
         "composite" => {
             let components = match req.query_param("components") {
                 None => vec![Component::Linguistic, Component::Structural],
@@ -397,7 +434,10 @@ fn parse_algo(req: &Request) -> Result<Algo, Response> {
         other => Err(error(
             400,
             "unknown_algo",
-            format!("unknown algorithm {other:?} (use hybrid|linguistic|structural|composite)"),
+            format!(
+                "unknown algorithm {other:?} \
+                 (use hybrid|linguistic|structural|cupid|tree-edit|composite)"
+            ),
         )),
     }
 }
@@ -434,23 +474,9 @@ fn run_algo(
     target: &OwnedPreparedSchema,
     precision: Precision,
 ) -> Result<(MatchOutcome, f64), Response> {
-    let config = session.config();
     let (source, target) = (source.prepared(), target.prepared());
-    let (algorithm, default_threshold) = match algo {
-        Algo::Hybrid => (Algorithm::Hybrid, config.weights.acceptance_threshold()),
-        Algo::Linguistic => (Algorithm::Linguistic, 0.5),
-        Algo::Structural => (Algorithm::Structural, 0.95),
-        Algo::Composite {
-            components,
-            aggregation,
-        } => (
-            Algorithm::Composite {
-                components: components.clone(),
-                aggregation: aggregation.clone(),
-            },
-            config.weights.acceptance_threshold(),
-        ),
-    };
+    let algorithm = algo.algorithm();
+    let default_threshold = quality::default_threshold(&algorithm, session.config());
     session
         .run_with_precision(&algorithm, source, target, precision)
         .map(|outcome| (outcome, default_threshold))
@@ -496,8 +522,13 @@ fn do_match(req: &Request, registry: &Registry) -> Response {
         Err(response) => return response,
     };
     let threshold = threshold.unwrap_or(default_threshold);
-    let mapping = extract_mapping(&outcome.matrix, threshold);
     let (sp, tp) = (source.prepared(), target.prepared());
+    // CUPID proposes leaf-anchored mappings; everything else uses greedy
+    // 1:1 extraction over the whole matrix (same split as the CLI).
+    let mapping = match algo {
+        Algo::Cupid => mapping_generation_leaves(sp, tp, &outcome.matrix, threshold),
+        _ => extract_mapping(&outcome.matrix, threshold),
+    };
     let pairs = mapping
         .pairs
         .iter()
@@ -577,6 +608,9 @@ pub struct TopkPlan {
     pub prepared: Arc<OwnedPreparedSchema>,
     /// How many ranked targets to return.
     pub k: usize,
+    /// Ranking algorithm (`hybrid` or `cupid`): every candidate's root
+    /// QoM comes from this engine.
+    pub algo: Algorithm,
     /// Matrix storage precision for every comparison.
     pub precision: Precision,
     /// Candidate-index policy (`off | auto | force`), echoed in the body.
@@ -602,6 +636,17 @@ pub fn validate_topk(req: &Request, registry: &Registry) -> Result<TopkPlan, Res
             ))
         }
     };
+    let algo = match req.query_param("algo").unwrap_or("hybrid") {
+        "hybrid" => Algorithm::Hybrid,
+        "cupid" => Algorithm::Cupid,
+        other => {
+            return Err(error(
+                400,
+                "unknown_algo",
+                format!("unknown topk algorithm {other:?} (use hybrid|cupid)"),
+            ))
+        }
+    };
     let precision = match parse_precision(req) {
         Ok(p) => p.unwrap_or_else(|| registry.session().config().precision),
         Err(response) => return Err(response),
@@ -620,6 +665,7 @@ pub fn validate_topk(req: &Request, registry: &Registry) -> Result<TopkPlan, Res
         source,
         prepared,
         k,
+        algo,
         precision,
         policy,
         signature,
@@ -659,12 +705,12 @@ pub fn topk_partial(state: &ServeState, shard_index: usize, plan: &TopkPlan) -> 
         // back into the session arena for the next candidate to reuse.
         let outcome = session
             .run_with_precision(
-                &Algorithm::Hybrid,
+                &plan.algo,
                 plan.prepared.prepared(),
                 target.prepared(),
                 plan.precision,
             )
-            .expect("hybrid is infallible");
+            .expect("hybrid and cupid are infallible");
         ranking.push((name, outcome.total_qom));
         session.recycle(outcome);
     }
@@ -725,6 +771,7 @@ pub fn topk_render(plan: &TopkPlan, partials: Vec<(String, f64)>) -> Response {
         Json::obj()
             .field("source", Json::str(plan.source.clone()))
             .field("k", Json::UInt(plan.k as u64))
+            .field("algo", Json::str(plan.algo.name()))
             .field("precision", Json::str(plan.precision.name()))
             .field("index", Json::str(plan.policy.name()))
             .field("ranking", Json::Arr(entries))
@@ -1058,6 +1105,100 @@ mod tests {
         );
         assert_eq!(response.status, 400);
         assert!(body_text(&response).contains("bad_index"));
+    }
+
+    #[test]
+    fn cupid_and_tree_edit_run_and_echo_their_algo() {
+        let state = state();
+        handle(&request("PUT", "/schemas/po", PO.as_bytes()), &state);
+        let (_, response) = handle(
+            &request("POST", "/match?source=po&target=po&algo=cupid", b""),
+            &state,
+        );
+        assert_eq!(response.status, 200, "{}", body_text(&response));
+        let text = body_text(&response);
+        assert!(text.contains(r#""algo":"cupid""#), "{text}");
+        // CUPID's default threshold is its th_accept, not the hybrid 0.78.
+        assert!(text.contains(r#""threshold":0.7"#), "{text}");
+        assert!(
+            !text.contains(r#""category""#),
+            "the QoM category is hybrid-only: {text}"
+        );
+        // A self-match maps every leaf onto itself.
+        assert!(text.contains(r#""source_path""#), "{text}");
+        let (_, response) = handle(
+            &request("POST", "/match?source=po&target=po&algo=tree-edit", b""),
+            &state,
+        );
+        assert_eq!(response.status, 200, "{}", body_text(&response));
+        let text = body_text(&response);
+        assert!(text.contains(r#""algo":"tree-edit""#), "{text}");
+        // The unknown-algo error advertises the full algorithm list.
+        let (_, response) = handle(
+            &request("POST", "/match?source=po&target=po&algo=qmatchx", b""),
+            &state,
+        );
+        assert_eq!(response.status, 400);
+        let text = body_text(&response);
+        assert!(text.contains("unknown_algo"), "{text}");
+        assert!(text.contains("cupid"), "{text}");
+        assert!(text.contains("tree-edit"), "{text}");
+    }
+
+    #[test]
+    fn topk_algo_param_validates_and_echoes() {
+        let state = state();
+        let order = PO.replace("\"PO\"", "\"Order\"");
+        for (name, body) in [("po", PO), ("order", order.as_str())] {
+            handle(
+                &request("PUT", &format!("/schemas/{name}"), body.as_bytes()),
+                &state,
+            );
+        }
+        let (_, response) = handle(&request("POST", "/match/topk?source=po", b""), &state);
+        assert_eq!(response.status, 200);
+        assert!(body_text(&response).contains(r#""algo":"hybrid""#));
+        let (_, response) = handle(
+            &request("POST", "/match/topk?source=po&algo=cupid", b""),
+            &state,
+        );
+        assert_eq!(response.status, 200, "{}", body_text(&response));
+        let text = body_text(&response);
+        assert!(text.contains(r#""algo":"cupid""#), "{text}");
+        assert!(text.contains(r#""target":"order""#), "{text}");
+        // Only ranking engines are accepted on topk.
+        for bad in ["structural", "banana"] {
+            let (_, response) = handle(
+                &request("POST", &format!("/match/topk?source=po&algo={bad}"), b""),
+                &state,
+            );
+            assert_eq!(response.status, 400, "{bad}");
+            let text = body_text(&response);
+            assert!(text.contains("unknown_algo"), "{bad}: {text}");
+            assert!(text.contains("hybrid|cupid"), "{bad}: {text}");
+        }
+    }
+
+    #[test]
+    fn metrics_expose_the_wal_live_fraction() {
+        // Without persistence the WAL is vacuously all-live.
+        let bare = state();
+        let (_, response) = handle(&get("/metrics"), &bare);
+        assert_eq!(response.status, 200);
+        let text = body_text(&response);
+        assert!(text.contains("\nqmatch_wal_live_fraction 1\n"), "{text}");
+        // With a WAL whose only schema was tombstoned, nothing is live.
+        let dir = std::env::temp_dir().join(format!("qmatch-metrics-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (persist, _) = Persist::open(&dir, 1 << 20).unwrap();
+        persist.append("po", PO.as_bytes()).unwrap();
+        persist.append_tombstone("po").unwrap();
+        let mut state = state();
+        state.persist = Some(persist);
+        let (_, response) = handle(&get("/metrics"), &state);
+        let text = body_text(&response);
+        assert!(text.contains("\nqmatch_wal_live_fraction 0\n"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

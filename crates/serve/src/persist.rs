@@ -168,10 +168,41 @@ pub struct Replayed {
     pub truncated_tail: bool,
 }
 
+/// Live-bytes bookkeeping for the current WAL segment: which payload
+/// bytes replay would actually keep, versus garbage a compaction would
+/// discard (superseded upserts plus tombstones).
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Per-name byte length of the *latest upsert record* in the current
+    /// WAL segment, for names not since tombstoned.
+    live: std::collections::HashMap<String, u64>,
+    /// Sum of `live` values, kept incrementally.
+    live_bytes: u64,
+}
+
+impl Ledger {
+    /// Applies one appended/replayed record of `len` bytes. An upsert
+    /// supersedes any earlier record for the name; a tombstone
+    /// (`upsert == false`) turns the name's bytes — and its own — into
+    /// garbage.
+    fn account(&mut self, name: &str, len: u64, upsert: bool) {
+        if upsert {
+            if let Some(old) = self.live.insert(name.to_owned(), len) {
+                self.live_bytes -= old;
+            }
+            self.live_bytes += len;
+        } else if let Some(old) = self.live.remove(name) {
+            self.live_bytes -= old;
+        }
+    }
+}
+
 struct Inner {
     wal: File,
     /// Payload bytes currently in the WAL (excluding the magic header).
     wal_payload: u64,
+    /// Which of those payload bytes are still live (see [`Ledger`]).
+    ledger: Ledger,
     /// When the WAL was last fsync'd (group-commit bookkeeping).
     last_sync: Instant,
     /// Whether bytes have been written since `last_sync`.
@@ -237,11 +268,17 @@ impl Persist {
         // good record so future appends extend a clean log.
         let wal_path = dir.join(WAL_FILE);
         let mut wal_payload = 0u64;
+        let mut ledger = Ledger::default();
         match std::fs::read(&wal_path) {
             Ok(bytes) if bytes.len() >= 8 && &bytes[..8] == WAL_MAGIC => {
                 let (records, good_end) = decode_records(&bytes[8..]);
                 replayed.wal_records = records.len();
                 for (name, body) in records {
+                    // Reconstruct the record's on-disk length so the
+                    // live-bytes ledger survives restarts (an upsert is
+                    // `12 + name + body`, a tombstone `12 + name`).
+                    let len = 12 + name.len() as u64 + body.as_ref().map_or(0, |b| b.len() as u64);
+                    ledger.account(&name, len, body.is_some());
                     match body {
                         Some(body) => image.insert(name, body),
                         None => image.remove(&name),
@@ -271,6 +308,7 @@ impl Persist {
                 inner: Mutex::new(Inner {
                     wal,
                     wal_payload,
+                    ledger,
                     last_sync: Instant::now(),
                     dirty: false,
                 }),
@@ -290,15 +328,15 @@ impl Persist {
     /// group-commit policy. Returns the bytes appended (for the
     /// `wal_bytes_total` counter).
     pub fn append(&self, name: &str, body: &[u8]) -> std::io::Result<u64> {
-        self.append_raw(encode_record(name, body))
+        self.append_raw(name, true, encode_record(name, body))
     }
 
     /// Appends one accepted DELETE as a tombstone record.
     pub fn append_tombstone(&self, name: &str) -> std::io::Result<u64> {
-        self.append_raw(encode_tombstone(name))
+        self.append_raw(name, false, encode_tombstone(name))
     }
 
-    fn append_raw(&self, record: Vec<u8>) -> std::io::Result<u64> {
+    fn append_raw(&self, name: &str, upsert: bool, record: Vec<u8>) -> std::io::Result<u64> {
         let mut inner = self.inner.lock().expect("wal lock");
         inner.wal.write_all(&record)?;
         inner.dirty = true;
@@ -311,6 +349,7 @@ impl Persist {
             inner.dirty = false;
         }
         inner.wal_payload += record.len() as u64;
+        inner.ledger.account(name, record.len() as u64, upsert);
         Ok(record.len() as u64)
     }
 
@@ -357,6 +396,7 @@ impl Persist {
         inner.wal.seek(SeekFrom::End(0))?;
         inner.wal.sync_all()?;
         inner.wal_payload = 0;
+        inner.ledger = Ledger::default();
         inner.last_sync = Instant::now();
         inner.dirty = false;
         Ok(())
@@ -365,6 +405,20 @@ impl Persist {
     /// Current WAL payload bytes (records only, header excluded).
     pub fn wal_payload(&self) -> u64 {
         self.inner.lock().expect("wal lock").wal_payload
+    }
+
+    /// Fraction of the WAL payload that replay would keep: bytes of each
+    /// name's latest upsert, for names not since tombstoned, over the
+    /// total payload. `1.0` for an empty (freshly compacted) WAL; low
+    /// values mean the log is mostly superseded upserts and tombstones —
+    /// garbage the next compaction will discard.
+    pub fn wal_live_fraction(&self) -> f64 {
+        let inner = self.inner.lock().expect("wal lock");
+        if inner.wal_payload == 0 {
+            1.0
+        } else {
+            inner.ledger.live_bytes as f64 / inner.wal_payload as f64
+        }
     }
 }
 
@@ -573,6 +627,41 @@ mod tests {
             ["a", "b"],
             "a comes from the snapshot, b from the WAL"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_fraction_tracks_supersession_tombstones_and_compaction() {
+        let dir = tempdir("live-fraction");
+        let (p, _) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(p.wal_live_fraction(), 1.0, "empty WAL is all live");
+        let first = p.append("a", b"<alpha/>").unwrap();
+        assert_eq!(p.wal_live_fraction(), 1.0, "one upsert is all live");
+        let second = p.append("a", b"<alpha version two/>").unwrap();
+        let expected = second as f64 / (first + second) as f64;
+        assert!(
+            (p.wal_live_fraction() - expected).abs() < 1e-12,
+            "a superseded upsert is garbage: {} vs {expected}",
+            p.wal_live_fraction()
+        );
+        let tomb = p.append_tombstone("a").unwrap();
+        assert_eq!(
+            p.wal_live_fraction(),
+            0.0,
+            "a tombstoned name leaves only garbage"
+        );
+        // The ledger is rebuilt from the log on restart.
+        drop(p);
+        let (p, _) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(p.wal_payload(), first + second + tomb);
+        assert_eq!(p.wal_live_fraction(), 0.0, "replay rebuilds the ledger");
+        let third = p.append("b", b"<beta/>").unwrap();
+        let expected = third as f64 / (first + second + tomb + third) as f64;
+        assert!((p.wal_live_fraction() - expected).abs() < 1e-12);
+        // Compaction empties the WAL: everything left is live by definition.
+        p.compact(|| vec![("b".to_owned(), Arc::from(b"<beta/>".as_slice()))])
+            .unwrap();
+        assert_eq!(p.wal_live_fraction(), 1.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
